@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of the runtime's hot components: wire
+//! protocol, BML, work queue, and whole-daemon throughput per mode.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iofwd::backend::MemSinkBackend;
+use iofwd::bml::Bml;
+use iofwd::client::Client;
+use iofwd::server::{ForwardingMode, IonServer, ServerConfig};
+use iofwd::transport::mem::MemHub;
+use iofwd_proto::{Fd, Frame, OpenFlags, Request};
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("proto");
+    for size in [4usize * 1024, 64 * 1024, 1024 * 1024] {
+        let payload = Bytes::from(vec![7u8; size]);
+        let req = Request::Pwrite { fd: Fd(3), offset: 0, len: size as u64 };
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("encode", size), &size, |b, _| {
+            b.iter(|| Frame::request(1, 1, &req, payload.clone()).encode())
+        });
+        let wire = Frame::request(1, 1, &req, payload.clone()).encode();
+        g.bench_with_input(BenchmarkId::new("decode", size), &size, |b, _| {
+            b.iter(|| Frame::decode(&wire).unwrap().unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_bml(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bml");
+    g.bench_function("acquire_release_hot", |b| {
+        let bml = Bml::new(64 << 20);
+        // Warm the free list.
+        drop(bml.acquire(1 << 20));
+        b.iter(|| {
+            let buf = bml.acquire(1 << 20);
+            std::hint::black_box(buf.len());
+        })
+    });
+    g.bench_function("acquire_release_mixed_classes", |b| {
+        let bml = Bml::new(64 << 20);
+        let sizes = [4096usize, 32 * 1024, 256 * 1024, 1 << 20];
+        let mut i = 0;
+        b.iter(|| {
+            let buf = bml.acquire(sizes[i % sizes.len()]);
+            i += 1;
+            std::hint::black_box(buf.block_size());
+        })
+    });
+    g.finish();
+}
+
+fn bench_daemon_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("daemon_write_1MiB");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(1 << 20));
+    for mode in [
+        ForwardingMode::Ciod,
+        ForwardingMode::Zoid,
+        ForwardingMode::Sched { workers: 4 },
+        ForwardingMode::AsyncStaged { workers: 4, bml_capacity: 64 << 20 },
+    ] {
+        g.bench_function(mode.name(), |b| {
+            let hub = MemHub::new();
+            let backend = Arc::new(MemSinkBackend::new());
+            let server =
+                IonServer::spawn(Box::new(hub.listener()), backend, ServerConfig::new(mode));
+            let mut client = Client::connect(Box::new(hub.connect()));
+            let fd = client
+                .open("/bench", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+                .unwrap();
+            let data = vec![42u8; 1 << 20];
+            b.iter(|| {
+                client.write(fd, &data).unwrap();
+            });
+            client.fsync(fd).unwrap();
+            client.close(fd).unwrap();
+            client.shutdown().unwrap();
+            server.shutdown();
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol, bench_bml, bench_daemon_modes);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Benchmarks of the simulation kernel itself: executor event
+//! throughput, fluid-solver scaling with flow count, and the wall-clock
+//! cost of regenerating a paper figure point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcore::fluid::FlowSpec;
+use simcore::time::Duration as SimDuration;
+use simcore::Sim;
+
+fn bench_executor_events(c: &mut Criterion) {
+    c.bench_function("sim_timer_events_10k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            for i in 0..100u64 {
+                let h = sim.handle();
+                sim.spawn(async move {
+                    for k in 0..100u64 {
+                        h.sleep(SimDuration::from_micros(i * 7 + k + 1)).await;
+                    }
+                });
+            }
+            sim.run_to_completion()
+        })
+    });
+}
+
+fn bench_fluid_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid_recompute");
+    for flows in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &n| {
+            b.iter(|| {
+                let mut sim = Sim::new();
+                let link = sim.resource("link", 1e9);
+                let cpu = sim.resource("cpu", 4.0);
+                for i in 0..n {
+                    let h = sim.handle();
+                    sim.spawn(async move {
+                        // Staggered arrivals force a recompute per event.
+                        h.sleep(SimDuration::from_micros(i as u64)).await;
+                        h.transfer(
+                            FlowSpec::new(1e6).using(link, 1.0).using(cpu, 1e-9).cap(1e8),
+                        )
+                        .await;
+                    });
+                }
+                sim.run_to_completion()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_figure_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment_point");
+    g.sample_size(10);
+    let cfg = bgp_model::MachineConfig::intrepid();
+    g.bench_function("fig9_async_32cns", |b| {
+        b.iter(|| {
+            bgsim::run_end_to_end(
+                &cfg,
+                &bgsim::EndToEndParams {
+                    strategy: bgsim::Strategy::async_staged_default(),
+                    compute_nodes: 32,
+                    msg_bytes: 1 << 20,
+                    iters_per_cn: 10,
+                    da_sinks: 1,
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor_events, bench_fluid_solver, bench_figure_point);
+criterion_main!(benches);

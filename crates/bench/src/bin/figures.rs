@@ -1,0 +1,214 @@
+//! Regenerate the paper's figures from the simulator.
+//!
+//! ```text
+//! cargo run -p bench --release --bin figures -- all
+//! cargo run -p bench --release --bin figures -- fig9 fig13
+//! cargo run -p bench --release --bin figures -- --scale 4 fig12   # more iterations
+//! cargo run -p bench --release --bin figures -- efficiency
+//! ```
+
+use bench::figures::{build, efficiency_ladder, Budget, FigureId};
+use bench::paper;
+use bgp_model::MachineConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut want: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a number"));
+            }
+            other => want.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    if want.is_empty() {
+        usage("no figure requested");
+    }
+    let budget = Budget { scale };
+
+    for w in &want {
+        match w.as_str() {
+            "all" => {
+                for id in FigureId::ALL {
+                    print_figure(id, budget);
+                }
+                print_efficiency(budget);
+                eprintln!("[figures] running ablations ...");
+                println!("{}", bench::figures::ablation_bml(&MachineConfig::intrepid(), budget));
+                println!(
+                    "{}",
+                    bench::figures::ablation_protocol(&MachineConfig::intrepid(), budget)
+                );
+            }
+            "efficiency" | "t-effic" => print_efficiency(budget),
+            "ablation-bml" => {
+                eprintln!("[figures] running ablation-bml ...");
+                println!("{}", bench::figures::ablation_bml(&MachineConfig::intrepid(), budget));
+            }
+            "ablation-protocol" => {
+                eprintln!("[figures] running ablation-protocol ...");
+                println!(
+                    "{}",
+                    bench::figures::ablation_protocol(&MachineConfig::intrepid(), budget)
+                );
+            }
+            other => match FigureId::parse(other) {
+                Some(id) => print_figure(id, budget),
+                None => usage(&format!("unknown figure '{other}'")),
+            },
+        }
+    }
+}
+
+fn print_figure(id: FigureId, budget: Budget) {
+    eprintln!("[figures] running {} ...", id.name());
+    let fig = build(id, budget);
+    println!("{fig}");
+    annotate(id, &fig);
+    println!();
+}
+
+fn annotate(id: FigureId, fig: &simcore::stats::Figure) {
+    let at = |label: &str, x: f64| fig.series(label).and_then(|s| s.y_at(x));
+    match id {
+        FigureId::Fig4 => {
+            if let Some(z) = at("zoid", 8.0) {
+                println!(
+                    "# paper: plateau ~{} MiB/s (93% of {}); measured zoid@8 = {:.0}",
+                    paper::FIG4_MEASURED_PLATEAU,
+                    paper::FIG4_HEADER_LIMITED_PEAK,
+                    z
+                );
+            }
+        }
+        FigureId::Fig5 => {
+            if let (Some(one), Some(four)) = (at("ION -> DA", 1.0), at("ION -> DA", 4.0)) {
+                println!(
+                    "# paper: 1 thr = {} MiB/s, 4 thr = {} MiB/s (peak), 8 thr declines; \
+                     measured {:.0} / {:.0}",
+                    paper::FIG5_ONE_THREAD,
+                    paper::FIG5_FOUR_THREADS,
+                    one,
+                    four
+                );
+            }
+            if let Some(d) = at("DA -> DA (1 thread)", 1.0) {
+                println!("# paper: DA->DA = {} MiB/s; measured {:.0}", paper::FIG5_DA_TO_DA, d);
+            }
+        }
+        FigureId::Fig6 => {
+            if let Some(z) = at("zoid", 8.0) {
+                println!(
+                    "# paper: CIOD/ZOID sustain ~{} MiB/s = {}% of the {} ceiling; \
+                     measured zoid@8 = {:.0}",
+                    paper::FIG6_BASELINE_PLATEAU,
+                    (paper::FIG6_BASELINE_EFFICIENCY * 100.0) as u32,
+                    paper::FIG6_CEILING,
+                    z
+                );
+            }
+        }
+        FigureId::Fig9 => {
+            let r = |a: &str, b: &str| match (at(a, 32.0), at(b, 32.0)) {
+                (Some(x), Some(y)) if y > 0.0 => x / y,
+                _ => f64::NAN,
+            };
+            println!(
+                "# paper @32 CNs: sched/ciod = {:.2}, sched/zoid = {:.2}, async/sched = {:.2}; \
+                 measured {:.2}, {:.2}, {:.2}",
+                paper::fig9::SCHED_OVER_CIOD,
+                paper::fig9::SCHED_OVER_ZOID,
+                paper::fig9::ASYNC_OVER_SCHED,
+                r("sched", "ciod"),
+                r("sched", "zoid"),
+                r("async-staged", "sched"),
+            );
+        }
+        FigureId::Fig10 => {
+            let e = |label: &str| at(label, 256.0).map(|v| v / paper::FIG6_CEILING);
+            println!(
+                "# paper @256 KiB: ciod {:.0}%, zoid {:.0}%, sched {:.0}%, async {:.0}% \
+                 efficiency; measured {:.0}%, {:.0}%, {:.0}%, {:.0}%",
+                paper::fig10::CIOD_EFF_256K * 100.0,
+                paper::fig10::ZOID_EFF_256K * 100.0,
+                paper::fig10::SCHED_EFF_256K * 100.0,
+                paper::fig10::ASYNC_EFF_256K * 100.0,
+                e("ciod").unwrap_or(f64::NAN) * 100.0,
+                e("zoid").unwrap_or(f64::NAN) * 100.0,
+                e("sched").unwrap_or(f64::NAN) * 100.0,
+                e("async-staged").unwrap_or(f64::NAN) * 100.0,
+            );
+        }
+        FigureId::Fig11 => {
+            println!(
+                "# paper: 1 worker <= {} MiB/s; peak at {} workers; 8 declines",
+                paper::fig11::ONE_WORKER_CAP,
+                paper::fig11::BEST_WORKERS
+            );
+        }
+        FigureId::Fig12 => {
+            for (i, &nodes) in paper::fig12::NODES.iter().enumerate() {
+                let x = nodes as f64;
+                let r = |a: &str, b: &str| match (at(a, x), at(b, x)) {
+                    (Some(p), Some(q)) if q > 0.0 => p / q,
+                    _ => f64::NAN,
+                };
+                println!(
+                    "# paper @{} CNs: async/ciod = {:.2}, async/zoid = {:.2}; \
+                     measured {:.2}, {:.2}",
+                    nodes,
+                    paper::fig12::OVER_CIOD[i],
+                    paper::fig12::OVER_ZOID[i],
+                    r("async-staged", "ciod"),
+                    r("async-staged", "zoid"),
+                );
+            }
+        }
+        FigureId::Fig13 => {
+            let r = |x: f64, b: &str| match (at("async-staged", x), at(b, x)) {
+                (Some(p), Some(q)) if q > 0.0 => p / q,
+                _ => f64::NAN,
+            };
+            println!(
+                "# paper: async/ciod = {:.2} (64), {:.2} (256); async/zoid = {:.2} (64), \
+                 {:.2} (256); measured {:.2}, {:.2}, {:.2}, {:.2}",
+                paper::fig13::OVER_CIOD_64,
+                paper::fig13::OVER_CIOD_256,
+                paper::fig13::OVER_ZOID_64,
+                paper::fig13::OVER_ZOID_256,
+                r(64.0, "ciod"),
+                r(256.0, "ciod"),
+                r(64.0, "zoid"),
+                r(256.0, "zoid"),
+            );
+        }
+    }
+}
+
+fn print_efficiency(budget: Budget) {
+    eprintln!("[figures] running efficiency ladder ...");
+    let cfg = MachineConfig::intrepid();
+    println!("# In-text efficiency ladder at 32 CNs (vs the ~650 MiB/s ceiling)");
+    println!("{:>14} {:>12} {:>12}", "mechanism", "measured", "paper");
+    for (name, measured, paper_eff) in efficiency_ladder(&cfg, budget) {
+        println!("{:>14} {:>11.0}% {:>11.0}%", name, measured * 100.0, paper_eff * 100.0);
+    }
+    println!();
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: figures [--scale N] \
+                <fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|efficiency|ablation-bml|ablation-protocol|all>..."
+    );
+    std::process::exit(2);
+}

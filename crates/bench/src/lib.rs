@@ -1,0 +1,12 @@
+//! Figure-regeneration library: one builder per figure of the paper,
+//! each returning a [`simcore::stats::Figure`] with one series per
+//! forwarding mechanism, plus the paper's published reference anchors
+//! for side-by-side comparison in EXPERIMENTS.md.
+//!
+//! Run `cargo run -p bench --release --bin figures -- all` to regenerate
+//! everything.
+
+pub mod figures;
+pub mod paper;
+
+pub use figures::{build, FigureId};

@@ -1,0 +1,295 @@
+//! Calibrated model constants.
+//!
+//! Everything in this module is a *fitted* quantity: a number that the
+//! paper does not state directly but that is constrained by its published
+//! measurements. Each constant documents the figure(s) it was fitted
+//! against and the mechanism it stands in for. Numbers taken verbatim
+//! from the paper (850 MB/s tree, 307 MiB/s single-thread TCP send,
+//! 10 Gb/s NIC, 64-CN psets, ...) live in the modules that use them, not
+//! here.
+//!
+//! The fit was performed by running `bgsim`'s figure drivers
+//! (`cargo run -p bench --bin figures`) and adjusting until the shape
+//! criteria in DESIGN.md §4 held; the band tests in `tests/sim_shapes.rs`
+//! lock the result in.
+
+use simcore::time::Duration;
+
+use crate::units::mib_s;
+
+/// One-way latency of a minimal message CN→ION over the tree network,
+/// including CNK send-side processing and daemon dispatch on the ION.
+///
+/// **Fitted to:** Figure 10 (small-message throughput). The two-step
+/// control/data protocol costs two of these per operation before any data
+/// moves; together with [`ION_PER_OP_CPU`] it sets where the throughput
+/// knee falls as message size shrinks.
+pub const TREE_ONE_WAY_LATENCY: Duration = Duration::from_micros(12);
+
+/// Per-compute-node injection limit onto the tree network, bytes/s.
+///
+/// **Fitted to:** Figure 4 (collective-network streaming): a single CN
+/// cannot saturate the tree — the measured curve peaks only at 4–8 CNs.
+/// The CN's PPC-450 core drives the collective-network DMA at roughly a
+/// quarter of link rate.
+pub const CN_INJECT_BPS: f64 = mib_s(210.0);
+
+/// ION-side tree *reception path* service rate, bytes/s: collective
+/// network reception, DMA completion handling, and the daemon's copy of
+/// the payload into its buffer, expressed as an aggregate service
+/// capacity shared by all concurrently receiving handlers.
+///
+/// **Fitted to:** Figure 4's plateau (680 MiB/s at 1 MiB messages = 93 %
+/// of the 731 MiB/s header-limited peak — reception processing shaves
+/// the last 7 %) jointly with §III-C's statement that the end-to-end
+/// ceiling is ≈ 650 MiB/s.
+pub const ION_RECV_PATH_BPS: f64 = mib_s(665.0);
+
+/// Per-active-handler degradation of the reception path beyond
+/// [`RECV_CONTENTION_KNEE`] concurrent handlers: effective capacity is
+/// `ION_RECV_PATH_BPS / (1 + RECV_CONTENTION_SLOPE * excess)`.
+///
+/// **Fitted to:** Figure 4's (mild) decline beyond 32 CNs — cache
+/// pressure from one reception stream per CN — jointly with Figure 9's
+/// async-staged curve, which still reaches ≈ 95 % efficiency with 64
+/// concurrent streams, bounding the slope from above.
+pub const RECV_CONTENTION_SLOPE: f64 = 0.002;
+
+/// Handler count at which reception-path contention starts to bite.
+pub const RECV_CONTENTION_KNEE: usize = 8;
+
+/// CPU cost of the ION daemon's per-operation bookkeeping (request
+/// decode, descriptor lookup, completion message), in core-seconds per
+/// operation, for the thread-based daemons (ZOID family).
+///
+/// **Fitted to:** Figure 10 (small messages are dominated by per-op
+/// costs) and Figure 6 (CIOD ≈ ZOID baseline).
+pub const ION_PER_OP_CPU: f64 = 28e-6;
+
+/// Extra per-operation CPU for CIOD's process-per-client architecture:
+/// the daemon hands the request to an I/O proxy *process* through shared
+/// memory, paying a process context switch both ways.
+///
+/// **Fitted to:** Figure 4's "2 % performance improvement [of ZOID] over
+/// CIOD ... primarily due to ... the lower overhead associated with
+/// thread context switches in ZOID compared to the process context
+/// switches in CIOD" (§III-A).
+pub const CIOD_EXTRA_PER_OP_CPU: f64 = 22e-6;
+
+/// CPU cost of CIOD's extra shared-memory copy (daemon buffer →
+/// shared-memory region → proxy process), core-seconds per byte. ZOID's
+/// single-copy path skips this entirely.
+///
+/// **Fitted to:** the same 2 % CIOD/ZOID gap, which grows under load
+/// (Figures 9, 12, 13 show CIOD falling further behind at scale). The
+/// rate corresponds to an 850 MHz PPC-450 memcpy (~1.7 GiB/s per core).
+pub const CIOD_SHM_COPY_CPB: f64 = 1.0 / mib_s(1700.0);
+
+/// CPU cost on the ION of receiving one payload byte from the collective
+/// network (DMA completion handling plus the daemon's buffer copy),
+/// core-seconds per byte.
+///
+/// **Fitted to:** Figures 4 and 6 jointly — reception must consume
+/// enough CPU that 64 handler threads contend visibly, but not so much
+/// that the tree network cannot reach its 680 MiB/s plateau.
+pub const ION_TREE_RECV_CPB: f64 = 1.0 / mib_s(1600.0);
+
+/// CPU cost per byte of pushing data through the GPFS client on the ION
+/// (network send plus GPFS token/block bookkeeping), core-seconds/byte.
+/// Heavier than a raw socket send: a single thread sustains ~250 MiB/s.
+///
+/// **Fitted to:** Figure 13's MADbench2 scale (file I/O efficiency sits
+/// below the memory-to-memory ceiling).
+pub const GPFS_CLIENT_CPB: f64 = 1.0 / mib_s(250.0);
+
+/// Per-thread payload rate of a TCP send on one 850 MHz ION core,
+/// bytes/s. This one is **measured in the paper** (Figure 5: a single
+/// nuttcp thread sustains 307 MiB/s) but lives here because the simulator
+/// consumes its reciprocal as a CPU usage coefficient.
+pub const ION_TCP_SEND_BPS_PER_CORE: f64 = mib_s(307.0);
+
+/// Software-limited aggregate TX capacity of the ION's 10 GbE path
+/// (driver, interrupt handling, TCP stack serialization), bytes/s —
+/// below the 1190 MiB/s wire rate.
+///
+/// **Taken from the paper:** Figure 5's 4-thread peak of 791 MiB/s is a
+/// direct measurement of this path (4 × 307 = 1228 MiB/s of thread
+/// capacity was available, the wire allows 1190, yet 791 is what the
+/// ION's software path delivered).
+pub const ION_NIC_TX_PATH_BPS: f64 = mib_s(791.0);
+
+/// Mild degradation of the TX path as sender threads oversubscribe the
+/// cores: capacity is `ION_NIC_TX_PATH_BPS / (1 + slope*ln(1+excess/c))`.
+///
+/// **Fitted to:** Figure 5's decline from 4 to 8 sender threads.
+pub const NIC_TX_CONTENTION_SLOPE: f64 = 0.08;
+
+/// ION CPU context-switch/oversubscription inflation: with `n` threads
+/// concurrently driving I/O on `c` cores, each thread's per-byte CPU
+/// cost inflates by `1 + slope * ln(1 + max(0, n - c) / c)` (cache
+/// thrash, lock convoying, scheduler churn; logarithmic because the
+/// marginal cost of one more thread shrinks as the caches are already
+/// cold). This is the paper's central mechanism: "a key factor impacting
+/// the performance of I/O forwarding in BG/P is the resource contention
+/// on the ION among the various threads" (§IV).
+///
+/// **Fitted to:** Figure 9 — the sync ZOID daemon with one sending
+/// thread per CN (32-64 threads on 4 cores) falls to ~66 % efficiency,
+/// and scheduling onto a 4-thread worker pool recovers ≥ 23 %.
+pub const ION_CTX_SWITCH_SLOPE_THREAD: f64 = 0.55;
+
+/// Same, for process-based daemons (CIOD): process context switches are
+/// costlier than thread switches (address-space change, TLB flush), and
+/// CIOD runs TWO schedulable entities per CN (daemon thread + I/O proxy
+/// process).
+///
+/// CIOD's full penalty comes through three channels: this (higher)
+/// slope on its sending proxies, the shared-memory copy, and completion
+/// wakeups over TWICE the schedulable entity count (daemon thread +
+/// proxy process per CN).
+///
+/// **Fitted to:** the CIOD-vs-ZOID gaps in Figures 9, 12, 13 (38 % vs
+/// 23 % improvement of I/O scheduling over CIOD vs over ZOID, etc.).
+pub const ION_CTX_SWITCH_SLOPE_PROCESS: f64 = 0.62;
+
+/// Completion-notification wakeup latency: when a *synchronous*
+/// operation finishes, the blocked handler thread (and then the CN) must
+/// be woken and scheduled on the contended ION. Asynchronous staging
+/// removes this wakeup round from the critical path entirely — which is
+/// precisely where its Figure-9 edge over plain I/O scheduling comes
+/// from. The delay is `coeff * sqrt(excess_threads) * (bytes / 1 MiB)`:
+/// sub-linear in thread count (threads sleeping in I/O waits leave the
+/// run queue) and proportional to the operation's data in flight (the
+/// synchronous completion is signalled only once the socket buffer has
+/// drained). It also absorbs head-of-line blocking and burstiness
+/// effects a fluid model cannot represent directly.
+///
+/// **Fitted to:** the sched (83 %) vs async+sched (95 %) efficiency gap
+/// at 32 CNs in Figure 9 (at the 1 MiB reference size), jointly with
+/// [`ION_RECV_POOL_OPS`]; the byte-proportionality to Figure 10's
+/// message-size sweep.
+pub const SYNC_WAKEUP_SQRT_COEFF_PER_MIB: f64 = 420e-6;
+
+/// Collective-network reception buffer slots on the ION.
+///
+/// ZOID receives each operation's payload into a daemon-managed
+/// reception buffer; the pool is small. In the synchronous architectures
+/// (CIOD, ZOID, ZOID+scheduling) a buffer stays pinned from reception
+/// until the I/O on the external network completes, so at most this many
+/// forwarded operations can be in flight through the whole pipeline —
+/// §IV: "For large transfers, both CIOD and ZOID block the I/O operation
+/// till sufficient memory is present on the I/O Node." Asynchronous
+/// staging exists precisely to break this coupling: the payload moves to
+/// BML memory and the reception buffer frees as soon as the copy
+/// finishes.
+///
+/// **Fitted to:** Figure 9 — the ceiling the synchronous modes hit
+/// (~83 % efficiency for I/O scheduling at 32 CNs) while async staging
+/// reaches ~95 %.
+pub const ION_RECV_POOL_OPS: u64 = 7;
+
+/// CPU cost of copying one byte into a buffer-management-layer staging
+/// buffer (asynchronous data staging's extra memcpy), core-seconds/byte.
+/// 850 MHz PPC-450 memcpy sustains roughly 1.7 GiB/s per core.
+///
+/// **Fitted to:** Figure 9 — async staging still achieves ≈ 95 %
+/// efficiency, so the extra copy must cost well under the per-op win.
+pub const BML_COPY_CPB: f64 = 1.0 / mib_s(1700.0);
+
+/// Default staging memory managed by the BML on an ION (bytes). The ION
+/// has 2 GiB; the daemon, kernel, and filesystem client claim most of it.
+/// §IV: "The total memory managed by BML can be controlled by an
+/// environment variable"; we default to 512 MiB as the paper's runs did
+/// not report hitting the cap.
+pub const BML_DEFAULT_CAPACITY: u64 = 512 * crate::units::MIB;
+
+/// Service rate of the file-server-node path per ION when writing to
+/// GPFS, bytes/s — the share of storage bandwidth one ION's traffic can
+/// claim. Below the 791 MiB/s network ceiling because GPFS client
+/// overhead (tokens, block allocation) rides on the same cores.
+///
+/// **Fitted to:** Figure 13's absolute scale for MADbench2 (I/O-mode
+/// efficiency on GPFS is below the memory-to-memory ceiling).
+pub const GPFS_PER_ION_BPS: f64 = mib_s(620.0);
+
+/// Per-operation service latency of a GPFS file operation at the FSN
+/// (block allocation, token traffic), beyond streaming bandwidth.
+///
+/// **Fitted to:** Figure 13 (MADbench2 performs ~2 MiB operations; the
+/// per-op cost separates file I/O from raw socket streaming).
+pub const GPFS_PER_OP_LATENCY: Duration = Duration::from_micros(120);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::to_mib_s;
+
+    #[test]
+    fn nic_contention_reproduces_fig5_anchors() {
+        let at = |n: usize| {
+            let c = 4.0f64;
+            let excess = (n as f64 - c).max(0.0);
+            to_mib_s(
+                ION_NIC_TX_PATH_BPS
+                    / (1.0 + NIC_TX_CONTENTION_SLOPE * (1.0 + excess / c).ln()),
+            )
+        };
+        // Up to 4 threads: the measured 791 MiB/s software path.
+        assert!((at(4) - 791.0).abs() < 1.0, "4 threads -> {}", at(4));
+        // 8 threads decline mildly below the 4-thread peak (Figure 5).
+        assert!(at(8) < at(4) - 20.0, "8 threads -> {}", at(8));
+        assert!(at(8) > 650.0, "decline is mild, not a collapse: {}", at(8));
+        // 1 thread: the path is NOT the binding constraint (the 307 MiB/s
+        // single-core CPU limit is).
+        assert!(at(1) > 307.0 * 2.0);
+    }
+
+    #[test]
+    fn single_thread_send_is_cpu_bound() {
+        assert!(to_mib_s(ION_TCP_SEND_BPS_PER_CORE) < 320.0);
+        assert!(to_mib_s(ION_TCP_SEND_BPS_PER_CORE) > 290.0);
+    }
+
+    #[test]
+    fn recv_path_sits_between_end_to_end_ceiling_and_collective_peak() {
+        // Section III-C puts the end-to-end ceiling at ~650 MiB/s;
+        // III-A measures the collective network at 680. The reception-
+        // path service rate sits between them (it is what turns the one
+        // into the other).
+        let v = to_mib_s(ION_RECV_PATH_BPS);
+        assert!((645.0..=690.0).contains(&v), "{v}");
+    }
+
+    #[test]
+    fn ciod_architecture_costs_more_than_zoid() {
+        // CIOD's per-CN cost: the process slope applied over twice the
+        // entity count must exceed ZOID's thread slope over one entity
+        // per CN, on top of the extra copy and per-op work.
+        for cns in [8usize, 16, 32, 64] {
+            let zoid = 1.0 + ION_CTX_SWITCH_SLOPE_THREAD * (1.0 + (cns as f64 - 4.0) / 4.0).ln();
+            let ciod =
+                1.0 + ION_CTX_SWITCH_SLOPE_PROCESS * (1.0 + (2.0 * cns as f64 - 4.0) / 4.0).ln();
+            assert!(ciod > zoid * 0.95, "cns={cns}: ciod {ciod} vs zoid {zoid}");
+        }
+        assert!(CIOD_SHM_COPY_CPB > 0.0);
+        assert!(CIOD_EXTRA_PER_OP_CPU > 0.0);
+    }
+
+    #[test]
+    fn per_byte_cost_ordering() {
+        // Receiving from the tree is cheaper than a TCP send, which is
+        // cheaper than pushing through the GPFS client.
+        let send_cpb = 1.0 / ION_TCP_SEND_BPS_PER_CORE;
+        assert!(ION_TREE_RECV_CPB < send_cpb);
+        assert!(send_cpb < GPFS_CLIENT_CPB);
+    }
+
+    #[test]
+    fn cn_injection_peaks_between_4_and_8_nodes() {
+        // Figure 4: the aggregate should reach the ~680 MiB/s plateau
+        // somewhere between 4 and 8 concurrent CNs.
+        let plateau = mib_s(680.0);
+        assert!(CN_INJECT_BPS * 4.0 > plateau * 0.9);
+        assert!(CN_INJECT_BPS * 2.0 < plateau);
+    }
+}

@@ -1,0 +1,63 @@
+//! Assembled machine configurations.
+
+use crate::collective::CollectiveNetwork;
+use crate::ethernet::Fabric;
+use crate::node::{CnSpec, DaSpec, IonSpec};
+use crate::storage::StorageSpec;
+
+/// Everything the simulator needs to instantiate an ALCF-like system.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    pub cn: CnSpec,
+    pub ion: IonSpec,
+    pub da: DaSpec,
+    pub collective: CollectiveNetwork,
+    pub fabric: Fabric,
+    pub storage: StorageSpec,
+    /// Number of DA nodes available as sinks (Eureka: 100 servers).
+    pub da_count: usize,
+}
+
+impl MachineConfig {
+    /// The ALCF system the paper evaluates on: Intrepid (BG/P) + Eureka
+    /// (DA cluster) + 128 FSNs behind a Myrinet switch complex (§II-A).
+    pub fn intrepid() -> Self {
+        MachineConfig {
+            cn: CnSpec::default(),
+            ion: IonSpec::default(),
+            da: DaSpec::default(),
+            collective: CollectiveNetwork::bgp(),
+            fabric: Fabric::default(),
+            storage: StorageSpec::default(),
+            da_count: 100,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::to_mib_s;
+
+    #[test]
+    fn intrepid_headline_numbers() {
+        let m = MachineConfig::intrepid();
+        // Tree effective peak ≈ 731 MiB/s (§III-A).
+        assert!((to_mib_s(m.collective.effective_peak()) - 731.0).abs() < 8.0);
+        // ION NIC ≈ 1190 MiB/s theoretical (§III-B).
+        assert!((to_mib_s(m.ion.nic_bps) - 1190.0).abs() < 5.0);
+        // Eureka has 100 servers.
+        assert_eq!(m.da_count, 100);
+        assert_eq!(m.storage.fsn_count, 128);
+    }
+
+    #[test]
+    fn end_to_end_bound_is_about_650() {
+        // §III-C: the end-to-end bound is min(collective, external) ≈ 650.
+        let m = MachineConfig::intrepid();
+        let tree = to_mib_s(m.collective.effective_peak());
+        let eth4 = to_mib_s(m.ion.nic_tx_effective(4));
+        let bound = tree.min(eth4);
+        assert!((600.0..=740.0).contains(&bound), "bound {bound}");
+    }
+}

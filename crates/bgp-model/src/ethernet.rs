@@ -1,0 +1,113 @@
+//! The external I/O network: IONs, DA nodes, and FSNs hang off a 5-stage
+//! Myrinet switch complex over 10 GbE links (§II-A, Figure 1).
+//!
+//! For the experiment scales in the paper (≤ 16 IONs, ≤ 20 DA sinks, 100
+//! DA nodes with 100 × 10 Gb/s into the switch, 128 FSNs at 10 Gb/s) the
+//! switch core is heavily overprovisioned relative to the ION side — the
+//! interesting contention is at the endpoints. We still model a finite
+//! fabric capacity so that misconfigured experiments fail loudly rather
+//! than silently assuming an infinite switch.
+
+use simcore::time::Duration;
+
+use crate::units::gbit_s;
+
+/// The external switching fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct Fabric {
+    /// Aggregate bisection capacity of the Myrinet switch complex,
+    /// bytes/s. Eureka alone connects with 100 × 10 Gb/s links (§II-A);
+    /// we size the core at that figure.
+    pub bisection_bps: f64,
+    /// Per-port link speed, bytes/s (10 GbE everywhere in this system).
+    pub port_bps: f64,
+    /// One-way port-to-port latency through the 5-stage fabric.
+    pub latency: Duration,
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Fabric {
+            bisection_bps: 100.0 * gbit_s(10.0),
+            port_bps: gbit_s(10.0),
+            latency: Duration::from_micros(8),
+        }
+    }
+}
+
+impl Fabric {
+    /// Aggregate ingress ceiling for `n` sending ports.
+    pub fn ingress_capacity(&self, n: usize) -> f64 {
+        (n as f64 * self.port_bps).min(self.bisection_bps)
+    }
+}
+
+/// How connections from compute nodes are spread over the DA sinks in
+/// the weak-scaling experiment (§V-A4): "The connections from the compute
+/// nodes were distributed among the DA nodes", the classic MxN
+/// redistribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MxNDistribution {
+    pub senders: usize,
+    pub sinks: usize,
+}
+
+impl MxNDistribution {
+    pub fn new(senders: usize, sinks: usize) -> Self {
+        assert!(sinks > 0, "MxN needs at least one sink");
+        MxNDistribution { senders, sinks }
+    }
+
+    /// Sink index for sender `i` (round-robin, as an MxN redistribution
+    /// without data-dependent placement).
+    pub fn sink_for(&self, sender: usize) -> usize {
+        sender % self.sinks
+    }
+
+    /// Number of senders mapped to sink `j`.
+    pub fn senders_at(&self, sink: usize) -> usize {
+        assert!(sink < self.sinks);
+        let base = self.senders / self.sinks;
+        let rem = self.senders % self.sinks;
+        base + usize::from(sink < rem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_overprovisioned_for_paper_scales() {
+        let f = Fabric::default();
+        // 16 IONs (the largest weak-scaling point) use at most 16 ports.
+        assert!(f.ingress_capacity(16) >= 16.0 * f.port_bps * 0.99);
+    }
+
+    #[test]
+    fn fabric_bisection_caps_huge_port_counts() {
+        let f = Fabric::default();
+        assert_eq!(f.ingress_capacity(1000), f.bisection_bps);
+    }
+
+    #[test]
+    fn mxn_round_robin_is_balanced() {
+        let d = MxNDistribution::new(64, 20);
+        let counts: Vec<usize> = (0..20).map(|j| d.senders_at(j)).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 64);
+        assert!(counts.iter().all(|&c| c == 3 || c == 4));
+        // sink_for distribution must agree with senders_at.
+        let mut tally = vec![0usize; 20];
+        for i in 0..64 {
+            tally[d.sink_for(i)] += 1;
+        }
+        assert_eq!(tally, counts);
+    }
+
+    #[test]
+    fn mxn_more_sinks_than_senders() {
+        let d = MxNDistribution::new(4, 20);
+        assert_eq!((0..20).map(|j| d.senders_at(j)).sum::<usize>(), 4);
+        assert_eq!(d.sink_for(3), 3);
+    }
+}

@@ -1,0 +1,40 @@
+//! # bgp-model — IBM Blue Gene/P and ALCF system model
+//!
+//! Parameter model of the hardware described in §II of *Accelerating I/O
+//! Forwarding in IBM Blue Gene/P Systems* (SC 2010): the Intrepid BG/P
+//! compute system, the Eureka data-analysis cluster, the file-server
+//! nodes, and the networks connecting them.
+//!
+//! The crate is *pure data and arithmetic*: node specifications, network
+//! packetisation math, and the calibrated contention constants that the
+//! [`bgsim`](../bgsim/index.html) discrete-event simulator turns into
+//! resource capacities and usage coefficients. Keeping it free of
+//! simulation machinery makes every formula unit-testable in isolation
+//! and gives a single auditable home for each number taken from the paper
+//! (documented field by field).
+//!
+//! Modules:
+//!
+//! * [`units`] — byte/bandwidth unit helpers (the paper reports MiB/s).
+//! * [`collective`] — the CN→ION tree-network packetisation model
+//!   (§III-A: 256 B payloads, 16 B forwarding header, 10 B hardware
+//!   header; theoretical 850 MB/s, effective peak ≈ 731 MiB/s).
+//! * [`node`] — CPU specifications and the context-switch contention
+//!   model for compute, I/O, analysis, and file-server nodes.
+//! * [`ethernet`] — the external 10 GbE / Myrinet fabric (§III-B).
+//! * [`storage`] — GPFS file-server array model (§II-A).
+//! * [`topology`] — pset structure and machine-size arithmetic (§II-A).
+//! * [`config`] — assembled machine presets ([`config::MachineConfig::intrepid`]).
+//! * [`calibration`] — every constant fitted (rather than copied from the
+//!   paper), with the figure it was fitted against.
+
+pub mod calibration;
+pub mod collective;
+pub mod config;
+pub mod ethernet;
+pub mod node;
+pub mod storage;
+pub mod topology;
+pub mod units;
+
+pub use config::MachineConfig;

@@ -1,0 +1,126 @@
+//! BG/P machine structure (§II-A):
+//!
+//! > Blue Gene systems have a hierarchical structure; 64 nodes are
+//! > grouped into a pset, and 8 psets together form a midplane that
+//! > contains 512 nodes. Each rack contains two such midplanes. [...]
+//! > For each pset a dedicated ION receives I/O requests from the CNs in
+//! > that group.
+//!
+//! Intrepid: 40 racks, 40,960 nodes, 160K cores, 640 IONs.
+
+/// Compute nodes per pset (one ION per pset).
+pub const PSET_SIZE: usize = 64;
+/// Psets per midplane.
+pub const PSETS_PER_MIDPLANE: usize = 8;
+/// Nodes per midplane.
+pub const MIDPLANE_NODES: usize = PSET_SIZE * PSETS_PER_MIDPLANE;
+/// Midplanes per rack.
+pub const MIDPLANES_PER_RACK: usize = 2;
+/// Nodes per rack ("each rack contains 1,024 four-core nodes").
+pub const RACK_NODES: usize = MIDPLANE_NODES * MIDPLANES_PER_RACK;
+/// Cores per node.
+pub const CORES_PER_NODE: usize = 4;
+
+/// A partition of the machine: a contiguous set of compute nodes plus
+/// their dedicated IONs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    pub compute_nodes: usize,
+}
+
+impl Partition {
+    /// A partition of `compute_nodes` nodes. BG/P partitions are whole
+    /// psets; smaller experiments (the paper sweeps 1–64 CNs) run inside
+    /// a single pset with the remaining nodes idle.
+    pub fn new(compute_nodes: usize) -> Self {
+        assert!(compute_nodes > 0, "empty partition");
+        Partition { compute_nodes }
+    }
+
+    /// Number of IONs serving this partition: one per (whole or partial)
+    /// pset.
+    pub fn ion_count(&self) -> usize {
+        self.compute_nodes.div_ceil(PSET_SIZE)
+    }
+
+    /// Number of CNs attached to ION `i` (the last pset may be partial).
+    pub fn cns_on_ion(&self, ion: usize) -> usize {
+        let ions = self.ion_count();
+        assert!(ion < ions, "ION index out of range");
+        if ion + 1 < ions {
+            PSET_SIZE
+        } else {
+            self.compute_nodes - PSET_SIZE * (ions - 1)
+        }
+    }
+
+    /// Total cores.
+    pub fn cores(&self) -> usize {
+        self.compute_nodes * CORES_PER_NODE
+    }
+}
+
+/// Named machine sizes used in the paper's experiments.
+pub mod partitions {
+    use super::Partition;
+
+    /// One pset: the microbenchmark scale (Figures 4, 6, 9, 10, 11).
+    pub fn single_pset(cns: usize) -> Partition {
+        assert!(cns <= super::PSET_SIZE, "single pset holds at most 64 CNs");
+        Partition::new(cns)
+    }
+
+    /// Weak-scaling points from Figure 12: 256, 512, 1024 CNs giving
+    /// 4, 8, 16 IONs.
+    pub fn weak_scaling() -> [Partition; 3] {
+        [Partition::new(256), Partition::new(512), Partition::new(1024)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_arithmetic() {
+        assert_eq!(RACK_NODES, 1024);
+        assert_eq!(RACK_NODES * CORES_PER_NODE, 4096); // "4,096 cores per rack"
+        assert_eq!(MIDPLANE_NODES, 512); // "a midplane that contains 512 nodes"
+        // Intrepid: 40 racks -> 160K cores, 640 IONs.
+        let racks = 40;
+        assert_eq!(racks * RACK_NODES * CORES_PER_NODE, 163_840);
+        assert_eq!(racks * RACK_NODES / PSET_SIZE, 640);
+    }
+
+    #[test]
+    fn ion_counts_match_fig12() {
+        // §V-A4: "In case of 256 BG/P nodes, 512 nodes, and 1024 nodes, we
+        // have 4, 8, and 16 I/O nodes, respectively."
+        let pts = partitions::weak_scaling();
+        assert_eq!(pts[0].ion_count(), 4);
+        assert_eq!(pts[1].ion_count(), 8);
+        assert_eq!(pts[2].ion_count(), 16);
+    }
+
+    #[test]
+    fn partial_pset_assignment() {
+        let p = Partition::new(100);
+        assert_eq!(p.ion_count(), 2);
+        assert_eq!(p.cns_on_ion(0), 64);
+        assert_eq!(p.cns_on_ion(1), 36);
+    }
+
+    #[test]
+    fn sub_pset_partition() {
+        let p = partitions::single_pset(32);
+        assert_eq!(p.ion_count(), 1);
+        assert_eq!(p.cns_on_ion(0), 32);
+        assert_eq!(p.cores(), 128);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_pset_rejects_oversize() {
+        partitions::single_pset(65);
+    }
+}

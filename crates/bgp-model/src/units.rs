@@ -1,0 +1,63 @@
+//! Byte and bandwidth units.
+//!
+//! The paper (footnote 1, §III-A): "1 MiB = 1024 * 1024 bytes. In our
+//! evaluations MB refers to MiB." Vendor-quoted link speeds (850 MB/s
+//! tree, 10 Gb/s Ethernet) are decimal; all *measurements* are MiB/s.
+//! These helpers keep the two regimes explicit so no 4.8 % unit error
+//! creeps into the model.
+
+/// Bytes per kibibyte.
+pub const KIB: u64 = 1024;
+/// Bytes per mebibyte.
+pub const MIB: u64 = 1024 * 1024;
+/// Bytes per gibibyte.
+pub const GIB: u64 = 1024 * 1024 * 1024;
+
+/// Convert MiB/s to bytes/s.
+#[inline]
+pub const fn mib_s(x: f64) -> f64 {
+    x * MIB as f64
+}
+
+/// Convert decimal megabytes/s (vendor link speed) to bytes/s.
+#[inline]
+pub const fn mb_s(x: f64) -> f64 {
+    x * 1e6
+}
+
+/// Convert decimal gigabits/s (vendor link speed) to bytes/s.
+#[inline]
+pub const fn gbit_s(x: f64) -> f64 {
+    x * 1e9 / 8.0
+}
+
+/// Convert bytes/s to MiB/s for reporting.
+#[inline]
+pub fn to_mib_s(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec / MIB as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_network_units_match_paper() {
+        // §III-A: 850 MBps ≈ 810 MiBps.
+        let tree = mb_s(850.0);
+        assert!((to_mib_s(tree) - 810.6).abs() < 0.1, "{}", to_mib_s(tree));
+    }
+
+    #[test]
+    fn ten_gbe_units_match_paper() {
+        // §III-B: 10 Gbps ≈ 1190 MiBps theoretical peak.
+        let eth = gbit_s(10.0);
+        assert!((to_mib_s(eth) - 1192.1).abs() < 0.5, "{}", to_mib_s(eth));
+    }
+
+    #[test]
+    fn roundtrip() {
+        assert_eq!(mib_s(1.0), MIB as f64);
+        assert!((to_mib_s(mib_s(307.0)) - 307.0).abs() < 1e-9);
+    }
+}

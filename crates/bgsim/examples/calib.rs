@@ -1,0 +1,33 @@
+//! Calibration sweep: prints end-to-end throughput for every forwarding
+//! strategy across CN counts. This is the tool used to fit the constants
+//! in `bgp_model::calibration` (see that module's documentation); kept
+//! as an example so refits are one command away:
+//!
+//! ```text
+//! cargo run -p bgsim --release --example calib
+//! ```
+
+use bgp_model::units::MIB;
+use bgp_model::MachineConfig;
+use bgsim::{run_end_to_end, EndToEndParams, Strategy};
+
+fn main() {
+    let cfg = MachineConfig::intrepid();
+    for cns in [4usize, 8, 16, 32, 64] {
+        print!("cns={cns:3}");
+        for s in Strategy::lineup() {
+            let r = run_end_to_end(
+                &cfg,
+                &EndToEndParams {
+                    strategy: s,
+                    compute_nodes: cns,
+                    msg_bytes: MIB,
+                    iters_per_cn: 30,
+                    da_sinks: 1,
+                },
+            );
+            print!("  {}={:6.1}", s.name(), r.mib_per_sec);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,456 @@
+//! ION daemon actors: the four forwarding architectures as simulated
+//! control flow over the shared resources of [`crate::system`].
+//!
+//! Structure mirrors the runnable daemon in the `iofwd` crate:
+//!
+//! * every compute node has a *handler* (the ZOID thread / CIOD proxy
+//!   pair) fed by a per-CN request port;
+//! * `Sched`/`AsyncStaged` add a shared FIFO task queue drained by a
+//!   worker pool, each worker multiplexing up to `batch` operations per
+//!   scheduling pass (§IV's poll-based event loop), with the paper's
+//!   load-balancing heuristic (an idle worker is never starved by a
+//!   greedy batch);
+//! * `AsyncStaged` adds the BML: a byte semaphore bounding staged data,
+//!   with the paper's blocking acquisition semantics.
+//!
+//! Contention costs (see [`bgp_model::calibration`]):
+//!
+//! * each sending thread's per-byte CPU cost inflates with the number of
+//!   threads concurrently driving I/O (context-switch churn) — large for
+//!   thread/process-per-CN daemons, unity for a ≤ 4-thread worker pool;
+//! * every *synchronous* completion pays a wakeup latency to reschedule
+//!   the blocked handler on the oversubscribed ION; asynchronous staging
+//!   removes that round from the critical path (§IV).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use bgp_model::calibration;
+use bgp_model::node::CtxSwitchModel;
+use simcore::sync::{oneshot, OneshotTx, Queue, Semaphore, WaitGroup};
+use simcore::time::Duration;
+use simcore::ResourceId;
+
+use crate::strategy::Strategy;
+use crate::system::{SenderGuard, SimOp, SimSystem, Target};
+
+/// One forwarded operation arriving at the daemon from a compute node.
+pub struct CnRequest {
+    pub op: SimOp,
+    /// Fired when the CN may proceed: after execution for synchronous
+    /// modes, after staging for `AsyncStaged` data writes.
+    pub done: OneshotTx<()>,
+}
+
+/// Per-CN request port (the CN side of the tree-network connection).
+pub type CnPort = Queue<CnRequest>;
+
+struct Task {
+    op: SimOp,
+    /// Completion signal for synchronous tasks (None once the client was
+    /// already released by staging).
+    done: Option<OneshotTx<()>>,
+    /// BML bytes to return after execution (staged writes).
+    staged_bytes: u64,
+}
+
+/// Contention-derived per-daemon costs, fixed at spawn time.
+#[derive(Clone, Copy)]
+struct DaemonCosts {
+    /// Per-byte CPU inflation for sending threads.
+    send_mult: f64,
+    /// Critical-path delay per MiB of waking a blocked handler for a
+    /// synchronous completion (scaled by the operation's size).
+    sync_wakeup_per_mib: f64,
+}
+
+impl DaemonCosts {
+    /// Wakeup delay for an operation of `bytes`.
+    fn sync_wakeup(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(self.sync_wakeup_per_mib * bytes as f64 / (1 << 20) as f64)
+    }
+}
+
+impl DaemonCosts {
+    fn for_daemon(sys: &SimSystem, strategy: Strategy, cns: usize) -> DaemonCosts {
+        let cores = sys.cfg.ion.cpu.cores;
+        let ctx = if strategy.is_process_based() {
+            CtxSwitchModel::process_based()
+        } else {
+            CtxSwitchModel::thread_based()
+        };
+        // Who drives the NIC/storage, and how many schedulable daemon
+        // entities exist in total.
+        let (send_threads, daemon_threads) = match strategy {
+            // CIOD: one proxy process per CN executes the I/O; the
+            // daemon's rx threads double the schedulable entity count
+            // that completion wakeups contend with.
+            Strategy::Ciod => (cns, 2 * cns),
+            Strategy::Zoid => (cns, cns),
+            Strategy::Sched { workers } | Strategy::AsyncStaged { workers, .. } => {
+                (workers, cns + workers)
+            }
+        };
+        DaemonCosts {
+            send_mult: ctx.inflation(cores, send_threads),
+            sync_wakeup_per_mib: ctx.wakeup_delay(cores, daemon_threads, 1 << 20),
+        }
+    }
+}
+
+/// Counters shared between the daemon and the experiment driver.
+#[derive(Clone, Default)]
+pub struct DaemonMetrics {
+    /// Payload bytes fully delivered to their target.
+    pub delivered: Rc<Cell<u64>>,
+    /// Completed operations.
+    pub ops: Rc<Cell<u64>>,
+    /// Times a staging acquisition had to wait for BML memory.
+    pub bml_blocked: Rc<Cell<u64>>,
+    /// High-water mark of the shared task queue.
+    pub queue_peak: Rc<Cell<usize>>,
+}
+
+impl DaemonMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&self, bytes: u64) {
+        self.delivered.set(self.delivered.get() + bytes);
+        self.ops.set(self.ops.get() + 1);
+    }
+}
+
+/// Spawn the daemon for one ION: one handler actor per CN port plus, for
+/// the scheduled modes, the worker pool. Handlers exit when their port
+/// closes; workers exit when all handlers have exited and the task queue
+/// has drained.
+pub fn spawn_daemon(
+    sys: Rc<SimSystem>,
+    ion: usize,
+    strategy: Strategy,
+    ports: Vec<CnPort>,
+    batch: usize,
+    metrics: DaemonMetrics,
+) {
+    let costs = DaemonCosts::for_daemon(&sys, strategy, ports.len());
+    match strategy {
+        Strategy::Ciod | Strategy::Zoid => {
+            for port in ports {
+                let sys = sys.clone();
+                let metrics = metrics.clone();
+                sys.h
+                    .clone()
+                    .spawn(handler_inline(sys, ion, strategy, costs, port, metrics));
+            }
+        }
+        Strategy::Sched { workers } | Strategy::AsyncStaged { workers, .. } => {
+            let tasks: Queue<Task> = Queue::unbounded();
+            let bml = match strategy {
+                Strategy::AsyncStaged { bml_capacity, .. } => Some(Semaphore::new(bml_capacity)),
+                _ => None,
+            };
+            let handlers_wg = WaitGroup::new();
+            handlers_wg.add(ports.len());
+            for port in ports {
+                let sys = sys.clone();
+                let tasks = tasks.clone();
+                let bml = bml.clone();
+                let wg = handlers_wg.clone();
+                let metrics = metrics.clone();
+                sys.h.clone().spawn(handler_queued(
+                    sys, ion, strategy, costs, port, tasks, bml, wg, metrics,
+                ));
+            }
+            // The "simple load-balancing heuristic": a batching worker
+            // leaves tasks behind whenever peers are idle.
+            let idle_workers = Rc::new(Cell::new(0usize));
+            for w in 0..workers.max(1) {
+                let sys = sys.clone();
+                let tasks = tasks.clone();
+                let wres = sys.worker_thread_resource(ion, w);
+                let bml = bml.clone();
+                let metrics = metrics.clone();
+                let idle = idle_workers.clone();
+                sys.h
+                    .clone()
+                    .spawn(worker(sys, ion, costs, tasks, wres, batch, bml, idle, metrics));
+            }
+            // Close the task queue once every handler is done, so workers
+            // drain and exit.
+            {
+                let tasks = tasks.clone();
+                let wg = handlers_wg.clone();
+                sys.h.clone().spawn(async move {
+                    wg.wait().await;
+                    tasks.close();
+                });
+            }
+        }
+    }
+}
+
+/// Receive one operation's data from the CN: control message, per-op
+/// CPU, a reception buffer from the (finite) pool, payload over the tree
+/// (writes only), CIOD's extra copy and daemon→proxy handoff.
+///
+/// Returns the reception-pool bytes now pinned; the caller releases them
+/// when the daemon no longer needs the reception buffer (after the I/O
+/// for synchronous modes, after the BML copy for async staging).
+async fn receive_op(
+    sys: &SimSystem,
+    ion: usize,
+    strategy: Strategy,
+    _costs: DaemonCosts,
+    op: &SimOp,
+) -> u64 {
+    sys.h.sleep(sys.request_control_latency()).await;
+    sys.cpu_op(ion, sys.per_op_cpu(strategy)).await;
+    if op.is_read {
+        return 0;
+    }
+    // One reception buffer slot per in-flight forwarded operation.
+    let pool = &sys.ions[ion].recv_pool;
+    pool.acquire(1).await;
+    let pinned = 1;
+    sys.tree_up(ion, op.bytes).await;
+    if strategy.is_process_based() {
+        // Daemon copies into shared memory for the proxy process
+        // (§II-B1); the handoff cost is in CIOD_EXTRA_PER_OP_CPU.
+        sys.ion_copy(ion, op.bytes, calibration::CIOD_SHM_COPY_CPB).await;
+    }
+    pinned
+}
+
+/// Execute the I/O on its target; single-threaded (handler/proxy) path.
+async fn execute_inline(sys: &SimSystem, ion: usize, costs: DaemonCosts, op: &SimOp) {
+    match (op.target, op.is_read) {
+        (Target::DevNull, _) => {}
+        (Target::Da { sink }, false) => {
+            let _g = SenderGuard::enter(&sys.ions[ion].senders);
+            sys.send_da(ion, sink, op.bytes, None, costs.send_mult).await;
+        }
+        (Target::Da { .. }, true) => {} // DA reads not part of the paper's workloads
+        (Target::Storage, false) => {
+            let _g = SenderGuard::enter(&sys.ions[ion].senders);
+            sys.send_storage(ion, op.bytes, None, costs.send_mult).await;
+        }
+        (Target::Storage, true) => {
+            sys.read_storage(ion, op.bytes, None, costs.send_mult).await;
+        }
+    }
+}
+
+/// Return read data to the CN.
+async fn deliver_read(sys: &SimSystem, ion: usize, strategy: Strategy, op: &SimOp) {
+    if op.is_read {
+        if strategy.is_process_based() {
+            sys.ion_copy(ion, op.bytes, calibration::CIOD_SHM_COPY_CPB).await;
+        }
+        sys.tree_down(ion, op.bytes).await;
+    }
+}
+
+/// CIOD/ZOID handler: execute everything inline, client blocked
+/// throughout.
+async fn handler_inline(
+    sys: Rc<SimSystem>,
+    ion: usize,
+    strategy: Strategy,
+    costs: DaemonCosts,
+    port: CnPort,
+    metrics: DaemonMetrics,
+) {
+    while let Some(CnRequest { op, done }) = port.pop().await {
+        let pinned = receive_op(&sys, ion, strategy, costs, &op).await;
+        execute_inline(&sys, ion, costs, &op).await;
+        deliver_read(&sys, ion, strategy, &op).await;
+        metrics.record(op.bytes);
+        // Synchronous completion: reschedule the handler, which then
+        // recycles its reception buffer and acks the CN.
+        sys.h.sleep(costs.sync_wakeup(op.bytes)).await;
+        if pinned > 0 {
+            sys.ions[ion].recv_pool.release(pinned);
+        }
+        sys.h.sleep(sys.control_latency()).await;
+        done.send(());
+    }
+}
+
+/// Sched/AsyncStaged handler: receive, then enqueue for the worker pool.
+#[allow(clippy::too_many_arguments)]
+async fn handler_queued(
+    sys: Rc<SimSystem>,
+    ion: usize,
+    strategy: Strategy,
+    costs: DaemonCosts,
+    port: CnPort,
+    tasks: Queue<Task>,
+    bml: Option<Semaphore>,
+    wg: WaitGroup,
+    metrics: DaemonMetrics,
+) {
+    while let Some(CnRequest { op, done }) = port.pop().await {
+        let pinned = receive_op(&sys, ion, strategy, costs, &op).await;
+
+        let stage_this = strategy.is_async() && !op.is_read && op.target != Target::DevNull;
+        if stage_this {
+            let bml = bml.as_ref().expect("async staging requires a BML");
+            // Blocking BML acquisition (§IV), then the staging copy.
+            let blocked_before = bml.blocked_acquires();
+            bml.acquire(op.bytes).await;
+            if bml.blocked_acquires() > blocked_before {
+                metrics.bml_blocked.set(metrics.bml_blocked.get() + 1);
+            }
+            sys.ion_copy(ion, op.bytes, calibration::BML_COPY_CPB).await;
+            // The staging copy frees the reception buffer — the whole
+            // point of the BML (§IV).
+            if pinned > 0 {
+                sys.ions[ion].recv_pool.release(pinned);
+            }
+            // Release the compute node NOW — computation overlaps the
+            // actual I/O; no completion wakeup sits on the critical path.
+            sys.h.sleep(sys.control_latency()).await;
+            done.send(());
+            tasks.push_now(Task { op, done: None, staged_bytes: op.bytes });
+        } else {
+            let (ctx, crx) = oneshot::<()>();
+            tasks.push_now(Task { op, done: Some(ctx), staged_bytes: 0 });
+            metrics.queue_peak.set(metrics.queue_peak.get().max(tasks.len()));
+            crx.await;
+            // Worker completion must wake this blocked handler, which
+            // then recycles its reception buffer.
+            sys.h.sleep(costs.sync_wakeup(op.bytes)).await;
+            if pinned > 0 {
+                sys.ions[ion].recv_pool.release(pinned);
+            }
+            deliver_read(&sys, ion, strategy, &op).await;
+            sys.h.sleep(sys.control_latency()).await;
+            done.send(());
+        }
+        metrics.queue_peak.set(metrics.queue_peak.get().max(tasks.len()));
+    }
+    wg.done();
+}
+
+/// Worker: batch-dequeue and execute concurrently on one thread
+/// (poll-based multiplexing), holding the NIC sender slot while any send
+/// is in flight. Batching defers to idle peers (load balancing).
+#[allow(clippy::too_many_arguments)]
+async fn worker(
+    sys: Rc<SimSystem>,
+    ion: usize,
+    costs: DaemonCosts,
+    tasks: Queue<Task>,
+    wres: ResourceId,
+    batch: usize,
+    bml: Option<Semaphore>,
+    idle: Rc<Cell<usize>>,
+    metrics: DaemonMetrics,
+) {
+    loop {
+        idle.set(idle.get() + 1);
+        let popped = tasks.pop().await;
+        idle.set(idle.get() - 1);
+        let Some(first) = popped else { return };
+        // The worker itself must be woken and scheduled to service the
+        // batch — the handler-to-worker handoff the inline daemons don't
+        // pay (sized by the first item; the rest of the batch amortizes).
+        sys.h.sleep(costs.sync_wakeup(first.op.bytes)).await;
+        let mut items = vec![first];
+        // Multiplex more ops into this pass only if that leaves at least
+        // one task per idle peer.
+        let spare = tasks.len().saturating_sub(idle.get());
+        for t in tasks.drain_now(spare.min(batch.saturating_sub(1))) {
+            items.push(t);
+        }
+        let sends_anything = items.iter().any(|t| t.op.target != Target::DevNull);
+        let guard =
+            if sends_anything { Some(SenderGuard::enter(&sys.ions[ion].senders)) } else { None };
+        // The poll-based event loop drains its batch back to back with no
+        // idle gaps between operations.
+        for t in items {
+            match (t.op.target, t.op.is_read) {
+                (Target::DevNull, _) => {}
+                (Target::Da { sink }, false) => {
+                    sys.send_da(ion, sink, t.op.bytes, Some(wres), costs.send_mult).await
+                }
+                (Target::Da { .. }, true) => {}
+                (Target::Storage, false) => {
+                    sys.send_storage(ion, t.op.bytes, Some(wres), costs.send_mult).await
+                }
+                (Target::Storage, true) => {
+                    sys.read_storage(ion, t.op.bytes, Some(wres), costs.send_mult).await
+                }
+            }
+            metrics.record(t.op.bytes);
+            if t.staged_bytes > 0 {
+                bml.as_ref().expect("staged task without BML").release(t.staged_bytes);
+            }
+            if let Some(done) = t.done {
+                done.send(());
+            }
+        }
+        drop(guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_model::units::MIB;
+    use bgp_model::MachineConfig;
+    use simcore::Sim;
+
+    fn costs_for(strategy: Strategy, cns: usize) -> DaemonCosts {
+        let sim = Sim::new();
+        let sys = SimSystem::new(sim.handle(), MachineConfig::intrepid(), 1, 1, strategy);
+        DaemonCosts::for_daemon(&sys, strategy, cns)
+    }
+
+    #[test]
+    fn worker_pool_daemons_have_unity_send_inflation() {
+        // 4 workers on 4 cores: no oversubscription for the senders.
+        for strategy in [Strategy::sched_default(), Strategy::async_staged_default()] {
+            let c = costs_for(strategy, 64);
+            assert_eq!(c.send_mult, 1.0, "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn per_cn_daemons_inflate_with_pset_size() {
+        let z8 = costs_for(Strategy::Zoid, 8);
+        let z64 = costs_for(Strategy::Zoid, 64);
+        assert!(z64.send_mult > z8.send_mult);
+        assert!(z8.send_mult > 1.0);
+    }
+
+    #[test]
+    fn ciod_wakeups_exceed_zoid_wakeups() {
+        // Twice the schedulable entities -> larger completion wakeup.
+        let z = costs_for(Strategy::Zoid, 32);
+        let c = costs_for(Strategy::Ciod, 32);
+        assert!(c.sync_wakeup(MIB) > z.sync_wakeup(MIB));
+    }
+
+    #[test]
+    fn wakeup_scales_with_bytes() {
+        let z = costs_for(Strategy::Zoid, 32);
+        let one = z.sync_wakeup(MIB).as_nanos() as f64;
+        let four = z.sync_wakeup(4 * MIB).as_nanos() as f64;
+        // from_secs_f64 rounds up to whole nanoseconds; allow that slack.
+        assert!((four / one - 4.0).abs() < 1e-4, "four {four} vs one {one}");
+        assert_eq!(z.sync_wakeup(0), simcore::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn queued_daemons_pay_no_wakeup_at_small_pools() {
+        // 4 CNs + 4 workers = 8 entities on 4 cores: small but nonzero.
+        let s = costs_for(Strategy::sched_default(), 4);
+        assert!(s.sync_wakeup(MIB) > simcore::time::Duration::ZERO);
+        // And fewer entities means less delay.
+        let s64 = costs_for(Strategy::sched_default(), 64);
+        assert!(s64.sync_wakeup(MIB) > s.sync_wakeup(MIB));
+    }
+}

@@ -1,0 +1,656 @@
+//! Experiment drivers: each public function reruns one of the paper's
+//! measurement setups against the simulated testbed and reports
+//! aggregate throughput in MiB/s, the unit of every figure.
+
+use std::rc::Rc;
+
+use bgp_model::ethernet::MxNDistribution;
+use bgp_model::topology::Partition;
+use bgp_model::units::{to_mib_s, MIB};
+use bgp_model::MachineConfig;
+use simcore::fluid::FlowSpec;
+use simcore::sync::oneshot;
+use simcore::time::Duration;
+use simcore::Sim;
+
+use crate::daemon::{spawn_daemon, CnPort, CnRequest, DaemonMetrics};
+use simcore::stats::LogHistogram;
+use crate::strategy::Strategy;
+use crate::system::{SenderGuard, SimOp, SimSystem, Target};
+
+/// Outcome of one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentResult {
+    /// Aggregate delivered-payload throughput, MiB/s — the y-axis of
+    /// every figure.
+    pub mib_per_sec: f64,
+    pub delivered_bytes: u64,
+    pub elapsed_seconds: f64,
+    pub ops: u64,
+    /// Staging acquisitions that had to wait for BML memory.
+    pub bml_blocked: u64,
+    /// Deepest the shared task queue got.
+    pub queue_peak: usize,
+    /// Where the time went: time-weighted utilization of ION 0's
+    /// resources (1.0 = saturated for the whole run).
+    pub utilization: Utilization,
+    /// Client-observed per-operation latency (from issuing the request
+    /// to being released): order-of-magnitude percentiles in
+    /// microseconds. For async staging this is the *staging* latency —
+    /// the whole point is that it is far below the full I/O latency.
+    pub latency: LatencyReport,
+}
+
+/// Order-of-magnitude latency percentiles, microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyReport {
+    pub mean_us: f64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+}
+
+/// Time-weighted busy fractions of the first ION's resources — the
+/// bottleneck diagnosis for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Utilization {
+    pub tree_up: f64,
+    pub recv_path: f64,
+    pub cpu: f64,
+    pub nic_tx: f64,
+    pub gpfs: f64,
+}
+
+impl Utilization {
+    /// Name of the busiest resource.
+    pub fn bottleneck(&self) -> &'static str {
+        let pairs = [
+            ("tree_up", self.tree_up),
+            ("recv_path", self.recv_path),
+            ("cpu", self.cpu),
+            ("nic_tx", self.nic_tx),
+            ("gpfs", self.gpfs),
+        ];
+        pairs
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(n, _)| *n)
+            .unwrap_or("none")
+    }
+}
+
+/// One step of a compute node's workload: optional computation, then a
+/// forwarded I/O operation.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceStep {
+    pub think: Duration,
+    pub op: SimOp,
+}
+
+impl TraceStep {
+    pub fn op(op: SimOp) -> TraceStep {
+        TraceStep { think: Duration::ZERO, op }
+    }
+}
+
+/// Workers dequeue up to this many tasks per event-loop pass.
+const WORKER_BATCH: usize = 4;
+
+/// Knobs for ablation studies (DESIGN.md §5) and run methodology.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimOptions {
+    /// Inline the operation parameters with the data (ablates the
+    /// two-step control protocol of §V-A2).
+    pub inline_control: bool,
+    /// Jitter seed: vary to emulate the paper's repeated runs on a
+    /// shared network ("the maximum of five runs").
+    pub seed: u64,
+    /// Degrade one DA sink to a fraction of its NIC capacity — a
+    /// straggler in the MxN distribution.
+    pub slow_sink: Option<(usize, f64)>,
+}
+
+/// Run arbitrary per-CN traces through the full simulated I/O path.
+/// `per_cn[i]` is compute node `i`'s operation sequence; nodes are packed
+/// into psets of 64 with one ION each.
+pub fn run_traces(
+    cfg: &MachineConfig,
+    strategy: Strategy,
+    per_cn: Vec<Vec<TraceStep>>,
+    da_sinks: usize,
+) -> ExperimentResult {
+    run_traces_opts(cfg, strategy, per_cn, da_sinks, SimOptions::default())
+}
+
+/// [`run_traces`] with ablation knobs.
+pub fn run_traces_opts(
+    cfg: &MachineConfig,
+    strategy: Strategy,
+    per_cn: Vec<Vec<TraceStep>>,
+    da_sinks: usize,
+    opts: SimOptions,
+) -> ExperimentResult {
+    assert!(!per_cn.is_empty(), "need at least one compute node");
+    let partition = Partition::new(per_cn.len());
+    let n_ions = partition.ion_count();
+    let mut sim = Sim::new();
+    let mut system = SimSystem::new(
+        sim.handle(),
+        cfg.clone(),
+        n_ions,
+        da_sinks.max(1),
+        strategy,
+    );
+    system.inline_control = opts.inline_control;
+    if let Some((sink, factor)) = opts.slow_sink {
+        assert!(factor > 0.0 && factor <= 1.0, "slow-sink factor in (0, 1]");
+        system.h.set_capacity(system.da_nic[sink], cfg.da.nic_bps * factor);
+    }
+    let sys = Rc::new(system);
+    let metrics = DaemonMetrics::new();
+    let latency: Rc<std::cell::RefCell<LogHistogram>> =
+        Rc::new(std::cell::RefCell::new(LogHistogram::new()));
+
+    let mut traces = per_cn.into_iter();
+    let mut global_cn = 0usize;
+    for ion in 0..n_ions {
+        let cns = partition.cns_on_ion(ion);
+        let mut ports: Vec<CnPort> = Vec::with_capacity(cns);
+        for _ in 0..cns {
+            let port: CnPort = CnPort::unbounded();
+            ports.push(port.clone());
+            let trace = traces.next().expect("trace count mismatch");
+            let h = sim.handle();
+            // Deterministic per-CN jitter: real compute nodes never run
+            // in perfect lockstep (MPI skew, interrupt timing). A small
+            // start stagger plus microsecond-scale per-op jitter breaks
+            // the artificial convoy a zero-noise simulation would form.
+            let mut rng =
+                simcore::rng::SimRng::new(0xB67D_5EED ^ global_cn as u64 ^ (opts.seed << 32));
+            let latency = latency.clone();
+            sim.spawn(async move {
+                h.sleep(Duration::from_nanos(rng.below(10_000_000))).await;
+                for step in trace {
+                    if !step.think.is_zero() {
+                        h.sleep(step.think).await;
+                    }
+                    h.sleep(Duration::from_nanos(rng.below(1_000_000))).await;
+                    let issued = h.now();
+                    let (tx, rx) = oneshot::<()>();
+                    port.push_now(CnRequest { op: step.op, done: tx });
+                    rx.await;
+                    latency
+                        .borrow_mut()
+                        .record(h.now().duration_since(issued).as_nanos() / 1_000);
+                }
+                port.close();
+            });
+            global_cn += 1;
+        }
+        spawn_daemon(sys.clone(), ion, strategy, ports, WORKER_BATCH, metrics.clone());
+    }
+
+    let quiesce = sim.run();
+    assert_eq!(
+        quiesce.parked_tasks, 0,
+        "simulation deadlocked with {} parked actors",
+        quiesce.parked_tasks
+    );
+    let elapsed = quiesce.at.as_secs_f64();
+    let delivered = metrics.delivered.get();
+    let ion0 = &sys.ions[0];
+    let utilization = Utilization {
+        tree_up: sys.h.utilization(ion0.tree_up),
+        recv_path: sys.h.utilization(ion0.recv_path),
+        cpu: sys.h.utilization(ion0.cpu),
+        nic_tx: sys.h.utilization(ion0.nic_tx),
+        gpfs: sys.h.utilization(ion0.gpfs_share),
+    };
+    let hist = latency.borrow();
+    let latency = LatencyReport {
+        mean_us: hist.mean(),
+        p50_us: hist.quantile(0.5),
+        p99_us: hist.quantile(0.99),
+    };
+    ExperimentResult {
+        mib_per_sec: if elapsed > 0.0 { delivered as f64 / MIB as f64 / elapsed } else { 0.0 },
+        delivered_bytes: delivered,
+        elapsed_seconds: elapsed,
+        ops: metrics.ops.get(),
+        bml_blocked: metrics.bml_blocked.get(),
+        queue_peak: metrics.queue_peak.get(),
+        utilization,
+        latency,
+    }
+}
+
+/// The paper's methodology: "we report the maximum performance achieved
+/// in five runs" (the shared I/O network made single runs noisy). Run
+/// the experiment under `runs` different jitter seeds and keep the best.
+pub fn max_of_runs(
+    runs: usize,
+    mut one: impl FnMut(SimOptions) -> ExperimentResult,
+) -> ExperimentResult {
+    assert!(runs >= 1);
+    (0..runs)
+        .map(|seed| one(SimOptions { seed: seed as u64, ..SimOptions::default() }))
+        .max_by(|a, b| a.mib_per_sec.partial_cmp(&b.mib_per_sec).unwrap())
+        .expect("runs >= 1")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: collective network streaming CN -> ION (/dev/null writes)
+// ---------------------------------------------------------------------------
+
+/// Parameters for the §III-A collective-network microbenchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectiveParams {
+    pub strategy: Strategy,
+    /// Concurrent compute nodes in the pset (1–64).
+    pub compute_nodes: usize,
+    pub msg_bytes: u64,
+    pub iters_per_cn: usize,
+}
+
+/// "We wrote a parallel benchmark to read and write data to /dev/null on
+/// the compute nodes ... this benchmark effectively measures the
+/// achievable throughput of the collective network."
+pub fn run_collective(cfg: &MachineConfig, p: &CollectiveParams) -> ExperimentResult {
+    assert!(p.compute_nodes >= 1 && p.compute_nodes <= 64, "one pset holds 1..=64 CNs");
+    let traces = (0..p.compute_nodes)
+        .map(|_| {
+            (0..p.iters_per_cn)
+                .map(|_| TraceStep::op(SimOp::write(p.msg_bytes, Target::DevNull)))
+                .collect()
+        })
+        .collect();
+    run_traces(cfg, p.strategy, traces, 1)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: external network, nuttcp-style ION -> DA
+// ---------------------------------------------------------------------------
+
+/// "To measure the achievable network throughput between the ION and DA,
+/// we used nuttcp": `threads` concurrent senders on one ION streaming
+/// 1 MiB messages memory-to-memory to one DA node.
+pub fn run_external_senders(
+    cfg: &MachineConfig,
+    threads: usize,
+    msg_bytes: u64,
+    iters_per_thread: usize,
+) -> ExperimentResult {
+    assert!(threads >= 1);
+    let mut sim = Sim::new();
+    let sys = Rc::new(SimSystem::new(sim.handle(), cfg.clone(), 1, 1, Strategy::Zoid));
+    let delivered = Rc::new(std::cell::Cell::new(0u64));
+    for _ in 0..threads {
+        let sys = sys.clone();
+        let delivered = delivered.clone();
+        sim.spawn(async move {
+            // A nuttcp thread holds its socket for the whole run.
+            let _g = SenderGuard::enter(&sys.ions[0].senders);
+            for _ in 0..iters_per_thread {
+                sys.send_da(0, 0, msg_bytes, None, 1.0).await;
+                delivered.set(delivered.get() + msg_bytes);
+            }
+        });
+    }
+    let end = sim.run_to_completion();
+    let elapsed = end.as_secs_f64();
+    let bytes = delivered.get();
+    let ion0 = &sys.ions[0];
+    let utilization = Utilization {
+        tree_up: 0.0,
+        recv_path: 0.0,
+        cpu: sys.h.utilization(ion0.cpu),
+        nic_tx: sys.h.utilization(ion0.nic_tx),
+        gpfs: 0.0,
+    };
+    ExperimentResult {
+        mib_per_sec: if elapsed > 0.0 { bytes as f64 / MIB as f64 / elapsed } else { 0.0 },
+        delivered_bytes: bytes,
+        elapsed_seconds: elapsed,
+        ops: (threads * iters_per_thread) as u64,
+        bml_blocked: 0,
+        queue_peak: 0,
+        utilization,
+        latency: LatencyReport::default(),
+    }
+}
+
+/// The DA→DA baseline of Figure 5: "we were able to sustain 1110 MiBps
+/// between two DA nodes with a single thread" — the faster Xeon nearly
+/// saturates the NIC alone.
+pub fn run_da_to_da(cfg: &MachineConfig, msg_bytes: u64, iters: usize) -> f64 {
+    let mut sim = Sim::new();
+    let h = sim.handle();
+    let src_cpu = h.resource("da-src.cpu", cfg.da.cpu.capacity());
+    let src_nic = h.resource("da-src.nic", cfg.da.nic_bps);
+    let dst_nic = h.resource("da-dst.nic", cfg.da.nic_bps);
+    let dst_cpu = h.resource("da-dst.cpu", cfg.da.cpu.capacity());
+    let fabric = h.resource("fabric", cfg.fabric.bisection_bps);
+    let cpb = 1.0 / cfg.da.tcp_bps_per_core;
+    let total = msg_bytes * iters as u64;
+    {
+        let h2 = h.clone();
+        sim.spawn(async move {
+            for _ in 0..iters {
+                let spec = FlowSpec::new(msg_bytes as f64)
+                    .using(src_cpu, cpb)
+                    .using(src_nic, 1.0)
+                    .using(fabric, 1.0)
+                    .using(dst_nic, 1.0)
+                    .using(dst_cpu, cpb)
+                    .cap(1.0 / cpb);
+                h2.transfer(spec).await;
+            }
+        });
+    }
+    let end = sim.run_to_completion();
+    to_mib_s(total as f64 / end.as_secs_f64())
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6, 9, 10, 11, 12: end-to-end CN -> ION -> DA
+// ---------------------------------------------------------------------------
+
+/// Parameters for the memory-to-memory end-to-end benchmark (§III-C,
+/// §V-A).
+#[derive(Debug, Clone, Copy)]
+pub struct EndToEndParams {
+    pub strategy: Strategy,
+    /// Total compute nodes (psets of 64; Figures 6/9/10/11 use ≤ 64,
+    /// Figure 12 scales to 1024).
+    pub compute_nodes: usize,
+    pub msg_bytes: u64,
+    pub iters_per_cn: usize,
+    /// DA sink count ("20 DA nodes are used as sinks" in Figure 12;
+    /// 1 for the single-pset figures).
+    pub da_sinks: usize,
+}
+
+/// The parallel memory-to-memory transfer benchmark: every CN streams
+/// messages through its ION to DA-node memory, connections distributed
+/// MxN over the sinks.
+pub fn run_end_to_end(cfg: &MachineConfig, p: &EndToEndParams) -> ExperimentResult {
+    run_end_to_end_opts(cfg, p, SimOptions::default())
+}
+
+/// [`run_end_to_end`] with ablation knobs.
+pub fn run_end_to_end_opts(
+    cfg: &MachineConfig,
+    p: &EndToEndParams,
+    opts: SimOptions,
+) -> ExperimentResult {
+    let mxn = MxNDistribution::new(p.compute_nodes, p.da_sinks.max(1));
+    let traces = (0..p.compute_nodes)
+        .map(|cn| {
+            let sink = mxn.sink_for(cn);
+            (0..p.iters_per_cn)
+                .map(|_| TraceStep::op(SimOp::write(p.msg_bytes, Target::Da { sink })))
+                .collect()
+        })
+        .collect();
+    run_traces_opts(cfg, p.strategy, traces, p.da_sinks.max(1), opts)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13: MADbench2 on GPFS
+// ---------------------------------------------------------------------------
+
+/// Parameters for the MADbench2 application benchmark (§V-B).
+#[derive(Debug, Clone)]
+pub struct MadbenchParams {
+    pub strategy: Strategy,
+    pub workload: madbench::MadbenchParams,
+    pub phases: Vec<madbench::Phase>,
+}
+
+impl MadbenchParams {
+    /// The paper's 64-node configuration, with the matrix count reduced
+    /// to keep simulation time reasonable (per-op geometry unchanged).
+    pub fn paper_64(strategy: Strategy, nbin: u64) -> Self {
+        MadbenchParams {
+            strategy,
+            workload: madbench::MadbenchParams::paper_64().with_nbin(nbin),
+            phases: madbench::Phase::ALL.to_vec(),
+        }
+    }
+
+    /// The paper's weak-scaled 256-node configuration.
+    pub fn paper_256(strategy: Strategy, nbin: u64) -> Self {
+        MadbenchParams {
+            strategy,
+            workload: madbench::MadbenchParams::paper_256().with_nbin(nbin),
+            phases: madbench::Phase::ALL.to_vec(),
+        }
+    }
+}
+
+/// Replay MADbench2's I/O trace against the simulated GPFS path.
+pub fn run_madbench(cfg: &MachineConfig, p: &MadbenchParams) -> ExperimentResult {
+    p.workload.validate().expect("invalid MADbench parameters");
+    let traces = (0..p.workload.nproc)
+        .map(|rank| {
+            madbench::proc_trace(&p.workload, &p.phases, rank)
+                .into_iter()
+                .map(|step| TraceStep {
+                    think: Duration::from_secs_f64(step.think_seconds),
+                    op: match step.op.kind {
+                        madbench::MbOpKind::Write => SimOp::write(step.op.bytes, Target::Storage),
+                        madbench::MbOpKind::Read => SimOp::read(step.op.bytes, Target::Storage),
+                    },
+                })
+                .collect()
+        })
+        .collect();
+    run_traces(cfg, p.strategy, traces, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::intrepid()
+    }
+
+    #[test]
+    fn collective_plateau_near_680() {
+        for strategy in [Strategy::Ciod, Strategy::Zoid] {
+            let r = run_collective(
+                &cfg(),
+                &CollectiveParams {
+                    strategy,
+                    compute_nodes: 8,
+                    msg_bytes: MIB,
+                    iters_per_cn: 40,
+                },
+            );
+            assert!(
+                (600.0..=700.0).contains(&r.mib_per_sec),
+                "{}: {}",
+                strategy.name(),
+                r.mib_per_sec
+            );
+        }
+    }
+
+    #[test]
+    fn collective_zoid_beats_ciod_slightly() {
+        let run = |s| {
+            run_collective(
+                &cfg(),
+                &CollectiveParams { strategy: s, compute_nodes: 16, msg_bytes: MIB, iters_per_cn: 40 },
+            )
+            .mib_per_sec
+        };
+        let ciod = run(Strategy::Ciod);
+        let zoid = run(Strategy::Zoid);
+        assert!(zoid > ciod, "zoid {zoid} vs ciod {ciod}");
+        // §III-A: "a 2% performance improvement over CIOD" — small, not 2x.
+        assert!(zoid / ciod < 1.15, "gap too large: {zoid} vs {ciod}");
+    }
+
+    #[test]
+    fn external_senders_match_fig5_anchors() {
+        let at = |threads| {
+            run_external_senders(&cfg(), threads, MIB, 60).mib_per_sec
+        };
+        let one = at(1);
+        assert!((one - 307.0).abs() < 12.0, "1 thread: {one}");
+        let four = at(4);
+        assert!((four - 791.0).abs() < 40.0, "4 threads: {four}");
+        let eight = at(8);
+        assert!(eight < four, "8 threads ({eight}) must decline from 4 ({four})");
+        let two = at(2);
+        assert!(two > one && two < four, "2 threads: {two}");
+    }
+
+    #[test]
+    fn da_to_da_single_thread_fast() {
+        let r = run_da_to_da(&cfg(), MIB, 50);
+        assert!((r - 1110.0).abs() < 30.0, "DA->DA {r}");
+    }
+
+    #[test]
+    fn end_to_end_ordering_at_32_cns() {
+        let run = |s| {
+            run_end_to_end(
+                &cfg(),
+                &EndToEndParams {
+                    strategy: s,
+                    compute_nodes: 32,
+                    msg_bytes: MIB,
+                    iters_per_cn: 25,
+                    da_sinks: 1,
+                },
+            )
+            .mib_per_sec
+        };
+        let ciod = run(Strategy::Ciod);
+        let zoid = run(Strategy::Zoid);
+        let sched = run(Strategy::sched_default());
+        let staged = run(Strategy::async_staged_default());
+        // Figure 9 ordering: ciod < zoid < sched < async+sched.
+        assert!(ciod < zoid, "ciod {ciod} < zoid {zoid}");
+        assert!(zoid < sched, "zoid {zoid} < sched {sched}");
+        assert!(sched < staged, "sched {sched} < staged {staged}");
+    }
+
+    #[test]
+    fn async_staging_slashes_client_observed_latency() {
+        // The paper's motivation: "the application on the CN is blocked
+        // until the I/O operation is completed" for sync modes; staging
+        // blocks only for the copy. Client-observed p50 must drop by a
+        // large factor.
+        let run = |s| {
+            run_end_to_end(
+                &cfg(),
+                &EndToEndParams {
+                    strategy: s,
+                    compute_nodes: 32,
+                    msg_bytes: MIB,
+                    iters_per_cn: 20,
+                    da_sinks: 1,
+                },
+            )
+            .latency
+        };
+        let sync = run(Strategy::sched_default());
+        let staged = run(Strategy::async_staged_default());
+        // At 32 CNs the shared tree transfer dominates both (the CN is
+        // blocked during its own transfer either way); staging removes
+        // the queue + send + wakeup tail.
+        assert!(
+            staged.mean_us < 0.90 * sync.mean_us,
+            "staged mean {}us vs sync mean {}us",
+            staged.mean_us,
+            sync.mean_us
+        );
+        assert!(staged.mean_us > 0.0 && sync.p99_us >= sync.p50_us);
+    }
+
+    #[test]
+    fn utilization_identifies_the_bottleneck() {
+        let r = run_end_to_end(
+            &cfg(),
+            &EndToEndParams {
+                strategy: Strategy::async_staged_default(),
+                compute_nodes: 32,
+                msg_bytes: MIB,
+                iters_per_cn: 20,
+                da_sinks: 1,
+            },
+        );
+        // Async staging saturates the reception side, not the NIC.
+        assert!(r.utilization.recv_path > 0.8, "{:?}", r.utilization);
+        assert!(
+            matches!(r.utilization.bottleneck(), "recv_path" | "tree_up"),
+            "{:?}",
+            r.utilization
+        );
+    }
+
+    #[test]
+    fn straggler_sink_degrades_gracefully() {
+        // 16 CNs over 4 sinks; one sink at 10% NIC capacity. The MxN
+        // distribution means only that sink's CNs stall: aggregate drops,
+        // but far less than 4x.
+        let params = EndToEndParams {
+            strategy: Strategy::async_staged_default(),
+            compute_nodes: 16,
+            msg_bytes: MIB,
+            iters_per_cn: 20,
+            da_sinks: 4,
+        };
+        let healthy = run_end_to_end_opts(&cfg(), &params, SimOptions::default());
+        let degraded = run_end_to_end_opts(
+            &cfg(),
+            &params,
+            SimOptions { slow_sink: Some((0, 0.1)), ..SimOptions::default() },
+        );
+        assert!(degraded.mib_per_sec < healthy.mib_per_sec);
+        assert!(
+            degraded.mib_per_sec > 0.3 * healthy.mib_per_sec,
+            "one slow sink of four must not collapse the aggregate: {} vs {}",
+            degraded.mib_per_sec,
+            healthy.mib_per_sec
+        );
+    }
+
+    #[test]
+    fn seeds_vary_results_and_max_of_runs_takes_best() {
+        let one = |opts: SimOptions| {
+            run_end_to_end_opts(
+                &cfg(),
+                &EndToEndParams {
+                    strategy: Strategy::Zoid,
+                    compute_nodes: 16,
+                    msg_bytes: MIB,
+                    iters_per_cn: 10,
+                    da_sinks: 1,
+                },
+                opts,
+            )
+        };
+        let a = one(SimOptions::default());
+        let b = one(SimOptions { seed: 1, ..SimOptions::default() });
+        assert_ne!(a.mib_per_sec, b.mib_per_sec, "seeds must perturb the run");
+        let best = max_of_runs(3, one);
+        assert!(best.mib_per_sec >= a.mib_per_sec.max(b.mib_per_sec) - 1e-9);
+        // Determinism: the same seed reproduces exactly.
+        let a2 = one(SimOptions::default());
+        assert_eq!(a.mib_per_sec, a2.mib_per_sec);
+    }
+
+    #[test]
+    fn madbench_runs_and_orders() {
+        let run = |s| {
+            run_madbench(&cfg(), &MadbenchParams::paper_64(s, 8)).mib_per_sec
+        };
+        let ciod = run(Strategy::Ciod);
+        let staged = run(Strategy::async_staged_default());
+        assert!(staged > ciod, "staged {staged} vs ciod {ciod}");
+    }
+}

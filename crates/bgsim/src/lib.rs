@@ -1,0 +1,32 @@
+//! # bgsim — discrete-event simulator of the BG/P I/O path
+//!
+//! Reconstructs the ALCF testbed of *Accelerating I/O Forwarding in IBM
+//! Blue Gene/P Systems* (SC 2010) on top of the [`simcore`] fluid
+//! discrete-event kernel and the [`bgp_model`] parameter model, and
+//! reruns the paper's experiments against it.
+//!
+//! The simulation is *mechanistic*: compute nodes, forwarding daemons,
+//! worker pools, and sinks are actors; the tree network, ION cores, NIC,
+//! switch fabric, DA nodes, and GPFS array are shared fluid resources.
+//! Throughput curves (who wins, where the knees fall) **emerge** from
+//! contention among actors, with a small set of calibrated constants
+//! documented in [`bgp_model::calibration`].
+//!
+//! * [`system`] — instantiates resources for a machine configuration and
+//!   provides the flow builders (tree transfer, TCP send, GPFS write...).
+//! * [`strategy`] — the four forwarding architectures under test.
+//! * [`daemon`] — ION daemon actors: handlers, shared work queue, worker
+//!   pool, staging semaphore (BML).
+//! * [`experiment`] — drivers that reproduce each figure of the paper.
+
+pub mod daemon;
+pub mod experiment;
+pub mod strategy;
+pub mod system;
+
+pub use experiment::{
+    max_of_runs, run_collective, run_da_to_da, run_end_to_end, run_end_to_end_opts, run_external_senders,
+    run_madbench, run_traces, run_traces_opts, CollectiveParams, EndToEndParams,
+    ExperimentResult, MadbenchParams, SimOptions, TraceStep, Utilization,
+};
+pub use strategy::Strategy;

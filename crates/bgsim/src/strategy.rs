@@ -1,0 +1,89 @@
+//! The forwarding architectures under test — the four curves of
+//! Figure 9.
+
+/// Which daemon architecture an experiment simulates. Mirrors
+/// `iofwd::server::ForwardingMode` so the simulated policies and the
+/// runnable daemon stay in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// IBM CIOD: process-per-client proxies behind a shared-memory copy.
+    Ciod,
+    /// ZeptoOS ZOID: thread per compute node executes its own I/O.
+    Zoid,
+    /// ZOID + I/O scheduling (shared FIFO work queue + worker pool).
+    Sched { workers: usize },
+    /// ZOID + I/O scheduling + asynchronous data staging through the BML.
+    AsyncStaged { workers: usize, bml_capacity: u64 },
+}
+
+impl Strategy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Ciod => "ciod",
+            Strategy::Zoid => "zoid",
+            Strategy::Sched { .. } => "sched",
+            Strategy::AsyncStaged { .. } => "async-staged",
+        }
+    }
+
+    /// Worker-pool size (0 for the thread/process-per-client daemons).
+    pub fn workers(&self) -> usize {
+        match self {
+            Strategy::Ciod | Strategy::Zoid => 0,
+            Strategy::Sched { workers } => *workers,
+            Strategy::AsyncStaged { workers, .. } => *workers,
+        }
+    }
+
+    /// Does the client block only for the staging copy (true) or the
+    /// whole operation (false)?
+    pub fn is_async(&self) -> bool {
+        matches!(self, Strategy::AsyncStaged { .. })
+    }
+
+    /// Process-based daemons pay process context switches.
+    pub fn is_process_based(&self) -> bool {
+        matches!(self, Strategy::Ciod)
+    }
+
+    /// The paper's default improved configuration: 4 workers (the sweet
+    /// spot of Figure 11), 512 MiB of staging memory.
+    pub fn async_staged_default() -> Strategy {
+        Strategy::AsyncStaged {
+            workers: 4,
+            bml_capacity: bgp_model::calibration::BML_DEFAULT_CAPACITY,
+        }
+    }
+
+    /// The paper's I/O-scheduling-only configuration with 4 workers.
+    pub fn sched_default() -> Strategy {
+        Strategy::Sched { workers: 4 }
+    }
+
+    /// All four mechanisms in presentation order (Figure 9's legend).
+    pub fn lineup() -> [Strategy; 4] {
+        [Strategy::Ciod, Strategy::Zoid, Strategy::sched_default(), Strategy::async_staged_default()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_flags() {
+        assert_eq!(Strategy::Ciod.name(), "ciod");
+        assert!(Strategy::Ciod.is_process_based());
+        assert!(!Strategy::Zoid.is_process_based());
+        assert!(!Strategy::Zoid.is_async());
+        assert!(Strategy::async_staged_default().is_async());
+        assert_eq!(Strategy::sched_default().workers(), 4);
+        assert_eq!(Strategy::Zoid.workers(), 0);
+    }
+
+    #[test]
+    fn lineup_order_matches_figure9() {
+        let names: Vec<_> = Strategy::lineup().iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["ciod", "zoid", "sched", "async-staged"]);
+    }
+}

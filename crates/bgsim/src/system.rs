@@ -1,0 +1,584 @@
+//! Resource instantiation and flow builders: the simulated hardware.
+//!
+//! One [`SimSystem`] holds every shared fluid resource of an experiment —
+//! per-pset tree links and ION resources, the switch fabric, DA sinks,
+//! and the GPFS array — plus builder methods that compose the right
+//! resource-usage vectors for each physical activity (receiving from the
+//! tree, memcpy on the ION, a TCP send, a GPFS write...). Daemon actors
+//! ([`crate::daemon`]) await these builders; contention does the rest.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use bgp_model::calibration;
+use bgp_model::MachineConfig;
+use simcore::fluid::FlowSpec;
+use simcore::sync::Semaphore;
+use simcore::time::Duration;
+use simcore::{ResourceId, SimHandle};
+
+use crate::strategy::Strategy;
+
+/// Where a forwarded operation's data ends up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// `/dev/null` on the ION (§III-A collective microbenchmark).
+    DevNull,
+    /// Memory of a data-analysis node (§III-C memory-to-memory path).
+    Da { sink: usize },
+    /// GPFS through the file-server nodes (§V-B MADbench2).
+    Storage,
+}
+
+/// One simulated I/O operation from a compute node.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOp {
+    pub bytes: u64,
+    pub target: Target,
+    /// True for reads (data flows ION→CN); false for writes.
+    pub is_read: bool,
+}
+
+impl SimOp {
+    pub fn write(bytes: u64, target: Target) -> SimOp {
+        SimOp { bytes, target, is_read: false }
+    }
+
+    pub fn read(bytes: u64, target: Target) -> SimOp {
+        SimOp { bytes, target, is_read: true }
+    }
+}
+
+/// Per-ION resources.
+pub struct IonResources {
+    /// Tree network, CN→ION direction (shared by the pset).
+    pub tree_up: ResourceId,
+    /// Tree network, ION→CN direction.
+    pub tree_down: ResourceId,
+    /// Aggregate reception-path service (DMA + daemon copy), with the
+    /// Figure-4 contention scaling.
+    pub recv_path: ResourceId,
+    /// The 4 PPC-450 cores, with context-switch scaling per the daemon's
+    /// thread/process architecture.
+    pub cpu: ResourceId,
+    /// 10 GbE transmit path, with the Figure-5 sender-thread contention.
+    pub nic_tx: ResourceId,
+    /// 10 GbE receive path (GPFS reads).
+    pub nic_rx: ResourceId,
+    /// This ION's share of GPFS client bandwidth.
+    pub gpfs_share: ResourceId,
+    /// Number of threads currently driving the NIC (feeds nic_tx scaling).
+    pub senders: Rc<Cell<usize>>,
+    /// Collective-network reception buffer pool (bytes). Synchronous
+    /// modes pin a buffer from reception until the external I/O is done;
+    /// async staging releases it at the BML copy (§IV).
+    pub recv_pool: Semaphore,
+}
+
+/// All shared resources of one experiment.
+pub struct SimSystem {
+    pub h: SimHandle,
+    pub cfg: MachineConfig,
+    /// Ablation knob (DESIGN.md §5): when true, the operation's
+    /// parameters ride with the data in a single message instead of the
+    /// CIOD/ZOID two-step control-then-data protocol (§V-A2), saving one
+    /// control-message latency per operation.
+    pub inline_control: bool,
+    pub ions: Vec<IonResources>,
+    /// Per-DA-sink NIC (receive) and CPU.
+    pub da_nic: Vec<ResourceId>,
+    pub da_cpu: Vec<ResourceId>,
+    /// Switch-fabric bisection.
+    pub fabric: ResourceId,
+    /// GPFS array aggregate (disks + FSN ingress).
+    pub storage_agg: ResourceId,
+}
+
+/// RAII guard bumping an ION's active-sender-thread count (feeds the
+/// Figure-5 NIC contention model).
+pub struct SenderGuard {
+    senders: Rc<Cell<usize>>,
+}
+
+impl SenderGuard {
+    pub fn enter(senders: &Rc<Cell<usize>>) -> SenderGuard {
+        senders.set(senders.get() + 1);
+        SenderGuard { senders: senders.clone() }
+    }
+}
+
+impl Drop for SenderGuard {
+    fn drop(&mut self) {
+        self.senders.set(self.senders.get() - 1);
+    }
+}
+
+impl SimSystem {
+    /// Instantiate resources for `n_ions` psets and `n_sinks` DA nodes
+    /// under the given forwarding strategy (which fixes the context-
+    /// switch model).
+    pub fn new(
+        h: SimHandle,
+        cfg: MachineConfig,
+        n_ions: usize,
+        n_sinks: usize,
+        strategy: Strategy,
+    ) -> SimSystem {
+        let _ = strategy; // context-switch costs are applied by the daemon
+        let cores = cfg.ion.cpu.cores;
+
+        let ions = (0..n_ions)
+            .map(|i| {
+                let senders = Rc::new(Cell::new(0usize));
+                let ion_spec = cfg.ion;
+                let nic_tx = {
+                    let senders = senders.clone();
+                    h.resource_scaled(
+                        &format!("ion{i}.nic_tx"),
+                        cfg.ion.nic_bps,
+                        move |_flows| {
+                            let threads = senders.get().max(1);
+                            ion_spec.nic_tx_effective(threads) / ion_spec.nic_bps
+                        },
+                    )
+                };
+                let recv_spec = cfg.ion;
+                IonResources {
+                    tree_up: h.resource(&format!("ion{i}.tree_up"), cfg.collective.raw_bandwidth),
+                    tree_down: h
+                        .resource(&format!("ion{i}.tree_down"), cfg.collective.raw_bandwidth),
+                    recv_path: h.resource_scaled(
+                        &format!("ion{i}.recv_path"),
+                        cfg.ion.recv_path_bps,
+                        move |handlers| {
+                            recv_spec.recv_path_effective(handlers) / recv_spec.recv_path_bps
+                        },
+                    ),
+                    cpu: h.resource(&format!("ion{i}.cpu"), cores as f64),
+                    nic_tx,
+                    nic_rx: h.resource(&format!("ion{i}.nic_rx"), cfg.ion.nic_bps),
+                    gpfs_share: h
+                        .resource(&format!("ion{i}.gpfs_share"), cfg.storage.per_ion_bps),
+                    senders,
+                    recv_pool: Semaphore::new(calibration::ION_RECV_POOL_OPS),
+                }
+            })
+            .collect();
+
+        let da_nic = (0..n_sinks)
+            .map(|j| h.resource(&format!("da{j}.nic"), cfg.da.nic_bps))
+            .collect();
+        let da_cpu = (0..n_sinks)
+            .map(|j| h.resource(&format!("da{j}.cpu"), cfg.da.cpu.capacity()))
+            .collect();
+        let fabric = h.resource("fabric", cfg.fabric.bisection_bps);
+        let storage_agg = h.resource("storage", cfg.storage.aggregate_bps());
+
+        SimSystem { h, cfg, inline_control: false, ions, da_nic, da_cpu, fabric, storage_agg }
+    }
+
+    /// Latency of the request's control step (step 1 of the two-step
+    /// protocol); zero when the inlined-control ablation is active.
+    pub fn request_control_latency(&self) -> Duration {
+        if self.inline_control {
+            Duration::ZERO
+        } else {
+            self.cfg.collective.one_way_latency
+        }
+    }
+
+    /// One-way latency of the completion/ack message back to the CN.
+    pub fn control_latency(&self) -> Duration {
+        self.cfg.collective.one_way_latency
+    }
+
+    /// Fixed per-operation daemon CPU work (decode, dispatch, ack), in
+    /// core-seconds.
+    pub fn per_op_cpu(&self, strategy: Strategy) -> f64 {
+        let mut cost = calibration::ION_PER_OP_CPU;
+        if strategy.is_process_based() {
+            cost += calibration::CIOD_EXTRA_PER_OP_CPU;
+        }
+        cost
+    }
+
+    /// Burn `seconds` of one ION core (per-op bookkeeping).
+    pub async fn cpu_op(&self, ion: usize, seconds: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        let spec = FlowSpec::new(seconds).using(self.ions[ion].cpu, 1.0).cap(1.0);
+        self.h.transfer(spec).await;
+    }
+
+    /// Data movement CN→ION over the tree: consumes tree bandwidth (with
+    /// the per-packet header overhead), the reception path, and handler
+    /// CPU. Capped by the CN's injection rate and the handler thread's
+    /// single-core copy rate.
+    pub async fn tree_up(&self, ion: usize, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let r = &self.ions[ion];
+        let wire = self.cfg.collective.wire_bytes_per_payload_byte();
+        let recv_cpb = calibration::ION_TREE_RECV_CPB;
+        let cap = self.cfg.cn.inject_bps.min(1.0 / recv_cpb);
+        let spec = FlowSpec::new(bytes as f64)
+            .using(r.tree_up, wire)
+            .using(r.recv_path, 1.0)
+            .using(r.cpu, recv_cpb)
+            .cap(cap);
+        self.h.transfer(spec).await;
+    }
+
+    /// Data movement ION→CN over the tree (read responses).
+    pub async fn tree_down(&self, ion: usize, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let r = &self.ions[ion];
+        let wire = self.cfg.collective.wire_bytes_per_payload_byte();
+        let send_cpb = calibration::ION_TREE_RECV_CPB; // symmetric copy cost
+        let spec = FlowSpec::new(bytes as f64)
+            .using(r.tree_down, wire)
+            .using(r.cpu, send_cpb)
+            .cap(1.0 / send_cpb);
+        self.h.transfer(spec).await;
+    }
+
+    /// An on-ION memory copy of `bytes` at `cpb` core-seconds/byte
+    /// (CIOD's shared-memory hop, the BML staging copy).
+    pub async fn ion_copy(&self, ion: usize, bytes: u64, cpb: f64) {
+        if bytes == 0 {
+            return;
+        }
+        let spec = FlowSpec::new(bytes as f64)
+            .using(self.ions[ion].cpu, cpb)
+            .cap(1.0 / cpb);
+        self.h.transfer(spec).await;
+    }
+
+    /// TCP send ION→DA sink. `worker` is the sending thread's pseudo-
+    /// resource when the sender multiplexes several flows (worker pool);
+    /// single-flow senders pass `None` and are capped at one core's rate.
+    /// `cpb_mult` is the context-switch inflation for the daemon's
+    /// sending-thread count ([`bgp_model::node::CtxSwitchModel::inflation`]).
+    /// The caller must hold a [`SenderGuard`].
+    pub async fn send_da(
+        &self,
+        ion: usize,
+        sink: usize,
+        bytes: u64,
+        worker: Option<ResourceId>,
+        cpb_mult: f64,
+    ) {
+        if bytes == 0 {
+            return;
+        }
+        let r = &self.ions[ion];
+        let send_cpb = self.cfg.ion.tcp_send_cpb() * cpb_mult;
+        let da_cpb = 1.0 / self.cfg.da.tcp_bps_per_core;
+        let mut spec = FlowSpec::new(bytes as f64)
+            .using(r.cpu, send_cpb)
+            .using(r.nic_tx, 1.0)
+            .using(self.fabric, 1.0)
+            .using(self.da_nic[sink], 1.0)
+            .using(self.da_cpu[sink], da_cpb);
+        spec = match worker {
+            Some(w) => spec.using(w, send_cpb),
+            None => spec.cap(1.0 / send_cpb),
+        };
+        self.h.transfer(spec).await;
+    }
+
+    /// GPFS write ION→FSN array.
+    pub async fn send_storage(
+        &self,
+        ion: usize,
+        bytes: u64,
+        worker: Option<ResourceId>,
+        cpb_mult: f64,
+    ) {
+        if bytes == 0 {
+            return;
+        }
+        self.h.sleep(self.cfg.storage.per_op_latency).await;
+        let r = &self.ions[ion];
+        let cpb = calibration::GPFS_CLIENT_CPB * cpb_mult;
+        let mut spec = FlowSpec::new(bytes as f64)
+            .using(r.cpu, cpb)
+            .using(r.nic_tx, 1.0)
+            .using(self.fabric, 1.0)
+            .using(r.gpfs_share, 1.0)
+            .using(self.storage_agg, 1.0);
+        spec = match worker {
+            Some(w) => spec.using(w, cpb),
+            None => spec.cap(1.0 / cpb),
+        };
+        self.h.transfer(spec).await;
+    }
+
+    /// GPFS read FSN array→ION.
+    pub async fn read_storage(
+        &self,
+        ion: usize,
+        bytes: u64,
+        worker: Option<ResourceId>,
+        cpb_mult: f64,
+    ) {
+        if bytes == 0 {
+            return;
+        }
+        self.h.sleep(self.cfg.storage.per_op_latency).await;
+        let r = &self.ions[ion];
+        let cpb = calibration::GPFS_CLIENT_CPB * cpb_mult;
+        let mut spec = FlowSpec::new(bytes as f64)
+            .using(r.cpu, cpb)
+            .using(r.nic_rx, 1.0)
+            .using(self.fabric, 1.0)
+            .using(r.gpfs_share, 1.0)
+            .using(self.storage_agg, 1.0);
+        spec = match worker {
+            Some(w) => spec.using(w, cpb),
+            None => spec.cap(1.0 / cpb),
+        };
+        self.h.transfer(spec).await;
+    }
+
+    /// A fresh worker-thread pseudo-resource: capacity of one core-
+    /// second per second, so everything a worker multiplexes shares one
+    /// core's throughput.
+    pub fn worker_thread_resource(&self, ion: usize, w: usize) -> ResourceId {
+        self.h.resource(&format!("ion{ion}.worker{w}"), 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_model::units::{mib_s, to_mib_s, MIB};
+    use simcore::Sim;
+    use std::cell::Cell as StdCell;
+
+    fn throughput_of(bytes: u64, ns: u64) -> f64 {
+        to_mib_s(bytes as f64 / (ns as f64 / 1e9))
+    }
+
+    #[test]
+    fn single_cn_tree_up_is_injection_capped() {
+        let mut sim = Sim::new();
+        let sys = Rc::new(SimSystem::new(
+            sim.handle(),
+            MachineConfig::intrepid(),
+            1,
+            1,
+            Strategy::Zoid,
+        ));
+        let done = Rc::new(StdCell::new(0u64));
+        {
+            let sys = sys.clone();
+            let done = done.clone();
+            sim.spawn(async move {
+                sys.tree_up(0, 64 * MIB).await;
+                done.set(sys.h.now().as_nanos());
+            });
+        }
+        sim.run_to_completion();
+        let rate = throughput_of(64 * MIB, done.get());
+        // One CN cannot exceed its injection cap (~210 MiB/s).
+        assert!((rate - 210.0).abs() < 5.0, "rate {rate}");
+    }
+
+    #[test]
+    fn many_cns_tree_up_reaches_paper_plateau() {
+        let mut sim = Sim::new();
+        let sys = Rc::new(SimSystem::new(
+            sim.handle(),
+            MachineConfig::intrepid(),
+            1,
+            1,
+            Strategy::Zoid,
+        ));
+        let total = 8 * 32 * MIB;
+        for _ in 0..8 {
+            let sys = sys.clone();
+            sim.spawn(async move {
+                sys.tree_up(0, 32 * MIB).await;
+            });
+        }
+        let end = sim.run_to_completion();
+        let rate = throughput_of(total, end.as_nanos());
+        // §III-A: ~680 MiB/s sustained with 4-8 CNs (93 % of 731).
+        assert!((640.0..=700.0).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn single_send_is_cpu_bound_at_307() {
+        let mut sim = Sim::new();
+        let sys = Rc::new(SimSystem::new(
+            sim.handle(),
+            MachineConfig::intrepid(),
+            1,
+            1,
+            Strategy::Zoid,
+        ));
+        {
+            let sys = sys.clone();
+            sim.spawn(async move {
+                let _g = SenderGuard::enter(&sys.ions[0].senders);
+                sys.send_da(0, 0, 64 * MIB, None, 1.0).await;
+            });
+        }
+        let end = sim.run_to_completion();
+        let rate = throughput_of(64 * MIB, end.as_nanos());
+        // Figure 5: one thread sustains 307 MiB/s.
+        assert!((rate - 307.0).abs() < 5.0, "rate {rate}");
+    }
+
+    #[test]
+    fn four_senders_hit_791_ceiling() {
+        let mut sim = Sim::new();
+        let sys = Rc::new(SimSystem::new(
+            sim.handle(),
+            MachineConfig::intrepid(),
+            1,
+            1,
+            Strategy::Zoid,
+        ));
+        for _ in 0..4 {
+            let sys = sys.clone();
+            sim.spawn(async move {
+                let _g = SenderGuard::enter(&sys.ions[0].senders);
+                sys.send_da(0, 0, 64 * MIB, None, 1.0).await;
+            });
+        }
+        let end = sim.run_to_completion();
+        let rate = throughput_of(4 * 64 * MIB, end.as_nanos());
+        // Figure 5: 4 threads peak at ~791 MiB/s (NIC-path contention).
+        assert!((rate - 791.0).abs() < 25.0, "rate {rate}");
+    }
+
+    #[test]
+    fn storage_write_is_gpfs_capped() {
+        let mut sim = Sim::new();
+        let sys = Rc::new(SimSystem::new(
+            sim.handle(),
+            MachineConfig::intrepid(),
+            1,
+            1,
+            Strategy::Zoid,
+        ));
+        for _ in 0..8 {
+            let sys = sys.clone();
+            sim.spawn(async move {
+                let _g = SenderGuard::enter(&sys.ions[0].senders);
+                sys.send_storage(0, 64 * MIB, None, 1.0).await;
+            });
+        }
+        let end = sim.run_to_completion();
+        let rate = throughput_of(8 * 64 * MIB, end.as_nanos());
+        let cap = to_mib_s(bgp_model::calibration::GPFS_PER_ION_BPS);
+        assert!(rate <= cap * 1.01, "rate {rate} exceeds per-ION GPFS cap {cap}");
+        assert!(rate > cap * 0.8, "rate {rate} far below cap {cap}");
+    }
+
+    #[test]
+    fn cpu_op_takes_requested_time() {
+        let mut sim = Sim::new();
+        let sys = Rc::new(SimSystem::new(
+            sim.handle(),
+            MachineConfig::intrepid(),
+            1,
+            1,
+            Strategy::Zoid,
+        ));
+        {
+            let sys = sys.clone();
+            sim.spawn(async move {
+                sys.cpu_op(0, 0.001).await;
+            });
+        }
+        let end = sim.run_to_completion();
+        assert_eq!(end.as_micros(), 1000);
+    }
+
+    #[test]
+    fn worker_resource_caps_multiplexed_sends_at_one_core() {
+        let mut sim = Sim::new();
+        let sys = Rc::new(SimSystem::new(
+            sim.handle(),
+            MachineConfig::intrepid(),
+            1,
+            1,
+            Strategy::sched_default(),
+        ));
+        let w = sys.worker_thread_resource(0, 0);
+        // One worker multiplexing 4 sends still moves only ~307 MiB/s.
+        for _ in 0..4 {
+            let sys = sys.clone();
+            sim.spawn(async move {
+                let _g = SenderGuard::enter(&sys.ions[0].senders);
+                sys.send_da(0, 0, 16 * MIB, Some(w), 1.0).await;
+            });
+        }
+        let end = sim.run_to_completion();
+        let rate = throughput_of(4 * 16 * MIB, end.as_nanos());
+        assert!((rate - 307.0).abs() < 10.0, "rate {rate}");
+    }
+
+    #[test]
+    fn ciod_system_uses_process_context_model() {
+        // Just ensure construction differs without panicking; behaviour
+        // is covered by the experiment-level tests.
+        let sim = Sim::new();
+        let _sys =
+            SimSystem::new(sim.handle(), MachineConfig::intrepid(), 2, 3, Strategy::Ciod);
+    }
+
+    #[test]
+    fn sender_guard_counts() {
+        let senders = Rc::new(StdCell::new(0usize));
+        {
+            let _a = SenderGuard::enter(&senders);
+            assert_eq!(senders.get(), 1);
+            {
+                let _b = SenderGuard::enter(&senders);
+                assert_eq!(senders.get(), 2);
+            }
+            assert_eq!(senders.get(), 1);
+        }
+        assert_eq!(senders.get(), 0);
+    }
+
+    #[test]
+    fn zero_byte_ops_complete_instantly() {
+        let mut sim = Sim::new();
+        let sys = Rc::new(SimSystem::new(
+            sim.handle(),
+            MachineConfig::intrepid(),
+            1,
+            1,
+            Strategy::Zoid,
+        ));
+        {
+            let sys = sys.clone();
+            sim.spawn(async move {
+                sys.tree_up(0, 0).await;
+                sys.send_da(0, 0, 0, None, 1.0).await;
+                sys.ion_copy(0, 0, 1e-9).await;
+                assert_eq!(sys.h.now().as_nanos(), 0);
+            });
+        }
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn tree_up_throughput_uses_header_math() {
+        // The plateau must sit at effective_peak * (recv efficiency),
+        // never above the header-limited 731 MiB/s.
+        let cfg = MachineConfig::intrepid();
+        let peak = to_mib_s(cfg.collective.effective_peak());
+        assert!(peak < 740.0);
+        assert!(to_mib_s(mib_s(680.0)) < peak);
+    }
+}

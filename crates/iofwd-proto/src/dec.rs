@@ -1,0 +1,122 @@
+//! Decoding primitives: the mirror of [`crate::enc`], with every failure
+//! reported as a [`DecodeError`] — malformed input never panics.
+
+use crate::error::DecodeError;
+
+/// Cursor over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error if any bytes remain unread.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated { needed: n, available: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// String with u32 length prefix, bounded by `max` bytes.
+    pub fn str(&mut self, max: u64) -> Result<String, DecodeError> {
+        let len = self.u32()? as u64;
+        if len > max {
+            return Err(DecodeError::TooLarge { what: "string", len, max });
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enc::Writer;
+    use bytes::BytesMut;
+
+    #[test]
+    fn roundtrip_integers() {
+        let mut buf = BytesMut::new();
+        {
+            let mut w = Writer::new(&mut buf);
+            w.u8(7);
+            w.u16(300);
+            w.u32(70_000);
+            w.u64(1 << 40);
+            w.i64(-12345);
+        }
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.i64().unwrap(), -12345);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(DecodeError::Truncated { needed: 4, available: 2 })));
+    }
+
+    #[test]
+    fn oversized_string_rejected() {
+        let mut buf = BytesMut::new();
+        Writer::new(&mut buf).str("hello");
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.str(3), Err(DecodeError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let buf = [2u8, 0, 0, 0, 0xFF, 0xFE];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.str(100), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.finish(), Err(DecodeError::TrailingBytes(3)));
+    }
+}

@@ -1,0 +1,74 @@
+//! Encoding primitives: little-endian integers and length-prefixed
+//! strings into a [`bytes::BytesMut`].
+
+use bytes::{BufMut, BytesMut};
+
+/// Thin wrapper adding the protocol's composite encodings on top of
+/// `BytesMut`.
+pub struct Writer<'a> {
+    buf: &'a mut BytesMut,
+}
+
+impl<'a> Writer<'a> {
+    pub fn new(buf: &'a mut BytesMut) -> Self {
+        Writer { buf }
+    }
+
+    #[inline]
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    #[inline]
+    pub fn u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    #[inline]
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    #[inline]
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    #[inline]
+    pub fn i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// String with a u32 length prefix.
+    pub fn str(&mut self, s: &str) {
+        assert!(s.len() <= u32::MAX as usize, "string too long for wire");
+        self.u32(s.len() as u32);
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Raw bytes, no prefix (caller carries the length elsewhere).
+    pub fn raw(&mut self, b: &[u8]) {
+        self.buf.put_slice(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_layout() {
+        let mut buf = BytesMut::new();
+        let mut w = Writer::new(&mut buf);
+        w.u16(0x1234);
+        w.u32(0xAABBCCDD);
+        assert_eq!(&buf[..], &[0x34, 0x12, 0xDD, 0xCC, 0xBB, 0xAA]);
+    }
+
+    #[test]
+    fn string_prefix() {
+        let mut buf = BytesMut::new();
+        Writer::new(&mut buf).str("hi");
+        assert_eq!(&buf[..], &[2, 0, 0, 0, b'h', b'i']);
+    }
+}

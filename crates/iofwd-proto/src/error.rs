@@ -1,0 +1,209 @@
+//! Error model: errno-style codes crossing the wire, plus decode errors.
+
+use std::fmt;
+
+/// Errno-style error codes carried in responses. The forwarding daemon
+/// executes POSIX calls on behalf of the compute node, so the error
+/// vocabulary is POSIX's. Values are stable wire constants, not the
+//  host's errno numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Errno {
+    /// Operation not permitted.
+    Perm = 1,
+    /// No such file or directory.
+    NoEnt = 2,
+    /// I/O error.
+    Io = 5,
+    /// Bad file descriptor.
+    BadF = 9,
+    /// Out of memory (e.g. BML staging memory exhausted and the daemon
+    /// chose to fail rather than block).
+    NoMem = 12,
+    /// Permission denied.
+    Access = 13,
+    /// File exists.
+    Exist = 17,
+    /// Is a directory.
+    IsDir = 21,
+    /// Invalid argument.
+    Inval = 22,
+    /// Too many open files on the ION.
+    MFile = 24,
+    /// No space left on device.
+    NoSpc = 28,
+    /// Illegal seek.
+    SPipe = 29,
+    /// Broken pipe (socket sink went away).
+    Pipe = 32,
+    /// Message too long for the protocol's limits.
+    MsgSize = 90,
+    /// Connection reset by peer.
+    ConnReset = 104,
+    /// Operation would exceed protocol limits or unsupported opcode.
+    NoSys = 38,
+}
+
+impl Errno {
+    /// Parse a wire value.
+    pub fn from_wire(v: u32) -> Option<Errno> {
+        use Errno::*;
+        Some(match v {
+            1 => Perm,
+            2 => NoEnt,
+            5 => Io,
+            9 => BadF,
+            12 => NoMem,
+            13 => Access,
+            17 => Exist,
+            21 => IsDir,
+            22 => Inval,
+            24 => MFile,
+            28 => NoSpc,
+            29 => SPipe,
+            32 => Pipe,
+            90 => MsgSize,
+            104 => ConnReset,
+            38 => NoSys,
+            _ => return None,
+        })
+    }
+
+    pub fn to_wire(self) -> u32 {
+        self as u32
+    }
+
+    /// Map a host I/O error to the closest wire errno.
+    pub fn from_io(e: &std::io::Error) -> Errno {
+        use std::io::ErrorKind::*;
+        match e.kind() {
+            NotFound => Errno::NoEnt,
+            PermissionDenied => Errno::Access,
+            AlreadyExists => Errno::Exist,
+            InvalidInput => Errno::Inval,
+            BrokenPipe => Errno::Pipe,
+            ConnectionReset | ConnectionAborted => Errno::ConnReset,
+            OutOfMemory => Errno::NoMem,
+            _ => Errno::Io,
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Errno::Perm => "EPERM",
+            Errno::NoEnt => "ENOENT",
+            Errno::Io => "EIO",
+            Errno::BadF => "EBADF",
+            Errno::NoMem => "ENOMEM",
+            Errno::Access => "EACCES",
+            Errno::Exist => "EEXIST",
+            Errno::IsDir => "EISDIR",
+            Errno::Inval => "EINVAL",
+            Errno::MFile => "EMFILE",
+            Errno::NoSpc => "ENOSPC",
+            Errno::SPipe => "ESPIPE",
+            Errno::Pipe => "EPIPE",
+            Errno::MsgSize => "EMSGSIZE",
+            Errno::ConnReset => "ECONNRESET",
+            Errno::NoSys => "ENOSYS",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Errno {}
+
+/// Errors produced while decoding wire bytes. Decoding never panics on
+/// malformed input; every failure is one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the field required.
+    Truncated { needed: usize, available: usize },
+    /// Magic number mismatch: not an iofwd frame.
+    BadMagic(u16),
+    /// Protocol version we do not speak.
+    BadVersion(u8),
+    /// Unknown frame kind discriminant.
+    BadFrameKind(u8),
+    /// Unknown opcode discriminant.
+    BadOpCode(u8),
+    /// Unknown errno wire value.
+    BadErrno(u32),
+    /// Unknown enum discriminant (whence, flags, ...).
+    BadEnum(&'static str, u64),
+    /// Declared length exceeds protocol limits.
+    TooLarge { what: &'static str, len: u64, max: u64 },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Trailing bytes after a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, available } => {
+                write!(f, "truncated input: needed {needed} bytes, had {available}")
+            }
+            DecodeError::BadMagic(m) => write!(f, "bad magic 0x{m:04x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::BadFrameKind(k) => write!(f, "unknown frame kind {k}"),
+            DecodeError::BadOpCode(c) => write!(f, "unknown opcode {c}"),
+            DecodeError::BadErrno(e) => write!(f, "unknown errno value {e}"),
+            DecodeError::BadEnum(what, v) => write!(f, "bad {what} discriminant {v}"),
+            DecodeError::TooLarge { what, len, max } => {
+                write!(f, "{what} length {len} exceeds limit {max}")
+            }
+            DecodeError::BadUtf8 => f.write_str("string field is not valid UTF-8"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_wire_roundtrip() {
+        for e in [
+            Errno::Perm,
+            Errno::NoEnt,
+            Errno::Io,
+            Errno::BadF,
+            Errno::NoMem,
+            Errno::Access,
+            Errno::Exist,
+            Errno::IsDir,
+            Errno::Inval,
+            Errno::MFile,
+            Errno::NoSpc,
+            Errno::SPipe,
+            Errno::Pipe,
+            Errno::MsgSize,
+            Errno::ConnReset,
+            Errno::NoSys,
+        ] {
+            assert_eq!(Errno::from_wire(e.to_wire()), Some(e));
+        }
+        assert_eq!(Errno::from_wire(9999), None);
+    }
+
+    #[test]
+    fn io_error_mapping() {
+        use std::io::{Error, ErrorKind};
+        assert_eq!(Errno::from_io(&Error::new(ErrorKind::NotFound, "x")), Errno::NoEnt);
+        assert_eq!(Errno::from_io(&Error::new(ErrorKind::PermissionDenied, "x")), Errno::Access);
+        assert_eq!(Errno::from_io(&Error::new(ErrorKind::Other, "x")), Errno::Io);
+    }
+
+    #[test]
+    fn display_is_posix_spelling() {
+        assert_eq!(Errno::NoEnt.to_string(), "ENOENT");
+        assert_eq!(Errno::BadF.to_string(), "EBADF");
+    }
+}

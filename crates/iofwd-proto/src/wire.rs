@@ -1,0 +1,244 @@
+//! Frame layout: the unit shipped over a transport.
+//!
+//! ```text
+//! +--------+---------+------+-----------+---------+----------+----------+
+//! | magic  | version | kind | client_id |   seq   | meta_len | data_len |
+//! |  u16   |   u8    |  u8  |    u32    |   u64   |   u32    |   u32    |
+//! +--------+---------+------+-----------+---------+----------+----------+
+//! |                meta (encoded Request/Response)                      |
+//! +---------------------------------------------------------------------+
+//! |                        data (bulk payload)                          |
+//! +---------------------------------------------------------------------+
+//! ```
+//!
+//! The 24-byte header + separate meta/data sections realise the paper's
+//! two-step protocol (§V-A2): a server reads the header and meta (the
+//! "function parameters"), dispatches, and only then consumes the bulk
+//! data. On BG/P the 16-byte forwarding header the paper describes plays
+//! the same role at packet granularity; [`bgp_model`'s collective model]
+//! accounts for that per-packet overhead when simulating.
+
+use bytes::{Bytes, BytesMut};
+
+use crate::dec::Reader;
+use crate::enc::Writer;
+use crate::error::DecodeError;
+use crate::op::{Request, Response};
+
+/// Frame magic: "IF" little-endian.
+pub const MAGIC: u16 = 0x4649;
+/// Protocol version this crate speaks.
+pub const VERSION: u8 = 1;
+/// Fixed frame header size in bytes.
+pub const FRAME_HEADER_BYTES: usize = 24;
+/// Maximum metadata section size. Paths are ≤ 4 KiB; parameters are tiny.
+pub const MAX_META_LEN: u64 = 64 * 1024;
+/// Maximum bulk payload per frame: 64 MiB. Larger application I/O is
+/// split by the client (as CIOD/ZOID segment large transfers when staging
+/// memory is bounded, §IV).
+pub const MAX_DATA_LEN: u64 = 64 * 1024 * 1024;
+
+/// What the frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    Request = 1,
+    Response = 2,
+}
+
+impl FrameKind {
+    fn from_wire(v: u8) -> Result<FrameKind, DecodeError> {
+        match v {
+            1 => Ok(FrameKind::Request),
+            2 => Ok(FrameKind::Response),
+            _ => Err(DecodeError::BadFrameKind(v)),
+        }
+    }
+}
+
+/// One protocol frame. `data` is zero-copy (`Bytes`): servers route the
+/// payload into staging buffers without re-serialising it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub kind: FrameKind,
+    /// Which compute-node client this belongs to (assigned at handshake).
+    pub client_id: u32,
+    /// Request sequence number; responses echo the request's.
+    pub seq: u64,
+    pub meta: Bytes,
+    pub data: Bytes,
+}
+
+impl Frame {
+    /// Build a request frame.
+    pub fn request(client_id: u32, seq: u64, req: &Request, data: Bytes) -> Frame {
+        debug_assert_eq!(
+            req.expected_payload(),
+            data.len() as u64,
+            "payload length must match the request's declared length"
+        );
+        let mut meta = BytesMut::new();
+        req.encode(&mut meta);
+        Frame { kind: FrameKind::Request, client_id, seq, meta: meta.freeze(), data }
+    }
+
+    /// Build a response frame.
+    pub fn response(client_id: u32, seq: u64, resp: &Response, data: Bytes) -> Frame {
+        let mut meta = BytesMut::new();
+        resp.encode(&mut meta);
+        Frame { kind: FrameKind::Response, client_id, seq, meta: meta.freeze(), data }
+    }
+
+    /// Decode this frame's metadata as a request.
+    pub fn decode_request(&self) -> Result<Request, DecodeError> {
+        Request::decode(&self.meta)
+    }
+
+    /// Decode this frame's metadata as a response.
+    pub fn decode_response(&self) -> Result<Response, DecodeError> {
+        Response::decode(&self.meta)
+    }
+
+    /// Total encoded size.
+    pub fn wire_len(&self) -> usize {
+        FRAME_HEADER_BYTES + self.meta.len() + self.data.len()
+    }
+
+    /// Serialise into a single buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        {
+            let mut w = Writer::new(&mut buf);
+            w.u16(MAGIC);
+            w.u8(VERSION);
+            w.u8(self.kind as u8);
+            w.u32(self.client_id);
+            w.u64(self.seq);
+            w.u32(self.meta.len() as u32);
+            w.u32(self.data.len() as u32);
+            w.raw(&self.meta);
+            w.raw(&self.data);
+        }
+        buf.freeze()
+    }
+
+    /// Parse one frame from the front of `buf`. Returns the frame and the
+    /// number of bytes consumed, or `Ok(None)` if more bytes are needed
+    /// (streaming decode for TCP).
+    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
+        if buf.len() < FRAME_HEADER_BYTES {
+            return Ok(None);
+        }
+        let mut r = Reader::new(buf);
+        let magic = r.u16()?;
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let kind = FrameKind::from_wire(r.u8()?)?;
+        let client_id = r.u32()?;
+        let seq = r.u64()?;
+        let meta_len = r.u32()? as u64;
+        let data_len = r.u32()? as u64;
+        if meta_len > MAX_META_LEN {
+            return Err(DecodeError::TooLarge { what: "meta", len: meta_len, max: MAX_META_LEN });
+        }
+        if data_len > MAX_DATA_LEN {
+            return Err(DecodeError::TooLarge { what: "data", len: data_len, max: MAX_DATA_LEN });
+        }
+        let total = FRAME_HEADER_BYTES + (meta_len + data_len) as usize;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let meta = Bytes::copy_from_slice(&buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + meta_len as usize]);
+        let data = Bytes::copy_from_slice(
+            &buf[FRAME_HEADER_BYTES + meta_len as usize..total],
+        );
+        Ok(Some((Frame { kind, client_id, seq, meta, data }, total)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::Fd;
+
+    fn sample_frame() -> Frame {
+        Frame::request(
+            7,
+            99,
+            &Request::Write { fd: Fd(4), len: 5 },
+            Bytes::from_static(b"hello"),
+        )
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = sample_frame();
+        let wire = f.encode();
+        let (g, consumed) = Frame::decode(&wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(g, f);
+        assert_eq!(g.decode_request().unwrap(), Request::Write { fd: Fd(4), len: 5 });
+    }
+
+    #[test]
+    fn streaming_decode_needs_more_bytes() {
+        let wire = sample_frame().encode();
+        for cut in [0, 1, FRAME_HEADER_BYTES - 1, FRAME_HEADER_BYTES, wire.len() - 1] {
+            assert_eq!(Frame::decode(&wire[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn two_frames_back_to_back() {
+        let f = sample_frame();
+        let mut wire = f.encode().to_vec();
+        wire.extend_from_slice(&f.encode());
+        let (g1, used1) = Frame::decode(&wire).unwrap().unwrap();
+        let (g2, used2) = Frame::decode(&wire[used1..]).unwrap().unwrap();
+        assert_eq!(g1, g2);
+        assert_eq!(used1 + used2, wire.len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut wire = sample_frame().encode().to_vec();
+        wire[0] = 0;
+        assert!(matches!(Frame::decode(&wire), Err(DecodeError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut wire = sample_frame().encode().to_vec();
+        wire[2] = 9;
+        assert!(matches!(Frame::decode(&wire), Err(DecodeError::BadVersion(9))));
+    }
+
+    #[test]
+    fn oversized_data_len_rejected_without_allocating() {
+        let mut wire = sample_frame().encode().to_vec();
+        // Corrupt data_len (offset 20..24) to a huge value.
+        wire[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(Frame::decode(&wire), Err(DecodeError::TooLarge { what: "data", .. })));
+    }
+
+    #[test]
+    fn response_frame_roundtrip() {
+        let f = Frame::response(3, 12, &Response::Ok { ret: 5 }, Bytes::from_static(b"abcde"));
+        let wire = f.encode();
+        let (g, _) = Frame::decode(&wire).unwrap().unwrap();
+        assert_eq!(g.kind, FrameKind::Response);
+        assert_eq!(g.decode_response().unwrap(), Response::Ok { ret: 5 });
+        assert_eq!(&g.data[..], b"abcde");
+    }
+
+    #[test]
+    fn header_is_24_bytes() {
+        let f = Frame::request(0, 0, &Request::Shutdown, Bytes::new());
+        assert_eq!(f.wire_len(), FRAME_HEADER_BYTES + 1 /* opcode byte */);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the wire protocol: arbitrary messages always
+//! roundtrip, and arbitrary bytes never panic the decoder.
+
+use bytes::{Bytes, BytesMut};
+use iofwd_proto::{
+    Errno, Fd, FileStat, Frame, OpId, OpenFlags, Request, Response, Whence,
+};
+use proptest::prelude::*;
+
+fn arb_fd() -> impl Strategy<Value = Fd> {
+    (0u32..10_000).prop_map(Fd)
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    // Paths up to the protocol's 4096-byte limit, including non-ASCII.
+    proptest::string::string_regex("[a-zA-Z0-9_/\\.\\-é☃]{0,256}").unwrap()
+}
+
+fn arb_flags() -> impl Strategy<Value = OpenFlags> {
+    (0u32..8, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(am, c, t, a)| {
+        let mut f = OpenFlags(am & 0x3);
+        if c {
+            f = f | OpenFlags::CREATE;
+        }
+        if t {
+            f = f | OpenFlags::TRUNC;
+        }
+        if a {
+            f = f | OpenFlags::APPEND;
+        }
+        f
+    })
+}
+
+fn arb_whence() -> impl Strategy<Value = Whence> {
+    prop_oneof![Just(Whence::Set), Just(Whence::Cur), Just(Whence::End)]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (arb_path(), arb_flags(), any::<u32>())
+            .prop_map(|(path, flags, mode)| Request::Open { path, flags, mode }),
+        (arb_path(), any::<u16>()).prop_map(|(host, port)| Request::Connect { host, port }),
+        arb_fd().prop_map(|fd| Request::Close { fd }),
+        (arb_fd(), 0u64..(1 << 40)).prop_map(|(fd, len)| Request::Write { fd, len }),
+        (arb_fd(), any::<u64>(), 0u64..(1 << 40))
+            .prop_map(|(fd, offset, len)| Request::Pwrite { fd, offset, len }),
+        (arb_fd(), 0u64..(1 << 40)).prop_map(|(fd, len)| Request::Read { fd, len }),
+        (arb_fd(), any::<u64>(), 0u64..(1 << 40))
+            .prop_map(|(fd, offset, len)| Request::Pread { fd, offset, len }),
+        (arb_fd(), any::<i64>(), arb_whence())
+            .prop_map(|(fd, offset, whence)| Request::Lseek { fd, offset, whence }),
+        arb_fd().prop_map(|fd| Request::Fsync { fd }),
+        arb_path().prop_map(|path| Request::Stat { path }),
+        arb_fd().prop_map(|fd| Request::Fstat { fd }),
+        arb_path().prop_map(|path| Request::Unlink { path }),
+        (arb_fd(), any::<u64>()).prop_map(|(fd, len)| Request::Ftruncate { fd, len }),
+        (arb_path(), any::<u32>()).prop_map(|(path, mode)| Request::Mkdir { path, mode }),
+        arb_path().prop_map(|path| Request::Readdir { path }),
+        Just(Request::Shutdown),
+    ]
+}
+
+proptest! {
+    /// Directory-entry payloads roundtrip for arbitrary names and never
+    /// panic on corruption.
+    #[test]
+    fn dirents_roundtrip_and_survive_noise(
+        names in proptest::collection::vec("[^\u{0}]{0,64}", 0..32),
+        noise in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let wire = iofwd_proto::encode_dirents(&names);
+        prop_assert_eq!(iofwd_proto::decode_dirents(&wire).unwrap(), names);
+        let _ = iofwd_proto::decode_dirents(&noise);
+    }
+}
+
+fn arb_errno() -> impl Strategy<Value = Errno> {
+    prop_oneof![
+        Just(Errno::Perm),
+        Just(Errno::NoEnt),
+        Just(Errno::Io),
+        Just(Errno::BadF),
+        Just(Errno::NoMem),
+        Just(Errno::Access),
+        Just(Errno::Exist),
+        Just(Errno::IsDir),
+        Just(Errno::Inval),
+        Just(Errno::MFile),
+        Just(Errno::NoSpc),
+        Just(Errno::SPipe),
+        Just(Errno::Pipe),
+        Just(Errno::MsgSize),
+        Just(Errno::ConnReset),
+        Just(Errno::NoSys),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        any::<i64>().prop_map(|ret| Response::Ok { ret }),
+        any::<u64>().prop_map(|op| Response::Staged { op: OpId(op) }),
+        arb_errno().prop_map(|errno| Response::Err { errno }),
+        (any::<u64>(), arb_errno())
+            .prop_map(|(op, errno)| Response::DeferredErr { op: OpId(op), errno }),
+        (any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>()).prop_map(
+            |(size, mode, mtime_ns, is_dir)| Response::StatOk {
+                st: FileStat { size, mode, mtime_ns, is_dir }
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrip(req in arb_request()) {
+        let mut buf = BytesMut::new();
+        req.encode(&mut buf);
+        prop_assert_eq!(Request::decode(&buf).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip(resp in arb_response()) {
+        let mut buf = BytesMut::new();
+        resp.encode(&mut buf);
+        prop_assert_eq!(Response::decode(&buf).unwrap(), resp);
+    }
+
+    #[test]
+    fn frame_roundtrip(req in arb_request(), client in any::<u32>(), seq in any::<u64>(),
+                       payload in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        // Attach a payload consistent with the request.
+        let (req, data) = match req {
+            Request::Write { fd, .. } =>
+                (Request::Write { fd, len: payload.len() as u64 }, Bytes::from(payload)),
+            Request::Pwrite { fd, offset, .. } =>
+                (Request::Pwrite { fd, offset, len: payload.len() as u64 }, Bytes::from(payload)),
+            other => (other, Bytes::new()),
+        };
+        let f = Frame::request(client, seq, &req, data);
+        let wire = f.encode();
+        let (g, used) = Frame::decode(&wire).unwrap().unwrap();
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(&g, &f);
+        prop_assert_eq!(g.decode_request().unwrap(), req);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any outcome (frame, needs-more, error) is fine; panics are not.
+        let _ = Frame::decode(&bytes);
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_corrupted_frame(
+        req in arb_request(),
+        flip_at in any::<proptest::sample::Index>(),
+        flip_to in any::<u8>(),
+    ) {
+        // Clamp write payloads to something allocatable; the declared
+        // length is what the decoder sees either way.
+        let req = match req {
+            Request::Write { fd, len } => Request::Write { fd, len: len.min(4096) },
+            Request::Pwrite { fd, offset, len } =>
+                Request::Pwrite { fd, offset, len: len.min(4096) },
+            other => other,
+        };
+        let data_len = req.expected_payload() as usize;
+        let f = Frame::request(1, 1, &req, Bytes::from(vec![0u8; data_len]));
+        let mut wire = f.encode().to_vec();
+        let i = flip_at.index(wire.len());
+        wire[i] = flip_to;
+        let _ = Frame::decode(&wire);
+    }
+
+    #[test]
+    fn truncated_frame_is_none_or_error(req in arb_request(), cut_frac in 0.0f64..1.0) {
+        let req = match req {
+            Request::Write { fd, len } => Request::Write { fd, len: len.min(4096) },
+            Request::Pwrite { fd, offset, len } =>
+                Request::Pwrite { fd, offset, len: len.min(4096) },
+            other => other,
+        };
+        let data_len = req.expected_payload() as usize;
+        let f = Frame::request(1, 1, &req, Bytes::from(vec![7u8; data_len]));
+        let wire = f.encode();
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        match Frame::decode(&wire[..cut]) {
+            Ok(None) | Err(_) => {}
+            Ok(Some((_, used))) => prop_assert!(used <= cut),
+        }
+    }
+}

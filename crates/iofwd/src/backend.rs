@@ -1,0 +1,911 @@
+//! I/O backends: where the ION daemon actually performs the forwarded
+//! operations.
+//!
+//! On Intrepid the ION executes calls against GPFS (through the
+//! file-server nodes) or streams to analysis nodes over sockets; here the
+//! destination is a [`Backend`]:
+//!
+//! * [`FileBackend`] — a real filesystem subtree (the GPFS stand-in).
+//! * [`NullBackend`] — `/dev/null` semantics, used by the paper's
+//!   collective-network microbenchmark (§III-A: "read and write data to
+//!   /dev/null").
+//! * [`MemSinkBackend`] — named in-memory objects; `connect` gives a
+//!   byte-counting socket sink, the "memory-to-memory transfer to a DA
+//!   node" of §III-C.
+//! * [`ThrottledBackend`] — wraps another backend behind a bandwidth
+//!   limit and per-op latency, for demonstrating staging overlap on a
+//!   workstation.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Component, Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use iofwd_proto::{Errno, FileStat, OpenFlags, Whence};
+use parking_lot::Mutex;
+
+/// An open file or socket object on the ION side. One exists per open
+/// descriptor; the server serialises access per descriptor.
+pub trait BackendObject: Send {
+    /// Write at `offset` (or the current position if `None`). Returns
+    /// bytes written.
+    fn write_at(&mut self, offset: Option<u64>, data: &[u8]) -> Result<u64, Errno>;
+    /// Read up to `len` bytes at `offset` (or current position).
+    fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno>;
+    /// Reposition; returns the new offset.
+    fn seek(&mut self, offset: i64, whence: Whence) -> Result<u64, Errno>;
+    /// Flush to stable storage / the socket.
+    fn sync(&mut self) -> Result<(), Errno>;
+    /// Metadata.
+    fn fstat(&mut self) -> Result<FileStat, Errno>;
+    /// Truncate (or zero-extend) to `len` bytes. Sockets refuse.
+    fn truncate(&mut self, _len: u64) -> Result<(), Errno> {
+        Err(Errno::Inval)
+    }
+}
+
+/// A destination for forwarded I/O.
+pub trait Backend: Send + Sync + 'static {
+    fn open(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        mode: u32,
+    ) -> Result<Box<dyn BackendObject>, Errno>;
+
+    /// Open a streaming connection (DA-node sink). Backends without
+    /// socket support refuse.
+    fn connect(&self, _host: &str, _port: u16) -> Result<Box<dyn BackendObject>, Errno> {
+        Err(Errno::NoSys)
+    }
+
+    fn stat(&self, path: &str) -> Result<FileStat, Errno>;
+
+    fn unlink(&self, path: &str) -> Result<(), Errno>;
+
+    /// Create a directory. Backends without a namespace accept silently.
+    fn mkdir(&self, _path: &str, _mode: u32) -> Result<(), Errno> {
+        Ok(())
+    }
+
+    /// List the entries directly under `path`.
+    fn readdir(&self, path: &str) -> Result<Vec<String>, Errno> {
+        let _ = path;
+        Ok(Vec::new())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NullBackend
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct NullCounters {
+    bytes: AtomicU64,
+    ops: AtomicU64,
+}
+
+/// `/dev/null` semantics: writes are discarded (and counted), reads
+/// return EOF. The paper's §III-A microbenchmark target.
+#[derive(Default)]
+pub struct NullBackend {
+    counters: Arc<NullCounters>,
+}
+
+impl NullBackend {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total payload bytes accepted and discarded.
+    pub fn bytes_written(&self) -> u64 {
+        self.counters.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total data operations served.
+    pub fn ops(&self) -> u64 {
+        self.counters.ops.load(Ordering::Relaxed)
+    }
+}
+
+struct NullObject {
+    counters: Arc<NullCounters>,
+}
+
+impl BackendObject for NullObject {
+    fn write_at(&mut self, _offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
+        self.counters.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.counters.ops.fetch_add(1, Ordering::Relaxed);
+        Ok(data.len() as u64)
+    }
+
+    fn read_at(&mut self, _offset: Option<u64>, _len: u64) -> Result<Vec<u8>, Errno> {
+        self.counters.ops.fetch_add(1, Ordering::Relaxed);
+        Ok(Vec::new()) // EOF, as /dev/null
+    }
+
+    fn seek(&mut self, _offset: i64, _whence: Whence) -> Result<u64, Errno> {
+        Ok(0)
+    }
+
+    fn sync(&mut self) -> Result<(), Errno> {
+        Ok(())
+    }
+
+    fn fstat(&mut self) -> Result<FileStat, Errno> {
+        Ok(FileStat { size: 0, mode: 0o666, mtime_ns: 0, is_dir: false })
+    }
+
+    fn truncate(&mut self, _len: u64) -> Result<(), Errno> {
+        Ok(())
+    }
+}
+
+impl Backend for NullBackend {
+    fn open(
+        &self,
+        _path: &str,
+        _flags: OpenFlags,
+        _mode: u32,
+    ) -> Result<Box<dyn BackendObject>, Errno> {
+        Ok(Box::new(NullObject { counters: self.counters.clone() }))
+    }
+
+    fn connect(&self, _host: &str, _port: u16) -> Result<Box<dyn BackendObject>, Errno> {
+        Ok(Box::new(NullObject { counters: self.counters.clone() }))
+    }
+
+    fn stat(&self, _path: &str) -> Result<FileStat, Errno> {
+        Ok(FileStat { size: 0, mode: 0o666, mtime_ns: 0, is_dir: false })
+    }
+
+    fn unlink(&self, _path: &str) -> Result<(), Errno> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemSinkBackend
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct MemStore {
+    files: Mutex<HashMap<String, Arc<Mutex<Vec<u8>>>>>,
+    dirs: Mutex<std::collections::BTreeSet<String>>,
+    socket_bytes: AtomicU64,
+}
+
+/// Normalise a path to `/a/b/c` form (single leading slash, no trailing).
+fn norm(path: &str) -> String {
+    let mut out = String::from("/");
+    for seg in path.split('/').filter(|s| !s.is_empty()) {
+        if out.len() > 1 {
+            out.push('/');
+        }
+        out.push_str(seg);
+    }
+    out
+}
+
+/// In-memory backend: files are named byte vectors, `connect` yields a
+/// byte-counting sink standing in for a DA-node socket.
+#[derive(Default, Clone)]
+pub struct MemSinkBackend {
+    store: Arc<MemStore>,
+}
+
+impl MemSinkBackend {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Contents of a stored file, if it exists.
+    pub fn contents(&self, path: &str) -> Option<Vec<u8>> {
+        let files = self.store.files.lock();
+        files.get(path).map(|f| f.lock().clone())
+    }
+
+    /// Bytes that have arrived over `connect` sinks — the DA node's
+    /// received-byte counter in memory-to-memory benchmarks.
+    pub fn socket_bytes(&self) -> u64 {
+        self.store.socket_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of stored files.
+    pub fn file_count(&self) -> usize {
+        self.store.files.lock().len()
+    }
+}
+
+struct MemFileObject {
+    data: Arc<Mutex<Vec<u8>>>,
+    pos: u64,
+    flags: OpenFlags,
+}
+
+impl MemFileObject {
+    fn effective_offset(&mut self, offset: Option<u64>) -> u64 {
+        offset.unwrap_or(self.pos)
+    }
+}
+
+impl BackendObject for MemFileObject {
+    fn write_at(&mut self, offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
+        if !self.flags.writable() {
+            return Err(Errno::BadF);
+        }
+        let positional = offset.is_some();
+        let off = self.effective_offset(offset) as usize;
+        let mut file = self.data.lock();
+        if file.len() < off + data.len() {
+            file.resize(off + data.len(), 0);
+        }
+        file[off..off + data.len()].copy_from_slice(data);
+        drop(file);
+        if !positional {
+            self.pos += data.len() as u64;
+        }
+        Ok(data.len() as u64)
+    }
+
+    fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno> {
+        if !self.flags.readable() {
+            return Err(Errno::BadF);
+        }
+        let positional = offset.is_some();
+        let off = self.effective_offset(offset) as usize;
+        let file = self.data.lock();
+        let end = (off + len as usize).min(file.len());
+        let out = if off >= file.len() { Vec::new() } else { file[off..end].to_vec() };
+        drop(file);
+        if !positional {
+            self.pos += out.len() as u64;
+        }
+        Ok(out)
+    }
+
+    fn seek(&mut self, offset: i64, whence: Whence) -> Result<u64, Errno> {
+        let len = self.data.lock().len() as i64;
+        let base = match whence {
+            Whence::Set => 0,
+            Whence::Cur => self.pos as i64,
+            Whence::End => len,
+        };
+        let target = base.checked_add(offset).ok_or(Errno::Inval)?;
+        if target < 0 {
+            return Err(Errno::Inval);
+        }
+        self.pos = target as u64;
+        Ok(self.pos)
+    }
+
+    fn sync(&mut self) -> Result<(), Errno> {
+        Ok(())
+    }
+
+    fn fstat(&mut self) -> Result<FileStat, Errno> {
+        Ok(FileStat {
+            size: self.data.lock().len() as u64,
+            mode: 0o644,
+            mtime_ns: 0,
+            is_dir: false,
+        })
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), Errno> {
+        if !self.flags.writable() {
+            return Err(Errno::BadF);
+        }
+        self.data.lock().resize(len as usize, 0);
+        Ok(())
+    }
+}
+
+struct MemSocketObject {
+    store: Arc<MemStore>,
+    sent: u64,
+}
+
+impl BackendObject for MemSocketObject {
+    fn write_at(&mut self, _offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
+        self.store.socket_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.sent += data.len() as u64;
+        Ok(data.len() as u64)
+    }
+
+    fn read_at(&mut self, _offset: Option<u64>, _len: u64) -> Result<Vec<u8>, Errno> {
+        Ok(Vec::new())
+    }
+
+    fn seek(&mut self, _offset: i64, _whence: Whence) -> Result<u64, Errno> {
+        Err(Errno::SPipe) // sockets do not seek
+    }
+
+    fn sync(&mut self) -> Result<(), Errno> {
+        Ok(())
+    }
+
+    fn fstat(&mut self) -> Result<FileStat, Errno> {
+        Ok(FileStat { size: self.sent, mode: 0o600, mtime_ns: 0, is_dir: false })
+    }
+}
+
+impl Backend for MemSinkBackend {
+    fn open(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        _mode: u32,
+    ) -> Result<Box<dyn BackendObject>, Errno> {
+        let mut files = self.store.files.lock();
+        let exists = files.contains_key(path);
+        if !exists && !flags.contains(OpenFlags::CREATE) {
+            return Err(Errno::NoEnt);
+        }
+        let data = files.entry(path.to_owned()).or_default().clone();
+        drop(files);
+        if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+            data.lock().clear();
+        }
+        let pos = if flags.contains(OpenFlags::APPEND) { data.lock().len() as u64 } else { 0 };
+        Ok(Box::new(MemFileObject { data, pos, flags }))
+    }
+
+    fn connect(&self, _host: &str, _port: u16) -> Result<Box<dyn BackendObject>, Errno> {
+        Ok(Box::new(MemSocketObject { store: self.store.clone(), sent: 0 }))
+    }
+
+    fn stat(&self, path: &str) -> Result<FileStat, Errno> {
+        let files = self.store.files.lock();
+        let data = files.get(path).cloned().ok_or(Errno::NoEnt)?;
+        drop(files);
+        let size = data.lock().len() as u64;
+        Ok(FileStat { size, mode: 0o644, mtime_ns: 0, is_dir: false })
+    }
+
+    fn unlink(&self, path: &str) -> Result<(), Errno> {
+        let mut files = self.store.files.lock();
+        files.remove(path).map(|_| ()).ok_or(Errno::NoEnt)
+    }
+
+    fn mkdir(&self, path: &str, _mode: u32) -> Result<(), Errno> {
+        let p = norm(path);
+        let mut dirs = self.store.dirs.lock();
+        if !dirs.insert(p) {
+            return Err(Errno::Exist);
+        }
+        Ok(())
+    }
+
+    fn readdir(&self, path: &str) -> Result<Vec<String>, Errno> {
+        let prefix = {
+            let p = norm(path);
+            if p == "/" { p } else { p + "/" }
+        };
+        let mut out = std::collections::BTreeSet::new();
+        let child_of = |full: &str| -> Option<String> {
+            let rest = full.strip_prefix(&prefix)?;
+            if rest.is_empty() {
+                return None;
+            }
+            Some(rest.split('/').next().unwrap().to_owned())
+        };
+        for name in self.store.files.lock().keys() {
+            if let Some(c) = child_of(&norm(name)) {
+                out.insert(c);
+            }
+        }
+        for d in self.store.dirs.lock().iter() {
+            if let Some(c) = child_of(d) {
+                out.insert(c);
+            }
+        }
+        Ok(out.into_iter().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileBackend
+// ---------------------------------------------------------------------------
+
+/// Backend over a real filesystem subtree. All forwarded paths are
+/// resolved inside `root`; `..` components are rejected so a client
+/// cannot escape the sandbox.
+pub struct FileBackend {
+    root: PathBuf,
+}
+
+impl FileBackend {
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        FileBackend { root: root.into() }
+    }
+
+    fn resolve(&self, path: &str) -> Result<PathBuf, Errno> {
+        let rel = Path::new(path);
+        let mut out = self.root.clone();
+        for comp in rel.components() {
+            match comp {
+                Component::Normal(c) => out.push(c),
+                Component::RootDir | Component::CurDir => {}
+                Component::ParentDir | Component::Prefix(_) => return Err(Errno::Access),
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct FileObject {
+    file: File,
+}
+
+fn stat_of(meta: &std::fs::Metadata) -> FileStat {
+    let mtime_ns = meta
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    FileStat {
+        size: meta.len(),
+        mode: 0o644,
+        mtime_ns,
+        is_dir: meta.is_dir(),
+    }
+}
+
+impl BackendObject for FileObject {
+    fn write_at(&mut self, offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
+        let res = match offset {
+            Some(off) => {
+                self.file.seek(SeekFrom::Start(off)).map_err(|e| Errno::from_io(&e))?;
+                self.file.write_all(data)
+            }
+            None => self.file.write_all(data),
+        };
+        res.map_err(|e| Errno::from_io(&e))?;
+        Ok(data.len() as u64)
+    }
+
+    fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno> {
+        if let Some(off) = offset {
+            self.file.seek(SeekFrom::Start(off)).map_err(|e| Errno::from_io(&e))?;
+        }
+        let mut buf = vec![0u8; len as usize];
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.file.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) => return Err(Errno::from_io(&e)),
+            }
+        }
+        buf.truncate(filled);
+        Ok(buf)
+    }
+
+    fn seek(&mut self, offset: i64, whence: Whence) -> Result<u64, Errno> {
+        let pos = match whence {
+            Whence::Set => {
+                if offset < 0 {
+                    return Err(Errno::Inval);
+                }
+                SeekFrom::Start(offset as u64)
+            }
+            Whence::Cur => SeekFrom::Current(offset),
+            Whence::End => SeekFrom::End(offset),
+        };
+        self.file.seek(pos).map_err(|e| Errno::from_io(&e))
+    }
+
+    fn sync(&mut self) -> Result<(), Errno> {
+        self.file.sync_all().map_err(|e| Errno::from_io(&e))
+    }
+
+    fn fstat(&mut self) -> Result<FileStat, Errno> {
+        let meta = self.file.metadata().map_err(|e| Errno::from_io(&e))?;
+        Ok(stat_of(&meta))
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), Errno> {
+        self.file.set_len(len).map_err(|e| Errno::from_io(&e))
+    }
+}
+
+impl Backend for FileBackend {
+    fn open(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        _mode: u32,
+    ) -> Result<Box<dyn BackendObject>, Errno> {
+        let full = self.resolve(path)?;
+        if let Some(parent) = full.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| Errno::from_io(&e))?;
+        }
+        let mut opts = OpenOptions::new();
+        opts.read(flags.readable())
+            .write(flags.writable())
+            .create(flags.contains(OpenFlags::CREATE))
+            .truncate(flags.contains(OpenFlags::TRUNC) && flags.writable())
+            .append(flags.contains(OpenFlags::APPEND));
+        let file = opts.open(&full).map_err(|e| Errno::from_io(&e))?;
+        Ok(Box::new(FileObject { file }))
+    }
+
+    fn stat(&self, path: &str) -> Result<FileStat, Errno> {
+        let full = self.resolve(path)?;
+        let meta = std::fs::metadata(&full).map_err(|e| Errno::from_io(&e))?;
+        Ok(stat_of(&meta))
+    }
+
+    fn unlink(&self, path: &str) -> Result<(), Errno> {
+        let full = self.resolve(path)?;
+        std::fs::remove_file(&full).map_err(|e| Errno::from_io(&e))
+    }
+
+    fn mkdir(&self, path: &str, _mode: u32) -> Result<(), Errno> {
+        let full = self.resolve(path)?;
+        std::fs::create_dir(&full).map_err(|e| Errno::from_io(&e))
+    }
+
+    fn readdir(&self, path: &str) -> Result<Vec<String>, Errno> {
+        let full = self.resolve(path)?;
+        let mut out: Vec<String> = std::fs::read_dir(&full)
+            .map_err(|e| Errno::from_io(&e))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionBackend
+// ---------------------------------------------------------------------------
+
+/// Wraps a backend and fails every *data* operation after the first
+/// `ok_ops` with the configured errno. Used to exercise the deferred-
+/// error path of asynchronous staging (§IV: "Errors are passed to the
+/// application on subsequent operations on the descriptor").
+pub struct FaultInjectionBackend<B> {
+    inner: Arc<B>,
+    ok_ops: Arc<AtomicU64>,
+    errno: Errno,
+}
+
+impl<B: Backend> FaultInjectionBackend<B> {
+    /// Allow `ok_ops` data operations to succeed, then fail the rest.
+    pub fn new(inner: Arc<B>, ok_ops: u64, errno: Errno) -> Self {
+        FaultInjectionBackend { inner, ok_ops: Arc::new(AtomicU64::new(ok_ops)), errno }
+    }
+
+    /// Re-arm the failure budget.
+    pub fn set_remaining_ok(&self, ok_ops: u64) {
+        self.ok_ops.store(ok_ops, Ordering::SeqCst);
+    }
+}
+
+struct FaultObject {
+    inner: Box<dyn BackendObject>,
+    ok_ops: Arc<AtomicU64>,
+    errno: Errno,
+}
+
+impl FaultObject {
+    fn charge(&self) -> Result<(), Errno> {
+        // Decrement the shared budget; fail once exhausted.
+        let mut cur = self.ok_ops.load(Ordering::SeqCst);
+        loop {
+            if cur == 0 {
+                return Err(self.errno);
+            }
+            match self.ok_ops.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl BackendObject for FaultObject {
+    fn write_at(&mut self, offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
+        self.charge()?;
+        self.inner.write_at(offset, data)
+    }
+
+    fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno> {
+        self.charge()?;
+        self.inner.read_at(offset, len)
+    }
+
+    fn seek(&mut self, offset: i64, whence: Whence) -> Result<u64, Errno> {
+        self.inner.seek(offset, whence)
+    }
+
+    fn sync(&mut self) -> Result<(), Errno> {
+        self.inner.sync()
+    }
+
+    fn fstat(&mut self) -> Result<FileStat, Errno> {
+        self.inner.fstat()
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), Errno> {
+        self.inner.truncate(len)
+    }
+}
+
+impl<B: Backend> Backend for FaultInjectionBackend<B> {
+    fn open(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        mode: u32,
+    ) -> Result<Box<dyn BackendObject>, Errno> {
+        let inner = self.inner.open(path, flags, mode)?;
+        Ok(Box::new(FaultObject { inner, ok_ops: self.ok_ops.clone(), errno: self.errno }))
+    }
+
+    fn connect(&self, host: &str, port: u16) -> Result<Box<dyn BackendObject>, Errno> {
+        let inner = self.inner.connect(host, port)?;
+        Ok(Box::new(FaultObject { inner, ok_ops: self.ok_ops.clone(), errno: self.errno }))
+    }
+
+    fn stat(&self, path: &str) -> Result<FileStat, Errno> {
+        self.inner.stat(path)
+    }
+
+    fn unlink(&self, path: &str) -> Result<(), Errno> {
+        self.inner.unlink(path)
+    }
+
+    fn mkdir(&self, path: &str, mode: u32) -> Result<(), Errno> {
+        self.inner.mkdir(path, mode)
+    }
+
+    fn readdir(&self, path: &str) -> Result<Vec<String>, Errno> {
+        self.inner.readdir(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThrottledBackend
+// ---------------------------------------------------------------------------
+
+/// Wraps a backend behind a bandwidth limit and a fixed per-operation
+/// latency — a slow storage system or thin network for wall-clock
+/// demonstrations of asynchronous staging overlap.
+///
+/// All objects opened through one `ThrottledBackend` share a single
+/// token-bucket pacer, so concurrent descriptors contend for the device
+/// as they would on real hardware.
+pub struct ThrottledBackend<B> {
+    inner: Arc<B>,
+    pacer: Arc<dyn Fn(usize) + Send + Sync>,
+}
+
+impl<B: Backend> ThrottledBackend<B> {
+    pub fn new(inner: Arc<B>, bytes_per_sec: f64, per_op: Duration) -> Self {
+        assert!(bytes_per_sec > 0.0);
+        let free_at = Mutex::new(Instant::now());
+        let pacer = Arc::new(move |bytes: usize| {
+            // The device is busy for `per_op + bytes/bandwidth`; callers
+            // queue behind its next free instant.
+            let wait = {
+                let mut f = free_at.lock();
+                let now = Instant::now();
+                let start = (*f).max(now);
+                let busy = per_op + Duration::from_secs_f64(bytes as f64 / bytes_per_sec);
+                let done = start + busy;
+                *f = done;
+                done.saturating_duration_since(now)
+            };
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+        });
+        ThrottledBackend { inner, pacer }
+    }
+}
+
+struct ThrottledObject {
+    inner: Box<dyn BackendObject>,
+    pacer: Arc<dyn Fn(usize) + Send + Sync>,
+}
+
+impl BackendObject for ThrottledObject {
+    fn write_at(&mut self, offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
+        (self.pacer)(data.len());
+        self.inner.write_at(offset, data)
+    }
+
+    fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno> {
+        (self.pacer)(len as usize);
+        self.inner.read_at(offset, len)
+    }
+
+    fn seek(&mut self, offset: i64, whence: Whence) -> Result<u64, Errno> {
+        self.inner.seek(offset, whence)
+    }
+
+    fn sync(&mut self) -> Result<(), Errno> {
+        (self.pacer)(0);
+        self.inner.sync()
+    }
+
+    fn fstat(&mut self) -> Result<FileStat, Errno> {
+        self.inner.fstat()
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), Errno> {
+        self.inner.truncate(len)
+    }
+}
+
+impl<B: Backend> Backend for ThrottledBackend<B> {
+    fn open(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        mode: u32,
+    ) -> Result<Box<dyn BackendObject>, Errno> {
+        let inner = self.inner.open(path, flags, mode)?;
+        Ok(Box::new(ThrottledObject { inner, pacer: self.pacer.clone() }))
+    }
+
+    fn connect(&self, host: &str, port: u16) -> Result<Box<dyn BackendObject>, Errno> {
+        let inner = self.inner.connect(host, port)?;
+        Ok(Box::new(ThrottledObject { inner, pacer: self.pacer.clone() }))
+    }
+
+    fn stat(&self, path: &str) -> Result<FileStat, Errno> {
+        self.inner.stat(path)
+    }
+
+    fn unlink(&self, path: &str) -> Result<(), Errno> {
+        self.inner.unlink(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_counts_and_discards() {
+        let b = NullBackend::new();
+        let mut obj = b.open("/dev/null", OpenFlags::WRONLY, 0).unwrap();
+        assert_eq!(obj.write_at(None, b"abcdef").unwrap(), 6);
+        assert_eq!(obj.read_at(None, 100).unwrap(), Vec::<u8>::new());
+        assert_eq!(b.bytes_written(), 6);
+        assert_eq!(b.ops(), 2);
+    }
+
+    #[test]
+    fn memsink_write_read_roundtrip() {
+        let b = MemSinkBackend::new();
+        let mut w = b
+            .open("/f", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+            .unwrap();
+        w.write_at(None, b"hello").unwrap();
+        w.write_at(None, b" world").unwrap();
+        let mut r = b.open("/f", OpenFlags::RDONLY, 0).unwrap();
+        assert_eq!(r.read_at(None, 64).unwrap(), b"hello world");
+        assert_eq!(b.contents("/f").unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn memsink_positional_io() {
+        let b = MemSinkBackend::new();
+        let mut f = b
+            .open("/p", OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+            .unwrap();
+        f.write_at(Some(4), b"abcd").unwrap();
+        assert_eq!(f.fstat().unwrap().size, 8);
+        assert_eq!(f.read_at(Some(0), 8).unwrap(), b"\0\0\0\0abcd");
+        // Positional ops must not disturb the cursor.
+        f.write_at(None, b"XY").unwrap();
+        assert_eq!(f.read_at(Some(0), 2).unwrap(), b"XY");
+    }
+
+    #[test]
+    fn memsink_open_semantics() {
+        let b = MemSinkBackend::new();
+        assert_eq!(b.open("/missing", OpenFlags::RDONLY, 0).err(), Some(Errno::NoEnt));
+        b.open("/t", OpenFlags::WRONLY | OpenFlags::CREATE, 0)
+            .unwrap()
+            .write_at(None, b"12345")
+            .unwrap();
+        // TRUNC empties.
+        let _ = b
+            .open("/t", OpenFlags::WRONLY | OpenFlags::TRUNC, 0)
+            .unwrap();
+        assert_eq!(b.contents("/t").unwrap(), b"");
+        // APPEND starts at end.
+        b.open("/t", OpenFlags::WRONLY, 0).unwrap().write_at(None, b"ab").unwrap();
+        let mut a = b.open("/t", OpenFlags::WRONLY | OpenFlags::APPEND, 0).unwrap();
+        a.write_at(None, b"cd").unwrap();
+        assert_eq!(b.contents("/t").unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn memsink_socket_counts() {
+        let b = MemSinkBackend::new();
+        let mut s = b.connect("da-node-3", 9000).unwrap();
+        s.write_at(None, &[0u8; 1024]).unwrap();
+        s.write_at(None, &[0u8; 1024]).unwrap();
+        assert_eq!(b.socket_bytes(), 2048);
+        assert_eq!(s.seek(0, Whence::Set).err(), Some(Errno::SPipe));
+    }
+
+    #[test]
+    fn memsink_unlink_and_stat() {
+        let b = MemSinkBackend::new();
+        b.open("/u", OpenFlags::WRONLY | OpenFlags::CREATE, 0)
+            .unwrap()
+            .write_at(None, b"xyz")
+            .unwrap();
+        assert_eq!(b.stat("/u").unwrap().size, 3);
+        b.unlink("/u").unwrap();
+        assert_eq!(b.stat("/u").err(), Some(Errno::NoEnt));
+        assert_eq!(b.unlink("/u").err(), Some(Errno::NoEnt));
+    }
+
+    #[test]
+    fn memsink_readonly_rejects_write() {
+        let b = MemSinkBackend::new();
+        b.open("/r", OpenFlags::WRONLY | OpenFlags::CREATE, 0).unwrap();
+        let mut r = b.open("/r", OpenFlags::RDONLY, 0).unwrap();
+        assert_eq!(r.write_at(None, b"no").err(), Some(Errno::BadF));
+    }
+
+    #[test]
+    fn memsink_seek_whences() {
+        let b = MemSinkBackend::new();
+        let mut f = b.open("/s", OpenFlags::RDWR | OpenFlags::CREATE, 0).unwrap();
+        f.write_at(None, b"0123456789").unwrap();
+        assert_eq!(f.seek(2, Whence::Set).unwrap(), 2);
+        assert_eq!(f.seek(3, Whence::Cur).unwrap(), 5);
+        assert_eq!(f.seek(-4, Whence::End).unwrap(), 6);
+        assert_eq!(f.read_at(None, 2).unwrap(), b"67");
+        assert_eq!(f.seek(-100, Whence::Set).err(), Some(Errno::Inval));
+    }
+
+    #[test]
+    fn file_backend_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("iofwd-test-{}", std::process::id()));
+        let b = FileBackend::new(&dir);
+        let mut f = b
+            .open("sub/data.bin", OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+            .unwrap();
+        f.write_at(None, b"filedata").unwrap();
+        f.sync().unwrap();
+        assert_eq!(f.read_at(Some(4), 4).unwrap(), b"data");
+        assert_eq!(b.stat("sub/data.bin").unwrap().size, 8);
+        b.unlink("sub/data.bin").unwrap();
+        assert_eq!(b.stat("sub/data.bin").err(), Some(Errno::NoEnt));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_blocks_escape() {
+        let b = FileBackend::new("/tmp/iofwd-root");
+        assert_eq!(b.stat("../etc/passwd").err(), Some(Errno::Access));
+        assert!(b.open("../../x", OpenFlags::WRONLY | OpenFlags::CREATE, 0).is_err());
+    }
+
+    #[test]
+    fn throttled_backend_paces() {
+        let inner = Arc::new(MemSinkBackend::new());
+        // 1 MiB/s: a 256 KiB write should take ≥ 200 ms.
+        let b = ThrottledBackend::new(inner, (1 << 20) as f64, Duration::ZERO);
+        let mut f = b.open("/slow", OpenFlags::WRONLY | OpenFlags::CREATE, 0).unwrap();
+        let t0 = Instant::now();
+        f.write_at(None, &vec![0u8; 256 * 1024]).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(200));
+    }
+}

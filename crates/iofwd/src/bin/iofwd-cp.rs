@@ -1,0 +1,117 @@
+//! `iofwd-cp` — copy files through an I/O-forwarding daemon.
+//!
+//! ```text
+//! iofwd-cp put LOCAL  ADDR REMOTE     # upload through the daemon
+//! iofwd-cp get ADDR REMOTE  LOCAL     # download through the daemon
+//! iofwd-cp stat ADDR REMOTE           # forwarded stat
+//! ```
+//!
+//! Example against a local daemon:
+//!
+//! ```text
+//! iofwdd --listen 127.0.0.1:9331 --root /tmp/ion &
+//! iofwd-cp put ./data.bin 127.0.0.1:9331 /incoming/data.bin
+//! ```
+
+use std::io::{Read, Write};
+use std::time::Instant;
+
+use iofwd::client::Client;
+use iofwd::transport::tcp::TcpConn;
+use iofwd_proto::OpenFlags;
+
+const CHUNK: usize = 1 << 20;
+
+fn die(msg: &str) -> ! {
+    eprintln!("iofwd-cp: {msg}");
+    std::process::exit(2);
+}
+
+fn connect(addr: &str) -> Client {
+    let conn = TcpConn::connect(addr)
+        .unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+    Client::connect(Box::new(conn))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("put") if args.len() == 4 => put(&args[1], &args[2], &args[3]),
+        Some("get") if args.len() == 4 => get(&args[1], &args[2], &args[3]),
+        Some("stat") if args.len() == 3 => stat(&args[1], &args[2]),
+        _ => die("usage: iofwd-cp put LOCAL ADDR REMOTE | get ADDR REMOTE LOCAL | stat ADDR REMOTE"),
+    }
+}
+
+fn put(local: &str, addr: &str, remote: &str) {
+    let mut src =
+        std::fs::File::open(local).unwrap_or_else(|e| die(&format!("open {local}: {e}")));
+    let mut client = connect(addr);
+    let fd = client
+        .open(remote, OpenFlags::WRONLY | OpenFlags::CREATE | OpenFlags::TRUNC, 0o644)
+        .unwrap_or_else(|e| die(&format!("remote open {remote}: {e}")));
+    let mut buf = vec![0u8; CHUNK];
+    let mut total = 0u64;
+    let t0 = Instant::now();
+    loop {
+        let n = src.read(&mut buf).unwrap_or_else(|e| die(&format!("read {local}: {e}")));
+        if n == 0 {
+            break;
+        }
+        client
+            .write(fd, &buf[..n])
+            .unwrap_or_else(|e| die(&format!("forwarded write: {e}")));
+        total += n as u64;
+    }
+    client.fsync(fd).unwrap_or_else(|e| die(&format!("fsync (staged writes): {e}")));
+    client.close(fd).unwrap_or_else(|e| die(&format!("close: {e}")));
+    let _ = client.shutdown();
+    report("put", total, t0, client.stats().staged_writes);
+}
+
+fn get(addr: &str, remote: &str, local: &str) {
+    let mut client = connect(addr);
+    let fd = client
+        .open(remote, OpenFlags::RDONLY, 0)
+        .unwrap_or_else(|e| die(&format!("remote open {remote}: {e}")));
+    let mut dst =
+        std::fs::File::create(local).unwrap_or_else(|e| die(&format!("create {local}: {e}")));
+    let mut total = 0u64;
+    let t0 = Instant::now();
+    loop {
+        let data = client
+            .read(fd, CHUNK as u64)
+            .unwrap_or_else(|e| die(&format!("forwarded read: {e}")));
+        if data.is_empty() {
+            break;
+        }
+        dst.write_all(&data).unwrap_or_else(|e| die(&format!("write {local}: {e}")));
+        total += data.len() as u64;
+    }
+    client.close(fd).unwrap_or_else(|e| die(&format!("close: {e}")));
+    let _ = client.shutdown();
+    report("get", total, t0, 0);
+}
+
+fn stat(addr: &str, remote: &str) {
+    let mut client = connect(addr);
+    let st = client.stat(remote).unwrap_or_else(|e| die(&format!("stat {remote}: {e}")));
+    let _ = client.shutdown();
+    println!(
+        "{remote}: {} bytes, mode {:o}, mtime {} ns{}",
+        st.size,
+        st.mode,
+        st.mtime_ns,
+        if st.is_dir { ", directory" } else { "" }
+    );
+}
+
+fn report(verb: &str, bytes: u64, t0: Instant, staged: u64) {
+    let secs = t0.elapsed().as_secs_f64();
+    let mib = bytes as f64 / (1 << 20) as f64;
+    eprintln!(
+        "iofwd-cp: {verb} {mib:.1} MiB in {secs:.2}s ({:.1} MiB/s{})",
+        mib / secs.max(1e-9),
+        if staged > 0 { format!(", {staged} staged ops") } else { String::new() }
+    );
+}

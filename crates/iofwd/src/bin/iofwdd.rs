@@ -1,0 +1,114 @@
+//! `iofwdd` — the I/O-forwarding daemon as a deployable binary.
+//!
+//! Plays the ION's role on any Linux box: listens on TCP, executes
+//! forwarded I/O against a sandboxed directory tree.
+//!
+//! ```text
+//! iofwdd --listen 0.0.0.0:9331 --root /srv/iofwd --mode staged --workers 4 --bml-mib 256
+//! iofwdd --mode zoid --root /tmp/ion            # ZOID-style baseline
+//! ```
+
+use std::sync::Arc;
+
+use iofwd::backend::FileBackend;
+use iofwd::server::{ForwardingMode, IonServer, ServerConfig};
+use iofwd::transport::tcp::TcpAcceptor;
+
+struct Options {
+    listen: String,
+    root: String,
+    mode: String,
+    workers: usize,
+    bml_mib: u64,
+}
+
+impl Options {
+    fn parse() -> Options {
+        let mut opts = Options {
+            listen: "127.0.0.1:9331".into(),
+            root: "./iofwd-root".into(),
+            mode: "staged".into(),
+            workers: 4,
+            bml_mib: 256,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut take = |name: &str| {
+                args.next().unwrap_or_else(|| die(&format!("{name} needs a value")))
+            };
+            match a.as_str() {
+                "--listen" => opts.listen = take("--listen"),
+                "--root" => opts.root = take("--root"),
+                "--mode" => opts.mode = take("--mode"),
+                "--workers" => {
+                    opts.workers = take("--workers").parse().unwrap_or_else(|_| {
+                        die("--workers needs an integer");
+                    })
+                }
+                "--bml-mib" => {
+                    opts.bml_mib = take("--bml-mib").parse().unwrap_or_else(|_| {
+                        die("--bml-mib needs an integer");
+                    })
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: iofwdd [--listen ADDR] [--root DIR] \
+                         [--mode ciod|zoid|sched|staged] [--workers N] [--bml-mib N]"
+                    );
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown option '{other}' (try --help)")),
+            }
+        }
+        opts
+    }
+
+    fn forwarding_mode(&self) -> ForwardingMode {
+        match self.mode.as_str() {
+            "ciod" => ForwardingMode::Ciod,
+            "zoid" => ForwardingMode::Zoid,
+            "sched" => ForwardingMode::Sched { workers: self.workers },
+            "staged" | "async" => ForwardingMode::AsyncStaged {
+                workers: self.workers,
+                bml_capacity: self.bml_mib << 20,
+            },
+            other => die(&format!("unknown mode '{other}'")),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("iofwdd: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let opts = Options::parse();
+    let mode = opts.forwarding_mode();
+    std::fs::create_dir_all(&opts.root)
+        .unwrap_or_else(|e| die(&format!("cannot create root {}: {e}", opts.root)));
+    let acceptor = TcpAcceptor::bind(&opts.listen)
+        .unwrap_or_else(|e| die(&format!("cannot bind {}: {e}", opts.listen)));
+    let addr = acceptor.local_addr().expect("local addr");
+    let backend = Arc::new(FileBackend::new(&opts.root));
+    let server = IonServer::spawn(Box::new(acceptor), backend, ServerConfig::new(mode));
+    eprintln!(
+        "iofwdd: listening on {addr}, mode {}, root {}, {} worker(s), {} MiB BML",
+        opts.mode, opts.root, opts.workers, opts.bml_mib
+    );
+    eprintln!("iofwdd: press Ctrl-C to stop");
+
+    // Periodically report daemon statistics until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(30));
+        let s = server.stats();
+        eprintln!(
+            "iofwdd: {} requests, {} MiB in, {} MiB out, {} staged ops, {} open fds",
+            s.requests,
+            s.bytes_in >> 20,
+            s.bytes_out >> 20,
+            s.staged_ops,
+            server.open_descriptors()
+        );
+    }
+}

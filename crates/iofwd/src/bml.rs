@@ -1,0 +1,380 @@
+//! The Buffer Management Layer (BML).
+//!
+//! §IV of the paper:
+//!
+//! > To facilitate asynchronous data staging, we designed a custom buffer
+//! > management layer (BML) in ZOID. [...] The total memory managed by
+//! > BML can be controlled by an environment variable during the
+//! > application launch. In the current implementation, the buffer
+//! > management allocates buffers that are powers of 2 bytes. [...] The
+//! > amount of data that can be buffered is limited by the available
+//! > memory on the ION. If there is insufficient memory to stage the
+//! > data, the I/O operation is blocked until a number of queued I/O
+//! > operations complete and sufficient memory is available.
+//!
+//! This module implements exactly that: power-of-two size classes with
+//! per-class free lists, a hard capacity on total outstanding buffer
+//! memory, and *blocking* acquisition when the cap is reached. Buffers
+//! return to their free list on drop (RAII), releasing waiting handlers
+//! in FIFO order.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Smallest buffer class: 4 KiB (one BG/P page).
+pub const MIN_CLASS_SHIFT: u32 = 12;
+/// Largest buffer class: 64 MiB (the protocol's max frame payload).
+pub const MAX_CLASS_SHIFT: u32 = 26;
+const NUM_CLASSES: usize = (MAX_CLASS_SHIFT - MIN_CLASS_SHIFT + 1) as usize;
+
+/// Statistics for reports and ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BmlStats {
+    /// Successful acquisitions.
+    pub acquires: u64,
+    /// Acquisitions that had to block for memory (§IV's blocking path).
+    pub blocked_acquires: u64,
+    /// Acquisitions served from a free list (no allocator call).
+    pub freelist_hits: u64,
+    /// Peak outstanding buffer memory.
+    pub high_water: u64,
+    /// Bytes requested beyond what the rounded class provides (internal
+    /// fragmentation cost of the power-of-two policy).
+    pub fragmentation_bytes: u64,
+}
+
+struct BmlInner {
+    free: [Vec<Box<[u8]>>; NUM_CLASSES],
+    outstanding: u64,
+    stats: BmlStats,
+    closed: bool,
+}
+
+/// The buffer manager. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct Bml {
+    shared: Arc<BmlShared>,
+}
+
+struct BmlShared {
+    inner: Mutex<BmlInner>,
+    cv: Condvar,
+    capacity: u64,
+}
+
+/// A staged buffer: exclusive access to `len` usable bytes backed by a
+/// power-of-two block. Returns its memory to the BML on drop.
+pub struct BmlBuffer {
+    block: Option<Box<[u8]>>,
+    len: usize,
+    class: usize,
+    bml: Bml,
+}
+
+impl Bml {
+    /// Create a BML managing at most `capacity` bytes of staging memory.
+    ///
+    /// Panics if `capacity` cannot hold even one largest-class buffer
+    /// *request* of the smallest class — i.e. capacity must be at least
+    /// one minimum block.
+    pub fn new(capacity: u64) -> Self {
+        assert!(
+            capacity >= (1 << MIN_CLASS_SHIFT),
+            "BML capacity {capacity} smaller than one {} B block",
+            1u64 << MIN_CLASS_SHIFT
+        );
+        Bml {
+            shared: Arc::new(BmlShared {
+                inner: Mutex::new(BmlInner {
+                    free: std::array::from_fn(|_| Vec::new()),
+                    outstanding: 0,
+                    stats: BmlStats::default(),
+                    closed: false,
+                }),
+                cv: Condvar::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// Size class (power-of-two block size) for a request of `len` bytes.
+    pub fn class_for(len: usize) -> (usize, usize) {
+        let len = len.max(1);
+        let shift = (usize::BITS - (len - 1).leading_zeros()).max(MIN_CLASS_SHIFT);
+        let shift = shift.min(MAX_CLASS_SHIFT);
+        let block = 1usize << shift;
+        assert!(block >= len, "request {len} exceeds max class {block}");
+        ((shift - MIN_CLASS_SHIFT) as usize, block)
+    }
+
+    /// Largest single request this BML can serve.
+    pub fn max_request(&self) -> usize {
+        (1usize << MAX_CLASS_SHIFT).min(self.shared.capacity as usize)
+    }
+
+    /// Acquire a buffer of at least `len` bytes, blocking while staging
+    /// memory is exhausted (the paper's §IV behaviour).
+    pub fn acquire(&self, len: usize) -> BmlBuffer {
+        self.acquire_timeout(len, None).expect("BML closed while acquiring")
+    }
+
+    /// Acquire with an optional timeout; `None` timeout blocks forever.
+    /// Returns `None` if the BML is closed or the timeout expires.
+    pub fn acquire_timeout(&self, len: usize, timeout: Option<Duration>) -> Option<BmlBuffer> {
+        let (class, block_size) = Self::class_for(len);
+        assert!(
+            block_size as u64 <= self.shared.capacity,
+            "request {len} larger than BML capacity {}",
+            self.shared.capacity
+        );
+        let mut inner = self.shared.inner.lock();
+        let mut blocked = false;
+        while inner.outstanding + block_size as u64 > self.shared.capacity {
+            if inner.closed {
+                return None;
+            }
+            blocked = true;
+            match timeout {
+                None => self.shared.cv.wait(&mut inner),
+                Some(t) => {
+                    if self.shared.cv.wait_for(&mut inner, t).timed_out() {
+                        inner.stats.blocked_acquires += 1;
+                        return None;
+                    }
+                }
+            }
+        }
+        if inner.closed {
+            return None;
+        }
+        inner.outstanding += block_size as u64;
+        inner.stats.acquires += 1;
+        if blocked {
+            inner.stats.blocked_acquires += 1;
+        }
+        inner.stats.high_water = inner.stats.high_water.max(inner.outstanding);
+        inner.stats.fragmentation_bytes += (block_size - len) as u64;
+        let block = match inner.free[class].pop() {
+            Some(b) => {
+                inner.stats.freelist_hits += 1;
+                b
+            }
+            None => vec![0u8; block_size].into_boxed_slice(),
+        };
+        drop(inner);
+        Some(BmlBuffer { block: Some(block), len, class, bml: self.clone() })
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_acquire(&self, len: usize) -> Option<BmlBuffer> {
+        let (class, block_size) = Self::class_for(len);
+        let mut inner = self.shared.inner.lock();
+        if inner.closed || inner.outstanding + block_size as u64 > self.shared.capacity {
+            return None;
+        }
+        inner.outstanding += block_size as u64;
+        inner.stats.acquires += 1;
+        inner.stats.high_water = inner.stats.high_water.max(inner.outstanding);
+        inner.stats.fragmentation_bytes += (block_size - len) as u64;
+        let block = match inner.free[class].pop() {
+            Some(b) => {
+                inner.stats.freelist_hits += 1;
+                b
+            }
+            None => vec![0u8; block_size].into_boxed_slice(),
+        };
+        drop(inner);
+        Some(BmlBuffer { block: Some(block), len, class, bml: self.clone() })
+    }
+
+    /// Wake all waiters and refuse further acquisitions (daemon shutdown).
+    pub fn close(&self) {
+        let mut inner = self.shared.inner.lock();
+        inner.closed = true;
+        drop(inner);
+        self.shared.cv.notify_all();
+    }
+
+    /// Bytes currently held by live buffers.
+    pub fn outstanding(&self) -> u64 {
+        self.shared.inner.lock().outstanding
+    }
+
+    /// Total managed capacity.
+    pub fn capacity(&self) -> u64 {
+        self.shared.capacity
+    }
+
+    pub fn stats(&self) -> BmlStats {
+        self.shared.inner.lock().stats
+    }
+
+    fn release(&self, block: Box<[u8]>, class: usize) {
+        let block_size = block.len() as u64;
+        let mut inner = self.shared.inner.lock();
+        inner.outstanding -= block_size;
+        // Keep a bounded free list per class so idle staging memory does
+        // not pin the whole capacity in fragmented blocks.
+        if inner.free[class].len() < 64 && !inner.closed {
+            inner.free[class].push(block);
+        }
+        drop(inner);
+        self.shared.cv.notify_all();
+    }
+}
+
+impl BmlBuffer {
+    /// Usable length (the requested size, not the rounded block size).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying block size (power of two).
+    pub fn block_size(&self) -> usize {
+        self.block.as_ref().map_or(0, |b| b.len())
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.block.as_ref().expect("buffer taken")[..self.len]
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        let len = self.len;
+        &mut self.block.as_mut().expect("buffer taken")[..len]
+    }
+
+    /// Copy `src` into the buffer (must fit).
+    pub fn fill_from(&mut self, src: &[u8]) {
+        assert!(src.len() <= self.len, "fill_from overflow");
+        self.as_mut_slice()[..src.len()].copy_from_slice(src);
+    }
+}
+
+impl Drop for BmlBuffer {
+    fn drop(&mut self) {
+        if let Some(block) = self.block.take() {
+            self.bml.release(block, self.class);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Instant;
+
+    #[test]
+    fn class_rounding() {
+        assert_eq!(Bml::class_for(1), (0, 4096));
+        assert_eq!(Bml::class_for(4096), (0, 4096));
+        assert_eq!(Bml::class_for(4097), (1, 8192));
+        assert_eq!(Bml::class_for(1 << 20), ((20 - 12), 1 << 20));
+        assert_eq!(Bml::class_for((1 << 20) + 1), ((21 - 12), 1 << 21));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversize_request_panics() {
+        let _ = Bml::class_for((1 << 26) + 1);
+    }
+
+    #[test]
+    fn acquire_release_accounting() {
+        let bml = Bml::new(1 << 20);
+        let b1 = bml.acquire(5000); // rounds to 8192
+        assert_eq!(b1.block_size(), 8192);
+        assert_eq!(b1.len(), 5000);
+        assert_eq!(bml.outstanding(), 8192);
+        drop(b1);
+        assert_eq!(bml.outstanding(), 0);
+        let s = bml.stats();
+        assert_eq!(s.acquires, 1);
+        assert_eq!(s.high_water, 8192);
+        assert_eq!(s.fragmentation_bytes, 8192 - 5000);
+    }
+
+    #[test]
+    fn freelist_reuse() {
+        let bml = Bml::new(1 << 20);
+        let b = bml.acquire(4096);
+        drop(b);
+        let _b2 = bml.acquire(4096);
+        assert_eq!(bml.stats().freelist_hits, 1);
+    }
+
+    #[test]
+    fn blocking_acquire_waits_for_release() {
+        let bml = Bml::new(8192);
+        let b1 = bml.acquire(8192);
+        let bml2 = bml.clone();
+        let got_it = Arc::new(AtomicBool::new(false));
+        let got_it2 = got_it.clone();
+        let t = std::thread::spawn(move || {
+            let _b = bml2.acquire(8192); // must block until b1 drops
+            got_it2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!got_it.load(Ordering::SeqCst), "acquire should still be blocked");
+        drop(b1);
+        t.join().unwrap();
+        assert!(got_it.load(Ordering::SeqCst));
+        assert_eq!(bml.stats().blocked_acquires, 1);
+    }
+
+    #[test]
+    fn try_acquire_does_not_block() {
+        let bml = Bml::new(8192);
+        let _b1 = bml.acquire(8192);
+        let t0 = Instant::now();
+        assert!(bml.try_acquire(4096).is_none());
+        assert!(t0.elapsed() < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn acquire_timeout_expires() {
+        let bml = Bml::new(4096);
+        let _b = bml.acquire(4096);
+        let got = bml.acquire_timeout(4096, Some(Duration::from_millis(30)));
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn close_releases_waiters() {
+        let bml = Bml::new(4096);
+        let _b = bml.acquire(4096);
+        let bml2 = bml.clone();
+        let t = std::thread::spawn(move || bml2.acquire_timeout(4096, None));
+        std::thread::sleep(Duration::from_millis(20));
+        bml.close();
+        assert!(t.join().unwrap().is_none());
+        assert!(bml.try_acquire(1).is_none());
+    }
+
+    #[test]
+    fn fill_and_read_back() {
+        let bml = Bml::new(1 << 16);
+        let mut b = bml.acquire(11);
+        b.fill_from(b"hello world");
+        assert_eq!(b.as_slice(), b"hello world");
+    }
+
+    #[test]
+    fn many_concurrent_holders_capped() {
+        let bml = Bml::new(64 * 4096);
+        let mut held = Vec::new();
+        for _ in 0..64 {
+            held.push(bml.acquire(4096));
+        }
+        assert_eq!(bml.outstanding(), 64 * 4096);
+        assert!(bml.try_acquire(1).is_none());
+        held.clear();
+        assert_eq!(bml.outstanding(), 0);
+        assert!(bml.try_acquire(1).is_some());
+    }
+}

@@ -1,0 +1,223 @@
+//! `std::io` adapter over a forwarded descriptor: drop-in
+//! `Read`/`Write`/`Seek` so existing Rust code can run against an ION
+//! daemon unchanged — the forwarding transparency the paper calls out as
+//! a core goal ("a focus of I/O forwarding is to forward all I/O
+//! operations transparently without any changes to an application",
+//! §VI).
+
+use std::io::{self, Read, Seek, SeekFrom, Write};
+
+use iofwd_proto::{Fd, OpenFlags, Whence};
+
+use crate::client::{Client, ClientError};
+
+impl From<ClientError> for io::Error {
+    fn from(e: ClientError) -> io::Error {
+        match &e {
+            ClientError::Remote(errno) | ClientError::Deferred { errno, .. } => {
+                let kind = match errno {
+                    iofwd_proto::Errno::NoEnt => io::ErrorKind::NotFound,
+                    iofwd_proto::Errno::Access | iofwd_proto::Errno::Perm => {
+                        io::ErrorKind::PermissionDenied
+                    }
+                    iofwd_proto::Errno::Exist => io::ErrorKind::AlreadyExists,
+                    iofwd_proto::Errno::Inval => io::ErrorKind::InvalidInput,
+                    iofwd_proto::Errno::Pipe => io::ErrorKind::BrokenPipe,
+                    iofwd_proto::Errno::ConnReset => io::ErrorKind::ConnectionReset,
+                    iofwd_proto::Errno::NoMem => io::ErrorKind::OutOfMemory,
+                    _ => io::ErrorKind::Other,
+                };
+                io::Error::new(kind, e.to_string())
+            }
+            ClientError::Io(_) | ClientError::Closed => {
+                io::Error::new(io::ErrorKind::BrokenPipe, e.to_string())
+            }
+            ClientError::Protocol(_) => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        }
+    }
+}
+
+/// An open forwarded file exposing the standard I/O traits. Created by
+/// [`Client::open_file`]; closes the descriptor on drop (errors from the
+/// implicit close are discarded — call [`ForwardedFile::close`] to see
+/// them, including deferred staging errors).
+pub struct ForwardedFile<'c> {
+    client: &'c mut Client,
+    fd: Fd,
+    open: bool,
+}
+
+impl std::fmt::Debug for ForwardedFile<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForwardedFile").field("fd", &self.fd).field("open", &self.open).finish()
+    }
+}
+
+impl Client {
+    /// Open a file on the daemon and wrap it in the `std::io` adapter.
+    pub fn open_file(
+        &mut self,
+        path: &str,
+        flags: OpenFlags,
+        mode: u32,
+    ) -> Result<ForwardedFile<'_>, ClientError> {
+        let fd = self.open(path, flags, mode)?;
+        Ok(ForwardedFile { client: self, fd, open: true })
+    }
+}
+
+impl ForwardedFile<'_> {
+    pub fn fd(&self) -> Fd {
+        self.fd
+    }
+
+    /// Flush staged writes and surface any deferred error.
+    pub fn sync(&mut self) -> Result<(), ClientError> {
+        self.client.fsync(self.fd)
+    }
+
+    /// Close explicitly, surfacing deferred staging errors (§IV: errors
+    /// from staged operations arrive on subsequent calls — close is the
+    /// last chance to see them).
+    pub fn close(mut self) -> Result<(), ClientError> {
+        self.open = false;
+        self.client.close(self.fd)
+    }
+}
+
+impl Read for ForwardedFile<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let data = self.client.read(self.fd, buf.len() as u64)?;
+        buf[..data.len()].copy_from_slice(&data);
+        Ok(data.len())
+    }
+}
+
+impl Write for ForwardedFile<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.client.write(self.fd, buf)?;
+        Ok(n as usize)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.client.fsync(self.fd)?;
+        Ok(())
+    }
+}
+
+impl Seek for ForwardedFile<'_> {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        let (offset, whence) = match pos {
+            SeekFrom::Start(o) => (o as i64, Whence::Set),
+            SeekFrom::Current(o) => (o, Whence::Cur),
+            SeekFrom::End(o) => (o, Whence::End),
+        };
+        Ok(self.client.lseek(self.fd, offset, whence)?)
+    }
+}
+
+impl Drop for ForwardedFile<'_> {
+    fn drop(&mut self) {
+        if self.open {
+            let _ = self.client.close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemSinkBackend;
+    use crate::server::{ForwardingMode, IonServer, ServerConfig};
+    use crate::transport::mem::MemHub;
+    use std::sync::Arc;
+
+    fn daemon() -> (IonServer, MemHub, Arc<MemSinkBackend>) {
+        let hub = MemHub::new();
+        let backend = Arc::new(MemSinkBackend::new());
+        let server = IonServer::spawn(
+            Box::new(hub.listener()),
+            backend.clone(),
+            ServerConfig::new(ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 8 << 20 }),
+        );
+        (server, hub, backend)
+    }
+
+    #[test]
+    fn std_io_write_read_seek() {
+        let (server, hub, backend) = daemon();
+        let mut client = Client::connect(Box::new(hub.connect()));
+        {
+            let mut f = client
+                .open_file("/adapter", OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+                .unwrap();
+            f.write_all(b"hello forwarded world").unwrap();
+            f.flush().unwrap();
+            assert_eq!(f.seek(SeekFrom::Start(6)).unwrap(), 6);
+            let mut buf = [0u8; 9];
+            f.read_exact(&mut buf).unwrap();
+            assert_eq!(&buf, b"forwarded");
+            assert_eq!(f.seek(SeekFrom::End(-5)).unwrap(), 16);
+            let mut tail = String::new();
+            f.read_to_string(&mut tail).unwrap();
+            assert_eq!(tail, "world");
+            f.close().unwrap();
+        }
+        client.shutdown().unwrap();
+        server.shutdown();
+        assert_eq!(backend.contents("/adapter").unwrap(), b"hello forwarded world");
+    }
+
+    #[test]
+    fn drop_closes_descriptor() {
+        let (server, hub, _backend) = daemon();
+        let mut client = Client::connect(Box::new(hub.connect()));
+        {
+            let mut f = client
+                .open_file("/dropped", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+                .unwrap();
+            f.write_all(b"x").unwrap();
+            // implicit close on drop
+        }
+        // After drop, the daemon must have zero open descriptors.
+        assert_eq!(server.open_descriptors(), 0);
+        client.shutdown().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn io_error_kinds_map_sensibly() {
+        let (server, hub, _backend) = daemon();
+        let mut client = Client::connect(Box::new(hub.connect()));
+        let err = client
+            .open_file("/missing", OpenFlags::RDONLY, 0)
+            .map(|_| ())
+            .unwrap_err();
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::NotFound);
+        client.shutdown().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn bufwriter_composes() {
+        let (server, hub, backend) = daemon();
+        let mut client = Client::connect(Box::new(hub.connect()));
+        {
+            let f = client
+                .open_file("/buffered", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+                .unwrap();
+            let mut w = std::io::BufWriter::with_capacity(4096, f);
+            for i in 0..1000u32 {
+                writeln!(w, "record {i}").unwrap();
+            }
+            w.flush().unwrap();
+            let f = w.into_inner().unwrap();
+            f.close().unwrap();
+        }
+        client.shutdown().unwrap();
+        server.shutdown();
+        let contents = backend.contents("/buffered").unwrap();
+        assert!(String::from_utf8(contents).unwrap().ends_with("record 999\n"));
+    }
+}

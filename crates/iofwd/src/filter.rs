@@ -1,0 +1,390 @@
+//! In-situ data filtering on the I/O node — the paper's §VII future
+//! work, implemented:
+//!
+//! > Since the compute capabilities of the I/O forwarding nodes are
+//! > usually underutilized, we are investigating techniques to offload
+//! > data filtering onto the I/O forwarding nodes in order to reduce the
+//! > amount of data written to storage as well as to facilitate in situ
+//! > analytics.
+//!
+//! A [`DataFilter`] observes (and may transform or drop) every data
+//! operation as it is executed on the ION, after staging and before the
+//! backend — so filtering overlaps application computation exactly like
+//! the I/O itself does. Filters compose as a [`FilterChain`] attached to
+//! the daemon via [`crate::server::ServerConfig::with_filter`], in the
+//! spirit of ZOID's plug-in architecture (§II-B2: "ZOID can be easily
+//! extended with new functionality via plug-ins").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// What a filter decided about a write's payload.
+#[derive(Debug, Clone)]
+pub enum FilterAction {
+    /// Write the data unchanged.
+    Pass,
+    /// Write transformed data instead (e.g. subsampled, compacted).
+    Replace(Bytes),
+    /// Consume the data entirely — pure in-situ analytics; nothing
+    /// reaches the backend, the client still sees a full write.
+    Consume,
+}
+
+/// Context handed to a filter with each write.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteContext<'a> {
+    /// Path the descriptor was opened with (sockets: `host:port`).
+    pub path: &'a str,
+    /// Positioned-write offset, if any.
+    pub offset: Option<u64>,
+}
+
+/// An in-situ analysis/reduction stage running on the ION.
+pub trait DataFilter: Send + Sync + 'static {
+    /// Name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Inspect (and possibly transform) one write's payload.
+    fn on_write(&self, ctx: WriteContext<'_>, data: &[u8]) -> FilterAction;
+
+    /// Should this filter run for the given path? Default: everything.
+    fn matches(&self, _path: &str) -> bool {
+        true
+    }
+}
+
+/// An ordered set of filters; each stage sees the previous stage's
+/// output.
+#[derive(Clone, Default)]
+pub struct FilterChain {
+    filters: Vec<Arc<dyn DataFilter>>,
+}
+
+impl FilterChain {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with(mut self, f: Arc<dyn DataFilter>) -> Self {
+        self.filters.push(f);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Run the chain over a write. Returns `None` if some stage consumed
+    /// the data, otherwise the (possibly replaced) payload.
+    pub fn apply(&self, ctx: WriteContext<'_>, data: Bytes) -> Option<Bytes> {
+        let mut current = data;
+        for f in &self.filters {
+            if !f.matches(ctx.path) {
+                continue;
+            }
+            match f.on_write(ctx, &current) {
+                FilterAction::Pass => {}
+                FilterAction::Replace(next) => current = next,
+                FilterAction::Consume => return None,
+            }
+        }
+        Some(current)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+/// Restrict any filter to paths under a prefix.
+pub struct Scoped<F: ?Sized> {
+    prefix: String,
+    inner: Arc<F>,
+}
+
+impl<F: DataFilter + ?Sized> Scoped<F> {
+    pub fn new(prefix: impl Into<String>, inner: Arc<F>) -> Arc<Self> {
+        Arc::new(Scoped { prefix: prefix.into(), inner })
+    }
+}
+
+impl<F: DataFilter + ?Sized> DataFilter for Scoped<F> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn matches(&self, path: &str) -> bool {
+        path.starts_with(&self.prefix) && self.inner.matches(path)
+    }
+
+    fn on_write(&self, ctx: WriteContext<'_>, data: &[u8]) -> FilterAction {
+        self.inner.on_write(ctx, data)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stock filters
+// ---------------------------------------------------------------------------
+
+/// Streaming statistics over `f64` samples flowing through the daemon —
+/// the canonical in-situ analytics kernel (the paper's motivating
+/// example is computing analysis products while the simulation runs).
+#[derive(Default)]
+pub struct StatisticsFilter {
+    count: AtomicU64,
+    state: Mutex<StatState>,
+}
+
+#[derive(Default)]
+struct StatState {
+    sum: f64,
+    min: f64,
+    max: f64,
+    initialized: bool,
+}
+
+/// Snapshot of a [`StatisticsFilter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    pub samples: u64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl StatisticsFilter {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let s = self.state.lock();
+        let n = self.count.load(Ordering::Relaxed);
+        StatsSnapshot {
+            samples: n,
+            mean: if n == 0 { 0.0 } else { s.sum / n as f64 },
+            min: if s.initialized { s.min } else { 0.0 },
+            max: if s.initialized { s.max } else { 0.0 },
+        }
+    }
+}
+
+impl DataFilter for StatisticsFilter {
+    fn name(&self) -> &str {
+        "statistics"
+    }
+
+    fn on_write(&self, _ctx: WriteContext<'_>, data: &[u8]) -> FilterAction {
+        let mut s = self.state.lock();
+        let mut n = 0u64;
+        for chunk in data.chunks_exact(8) {
+            let v = f64::from_le_bytes(chunk.try_into().unwrap());
+            if !v.is_finite() {
+                continue;
+            }
+            if !s.initialized {
+                s.min = v;
+                s.max = v;
+                s.initialized = true;
+            } else {
+                s.min = s.min.min(v);
+                s.max = s.max.max(v);
+            }
+            s.sum += v;
+            n += 1;
+        }
+        drop(s);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        FilterAction::Pass
+    }
+}
+
+/// Keep every k-th `f64` sample: a data-reduction filter that shrinks
+/// what reaches storage by ~k×.
+pub struct SubsampleFilter {
+    pub stride: usize,
+    reduced_bytes: AtomicU64,
+}
+
+impl SubsampleFilter {
+    pub fn new(stride: usize) -> Arc<Self> {
+        assert!(stride >= 1);
+        Arc::new(SubsampleFilter { stride, reduced_bytes: AtomicU64::new(0) })
+    }
+
+    /// Bytes removed so far.
+    pub fn reduced_bytes(&self) -> u64 {
+        self.reduced_bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl DataFilter for SubsampleFilter {
+    fn name(&self) -> &str {
+        "subsample"
+    }
+
+    fn on_write(&self, _ctx: WriteContext<'_>, data: &[u8]) -> FilterAction {
+        if self.stride == 1 {
+            return FilterAction::Pass;
+        }
+        let mut out = Vec::with_capacity(data.len() / self.stride + 8);
+        for (i, chunk) in data.chunks_exact(8).enumerate() {
+            if i % self.stride == 0 {
+                out.extend_from_slice(chunk);
+            }
+        }
+        // Non-multiple-of-8 tails pass through untouched.
+        let tail = data.len() - (data.len() / 8) * 8;
+        if tail > 0 {
+            out.extend_from_slice(&data[data.len() - tail..]);
+        }
+        self.reduced_bytes
+            .fetch_add((data.len() - out.len()) as u64, Ordering::Relaxed);
+        FilterAction::Replace(Bytes::from(out))
+    }
+}
+
+/// Route matching paths to /dev/null: data is accounted and dropped —
+/// e.g. scratch output the analysis has already consumed upstream.
+pub struct SinkFilter {
+    pub prefix: String,
+    consumed_bytes: AtomicU64,
+}
+
+impl SinkFilter {
+    pub fn new(prefix: impl Into<String>) -> Arc<Self> {
+        SinkFilter { prefix: prefix.into(), consumed_bytes: AtomicU64::new(0) }.into()
+    }
+
+    pub fn consumed_bytes(&self) -> u64 {
+        self.consumed_bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl DataFilter for SinkFilter {
+    fn name(&self) -> &str {
+        "sink"
+    }
+
+    fn matches(&self, path: &str) -> bool {
+        path.starts_with(&self.prefix)
+    }
+
+    fn on_write(&self, _ctx: WriteContext<'_>, data: &[u8]) -> FilterAction {
+        self.consumed_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        FilterAction::Consume
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doubles(vals: &[f64]) -> Bytes {
+        let mut out = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Bytes::from(out)
+    }
+
+    fn ctx() -> WriteContext<'static> {
+        WriteContext { path: "/data", offset: None }
+    }
+
+    #[test]
+    fn empty_chain_passes_everything() {
+        let chain = FilterChain::new();
+        let data = Bytes::from_static(b"abc");
+        assert_eq!(chain.apply(ctx(), data.clone()), Some(data));
+        assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn statistics_filter_computes_moments() {
+        let f = StatisticsFilter::new();
+        let chain = FilterChain::new().with(f.clone());
+        let data = doubles(&[1.0, 2.0, 3.0, 4.0]);
+        let out = chain.apply(ctx(), data.clone()).unwrap();
+        assert_eq!(out, data, "statistics filter must not modify data");
+        let s = f.snapshot();
+        assert_eq!(s.samples, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn statistics_filter_skips_non_finite() {
+        let f = StatisticsFilter::new();
+        f.on_write(ctx(), &doubles(&[1.0, f64::NAN, f64::INFINITY, 3.0]));
+        let s = f.snapshot();
+        assert_eq!(s.samples, 2);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn subsample_keeps_every_kth() {
+        let f = SubsampleFilter::new(2);
+        let chain = FilterChain::new().with(f.clone());
+        let out = chain.apply(ctx(), doubles(&[0.0, 1.0, 2.0, 3.0, 4.0])).unwrap();
+        assert_eq!(out, doubles(&[0.0, 2.0, 4.0]));
+        assert_eq!(f.reduced_bytes(), 16);
+    }
+
+    #[test]
+    fn subsample_stride_one_is_identity() {
+        let f = SubsampleFilter::new(1);
+        assert!(matches!(f.on_write(ctx(), b"whatever"), FilterAction::Pass));
+    }
+
+    #[test]
+    fn sink_filter_consumes_matching_paths_only() {
+        let f = SinkFilter::new("/scratch/");
+        let chain = FilterChain::new().with(f.clone());
+        let data = Bytes::from_static(b"xxxx");
+        // Non-matching path: untouched.
+        assert_eq!(
+            chain.apply(WriteContext { path: "/results/a", offset: None }, data.clone()),
+            Some(data.clone())
+        );
+        // Matching path: consumed.
+        assert_eq!(
+            chain.apply(WriteContext { path: "/scratch/t", offset: None }, data),
+            None
+        );
+        assert_eq!(f.consumed_bytes(), 4);
+    }
+
+    #[test]
+    fn scoped_filter_restricts_paths() {
+        let stats = StatisticsFilter::new();
+        let scoped = Scoped::new("/results/", stats.clone());
+        let chain = FilterChain::new().with(scoped);
+        chain.apply(WriteContext { path: "/results/a", offset: None }, doubles(&[5.0]));
+        chain.apply(WriteContext { path: "/scratch/b", offset: None }, doubles(&[100.0]));
+        let s = stats.snapshot();
+        assert_eq!(s.samples, 1, "scratch write must not be observed");
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn chain_composes_in_order() {
+        // subsample(2) then statistics: the stats see the reduced stream.
+        let sub = SubsampleFilter::new(2);
+        let stats = StatisticsFilter::new();
+        let chain = FilterChain::new().with(sub).with(stats.clone());
+        chain.apply(ctx(), doubles(&[10.0, 99.0, 20.0, 99.0])).unwrap();
+        let s = stats.snapshot();
+        assert_eq!(s.samples, 2);
+        assert_eq!(s.max, 20.0);
+        assert_eq!(chain.len(), 2);
+    }
+}

@@ -1,0 +1,427 @@
+//! Request execution shared by every forwarding mode: CIOD proxies, ZOID
+//! handler threads, and scheduled workers all funnel through
+//! [`Engine::execute`], so mode differences are purely *who runs it and
+//! when* — exactly the paper's framing of the design space.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use iofwd_proto::{Errno, Request, Response};
+
+use crate::backend::Backend;
+use crate::bml::Bml;
+use crate::descdb::{BeginError, DescDb, OpOutcome};
+use crate::filter::{FilterChain, WriteContext};
+
+/// Daemon-wide counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub requests: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+    pub staged_ops: AtomicU64,
+    pub deferred_errors_reported: AtomicU64,
+    /// Bytes removed by in-situ filters before reaching the backend.
+    pub bytes_filtered_out: AtomicU64,
+}
+
+/// Snapshot of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub requests: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub staged_ops: u64,
+    pub deferred_errors_reported: u64,
+    pub bytes_filtered_out: u64,
+}
+
+/// The daemon's shared state: backend, descriptor database, optional BML.
+pub struct Engine {
+    pub(crate) backend: Arc<dyn Backend>,
+    pub(crate) db: DescDb,
+    pub(crate) bml: Option<Bml>,
+    pub(crate) stats: ServerStats,
+    pub(crate) filters: FilterChain,
+}
+
+impl Engine {
+    pub fn new(backend: Arc<dyn Backend>, bml: Option<Bml>) -> Self {
+        Self::with_filters(backend, bml, FilterChain::new())
+    }
+
+    pub fn with_filters(backend: Arc<dyn Backend>, bml: Option<Bml>, filters: FilterChain) -> Self {
+        Engine { backend, db: DescDb::new(), bml, stats: ServerStats::default(), filters }
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            bytes_in: self.stats.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.stats.bytes_out.load(Ordering::Relaxed),
+            staged_ops: self.stats.staged_ops.load(Ordering::Relaxed),
+            deferred_errors_reported: self
+                .stats
+                .deferred_errors_reported
+                .load(Ordering::Relaxed),
+            bytes_filtered_out: self.stats.bytes_filtered_out.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn descriptor_db(&self) -> &DescDb {
+        &self.db
+    }
+
+    pub fn bml(&self) -> Option<&Bml> {
+        self.bml.as_ref()
+    }
+
+    /// Execute a request to completion and produce the response. `data`
+    /// is the frame payload (write contents). Returns the response and
+    /// any response payload (read contents).
+    pub fn execute(&self, req: &Request, data: &Bytes) -> (Response, Bytes) {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_in.fetch_add(data.len() as u64, Ordering::Relaxed);
+        match req {
+            Request::Open { path, flags, mode } => match self.backend.open(path, *flags, *mode) {
+                Ok(obj) => {
+                    let fd = self.db.insert(obj, path);
+                    (Response::Ok { ret: fd.0 as i64 }, Bytes::new())
+                }
+                Err(e) => (Response::Err { errno: e }, Bytes::new()),
+            },
+            Request::Connect { host, port } => match self.backend.connect(host, *port) {
+                Ok(obj) => {
+                    let fd = self.db.insert(obj, &format!("{host}:{port}"));
+                    (Response::Ok { ret: fd.0 as i64 }, Bytes::new())
+                }
+                Err(e) => (Response::Err { errno: e }, Bytes::new()),
+            },
+            Request::Write { fd, len } => self.data_write(*fd, None, data, *len),
+            Request::Pwrite { fd, offset, len } => self.data_write(*fd, Some(*offset), data, *len),
+            Request::Read { fd, len } => self.data_read(*fd, None, *len),
+            Request::Pread { fd, offset, len } => self.data_read(*fd, Some(*offset), *len),
+            Request::Lseek { fd, offset, whence } => match self.db.object(*fd) {
+                Ok(obj) => match obj.lock().seek(*offset, *whence) {
+                    Ok(pos) => (Response::Ok { ret: pos as i64 }, Bytes::new()),
+                    Err(e) => (Response::Err { errno: e }, Bytes::new()),
+                },
+                Err(e) => (Response::Err { errno: e }, Bytes::new()),
+            },
+            Request::Fsync { fd } => self.fsync(*fd),
+            Request::Close { fd } => self.close(*fd),
+            Request::Stat { path } => match self.backend.stat(path) {
+                Ok(st) => (Response::StatOk { st }, Bytes::new()),
+                Err(e) => (Response::Err { errno: e }, Bytes::new()),
+            },
+            Request::Fstat { fd } => match self.db.object(*fd) {
+                Ok(obj) => match obj.lock().fstat() {
+                    Ok(st) => (Response::StatOk { st }, Bytes::new()),
+                    Err(e) => (Response::Err { errno: e }, Bytes::new()),
+                },
+                Err(e) => (Response::Err { errno: e }, Bytes::new()),
+            },
+            Request::Unlink { path } => match self.backend.unlink(path) {
+                Ok(()) => (Response::Ok { ret: 0 }, Bytes::new()),
+                Err(e) => (Response::Err { errno: e }, Bytes::new()),
+            },
+            Request::Ftruncate { fd, len } => match self.db.object(*fd) {
+                Ok(obj) => {
+                    // Truncation is ordered against staged writes.
+                    if let Err(e) = self.db.wait_idle(*fd) {
+                        return (Response::Err { errno: e }, Bytes::new());
+                    }
+                    match obj.lock().truncate(*len) {
+                        Ok(()) => (Response::Ok { ret: 0 }, Bytes::new()),
+                        Err(e) => (Response::Err { errno: e }, Bytes::new()),
+                    }
+                }
+                Err(e) => (Response::Err { errno: e }, Bytes::new()),
+            },
+            Request::Mkdir { path, mode } => match self.backend.mkdir(path, *mode) {
+                Ok(()) => (Response::Ok { ret: 0 }, Bytes::new()),
+                Err(e) => (Response::Err { errno: e }, Bytes::new()),
+            },
+            Request::Readdir { path } => match self.backend.readdir(path) {
+                Ok(names) => {
+                    let payload = iofwd_proto::encode_dirents(&names);
+                    self.stats.bytes_out.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    (Response::Ok { ret: names.len() as i64 }, payload)
+                }
+                Err(e) => (Response::Err { errno: e }, Bytes::new()),
+            },
+            Request::Shutdown => (Response::Ok { ret: 0 }, Bytes::new()),
+        }
+    }
+
+    fn data_write(
+        &self,
+        fd: iofwd_proto::Fd,
+        offset: Option<u64>,
+        data: &Bytes,
+        declared_len: u64,
+    ) -> (Response, Bytes) {
+        if declared_len != data.len() as u64 {
+            return (Response::Err { errno: Errno::Inval }, Bytes::new());
+        }
+        let (op, obj) = match self.db.begin_op(fd) {
+            Ok(v) => v,
+            Err(e) => return (self.begin_error_response(e), Bytes::new()),
+        };
+        let declared = data.len() as u64;
+        let filtered = match self.filter_write(fd, offset, data.clone()) {
+            Some(d) => d,
+            None => {
+                // Consumed by an in-situ filter: the client sees a full
+                // write, nothing reaches the backend.
+                self.db.finish_op(fd, op, OpOutcome::Ok);
+                return (Response::Ok { ret: declared as i64 }, Bytes::new());
+            }
+        };
+        let result = obj.lock().write_at(offset, &filtered);
+        match result {
+            Ok(_) => {
+                self.db.finish_op(fd, op, OpOutcome::Ok);
+                // Report the *application's* byte count, not the
+                // post-filter count: filtering is transparent.
+                (Response::Ok { ret: declared as i64 }, Bytes::new())
+            }
+            Err(e) => {
+                // Synchronous path: report immediately; nothing deferred.
+                self.db.finish_op(fd, op, OpOutcome::Ok);
+                (Response::Err { errno: e }, Bytes::new())
+            }
+        }
+    }
+
+    /// Run the in-situ filter chain over a write's payload. `None` means
+    /// the data was consumed on the ION.
+    pub(crate) fn filter_write(
+        &self,
+        fd: iofwd_proto::Fd,
+        offset: Option<u64>,
+        data: Bytes,
+    ) -> Option<Bytes> {
+        if self.filters.is_empty() {
+            return Some(data);
+        }
+        // A descriptor cannot be removed while an operation is in flight
+        // (close barriers on wait_idle), so the origin is always
+        // available; fail open (pass the data through) if it ever is not.
+        let Ok(origin) = self.db.origin(fd) else {
+            return Some(data);
+        };
+        let before = data.len();
+        let out = self.filters.apply(WriteContext { path: &origin, offset }, data);
+        let after = out.as_ref().map_or(0, |d| d.len());
+        if after < before {
+            self.stats
+                .bytes_filtered_out
+                .fetch_add((before - after) as u64, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Execute a staged write on behalf of a worker: filter, write,
+    /// record the outcome in the descriptor database.
+    pub fn execute_staged_write(
+        &self,
+        fd: iofwd_proto::Fd,
+        op: iofwd_proto::OpId,
+        offset: Option<u64>,
+        data: &[u8],
+    ) {
+        let outcome = match self.filter_write(fd, offset, Bytes::copy_from_slice(data)) {
+            None => OpOutcome::Ok, // consumed in situ
+            Some(filtered) => match self.db.object(fd) {
+                Ok(obj) => {
+                    let res = obj.lock().write_at(offset, &filtered);
+                    match res {
+                        Ok(_) => OpOutcome::Ok,
+                        Err(e) => OpOutcome::Failed(e),
+                    }
+                }
+                Err(e) => OpOutcome::Failed(e),
+            },
+        };
+        self.db.finish_op(fd, op, outcome);
+    }
+
+    fn data_read(&self, fd: iofwd_proto::Fd, offset: Option<u64>, len: u64) -> (Response, Bytes) {
+        let (op, obj) = match self.db.begin_op(fd) {
+            Ok(v) => v,
+            Err(e) => return (self.begin_error_response(e), Bytes::new()),
+        };
+        let result = obj.lock().read_at(offset, len);
+        self.db.finish_op(fd, op, OpOutcome::Ok);
+        match result {
+            Ok(buf) => {
+                self.stats.bytes_out.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                (Response::Ok { ret: buf.len() as i64 }, Bytes::from(buf))
+            }
+            Err(e) => (Response::Err { errno: e }, Bytes::new()),
+        }
+    }
+
+    /// `fsync` is a staging barrier: wait for in-flight staged operations
+    /// on the descriptor, surface any deferred error, then flush.
+    fn fsync(&self, fd: iofwd_proto::Fd) -> (Response, Bytes) {
+        if let Err(e) = self.db.wait_idle(fd) {
+            return (Response::Err { errno: e }, Bytes::new());
+        }
+        if let Some((op, errno)) = self.db.take_error(fd) {
+            self.stats.deferred_errors_reported.fetch_add(1, Ordering::Relaxed);
+            return (Response::DeferredErr { op, errno }, Bytes::new());
+        }
+        match self.db.object(fd) {
+            Ok(obj) => match obj.lock().sync() {
+                Ok(()) => (Response::Ok { ret: 0 }, Bytes::new()),
+                Err(e) => (Response::Err { errno: e }, Bytes::new()),
+            },
+            Err(e) => (Response::Err { errno: e }, Bytes::new()),
+        }
+    }
+
+    /// `close` barriers like fsync, then retires the descriptor. A
+    /// deferred error is still reported — the close itself succeeds, as
+    /// POSIX close does after a failed async write-back.
+    fn close(&self, fd: iofwd_proto::Fd) -> (Response, Bytes) {
+        if let Err(e) = self.db.begin_close(fd) {
+            return (Response::Err { errno: e }, Bytes::new());
+        }
+        if let Err(e) = self.db.wait_idle(fd) {
+            return (Response::Err { errno: e }, Bytes::new());
+        }
+        match self.db.remove(fd) {
+            Ok((obj, pending)) => {
+                let _ = obj.lock().sync();
+                if let Some((op, errno)) = pending {
+                    self.stats.deferred_errors_reported.fetch_add(1, Ordering::Relaxed);
+                    (Response::DeferredErr { op, errno }, Bytes::new())
+                } else {
+                    (Response::Ok { ret: 0 }, Bytes::new())
+                }
+            }
+            Err(e) => (Response::Err { errno: e }, Bytes::new()),
+        }
+    }
+
+    fn begin_error_response(&self, e: BeginError) -> Response {
+        match e {
+            BeginError::Sync(errno) => Response::Err { errno },
+            BeginError::Deferred { op, errno } => {
+                self.stats.deferred_errors_reported.fetch_add(1, Ordering::Relaxed);
+                Response::DeferredErr { op, errno }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemSinkBackend;
+    use iofwd_proto::{Fd, OpenFlags};
+
+    fn engine() -> (Engine, Arc<MemSinkBackend>) {
+        let be = Arc::new(MemSinkBackend::new());
+        (Engine::new(be.clone(), None), be)
+    }
+
+    fn open(e: &Engine, path: &str) -> Fd {
+        let (resp, _) = e.execute(
+            &Request::Open {
+                path: path.into(),
+                flags: OpenFlags::RDWR | OpenFlags::CREATE,
+                mode: 0o644,
+            },
+            &Bytes::new(),
+        );
+        match resp {
+            Response::Ok { ret } => Fd(ret as u32),
+            other => panic!("open failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_write_read_close() {
+        let (e, be) = engine();
+        let fd = open(&e, "/a");
+        let (resp, _) = e.execute(&Request::Write { fd, len: 5 }, &Bytes::from_static(b"hello"));
+        assert_eq!(resp, Response::Ok { ret: 5 });
+        let (resp, data) = e.execute(&Request::Pread { fd, offset: 0, len: 5 }, &Bytes::new());
+        assert_eq!(resp, Response::Ok { ret: 5 });
+        assert_eq!(&data[..], b"hello");
+        let (resp, _) = e.execute(&Request::Close { fd }, &Bytes::new());
+        assert_eq!(resp, Response::Ok { ret: 0 });
+        assert_eq!(be.contents("/a").unwrap(), b"hello");
+        let snap = e.stats();
+        assert_eq!(snap.requests, 4);
+        assert_eq!(snap.bytes_in, 5);
+        assert_eq!(snap.bytes_out, 5);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let (e, _) = engine();
+        let fd = open(&e, "/m");
+        let (resp, _) = e.execute(&Request::Write { fd, len: 10 }, &Bytes::from_static(b"shrt"));
+        assert_eq!(resp, Response::Err { errno: Errno::Inval });
+    }
+
+    #[test]
+    fn bad_fd_reported() {
+        let (e, _) = engine();
+        let (resp, _) = e.execute(&Request::Fsync { fd: Fd(77) }, &Bytes::new());
+        assert_eq!(resp, Response::Err { errno: Errno::BadF });
+        let (resp, _) = e.execute(&Request::Read { fd: Fd(77), len: 1 }, &Bytes::new());
+        assert_eq!(resp, Response::Err { errno: Errno::BadF });
+    }
+
+    #[test]
+    fn stat_paths() {
+        let (e, _) = engine();
+        let fd = open(&e, "/s");
+        e.execute(&Request::Write { fd, len: 3 }, &Bytes::from_static(b"abc"));
+        let (resp, _) = e.execute(&Request::Stat { path: "/s".into() }, &Bytes::new());
+        match resp {
+            Response::StatOk { st } => assert_eq!(st.size, 3),
+            other => panic!("{other:?}"),
+        }
+        let (resp, _) = e.execute(&Request::Fstat { fd }, &Bytes::new());
+        match resp {
+            Response::StatOk { st } => assert_eq!(st.size, 3),
+            other => panic!("{other:?}"),
+        }
+        let (resp, _) = e.execute(&Request::Unlink { path: "/s".into() }, &Bytes::new());
+        assert_eq!(resp, Response::Ok { ret: 0 });
+        let (resp, _) = e.execute(&Request::Stat { path: "/s".into() }, &Bytes::new());
+        assert_eq!(resp, Response::Err { errno: Errno::NoEnt });
+    }
+
+    #[test]
+    fn double_close_is_badf() {
+        let (e, _) = engine();
+        let fd = open(&e, "/c");
+        assert_eq!(e.execute(&Request::Close { fd }, &Bytes::new()).0, Response::Ok { ret: 0 });
+        assert_eq!(
+            e.execute(&Request::Close { fd }, &Bytes::new()).0,
+            Response::Err { errno: Errno::BadF }
+        );
+    }
+
+    #[test]
+    fn lseek_roundtrip() {
+        let (e, _) = engine();
+        let fd = open(&e, "/l");
+        e.execute(&Request::Write { fd, len: 4 }, &Bytes::from_static(b"wxyz"));
+        let (resp, _) = e.execute(
+            &Request::Lseek { fd, offset: 1, whence: iofwd_proto::Whence::Set },
+            &Bytes::new(),
+        );
+        assert_eq!(resp, Response::Ok { ret: 1 });
+        let (_, data) = e.execute(&Request::Read { fd, len: 2 }, &Bytes::new());
+        assert_eq!(&data[..], b"xy");
+    }
+}

@@ -1,0 +1,317 @@
+//! Per-client handler loops, one flavour per forwarding mode.
+//!
+//! * [`handle_zoid`] — the ZOID baseline (§II-B2): the handler thread for
+//!   a compute node executes that node's I/O itself.
+//! * [`handle_ciod`] — the CIOD architecture (§II-B1): the daemon-side
+//!   thread copies each request into a "shared-memory region" (an honest
+//!   extra copy) and hands it to a dedicated per-client *proxy*, which
+//!   executes the I/O and replies.
+//! * [`handle_sched`] — I/O scheduling (§IV): the handler enqueues the
+//!   task on the shared work queue and sleeps until a worker finishes it.
+//! * [`handle_staged`] — I/O scheduling + asynchronous data staging
+//!   (§IV): data writes are copied into BML buffers, acknowledged
+//!   immediately (`Response::Staged`), and executed by the worker pool;
+//!   metadata operations stay synchronous, with `fsync`/`close`/reads
+//!   acting as barriers.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded};
+use iofwd_proto::{Errno, Frame, Request, Response};
+
+use super::engine::Engine;
+use super::queue::{WorkItem, WorkQueue};
+use super::staged::FdSerializer;
+use crate::descdb::{BeginError, OpOutcome};
+use crate::transport::Conn;
+
+/// Descriptors opened by one client connection, so a vanished client's
+/// descriptors can be reclaimed (a compute node that dies mid-job must
+/// not leak ION resources).
+#[derive(Default)]
+pub(crate) struct Session {
+    fds: std::collections::HashSet<iofwd_proto::Fd>,
+}
+
+impl Session {
+    /// Observe a request/response pair and update the descriptor set.
+    fn track(&mut self, req: &Request, resp: &Response) {
+        match (req, resp) {
+            (Request::Open { .. } | Request::Connect { .. }, Response::Ok { ret }) => {
+                self.fds.insert(iofwd_proto::Fd(*ret as u32));
+            }
+            (Request::Close { fd }, Response::Ok { .. } | Response::DeferredErr { .. }) => {
+                self.fds.remove(fd);
+            }
+            _ => {}
+        }
+    }
+
+    /// Close everything the departed client left open.
+    fn reclaim(self, engine: &Engine) {
+        for fd in self.fds {
+            let _ = engine.execute(&Request::Close { fd }, &Bytes::new());
+        }
+    }
+}
+
+fn send_response(conn: &dyn Conn, client: u32, seq: u64, resp: &Response, data: Bytes) {
+    // A send failure means the client vanished; the handler loop will
+    // observe the closed connection on its next recv.
+    let _ = conn.send(Frame::response(client, seq, resp, data));
+}
+
+fn decode_or_reject(conn: &dyn Conn, frame: &Frame) -> Option<Request> {
+    match frame.decode_request() {
+        Ok(req) => Some(req),
+        Err(_) => {
+            send_response(
+                conn,
+                frame.client_id,
+                frame.seq,
+                &Response::Err { errno: Errno::Inval },
+                Bytes::new(),
+            );
+            None
+        }
+    }
+}
+
+/// ZOID: thread-per-client, execute inline.
+pub fn handle_zoid(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
+    let mut session = Session::default();
+    while let Ok(Some(frame)) = conn.recv() {
+        let Some(req) = decode_or_reject(conn.as_ref(), &frame) else { continue };
+        let shutdown = matches!(req, Request::Shutdown);
+        let (resp, data) = engine.execute(&req, &frame.data);
+        session.track(&req, &resp);
+        send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data);
+        if shutdown {
+            break;
+        }
+    }
+    session.reclaim(&engine);
+}
+
+/// CIOD: daemon thread copies into "shared memory", a per-client proxy
+/// executes. The copy is real — it is CIOD's architectural cost.
+pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
+    let (shm_tx, shm_rx) = unbounded::<Frame>();
+    let proxy_conn = conn.clone();
+    let proxy_engine = engine.clone();
+    let proxy = std::thread::Builder::new()
+        .name("ciod-proxy".into())
+        .spawn(move || {
+            // The I/O proxy process: executes forwarded calls and returns
+            // results directly to the compute node.
+            let mut session = Session::default();
+            while let Ok(frame) = shm_rx.recv() {
+                let Some(req) = decode_or_reject(proxy_conn.as_ref(), &frame) else { continue };
+                let shutdown = matches!(req, Request::Shutdown);
+                let (resp, data) = proxy_engine.execute(&req, &frame.data);
+                session.track(&req, &resp);
+                send_response(proxy_conn.as_ref(), frame.client_id, frame.seq, &resp, data);
+                if shutdown {
+                    break;
+                }
+            }
+            session.reclaim(&proxy_engine);
+        })
+        .expect("spawn ciod proxy");
+
+    while let Ok(Some(frame)) = conn.recv() {
+        // Copy the payload into the shared-memory region before the proxy
+        // may touch it (CIOD's double copy, §II-B1).
+        let copied = Bytes::from(frame.data.to_vec());
+        let shutdown = matches!(frame.decode_request(), Ok(Request::Shutdown));
+        let staged = Frame { data: copied, ..frame };
+        if shm_tx.send(staged).is_err() {
+            break;
+        }
+        if shutdown {
+            break;
+        }
+    }
+    drop(shm_tx);
+    let _ = proxy.join();
+}
+
+/// I/O scheduling: enqueue, wait for a worker, reply.
+pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQueue>) {
+    let mut session = Session::default();
+    while let Ok(Some(frame)) = conn.recv() {
+        let Some(req) = decode_or_reject(conn.as_ref(), &frame) else { continue };
+        if matches!(req, Request::Shutdown) {
+            send_response(
+                conn.as_ref(),
+                frame.client_id,
+                frame.seq,
+                &Response::Ok { ret: 0 },
+                Bytes::new(),
+            );
+            break;
+        }
+        let (tx, rx) = bounded(1);
+        queue.push(WorkItem::Sync { req: req.clone(), data: frame.data.clone(), reply: tx });
+        match rx.recv() {
+            Ok((resp, data)) => {
+                session.track(&req, &resp);
+                send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data)
+            }
+            Err(_) => break, // workers gone: daemon shutting down
+        }
+    }
+    session.reclaim(&engine);
+}
+
+/// I/O scheduling + asynchronous data staging.
+pub fn handle_staged(
+    conn: Arc<dyn Conn>,
+    engine: Arc<Engine>,
+    queue: Arc<WorkQueue>,
+    serializer: Arc<FdSerializer>,
+) {
+    let bml = engine.bml().expect("staged mode requires a BML").clone();
+    let mut session = Session::default();
+    while let Ok(Some(frame)) = conn.recv() {
+        let Some(req) = decode_or_reject(conn.as_ref(), &frame) else { continue };
+        match req {
+            Request::Shutdown => {
+                send_response(
+                    conn.as_ref(),
+                    frame.client_id,
+                    frame.seq,
+                    &Response::Ok { ret: 0 },
+                    Bytes::new(),
+                );
+                break;
+            }
+            Request::Write { fd, len } | Request::Pwrite { fd, len, .. }
+                if len as usize <= bml.max_request() =>
+            {
+                let offset = match req {
+                    Request::Pwrite { offset, .. } => Some(offset),
+                    _ => None,
+                };
+                if len != frame.data.len() as u64 {
+                    send_response(
+                        conn.as_ref(),
+                        frame.client_id,
+                        frame.seq,
+                        &Response::Err { errno: Errno::Inval },
+                        Bytes::new(),
+                    );
+                    continue;
+                }
+                let resp = match engine.descriptor_db().begin_op(fd) {
+                    Err(BeginError::Sync(errno)) => Response::Err { errno },
+                    Err(BeginError::Deferred { op, errno }) => {
+                        engine.stats.deferred_errors_reported.fetch_add(1, Ordering::Relaxed);
+                        Response::DeferredErr { op, errno }
+                    }
+                    Ok((op, _obj)) => {
+                        // Blocking acquisition: "if there is insufficient
+                        // memory to stage the data, the I/O operation is
+                        // blocked until ... sufficient memory is
+                        // available" (§IV).
+                        match bml.acquire_timeout(len as usize, None) {
+                            None => {
+                                // BML closed: daemon shutting down.
+                                engine.descriptor_db().finish_op(
+                                    fd,
+                                    op,
+                                    OpOutcome::Failed(Errno::NoMem),
+                                );
+                                Response::Err { errno: Errno::NoMem }
+                            }
+                            Some(mut buf) => {
+                                buf.fill_from(&frame.data);
+                                engine.stats.requests.fetch_add(1, Ordering::Relaxed);
+                                engine
+                                    .stats
+                                    .bytes_in
+                                    .fetch_add(len, Ordering::Relaxed);
+                                engine.stats.staged_ops.fetch_add(1, Ordering::Relaxed);
+                                let item = WorkItem::StagedWrite { fd, op, offset, buf };
+                                if let Some(item) = serializer.admit(fd, item) {
+                                    queue.push(item);
+                                }
+                                Response::Staged { op }
+                            }
+                        }
+                    }
+                };
+                send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, Bytes::new());
+            }
+            Request::Read { fd, .. } | Request::Pread { fd, .. } => {
+                // Reads barrier behind staged writes on the descriptor so
+                // a read never observes pre-staging file contents.
+                if let Err(errno) = engine.descriptor_db().wait_idle(fd) {
+                    send_response(
+                        conn.as_ref(),
+                        frame.client_id,
+                        frame.seq,
+                        &Response::Err { errno },
+                        Bytes::new(),
+                    );
+                    continue;
+                }
+                let (tx, rx) = bounded(1);
+                queue.push(WorkItem::Sync { req, data: frame.data.clone(), reply: tx });
+                match rx.recv() {
+                    Ok((resp, data)) => {
+                        send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data)
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Metadata operations (and oversized writes that exceed the
+            // BML's largest class) run synchronously in the handler, as
+            // the paper specifies for open/close/attribute operations.
+            other => {
+                let (resp, data) = engine.execute(&other, &frame.data);
+                session.track(&other, &resp);
+                send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data);
+            }
+        }
+    }
+    // Reclaiming a descriptor barriers its staged writes (close waits
+    // for the in-flight operations), so nothing is lost.
+    session.reclaim(&engine);
+}
+
+/// Worker-pool loop: batch-dequeue ("I/O multiplexing per thread") and
+/// execute.
+pub fn worker_loop(
+    worker: usize,
+    batch: usize,
+    queue: Arc<WorkQueue>,
+    engine: Arc<Engine>,
+    serializer: Arc<FdSerializer>,
+) {
+    loop {
+        let items = queue.pop_batch(worker, batch);
+        if items.is_empty() {
+            return; // queue closed and drained
+        }
+        for item in items {
+            match item {
+                WorkItem::Sync { req, data, reply } => {
+                    let (resp, out) = engine.execute(&req, &data);
+                    let _ = reply.send((resp, out));
+                }
+                WorkItem::StagedWrite { fd, op, offset, buf } => {
+                    // Filters, backend write, and outcome recording all
+                    // happen in the engine (shared with the sync path).
+                    engine.execute_staged_write(fd, op, offset, buf.as_slice());
+                    drop(buf); // return staging memory before dispatching more
+                    if let Some(next) = serializer.complete(fd) {
+                        queue.push(next);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The ION daemon: accept loop, per-client handlers, worker pool.
+//!
+//! [`ForwardingMode`] selects among the four architectures the paper
+//! compares (Figure 9's four curves):
+//!
+//! | mode | handler | executor | client blocked for |
+//! |------|---------|----------|--------------------|
+//! | `Ciod` | rx thread + proxy per client | proxy (double copy) | whole operation |
+//! | `Zoid` | thread per client | the handler itself | whole operation |
+//! | `Sched` | thread per client | shared worker pool | whole operation |
+//! | `AsyncStaged` | thread per client | shared worker pool | staging copy only |
+
+mod engine;
+mod handlers;
+mod queue;
+mod staged;
+
+pub use engine::{Engine, ServerStats, StatsSnapshot};
+pub use queue::{QueueDiscipline, WorkItem, WorkQueue};
+pub use staged::FdSerializer;
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::backend::Backend;
+use crate::bml::Bml;
+use crate::transport::Listener;
+
+/// Which forwarding architecture the daemon runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardingMode {
+    /// IBM's CIOD: per-client proxy with a shared-memory copy (§II-B1).
+    Ciod,
+    /// ZeptoOS ZOID baseline: thread per client executes its own I/O
+    /// (§II-B2).
+    Zoid,
+    /// ZOID + I/O scheduling: shared FIFO work queue + worker pool (§IV).
+    Sched { workers: usize },
+    /// ZOID + I/O scheduling + asynchronous data staging via the BML
+    /// (§IV).
+    AsyncStaged { workers: usize, bml_capacity: u64 },
+}
+
+impl ForwardingMode {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ForwardingMode::Ciod => "ciod",
+            ForwardingMode::Zoid => "zoid",
+            ForwardingMode::Sched { .. } => "sched",
+            ForwardingMode::AsyncStaged { .. } => "async-staged",
+        }
+    }
+
+    fn workers(&self) -> usize {
+        match self {
+            ForwardingMode::Ciod | ForwardingMode::Zoid => 0,
+            ForwardingMode::Sched { workers } => *workers,
+            ForwardingMode::AsyncStaged { workers, .. } => *workers,
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Clone)]
+pub struct ServerConfig {
+    pub mode: ForwardingMode,
+    /// How many tasks a worker dequeues per scheduling pass (the paper's
+    /// per-thread I/O multiplexing; §IV uses a poll-based event loop).
+    pub worker_batch: usize,
+    /// Work-queue discipline (the paper uses a single shared FIFO; the
+    /// per-worker variant exists for the ablation bench).
+    pub queue_discipline: QueueDiscipline,
+    /// In-situ filter chain applied to every data write on the ION
+    /// (§VII future work: offloaded data filtering / analytics).
+    pub filters: crate::filter::FilterChain,
+}
+
+impl ServerConfig {
+    pub fn new(mode: ForwardingMode) -> Self {
+        ServerConfig {
+            mode,
+            worker_batch: 4,
+            queue_discipline: QueueDiscipline::SharedFifo,
+            filters: crate::filter::FilterChain::new(),
+        }
+    }
+
+    pub fn with_worker_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0);
+        self.worker_batch = batch;
+        self
+    }
+
+    pub fn with_queue_discipline(mut self, d: QueueDiscipline) -> Self {
+        self.queue_discipline = d;
+        self
+    }
+
+    /// Attach an in-situ filter chain; filters run on the ION where the
+    /// write executes, overlapping application computation.
+    pub fn with_filter(mut self, chain: crate::filter::FilterChain) -> Self {
+        self.filters = chain;
+        self
+    }
+}
+
+/// A running ION daemon. Dropping without [`IonServer::shutdown`] detaches
+/// its threads; call `shutdown` for an orderly join (clients must have
+/// disconnected or sent `Request::Shutdown` first).
+pub struct IonServer {
+    engine: Arc<Engine>,
+    queue: Option<Arc<WorkQueue>>,
+    listener: Arc<dyn Listener>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    handler_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    config: ServerConfig,
+}
+
+impl IonServer {
+    /// Start the daemon on a listener.
+    pub fn spawn(
+        listener: Box<dyn Listener>,
+        backend: Arc<dyn Backend>,
+        config: ServerConfig,
+    ) -> IonServer {
+        let bml = match config.mode {
+            ForwardingMode::AsyncStaged { bml_capacity, .. } => Some(Bml::new(bml_capacity)),
+            _ => None,
+        };
+        let engine = Arc::new(Engine::with_filters(backend, bml, config.filters.clone()));
+        let listener: Arc<dyn Listener> = Arc::from(listener);
+        let handler_threads = Arc::new(Mutex::new(Vec::new()));
+
+        let (queue, serializer, worker_threads) = match config.mode.workers() {
+            0 => (None, None, Vec::new()),
+            n => {
+                let queue = Arc::new(WorkQueue::new(config.queue_discipline, n));
+                let serializer = Arc::new(FdSerializer::new());
+                let workers = (0..n)
+                    .map(|w| {
+                        let queue = queue.clone();
+                        let engine = engine.clone();
+                        let serializer = serializer.clone();
+                        let batch = config.worker_batch;
+                        std::thread::Builder::new()
+                            .name(format!("iofwd-worker-{w}"))
+                            .spawn(move || {
+                                handlers::worker_loop(w, batch, queue, engine, serializer)
+                            })
+                            .expect("spawn worker")
+                    })
+                    .collect();
+                (Some(queue), Some(serializer), workers)
+            }
+        };
+
+        let accept_thread = {
+            let listener = listener.clone();
+            let engine = engine.clone();
+            let queue = queue.clone();
+            let serializer = serializer.clone();
+            let handler_threads = handler_threads.clone();
+            let mode = config.mode;
+            std::thread::Builder::new()
+                .name("iofwd-accept".into())
+                .spawn(move || {
+                    while let Ok(Some(conn)) = listener.accept() {
+                        let conn: Arc<dyn crate::transport::Conn> = Arc::from(conn);
+                        let engine = engine.clone();
+                        let queue = queue.clone();
+                        let serializer = serializer.clone();
+                        let handle = std::thread::Builder::new()
+                            .name("iofwd-handler".into())
+                            .spawn(move || match mode {
+                                ForwardingMode::Ciod => handlers::handle_ciod(conn, engine),
+                                ForwardingMode::Zoid => handlers::handle_zoid(conn, engine),
+                                ForwardingMode::Sched { .. } => handlers::handle_sched(
+                                    conn,
+                                    engine,
+                                    queue.expect("sched mode has a queue"),
+                                ),
+                                ForwardingMode::AsyncStaged { .. } => handlers::handle_staged(
+                                    conn,
+                                    engine,
+                                    queue.expect("staged mode has a queue"),
+                                    serializer.expect("staged mode has a serializer"),
+                                ),
+                            })
+                            .expect("spawn handler");
+                        handler_threads.lock().push(handle);
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+
+        IonServer {
+            engine,
+            queue,
+            listener,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+            handler_threads,
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Daemon-wide request counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.engine.stats()
+    }
+
+    /// Work-queue statistics (None for Ciod/Zoid modes).
+    pub fn queue_stats(&self) -> Option<(u64, u64)> {
+        self.queue.as_ref().map(|q| (q.total_enqueued(), q.depth_high_water()))
+    }
+
+    /// BML statistics (None unless AsyncStaged).
+    pub fn bml_stats(&self) -> Option<crate::bml::BmlStats> {
+        self.engine.bml().map(|b| b.stats())
+    }
+
+    /// Number of descriptors currently open on the daemon.
+    pub fn open_descriptors(&self) -> usize {
+        self.engine.descriptor_db().open_count()
+    }
+
+    /// Orderly shutdown: stop accepting, join client handlers (clients
+    /// must have disconnected), drain the work queue, join workers.
+    pub fn shutdown(mut self) {
+        self.listener.shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let handlers: Vec<_> = std::mem::take(&mut *self.handler_threads.lock());
+        for h in handlers {
+            let _ = h.join();
+        }
+        if let Some(q) = &self.queue {
+            q.close();
+        }
+        for w in std::mem::take(&mut self.worker_threads) {
+            let _ = w.join();
+        }
+        if let Some(bml) = self.engine.bml() {
+            bml.close();
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The I/O work queue (§IV).
+//!
+//! > To enable I/O scheduling, we augmented ZOID's thread model with a
+//! > work queue model using a shared first-in first-out (FIFO) work
+//! > queue. [...] We use a pool of worker threads to handle the I/O tasks
+//! > in the work queue. [...] To facilitate I/O multiplexing per thread,
+//! > a worker thread dequeues multiple I/O requests and executes them in
+//! > an event loop. [...] We use a simple load-balancing heuristic to
+//! > balance the tasks among the work threads.
+//!
+//! The default discipline is the paper's single shared FIFO, where idle
+//! workers pulling from one queue *is* the load balancer. A per-worker
+//! variant (round-robin enqueue + work stealing when a worker's own queue
+//! runs dry) is provided for the queue-discipline ablation bench.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use iofwd_proto::{Fd, OpId, Request, Response};
+use parking_lot::{Condvar, Mutex};
+
+use crate::bml::BmlBuffer;
+
+/// A unit of work for the worker pool.
+pub enum WorkItem {
+    /// Execute a request and send the outcome back to the waiting client
+    /// handler (the synchronous-scheduling path).
+    Sync {
+        req: Request,
+        data: Bytes,
+        reply: Sender<(Response, Bytes)>,
+    },
+    /// A staged write: data already copied into BML memory, the client
+    /// already released (the asynchronous-staging path). The buffer
+    /// returns to the BML when the item is dropped after execution.
+    StagedWrite {
+        fd: Fd,
+        op: OpId,
+        /// `Some` for pwrite, `None` for a cursor write.
+        offset: Option<u64>,
+        buf: BmlBuffer,
+    },
+}
+
+/// Queueing discipline, for the ablation in DESIGN.md §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueDiscipline {
+    /// One shared FIFO; idle workers pull (the paper's design).
+    SharedFifo,
+    /// Per-worker FIFOs, round-robin placement, stealing on empty.
+    PerWorker,
+}
+
+struct QueueState {
+    shared: VecDeque<WorkItem>,
+    per_worker: Vec<VecDeque<WorkItem>>,
+    rr_next: usize,
+    closed: bool,
+}
+
+/// MPMC work queue with batch dequeue ("I/O multiplexing per thread").
+pub struct WorkQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    discipline: QueueDiscipline,
+    depth_high_water: AtomicU64,
+    total_enqueued: AtomicU64,
+    total_steals: AtomicU64,
+}
+
+impl WorkQueue {
+    pub fn new(discipline: QueueDiscipline, workers: usize) -> Self {
+        assert!(workers > 0, "worker pool must be non-empty");
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                shared: VecDeque::new(),
+                per_worker: (0..workers).map(|_| VecDeque::new()).collect(),
+                rr_next: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            discipline,
+            depth_high_water: AtomicU64::new(0),
+            total_enqueued: AtomicU64::new(0),
+            total_steals: AtomicU64::new(0),
+        }
+    }
+
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.discipline
+    }
+
+    /// Enqueue a task; wakes one worker.
+    pub fn push(&self, item: WorkItem) {
+        let mut s = self.state.lock();
+        assert!(!s.closed, "push on closed work queue");
+        match self.discipline {
+            QueueDiscipline::SharedFifo => s.shared.push_back(item),
+            QueueDiscipline::PerWorker => {
+                let w = s.rr_next;
+                s.rr_next = (s.rr_next + 1) % s.per_worker.len();
+                s.per_worker[w].push_back(item);
+            }
+        }
+        let depth = Self::depth_locked(&s) as u64;
+        drop(s);
+        self.depth_high_water.fetch_max(depth, Ordering::Relaxed);
+        self.total_enqueued.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_one();
+    }
+
+    /// Dequeue up to `batch` tasks for `worker`, blocking while empty.
+    /// Returns an empty vec once the queue is closed and drained.
+    pub fn pop_batch(&self, worker: usize, batch: usize) -> Vec<WorkItem> {
+        assert!(batch > 0);
+        let mut s = self.state.lock();
+        loop {
+            let mut out = Vec::new();
+            match self.discipline {
+                QueueDiscipline::SharedFifo => {
+                    while out.len() < batch {
+                        match s.shared.pop_front() {
+                            Some(it) => out.push(it),
+                            None => break,
+                        }
+                    }
+                }
+                QueueDiscipline::PerWorker => {
+                    while out.len() < batch {
+                        match s.per_worker[worker].pop_front() {
+                            Some(it) => out.push(it),
+                            None => break,
+                        }
+                    }
+                    if out.is_empty() {
+                        // Steal from the deepest other queue — the
+                        // "simple load-balancing heuristic".
+                        let victim = (0..s.per_worker.len())
+                            .filter(|&w| w != worker)
+                            .max_by_key(|&w| s.per_worker[w].len());
+                        if let Some(v) = victim {
+                            if let Some(it) = s.per_worker[v].pop_front() {
+                                self.total_steals.fetch_add(1, Ordering::Relaxed);
+                                out.push(it);
+                            }
+                        }
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return out;
+            }
+            if s.closed {
+                return Vec::new();
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Close the queue: workers drain remaining items, then exit.
+    pub fn close(&self) {
+        let mut s = self.state.lock();
+        s.closed = true;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    pub fn depth(&self) -> usize {
+        Self::depth_locked(&self.state.lock())
+    }
+
+    fn depth_locked(s: &QueueState) -> usize {
+        s.shared.len() + s.per_worker.iter().map(|q| q.len()).sum::<usize>()
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn depth_high_water(&self) -> u64 {
+        self.depth_high_water.load(Ordering::Relaxed)
+    }
+
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued.load(Ordering::Relaxed)
+    }
+
+    pub fn total_steals(&self) -> u64 {
+        self.total_steals.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use std::sync::Arc;
+
+    fn sync_item(tag: u64) -> WorkItem {
+        let (tx, _rx) = unbounded();
+        WorkItem::Sync { req: Request::Fsync { fd: Fd(tag as u32) }, data: Bytes::new(), reply: tx }
+    }
+
+    fn tag_of(item: &WorkItem) -> u64 {
+        match item {
+            WorkItem::Sync { req: Request::Fsync { fd }, .. } => fd.0 as u64,
+            _ => panic!("unexpected item"),
+        }
+    }
+
+    #[test]
+    fn shared_fifo_preserves_order() {
+        let q = WorkQueue::new(QueueDiscipline::SharedFifo, 2);
+        for i in 0..5 {
+            q.push(sync_item(i));
+        }
+        let batch = q.pop_batch(0, 3);
+        assert_eq!(batch.iter().map(tag_of).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let rest = q.pop_batch(1, 10);
+        assert_eq!(rest.iter().map(tag_of).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(q.total_enqueued(), 5);
+        assert_eq!(q.depth_high_water(), 5);
+    }
+
+    #[test]
+    fn close_drains_then_returns_empty() {
+        let q = WorkQueue::new(QueueDiscipline::SharedFifo, 1);
+        q.push(sync_item(1));
+        q.close();
+        assert_eq!(q.pop_batch(0, 10).len(), 1);
+        assert!(q.pop_batch(0, 10).is_empty());
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push() {
+        let q = Arc::new(WorkQueue::new(QueueDiscipline::SharedFifo, 1));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop_batch(0, 1));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        q.push(sync_item(7));
+        let got = t.join().unwrap();
+        assert_eq!(tag_of(&got[0]), 7);
+    }
+
+    #[test]
+    fn per_worker_round_robin_and_steal() {
+        let q = WorkQueue::new(QueueDiscipline::PerWorker, 2);
+        for i in 0..4 {
+            q.push(sync_item(i)); // 0,2 -> worker 0; 1,3 -> worker 1
+        }
+        let own = q.pop_batch(0, 10);
+        assert_eq!(own.iter().map(tag_of).collect::<Vec<_>>(), vec![0, 2]);
+        // Worker 0's queue is now empty; it steals from worker 1.
+        let stolen = q.pop_batch(0, 10);
+        assert_eq!(stolen.len(), 1);
+        assert_eq!(tag_of(&stolen[0]), 1);
+        assert_eq!(q.total_steals(), 1);
+    }
+
+    #[test]
+    fn blocked_workers_all_released_by_close() {
+        let q = Arc::new(WorkQueue::new(QueueDiscipline::SharedFifo, 4));
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || q.pop_batch(w, 1).len()));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 0);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-descriptor serialization for staged operations.
+//!
+//! Staged writes on *one* descriptor must execute in the order the
+//! application issued them (a byte stream to a DA node or a cursor write
+//! sequence is order-sensitive), while operations on *different*
+//! descriptors should spread freely across the worker pool. The
+//! [`FdSerializer`] provides exactly that: each descriptor is a lane; at
+//! most one staged operation per lane is in the work queue at a time, and
+//! completing it releases the next. Lanes never block a worker — ordering
+//! is enforced at dispatch, so the pool cannot deadlock on ordering.
+
+use std::collections::{HashMap, VecDeque};
+
+use iofwd_proto::Fd;
+use parking_lot::Mutex;
+
+use super::queue::WorkItem;
+
+#[derive(Default)]
+struct Lane {
+    busy: bool,
+    pending: VecDeque<WorkItem>,
+}
+
+/// Dispatch-order serializer keyed by descriptor.
+#[derive(Default)]
+pub struct FdSerializer {
+    lanes: Mutex<HashMap<Fd, Lane>>,
+}
+
+impl FdSerializer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offer an item for `fd`. Returns it back if the lane is free (the
+    /// caller enqueues it on the work queue); otherwise the item is
+    /// parked in the lane and `None` is returned.
+    pub fn admit(&self, fd: Fd, item: WorkItem) -> Option<WorkItem> {
+        let mut lanes = self.lanes.lock();
+        let lane = lanes.entry(fd).or_default();
+        if lane.busy {
+            lane.pending.push_back(item);
+            None
+        } else {
+            lane.busy = true;
+            Some(item)
+        }
+    }
+
+    /// Mark `fd`'s in-flight item complete. Returns the next parked item
+    /// for that lane (the caller enqueues it), if any.
+    pub fn complete(&self, fd: Fd) -> Option<WorkItem> {
+        let mut lanes = self.lanes.lock();
+        let lane = lanes.get_mut(&fd).expect("complete on unknown lane");
+        debug_assert!(lane.busy, "complete on idle lane");
+        match lane.pending.pop_front() {
+            Some(next) => Some(next),
+            None => {
+                lane.busy = false;
+                // Drop empty idle lanes so closed descriptors don't leak.
+                lanes.remove(&fd);
+                None
+            }
+        }
+    }
+
+    /// Items parked across all lanes (for stats/tests).
+    pub fn parked(&self) -> usize {
+        self.lanes.lock().values().map(|l| l.pending.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use crossbeam::channel::unbounded;
+    use iofwd_proto::Request;
+
+    fn item(tag: u32) -> WorkItem {
+        let (tx, _rx) = unbounded();
+        WorkItem::Sync { req: Request::Fsync { fd: Fd(tag) }, data: Bytes::new(), reply: tx }
+    }
+
+    fn tag(i: &WorkItem) -> u32 {
+        match i {
+            WorkItem::Sync { req: Request::Fsync { fd }, .. } => fd.0,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn first_item_passes_through() {
+        let s = FdSerializer::new();
+        assert!(s.admit(Fd(1), item(10)).is_some());
+        assert_eq!(s.parked(), 0);
+    }
+
+    #[test]
+    fn second_item_parks_until_complete() {
+        let s = FdSerializer::new();
+        assert!(s.admit(Fd(1), item(10)).is_some());
+        assert!(s.admit(Fd(1), item(11)).is_none());
+        assert!(s.admit(Fd(1), item(12)).is_none());
+        assert_eq!(s.parked(), 2);
+        // Completion releases in FIFO order.
+        let next = s.complete(Fd(1)).unwrap();
+        assert_eq!(tag(&next), 11);
+        let next = s.complete(Fd(1)).unwrap();
+        assert_eq!(tag(&next), 12);
+        assert!(s.complete(Fd(1)).is_none());
+        assert_eq!(s.parked(), 0);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let s = FdSerializer::new();
+        assert!(s.admit(Fd(1), item(10)).is_some());
+        assert!(s.admit(Fd(2), item(20)).is_some(), "other fd must not be blocked");
+    }
+
+    #[test]
+    fn lane_reusable_after_drain() {
+        let s = FdSerializer::new();
+        assert!(s.admit(Fd(1), item(1)).is_some());
+        assert!(s.complete(Fd(1)).is_none());
+        assert!(s.admit(Fd(1), item(2)).is_some());
+    }
+}

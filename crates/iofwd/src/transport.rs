@@ -1,0 +1,452 @@
+//! Transports: how frames move between a compute-node client and the ION
+//! daemon.
+//!
+//! On a real BG/P this hop is the collective (tree) network; here it is
+//! pluggable: [`mem`] provides an in-process channel transport (the
+//! default for tests and single-host examples, optionally throttled to
+//! tree-network rates for realism), and [`tcp`] carries the same frames
+//! over TCP for multi-host deployments.
+
+use std::io;
+
+use iofwd_proto::Frame;
+
+/// One end of a bidirectional frame connection.
+///
+/// `recv` blocks until a frame arrives; `Ok(None)` means the peer closed
+/// cleanly. Implementations must allow `send` and `recv` from different
+/// threads (`&self` receivers with interior mutability).
+pub trait Conn: Send + Sync {
+    fn send(&self, frame: Frame) -> io::Result<()>;
+    fn recv(&self) -> io::Result<Option<Frame>>;
+    /// Close both directions; subsequent `recv` on the peer returns `None`.
+    fn close(&self);
+}
+
+/// Server-side accept source.
+pub trait Listener: Send + Sync {
+    /// Block for the next client connection; `Ok(None)` means the
+    /// listener was shut down.
+    fn accept(&self) -> io::Result<Option<Box<dyn Conn>>>;
+    /// Unblock any pending `accept` and refuse new connections.
+    fn shutdown(&self);
+}
+
+pub mod mem {
+    //! In-process transport over crossbeam channels.
+    //!
+    //! [`MemHub`] plays the role of the collective network: clients call
+    //! [`MemHub::connect`], servers accept from [`MemHub::listener`]. A
+    //! [`Throttle`] can be attached to model a finite-bandwidth hop in
+    //! wall-clock examples (the discrete-event simulator in `bgsim` is
+    //! the precise tool; this is for live demos).
+
+    use super::{Conn, Listener};
+    use crossbeam::channel::{unbounded, Receiver, Sender};
+    use iofwd_proto::Frame;
+    use parking_lot::Mutex;
+    use std::io;
+    use std::time::{Duration, Instant};
+
+    /// Optional bandwidth/latency shaping for a mem connection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Throttle {
+        /// Payload bandwidth in bytes/second.
+        pub bytes_per_sec: f64,
+        /// Fixed per-frame latency.
+        pub per_frame: Duration,
+    }
+
+    impl Throttle {
+        fn delay_for(&self, bytes: usize) -> Duration {
+            self.per_frame + Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+        }
+    }
+
+    struct Shaper {
+        throttle: Option<Throttle>,
+        /// Time at which the link becomes free (token-bucket style pacing).
+        free_at: Mutex<Instant>,
+    }
+
+    impl Shaper {
+        fn new(throttle: Option<Throttle>) -> Self {
+            Shaper { throttle, free_at: Mutex::new(Instant::now()) }
+        }
+
+        fn pace(&self, bytes: usize) {
+            let Some(t) = self.throttle else { return };
+            let wait = {
+                let mut free_at = self.free_at.lock();
+                let now = Instant::now();
+                let start = (*free_at).max(now);
+                let done = start + t.delay_for(bytes);
+                *free_at = done;
+                done.saturating_duration_since(now)
+            };
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+        }
+    }
+
+    /// One endpoint of an in-memory connection.
+    pub struct MemConn {
+        tx: Sender<Frame>,
+        rx: Receiver<Frame>,
+        shaper: Shaper,
+    }
+
+    impl Conn for MemConn {
+        fn send(&self, frame: Frame) -> io::Result<()> {
+            self.shaper.pace(frame.wire_len());
+            self.tx
+                .send(frame)
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))
+        }
+
+        fn recv(&self) -> io::Result<Option<Frame>> {
+            Ok(self.rx.recv().ok())
+        }
+
+        fn close(&self) {
+            // Dropping our sender would be ideal, but we only have &self;
+            // sending is refused by the peer's disconnect when both sides
+            // drop. Explicit close is modeled by dropping the endpoints.
+        }
+    }
+
+    /// Build a directly-connected pair (client end, server end).
+    pub fn pair() -> (MemConn, MemConn) {
+        pair_with(None)
+    }
+
+    /// Connected pair with shaping applied to each direction.
+    pub fn pair_with(throttle: Option<Throttle>) -> (MemConn, MemConn) {
+        let (atx, arx) = unbounded();
+        let (btx, brx) = unbounded();
+        (
+            MemConn { tx: atx, rx: brx, shaper: Shaper::new(throttle) },
+            MemConn { tx: btx, rx: arx, shaper: Shaper::new(throttle) },
+        )
+    }
+
+    /// Rendezvous point connecting clients to a server accept loop.
+    pub struct MemHub {
+        conn_tx: Sender<MemConn>,
+        conn_rx: Receiver<MemConn>,
+        throttle: Option<Throttle>,
+    }
+
+    impl Default for MemHub {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl MemHub {
+        pub fn new() -> Self {
+            Self::with_throttle(None)
+        }
+
+        /// Hub whose connections are bandwidth-shaped (e.g. to collective
+        /// network rates).
+        pub fn with_throttle(throttle: Option<Throttle>) -> Self {
+            let (conn_tx, conn_rx) = unbounded();
+            MemHub { conn_tx, conn_rx, throttle }
+        }
+
+        /// Client side: open a connection to the hub's listener.
+        pub fn connect(&self) -> MemConn {
+            let (client, server) = pair_with(self.throttle);
+            self.conn_tx.send(server).expect("listener gone");
+            client
+        }
+
+        /// Server side: the accept source.
+        pub fn listener(&self) -> MemListener {
+            MemListener { rx: self.conn_rx.clone(), closed: Mutex::new(false) }
+        }
+    }
+
+    /// Accept side of a [`MemHub`].
+    pub struct MemListener {
+        rx: Receiver<MemConn>,
+        closed: Mutex<bool>,
+    }
+
+    impl Listener for MemListener {
+        fn accept(&self) -> io::Result<Option<Box<dyn Conn>>> {
+            loop {
+                if *self.closed.lock() {
+                    return Ok(None);
+                }
+                match self.rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(c) => return Ok(Some(Box::new(c))),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return Ok(None),
+                }
+            }
+        }
+
+        fn shutdown(&self) {
+            *self.closed.lock() = true;
+        }
+    }
+}
+
+pub mod tcp {
+    //! TCP transport: length-delimited frames over a stream socket.
+
+    use super::{Conn, Listener};
+    use bytes::BytesMut;
+    use iofwd_proto::Frame;
+    use parking_lot::Mutex;
+    use std::io::{self, Read, Write};
+    use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+    use std::time::Duration;
+
+    /// A frame connection over a `TcpStream`.
+    pub struct TcpConn {
+        write: Mutex<TcpStream>,
+        read: Mutex<ReadState>,
+    }
+
+    struct ReadState {
+        stream: TcpStream,
+        buf: BytesMut,
+    }
+
+    impl TcpConn {
+        pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpConn> {
+            let stream = TcpStream::connect(addr)?;
+            Self::from_stream(stream)
+        }
+
+        pub fn from_stream(stream: TcpStream) -> io::Result<TcpConn> {
+            stream.set_nodelay(true)?;
+            let read = stream.try_clone()?;
+            Ok(TcpConn {
+                write: Mutex::new(stream),
+                read: Mutex::new(ReadState { stream: read, buf: BytesMut::with_capacity(64 * 1024) }),
+            })
+        }
+    }
+
+    impl Conn for TcpConn {
+        fn send(&self, frame: Frame) -> io::Result<()> {
+            let wire = frame.encode();
+            let mut w = self.write.lock();
+            w.write_all(&wire)
+        }
+
+        fn recv(&self) -> io::Result<Option<Frame>> {
+            let mut state = self.read.lock();
+            loop {
+                match Frame::decode(&state.buf) {
+                    Ok(Some((frame, used))) => {
+                        let _ = state.buf.split_to(used);
+                        return Ok(Some(frame));
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+                    }
+                }
+                let mut chunk = [0u8; 64 * 1024];
+                let n = state.stream.read(&mut chunk)?;
+                if n == 0 {
+                    return if state.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ))
+                    };
+                }
+                state.buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+
+        fn close(&self) {
+            let _ = self.write.lock().shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Accept side over a `TcpListener`.
+    pub struct TcpAcceptor {
+        listener: TcpListener,
+        closed: Mutex<bool>,
+    }
+
+    impl TcpAcceptor {
+        pub fn bind(addr: impl ToSocketAddrs) -> io::Result<TcpAcceptor> {
+            let listener = TcpListener::bind(addr)?;
+            // Poll with a timeout so shutdown can be observed.
+            listener.set_nonblocking(false)?;
+            Ok(TcpAcceptor { listener, closed: Mutex::new(false) })
+        }
+
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.listener.local_addr()
+        }
+    }
+
+    impl Listener for TcpAcceptor {
+        fn accept(&self) -> io::Result<Option<Box<dyn Conn>>> {
+            loop {
+                if *self.closed.lock() {
+                    return Ok(None);
+                }
+                // Use a short accept timeout via nonblocking + sleep so a
+                // shutdown is noticed promptly without platform-specific
+                // APIs.
+                self.listener.set_nonblocking(true)?;
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        self.listener.set_nonblocking(false)?;
+                        stream.set_nonblocking(false)?;
+                        return Ok(Some(Box::new(TcpConn::from_stream(stream)?)));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        fn shutdown(&self) {
+            *self.closed.lock() = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mem::{pair, pair_with, MemHub, Throttle};
+    use super::tcp::{TcpAcceptor, TcpConn};
+    use super::{Conn, Listener};
+    use bytes::Bytes;
+    use iofwd_proto::{Fd, Frame, Request};
+    use std::time::{Duration, Instant};
+
+    fn frame(seq: u64) -> Frame {
+        Frame::request(1, seq, &Request::Write { fd: Fd(3), len: 4 }, Bytes::from_static(b"abcd"))
+    }
+
+    #[test]
+    fn mem_pair_roundtrip() {
+        let (a, b) = pair();
+        a.send(frame(1)).unwrap();
+        let got = b.recv().unwrap().unwrap();
+        assert_eq!(got.seq, 1);
+        assert_eq!(&got.data[..], b"abcd");
+        b.send(frame(2)).unwrap();
+        assert_eq!(a.recv().unwrap().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn mem_recv_none_after_peer_drop() {
+        let (a, b) = pair();
+        drop(a);
+        assert!(b.recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn mem_hub_connects_client_to_listener() {
+        let hub = MemHub::new();
+        let listener = hub.listener();
+        let client = hub.connect();
+        let t = std::thread::spawn(move || {
+            let conn = listener.accept().unwrap().unwrap();
+            let f = conn.recv().unwrap().unwrap();
+            conn.send(f).unwrap();
+        });
+        client.send(frame(9)).unwrap();
+        assert_eq!(client.recv().unwrap().unwrap().seq, 9);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mem_listener_shutdown_unblocks_accept() {
+        let hub = MemHub::new();
+        let listener = hub.listener();
+        listener.shutdown();
+        assert!(listener.accept().unwrap().is_none());
+    }
+
+    #[test]
+    fn throttle_paces_throughput() {
+        // 1 MiB/s, 4 KiB frames: 10 frames ≈ 40 ms minimum.
+        let t = Throttle { bytes_per_sec: (1 << 20) as f64, per_frame: Duration::ZERO };
+        let (a, b) = pair_with(Some(t));
+        let start = Instant::now();
+        let payload = Bytes::from(vec![0u8; 4096]);
+        for seq in 0..10 {
+            let f = Frame::request(
+                1,
+                seq,
+                &Request::Write { fd: Fd(3), len: payload.len() as u64 },
+                payload.clone(),
+            );
+            a.send(f).unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(35), "sent too fast: {elapsed:?}");
+        for _ in 0..10 {
+            b.recv().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap().unwrap();
+            while let Some(f) = conn.recv().unwrap() {
+                conn.send(f).unwrap();
+            }
+        });
+        let client = TcpConn::connect(addr).unwrap();
+        for seq in 0..5 {
+            client.send(frame(seq)).unwrap();
+            let echo = client.recv().unwrap().unwrap();
+            assert_eq!(echo.seq, seq);
+            assert_eq!(&echo.data[..], b"abcd");
+        }
+        client.close();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_acceptor_shutdown() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        acceptor.shutdown();
+        assert!(acceptor.accept().unwrap().is_none());
+    }
+
+    #[test]
+    fn tcp_large_frame_crosses_reads() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let big = vec![7u8; 1 << 20];
+        let expect = big.clone();
+        let t = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap().unwrap();
+            let f = conn.recv().unwrap().unwrap();
+            assert_eq!(&f.data[..], &expect[..]);
+        });
+        let client = TcpConn::connect(addr).unwrap();
+        let f = Frame::request(
+            1,
+            1,
+            &Request::Write { fd: Fd(3), len: big.len() as u64 },
+            Bytes::from(big),
+        );
+        client.send(f).unwrap();
+        t.join().unwrap();
+    }
+}

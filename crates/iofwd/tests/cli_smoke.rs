@@ -1,0 +1,124 @@
+//! End-to-end smoke test of the shipped binaries: `iofwdd` (the daemon)
+//! and `iofwd-cp` (the transfer tool), as real processes over real TCP
+//! and a real filesystem root.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct DaemonGuard(Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap().port()
+}
+
+fn wait_listening(addr: &str) {
+    for _ in 0..100 {
+        if std::net::TcpStream::connect(addr).is_ok() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("daemon never started listening on {addr}");
+}
+
+#[test]
+fn daemon_and_cp_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("iofwd-cli-{}", std::process::id()));
+    let root = dir.join("ion-root");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Source file with non-trivial contents.
+    let src = dir.join("src.bin");
+    let payload: Vec<u8> = (0..3_000_000u32).map(|i| (i % 251) as u8).collect();
+    std::fs::File::create(&src).unwrap().write_all(&payload).unwrap();
+
+    let port = free_port();
+    let addr = format!("127.0.0.1:{port}");
+    let daemon = Command::new(env!("CARGO_BIN_EXE_iofwdd"))
+        .args(["--listen", &addr, "--root", root.to_str().unwrap(), "--mode", "staged"])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn iofwdd");
+    let mut daemon = DaemonGuard(daemon);
+    // Check the banner, then keep draining stderr so the daemon never
+    // blocks (or EPIPEs) on its periodic status lines.
+    {
+        let stderr = daemon.0.stderr.take().unwrap();
+        let mut reader = BufReader::new(stderr);
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        assert!(first.contains("listening"), "{first}");
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            while let Ok(n) = reader.read_line(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+                sink.clear();
+            }
+        });
+    }
+    wait_listening(&addr);
+
+    let cp = env!("CARGO_BIN_EXE_iofwd-cp");
+    // put
+    let st = Command::new(cp)
+        .args(["put", src.to_str().unwrap(), &addr, "/in/data.bin"])
+        .status()
+        .unwrap();
+    assert!(st.success(), "put failed");
+    // The daemon's sandboxed root must now contain the file.
+    assert_eq!(
+        std::fs::metadata(root.join("in/data.bin")).unwrap().len(),
+        payload.len() as u64
+    );
+    // stat
+    let out = Command::new(cp).args(["stat", &addr, "/in/data.bin"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains(&format!("{} bytes", payload.len())), "{text}");
+    // get
+    let back = dir.join("back.bin");
+    let st = Command::new(cp)
+        .args(["get", &addr, "/in/data.bin", back.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(st.success(), "get failed");
+    let mut got = Vec::new();
+    std::fs::File::open(&back).unwrap().read_to_end(&mut got).unwrap();
+    assert_eq!(got, payload);
+
+    // Errors are clean, not panics.
+    let out = Command::new(cp).args(["stat", &addr, "/no/such/file"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ENOENT"));
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cp_usage_errors_are_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_iofwd-cp")).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn daemon_rejects_bad_mode() {
+    let out = Command::new(env!("CARGO_BIN_EXE_iofwdd"))
+        .args(["--mode", "bogus"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown mode"));
+}

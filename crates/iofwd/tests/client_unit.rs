@@ -1,0 +1,221 @@
+//! Client-side unit tests against a scripted mock connection: protocol
+//! conformance, error mapping, and robustness to a misbehaving daemon.
+
+use std::collections::VecDeque;
+use std::io;
+
+use bytes::Bytes;
+use iofwd::client::{Client, ClientError, WriteOutcome};
+use iofwd::transport::Conn;
+use iofwd_proto::{Errno, Fd, FileStat, Frame, OpId, OpenFlags, Request, Response, Whence};
+use parking_lot::Mutex;
+
+/// A connection whose responses are scripted ahead of time. Each entry
+/// is a function of the received request frame.
+type Responder = Box<dyn Fn(&Frame) -> Option<Frame> + Send + Sync>;
+
+struct MockConn {
+    script: Mutex<VecDeque<Responder>>,
+    pending: Mutex<VecDeque<Frame>>,
+    sent: Mutex<Vec<Frame>>,
+}
+
+impl MockConn {
+    fn new(script: Vec<Responder>) -> MockConn {
+        MockConn {
+            script: Mutex::new(script.into()),
+            pending: Mutex::new(VecDeque::new()),
+            sent: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn sent_requests(&self) -> Vec<Request> {
+        self.sent.lock().iter().map(|f| f.decode_request().unwrap()).collect()
+    }
+}
+
+impl Conn for MockConn {
+    fn send(&self, frame: Frame) -> io::Result<()> {
+        let responder =
+            self.script.lock().pop_front().expect("mock: more requests than scripted");
+        if let Some(resp) = responder(&frame) {
+            self.pending.lock().push_back(resp);
+        }
+        self.sent.lock().push(frame);
+        Ok(())
+    }
+
+    fn recv(&self) -> io::Result<Option<Frame>> {
+        Ok(self.pending.lock().pop_front())
+    }
+
+    fn close(&self) {}
+}
+
+/// Respond to any request with the given response, echoing the seq.
+fn ok_with(resp: Response) -> Responder {
+    Box::new(move |frame| Some(Frame::response(frame.client_id, frame.seq, &resp, Bytes::new())))
+}
+
+fn ok_with_data(resp: Response, data: &'static [u8]) -> Responder {
+    Box::new(move |frame| {
+        Some(Frame::response(frame.client_id, frame.seq, &resp, Bytes::from_static(data)))
+    })
+}
+
+#[test]
+fn open_maps_ret_to_fd() {
+    let conn = MockConn::new(vec![ok_with(Response::Ok { ret: 7 })]);
+    let mut c = Client::connect(Box::new(conn));
+    let fd = c.open("/x", OpenFlags::RDONLY, 0).unwrap();
+    assert_eq!(fd, Fd(7));
+}
+
+#[test]
+fn requests_carry_increasing_seq_and_client_id() {
+    let conn = Box::new(MockConn::new(vec![
+        ok_with(Response::Ok { ret: 3 }),
+        ok_with(Response::Ok { ret: 0 }),
+    ]));
+    let raw: *const MockConn = &*conn;
+    let mut c = Client::with_id(conn, 42);
+    c.open("/x", OpenFlags::RDONLY, 0).unwrap();
+    c.fsync(Fd(3)).unwrap();
+    // Safe: the client keeps the box alive for our whole scope.
+    let mock = unsafe { &*raw };
+    let frames = mock.sent.lock();
+    assert_eq!(frames[0].seq, 1);
+    assert_eq!(frames[1].seq, 2);
+    assert!(frames.iter().all(|f| f.client_id == 42));
+}
+
+#[test]
+fn staged_response_maps_to_write_outcome() {
+    let conn = MockConn::new(vec![ok_with(Response::Staged { op: OpId(9) })]);
+    let mut c = Client::connect(Box::new(conn));
+    match c.write_detailed(Fd(3), b"abc").unwrap() {
+        WriteOutcome::Staged(op) => assert_eq!(op, OpId(9)),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(c.stats().staged_writes, 1);
+    assert_eq!(c.stats().bytes_sent, 3);
+}
+
+#[test]
+fn deferred_error_maps_to_client_error() {
+    let conn = MockConn::new(vec![ok_with(Response::DeferredErr {
+        op: OpId(4),
+        errno: Errno::NoSpc,
+    })]);
+    let mut c = Client::connect(Box::new(conn));
+    match c.write(Fd(3), b"abc") {
+        Err(ClientError::Deferred { op, errno }) => {
+            assert_eq!(op, OpId(4));
+            assert_eq!(errno, Errno::NoSpc);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn remote_errno_maps_to_remote_error() {
+    let conn = MockConn::new(vec![ok_with(Response::Err { errno: Errno::Access })]);
+    let mut c = Client::connect(Box::new(conn));
+    match c.open("/forbidden", OpenFlags::RDONLY, 0) {
+        Err(ClientError::Remote(Errno::Access)) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn out_of_order_seq_is_protocol_error() {
+    let conn = MockConn::new(vec![Box::new(|frame: &Frame| {
+        Some(Frame::response(frame.client_id, frame.seq + 99, &Response::Ok { ret: 0 }, Bytes::new()))
+    })]);
+    let mut c = Client::connect(Box::new(conn));
+    match c.fsync(Fd(3)) {
+        Err(ClientError::Protocol(msg)) => assert!(msg.contains("out of order"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn closed_connection_maps_to_closed() {
+    // Responder that produces no response: recv returns None.
+    let conn = MockConn::new(vec![Box::new(|_: &Frame| None)]);
+    let mut c = Client::connect(Box::new(conn));
+    match c.fsync(Fd(3)) {
+        Err(ClientError::Closed) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn read_length_mismatch_is_protocol_error() {
+    // Daemon claims 10 bytes read but ships 3.
+    let conn = MockConn::new(vec![ok_with_data(Response::Ok { ret: 10 }, b"abc")]);
+    let mut c = Client::connect(Box::new(conn));
+    match c.read(Fd(3), 10) {
+        Err(ClientError::Protocol(msg)) => assert!(msg.contains("carried"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn read_returns_payload() {
+    let conn = MockConn::new(vec![ok_with_data(Response::Ok { ret: 5 }, b"hello")]);
+    let mut c = Client::connect(Box::new(conn));
+    assert_eq!(c.read(Fd(3), 64).unwrap(), b"hello");
+    assert_eq!(c.stats().bytes_received, 5);
+}
+
+#[test]
+fn stat_maps_statok() {
+    let st = FileStat { size: 123, mode: 0o644, mtime_ns: 9, is_dir: false };
+    let conn = MockConn::new(vec![ok_with(Response::StatOk { st })]);
+    let mut c = Client::connect(Box::new(conn));
+    assert_eq!(c.stat("/x").unwrap(), st);
+}
+
+#[test]
+fn unexpected_response_kind_is_protocol_error() {
+    // fsync answered with StatOk.
+    let st = FileStat::default();
+    let conn = MockConn::new(vec![ok_with(Response::StatOk { st })]);
+    let mut c = Client::connect(Box::new(conn));
+    assert!(matches!(c.fsync(Fd(3)), Err(ClientError::Protocol(_))));
+}
+
+#[test]
+fn request_wire_forms_match_api_calls() {
+    let conn = Box::new(MockConn::new(vec![
+        ok_with(Response::Ok { ret: 3 }),
+        ok_with(Response::Staged { op: OpId(1) }),
+        ok_with(Response::Ok { ret: 4 }),
+        ok_with(Response::Ok { ret: 0 }),
+        ok_with(Response::Ok { ret: 0 }),
+    ]));
+    let raw: *const MockConn = &*conn;
+    let mut c = Client::connect(conn);
+    let fd = c.open("/f", OpenFlags::WRONLY | OpenFlags::CREATE, 0o600).unwrap();
+    c.pwrite(fd, 4096, b"data").unwrap();
+    c.lseek(fd, -1, Whence::End).unwrap();
+    c.close(fd).unwrap();
+    c.shutdown().unwrap();
+    let mock = unsafe { &*raw };
+    let reqs = mock.sent_requests();
+    assert_eq!(
+        reqs,
+        vec![
+            Request::Open {
+                path: "/f".into(),
+                flags: OpenFlags::WRONLY | OpenFlags::CREATE,
+                mode: 0o600
+            },
+            Request::Pwrite { fd: Fd(3), offset: 4096, len: 4 },
+            Request::Lseek { fd: Fd(3), offset: -1, whence: Whence::End },
+            Request::Close { fd: Fd(3) },
+            Request::Shutdown,
+        ]
+    );
+}

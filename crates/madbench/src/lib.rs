@@ -1,0 +1,38 @@
+//! # madbench — a MADbench2-style I/O workload
+//!
+//! Re-implementation of the I/O behaviour of MADbench2 (Borrill et al.),
+//! the application benchmark of the paper's §V-B:
+//!
+//! > MADbench2 is derived from the MADspec data analysis code, which
+//! > estimates the angular power spectrum of cosmic microwave background
+//! > radiation [...] performs extremely large out-of-core matrix
+//! > operations, requiring successive writes and reads of large
+//! > contiguous data from either shared or individual files.
+//!
+//! The benchmark manipulates `NBIN` component matrices of `NPIX × NPIX`
+//! doubles, distributed across `NPROC` processes, in three phases:
+//!
+//! * **S** — compute each matrix, *write* it out;
+//! * **W** — *read* each matrix back, transform, *write* the result;
+//! * **C** — *read* each matrix and accumulate.
+//!
+//! Between I/O operations each process performs "busy-work" scaled by
+//! the exponent `alpha`; the paper runs in **I/O mode** (`alpha = 1`,
+//! `RMOD = WMOD = 1`, file alignment 4096), making the benchmark a pure
+//! I/O stressor. [`params::MadbenchParams::paper_64`] and
+//! [`params::MadbenchParams::paper_256`] reproduce the paper's two
+//! configurations (NPIX 4096 with 64 processes, NPIX 8192 with 256
+//! processes — both giving ~2 MiB per operation per process).
+//!
+//! [`trace`] turns the parameters into per-process operation traces
+//! consumed by the `bgsim` simulator (Figure 13) and by [`runner`],
+//! which replays a trace against a real `iofwd` daemon.
+
+pub mod params;
+pub mod phases;
+pub mod runner;
+pub mod trace;
+
+pub use params::MadbenchParams;
+pub use phases::{MbOp, MbOpKind, Phase};
+pub use trace::{proc_trace, MbStep};

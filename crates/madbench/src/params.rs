@@ -1,0 +1,196 @@
+//! MADbench2 parameters, matching the knobs described in §V-B.
+
+/// Bytes per matrix element (double precision).
+pub const ELEMENT_BYTES: u64 = 8;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MadbenchParams {
+    /// Matrix dimension: each component matrix is `npix × npix` doubles.
+    pub npix: u64,
+    /// Number of component matrices ("The number of component matrices
+    /// was set to 1024").
+    pub nbin: u64,
+    /// Number of processes (compute nodes; the paper runs one I/O
+    /// process per node).
+    pub nproc: u64,
+    /// Busy-work exponent; 1 = I/O mode ("the busy-work exponent α was
+    /// set to 1").
+    pub alpha: f64,
+    /// Read concurrency modulus: every process reads when 1 ("RMOD ...
+    /// set to 1").
+    pub rmod: u64,
+    /// Write concurrency modulus.
+    pub wmod: u64,
+    /// File alignment ("the default of 4,096").
+    pub alignment: u64,
+    /// Shared file vs file-per-process (paper tests both; default
+    /// file-per-process).
+    pub shared_file: bool,
+    /// Seconds of busy-work per element^alpha; ~0 reproduces I/O mode.
+    pub busy_seconds_per_unit: f64,
+}
+
+impl MadbenchParams {
+    /// The paper's 64-node run: NPIX = 4096, 1024 matrices,
+    /// 128 GiB written in the S phase, ~2 MiB per op per process.
+    pub fn paper_64() -> Self {
+        MadbenchParams {
+            npix: 4096,
+            nbin: 1024,
+            nproc: 64,
+            alpha: 1.0,
+            rmod: 1,
+            wmod: 1,
+            alignment: 4096,
+            shared_file: false,
+            busy_seconds_per_unit: 0.0,
+        }
+    }
+
+    /// The paper's 256-node weak-scaled run: NPIX = 8192, 512 GiB total.
+    pub fn paper_256() -> Self {
+        MadbenchParams { npix: 8192, nproc: 256, ..Self::paper_64() }
+    }
+
+    /// Shrink the number of matrices (for simulation/testing time) while
+    /// keeping the per-operation geometry identical.
+    pub fn with_nbin(mut self, nbin: u64) -> Self {
+        assert!(nbin > 0);
+        self.nbin = nbin;
+        self
+    }
+
+    /// Bytes of one matrix.
+    pub fn matrix_bytes(&self) -> u64 {
+        self.npix * self.npix * ELEMENT_BYTES
+    }
+
+    /// Bytes of one process's slice of one matrix, rounded up to the
+    /// file alignment.
+    pub fn slice_bytes(&self) -> u64 {
+        let raw = self.matrix_bytes().div_ceil(self.nproc);
+        align_up(raw, self.alignment)
+    }
+
+    /// Aggregate bytes written by the S phase (the paper's quoted
+    /// "128 GB for 64 nodes / 512 GB for 256 nodes").
+    pub fn s_phase_bytes(&self) -> u64 {
+        self.slice_bytes() * self.nproc * self.nbin
+    }
+
+    /// Total bytes moved by a full S+W+C run
+    /// (S: 1 write; W: 1 read + 1 write; C: 1 read — per matrix slice).
+    pub fn total_bytes(&self) -> u64 {
+        4 * self.s_phase_bytes()
+    }
+
+    /// Does process `rank` perform reads / writes? (RMOD/WMOD gating.)
+    pub fn reads(&self, rank: u64) -> bool {
+        rank.is_multiple_of(self.rmod)
+    }
+
+    pub fn writes(&self, rank: u64) -> bool {
+        rank.is_multiple_of(self.wmod)
+    }
+
+    /// Busy-work seconds between operations: `unit_cost * n^alpha` with
+    /// `n` the per-process element count (MADbench2's model).
+    pub fn busy_seconds(&self) -> f64 {
+        let n = (self.npix * self.npix / self.nproc) as f64;
+        self.busy_seconds_per_unit * n.powf(self.alpha)
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.npix == 0 || self.nbin == 0 || self.nproc == 0 {
+            return Err("npix, nbin, nproc must be positive".into());
+        }
+        if self.rmod == 0 || self.wmod == 0 {
+            return Err("rmod/wmod must be positive".into());
+        }
+        if !self.alignment.is_power_of_two() {
+            return Err("alignment must be a power of two".into());
+        }
+        if self.alpha < 0.0 {
+            return Err("alpha must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+fn align_up(x: u64, a: u64) -> u64 {
+    debug_assert!(a.is_power_of_two());
+    (x + a - 1) & !(a - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_64_matches_published_numbers() {
+        let p = MadbenchParams::paper_64();
+        p.validate().unwrap();
+        // "enabling each process to performing I/O operations of roughly
+        // 2 MiB per operation" — NPIX=4096: 4096²·8/64 = 2 MiB exactly.
+        assert_eq!(p.slice_bytes(), 2 * 1024 * 1024);
+        // "the I/O performed by the benchmark totaled 128 GB for 64
+        // nodes" — the S phase writes 1024 × 128 MiB = 128 GiB.
+        assert_eq!(p.s_phase_bytes(), 128 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn paper_256_matches_published_numbers() {
+        let p = MadbenchParams::paper_256();
+        p.validate().unwrap();
+        // NPIX=8192 with 256 procs: 8192²·8/256 = 2 MiB per op again.
+        assert_eq!(p.slice_bytes(), 2 * 1024 * 1024);
+        // "512 GB for 256 nodes".
+        assert_eq!(p.s_phase_bytes(), 512 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn slice_alignment_rounds_up() {
+        let p = MadbenchParams { npix: 100, nproc: 3, ..MadbenchParams::paper_64() };
+        // 100²·8/3 = 26667 -> aligned to 28672.
+        assert_eq!(p.slice_bytes() % 4096, 0);
+        assert!(p.slice_bytes() >= 100 * 100 * 8 / 3);
+    }
+
+    #[test]
+    fn rmod_wmod_gate_ranks() {
+        let p = MadbenchParams { rmod: 2, wmod: 3, ..MadbenchParams::paper_64() };
+        assert!(p.reads(0) && !p.reads(1) && p.reads(2));
+        assert!(p.writes(0) && !p.writes(1) && p.writes(3));
+    }
+
+    #[test]
+    fn io_mode_has_no_busywork() {
+        assert_eq!(MadbenchParams::paper_64().busy_seconds(), 0.0);
+    }
+
+    #[test]
+    fn busywork_scales_with_alpha() {
+        let mut p = MadbenchParams::paper_64();
+        p.busy_seconds_per_unit = 1e-9;
+        let b1 = p.busy_seconds();
+        p.alpha = 1.2;
+        assert!(p.busy_seconds() > b1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        let mut p = MadbenchParams::paper_64();
+        p.alignment = 1000;
+        assert!(p.validate().is_err());
+        let mut p = MadbenchParams::paper_64();
+        p.nproc = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn total_bytes_counts_all_phases() {
+        let p = MadbenchParams::paper_64().with_nbin(4);
+        assert_eq!(p.total_bytes(), 4 * p.s_phase_bytes());
+    }
+}

@@ -1,0 +1,139 @@
+//! MADbench2's three-phase structure.
+
+use crate::params::MadbenchParams;
+
+/// One of MADbench2's computation/I-O phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Compute each component matrix and write it out.
+    S,
+    /// Read each matrix, transform (busy-work), write the result.
+    W,
+    /// Read each matrix and accumulate.
+    C,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 3] = [Phase::S, Phase::W, Phase::C];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::S => "S",
+            Phase::W => "W",
+            Phase::C => "C",
+        }
+    }
+}
+
+/// Direction of one I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MbOpKind {
+    Write,
+    Read,
+}
+
+/// One I/O operation of one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MbOp {
+    pub kind: MbOpKind,
+    /// Which component matrix.
+    pub bin: u64,
+    /// Byte offset within the process's file (or the shared file).
+    pub offset: u64,
+    /// Operation size (the process's aligned matrix slice).
+    pub bytes: u64,
+}
+
+/// The I/O operations process `rank` performs in `phase`, in order.
+pub fn phase_ops(p: &MadbenchParams, phase: Phase, rank: u64) -> Vec<MbOp> {
+    let slice = p.slice_bytes();
+    // In a shared file, each process's slice of bin `b` lives at
+    // `(b * nproc + rank) * slice`; in file-per-process mode at
+    // `b * slice` within its own file.
+    let offset_of = |bin: u64| -> u64 {
+        if p.shared_file {
+            (bin * p.nproc + rank) * slice
+        } else {
+            bin * slice
+        }
+    };
+    let mut ops = Vec::new();
+    for bin in 0..p.nbin {
+        match phase {
+            Phase::S => {
+                if p.writes(rank) {
+                    ops.push(MbOp { kind: MbOpKind::Write, bin, offset: offset_of(bin), bytes: slice });
+                }
+            }
+            Phase::W => {
+                if p.reads(rank) {
+                    ops.push(MbOp { kind: MbOpKind::Read, bin, offset: offset_of(bin), bytes: slice });
+                }
+                if p.writes(rank) {
+                    ops.push(MbOp { kind: MbOpKind::Write, bin, offset: offset_of(bin), bytes: slice });
+                }
+            }
+            Phase::C => {
+                if p.reads(rank) {
+                    ops.push(MbOp { kind: MbOpKind::Read, bin, offset: offset_of(bin), bytes: slice });
+                }
+            }
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_op_counts() {
+        let p = MadbenchParams::paper_64().with_nbin(10);
+        assert_eq!(phase_ops(&p, Phase::S, 0).len(), 10);
+        assert_eq!(phase_ops(&p, Phase::W, 0).len(), 20);
+        assert_eq!(phase_ops(&p, Phase::C, 0).len(), 10);
+    }
+
+    #[test]
+    fn w_phase_interleaves_read_write() {
+        let p = MadbenchParams::paper_64().with_nbin(2);
+        let ops = phase_ops(&p, Phase::W, 0);
+        assert_eq!(ops[0].kind, MbOpKind::Read);
+        assert_eq!(ops[1].kind, MbOpKind::Write);
+        assert_eq!(ops[0].bin, 0);
+        assert_eq!(ops[2].bin, 1);
+    }
+
+    #[test]
+    fn offsets_disjoint_in_shared_file() {
+        let mut p = MadbenchParams::paper_64().with_nbin(3);
+        p.shared_file = true;
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..4 {
+            for op in phase_ops(&p, Phase::S, rank) {
+                assert!(seen.insert(op.offset), "offset collision at {}", op.offset);
+                assert_eq!(op.offset % p.slice_bytes(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_sequential_in_private_files() {
+        let p = MadbenchParams::paper_64().with_nbin(3);
+        let ops = phase_ops(&p, Phase::S, 5);
+        let s = p.slice_bytes();
+        assert_eq!(ops.iter().map(|o| o.offset).collect::<Vec<_>>(), vec![0, s, 2 * s]);
+    }
+
+    #[test]
+    fn rmod_gates_reads_only() {
+        let mut p = MadbenchParams::paper_64().with_nbin(2);
+        p.rmod = 2;
+        // Rank 1 doesn't read: W phase has only writes, C phase empty.
+        assert!(phase_ops(&p, Phase::W, 1).iter().all(|o| o.kind == MbOpKind::Write));
+        assert!(phase_ops(&p, Phase::C, 1).is_empty());
+        // Rank 0 reads normally.
+        assert_eq!(phase_ops(&p, Phase::C, 0).len(), 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Replay a MADbench2 trace against a real `iofwd` daemon.
+//!
+//! Each simulated process is one OS thread with its own forwarded-I/O
+//! [`Client`]; the runner reports aggregate throughput. Use small
+//! parameter sets (`with_nbin`) on a workstation — the paper-scale runs
+//! belong to the `bgsim` simulator.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use iofwd::client::Client;
+use iofwd::transport::Conn;
+use iofwd_proto::OpenFlags;
+
+use crate::params::MadbenchParams;
+use crate::phases::{MbOpKind, Phase};
+use crate::trace::proc_trace;
+
+/// Result of a runtime MADbench2 replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    pub elapsed: Duration,
+    pub bytes_moved: u64,
+    pub ops: u64,
+}
+
+impl RunReport {
+    pub fn mib_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_moved as f64 / (1024.0 * 1024.0) / secs
+    }
+}
+
+/// Replay the workload: `connect` supplies one connection per process
+/// rank (e.g. `|_| Box::new(hub.connect())`).
+pub fn run(
+    p: &MadbenchParams,
+    phases: &[Phase],
+    connect: impl Fn(u64) -> Box<dyn Conn> + Sync,
+) -> RunReport {
+    p.validate().expect("invalid MADbench parameters");
+    let start = Instant::now();
+    let totals = std::thread::scope(|scope| {
+        let connect = &connect;
+        let handles: Vec<_> = (0..p.nproc)
+            .map(|rank| {
+                let conn = connect(rank);
+                let p = *p;
+                let phases: Arc<[Phase]> = Arc::from(phases);
+                scope.spawn(move || run_rank(&p, &phases, rank, conn))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect::<Vec<_>>()
+    });
+    let bytes_moved = totals.iter().map(|(b, _)| b).sum();
+    let ops = totals.iter().map(|(_, o)| o).sum();
+    RunReport { elapsed: start.elapsed(), bytes_moved, ops }
+}
+
+fn run_rank(
+    p: &MadbenchParams,
+    phases: &[Phase],
+    rank: u64,
+    conn: Box<dyn Conn>,
+) -> (u64, u64) {
+    let mut client = Client::with_id(conn, rank as u32);
+    let path = if p.shared_file {
+        "/madbench/shared.dat".to_owned()
+    } else {
+        format!("/madbench/rank-{rank}.dat")
+    };
+    let fd = client
+        .open(&path, OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+        .expect("madbench open failed");
+    let mut bytes = 0u64;
+    let mut ops = 0u64;
+    let trace = proc_trace(p, phases, rank);
+    let mut scratch = vec![0u8; p.slice_bytes() as usize];
+    for step in &trace {
+        if step.think_seconds > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(step.think_seconds));
+        }
+        match step.op.kind {
+            MbOpKind::Write => {
+                // Deterministic contents so reads can be validated.
+                let tagbyte = (step.op.bin as u8) ^ (rank as u8);
+                scratch.fill(tagbyte);
+                let n = client
+                    .pwrite(fd, step.op.offset, &scratch)
+                    .expect("madbench write failed");
+                bytes += n;
+            }
+            MbOpKind::Read => {
+                let data = client
+                    .pread(fd, step.op.offset, step.op.bytes)
+                    .expect("madbench read failed");
+                bytes += data.len() as u64;
+            }
+        }
+        ops += 1;
+    }
+    client.fsync(fd).expect("madbench fsync failed");
+    client.close(fd).expect("madbench close failed");
+    client.shutdown().expect("madbench shutdown failed");
+    (bytes, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iofwd::backend::MemSinkBackend;
+    use iofwd::server::{ForwardingMode, IonServer, ServerConfig};
+    use iofwd::transport::mem::MemHub;
+    use std::sync::Arc;
+
+    fn tiny_params() -> MadbenchParams {
+        MadbenchParams {
+            npix: 64,
+            nbin: 3,
+            nproc: 4,
+            ..MadbenchParams::paper_64()
+        }
+    }
+
+    fn run_mode(mode: ForwardingMode) -> (RunReport, Arc<MemSinkBackend>) {
+        let hub = MemHub::new();
+        let backend = Arc::new(MemSinkBackend::new());
+        let server =
+            IonServer::spawn(Box::new(hub.listener()), backend.clone(), ServerConfig::new(mode));
+        let p = tiny_params();
+        let report = run(&p, &Phase::ALL, |_| Box::new(hub.connect()));
+        server.shutdown();
+        (report, backend)
+    }
+
+    #[test]
+    fn full_run_moves_expected_bytes_zoid() {
+        let p = tiny_params();
+        let (report, backend) = run_mode(ForwardingMode::Zoid);
+        assert_eq!(report.bytes_moved, p.total_bytes());
+        assert_eq!(report.ops, 4 * p.nbin * p.nproc);
+        // One file per rank, each nbin slices long.
+        assert_eq!(backend.file_count(), p.nproc as usize);
+        let f = backend.contents("/madbench/rank-0.dat").unwrap();
+        assert_eq!(f.len() as u64, p.nbin * p.slice_bytes());
+        assert!(report.mib_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn full_run_async_staged_matches() {
+        let p = tiny_params();
+        let (report, backend) = run_mode(ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 4 << 20,
+        });
+        assert_eq!(report.bytes_moved, p.total_bytes());
+        // W-phase reads must observe S-phase writes (barrier semantics):
+        // the file contents carry the bin tag of the LAST write.
+        let f = backend.contents("/madbench/rank-1.dat").unwrap();
+        let slice = p.slice_bytes() as usize;
+        for bin in 0..p.nbin as usize {
+            let expect = (bin as u8) ^ 1u8;
+            assert!(f[bin * slice..(bin + 1) * slice].iter().all(|&b| b == expect));
+        }
+    }
+
+    #[test]
+    fn shared_file_layout() {
+        let hub = MemHub::new();
+        let backend = Arc::new(MemSinkBackend::new());
+        let server = IonServer::spawn(
+            Box::new(hub.listener()),
+            backend.clone(),
+            ServerConfig::new(ForwardingMode::Sched { workers: 2 }),
+        );
+        let mut p = tiny_params();
+        p.shared_file = true;
+        let report = run(&p, &[Phase::S], |_| Box::new(hub.connect()));
+        server.shutdown();
+        assert_eq!(report.bytes_moved, p.s_phase_bytes());
+        assert_eq!(backend.file_count(), 1);
+        let f = backend.contents("/madbench/shared.dat").unwrap();
+        assert_eq!(f.len() as u64, p.nbin * p.nproc * p.slice_bytes());
+    }
+}

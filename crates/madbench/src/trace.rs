@@ -1,0 +1,73 @@
+//! Full per-process operation traces: phases concatenated, with
+//! busy-work think time between operations.
+
+use crate::params::MadbenchParams;
+use crate::phases::{phase_ops, MbOp, Phase};
+
+/// One step of a process's trace: think (busy-work), then do the op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MbStep {
+    /// Seconds of computation before the operation (0 in I/O mode).
+    pub think_seconds: f64,
+    pub op: MbOp,
+}
+
+/// The complete trace of process `rank` over the given phases.
+pub fn proc_trace(p: &MadbenchParams, phases: &[Phase], rank: u64) -> Vec<MbStep> {
+    let think = p.busy_seconds();
+    let mut steps = Vec::new();
+    for &phase in phases {
+        for op in phase_ops(p, phase, rank) {
+            // S computes before writing; W computes between read and
+            // write; C accumulates after reads. Modeling think time
+            // uniformly *before* each op preserves the totals.
+            steps.push(MbStep { think_seconds: think, op });
+        }
+    }
+    steps
+}
+
+/// Total bytes a trace moves.
+pub fn trace_bytes(steps: &[MbStep]) -> u64 {
+    steps.iter().map(|s| s.op.bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::MbOpKind;
+
+    #[test]
+    fn full_run_matches_total_bytes() {
+        let p = MadbenchParams::paper_64().with_nbin(8);
+        let total: u64 =
+            (0..p.nproc).map(|r| trace_bytes(&proc_trace(&p, &Phase::ALL, r))).sum();
+        assert_eq!(total, p.total_bytes());
+    }
+
+    #[test]
+    fn io_mode_has_zero_think() {
+        let p = MadbenchParams::paper_64().with_nbin(2);
+        assert!(proc_trace(&p, &Phase::ALL, 0).iter().all(|s| s.think_seconds == 0.0));
+    }
+
+    #[test]
+    fn phases_in_order() {
+        let p = MadbenchParams::paper_64().with_nbin(1);
+        let t = proc_trace(&p, &Phase::ALL, 0);
+        // S write, W read, W write, C read.
+        let kinds: Vec<_> = t.iter().map(|s| s.op.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![MbOpKind::Write, MbOpKind::Read, MbOpKind::Write, MbOpKind::Read]
+        );
+    }
+
+    #[test]
+    fn think_time_propagates() {
+        let mut p = MadbenchParams::paper_64().with_nbin(1);
+        p.busy_seconds_per_unit = 1e-9;
+        let t = proc_trace(&p, &[Phase::S], 0);
+        assert!(t[0].think_seconds > 0.0);
+    }
+}

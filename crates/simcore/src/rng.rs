@@ -1,0 +1,230 @@
+//! Deterministic pseudo-random number generation for simulations.
+//!
+//! Experiments must be exactly reproducible from a seed, and independent
+//! components of a simulation (each compute node, each workload generator)
+//! must draw from *statistically independent* streams so that adding an
+//! actor does not perturb the draws seen by the others. We use SplitMix64
+//! (Steele, Lea & Flood, OOPSLA'14) — a tiny, fast, well-tested generator
+//! whose output function is a strong 64-bit mixer — together with a
+//! `split()` operation that derives an independent child stream, in the
+//! style of JAX/`splittable` PRNGs.
+//!
+//! We deliberately do not use the `rand` crate here: the simulator's
+//! determinism contract must not depend on a third-party crate's stream
+//! stability across versions. (`rand`/`proptest` are still used in tests
+//! and in workload generation where stream stability is not load-bearing.)
+
+/// A deterministic, splittable PRNG (SplitMix64 core).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create a generator from a seed. The same seed always produces the
+    /// same stream.
+    pub fn new(seed: u64) -> Self {
+        // Mix the raw seed once so that adjacent small seeds (0, 1, 2, ...)
+        // give uncorrelated streams.
+        SimRng { state: mix64(seed ^ GOLDEN_GAMMA) }
+    }
+
+    /// Derive an independent child generator. The parent's stream advances
+    /// by one step; the child starts from a mixed snapshot.
+    pub fn split(&mut self) -> SimRng {
+        let s = self.next_u64();
+        SimRng { state: mix64(s.wrapping_add(GOLDEN_GAMMA)) }
+    }
+
+    /// Next raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. Uses Lemire's unbiased multiply-shift
+    /// rejection method.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone check (rare path).
+            let t = n.wrapping_neg() % n;
+            if lo >= t {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive: lo > hi");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Exponentially distributed value with the given mean (> 0).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0);
+        // Avoid ln(0).
+        let u = 1.0 - self.f64();
+        -mean * u.ln()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.below(xs.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_streams_independent_of_parent_consumption() {
+        // Splitting then consuming the parent must not change the child.
+        let mut p1 = SimRng::new(7);
+        let mut c1 = p1.split();
+        let _ = p1.next_u64();
+
+        let mut p2 = SimRng::new(7);
+        let mut c2 = p2.split();
+        for _ in 0..10 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_bounds_and_coverage() {
+        let mut r = SimRng::new(11);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let x = r.below(7) as usize;
+            assert!(x < 7);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_mean_roughly_centered() {
+        let mut r = SimRng::new(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.uniform(0.0, 10.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut r = SimRng::new(9);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| r.exp(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(13);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_and_nonempty() {
+        let mut r = SimRng::new(17);
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+        let xs = [1, 2, 3];
+        assert!(xs.contains(r.choose(&xs).unwrap()));
+    }
+
+    #[test]
+    fn range_inclusive_hits_both_ends() {
+        let mut r = SimRng::new(23);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..10_000 {
+            match r.range_inclusive(4, 6) {
+                4 => lo_seen = true,
+                6 => hi_seen = true,
+                5 => {}
+                x => panic!("out of range: {x}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

@@ -1,0 +1,260 @@
+//! Virtual time for the simulation: integer nanoseconds since simulation
+//! start.
+//!
+//! Integer time gives the kernel a total order with exact comparisons (no
+//! floating-point ties), which is essential for deterministic replay. All
+//! rate computations convert through [`Duration::from_secs_f64`], which
+//! rounds *up* so that a flow is never considered complete before the fluid
+//! model says it is.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Time elapsed since `earlier`. Panics in debug builds if `earlier`
+    /// is in the future.
+    #[inline]
+    pub fn duration_since(self, earlier: SimTime) -> Duration {
+        debug_assert!(earlier.0 <= self.0, "duration_since: earlier is later");
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition: `SimTime::MAX` is sticky.
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * NANOS_PER_SEC)
+    }
+
+    /// Convert a floating-point number of seconds to a `Duration`,
+    /// rounding **up** to the next nanosecond.
+    ///
+    /// Rounding up means a consumer waiting for a fluid flow never wakes
+    /// before the flow's remaining work reaches zero.
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        let ns = (s * NANOS_PER_SEC as f64).ceil();
+        if ns >= u64::MAX as f64 {
+            Duration(u64::MAX)
+        } else {
+            Duration(ns as u64)
+        }
+    }
+
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> Duration {
+        Duration(self.0.saturating_mul(k))
+    }
+
+    #[inline]
+    pub fn checked_div(self, k: u64) -> Option<Duration> {
+        self.0.checked_div(k).map(Duration)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_add(rhs.0).expect("Duration overflow"))
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.2}us", self.0 as f64 / 1e3)
+        } else if self.0 < NANOS_PER_SEC {
+            write!(f, "{:.2}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = SimTime::from_nanos(1_500_000_000);
+        assert_eq!(t.as_millis(), 1500);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = Duration::from_millis(2);
+        let b = Duration::from_micros(500);
+        assert_eq!((a + b).as_nanos(), 2_500_000);
+        assert_eq!((a - b).as_nanos(), 1_500_000);
+        // saturating subtraction
+        assert_eq!((b - a).as_nanos(), 0);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_up() {
+        // 1.0000000001 s must round to strictly more than 1 s of nanos.
+        let d = Duration::from_secs_f64(1.000_000_000_1);
+        assert!(d.as_nanos() > NANOS_PER_SEC);
+        assert_eq!(Duration::from_secs_f64(0.0), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_secs_f64_rejects_nan() {
+        let _ = Duration::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    fn simtime_ordering_and_since() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(25);
+        assert!(a < b);
+        assert_eq!(b.duration_since(a).as_nanos(), 15);
+        assert_eq!(b - a, Duration::from_nanos(15));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(SimTime::MAX.saturating_add(Duration::from_secs(1)), SimTime::MAX);
+        assert_eq!(Duration::MAX.saturating_mul(2), Duration::MAX);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Duration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", Duration::from_micros(12)), "12.00us");
+        assert_eq!(format!("{}", Duration::from_millis(12)), "12.00ms");
+        assert_eq!(format!("{}", Duration::from_secs(2)), "2.000s");
+    }
+}

@@ -1,0 +1,1 @@
+//! Marker library for the examples package; the content lives in the example binaries.

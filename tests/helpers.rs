@@ -1,0 +1,35 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use bgp_model::units::MIB;
+use bgp_model::MachineConfig;
+use bgsim::{run_end_to_end, EndToEndParams, Strategy};
+
+/// End-to-end simulated throughput (MiB/s) at the paper's reference
+/// operating point (1 MiB messages, one pset).
+pub fn e2e(strategy: Strategy, compute_nodes: usize) -> f64 {
+    e2e_with(strategy, compute_nodes, MIB, 20, 1)
+}
+
+/// Fully parameterised end-to-end run.
+pub fn e2e_with(
+    strategy: Strategy,
+    compute_nodes: usize,
+    msg_bytes: u64,
+    iters_per_cn: usize,
+    da_sinks: usize,
+) -> f64 {
+    let cfg = MachineConfig::intrepid();
+    run_end_to_end(
+        &cfg,
+        &EndToEndParams { strategy, compute_nodes, msg_bytes, iters_per_cn, da_sinks },
+    )
+    .mib_per_sec
+}
+
+/// Assert `x` lies within `lo..=hi`, with a readable message.
+pub fn assert_band(what: &str, x: f64, lo: f64, hi: f64) {
+    assert!(
+        (lo..=hi).contains(&x),
+        "{what} = {x:.1} outside expected band [{lo}, {hi}]"
+    );
+}

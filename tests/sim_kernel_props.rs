@@ -1,0 +1,219 @@
+//! Property-based tests of the simulation kernel's core invariants:
+//! max-min fairness conservation, determinism, and monotonicity of the
+//! machine model.
+
+use proptest::prelude::*;
+use simcore::fluid::FlowSpec;
+use simcore::time::Duration;
+use simcore::Sim;
+use std::cell::Cell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// N flows of arbitrary sizes on one link: total service time equals
+    /// total work / capacity (work conservation), and every flow's
+    /// completion is no earlier than work/capacity (no flow gets more
+    /// than the link).
+    #[test]
+    fn fluid_link_conserves_work(
+        works in proptest::collection::vec(1.0f64..1e6, 1..12),
+        capacity in 10.0f64..1e6,
+    ) {
+        let mut sim = Sim::new();
+        let link = sim.resource("link", capacity);
+        let total: f64 = works.iter().sum();
+        for &w in &works {
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.transfer(FlowSpec::new(w).using(link, 1.0)).await;
+            });
+        }
+        let end = sim.run_to_completion().as_secs_f64();
+        let ideal = total / capacity;
+        // Work conservation: the link is never idle while work remains.
+        prop_assert!((end - ideal).abs() / ideal < 1e-6,
+            "end {end} vs ideal {ideal}");
+    }
+
+    /// Rate caps are respected: a single capped flow takes exactly
+    /// work/cap even on a fat link.
+    #[test]
+    fn fluid_rate_cap_is_exact(work in 1.0f64..1e6, cap in 1.0f64..1e4) {
+        let mut sim = Sim::new();
+        let link = sim.resource("link", 1e9);
+        {
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.transfer(FlowSpec::new(work).using(link, 1.0).cap(cap)).await;
+            });
+        }
+        let end = sim.run_to_completion().as_secs_f64();
+        let ideal = work / cap;
+        prop_assert!((end - ideal).abs() / ideal < 1e-6);
+    }
+
+    /// The executor is deterministic: identical programs produce
+    /// identical completion times.
+    #[test]
+    fn sim_is_deterministic(seed in any::<u64>(), n in 2usize..10) {
+        fn run(seed: u64, n: usize) -> u64 {
+            let mut sim = Sim::new();
+            let link = sim.resource("l", 1000.0);
+            for i in 0..n {
+                let h = sim.handle();
+                let mut rng = simcore::rng::SimRng::new(seed ^ i as u64);
+                sim.spawn(async move {
+                    h.sleep(Duration::from_nanos(rng.below(1000) + 1)).await;
+                    h.transfer(FlowSpec::new(rng.uniform(1.0, 500.0)).using(link, 1.0)).await;
+                });
+            }
+            sim.run_to_completion().as_nanos()
+        }
+        prop_assert_eq!(run(seed, n), run(seed, n));
+    }
+
+    /// Usage coefficients scale service time linearly.
+    #[test]
+    fn fluid_usage_coefficient_scales(work in 10.0f64..1e5, coeff in 0.1f64..10.0) {
+        let run = |u: f64| {
+            let mut sim = Sim::new();
+            let r = sim.resource("r", 100.0);
+            {
+                let h = sim.handle();
+                sim.spawn(async move {
+                    h.transfer(FlowSpec::new(work).using(r, u)).await;
+                });
+            }
+            sim.run_to_completion().as_secs_f64()
+        };
+        let base = run(1.0);
+        let scaled = run(coeff);
+        prop_assert!((scaled / base - coeff).abs() / coeff < 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Machine-model monotonicity: more threads never increase the
+    /// effective NIC path or decrease context-switch inflation.
+    #[test]
+    fn machine_model_monotone(a in 1usize..64, b in 1usize..64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let ion = bgp_model::node::IonSpec::default();
+        prop_assert!(ion.nic_tx_effective(hi) <= ion.nic_tx_effective(lo));
+        prop_assert!(ion.recv_path_effective(hi) <= ion.recv_path_effective(lo));
+        let ctx = bgp_model::node::CtxSwitchModel::thread_based();
+        prop_assert!(ctx.inflation(4, hi) >= ctx.inflation(4, lo));
+        prop_assert!(ctx.wakeup_delay(4, hi, 1 << 20) >= ctx.wakeup_delay(4, lo, 1 << 20));
+    }
+
+    /// Collective-network wire math: overhead factor is constant per
+    /// packet and total wire bytes are monotone in payload.
+    #[test]
+    fn collective_wire_bytes_monotone(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let net = bgp_model::collective::CollectiveNetwork::bgp();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(net.data_wire_bytes(lo) <= net.data_wire_bytes(hi));
+        // Wire bytes always exceed payload (headers) but never by more
+        // than one full header set per 256-byte packet.
+        let wire = net.data_wire_bytes(lo);
+        prop_assert!(wire > lo);
+        let packets = lo.div_ceil(256);
+        prop_assert_eq!(wire - lo, packets * 26);
+    }
+}
+
+/// Semaphore fairness under simulated contention: FIFO grant order even
+/// with mixed sizes.
+#[test]
+fn semaphore_fifo_order_with_mixed_sizes() {
+    let mut sim = Sim::new();
+    let sem = simcore::sync::Semaphore::new(100);
+    let order: Rc<std::cell::RefCell<Vec<u32>>> = Rc::new(std::cell::RefCell::new(Vec::new()));
+    // Hold everything briefly so all waiters queue in arrival order.
+    {
+        let sem = sem.clone();
+        let h = sim.handle();
+        sim.spawn(async move {
+            sem.acquire(100).await;
+            h.sleep(Duration::from_millis(1)).await;
+            sem.release(100);
+        });
+    }
+    for (i, amount) in [70u64, 10, 50, 20].into_iter().enumerate() {
+        let sem = sem.clone();
+        let order = order.clone();
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.sleep(Duration::from_micros(10 * (i as u64 + 1))).await;
+            sem.acquire(amount).await;
+            order.borrow_mut().push(i as u32);
+            h.sleep(Duration::from_millis(1)).await;
+            sem.release(amount);
+        });
+    }
+    sim.run_to_completion();
+    // FIFO: the 70 goes first; 10 and 50 (70+10+50>100 so 50 waits)...
+    // regardless of fit, grant order must equal arrival order.
+    assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+}
+
+/// Sleeping and transferring interleave correctly across many actors
+/// (smoke test for the event loop's time ordering).
+#[test]
+fn interleaved_sleep_transfer_ordering() {
+    let mut sim = Sim::new();
+    let link = sim.resource("l", 1000.0);
+    let log: Rc<std::cell::RefCell<Vec<(u64, u32)>>> =
+        Rc::new(std::cell::RefCell::new(Vec::new()));
+    for i in 0..5u32 {
+        let h = sim.handle();
+        let log = log.clone();
+        sim.spawn(async move {
+            h.sleep(Duration::from_millis(i as u64)).await;
+            h.transfer(FlowSpec::new(100.0).using(link, 1.0)).await;
+            log.borrow_mut().push((h.now().as_nanos(), i));
+        });
+    }
+    sim.run_to_completion();
+    let log = log.borrow();
+    // Completion times must be non-decreasing in the log (event order).
+    for w in log.windows(2) {
+        assert!(w[0].0 <= w[1].0);
+    }
+    assert_eq!(log.len(), 5);
+}
+
+/// The BML-style byte semaphore never exceeds capacity (checked by a
+/// watcher actor sampling between events).
+#[test]
+fn semaphore_never_oversubscribes() {
+    let mut sim = Sim::new();
+    let sem = simcore::sync::Semaphore::new(1000);
+    let in_use = Rc::new(Cell::new(0i64));
+    let peak = Rc::new(Cell::new(0i64));
+    for i in 0..20u64 {
+        let sem = sem.clone();
+        let h = sim.handle();
+        let in_use = in_use.clone();
+        let peak = peak.clone();
+        let mut rng = simcore::rng::SimRng::new(i);
+        sim.spawn(async move {
+            for _ in 0..10 {
+                let amount = rng.below(400) + 1;
+                sem.acquire(amount).await;
+                in_use.set(in_use.get() + amount as i64);
+                peak.set(peak.get().max(in_use.get()));
+                h.sleep(Duration::from_micros(rng.below(50) + 1)).await;
+                in_use.set(in_use.get() - amount as i64);
+                sem.release(amount);
+            }
+        });
+    }
+    sim.run_to_completion();
+    assert!(peak.get() <= 1000, "peak usage {} exceeded capacity", peak.get());
+    assert!(peak.get() > 500, "test should actually exercise contention");
+}
