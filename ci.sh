@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Workspace CI gate: formatting, clippy, invariant linter, model
+# checking, then the full build + test suite. Any failure stops the run.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo xtask lint"
+cargo xtask lint
+
+step "loom model suite (cargo xtask loom)"
+cargo xtask loom
+
+step "build --release"
+cargo build --release --workspace
+
+step "test --release"
+cargo test -q --release --workspace
+
+printf '\nci: all gates passed\n'

@@ -25,7 +25,11 @@ fn drive_clients(server_cfg: ServerConfig, clients: usize, ops: usize, chunk: us
             s.spawn(move || {
                 let mut c = Client::with_id(Box::new(conn), k as u32);
                 let fd = c
-                    .open(&format!("/a{k}"), OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+                    .open(
+                        &format!("/a{k}"),
+                        OpenFlags::WRONLY | OpenFlags::CREATE,
+                        0o644,
+                    )
                     .unwrap();
                 let data = vec![k as u8; chunk];
                 for _ in 0..ops {
@@ -100,7 +104,13 @@ fn bench_staging_overlap(c: &mut Criterion) {
     g.throughput(Throughput::Bytes((ops * chunk) as u64));
     for (name, mode) in [
         ("sync_sched", ForwardingMode::Sched { workers: 2 }),
-        ("async_staged", ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 64 << 20 }),
+        (
+            "async_staged",
+            ForwardingMode::AsyncStaged {
+                workers: 2,
+                bml_capacity: 64 << 20,
+            },
+        ),
     ] {
         g.bench_function(name, |b| {
             let hub = MemHub::new();
@@ -131,5 +141,10 @@ fn bench_staging_overlap(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_queue_discipline, bench_worker_pool_size, bench_staging_overlap);
+criterion_group!(
+    benches,
+    bench_queue_discipline,
+    bench_worker_pool_size,
+    bench_staging_overlap
+);
 criterion_main!(benches);

@@ -16,7 +16,11 @@ fn bench_protocol(c: &mut Criterion) {
     let mut g = c.benchmark_group("proto");
     for size in [4usize * 1024, 64 * 1024, 1024 * 1024] {
         let payload = Bytes::from(vec![7u8; size]);
-        let req = Request::Pwrite { fd: Fd(3), offset: 0, len: size as u64 };
+        let req = Request::Pwrite {
+            fd: Fd(3),
+            offset: 0,
+            len: size as u64,
+        };
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_with_input(BenchmarkId::new("encode", size), &size, |b, _| {
             b.iter(|| Frame::request(1, 1, &req, payload.clone()).encode())
@@ -34,9 +38,9 @@ fn bench_bml(c: &mut Criterion) {
     g.bench_function("acquire_release_hot", |b| {
         let bml = Bml::new(64 << 20);
         // Warm the free list.
-        drop(bml.acquire(1 << 20));
+        drop(bml.acquire(1 << 20).unwrap());
         b.iter(|| {
-            let buf = bml.acquire(1 << 20);
+            let buf = bml.acquire(1 << 20).unwrap();
             std::hint::black_box(buf.len());
         })
     });
@@ -45,7 +49,7 @@ fn bench_bml(c: &mut Criterion) {
         let sizes = [4096usize, 32 * 1024, 256 * 1024, 1 << 20];
         let mut i = 0;
         b.iter(|| {
-            let buf = bml.acquire(sizes[i % sizes.len()]);
+            let buf = bml.acquire(sizes[i % sizes.len()]).unwrap();
             i += 1;
             std::hint::black_box(buf.block_size());
         })
@@ -61,7 +65,10 @@ fn bench_daemon_modes(c: &mut Criterion) {
         ForwardingMode::Ciod,
         ForwardingMode::Zoid,
         ForwardingMode::Sched { workers: 4 },
-        ForwardingMode::AsyncStaged { workers: 4, bml_capacity: 64 << 20 },
+        ForwardingMode::AsyncStaged {
+            workers: 4,
+            bml_capacity: 64 << 20,
+        },
     ] {
         g.bench_function(mode.name(), |b| {
             let hub = MemHub::new();

@@ -38,7 +38,10 @@ fn bench_fluid_solver(c: &mut Criterion) {
                         // Staggered arrivals force a recompute per event.
                         h.sleep(SimDuration::from_micros(i as u64)).await;
                         h.transfer(
-                            FlowSpec::new(1e6).using(link, 1.0).using(cpu, 1e-9).cap(1e8),
+                            FlowSpec::new(1e6)
+                                .using(link, 1.0)
+                                .using(cpu, 1e-9)
+                                .cap(1e8),
                         )
                         .await;
                     });
@@ -71,5 +74,10 @@ fn bench_figure_point(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_executor_events, bench_fluid_solver, bench_figure_point);
+criterion_group!(
+    benches,
+    bench_executor_events,
+    bench_fluid_solver,
+    bench_figure_point
+);
 criterion_main!(benches);

@@ -42,7 +42,10 @@ fn main() {
                 }
                 print_efficiency(budget);
                 eprintln!("[figures] running ablations ...");
-                println!("{}", bench::figures::ablation_bml(&MachineConfig::intrepid(), budget));
+                println!(
+                    "{}",
+                    bench::figures::ablation_bml(&MachineConfig::intrepid(), budget)
+                );
                 println!(
                     "{}",
                     bench::figures::ablation_protocol(&MachineConfig::intrepid(), budget)
@@ -51,7 +54,10 @@ fn main() {
             "efficiency" | "t-effic" => print_efficiency(budget),
             "ablation-bml" => {
                 eprintln!("[figures] running ablation-bml ...");
-                println!("{}", bench::figures::ablation_bml(&MachineConfig::intrepid(), budget));
+                println!(
+                    "{}",
+                    bench::figures::ablation_bml(&MachineConfig::intrepid(), budget)
+                );
             }
             "ablation-protocol" => {
                 eprintln!("[figures] running ablation-protocol ...");
@@ -101,7 +107,11 @@ fn annotate(id: FigureId, fig: &simcore::stats::Figure) {
                 );
             }
             if let Some(d) = at("DA -> DA (1 thread)", 1.0) {
-                println!("# paper: DA->DA = {} MiB/s; measured {:.0}", paper::FIG5_DA_TO_DA, d);
+                println!(
+                    "# paper: DA->DA = {} MiB/s; measured {:.0}",
+                    paper::FIG5_DA_TO_DA,
+                    d
+                );
             }
         }
         FigureId::Fig6 => {
@@ -199,7 +209,12 @@ fn print_efficiency(budget: Budget) {
     println!("# In-text efficiency ladder at 32 CNs (vs the ~650 MiB/s ceiling)");
     println!("{:>14} {:>12} {:>12}", "mechanism", "measured", "paper");
     for (name, measured, paper_eff) in efficiency_ladder(&cfg, budget) {
-        println!("{:>14} {:>11.0}% {:>11.0}%", name, measured * 100.0, paper_eff * 100.0);
+        println!(
+            "{:>14} {:>11.0}% {:>11.0}%",
+            name,
+            measured * 100.0,
+            paper_eff * 100.0
+        );
     }
     println!();
 }

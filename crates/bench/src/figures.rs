@@ -304,7 +304,11 @@ fn end_to_end_series(
     let mut s = Series::new(strategy.name());
     for &cns in cn_counts {
         // Keep total op count bounded for the big weak-scaling points.
-        let iters = if cns > 64 { budget.iters(10) } else { budget.iters(25) };
+        let iters = if cns > 64 {
+            budget.iters(10)
+        } else {
+            budget.iters(25)
+        };
         let r = run_end_to_end(
             cfg,
             &EndToEndParams {
@@ -337,38 +341,13 @@ pub fn efficiency_ladder(cfg: &MachineConfig, budget: Budget) -> Vec<(String, f6
                 da_sinks: 1,
             },
         );
-        rows.push((strategy.name().to_owned(), r.mib_per_sec / ceiling, paper_eff));
+        rows.push((
+            strategy.name().to_owned(),
+            r.mib_per_sec / ceiling,
+            paper_eff,
+        ));
     }
     rows
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn figure_id_parsing() {
-        assert_eq!(FigureId::parse("fig9"), Some(FigureId::Fig9));
-        assert_eq!(FigureId::parse("9"), Some(FigureId::Fig9));
-        assert_eq!(FigureId::parse("FIG13"), Some(FigureId::Fig13));
-        assert_eq!(FigureId::parse("fig7"), None);
-        assert_eq!(FigureId::ALL.len(), 8);
-    }
-
-    #[test]
-    fn budget_scaling() {
-        assert_eq!(Budget::default().iters(30), 30);
-        assert_eq!(Budget { scale: 0.1 }.iters(30), 3);
-        assert_eq!(Budget { scale: 0.01 }.iters(30), 2);
-    }
-
-    #[test]
-    fn fig11_has_four_points() {
-        let cfg = MachineConfig::intrepid();
-        let f = fig11(&cfg, Budget { scale: 0.2 });
-        assert_eq!(f.series.len(), 1);
-        assert_eq!(f.series[0].points.len(), 4);
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -391,7 +370,10 @@ pub fn ablation_bml(cfg: &MachineConfig, budget: Budget) -> Figure {
         let r = run_end_to_end(
             cfg,
             &EndToEndParams {
-                strategy: Strategy::AsyncStaged { workers: 4, bml_capacity: cap_mib * MIB },
+                strategy: Strategy::AsyncStaged {
+                    workers: 4,
+                    bml_capacity: cap_mib * MIB,
+                },
                 compute_nodes: 64,
                 msg_bytes: MIB,
                 iters_per_cn: budget.iters(20),
@@ -427,12 +409,54 @@ pub fn ablation_protocol(cfg: &MachineConfig, budget: Budget) -> Figure {
             iters_per_cn: iters,
             da_sinks: 1,
         };
-        let a = run_end_to_end_opts(cfg, &params, SimOptions { inline_control: false, ..SimOptions::default() });
-        let b = run_end_to_end_opts(cfg, &params, SimOptions { inline_control: true, ..SimOptions::default() });
+        let a = run_end_to_end_opts(
+            cfg,
+            &params,
+            SimOptions {
+                inline_control: false,
+                ..SimOptions::default()
+            },
+        );
+        let b = run_end_to_end_opts(
+            cfg,
+            &params,
+            SimOptions {
+                inline_control: true,
+                ..SimOptions::default()
+            },
+        );
         two_step.push((size / KIB) as f64, a.mib_per_sec);
         inlined.push((size / KIB) as f64, b.mib_per_sec);
     }
     fig.push_series(two_step);
     fig.push_series(inlined);
     fig
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_id_parsing() {
+        assert_eq!(FigureId::parse("fig9"), Some(FigureId::Fig9));
+        assert_eq!(FigureId::parse("9"), Some(FigureId::Fig9));
+        assert_eq!(FigureId::parse("FIG13"), Some(FigureId::Fig13));
+        assert_eq!(FigureId::parse("fig7"), None);
+        assert_eq!(FigureId::ALL.len(), 8);
+    }
+
+    #[test]
+    fn budget_scaling() {
+        assert_eq!(Budget::default().iters(30), 30);
+        assert_eq!(Budget { scale: 0.1 }.iters(30), 3);
+        assert_eq!(Budget { scale: 0.01 }.iters(30), 2);
+    }
+
+    #[test]
+    fn fig11_has_four_points() {
+        let cfg = MachineConfig::intrepid();
+        let f = fig11(&cfg, Budget { scale: 0.2 });
+        assert_eq!(f.series.len(), 1);
+        assert_eq!(f.series[0].points.len(), 4);
+    }
 }

@@ -92,8 +92,13 @@ mod tests {
         // async/sched derived two ways.
         let derived = fig9::ASYNC_OVER_CIOD / fig9::SCHED_OVER_CIOD;
         assert!((derived - fig9::ASYNC_OVER_SCHED).abs() < 0.02);
-        // Efficiency ladder is monotone.
-        assert!(FIG6_BASELINE_EFFICIENCY < fig9::SCHED_EFFICIENCY);
-        assert!(fig9::SCHED_EFFICIENCY < fig9::ASYNC_EFFICIENCY);
+        // Efficiency ladder is monotone. (Constant on purpose: these
+        // are the paper's published numbers cross-checked against each
+        // other.)
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(FIG6_BASELINE_EFFICIENCY < fig9::SCHED_EFFICIENCY);
+            assert!(fig9::SCHED_EFFICIENCY < fig9::ASYNC_EFFICIENCY);
+        }
     }
 }

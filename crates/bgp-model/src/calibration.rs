@@ -230,8 +230,7 @@ mod tests {
             let c = 4.0f64;
             let excess = (n as f64 - c).max(0.0);
             to_mib_s(
-                ION_NIC_TX_PATH_BPS
-                    / (1.0 + NIC_TX_CONTENTION_SLOPE * (1.0 + excess / c).ln()),
+                ION_NIC_TX_PATH_BPS / (1.0 + NIC_TX_CONTENTION_SLOPE * (1.0 + excess / c).ln()),
             )
         };
         // Up to 4 threads: the measured 791 MiB/s software path.
@@ -271,8 +270,13 @@ mod tests {
                 1.0 + ION_CTX_SWITCH_SLOPE_PROCESS * (1.0 + (2.0 * cns as f64 - 4.0) / 4.0).ln();
             assert!(ciod > zoid * 0.95, "cns={cns}: ciod {ciod} vs zoid {zoid}");
         }
-        assert!(CIOD_SHM_COPY_CPB > 0.0);
-        assert!(CIOD_EXTRA_PER_OP_CPU > 0.0);
+        // Constant on purpose: the fitted constants themselves are
+        // under test.
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(CIOD_SHM_COPY_CPB > 0.0);
+            assert!(CIOD_EXTRA_PER_OP_CPU > 0.0);
+        }
     }
 
     #[test]

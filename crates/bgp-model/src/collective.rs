@@ -139,7 +139,10 @@ mod tests {
     #[test]
     fn op_wire_bytes_includes_control_step() {
         let net = CollectiveNetwork::bgp();
-        assert_eq!(net.op_wire_bytes(MIB), net.data_wire_bytes(256) + net.data_wire_bytes(MIB));
+        assert_eq!(
+            net.op_wire_bytes(MIB),
+            net.data_wire_bytes(256) + net.data_wire_bytes(MIB)
+        );
         // Even a zero-byte op pays for the control message.
         assert!(net.op_wire_bytes(0) > 0);
     }

@@ -20,11 +20,15 @@ pub struct CtxSwitchModel {
 
 impl CtxSwitchModel {
     pub fn thread_based() -> Self {
-        CtxSwitchModel { slope: calibration::ION_CTX_SWITCH_SLOPE_THREAD }
+        CtxSwitchModel {
+            slope: calibration::ION_CTX_SWITCH_SLOPE_THREAD,
+        }
     }
 
     pub fn process_based() -> Self {
-        CtxSwitchModel { slope: calibration::ION_CTX_SWITCH_SLOPE_PROCESS }
+        CtxSwitchModel {
+            slope: calibration::ION_CTX_SWITCH_SLOPE_PROCESS,
+        }
     }
 
     /// Per-byte CPU cost multiplier (≥ 1) for `threads` concurrent
@@ -64,17 +68,26 @@ pub struct CpuSpec {
 impl CpuSpec {
     /// BG/P node CPU: quad-core 32-bit 850 MHz IBM PowerPC 450 (§II-A).
     pub fn ppc450() -> Self {
-        CpuSpec { cores: 4, clock_hz: 850e6 }
+        CpuSpec {
+            cores: 4,
+            clock_hz: 850e6,
+        }
     }
 
     /// Eureka DA node: dual-processor quad-core 2 GHz Intel Xeon (§III-B).
     pub fn xeon_da() -> Self {
-        CpuSpec { cores: 8, clock_hz: 2.0e9 }
+        CpuSpec {
+            cores: 8,
+            clock_hz: 2.0e9,
+        }
     }
 
     /// File-server node: dual-core dual-processor AMD Opteron (§II-A).
     pub fn opteron_fsn() -> Self {
-        CpuSpec { cores: 4, clock_hz: 2.4e9 }
+        CpuSpec {
+            cores: 4,
+            clock_hz: 2.4e9,
+        }
     }
 
     /// Total core-seconds per second.
@@ -168,7 +181,11 @@ pub struct DaSpec {
 
 impl Default for DaSpec {
     fn default() -> Self {
-        DaSpec { cpu: CpuSpec::xeon_da(), nic_bps: gbit_s(10.0), tcp_bps_per_core: mib_s(1110.0) }
+        DaSpec {
+            cpu: CpuSpec::xeon_da(),
+            nic_bps: gbit_s(10.0),
+            tcp_bps_per_core: mib_s(1110.0),
+        }
     }
 }
 

@@ -62,7 +62,10 @@ pub const DEFAULT_FILE_ALIGNMENT: u64 = 4096;
 
 /// Round `offset` up to the next multiple of `alignment`.
 pub fn align_up(offset: u64, alignment: u64) -> u64 {
-    assert!(alignment.is_power_of_two(), "alignment must be a power of two");
+    assert!(
+        alignment.is_power_of_two(),
+        "alignment must be a power of two"
+    );
     (offset + alignment - 1) & !(alignment - 1)
 }
 

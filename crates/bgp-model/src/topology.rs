@@ -73,7 +73,11 @@ pub mod partitions {
     /// Weak-scaling points from Figure 12: 256, 512, 1024 CNs giving
     /// 4, 8, 16 IONs.
     pub fn weak_scaling() -> [Partition; 3] {
-        [Partition::new(256), Partition::new(512), Partition::new(1024)]
+        [
+            Partition::new(256),
+            Partition::new(512),
+            Partition::new(1024),
+        ]
     }
 }
 
@@ -86,7 +90,7 @@ mod tests {
         assert_eq!(RACK_NODES, 1024);
         assert_eq!(RACK_NODES * CORES_PER_NODE, 4096); // "4,096 cores per rack"
         assert_eq!(MIDPLANE_NODES, 512); // "a midplane that contains 512 nodes"
-        // Intrepid: 40 racks -> 160K cores, 640 IONs.
+                                         // Intrepid: 40 racks -> 160K cores, 640 IONs.
         let racks = 40;
         assert_eq!(racks * RACK_NODES * CORES_PER_NODE, 163_840);
         assert_eq!(racks * RACK_NODES / PSET_SIZE, 640);

@@ -173,9 +173,9 @@ pub fn spawn_daemon(
                 let bml = bml.clone();
                 let metrics = metrics.clone();
                 let idle = idle_workers.clone();
-                sys.h
-                    .clone()
-                    .spawn(worker(sys, ion, costs, tasks, wres, batch, bml, idle, metrics));
+                sys.h.clone().spawn(worker(
+                    sys, ion, costs, tasks, wres, batch, bml, idle, metrics,
+                ));
             }
             // Close the task queue once every handler is done, so workers
             // drain and exit.
@@ -218,7 +218,8 @@ async fn receive_op(
     if strategy.is_process_based() {
         // Daemon copies into shared memory for the proxy process
         // (§II-B1); the handoff cost is in CIOD_EXTRA_PER_OP_CPU.
-        sys.ion_copy(ion, op.bytes, calibration::CIOD_SHM_COPY_CPB).await;
+        sys.ion_copy(ion, op.bytes, calibration::CIOD_SHM_COPY_CPB)
+            .await;
     }
     pinned
 }
@@ -229,7 +230,8 @@ async fn execute_inline(sys: &SimSystem, ion: usize, costs: DaemonCosts, op: &Si
         (Target::DevNull, _) => {}
         (Target::Da { sink }, false) => {
             let _g = SenderGuard::enter(&sys.ions[ion].senders);
-            sys.send_da(ion, sink, op.bytes, None, costs.send_mult).await;
+            sys.send_da(ion, sink, op.bytes, None, costs.send_mult)
+                .await;
         }
         (Target::Da { .. }, true) => {} // DA reads not part of the paper's workloads
         (Target::Storage, false) => {
@@ -246,7 +248,8 @@ async fn execute_inline(sys: &SimSystem, ion: usize, costs: DaemonCosts, op: &Si
 async fn deliver_read(sys: &SimSystem, ion: usize, strategy: Strategy, op: &SimOp) {
     if op.is_read {
         if strategy.is_process_based() {
-            sys.ion_copy(ion, op.bytes, calibration::CIOD_SHM_COPY_CPB).await;
+            sys.ion_copy(ion, op.bytes, calibration::CIOD_SHM_COPY_CPB)
+                .await;
         }
         sys.tree_down(ion, op.bytes).await;
     }
@@ -313,11 +316,21 @@ async fn handler_queued(
             // actual I/O; no completion wakeup sits on the critical path.
             sys.h.sleep(sys.control_latency()).await;
             done.send(());
-            tasks.push_now(Task { op, done: None, staged_bytes: op.bytes });
+            tasks.push_now(Task {
+                op,
+                done: None,
+                staged_bytes: op.bytes,
+            });
         } else {
             let (ctx, crx) = oneshot::<()>();
-            tasks.push_now(Task { op, done: Some(ctx), staged_bytes: 0 });
-            metrics.queue_peak.set(metrics.queue_peak.get().max(tasks.len()));
+            tasks.push_now(Task {
+                op,
+                done: Some(ctx),
+                staged_bytes: 0,
+            });
+            metrics
+                .queue_peak
+                .set(metrics.queue_peak.get().max(tasks.len()));
             crx.await;
             // Worker completion must wake this blocked handler, which
             // then recycles its reception buffer.
@@ -329,7 +342,9 @@ async fn handler_queued(
             sys.h.sleep(sys.control_latency()).await;
             done.send(());
         }
-        metrics.queue_peak.set(metrics.queue_peak.get().max(tasks.len()));
+        metrics
+            .queue_peak
+            .set(metrics.queue_peak.get().max(tasks.len()));
     }
     wg.done();
 }
@@ -366,27 +381,35 @@ async fn worker(
             items.push(t);
         }
         let sends_anything = items.iter().any(|t| t.op.target != Target::DevNull);
-        let guard =
-            if sends_anything { Some(SenderGuard::enter(&sys.ions[ion].senders)) } else { None };
+        let guard = if sends_anything {
+            Some(SenderGuard::enter(&sys.ions[ion].senders))
+        } else {
+            None
+        };
         // The poll-based event loop drains its batch back to back with no
         // idle gaps between operations.
         for t in items {
             match (t.op.target, t.op.is_read) {
                 (Target::DevNull, _) => {}
                 (Target::Da { sink }, false) => {
-                    sys.send_da(ion, sink, t.op.bytes, Some(wres), costs.send_mult).await
+                    sys.send_da(ion, sink, t.op.bytes, Some(wres), costs.send_mult)
+                        .await
                 }
                 (Target::Da { .. }, true) => {}
                 (Target::Storage, false) => {
-                    sys.send_storage(ion, t.op.bytes, Some(wres), costs.send_mult).await
+                    sys.send_storage(ion, t.op.bytes, Some(wres), costs.send_mult)
+                        .await
                 }
                 (Target::Storage, true) => {
-                    sys.read_storage(ion, t.op.bytes, Some(wres), costs.send_mult).await
+                    sys.read_storage(ion, t.op.bytes, Some(wres), costs.send_mult)
+                        .await
                 }
             }
             metrics.record(t.op.bytes);
             if t.staged_bytes > 0 {
-                bml.as_ref().expect("staged task without BML").release(t.staged_bytes);
+                bml.as_ref()
+                    .expect("staged task without BML")
+                    .release(t.staged_bytes);
             }
             if let Some(done) = t.done {
                 done.send(());

@@ -14,9 +14,9 @@ use simcore::time::Duration;
 use simcore::Sim;
 
 use crate::daemon::{spawn_daemon, CnPort, CnRequest, DaemonMetrics};
-use simcore::stats::LogHistogram;
 use crate::strategy::Strategy;
 use crate::system::{SenderGuard, SimOp, SimSystem, Target};
+use simcore::stats::LogHistogram;
 
 /// Outcome of one simulated run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,7 +88,10 @@ pub struct TraceStep {
 
 impl TraceStep {
     pub fn op(op: SimOp) -> TraceStep {
-        TraceStep { think: Duration::ZERO, op }
+        TraceStep {
+            think: Duration::ZERO,
+            op,
+        }
     }
 }
 
@@ -133,17 +136,13 @@ pub fn run_traces_opts(
     let partition = Partition::new(per_cn.len());
     let n_ions = partition.ion_count();
     let mut sim = Sim::new();
-    let mut system = SimSystem::new(
-        sim.handle(),
-        cfg.clone(),
-        n_ions,
-        da_sinks.max(1),
-        strategy,
-    );
+    let mut system = SimSystem::new(sim.handle(), cfg.clone(), n_ions, da_sinks.max(1), strategy);
     system.inline_control = opts.inline_control;
     if let Some((sink, factor)) = opts.slow_sink {
         assert!(factor > 0.0 && factor <= 1.0, "slow-sink factor in (0, 1]");
-        system.h.set_capacity(system.da_nic[sink], cfg.da.nic_bps * factor);
+        system
+            .h
+            .set_capacity(system.da_nic[sink], cfg.da.nic_bps * factor);
     }
     let sys = Rc::new(system);
     let metrics = DaemonMetrics::new();
@@ -176,7 +175,10 @@ pub fn run_traces_opts(
                     h.sleep(Duration::from_nanos(rng.below(1_000_000))).await;
                     let issued = h.now();
                     let (tx, rx) = oneshot::<()>();
-                    port.push_now(CnRequest { op: step.op, done: tx });
+                    port.push_now(CnRequest {
+                        op: step.op,
+                        done: tx,
+                    });
                     rx.await;
                     latency
                         .borrow_mut()
@@ -186,7 +188,14 @@ pub fn run_traces_opts(
             });
             global_cn += 1;
         }
-        spawn_daemon(sys.clone(), ion, strategy, ports, WORKER_BATCH, metrics.clone());
+        spawn_daemon(
+            sys.clone(),
+            ion,
+            strategy,
+            ports,
+            WORKER_BATCH,
+            metrics.clone(),
+        );
     }
 
     let quiesce = sim.run();
@@ -212,7 +221,11 @@ pub fn run_traces_opts(
         p99_us: hist.quantile(0.99),
     };
     ExperimentResult {
-        mib_per_sec: if elapsed > 0.0 { delivered as f64 / MIB as f64 / elapsed } else { 0.0 },
+        mib_per_sec: if elapsed > 0.0 {
+            delivered as f64 / MIB as f64 / elapsed
+        } else {
+            0.0
+        },
         delivered_bytes: delivered,
         elapsed_seconds: elapsed,
         ops: metrics.ops.get(),
@@ -232,7 +245,12 @@ pub fn max_of_runs(
 ) -> ExperimentResult {
     assert!(runs >= 1);
     (0..runs)
-        .map(|seed| one(SimOptions { seed: seed as u64, ..SimOptions::default() }))
+        .map(|seed| {
+            one(SimOptions {
+                seed: seed as u64,
+                ..SimOptions::default()
+            })
+        })
         .max_by(|a, b| a.mib_per_sec.partial_cmp(&b.mib_per_sec).unwrap())
         .expect("runs >= 1")
 }
@@ -255,7 +273,10 @@ pub struct CollectiveParams {
 /// the compute nodes ... this benchmark effectively measures the
 /// achievable throughput of the collective network."
 pub fn run_collective(cfg: &MachineConfig, p: &CollectiveParams) -> ExperimentResult {
-    assert!(p.compute_nodes >= 1 && p.compute_nodes <= 64, "one pset holds 1..=64 CNs");
+    assert!(
+        p.compute_nodes >= 1 && p.compute_nodes <= 64,
+        "one pset holds 1..=64 CNs"
+    );
     let traces = (0..p.compute_nodes)
         .map(|_| {
             (0..p.iters_per_cn)
@@ -281,7 +302,13 @@ pub fn run_external_senders(
 ) -> ExperimentResult {
     assert!(threads >= 1);
     let mut sim = Sim::new();
-    let sys = Rc::new(SimSystem::new(sim.handle(), cfg.clone(), 1, 1, Strategy::Zoid));
+    let sys = Rc::new(SimSystem::new(
+        sim.handle(),
+        cfg.clone(),
+        1,
+        1,
+        Strategy::Zoid,
+    ));
     let delivered = Rc::new(std::cell::Cell::new(0u64));
     for _ in 0..threads {
         let sys = sys.clone();
@@ -307,7 +334,11 @@ pub fn run_external_senders(
         gpfs: 0.0,
     };
     ExperimentResult {
-        mib_per_sec: if elapsed > 0.0 { bytes as f64 / MIB as f64 / elapsed } else { 0.0 },
+        mib_per_sec: if elapsed > 0.0 {
+            bytes as f64 / MIB as f64 / elapsed
+        } else {
+            0.0
+        },
         delivered_bytes: bytes,
         elapsed_seconds: elapsed,
         ops: (threads * iters_per_thread) as u64,
@@ -481,7 +512,12 @@ mod tests {
         let run = |s| {
             run_collective(
                 &cfg(),
-                &CollectiveParams { strategy: s, compute_nodes: 16, msg_bytes: MIB, iters_per_cn: 40 },
+                &CollectiveParams {
+                    strategy: s,
+                    compute_nodes: 16,
+                    msg_bytes: MIB,
+                    iters_per_cn: 40,
+                },
             )
             .mib_per_sec
         };
@@ -494,15 +530,16 @@ mod tests {
 
     #[test]
     fn external_senders_match_fig5_anchors() {
-        let at = |threads| {
-            run_external_senders(&cfg(), threads, MIB, 60).mib_per_sec
-        };
+        let at = |threads| run_external_senders(&cfg(), threads, MIB, 60).mib_per_sec;
         let one = at(1);
         assert!((one - 307.0).abs() < 12.0, "1 thread: {one}");
         let four = at(4);
         assert!((four - 791.0).abs() < 40.0, "4 threads: {four}");
         let eight = at(8);
-        assert!(eight < four, "8 threads ({eight}) must decline from 4 ({four})");
+        assert!(
+            eight < four,
+            "8 threads ({eight}) must decline from 4 ({four})"
+        );
         let two = at(2);
         assert!(two > one && two < four, "2 threads: {two}");
     }
@@ -608,7 +645,10 @@ mod tests {
         let degraded = run_end_to_end_opts(
             &cfg(),
             &params,
-            SimOptions { slow_sink: Some((0, 0.1)), ..SimOptions::default() },
+            SimOptions {
+                slow_sink: Some((0, 0.1)),
+                ..SimOptions::default()
+            },
         );
         assert!(degraded.mib_per_sec < healthy.mib_per_sec);
         assert!(
@@ -635,7 +675,10 @@ mod tests {
             )
         };
         let a = one(SimOptions::default());
-        let b = one(SimOptions { seed: 1, ..SimOptions::default() });
+        let b = one(SimOptions {
+            seed: 1,
+            ..SimOptions::default()
+        });
         assert_ne!(a.mib_per_sec, b.mib_per_sec, "seeds must perturb the run");
         let best = max_of_runs(3, one);
         assert!(best.mib_per_sec >= a.mib_per_sec.max(b.mib_per_sec) - 1e-9);
@@ -646,9 +689,7 @@ mod tests {
 
     #[test]
     fn madbench_runs_and_orders() {
-        let run = |s| {
-            run_madbench(&cfg(), &MadbenchParams::paper_64(s, 8)).mib_per_sec
-        };
+        let run = |s| run_madbench(&cfg(), &MadbenchParams::paper_64(s, 8)).mib_per_sec;
         let ciod = run(Strategy::Ciod);
         let staged = run(Strategy::async_staged_default());
         assert!(staged > ciod, "staged {staged} vs ciod {ciod}");

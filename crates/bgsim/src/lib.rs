@@ -25,8 +25,8 @@ pub mod strategy;
 pub mod system;
 
 pub use experiment::{
-    max_of_runs, run_collective, run_da_to_da, run_end_to_end, run_end_to_end_opts, run_external_senders,
-    run_madbench, run_traces, run_traces_opts, CollectiveParams, EndToEndParams,
-    ExperimentResult, MadbenchParams, SimOptions, TraceStep, Utilization,
+    max_of_runs, run_collective, run_da_to_da, run_end_to_end, run_end_to_end_opts,
+    run_external_senders, run_madbench, run_traces, run_traces_opts, CollectiveParams,
+    EndToEndParams, ExperimentResult, MadbenchParams, SimOptions, TraceStep, Utilization,
 };
 pub use strategy::Strategy;

@@ -62,7 +62,12 @@ impl Strategy {
 
     /// All four mechanisms in presentation order (Figure 9's legend).
     pub fn lineup() -> [Strategy; 4] {
-        [Strategy::Ciod, Strategy::Zoid, Strategy::sched_default(), Strategy::async_staged_default()]
+        [
+            Strategy::Ciod,
+            Strategy::Zoid,
+            Strategy::sched_default(),
+            Strategy::async_staged_default(),
+        ]
     }
 }
 

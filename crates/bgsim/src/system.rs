@@ -41,11 +41,19 @@ pub struct SimOp {
 
 impl SimOp {
     pub fn write(bytes: u64, target: Target) -> SimOp {
-        SimOp { bytes, target, is_read: false }
+        SimOp {
+            bytes,
+            target,
+            is_read: false,
+        }
     }
 
     pub fn read(bytes: u64, target: Target) -> SimOp {
-        SimOp { bytes, target, is_read: true }
+        SimOp {
+            bytes,
+            target,
+            is_read: true,
+        }
     }
 }
 
@@ -103,7 +111,9 @@ pub struct SenderGuard {
 impl SenderGuard {
     pub fn enter(senders: &Rc<Cell<usize>>) -> SenderGuard {
         senders.set(senders.get() + 1);
-        SenderGuard { senders: senders.clone() }
+        SenderGuard {
+            senders: senders.clone(),
+        }
     }
 }
 
@@ -133,14 +143,10 @@ impl SimSystem {
                 let ion_spec = cfg.ion;
                 let nic_tx = {
                     let senders = senders.clone();
-                    h.resource_scaled(
-                        &format!("ion{i}.nic_tx"),
-                        cfg.ion.nic_bps,
-                        move |_flows| {
-                            let threads = senders.get().max(1);
-                            ion_spec.nic_tx_effective(threads) / ion_spec.nic_bps
-                        },
-                    )
+                    h.resource_scaled(&format!("ion{i}.nic_tx"), cfg.ion.nic_bps, move |_flows| {
+                        let threads = senders.get().max(1);
+                        ion_spec.nic_tx_effective(threads) / ion_spec.nic_bps
+                    })
                 };
                 let recv_spec = cfg.ion;
                 IonResources {
@@ -157,8 +163,7 @@ impl SimSystem {
                     cpu: h.resource(&format!("ion{i}.cpu"), cores as f64),
                     nic_tx,
                     nic_rx: h.resource(&format!("ion{i}.nic_rx"), cfg.ion.nic_bps),
-                    gpfs_share: h
-                        .resource(&format!("ion{i}.gpfs_share"), cfg.storage.per_ion_bps),
+                    gpfs_share: h.resource(&format!("ion{i}.gpfs_share"), cfg.storage.per_ion_bps),
                     senders,
                     recv_pool: Semaphore::new(calibration::ION_RECV_POOL_OPS),
                 }
@@ -174,7 +179,16 @@ impl SimSystem {
         let fabric = h.resource("fabric", cfg.fabric.bisection_bps);
         let storage_agg = h.resource("storage", cfg.storage.aggregate_bps());
 
-        SimSystem { h, cfg, inline_control: false, ions, da_nic, da_cpu, fabric, storage_agg }
+        SimSystem {
+            h,
+            cfg,
+            inline_control: false,
+            ions,
+            da_nic,
+            da_cpu,
+            fabric,
+            storage_agg,
+        }
     }
 
     /// Latency of the request's control step (step 1 of the two-step
@@ -207,7 +221,9 @@ impl SimSystem {
         if seconds <= 0.0 {
             return;
         }
-        let spec = FlowSpec::new(seconds).using(self.ions[ion].cpu, 1.0).cap(1.0);
+        let spec = FlowSpec::new(seconds)
+            .using(self.ions[ion].cpu, 1.0)
+            .cap(1.0);
         self.h.transfer(spec).await;
     }
 
@@ -478,7 +494,10 @@ mod tests {
         let end = sim.run_to_completion();
         let rate = throughput_of(8 * 64 * MIB, end.as_nanos());
         let cap = to_mib_s(bgp_model::calibration::GPFS_PER_ION_BPS);
-        assert!(rate <= cap * 1.01, "rate {rate} exceeds per-ION GPFS cap {cap}");
+        assert!(
+            rate <= cap * 1.01,
+            "rate {rate} exceeds per-ION GPFS cap {cap}"
+        );
         assert!(rate > cap * 0.8, "rate {rate} far below cap {cap}");
     }
 
@@ -531,8 +550,13 @@ mod tests {
         // Just ensure construction differs without panicking; behaviour
         // is covered by the experiment-level tests.
         let sim = Sim::new();
-        let _sys =
-            SimSystem::new(sim.handle(), MachineConfig::intrepid(), 2, 3, Strategy::Ciod);
+        let _sys = SimSystem::new(
+            sim.handle(),
+            MachineConfig::intrepid(),
+            2,
+            3,
+            Strategy::Ciod,
+        );
     }
 
     #[test]

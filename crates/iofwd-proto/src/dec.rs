@@ -29,7 +29,10 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.remaining() < n {
-            return Err(DecodeError::Truncated { needed: n, available: self.remaining() });
+            return Err(DecodeError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -60,7 +63,11 @@ impl<'a> Reader<'a> {
     pub fn str(&mut self, max: u64) -> Result<String, DecodeError> {
         let len = self.u32()? as u64;
         if len > max {
-            return Err(DecodeError::TooLarge { what: "string", len, max });
+            return Err(DecodeError::TooLarge {
+                what: "string",
+                len,
+                max,
+            });
         }
         let bytes = self.take(len as usize)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
@@ -96,7 +103,13 @@ mod tests {
     #[test]
     fn truncation_is_an_error_not_a_panic() {
         let mut r = Reader::new(&[1, 2]);
-        assert!(matches!(r.u32(), Err(DecodeError::Truncated { needed: 4, available: 2 })));
+        assert!(matches!(
+            r.u32(),
+            Err(DecodeError::Truncated {
+                needed: 4,
+                available: 2
+            })
+        ));
     }
 
     #[test]

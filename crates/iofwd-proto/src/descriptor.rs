@@ -55,7 +55,10 @@ impl FdAllocator {
 
     pub fn alloc(&mut self) -> Fd {
         let fd = Fd(self.next);
-        self.next = self.next.checked_add(1).expect("descriptor space exhausted");
+        self.next = self
+            .next
+            .checked_add(1)
+            .expect("descriptor space exhausted");
         fd
     }
 }

@@ -134,7 +134,11 @@ pub enum DecodeError {
     /// Unknown enum discriminant (whence, flags, ...).
     BadEnum(&'static str, u64),
     /// Declared length exceeds protocol limits.
-    TooLarge { what: &'static str, len: u64, max: u64 },
+    TooLarge {
+        what: &'static str,
+        len: u64,
+        max: u64,
+    },
     /// A string field was not valid UTF-8.
     BadUtf8,
     /// Trailing bytes after a complete message.
@@ -196,9 +200,15 @@ mod tests {
     #[test]
     fn io_error_mapping() {
         use std::io::{Error, ErrorKind};
-        assert_eq!(Errno::from_io(&Error::new(ErrorKind::NotFound, "x")), Errno::NoEnt);
-        assert_eq!(Errno::from_io(&Error::new(ErrorKind::PermissionDenied, "x")), Errno::Access);
-        assert_eq!(Errno::from_io(&Error::new(ErrorKind::Other, "x")), Errno::Io);
+        assert_eq!(
+            Errno::from_io(&Error::new(ErrorKind::NotFound, "x")),
+            Errno::NoEnt
+        );
+        assert_eq!(
+            Errno::from_io(&Error::new(ErrorKind::PermissionDenied, "x")),
+            Errno::Access
+        );
+        assert_eq!(Errno::from_io(&Error::other("x")), Errno::Io);
     }
 
     #[test]

@@ -92,7 +92,11 @@ pub struct FileStat {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Open (or create) a file on the ION's filesystem.
-    Open { path: String, flags: OpenFlags, mode: u32 },
+    Open {
+        path: String,
+        flags: OpenFlags,
+        mode: u32,
+    },
     /// Connect a streaming socket to a remote sink (DA node, FSN) —
     /// the "memory-to-memory" path of §III-C.
     Connect { host: String, port: u16 },
@@ -166,7 +170,20 @@ impl Request {
     pub fn expected_payload(&self) -> u64 {
         match self {
             Request::Write { len, .. } | Request::Pwrite { len, .. } => *len,
-            _ => 0,
+            Request::Open { .. }
+            | Request::Connect { .. }
+            | Request::Close { .. }
+            | Request::Read { .. }
+            | Request::Pread { .. }
+            | Request::Lseek { .. }
+            | Request::Fsync { .. }
+            | Request::Stat { .. }
+            | Request::Fstat { .. }
+            | Request::Unlink { .. }
+            | Request::Shutdown
+            | Request::Ftruncate { .. }
+            | Request::Mkdir { .. }
+            | Request::Readdir { .. } => 0,
         }
     }
 
@@ -236,25 +253,54 @@ impl Request {
                 flags: OpenFlags(r.u32()?),
                 mode: r.u32()?,
             },
-            2 => Request::Connect { host: r.str(MAX_PATH)?, port: r.u16()? },
+            2 => Request::Connect {
+                host: r.str(MAX_PATH)?,
+                port: r.u16()?,
+            },
             3 => Request::Close { fd: Fd(r.u32()?) },
-            4 => Request::Write { fd: Fd(r.u32()?), len: r.u64()? },
-            5 => Request::Pwrite { fd: Fd(r.u32()?), offset: r.u64()?, len: r.u64()? },
-            6 => Request::Read { fd: Fd(r.u32()?), len: r.u64()? },
-            7 => Request::Pread { fd: Fd(r.u32()?), offset: r.u64()?, len: r.u64()? },
+            4 => Request::Write {
+                fd: Fd(r.u32()?),
+                len: r.u64()?,
+            },
+            5 => Request::Pwrite {
+                fd: Fd(r.u32()?),
+                offset: r.u64()?,
+                len: r.u64()?,
+            },
+            6 => Request::Read {
+                fd: Fd(r.u32()?),
+                len: r.u64()?,
+            },
+            7 => Request::Pread {
+                fd: Fd(r.u32()?),
+                offset: r.u64()?,
+                len: r.u64()?,
+            },
             8 => Request::Lseek {
                 fd: Fd(r.u32()?),
                 offset: r.i64()?,
                 whence: Whence::from_wire(r.u8()?)?,
             },
             9 => Request::Fsync { fd: Fd(r.u32()?) },
-            10 => Request::Stat { path: r.str(MAX_PATH)? },
+            10 => Request::Stat {
+                path: r.str(MAX_PATH)?,
+            },
             11 => Request::Fstat { fd: Fd(r.u32()?) },
-            12 => Request::Unlink { path: r.str(MAX_PATH)? },
+            12 => Request::Unlink {
+                path: r.str(MAX_PATH)?,
+            },
             13 => Request::Shutdown,
-            14 => Request::Ftruncate { fd: Fd(r.u32()?), len: r.u64()? },
-            15 => Request::Mkdir { path: r.str(MAX_PATH)?, mode: r.u32()? },
-            16 => Request::Readdir { path: r.str(MAX_PATH)? },
+            14 => Request::Ftruncate {
+                fd: Fd(r.u32()?),
+                len: r.u64()?,
+            },
+            15 => Request::Mkdir {
+                path: r.str(MAX_PATH)?,
+                mode: r.u32()?,
+            },
+            16 => Request::Readdir {
+                path: r.str(MAX_PATH)?,
+            },
             _ => return Err(DecodeError::BadOpCode(op)),
         };
         r.finish()?;
@@ -321,7 +367,9 @@ impl Response {
             2 => Response::Staged { op: OpId(r.u64()?) },
             3 => {
                 let e = r.u32()?;
-                Response::Err { errno: Errno::from_wire(e).ok_or(DecodeError::BadErrno(e))? }
+                Response::Err {
+                    errno: Errno::from_wire(e).ok_or(DecodeError::BadErrno(e))?,
+                }
             }
             4 => {
                 let op = OpId(r.u64()?);
@@ -402,29 +450,68 @@ mod tests {
             flags: OpenFlags::WRONLY | OpenFlags::CREATE,
             mode: 0o644,
         });
-        roundtrip_req(Request::Connect { host: "eureka-17".into(), port: 9900 });
+        roundtrip_req(Request::Connect {
+            host: "eureka-17".into(),
+            port: 9900,
+        });
         roundtrip_req(Request::Close { fd: Fd(5) });
-        roundtrip_req(Request::Write { fd: Fd(5), len: 1 << 20 });
-        roundtrip_req(Request::Pwrite { fd: Fd(5), offset: 4096, len: 2 << 20 });
-        roundtrip_req(Request::Read { fd: Fd(6), len: 65536 });
-        roundtrip_req(Request::Pread { fd: Fd(6), offset: 1 << 30, len: 65536 });
-        roundtrip_req(Request::Lseek { fd: Fd(5), offset: -100, whence: Whence::End });
+        roundtrip_req(Request::Write {
+            fd: Fd(5),
+            len: 1 << 20,
+        });
+        roundtrip_req(Request::Pwrite {
+            fd: Fd(5),
+            offset: 4096,
+            len: 2 << 20,
+        });
+        roundtrip_req(Request::Read {
+            fd: Fd(6),
+            len: 65536,
+        });
+        roundtrip_req(Request::Pread {
+            fd: Fd(6),
+            offset: 1 << 30,
+            len: 65536,
+        });
+        roundtrip_req(Request::Lseek {
+            fd: Fd(5),
+            offset: -100,
+            whence: Whence::End,
+        });
         roundtrip_req(Request::Fsync { fd: Fd(5) });
-        roundtrip_req(Request::Stat { path: "/gpfs".into() });
+        roundtrip_req(Request::Stat {
+            path: "/gpfs".into(),
+        });
         roundtrip_req(Request::Fstat { fd: Fd(5) });
-        roundtrip_req(Request::Unlink { path: "/tmp/x".into() });
-        roundtrip_req(Request::Ftruncate { fd: Fd(5), len: 1 << 30 });
-        roundtrip_req(Request::Mkdir { path: "/a/b".into(), mode: 0o755 });
+        roundtrip_req(Request::Unlink {
+            path: "/tmp/x".into(),
+        });
+        roundtrip_req(Request::Ftruncate {
+            fd: Fd(5),
+            len: 1 << 30,
+        });
+        roundtrip_req(Request::Mkdir {
+            path: "/a/b".into(),
+            mode: 0o755,
+        });
         roundtrip_req(Request::Readdir { path: "/a".into() });
         roundtrip_req(Request::Shutdown);
     }
 
     #[test]
     fn dirents_roundtrip() {
-        let names = vec!["a".to_string(), "sub dir".into(), "é☃".into(), String::new()];
+        let names = vec![
+            "a".to_string(),
+            "sub dir".into(),
+            "é☃".into(),
+            String::new(),
+        ];
         let wire = encode_dirents(&names);
         assert_eq!(decode_dirents(&wire).unwrap(), names);
-        assert_eq!(decode_dirents(&encode_dirents(&[])).unwrap(), Vec::<String>::new());
+        assert_eq!(
+            decode_dirents(&encode_dirents(&[])).unwrap(),
+            Vec::<String>::new()
+        );
         // Truncated payloads fail cleanly.
         assert!(decode_dirents(&wire[..wire.len() - 1]).is_err());
     }
@@ -433,10 +520,20 @@ mod tests {
     fn response_roundtrips() {
         roundtrip_resp(Response::Ok { ret: 1048576 });
         roundtrip_resp(Response::Staged { op: OpId(42) });
-        roundtrip_resp(Response::Err { errno: Errno::NoSpc });
-        roundtrip_resp(Response::DeferredErr { op: OpId(41), errno: Errno::Io });
+        roundtrip_resp(Response::Err {
+            errno: Errno::NoSpc,
+        });
+        roundtrip_resp(Response::DeferredErr {
+            op: OpId(41),
+            errno: Errno::Io,
+        });
         roundtrip_resp(Response::StatOk {
-            st: FileStat { size: 123, mode: 0o644, mtime_ns: 5, is_dir: false },
+            st: FileStat {
+                size: 123,
+                mode: 0o644,
+                mtime_ns: 5,
+                is_dir: false,
+            },
         });
     }
 
@@ -444,9 +541,18 @@ mod tests {
     fn data_op_classification_matches_paper() {
         // §IV: data ops staged, metadata ops synchronous.
         assert!(Request::Write { fd: Fd(3), len: 1 }.is_data_op());
-        assert!(Request::Pread { fd: Fd(3), offset: 0, len: 1 }.is_data_op());
-        assert!(!Request::Open { path: "x".into(), flags: OpenFlags::RDONLY, mode: 0 }
-            .is_data_op());
+        assert!(Request::Pread {
+            fd: Fd(3),
+            offset: 0,
+            len: 1
+        }
+        .is_data_op());
+        assert!(!Request::Open {
+            path: "x".into(),
+            flags: OpenFlags::RDONLY,
+            mode: 0
+        }
+        .is_data_op());
         assert!(!Request::Close { fd: Fd(3) }.is_data_op());
         assert!(!Request::Fsync { fd: Fd(3) }.is_data_op());
         assert!(!Request::Stat { path: "x".into() }.is_data_op());
@@ -455,7 +561,15 @@ mod tests {
     #[test]
     fn expected_payload_only_for_writes() {
         assert_eq!(Request::Write { fd: Fd(3), len: 77 }.expected_payload(), 77);
-        assert_eq!(Request::Pwrite { fd: Fd(3), offset: 0, len: 9 }.expected_payload(), 9);
+        assert_eq!(
+            Request::Pwrite {
+                fd: Fd(3),
+                offset: 0,
+                len: 9
+            }
+            .expected_payload(),
+            9
+        );
         assert_eq!(Request::Read { fd: Fd(3), len: 77 }.expected_payload(), 0);
     }
 

@@ -79,14 +79,26 @@ impl Frame {
         );
         let mut meta = BytesMut::new();
         req.encode(&mut meta);
-        Frame { kind: FrameKind::Request, client_id, seq, meta: meta.freeze(), data }
+        Frame {
+            kind: FrameKind::Request,
+            client_id,
+            seq,
+            meta: meta.freeze(),
+            data,
+        }
     }
 
     /// Build a response frame.
     pub fn response(client_id: u32, seq: u64, resp: &Response, data: Bytes) -> Frame {
         let mut meta = BytesMut::new();
         resp.encode(&mut meta);
-        Frame { kind: FrameKind::Response, client_id, seq, meta: meta.freeze(), data }
+        Frame {
+            kind: FrameKind::Response,
+            client_id,
+            seq,
+            meta: meta.freeze(),
+            data,
+        }
     }
 
     /// Decode this frame's metadata as a request.
@@ -144,20 +156,37 @@ impl Frame {
         let meta_len = r.u32()? as u64;
         let data_len = r.u32()? as u64;
         if meta_len > MAX_META_LEN {
-            return Err(DecodeError::TooLarge { what: "meta", len: meta_len, max: MAX_META_LEN });
+            return Err(DecodeError::TooLarge {
+                what: "meta",
+                len: meta_len,
+                max: MAX_META_LEN,
+            });
         }
         if data_len > MAX_DATA_LEN {
-            return Err(DecodeError::TooLarge { what: "data", len: data_len, max: MAX_DATA_LEN });
+            return Err(DecodeError::TooLarge {
+                what: "data",
+                len: data_len,
+                max: MAX_DATA_LEN,
+            });
         }
         let total = FRAME_HEADER_BYTES + (meta_len + data_len) as usize;
         if buf.len() < total {
             return Ok(None);
         }
-        let meta = Bytes::copy_from_slice(&buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + meta_len as usize]);
-        let data = Bytes::copy_from_slice(
-            &buf[FRAME_HEADER_BYTES + meta_len as usize..total],
+        let meta = Bytes::copy_from_slice(
+            &buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + meta_len as usize],
         );
-        Ok(Some((Frame { kind, client_id, seq, meta, data }, total)))
+        let data = Bytes::copy_from_slice(&buf[FRAME_HEADER_BYTES + meta_len as usize..total]);
+        Ok(Some((
+            Frame {
+                kind,
+                client_id,
+                seq,
+                meta,
+                data,
+            },
+            total,
+        )))
     }
 }
 
@@ -182,13 +211,22 @@ mod tests {
         let (g, consumed) = Frame::decode(&wire).unwrap().unwrap();
         assert_eq!(consumed, wire.len());
         assert_eq!(g, f);
-        assert_eq!(g.decode_request().unwrap(), Request::Write { fd: Fd(4), len: 5 });
+        assert_eq!(
+            g.decode_request().unwrap(),
+            Request::Write { fd: Fd(4), len: 5 }
+        );
     }
 
     #[test]
     fn streaming_decode_needs_more_bytes() {
         let wire = sample_frame().encode();
-        for cut in [0, 1, FRAME_HEADER_BYTES - 1, FRAME_HEADER_BYTES, wire.len() - 1] {
+        for cut in [
+            0,
+            1,
+            FRAME_HEADER_BYTES - 1,
+            FRAME_HEADER_BYTES,
+            wire.len() - 1,
+        ] {
             assert_eq!(Frame::decode(&wire[..cut]).unwrap(), None, "cut at {cut}");
         }
     }
@@ -208,14 +246,20 @@ mod tests {
     fn bad_magic_rejected() {
         let mut wire = sample_frame().encode().to_vec();
         wire[0] = 0;
-        assert!(matches!(Frame::decode(&wire), Err(DecodeError::BadMagic(_))));
+        assert!(matches!(
+            Frame::decode(&wire),
+            Err(DecodeError::BadMagic(_))
+        ));
     }
 
     #[test]
     fn bad_version_rejected() {
         let mut wire = sample_frame().encode().to_vec();
         wire[2] = 9;
-        assert!(matches!(Frame::decode(&wire), Err(DecodeError::BadVersion(9))));
+        assert!(matches!(
+            Frame::decode(&wire),
+            Err(DecodeError::BadVersion(9))
+        ));
     }
 
     #[test]
@@ -223,12 +267,20 @@ mod tests {
         let mut wire = sample_frame().encode().to_vec();
         // Corrupt data_len (offset 20..24) to a huge value.
         wire[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert!(matches!(Frame::decode(&wire), Err(DecodeError::TooLarge { what: "data", .. })));
+        assert!(matches!(
+            Frame::decode(&wire),
+            Err(DecodeError::TooLarge { what: "data", .. })
+        ));
     }
 
     #[test]
     fn response_frame_roundtrip() {
-        let f = Frame::response(3, 12, &Response::Ok { ret: 5 }, Bytes::from_static(b"abcde"));
+        let f = Frame::response(
+            3,
+            12,
+            &Response::Ok { ret: 5 },
+            Bytes::from_static(b"abcde"),
+        );
         let wire = f.encode();
         let (g, _) = Frame::decode(&wire).unwrap().unwrap();
         assert_eq!(g.kind, FrameKind::Response);

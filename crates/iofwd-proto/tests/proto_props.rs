@@ -2,9 +2,7 @@
 //! roundtrip, and arbitrary bytes never panic the decoder.
 
 use bytes::{Bytes, BytesMut};
-use iofwd_proto::{
-    Errno, Fd, FileStat, Frame, OpId, OpenFlags, Request, Response, Whence,
-};
+use iofwd_proto::{Errno, Fd, FileStat, Frame, OpId, OpenFlags, Request, Response, Whence};
 use proptest::prelude::*;
 
 fn arb_fd() -> impl Strategy<Value = Fd> {
@@ -38,18 +36,30 @@ fn arb_whence() -> impl Strategy<Value = Whence> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        (arb_path(), arb_flags(), any::<u32>())
-            .prop_map(|(path, flags, mode)| Request::Open { path, flags, mode }),
+        (arb_path(), arb_flags(), any::<u32>()).prop_map(|(path, flags, mode)| Request::Open {
+            path,
+            flags,
+            mode
+        }),
         (arb_path(), any::<u16>()).prop_map(|(host, port)| Request::Connect { host, port }),
         arb_fd().prop_map(|fd| Request::Close { fd }),
         (arb_fd(), 0u64..(1 << 40)).prop_map(|(fd, len)| Request::Write { fd, len }),
-        (arb_fd(), any::<u64>(), 0u64..(1 << 40))
-            .prop_map(|(fd, offset, len)| Request::Pwrite { fd, offset, len }),
+        (arb_fd(), any::<u64>(), 0u64..(1 << 40)).prop_map(|(fd, offset, len)| Request::Pwrite {
+            fd,
+            offset,
+            len
+        }),
         (arb_fd(), 0u64..(1 << 40)).prop_map(|(fd, len)| Request::Read { fd, len }),
-        (arb_fd(), any::<u64>(), 0u64..(1 << 40))
-            .prop_map(|(fd, offset, len)| Request::Pread { fd, offset, len }),
-        (arb_fd(), any::<i64>(), arb_whence())
-            .prop_map(|(fd, offset, whence)| Request::Lseek { fd, offset, whence }),
+        (arb_fd(), any::<u64>(), 0u64..(1 << 40)).prop_map(|(fd, offset, len)| Request::Pread {
+            fd,
+            offset,
+            len
+        }),
+        (arb_fd(), any::<i64>(), arb_whence()).prop_map(|(fd, offset, whence)| Request::Lseek {
+            fd,
+            offset,
+            whence
+        }),
         arb_fd().prop_map(|fd| Request::Fsync { fd }),
         arb_path().prop_map(|path| Request::Stat { path }),
         arb_fd().prop_map(|fd| Request::Fstat { fd }),
@@ -101,11 +111,18 @@ fn arb_response() -> impl Strategy<Value = Response> {
         any::<i64>().prop_map(|ret| Response::Ok { ret }),
         any::<u64>().prop_map(|op| Response::Staged { op: OpId(op) }),
         arb_errno().prop_map(|errno| Response::Err { errno }),
-        (any::<u64>(), arb_errno())
-            .prop_map(|(op, errno)| Response::DeferredErr { op: OpId(op), errno }),
+        (any::<u64>(), arb_errno()).prop_map(|(op, errno)| Response::DeferredErr {
+            op: OpId(op),
+            errno
+        }),
         (any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>()).prop_map(
             |(size, mode, mtime_ns, is_dir)| Response::StatOk {
-                st: FileStat { size, mode, mtime_ns, is_dir }
+                st: FileStat {
+                    size,
+                    mode,
+                    mtime_ns,
+                    is_dir
+                }
             }
         ),
     ]

@@ -117,7 +117,9 @@ struct NullObject {
 
 impl BackendObject for NullObject {
     fn write_at(&mut self, _offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
-        self.counters.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.counters
+            .bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.counters.ops.fetch_add(1, Ordering::Relaxed);
         Ok(data.len() as u64)
     }
@@ -136,7 +138,12 @@ impl BackendObject for NullObject {
     }
 
     fn fstat(&mut self) -> Result<FileStat, Errno> {
-        Ok(FileStat { size: 0, mode: 0o666, mtime_ns: 0, is_dir: false })
+        Ok(FileStat {
+            size: 0,
+            mode: 0o666,
+            mtime_ns: 0,
+            is_dir: false,
+        })
     }
 
     fn truncate(&mut self, _len: u64) -> Result<(), Errno> {
@@ -151,15 +158,24 @@ impl Backend for NullBackend {
         _flags: OpenFlags,
         _mode: u32,
     ) -> Result<Box<dyn BackendObject>, Errno> {
-        Ok(Box::new(NullObject { counters: self.counters.clone() }))
+        Ok(Box::new(NullObject {
+            counters: self.counters.clone(),
+        }))
     }
 
     fn connect(&self, _host: &str, _port: u16) -> Result<Box<dyn BackendObject>, Errno> {
-        Ok(Box::new(NullObject { counters: self.counters.clone() }))
+        Ok(Box::new(NullObject {
+            counters: self.counters.clone(),
+        }))
     }
 
     fn stat(&self, _path: &str) -> Result<FileStat, Errno> {
-        Ok(FileStat { size: 0, mode: 0o666, mtime_ns: 0, is_dir: false })
+        Ok(FileStat {
+            size: 0,
+            mode: 0o666,
+            mtime_ns: 0,
+            is_dir: false,
+        })
     }
 
     fn unlink(&self, _path: &str) -> Result<(), Errno> {
@@ -259,7 +275,11 @@ impl BackendObject for MemFileObject {
         let off = self.effective_offset(offset) as usize;
         let file = self.data.lock();
         let end = (off + len as usize).min(file.len());
-        let out = if off >= file.len() { Vec::new() } else { file[off..end].to_vec() };
+        let out = if off >= file.len() {
+            Vec::new()
+        } else {
+            file[off..end].to_vec()
+        };
         drop(file);
         if !positional {
             self.pos += out.len() as u64;
@@ -311,7 +331,9 @@ struct MemSocketObject {
 
 impl BackendObject for MemSocketObject {
     fn write_at(&mut self, _offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
-        self.store.socket_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.store
+            .socket_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.sent += data.len() as u64;
         Ok(data.len() as u64)
     }
@@ -329,7 +351,12 @@ impl BackendObject for MemSocketObject {
     }
 
     fn fstat(&mut self) -> Result<FileStat, Errno> {
-        Ok(FileStat { size: self.sent, mode: 0o600, mtime_ns: 0, is_dir: false })
+        Ok(FileStat {
+            size: self.sent,
+            mode: 0o600,
+            mtime_ns: 0,
+            is_dir: false,
+        })
     }
 }
 
@@ -350,12 +377,19 @@ impl Backend for MemSinkBackend {
         if flags.contains(OpenFlags::TRUNC) && flags.writable() {
             data.lock().clear();
         }
-        let pos = if flags.contains(OpenFlags::APPEND) { data.lock().len() as u64 } else { 0 };
+        let pos = if flags.contains(OpenFlags::APPEND) {
+            data.lock().len() as u64
+        } else {
+            0
+        };
         Ok(Box::new(MemFileObject { data, pos, flags }))
     }
 
     fn connect(&self, _host: &str, _port: u16) -> Result<Box<dyn BackendObject>, Errno> {
-        Ok(Box::new(MemSocketObject { store: self.store.clone(), sent: 0 }))
+        Ok(Box::new(MemSocketObject {
+            store: self.store.clone(),
+            sent: 0,
+        }))
     }
 
     fn stat(&self, path: &str) -> Result<FileStat, Errno> {
@@ -363,7 +397,12 @@ impl Backend for MemSinkBackend {
         let data = files.get(path).cloned().ok_or(Errno::NoEnt)?;
         drop(files);
         let size = data.lock().len() as u64;
-        Ok(FileStat { size, mode: 0o644, mtime_ns: 0, is_dir: false })
+        Ok(FileStat {
+            size,
+            mode: 0o644,
+            mtime_ns: 0,
+            is_dir: false,
+        })
     }
 
     fn unlink(&self, path: &str) -> Result<(), Errno> {
@@ -383,7 +422,11 @@ impl Backend for MemSinkBackend {
     fn readdir(&self, path: &str) -> Result<Vec<String>, Errno> {
         let prefix = {
             let p = norm(path);
-            if p == "/" { p } else { p + "/" }
+            if p == "/" {
+                p
+            } else {
+                p + "/"
+            }
         };
         let mut out = std::collections::BTreeSet::new();
         let child_of = |full: &str| -> Option<String> {
@@ -391,7 +434,7 @@ impl Backend for MemSinkBackend {
             if rest.is_empty() {
                 return None;
             }
-            Some(rest.split('/').next().unwrap().to_owned())
+            rest.split('/').next().map(str::to_owned)
         };
         for name in self.store.files.lock().keys() {
             if let Some(c) = child_of(&norm(name)) {
@@ -460,7 +503,9 @@ impl BackendObject for FileObject {
     fn write_at(&mut self, offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
         let res = match offset {
             Some(off) => {
-                self.file.seek(SeekFrom::Start(off)).map_err(|e| Errno::from_io(&e))?;
+                self.file
+                    .seek(SeekFrom::Start(off))
+                    .map_err(|e| Errno::from_io(&e))?;
                 self.file.write_all(data)
             }
             None => self.file.write_all(data),
@@ -471,7 +516,9 @@ impl BackendObject for FileObject {
 
     fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno> {
         if let Some(off) = offset {
-            self.file.seek(SeekFrom::Start(off)).map_err(|e| Errno::from_io(&e))?;
+            self.file
+                .seek(SeekFrom::Start(off))
+                .map_err(|e| Errno::from_io(&e))?;
         }
         let mut buf = vec![0u8; len as usize];
         let mut filled = 0;
@@ -580,7 +627,11 @@ pub struct FaultInjectionBackend<B> {
 impl<B: Backend> FaultInjectionBackend<B> {
     /// Allow `ok_ops` data operations to succeed, then fail the rest.
     pub fn new(inner: Arc<B>, ok_ops: u64, errno: Errno) -> Self {
-        FaultInjectionBackend { inner, ok_ops: Arc::new(AtomicU64::new(ok_ops)), errno }
+        FaultInjectionBackend {
+            inner,
+            ok_ops: Arc::new(AtomicU64::new(ok_ops)),
+            errno,
+        }
     }
 
     /// Re-arm the failure budget.
@@ -603,7 +654,10 @@ impl FaultObject {
             if cur == 0 {
                 return Err(self.errno);
             }
-            match self.ok_ops.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+            match self
+                .ok_ops
+                .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return Ok(()),
                 Err(actual) => cur = actual,
             }
@@ -647,12 +701,20 @@ impl<B: Backend> Backend for FaultInjectionBackend<B> {
         mode: u32,
     ) -> Result<Box<dyn BackendObject>, Errno> {
         let inner = self.inner.open(path, flags, mode)?;
-        Ok(Box::new(FaultObject { inner, ok_ops: self.ok_ops.clone(), errno: self.errno }))
+        Ok(Box::new(FaultObject {
+            inner,
+            ok_ops: self.ok_ops.clone(),
+            errno: self.errno,
+        }))
     }
 
     fn connect(&self, host: &str, port: u16) -> Result<Box<dyn BackendObject>, Errno> {
         let inner = self.inner.connect(host, port)?;
-        Ok(Box::new(FaultObject { inner, ok_ops: self.ok_ops.clone(), errno: self.errno }))
+        Ok(Box::new(FaultObject {
+            inner,
+            ok_ops: self.ok_ops.clone(),
+            errno: self.errno,
+        }))
     }
 
     fn stat(&self, path: &str) -> Result<FileStat, Errno> {
@@ -754,12 +816,18 @@ impl<B: Backend> Backend for ThrottledBackend<B> {
         mode: u32,
     ) -> Result<Box<dyn BackendObject>, Errno> {
         let inner = self.inner.open(path, flags, mode)?;
-        Ok(Box::new(ThrottledObject { inner, pacer: self.pacer.clone() }))
+        Ok(Box::new(ThrottledObject {
+            inner,
+            pacer: self.pacer.clone(),
+        }))
     }
 
     fn connect(&self, host: &str, port: u16) -> Result<Box<dyn BackendObject>, Errno> {
         let inner = self.inner.connect(host, port)?;
-        Ok(Box::new(ThrottledObject { inner, pacer: self.pacer.clone() }))
+        Ok(Box::new(ThrottledObject {
+            inner,
+            pacer: self.pacer.clone(),
+        }))
     }
 
     fn stat(&self, path: &str) -> Result<FileStat, Errno> {
@@ -815,7 +883,10 @@ mod tests {
     #[test]
     fn memsink_open_semantics() {
         let b = MemSinkBackend::new();
-        assert_eq!(b.open("/missing", OpenFlags::RDONLY, 0).err(), Some(Errno::NoEnt));
+        assert_eq!(
+            b.open("/missing", OpenFlags::RDONLY, 0).err(),
+            Some(Errno::NoEnt)
+        );
         b.open("/t", OpenFlags::WRONLY | OpenFlags::CREATE, 0)
             .unwrap()
             .write_at(None, b"12345")
@@ -826,8 +897,13 @@ mod tests {
             .unwrap();
         assert_eq!(b.contents("/t").unwrap(), b"");
         // APPEND starts at end.
-        b.open("/t", OpenFlags::WRONLY, 0).unwrap().write_at(None, b"ab").unwrap();
-        let mut a = b.open("/t", OpenFlags::WRONLY | OpenFlags::APPEND, 0).unwrap();
+        b.open("/t", OpenFlags::WRONLY, 0)
+            .unwrap()
+            .write_at(None, b"ab")
+            .unwrap();
+        let mut a = b
+            .open("/t", OpenFlags::WRONLY | OpenFlags::APPEND, 0)
+            .unwrap();
         a.write_at(None, b"cd").unwrap();
         assert_eq!(b.contents("/t").unwrap(), b"abcd");
     }
@@ -858,7 +934,8 @@ mod tests {
     #[test]
     fn memsink_readonly_rejects_write() {
         let b = MemSinkBackend::new();
-        b.open("/r", OpenFlags::WRONLY | OpenFlags::CREATE, 0).unwrap();
+        b.open("/r", OpenFlags::WRONLY | OpenFlags::CREATE, 0)
+            .unwrap();
         let mut r = b.open("/r", OpenFlags::RDONLY, 0).unwrap();
         assert_eq!(r.write_at(None, b"no").err(), Some(Errno::BadF));
     }
@@ -866,7 +943,9 @@ mod tests {
     #[test]
     fn memsink_seek_whences() {
         let b = MemSinkBackend::new();
-        let mut f = b.open("/s", OpenFlags::RDWR | OpenFlags::CREATE, 0).unwrap();
+        let mut f = b
+            .open("/s", OpenFlags::RDWR | OpenFlags::CREATE, 0)
+            .unwrap();
         f.write_at(None, b"0123456789").unwrap();
         assert_eq!(f.seek(2, Whence::Set).unwrap(), 2);
         assert_eq!(f.seek(3, Whence::Cur).unwrap(), 5);
@@ -895,7 +974,9 @@ mod tests {
     fn file_backend_blocks_escape() {
         let b = FileBackend::new("/tmp/iofwd-root");
         assert_eq!(b.stat("../etc/passwd").err(), Some(Errno::Access));
-        assert!(b.open("../../x", OpenFlags::WRONLY | OpenFlags::CREATE, 0).is_err());
+        assert!(b
+            .open("../../x", OpenFlags::WRONLY | OpenFlags::CREATE, 0)
+            .is_err());
     }
 
     #[test]
@@ -903,7 +984,9 @@ mod tests {
         let inner = Arc::new(MemSinkBackend::new());
         // 1 MiB/s: a 256 KiB write should take ≥ 200 ms.
         let b = ThrottledBackend::new(inner, (1 << 20) as f64, Duration::ZERO);
-        let mut f = b.open("/slow", OpenFlags::WRONLY | OpenFlags::CREATE, 0).unwrap();
+        let mut f = b
+            .open("/slow", OpenFlags::WRONLY | OpenFlags::CREATE, 0)
+            .unwrap();
         let t0 = Instant::now();
         f.write_at(None, &vec![0u8; 256 * 1024]).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(200));

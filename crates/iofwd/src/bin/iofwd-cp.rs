@@ -28,8 +28,8 @@ fn die(msg: &str) -> ! {
 }
 
 fn connect(addr: &str) -> Client {
-    let conn = TcpConn::connect(addr)
-        .unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+    let conn =
+        TcpConn::connect(addr).unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
     Client::connect(Box::new(conn))
 }
 
@@ -39,22 +39,29 @@ fn main() {
         Some("put") if args.len() == 4 => put(&args[1], &args[2], &args[3]),
         Some("get") if args.len() == 4 => get(&args[1], &args[2], &args[3]),
         Some("stat") if args.len() == 3 => stat(&args[1], &args[2]),
-        _ => die("usage: iofwd-cp put LOCAL ADDR REMOTE | get ADDR REMOTE LOCAL | stat ADDR REMOTE"),
+        _ => {
+            die("usage: iofwd-cp put LOCAL ADDR REMOTE | get ADDR REMOTE LOCAL | stat ADDR REMOTE")
+        }
     }
 }
 
 fn put(local: &str, addr: &str, remote: &str) {
-    let mut src =
-        std::fs::File::open(local).unwrap_or_else(|e| die(&format!("open {local}: {e}")));
+    let mut src = std::fs::File::open(local).unwrap_or_else(|e| die(&format!("open {local}: {e}")));
     let mut client = connect(addr);
     let fd = client
-        .open(remote, OpenFlags::WRONLY | OpenFlags::CREATE | OpenFlags::TRUNC, 0o644)
+        .open(
+            remote,
+            OpenFlags::WRONLY | OpenFlags::CREATE | OpenFlags::TRUNC,
+            0o644,
+        )
         .unwrap_or_else(|e| die(&format!("remote open {remote}: {e}")));
     let mut buf = vec![0u8; CHUNK];
     let mut total = 0u64;
     let t0 = Instant::now();
     loop {
-        let n = src.read(&mut buf).unwrap_or_else(|e| die(&format!("read {local}: {e}")));
+        let n = src
+            .read(&mut buf)
+            .unwrap_or_else(|e| die(&format!("read {local}: {e}")));
         if n == 0 {
             break;
         }
@@ -63,8 +70,12 @@ fn put(local: &str, addr: &str, remote: &str) {
             .unwrap_or_else(|e| die(&format!("forwarded write: {e}")));
         total += n as u64;
     }
-    client.fsync(fd).unwrap_or_else(|e| die(&format!("fsync (staged writes): {e}")));
-    client.close(fd).unwrap_or_else(|e| die(&format!("close: {e}")));
+    client
+        .fsync(fd)
+        .unwrap_or_else(|e| die(&format!("fsync (staged writes): {e}")));
+    client
+        .close(fd)
+        .unwrap_or_else(|e| die(&format!("close: {e}")));
     let _ = client.shutdown();
     report("put", total, t0, client.stats().staged_writes);
 }
@@ -85,17 +96,22 @@ fn get(addr: &str, remote: &str, local: &str) {
         if data.is_empty() {
             break;
         }
-        dst.write_all(&data).unwrap_or_else(|e| die(&format!("write {local}: {e}")));
+        dst.write_all(&data)
+            .unwrap_or_else(|e| die(&format!("write {local}: {e}")));
         total += data.len() as u64;
     }
-    client.close(fd).unwrap_or_else(|e| die(&format!("close: {e}")));
+    client
+        .close(fd)
+        .unwrap_or_else(|e| die(&format!("close: {e}")));
     let _ = client.shutdown();
     report("get", total, t0, 0);
 }
 
 fn stat(addr: &str, remote: &str) {
     let mut client = connect(addr);
-    let st = client.stat(remote).unwrap_or_else(|e| die(&format!("stat {remote}: {e}")));
+    let st = client
+        .stat(remote)
+        .unwrap_or_else(|e| die(&format!("stat {remote}: {e}")));
     let _ = client.shutdown();
     println!(
         "{remote}: {} bytes, mode {:o}, mtime {} ns{}",
@@ -112,6 +128,10 @@ fn report(verb: &str, bytes: u64, t0: Instant, staged: u64) {
     eprintln!(
         "iofwd-cp: {verb} {mib:.1} MiB in {secs:.2}s ({:.1} MiB/s{})",
         mib / secs.max(1e-9),
-        if staged > 0 { format!(", {staged} staged ops") } else { String::new() }
+        if staged > 0 {
+            format!(", {staged} staged ops")
+        } else {
+            String::new()
+        }
     );
 }

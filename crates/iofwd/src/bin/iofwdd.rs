@@ -34,7 +34,8 @@ impl Options {
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             let mut take = |name: &str| {
-                args.next().unwrap_or_else(|| die(&format!("{name} needs a value")))
+                args.next()
+                    .unwrap_or_else(|| die(&format!("{name} needs a value")))
             };
             match a.as_str() {
                 "--listen" => opts.listen = take("--listen"),
@@ -67,7 +68,9 @@ impl Options {
         match self.mode.as_str() {
             "ciod" => ForwardingMode::Ciod,
             "zoid" => ForwardingMode::Zoid,
-            "sched" => ForwardingMode::Sched { workers: self.workers },
+            "sched" => ForwardingMode::Sched {
+                workers: self.workers,
+            },
             "staged" | "async" => ForwardingMode::AsyncStaged {
                 workers: self.workers,
                 bml_capacity: self.bml_mib << 20,

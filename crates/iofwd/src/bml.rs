@@ -14,13 +14,22 @@
 //!
 //! This module implements exactly that: power-of-two size classes with
 //! per-class free lists, a hard capacity on total outstanding buffer
-//! memory, and *blocking* acquisition when the cap is reached. Buffers
-//! return to their free list on drop (RAII), releasing waiting handlers
-//! in FIFO order.
+//! memory, and *blocking* acquisition when the cap is reached.
+//!
+//! Blocked acquisitions are admitted in strict FIFO order via a ticket
+//! queue: a release reserves capacity for the head waiter(s) *before*
+//! waking them, so a late arrival can never barge past a handler that
+//! blocked earlier (no starvation of large requests behind a stream of
+//! small ones). This hand-off protocol is model-checked by the loom
+//! suite (`tests/loom_model.rs`, run with `RUSTFLAGS="--cfg loom"`).
 
-use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
+
+use iofwd_proto::Errno;
+
+use crate::sync::{Condvar, Mutex};
 
 /// Smallest buffer class: 4 KiB (one BG/P page).
 pub const MIN_CLASS_SHIFT: u32 = 12;
@@ -49,6 +58,28 @@ struct BmlInner {
     outstanding: u64,
     stats: BmlStats,
     closed: bool,
+    /// Blocked acquisitions in arrival order: (ticket, block size).
+    waiters: VecDeque<(u64, u64)>,
+    /// Tickets whose capacity a release has already reserved; the owner
+    /// consumes the entry when it wakes.
+    granted: HashMap<u64, u64>,
+    next_ticket: u64,
+}
+
+impl BmlInner {
+    /// Reserve capacity for as many head-of-queue waiters as now fit.
+    /// Strict FIFO: stops at the first waiter that does not fit, even if
+    /// a later (smaller) one would.
+    fn grant_from_front(&mut self, capacity: u64) {
+        while let Some(&(ticket, block)) = self.waiters.front() {
+            if self.outstanding + block > capacity {
+                break;
+            }
+            self.outstanding += block;
+            self.granted.insert(ticket, block);
+            self.waiters.pop_front();
+        }
+    }
 }
 
 /// The buffer manager. Cheap to clone (shared handle).
@@ -66,7 +97,9 @@ struct BmlShared {
 /// A staged buffer: exclusive access to `len` usable bytes backed by a
 /// power-of-two block. Returns its memory to the BML on drop.
 pub struct BmlBuffer {
-    block: Option<Box<[u8]>>,
+    /// Empty only after `Drop` takes the block; all user-reachable
+    /// methods see a full block.
+    block: Box<[u8]>,
     len: usize,
     class: usize,
     bml: Bml,
@@ -75,9 +108,7 @@ pub struct BmlBuffer {
 impl Bml {
     /// Create a BML managing at most `capacity` bytes of staging memory.
     ///
-    /// Panics if `capacity` cannot hold even one largest-class buffer
-    /// *request* of the smallest class — i.e. capacity must be at least
-    /// one minimum block.
+    /// Panics if `capacity` cannot hold even one smallest-class block.
     pub fn new(capacity: u64) -> Self {
         assert!(
             capacity >= (1 << MIN_CLASS_SHIFT),
@@ -91,6 +122,9 @@ impl Bml {
                     outstanding: 0,
                     stats: BmlStats::default(),
                     closed: false,
+                    waiters: VecDeque::new(),
+                    granted: HashMap::new(),
+                    next_ticket: 0,
                 }),
                 cv: Condvar::new(),
                 capacity,
@@ -114,9 +148,10 @@ impl Bml {
     }
 
     /// Acquire a buffer of at least `len` bytes, blocking while staging
-    /// memory is exhausted (the paper's §IV behaviour).
-    pub fn acquire(&self, len: usize) -> BmlBuffer {
-        self.acquire_timeout(len, None).expect("BML closed while acquiring")
+    /// memory is exhausted (the paper's §IV behaviour). Fails with
+    /// [`Errno::NoMem`] only when the BML has been closed for shutdown.
+    pub fn acquire(&self, len: usize) -> Result<BmlBuffer, Errno> {
+        self.acquire_timeout(len, None).ok_or(Errno::NoMem)
     }
 
     /// Acquire with an optional timeout; `None` timeout blocks forever.
@@ -129,26 +164,62 @@ impl Bml {
             self.shared.capacity
         );
         let mut inner = self.shared.inner.lock();
-        let mut blocked = false;
-        while inner.outstanding + block_size as u64 > self.shared.capacity {
+        if inner.closed {
+            return None;
+        }
+        // Fast path: nobody queued ahead of us and the block fits.
+        if inner.waiters.is_empty() && inner.outstanding + block_size as u64 <= self.shared.capacity
+        {
+            inner.outstanding += block_size as u64;
+            return Some(self.take_block(inner, class, block_size, len, false));
+        }
+        // Slow path: join the FIFO admission queue and wait for a release
+        // (or close) to hand us reserved capacity.
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        inner.waiters.push_back((ticket, block_size as u64));
+        loop {
+            if inner.granted.remove(&ticket).is_some() {
+                // Capacity already reserved on our behalf.
+                return Some(self.take_block(inner, class, block_size, len, true));
+            }
             if inner.closed {
+                inner.stats.blocked_acquires += 1;
                 return None;
             }
-            blocked = true;
             match timeout {
                 None => self.shared.cv.wait(&mut inner),
                 Some(t) => {
                     if self.shared.cv.wait_for(&mut inner, t).timed_out() {
+                        // A grant may have landed between timeout and
+                        // relock; consume it rather than losing capacity.
+                        if inner.granted.remove(&ticket).is_some() {
+                            return Some(self.take_block(inner, class, block_size, len, true));
+                        }
+                        inner.waiters.retain(|&(t, _)| t != ticket);
+                        // Our departure may unblock the (smaller) next
+                        // waiter that was stuck behind us.
+                        inner.grant_from_front(self.shared.capacity);
                         inner.stats.blocked_acquires += 1;
+                        drop(inner);
+                        self.shared.cv.notify_all();
                         return None;
                     }
                 }
             }
         }
-        if inner.closed {
-            return None;
-        }
-        inner.outstanding += block_size as u64;
+    }
+
+    /// Pop a free-listed (or freshly allocated) block; `outstanding` has
+    /// already been charged by the caller.
+    fn take_block(
+        &self,
+        mut inner: crate::sync::MutexGuard<'_, BmlInner>,
+        class: usize,
+        block_size: usize,
+        len: usize,
+        blocked: bool,
+    ) -> BmlBuffer {
         inner.stats.acquires += 1;
         if blocked {
             inner.stats.blocked_acquires += 1;
@@ -163,42 +234,50 @@ impl Bml {
             None => vec![0u8; block_size].into_boxed_slice(),
         };
         drop(inner);
-        Some(BmlBuffer { block: Some(block), len, class, bml: self.clone() })
+        BmlBuffer {
+            block,
+            len,
+            class,
+            bml: self.clone(),
+        }
     }
 
-    /// Try to acquire without blocking.
+    /// Try to acquire without blocking. Fails when closed, when capacity
+    /// is exhausted, or when earlier acquisitions are queued (FIFO: a
+    /// try-acquire must not barge past blocked handlers).
     pub fn try_acquire(&self, len: usize) -> Option<BmlBuffer> {
         let (class, block_size) = Self::class_for(len);
         let mut inner = self.shared.inner.lock();
-        if inner.closed || inner.outstanding + block_size as u64 > self.shared.capacity {
+        if inner.closed
+            || !inner.waiters.is_empty()
+            || inner.outstanding + block_size as u64 > self.shared.capacity
+        {
             return None;
         }
         inner.outstanding += block_size as u64;
-        inner.stats.acquires += 1;
-        inner.stats.high_water = inner.stats.high_water.max(inner.outstanding);
-        inner.stats.fragmentation_bytes += (block_size - len) as u64;
-        let block = match inner.free[class].pop() {
-            Some(b) => {
-                inner.stats.freelist_hits += 1;
-                b
-            }
-            None => vec![0u8; block_size].into_boxed_slice(),
-        };
-        drop(inner);
-        Some(BmlBuffer { block: Some(block), len, class, bml: self.clone() })
+        Some(self.take_block(inner, class, block_size, len, false))
     }
 
     /// Wake all waiters and refuse further acquisitions (daemon shutdown).
     pub fn close(&self) {
         let mut inner = self.shared.inner.lock();
         inner.closed = true;
+        // Un-reserve capacity granted to waiters that have not collected
+        // it yet: they will observe `closed` before their grant.
+        inner.waiters.clear();
         drop(inner);
         self.shared.cv.notify_all();
     }
 
-    /// Bytes currently held by live buffers.
+    /// Bytes currently held by live buffers (and reserved grants).
     pub fn outstanding(&self) -> u64 {
         self.shared.inner.lock().outstanding
+    }
+
+    /// Acquisitions currently blocked in the FIFO admission queue
+    /// (introspection for stats reports and the loom suite).
+    pub fn waiter_count(&self) -> usize {
+        self.shared.inner.lock().waiters.len()
     }
 
     /// Total managed capacity.
@@ -219,6 +298,9 @@ impl Bml {
         if inner.free[class].len() < 64 && !inner.closed {
             inner.free[class].push(block);
         }
+        // FIFO hand-off: reserve the freed capacity for the head
+        // waiter(s) before any new arrival can take it.
+        inner.grant_from_front(self.shared.capacity);
         drop(inner);
         self.shared.cv.notify_all();
     }
@@ -236,16 +318,15 @@ impl BmlBuffer {
 
     /// The underlying block size (power of two).
     pub fn block_size(&self) -> usize {
-        self.block.as_ref().map_or(0, |b| b.len())
+        self.block.len()
     }
 
     pub fn as_slice(&self) -> &[u8] {
-        &self.block.as_ref().expect("buffer taken")[..self.len]
+        &self.block[..self.len]
     }
 
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
-        let len = self.len;
-        &mut self.block.as_mut().expect("buffer taken")[..len]
+        &mut self.block[..self.len]
     }
 
     /// Copy `src` into the buffer (must fit).
@@ -257,13 +338,14 @@ impl BmlBuffer {
 
 impl Drop for BmlBuffer {
     fn drop(&mut self) {
-        if let Some(block) = self.block.take() {
+        let block = std::mem::take(&mut self.block);
+        if !block.is_empty() {
             self.bml.release(block, self.class);
         }
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -287,7 +369,7 @@ mod tests {
     #[test]
     fn acquire_release_accounting() {
         let bml = Bml::new(1 << 20);
-        let b1 = bml.acquire(5000); // rounds to 8192
+        let b1 = bml.acquire(5000).unwrap(); // rounds to 8192
         assert_eq!(b1.block_size(), 8192);
         assert_eq!(b1.len(), 5000);
         assert_eq!(bml.outstanding(), 8192);
@@ -302,25 +384,28 @@ mod tests {
     #[test]
     fn freelist_reuse() {
         let bml = Bml::new(1 << 20);
-        let b = bml.acquire(4096);
+        let b = bml.acquire(4096).unwrap();
         drop(b);
-        let _b2 = bml.acquire(4096);
+        let _b2 = bml.acquire(4096).unwrap();
         assert_eq!(bml.stats().freelist_hits, 1);
     }
 
     #[test]
     fn blocking_acquire_waits_for_release() {
         let bml = Bml::new(8192);
-        let b1 = bml.acquire(8192);
+        let b1 = bml.acquire(8192).unwrap();
         let bml2 = bml.clone();
         let got_it = Arc::new(AtomicBool::new(false));
         let got_it2 = got_it.clone();
         let t = std::thread::spawn(move || {
-            let _b = bml2.acquire(8192); // must block until b1 drops
+            let _b = bml2.acquire(8192).unwrap(); // must block until b1 drops
             got_it2.store(true, Ordering::SeqCst);
         });
         std::thread::sleep(Duration::from_millis(50));
-        assert!(!got_it.load(Ordering::SeqCst), "acquire should still be blocked");
+        assert!(
+            !got_it.load(Ordering::SeqCst),
+            "acquire should still be blocked"
+        );
         drop(b1);
         t.join().unwrap();
         assert!(got_it.load(Ordering::SeqCst));
@@ -330,7 +415,7 @@ mod tests {
     #[test]
     fn try_acquire_does_not_block() {
         let bml = Bml::new(8192);
-        let _b1 = bml.acquire(8192);
+        let _b1 = bml.acquire(8192).unwrap();
         let t0 = Instant::now();
         assert!(bml.try_acquire(4096).is_none());
         assert!(t0.elapsed() < Duration::from_millis(20));
@@ -339,27 +424,54 @@ mod tests {
     #[test]
     fn acquire_timeout_expires() {
         let bml = Bml::new(4096);
-        let _b = bml.acquire(4096);
+        let _b = bml.acquire(4096).unwrap();
         let got = bml.acquire_timeout(4096, Some(Duration::from_millis(30)));
         assert!(got.is_none());
     }
 
     #[test]
+    fn timed_out_head_waiter_unblocks_successor() {
+        // Head waiter wants the whole capacity, which can never fit while
+        // the 4 KiB holder persists; the smaller waiter queued behind it
+        // (FIFO: it may not barge) must be granted when the head gives up.
+        let bml = Bml::new(16384);
+        let hold = bml.acquire(4096).unwrap();
+        let bml_big = bml.clone();
+        let big = std::thread::spawn(move || {
+            bml_big.acquire_timeout(16384, Some(Duration::from_millis(60)))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let bml_small = bml.clone();
+        let small = std::thread::spawn(move || {
+            // Queued behind `big`; becomes head when `big` times out.
+            bml_small.acquire_timeout(4096, Some(Duration::from_millis(2000)))
+        });
+        assert!(big.join().unwrap().is_none(), "big request should time out");
+        assert!(
+            small.join().unwrap().is_some(),
+            "small waiter must be granted after head leaves"
+        );
+        drop(hold);
+        assert_eq!(bml.outstanding(), 0);
+    }
+
+    #[test]
     fn close_releases_waiters() {
         let bml = Bml::new(4096);
-        let _b = bml.acquire(4096);
+        let _b = bml.acquire(4096).unwrap();
         let bml2 = bml.clone();
         let t = std::thread::spawn(move || bml2.acquire_timeout(4096, None));
         std::thread::sleep(Duration::from_millis(20));
         bml.close();
         assert!(t.join().unwrap().is_none());
         assert!(bml.try_acquire(1).is_none());
+        assert!(bml.acquire(1).is_err());
     }
 
     #[test]
     fn fill_and_read_back() {
         let bml = Bml::new(1 << 16);
-        let mut b = bml.acquire(11);
+        let mut b = bml.acquire(11).unwrap();
         b.fill_from(b"hello world");
         assert_eq!(b.as_slice(), b"hello world");
     }
@@ -369,7 +481,7 @@ mod tests {
         let bml = Bml::new(64 * 4096);
         let mut held = Vec::new();
         for _ in 0..64 {
-            held.push(bml.acquire(4096));
+            held.push(bml.acquire(4096).unwrap());
         }
         assert_eq!(bml.outstanding(), 64 * 4096);
         assert!(bml.try_acquire(1).is_none());

@@ -141,7 +141,8 @@ impl Client {
         let seq = self.seq;
         self.stats.requests += 1;
         self.stats.bytes_sent += data.len() as u64;
-        self.conn.send(Frame::request(self.client_id, seq, req, data))?;
+        self.conn
+            .send(Frame::request(self.client_id, seq, req, data))?;
         let frame = self.conn.recv()?.ok_or(ClientError::Closed)?;
         if frame.seq != seq {
             return Err(ClientError::Protocol(format!(
@@ -159,26 +160,34 @@ impl Client {
             (Response::Ok { ret }, _) => Ok(ret),
             (Response::Err { errno }, _) => Err(ClientError::Remote(errno)),
             (Response::DeferredErr { op, errno }, _) => Err(ClientError::Deferred { op, errno }),
-            (other, _) => Err(ClientError::Protocol(format!("unexpected response {other:?}"))),
+            (other @ (Response::Staged { .. } | Response::StatOk { .. }), _) => Err(
+                ClientError::Protocol(format!("unexpected response {other:?}")),
+            ),
         }
     }
 
     /// Open (or create) a file on the ION's backend.
-    pub fn open(
-        &mut self,
-        path: &str,
-        flags: OpenFlags,
-        mode: u32,
-    ) -> Result<Fd, ClientError> {
-        let ret =
-            self.expect_ret(&Request::Open { path: path.into(), flags, mode }, Bytes::new())?;
+    pub fn open(&mut self, path: &str, flags: OpenFlags, mode: u32) -> Result<Fd, ClientError> {
+        let ret = self.expect_ret(
+            &Request::Open {
+                path: path.into(),
+                flags,
+                mode,
+            },
+            Bytes::new(),
+        )?;
         Ok(Fd(ret as u32))
     }
 
     /// Open a streaming connection to a remote sink through the ION.
     pub fn connect_socket(&mut self, host: &str, port: u16) -> Result<Fd, ClientError> {
-        let ret =
-            self.expect_ret(&Request::Connect { host: host.into(), port }, Bytes::new())?;
+        let ret = self.expect_ret(
+            &Request::Connect {
+                host: host.into(),
+                port,
+            },
+            Bytes::new(),
+        )?;
         Ok(Fd(ret as u32))
     }
 
@@ -197,7 +206,10 @@ impl Client {
         let mut outcome = WriteOutcome::Completed(0);
         let mut sent = 0u64;
         for chunk in data.chunks(self.max_chunk.max(1)) {
-            let req = Request::Write { fd, len: chunk.len() as u64 };
+            let req = Request::Write {
+                fd,
+                len: chunk.len() as u64,
+            };
             outcome = match self.write_impl(req, chunk)? {
                 WriteOutcome::Completed(n) => WriteOutcome::Completed(sent + n),
                 staged => staged,
@@ -227,7 +239,11 @@ impl Client {
         let mut outcome = WriteOutcome::Completed(0);
         let mut sent = 0u64;
         for chunk in data.chunks(self.max_chunk.max(1)) {
-            let req = Request::Pwrite { fd, offset: offset + sent, len: chunk.len() as u64 };
+            let req = Request::Pwrite {
+                fd,
+                offset: offset + sent,
+                len: chunk.len() as u64,
+            };
             outcome = match self.write_impl(req, chunk)? {
                 WriteOutcome::Completed(n) => WriteOutcome::Completed(sent + n),
                 staged => staged,
@@ -250,7 +266,9 @@ impl Client {
             }
             (Response::Err { errno }, _) => Err(ClientError::Remote(errno)),
             (Response::DeferredErr { op, errno }, _) => Err(ClientError::Deferred { op, errno }),
-            (other, _) => Err(ClientError::Protocol(format!("unexpected response {other:?}"))),
+            (other @ Response::StatOk { .. }, _) => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
         }
     }
 
@@ -277,7 +295,9 @@ impl Client {
             }
             (Response::Err { errno }, _) => Err(ClientError::Remote(errno)),
             (Response::DeferredErr { op, errno }, _) => Err(ClientError::Deferred { op, errno }),
-            (other, _) => Err(ClientError::Protocol(format!("unexpected response {other:?}"))),
+            (other @ (Response::Staged { .. } | Response::StatOk { .. }), _) => Err(
+                ClientError::Protocol(format!("unexpected response {other:?}")),
+            ),
         }
     }
 
@@ -306,7 +326,10 @@ impl Client {
         match self.call(&Request::Stat { path: path.into() }, Bytes::new())? {
             (Response::StatOk { st }, _) => Ok(st),
             (Response::Err { errno }, _) => Err(ClientError::Remote(errno)),
-            (other, _) => Err(ClientError::Protocol(format!("unexpected response {other:?}"))),
+            (Response::DeferredErr { op, errno }, _) => Err(ClientError::Deferred { op, errno }),
+            (other @ (Response::Ok { .. } | Response::Staged { .. }), _) => Err(
+                ClientError::Protocol(format!("unexpected response {other:?}")),
+            ),
         }
     }
 
@@ -314,7 +337,10 @@ impl Client {
         match self.call(&Request::Fstat { fd }, Bytes::new())? {
             (Response::StatOk { st }, _) => Ok(st),
             (Response::Err { errno }, _) => Err(ClientError::Remote(errno)),
-            (other, _) => Err(ClientError::Protocol(format!("unexpected response {other:?}"))),
+            (Response::DeferredErr { op, errno }, _) => Err(ClientError::Deferred { op, errno }),
+            (other @ (Response::Ok { .. } | Response::Staged { .. }), _) => Err(
+                ClientError::Protocol(format!("unexpected response {other:?}")),
+            ),
         }
     }
 
@@ -332,7 +358,13 @@ impl Client {
 
     /// Create a directory on the daemon's backend.
     pub fn mkdir(&mut self, path: &str, mode: u32) -> Result<(), ClientError> {
-        self.expect_ret(&Request::Mkdir { path: path.into(), mode }, Bytes::new())?;
+        self.expect_ret(
+            &Request::Mkdir {
+                path: path.into(),
+                mode,
+            },
+            Bytes::new(),
+        )?;
         Ok(())
     }
 
@@ -343,7 +375,10 @@ impl Client {
                 iofwd_proto::decode_dirents(&data).map_err(ClientError::from)
             }
             (Response::Err { errno }, _) => Err(ClientError::Remote(errno)),
-            (other, _) => Err(ClientError::Protocol(format!("unexpected response {other:?}"))),
+            (Response::DeferredErr { op, errno }, _) => Err(ClientError::Deferred { op, errno }),
+            (other @ (Response::Staged { .. } | Response::StatOk { .. }), _) => Err(
+                ClientError::Protocol(format!("unexpected response {other:?}")),
+            ),
         }
     }
 

@@ -79,17 +79,21 @@ impl Default for DescDb {
 impl DescDb {
     pub fn new() -> Self {
         DescDb {
-            inner: Mutex::new(DbInner { entries: HashMap::new(), next_fd: 3 }),
+            inner: Mutex::new(DbInner {
+                entries: HashMap::new(),
+                next_fd: 3,
+            }),
             idle_cv: Condvar::new(),
         }
     }
 
-    /// Register a freshly opened backend object; returns its descriptor.
+    /// Register a freshly opened backend object; returns its descriptor,
+    /// or `EMFILE` once the 32-bit descriptor space is exhausted.
     /// `origin` is the path (or `host:port`) it was opened with.
-    pub fn insert(&self, obj: Box<dyn BackendObject>, origin: &str) -> Fd {
+    pub fn insert(&self, obj: Box<dyn BackendObject>, origin: &str) -> Result<Fd, Errno> {
         let mut db = self.inner.lock();
         let fd = Fd(db.next_fd);
-        db.next_fd = db.next_fd.checked_add(1).expect("descriptor space exhausted");
+        db.next_fd = db.next_fd.checked_add(1).ok_or(Errno::MFile)?;
         db.entries.insert(
             fd,
             DescEntry {
@@ -102,19 +106,25 @@ impl DescDb {
                 closing: false,
             },
         );
-        fd
+        Ok(fd)
     }
 
     /// The backend object for `fd` (to lock and perform I/O on).
     pub fn object(&self, fd: Fd) -> Result<SharedObject, Errno> {
         let db = self.inner.lock();
-        db.entries.get(&fd).map(|e| e.obj.clone()).ok_or(Errno::BadF)
+        db.entries
+            .get(&fd)
+            .map(|e| e.obj.clone())
+            .ok_or(Errno::BadF)
     }
 
     /// The path (or `host:port`) the descriptor was opened with.
     pub fn origin(&self, fd: Fd) -> Result<Arc<str>, Errno> {
         let db = self.inner.lock();
-        db.entries.get(&fd).map(|e| e.origin.clone()).ok_or(Errno::BadF)
+        db.entries
+            .get(&fd)
+            .map(|e| e.origin.clone())
+            .ok_or(Errno::BadF)
     }
 
     /// Begin an operation on `fd`: allocates the next per-descriptor
@@ -123,7 +133,10 @@ impl DescDb {
     /// the application on subsequent operations" (§IV).
     pub fn begin_op(&self, fd: Fd) -> Result<(OpId, SharedObject), BeginError> {
         let mut db = self.inner.lock();
-        let e = db.entries.get_mut(&fd).ok_or(BeginError::Sync(Errno::BadF))?;
+        let e = db
+            .entries
+            .get_mut(&fd)
+            .ok_or(BeginError::Sync(Errno::BadF))?;
         if e.closing {
             return Err(BeginError::Sync(Errno::BadF));
         }
@@ -186,10 +199,7 @@ impl DescDb {
 
     /// Remove the descriptor, returning its object (for a final sync) and
     /// any unreported staged error.
-    pub fn remove(
-        &self,
-        fd: Fd,
-    ) -> Result<(SharedObject, Option<(OpId, Errno)>), Errno> {
+    pub fn remove(&self, fd: Fd) -> Result<(SharedObject, Option<(OpId, Errno)>), Errno> {
         let mut db = self.inner.lock();
         let e = db.entries.remove(&fd).ok_or(Errno::BadF)?;
         assert!(e.in_progress.is_empty(), "remove with operations in flight");
@@ -227,8 +237,10 @@ mod tests {
 
     fn open_one(db: &DescDb) -> Fd {
         let be = MemSinkBackend::new();
-        let obj = be.open("/x", OpenFlags::RDWR | OpenFlags::CREATE, 0).unwrap();
-        db.insert(obj, "/x")
+        let obj = be
+            .open("/x", OpenFlags::RDWR | OpenFlags::CREATE, 0)
+            .unwrap();
+        db.insert(obj, "/x").unwrap()
     }
 
     #[test]
@@ -308,7 +320,10 @@ mod tests {
         let (op, _) = db.begin_op(fd).unwrap();
         db.finish_op(fd, op, OpOutcome::Failed(Errno::Pipe));
         db.begin_close(fd).unwrap();
-        assert!(matches!(db.begin_op(fd), Err(BeginError::Sync(Errno::BadF))));
+        assert!(matches!(
+            db.begin_op(fd),
+            Err(BeginError::Sync(Errno::BadF))
+        ));
         db.wait_idle(fd).unwrap();
         let (_obj, err) = db.remove(fd).unwrap();
         assert_eq!(err, Some((op, Errno::Pipe)));
@@ -318,7 +333,10 @@ mod tests {
     #[test]
     fn unknown_fd_errors() {
         let db = DescDb::new();
-        assert!(matches!(db.begin_op(Fd(99)), Err(BeginError::Sync(Errno::BadF))));
+        assert!(matches!(
+            db.begin_op(Fd(99)),
+            Err(BeginError::Sync(Errno::BadF))
+        ));
         assert_eq!(db.wait_idle(Fd(99)).err(), Some(Errno::BadF));
         assert!(db.remove(Fd(99)).is_err());
         assert!(db.status(Fd(99)).is_none());
@@ -331,12 +349,20 @@ mod tests {
         let (op, _) = db.begin_op(fd).unwrap();
         assert_eq!(
             db.status(fd).unwrap(),
-            DescStatus { in_progress: 1, completed: 0, has_pending_error: false }
+            DescStatus {
+                in_progress: 1,
+                completed: 0,
+                has_pending_error: false
+            }
         );
         db.finish_op(fd, op, OpOutcome::Ok);
         assert_eq!(
             db.status(fd).unwrap(),
-            DescStatus { in_progress: 0, completed: 1, has_pending_error: false }
+            DescStatus {
+                in_progress: 0,
+                completed: 1,
+                has_pending_error: false
+            }
         );
     }
 }

@@ -49,7 +49,10 @@ pub struct ForwardedFile<'c> {
 
 impl std::fmt::Debug for ForwardedFile<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ForwardedFile").field("fd", &self.fd).field("open", &self.open).finish()
+        f.debug_struct("ForwardedFile")
+            .field("fd", &self.fd)
+            .field("open", &self.open)
+            .finish()
     }
 }
 
@@ -62,7 +65,11 @@ impl Client {
         mode: u32,
     ) -> Result<ForwardedFile<'_>, ClientError> {
         let fd = self.open(path, flags, mode)?;
-        Ok(ForwardedFile { client: self, fd, open: true })
+        Ok(ForwardedFile {
+            client: self,
+            fd,
+            open: true,
+        })
     }
 }
 
@@ -138,7 +145,10 @@ mod tests {
         let server = IonServer::spawn(
             Box::new(hub.listener()),
             backend.clone(),
-            ServerConfig::new(ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 8 << 20 }),
+            ServerConfig::new(ForwardingMode::AsyncStaged {
+                workers: 2,
+                bml_capacity: 8 << 20,
+            }),
         );
         (server, hub, backend)
     }
@@ -165,7 +175,10 @@ mod tests {
         }
         client.shutdown().unwrap();
         server.shutdown();
-        assert_eq!(backend.contents("/adapter").unwrap(), b"hello forwarded world");
+        assert_eq!(
+            backend.contents("/adapter").unwrap(),
+            b"hello forwarded world"
+        );
     }
 
     #[test]
@@ -218,6 +231,8 @@ mod tests {
         client.shutdown().unwrap();
         server.shutdown();
         let contents = backend.contents("/buffered").unwrap();
-        assert!(String::from_utf8(contents).unwrap().ends_with("record 999\n"));
+        assert!(String::from_utf8(contents)
+            .unwrap()
+            .ends_with("record 999\n"));
     }
 }

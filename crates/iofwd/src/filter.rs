@@ -111,7 +111,10 @@ pub struct Scoped<F: ?Sized> {
 
 impl<F: DataFilter + ?Sized> Scoped<F> {
     pub fn new(prefix: impl Into<String>, inner: Arc<F>) -> Arc<Self> {
-        Arc::new(Scoped { prefix: prefix.into(), inner })
+        Arc::new(Scoped {
+            prefix: prefix.into(),
+            inner,
+        })
     }
 }
 
@@ -216,7 +219,10 @@ pub struct SubsampleFilter {
 impl SubsampleFilter {
     pub fn new(stride: usize) -> Arc<Self> {
         assert!(stride >= 1);
-        Arc::new(SubsampleFilter { stride, reduced_bytes: AtomicU64::new(0) })
+        Arc::new(SubsampleFilter {
+            stride,
+            reduced_bytes: AtomicU64::new(0),
+        })
     }
 
     /// Bytes removed so far.
@@ -260,7 +266,11 @@ pub struct SinkFilter {
 
 impl SinkFilter {
     pub fn new(prefix: impl Into<String>) -> Arc<Self> {
-        SinkFilter { prefix: prefix.into(), consumed_bytes: AtomicU64::new(0) }.into()
+        SinkFilter {
+            prefix: prefix.into(),
+            consumed_bytes: AtomicU64::new(0),
+        }
+        .into()
     }
 
     pub fn consumed_bytes(&self) -> u64 {
@@ -278,7 +288,8 @@ impl DataFilter for SinkFilter {
     }
 
     fn on_write(&self, _ctx: WriteContext<'_>, data: &[u8]) -> FilterAction {
-        self.consumed_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.consumed_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         FilterAction::Consume
     }
 }
@@ -296,7 +307,10 @@ mod tests {
     }
 
     fn ctx() -> WriteContext<'static> {
-        WriteContext { path: "/data", offset: None }
+        WriteContext {
+            path: "/data",
+            offset: None,
+        }
     }
 
     #[test]
@@ -334,7 +348,9 @@ mod tests {
     fn subsample_keeps_every_kth() {
         let f = SubsampleFilter::new(2);
         let chain = FilterChain::new().with(f.clone());
-        let out = chain.apply(ctx(), doubles(&[0.0, 1.0, 2.0, 3.0, 4.0])).unwrap();
+        let out = chain
+            .apply(ctx(), doubles(&[0.0, 1.0, 2.0, 3.0, 4.0]))
+            .unwrap();
         assert_eq!(out, doubles(&[0.0, 2.0, 4.0]));
         assert_eq!(f.reduced_bytes(), 16);
     }
@@ -352,12 +368,24 @@ mod tests {
         let data = Bytes::from_static(b"xxxx");
         // Non-matching path: untouched.
         assert_eq!(
-            chain.apply(WriteContext { path: "/results/a", offset: None }, data.clone()),
+            chain.apply(
+                WriteContext {
+                    path: "/results/a",
+                    offset: None
+                },
+                data.clone()
+            ),
             Some(data.clone())
         );
         // Matching path: consumed.
         assert_eq!(
-            chain.apply(WriteContext { path: "/scratch/t", offset: None }, data),
+            chain.apply(
+                WriteContext {
+                    path: "/scratch/t",
+                    offset: None
+                },
+                data
+            ),
             None
         );
         assert_eq!(f.consumed_bytes(), 4);
@@ -368,8 +396,20 @@ mod tests {
         let stats = StatisticsFilter::new();
         let scoped = Scoped::new("/results/", stats.clone());
         let chain = FilterChain::new().with(scoped);
-        chain.apply(WriteContext { path: "/results/a", offset: None }, doubles(&[5.0]));
-        chain.apply(WriteContext { path: "/scratch/b", offset: None }, doubles(&[100.0]));
+        chain.apply(
+            WriteContext {
+                path: "/results/a",
+                offset: None,
+            },
+            doubles(&[5.0]),
+        );
+        chain.apply(
+            WriteContext {
+                path: "/scratch/b",
+                offset: None,
+            },
+            doubles(&[100.0]),
+        );
         let s = stats.snapshot();
         assert_eq!(s.samples, 1, "scratch write must not be observed");
         assert_eq!(s.max, 5.0);
@@ -381,7 +421,9 @@ mod tests {
         let sub = SubsampleFilter::new(2);
         let stats = StatisticsFilter::new();
         let chain = FilterChain::new().with(sub).with(stats.clone());
-        chain.apply(ctx(), doubles(&[10.0, 99.0, 20.0, 99.0])).unwrap();
+        chain
+            .apply(ctx(), doubles(&[10.0, 99.0, 20.0, 99.0]))
+            .unwrap();
         let s = stats.snapshot();
         assert_eq!(s.samples, 2);
         assert_eq!(s.max, 20.0);

@@ -71,6 +71,7 @@ pub mod descdb;
 pub mod file;
 pub mod filter;
 pub mod server;
+pub(crate) mod sync;
 pub mod transport;
 
 pub use client::{Client, ClientError};

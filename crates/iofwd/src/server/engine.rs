@@ -52,7 +52,13 @@ impl Engine {
     }
 
     pub fn with_filters(backend: Arc<dyn Backend>, bml: Option<Bml>, filters: FilterChain) -> Self {
-        Engine { backend, db: DescDb::new(), bml, stats: ServerStats::default(), filters }
+        Engine {
+            backend,
+            db: DescDb::new(),
+            bml,
+            stats: ServerStats::default(),
+            filters,
+        }
     }
 
     pub fn stats(&self) -> StatsSnapshot {
@@ -61,10 +67,7 @@ impl Engine {
             bytes_in: self.stats.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.stats.bytes_out.load(Ordering::Relaxed),
             staged_ops: self.stats.staged_ops.load(Ordering::Relaxed),
-            deferred_errors_reported: self
-                .stats
-                .deferred_errors_reported
-                .load(Ordering::Relaxed),
+            deferred_errors_reported: self.stats.deferred_errors_reported.load(Ordering::Relaxed),
             bytes_filtered_out: self.stats.bytes_filtered_out.load(Ordering::Relaxed),
         }
     }
@@ -82,20 +85,24 @@ impl Engine {
     /// any response payload (read contents).
     pub fn execute(&self, req: &Request, data: &Bytes) -> (Response, Bytes) {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_in.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_in
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         match req {
-            Request::Open { path, flags, mode } => match self.backend.open(path, *flags, *mode) {
-                Ok(obj) => {
-                    let fd = self.db.insert(obj, path);
-                    (Response::Ok { ret: fd.0 as i64 }, Bytes::new())
-                }
+            Request::Open { path, flags, mode } => match self
+                .backend
+                .open(path, *flags, *mode)
+                .and_then(|obj| self.db.insert(obj, path))
+            {
+                Ok(fd) => (Response::Ok { ret: fd.0 as i64 }, Bytes::new()),
                 Err(e) => (Response::Err { errno: e }, Bytes::new()),
             },
-            Request::Connect { host, port } => match self.backend.connect(host, *port) {
-                Ok(obj) => {
-                    let fd = self.db.insert(obj, &format!("{host}:{port}"));
-                    (Response::Ok { ret: fd.0 as i64 }, Bytes::new())
-                }
+            Request::Connect { host, port } => match self
+                .backend
+                .connect(host, *port)
+                .and_then(|obj| self.db.insert(obj, &format!("{host}:{port}")))
+            {
+                Ok(fd) => (Response::Ok { ret: fd.0 as i64 }, Bytes::new()),
                 Err(e) => (Response::Err { errno: e }, Bytes::new()),
             },
             Request::Write { fd, len } => self.data_write(*fd, None, data, *len),
@@ -146,8 +153,15 @@ impl Engine {
             Request::Readdir { path } => match self.backend.readdir(path) {
                 Ok(names) => {
                     let payload = iofwd_proto::encode_dirents(&names);
-                    self.stats.bytes_out.fetch_add(payload.len() as u64, Ordering::Relaxed);
-                    (Response::Ok { ret: names.len() as i64 }, payload)
+                    self.stats
+                        .bytes_out
+                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    (
+                        Response::Ok {
+                            ret: names.len() as i64,
+                        },
+                        payload,
+                    )
                 }
                 Err(e) => (Response::Err { errno: e }, Bytes::new()),
             },
@@ -163,7 +177,12 @@ impl Engine {
         declared_len: u64,
     ) -> (Response, Bytes) {
         if declared_len != data.len() as u64 {
-            return (Response::Err { errno: Errno::Inval }, Bytes::new());
+            return (
+                Response::Err {
+                    errno: Errno::Inval,
+                },
+                Bytes::new(),
+            );
         }
         let (op, obj) = match self.db.begin_op(fd) {
             Ok(v) => v,
@@ -176,7 +195,12 @@ impl Engine {
                 // Consumed by an in-situ filter: the client sees a full
                 // write, nothing reaches the backend.
                 self.db.finish_op(fd, op, OpOutcome::Ok);
-                return (Response::Ok { ret: declared as i64 }, Bytes::new());
+                return (
+                    Response::Ok {
+                        ret: declared as i64,
+                    },
+                    Bytes::new(),
+                );
             }
         };
         let result = obj.lock().write_at(offset, &filtered);
@@ -185,7 +209,12 @@ impl Engine {
                 self.db.finish_op(fd, op, OpOutcome::Ok);
                 // Report the *application's* byte count, not the
                 // post-filter count: filtering is transparent.
-                (Response::Ok { ret: declared as i64 }, Bytes::new())
+                (
+                    Response::Ok {
+                        ret: declared as i64,
+                    },
+                    Bytes::new(),
+                )
             }
             Err(e) => {
                 // Synchronous path: report immediately; nothing deferred.
@@ -213,7 +242,13 @@ impl Engine {
             return Some(data);
         };
         let before = data.len();
-        let out = self.filters.apply(WriteContext { path: &origin, offset }, data);
+        let out = self.filters.apply(
+            WriteContext {
+                path: &origin,
+                offset,
+            },
+            data,
+        );
         let after = out.as_ref().map_or(0, |d| d.len());
         if after < before {
             self.stats
@@ -257,8 +292,15 @@ impl Engine {
         self.db.finish_op(fd, op, OpOutcome::Ok);
         match result {
             Ok(buf) => {
-                self.stats.bytes_out.fetch_add(buf.len() as u64, Ordering::Relaxed);
-                (Response::Ok { ret: buf.len() as i64 }, Bytes::from(buf))
+                self.stats
+                    .bytes_out
+                    .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                (
+                    Response::Ok {
+                        ret: buf.len() as i64,
+                    },
+                    Bytes::from(buf),
+                )
             }
             Err(e) => (Response::Err { errno: e }, Bytes::new()),
         }
@@ -271,7 +313,9 @@ impl Engine {
             return (Response::Err { errno: e }, Bytes::new());
         }
         if let Some((op, errno)) = self.db.take_error(fd) {
-            self.stats.deferred_errors_reported.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .deferred_errors_reported
+                .fetch_add(1, Ordering::Relaxed);
             return (Response::DeferredErr { op, errno }, Bytes::new());
         }
         match self.db.object(fd) {
@@ -297,7 +341,9 @@ impl Engine {
             Ok((obj, pending)) => {
                 let _ = obj.lock().sync();
                 if let Some((op, errno)) = pending {
-                    self.stats.deferred_errors_reported.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .deferred_errors_reported
+                        .fetch_add(1, Ordering::Relaxed);
                     (Response::DeferredErr { op, errno }, Bytes::new())
                 } else {
                     (Response::Ok { ret: 0 }, Bytes::new())
@@ -311,7 +357,9 @@ impl Engine {
         match e {
             BeginError::Sync(errno) => Response::Err { errno },
             BeginError::Deferred { op, errno } => {
-                self.stats.deferred_errors_reported.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .deferred_errors_reported
+                    .fetch_add(1, Ordering::Relaxed);
                 Response::DeferredErr { op, errno }
             }
         }
@@ -348,9 +396,19 @@ mod tests {
     fn open_write_read_close() {
         let (e, be) = engine();
         let fd = open(&e, "/a");
-        let (resp, _) = e.execute(&Request::Write { fd, len: 5 }, &Bytes::from_static(b"hello"));
+        let (resp, _) = e.execute(
+            &Request::Write { fd, len: 5 },
+            &Bytes::from_static(b"hello"),
+        );
         assert_eq!(resp, Response::Ok { ret: 5 });
-        let (resp, data) = e.execute(&Request::Pread { fd, offset: 0, len: 5 }, &Bytes::new());
+        let (resp, data) = e.execute(
+            &Request::Pread {
+                fd,
+                offset: 0,
+                len: 5,
+            },
+            &Bytes::new(),
+        );
         assert_eq!(resp, Response::Ok { ret: 5 });
         assert_eq!(&data[..], b"hello");
         let (resp, _) = e.execute(&Request::Close { fd }, &Bytes::new());
@@ -366,8 +424,16 @@ mod tests {
     fn length_mismatch_rejected() {
         let (e, _) = engine();
         let fd = open(&e, "/m");
-        let (resp, _) = e.execute(&Request::Write { fd, len: 10 }, &Bytes::from_static(b"shrt"));
-        assert_eq!(resp, Response::Err { errno: Errno::Inval });
+        let (resp, _) = e.execute(
+            &Request::Write { fd, len: 10 },
+            &Bytes::from_static(b"shrt"),
+        );
+        assert_eq!(
+            resp,
+            Response::Err {
+                errno: Errno::Inval
+            }
+        );
     }
 
     #[test]
@@ -397,14 +463,22 @@ mod tests {
         let (resp, _) = e.execute(&Request::Unlink { path: "/s".into() }, &Bytes::new());
         assert_eq!(resp, Response::Ok { ret: 0 });
         let (resp, _) = e.execute(&Request::Stat { path: "/s".into() }, &Bytes::new());
-        assert_eq!(resp, Response::Err { errno: Errno::NoEnt });
+        assert_eq!(
+            resp,
+            Response::Err {
+                errno: Errno::NoEnt
+            }
+        );
     }
 
     #[test]
     fn double_close_is_badf() {
         let (e, _) = engine();
         let fd = open(&e, "/c");
-        assert_eq!(e.execute(&Request::Close { fd }, &Bytes::new()).0, Response::Ok { ret: 0 });
+        assert_eq!(
+            e.execute(&Request::Close { fd }, &Bytes::new()).0,
+            Response::Ok { ret: 0 }
+        );
         assert_eq!(
             e.execute(&Request::Close { fd }, &Bytes::new()).0,
             Response::Err { errno: Errno::BadF }
@@ -417,7 +491,11 @@ mod tests {
         let fd = open(&e, "/l");
         e.execute(&Request::Write { fd, len: 4 }, &Bytes::from_static(b"wxyz"));
         let (resp, _) = e.execute(
-            &Request::Lseek { fd, offset: 1, whence: iofwd_proto::Whence::Set },
+            &Request::Lseek {
+                fd,
+                offset: 1,
+                whence: iofwd_proto::Whence::Set,
+            },
             &Bytes::new(),
         );
         assert_eq!(resp, Response::Ok { ret: 1 });

@@ -38,14 +38,31 @@ pub(crate) struct Session {
 impl Session {
     /// Observe a request/response pair and update the descriptor set.
     fn track(&mut self, req: &Request, resp: &Response) {
-        match (req, resp) {
-            (Request::Open { .. } | Request::Connect { .. }, Response::Ok { ret }) => {
-                self.fds.insert(iofwd_proto::Fd(*ret as u32));
+        match req {
+            Request::Open { .. } | Request::Connect { .. } => {
+                if let Response::Ok { ret } = resp {
+                    self.fds.insert(iofwd_proto::Fd(*ret as u32));
+                }
             }
-            (Request::Close { fd }, Response::Ok { .. } | Response::DeferredErr { .. }) => {
-                self.fds.remove(fd);
+            Request::Close { fd } => {
+                if matches!(resp, Response::Ok { .. } | Response::DeferredErr { .. }) {
+                    self.fds.remove(fd);
+                }
             }
-            _ => {}
+            // No other operation creates or retires a descriptor.
+            Request::Write { .. }
+            | Request::Pwrite { .. }
+            | Request::Read { .. }
+            | Request::Pread { .. }
+            | Request::Lseek { .. }
+            | Request::Fsync { .. }
+            | Request::Stat { .. }
+            | Request::Fstat { .. }
+            | Request::Unlink { .. }
+            | Request::Shutdown
+            | Request::Ftruncate { .. }
+            | Request::Mkdir { .. }
+            | Request::Readdir { .. } => {}
         }
     }
 
@@ -71,7 +88,9 @@ fn decode_or_reject(conn: &dyn Conn, frame: &Frame) -> Option<Request> {
                 conn,
                 frame.client_id,
                 frame.seq,
-                &Response::Err { errno: Errno::Inval },
+                &Response::Err {
+                    errno: Errno::Inval,
+                },
                 Bytes::new(),
             );
             None
@@ -83,7 +102,9 @@ fn decode_or_reject(conn: &dyn Conn, frame: &Frame) -> Option<Request> {
 pub fn handle_zoid(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
     let mut session = Session::default();
     while let Ok(Some(frame)) = conn.recv() {
-        let Some(req) = decode_or_reject(conn.as_ref(), &frame) else { continue };
+        let Some(req) = decode_or_reject(conn.as_ref(), &frame) else {
+            continue;
+        };
         let shutdown = matches!(req, Request::Shutdown);
         let (resp, data) = engine.execute(&req, &frame.data);
         session.track(&req, &resp);
@@ -108,7 +129,9 @@ pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
             // results directly to the compute node.
             let mut session = Session::default();
             while let Ok(frame) = shm_rx.recv() {
-                let Some(req) = decode_or_reject(proxy_conn.as_ref(), &frame) else { continue };
+                let Some(req) = decode_or_reject(proxy_conn.as_ref(), &frame) else {
+                    continue;
+                };
                 let shutdown = matches!(req, Request::Shutdown);
                 let (resp, data) = proxy_engine.execute(&req, &frame.data);
                 session.track(&req, &resp);
@@ -126,7 +149,10 @@ pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
         // may touch it (CIOD's double copy, §II-B1).
         let copied = Bytes::from(frame.data.to_vec());
         let shutdown = matches!(frame.decode_request(), Ok(Request::Shutdown));
-        let staged = Frame { data: copied, ..frame };
+        let staged = Frame {
+            data: copied,
+            ..frame
+        };
         if shm_tx.send(staged).is_err() {
             break;
         }
@@ -142,7 +168,9 @@ pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
 pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQueue>) {
     let mut session = Session::default();
     while let Ok(Some(frame)) = conn.recv() {
-        let Some(req) = decode_or_reject(conn.as_ref(), &frame) else { continue };
+        let Some(req) = decode_or_reject(conn.as_ref(), &frame) else {
+            continue;
+        };
         if matches!(req, Request::Shutdown) {
             send_response(
                 conn.as_ref(),
@@ -154,7 +182,11 @@ pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQue
             break;
         }
         let (tx, rx) = bounded(1);
-        queue.push(WorkItem::Sync { req: req.clone(), data: frame.data.clone(), reply: tx });
+        queue.push(WorkItem::Sync {
+            req: req.clone(),
+            data: frame.data.clone(),
+            reply: tx,
+        });
         match rx.recv() {
             Ok((resp, data)) => {
                 session.track(&req, &resp);
@@ -176,7 +208,9 @@ pub fn handle_staged(
     let bml = engine.bml().expect("staged mode requires a BML").clone();
     let mut session = Session::default();
     while let Ok(Some(frame)) = conn.recv() {
-        let Some(req) = decode_or_reject(conn.as_ref(), &frame) else { continue };
+        let Some(req) = decode_or_reject(conn.as_ref(), &frame) else {
+            continue;
+        };
         match req {
             Request::Shutdown => {
                 send_response(
@@ -191,16 +225,19 @@ pub fn handle_staged(
             Request::Write { fd, len } | Request::Pwrite { fd, len, .. }
                 if len as usize <= bml.max_request() =>
             {
-                let offset = match req {
-                    Request::Pwrite { offset, .. } => Some(offset),
-                    _ => None,
+                let offset = if let Request::Pwrite { offset, .. } = req {
+                    Some(offset)
+                } else {
+                    None
                 };
                 if len != frame.data.len() as u64 {
                     send_response(
                         conn.as_ref(),
                         frame.client_id,
                         frame.seq,
-                        &Response::Err { errno: Errno::Inval },
+                        &Response::Err {
+                            errno: Errno::Inval,
+                        },
                         Bytes::new(),
                     );
                     continue;
@@ -208,7 +245,10 @@ pub fn handle_staged(
                 let resp = match engine.descriptor_db().begin_op(fd) {
                     Err(BeginError::Sync(errno)) => Response::Err { errno },
                     Err(BeginError::Deferred { op, errno }) => {
-                        engine.stats.deferred_errors_reported.fetch_add(1, Ordering::Relaxed);
+                        engine
+                            .stats
+                            .deferred_errors_reported
+                            .fetch_add(1, Ordering::Relaxed);
                         Response::DeferredErr { op, errno }
                     }
                     Ok((op, _obj)) => {
@@ -224,17 +264,21 @@ pub fn handle_staged(
                                     op,
                                     OpOutcome::Failed(Errno::NoMem),
                                 );
-                                Response::Err { errno: Errno::NoMem }
+                                Response::Err {
+                                    errno: Errno::NoMem,
+                                }
                             }
                             Some(mut buf) => {
                                 buf.fill_from(&frame.data);
                                 engine.stats.requests.fetch_add(1, Ordering::Relaxed);
-                                engine
-                                    .stats
-                                    .bytes_in
-                                    .fetch_add(len, Ordering::Relaxed);
+                                engine.stats.bytes_in.fetch_add(len, Ordering::Relaxed);
                                 engine.stats.staged_ops.fetch_add(1, Ordering::Relaxed);
-                                let item = WorkItem::StagedWrite { fd, op, offset, buf };
+                                let item = WorkItem::StagedWrite {
+                                    fd,
+                                    op,
+                                    offset,
+                                    buf,
+                                };
                                 if let Some(item) = serializer.admit(fd, item) {
                                     queue.push(item);
                                 }
@@ -243,7 +287,13 @@ pub fn handle_staged(
                         }
                     }
                 };
-                send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, Bytes::new());
+                send_response(
+                    conn.as_ref(),
+                    frame.client_id,
+                    frame.seq,
+                    &resp,
+                    Bytes::new(),
+                );
             }
             Request::Read { fd, .. } | Request::Pread { fd, .. } => {
                 // Reads barrier behind staged writes on the descriptor so
@@ -259,7 +309,11 @@ pub fn handle_staged(
                     continue;
                 }
                 let (tx, rx) = bounded(1);
-                queue.push(WorkItem::Sync { req, data: frame.data.clone(), reply: tx });
+                queue.push(WorkItem::Sync {
+                    req,
+                    data: frame.data.clone(),
+                    reply: tx,
+                });
                 match rx.recv() {
                     Ok((resp, data)) => {
                         send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data)
@@ -268,9 +322,22 @@ pub fn handle_staged(
                 }
             }
             // Metadata operations (and oversized writes that exceed the
-            // BML's largest class) run synchronously in the handler, as
-            // the paper specifies for open/close/attribute operations.
-            other => {
+            // BML's largest class, falling through the guard above) run
+            // synchronously in the handler, as the paper specifies for
+            // open/close/attribute operations.
+            other @ (Request::Open { .. }
+            | Request::Connect { .. }
+            | Request::Close { .. }
+            | Request::Write { .. }
+            | Request::Pwrite { .. }
+            | Request::Lseek { .. }
+            | Request::Fsync { .. }
+            | Request::Stat { .. }
+            | Request::Fstat { .. }
+            | Request::Unlink { .. }
+            | Request::Ftruncate { .. }
+            | Request::Mkdir { .. }
+            | Request::Readdir { .. }) => {
                 let (resp, data) = engine.execute(&other, &frame.data);
                 session.track(&other, &resp);
                 send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data);
@@ -302,7 +369,12 @@ pub fn worker_loop(
                     let (resp, out) = engine.execute(&req, &data);
                     let _ = reply.send((resp, out));
                 }
-                WorkItem::StagedWrite { fd, op, offset, buf } => {
+                WorkItem::StagedWrite {
+                    fd,
+                    op,
+                    offset,
+                    buf,
+                } => {
                     // Filters, backend write, and outcome recording all
                     // happen in the engine (shared with the sync path).
                     engine.execute_staged_write(fd, op, offset, buf.as_slice());

@@ -218,7 +218,9 @@ impl IonServer {
 
     /// Work-queue statistics (None for Ciod/Zoid modes).
     pub fn queue_stats(&self) -> Option<(u64, u64)> {
-        self.queue.as_ref().map(|q| (q.total_enqueued(), q.depth_high_water()))
+        self.queue
+            .as_ref()
+            .map(|q| (q.total_enqueued(), q.depth_high_water()))
     }
 
     /// BML statistics (None unless AsyncStaged).

@@ -19,9 +19,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use bytes::Bytes;
 use crossbeam::channel::Sender;
 use iofwd_proto::{Fd, OpId, Request, Response};
-use parking_lot::{Condvar, Mutex};
 
 use crate::bml::BmlBuffer;
+use crate::sync::{Condvar, Mutex};
 
 /// A unit of work for the worker pool.
 pub enum WorkItem {
@@ -189,7 +189,7 @@ impl WorkQueue {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use crossbeam::channel::unbounded;
@@ -197,12 +197,19 @@ mod tests {
 
     fn sync_item(tag: u64) -> WorkItem {
         let (tx, _rx) = unbounded();
-        WorkItem::Sync { req: Request::Fsync { fd: Fd(tag as u32) }, data: Bytes::new(), reply: tx }
+        WorkItem::Sync {
+            req: Request::Fsync { fd: Fd(tag as u32) },
+            data: Bytes::new(),
+            reply: tx,
+        }
     }
 
     fn tag_of(item: &WorkItem) -> u64 {
         match item {
-            WorkItem::Sync { req: Request::Fsync { fd }, .. } => fd.0 as u64,
+            WorkItem::Sync {
+                req: Request::Fsync { fd },
+                ..
+            } => fd.0 as u64,
             _ => panic!("unexpected item"),
         }
     }

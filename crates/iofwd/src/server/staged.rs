@@ -80,12 +80,19 @@ mod tests {
 
     fn item(tag: u32) -> WorkItem {
         let (tx, _rx) = unbounded();
-        WorkItem::Sync { req: Request::Fsync { fd: Fd(tag) }, data: Bytes::new(), reply: tx }
+        WorkItem::Sync {
+            req: Request::Fsync { fd: Fd(tag) },
+            data: Bytes::new(),
+            reply: tx,
+        }
     }
 
     fn tag(i: &WorkItem) -> u32 {
         match i {
-            WorkItem::Sync { req: Request::Fsync { fd }, .. } => fd.0,
+            WorkItem::Sync {
+                req: Request::Fsync { fd },
+                ..
+            } => fd.0,
             _ => unreachable!(),
         }
     }
@@ -117,7 +124,10 @@ mod tests {
     fn lanes_are_independent() {
         let s = FdSerializer::new();
         assert!(s.admit(Fd(1), item(10)).is_some());
-        assert!(s.admit(Fd(2), item(20)).is_some(), "other fd must not be blocked");
+        assert!(
+            s.admit(Fd(2), item(20)).is_some(),
+            "other fd must not be blocked"
+        );
     }
 
     #[test]

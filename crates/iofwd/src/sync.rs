@@ -1,0 +1,14 @@
+//! Sync-primitive selection for model-checkable modules.
+//!
+//! The BML and the work queue — the two protocols whose correctness the
+//! paper's asynchronous-staging design leans on — are written against
+//! this module instead of `parking_lot` directly. A normal build gets
+//! `parking_lot`; building with `RUSTFLAGS="--cfg loom"` swaps in
+//! `loomlite`'s scheduler-instrumented primitives so the loom test suite
+//! (`crates/iofwd/tests/loom_model.rs`) can explore every interleaving
+//! of their critical sections.
+
+#[cfg(loom)]
+pub(crate) use loomlite::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(loom))]
+pub(crate) use parking_lot::{Condvar, Mutex, MutexGuard};

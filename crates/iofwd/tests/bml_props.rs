@@ -55,8 +55,8 @@ proptest! {
     fn buffers_are_exclusive(rounds in 1usize..20) {
         let bml = Bml::new(1 << 22);
         for round in 0..rounds {
-            let mut a = bml.acquire(1000);
-            let mut b = bml.acquire(1000);
+            let mut a = bml.acquire(1000).expect("BML open");
+            let mut b = bml.acquire(1000).expect("BML open");
             a.fill_from(&[round as u8; 1000]);
             b.fill_from(&[!(round as u8); 1000]);
             prop_assert!(a.as_slice().iter().all(|&x| x == round as u8));
@@ -89,7 +89,7 @@ fn concurrent_acquires_never_exceed_capacity() {
             s.spawn(move || {
                 barrier.wait();
                 for _ in 0..200 {
-                    let buf = bml.acquire(SZ);
+                    let buf = bml.acquire(SZ).expect("BML open");
                     let held = buf.block_size() as i64;
                     let now = outstanding.fetch_add(held, Ordering::SeqCst) + held;
                     peak.fetch_max(now, Ordering::SeqCst);
@@ -102,10 +102,17 @@ fn concurrent_acquires_never_exceed_capacity() {
             });
         }
     });
-    assert!(peak.load(Ordering::SeqCst) as u64 <= CAP, "peak {} > cap", peak.load(Ordering::SeqCst));
+    assert!(
+        peak.load(Ordering::SeqCst) as u64 <= CAP,
+        "peak {} > cap",
+        peak.load(Ordering::SeqCst)
+    );
     assert_eq!(bml.outstanding(), 0);
     let stats = bml.stats();
     assert_eq!(stats.acquires, 8 * 200);
-    assert!(stats.blocked_acquires > 0, "8x64 KiB against 256 KiB must block");
+    assert!(
+        stats.blocked_acquires > 0,
+        "8x64 KiB against 256 KiB must block"
+    );
     assert!(stats.freelist_hits > 0, "recycling should occur");
 }

@@ -17,7 +17,11 @@ impl Drop for DaemonGuard {
 }
 
 fn free_port() -> u16 {
-    TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap().port()
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
 }
 
 fn wait_listening(addr: &str) {
@@ -39,12 +43,22 @@ fn daemon_and_cp_roundtrip() {
     // Source file with non-trivial contents.
     let src = dir.join("src.bin");
     let payload: Vec<u8> = (0..3_000_000u32).map(|i| (i % 251) as u8).collect();
-    std::fs::File::create(&src).unwrap().write_all(&payload).unwrap();
+    std::fs::File::create(&src)
+        .unwrap()
+        .write_all(&payload)
+        .unwrap();
 
     let port = free_port();
     let addr = format!("127.0.0.1:{port}");
     let daemon = Command::new(env!("CARGO_BIN_EXE_iofwdd"))
-        .args(["--listen", &addr, "--root", root.to_str().unwrap(), "--mode", "staged"])
+        .args([
+            "--listen",
+            &addr,
+            "--root",
+            root.to_str().unwrap(),
+            "--mode",
+            "staged",
+        ])
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn iofwdd");
@@ -82,7 +96,10 @@ fn daemon_and_cp_roundtrip() {
         payload.len() as u64
     );
     // stat
-    let out = Command::new(cp).args(["stat", &addr, "/in/data.bin"]).output().unwrap();
+    let out = Command::new(cp)
+        .args(["stat", &addr, "/in/data.bin"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains(&format!("{} bytes", payload.len())), "{text}");
@@ -94,11 +111,17 @@ fn daemon_and_cp_roundtrip() {
         .unwrap();
     assert!(st.success(), "get failed");
     let mut got = Vec::new();
-    std::fs::File::open(&back).unwrap().read_to_end(&mut got).unwrap();
+    std::fs::File::open(&back)
+        .unwrap()
+        .read_to_end(&mut got)
+        .unwrap();
     assert_eq!(got, payload);
 
     // Errors are clean, not panics.
-    let out = Command::new(cp).args(["stat", &addr, "/no/such/file"]).output().unwrap();
+    let out = Command::new(cp)
+        .args(["stat", &addr, "/no/such/file"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("ENOENT"));
 
@@ -108,7 +131,9 @@ fn daemon_and_cp_roundtrip() {
 
 #[test]
 fn cp_usage_errors_are_clean() {
-    let out = Command::new(env!("CARGO_BIN_EXE_iofwd-cp")).output().unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_iofwd-cp"))
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }

@@ -30,14 +30,21 @@ impl MockConn {
     }
 
     fn sent_requests(&self) -> Vec<Request> {
-        self.sent.lock().iter().map(|f| f.decode_request().unwrap()).collect()
+        self.sent
+            .lock()
+            .iter()
+            .map(|f| f.decode_request().unwrap())
+            .collect()
     }
 }
 
 impl Conn for MockConn {
     fn send(&self, frame: Frame) -> io::Result<()> {
-        let responder =
-            self.script.lock().pop_front().expect("mock: more requests than scripted");
+        let responder = self
+            .script
+            .lock()
+            .pop_front()
+            .expect("mock: more requests than scripted");
         if let Some(resp) = responder(&frame) {
             self.pending.lock().push_back(resp);
         }
@@ -54,12 +61,24 @@ impl Conn for MockConn {
 
 /// Respond to any request with the given response, echoing the seq.
 fn ok_with(resp: Response) -> Responder {
-    Box::new(move |frame| Some(Frame::response(frame.client_id, frame.seq, &resp, Bytes::new())))
+    Box::new(move |frame| {
+        Some(Frame::response(
+            frame.client_id,
+            frame.seq,
+            &resp,
+            Bytes::new(),
+        ))
+    })
 }
 
 fn ok_with_data(resp: Response, data: &'static [u8]) -> Responder {
     Box::new(move |frame| {
-        Some(Frame::response(frame.client_id, frame.seq, &resp, Bytes::from_static(data)))
+        Some(Frame::response(
+            frame.client_id,
+            frame.seq,
+            &resp,
+            Bytes::from_static(data),
+        ))
     })
 }
 
@@ -81,7 +100,9 @@ fn requests_carry_increasing_seq_and_client_id() {
     let mut c = Client::with_id(conn, 42);
     c.open("/x", OpenFlags::RDONLY, 0).unwrap();
     c.fsync(Fd(3)).unwrap();
-    // Safe: the client keeps the box alive for our whole scope.
+    // SAFETY: the client owns the box and outlives this scope, so the
+    // pointer taken before the move stays valid; MockConn's interior is
+    // mutex-guarded, so the shared reference is sound.
     let mock = unsafe { &*raw };
     let frames = mock.sent.lock();
     assert_eq!(frames[0].seq, 1);
@@ -119,7 +140,9 @@ fn deferred_error_maps_to_client_error() {
 
 #[test]
 fn remote_errno_maps_to_remote_error() {
-    let conn = MockConn::new(vec![ok_with(Response::Err { errno: Errno::Access })]);
+    let conn = MockConn::new(vec![ok_with(Response::Err {
+        errno: Errno::Access,
+    })]);
     let mut c = Client::connect(Box::new(conn));
     match c.open("/forbidden", OpenFlags::RDONLY, 0) {
         Err(ClientError::Remote(Errno::Access)) => {}
@@ -130,7 +153,12 @@ fn remote_errno_maps_to_remote_error() {
 #[test]
 fn out_of_order_seq_is_protocol_error() {
     let conn = MockConn::new(vec![Box::new(|frame: &Frame| {
-        Some(Frame::response(frame.client_id, frame.seq + 99, &Response::Ok { ret: 0 }, Bytes::new()))
+        Some(Frame::response(
+            frame.client_id,
+            frame.seq + 99,
+            &Response::Ok { ret: 0 },
+            Bytes::new(),
+        ))
     })]);
     let mut c = Client::connect(Box::new(conn));
     match c.fsync(Fd(3)) {
@@ -171,7 +199,12 @@ fn read_returns_payload() {
 
 #[test]
 fn stat_maps_statok() {
-    let st = FileStat { size: 123, mode: 0o644, mtime_ns: 9, is_dir: false };
+    let st = FileStat {
+        size: 123,
+        mode: 0o644,
+        mtime_ns: 9,
+        is_dir: false,
+    };
     let conn = MockConn::new(vec![ok_with(Response::StatOk { st })]);
     let mut c = Client::connect(Box::new(conn));
     assert_eq!(c.stat("/x").unwrap(), st);
@@ -197,11 +230,16 @@ fn request_wire_forms_match_api_calls() {
     ]));
     let raw: *const MockConn = &*conn;
     let mut c = Client::connect(conn);
-    let fd = c.open("/f", OpenFlags::WRONLY | OpenFlags::CREATE, 0o600).unwrap();
+    let fd = c
+        .open("/f", OpenFlags::WRONLY | OpenFlags::CREATE, 0o600)
+        .unwrap();
     c.pwrite(fd, 4096, b"data").unwrap();
     c.lseek(fd, -1, Whence::End).unwrap();
     c.close(fd).unwrap();
     c.shutdown().unwrap();
+    // SAFETY: the client owns the box and outlives this scope, so the
+    // pointer taken before the move stays valid; MockConn's interior is
+    // mutex-guarded, so the shared reference is sound.
     let mock = unsafe { &*raw };
     let reqs = mock.sent_requests();
     assert_eq!(
@@ -212,8 +250,16 @@ fn request_wire_forms_match_api_calls() {
                 flags: OpenFlags::WRONLY | OpenFlags::CREATE,
                 mode: 0o600
             },
-            Request::Pwrite { fd: Fd(3), offset: 4096, len: 4 },
-            Request::Lseek { fd: Fd(3), offset: -1, whence: Whence::End },
+            Request::Pwrite {
+                fd: Fd(3),
+                offset: 4096,
+                len: 4
+            },
+            Request::Lseek {
+                fd: Fd(3),
+                offset: -1,
+                whence: Whence::End
+            },
             Request::Close { fd: Fd(3) },
             Request::Shutdown,
         ]

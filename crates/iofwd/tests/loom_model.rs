@@ -1,0 +1,235 @@
+//! Model-checked concurrency tests for the BML and the work queue —
+//! the two §IV protocols whose blocking/hand-off logic cannot be
+//! trusted to a handful of wall-clock interleavings.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p iofwd --test loom_model --release
+//! ```
+//!
+//! (or `cargo xtask loom`). Under `--cfg loom` the crate's sync shim
+//! (`iofwd::sync`) swaps parking_lot for `loomlite`, whose cooperative
+//! scheduler exhaustively enumerates every thread interleaving at
+//! lock/condvar granularity. An assertion failing in ANY schedule, or a
+//! schedule with no runnable thread (lost wakeup / deadlock), fails the
+//! test with a panic naming the schedule.
+//!
+//! Each model stays at 2–3 threads with short critical-section chains;
+//! state-space growth is exponential.
+
+#![cfg(loom)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bytes::Bytes;
+use iofwd::bml::Bml;
+use iofwd::server::{QueueDiscipline, WorkItem, WorkQueue};
+use iofwd_proto::{Fd, Request};
+use loomlite::sync::Arc;
+use loomlite::thread;
+
+const BLOCK: usize = 4096; // smallest BML class
+
+/// §IV: "the I/O operation is blocked until ... sufficient memory is
+/// available". Three competing acquirers against a two-block budget:
+/// in EVERY interleaving the cap holds, nobody is lost (all three
+/// acquisitions complete — a lost wakeup would surface as a deadlock),
+/// and all memory returns.
+#[test]
+fn bml_capacity_never_exceeded() {
+    loomlite::model(|| {
+        let bml = Bml::new(2 * BLOCK as u64);
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let bml = bml.clone();
+            handles.push(thread::spawn(move || {
+                let buf = bml.acquire(BLOCK).expect("BML never closes in this model");
+                assert!(bml.outstanding() <= 2 * BLOCK as u64, "capacity exceeded");
+                drop(buf);
+            }));
+        }
+        let buf = bml.acquire(BLOCK).expect("BML never closes in this model");
+        assert!(bml.outstanding() <= 2 * BLOCK as u64, "capacity exceeded");
+        drop(buf);
+        for h in handles {
+            h.join().expect("acquirer panicked");
+        }
+        assert_eq!(bml.outstanding(), 0, "memory leaked");
+        let stats = bml.stats();
+        assert_eq!(stats.acquires, 3);
+        assert!(stats.high_water <= 2 * BLOCK as u64);
+    });
+}
+
+/// FIFO hand-off, no barging: when a release finds a blocked waiter,
+/// the freed capacity is reserved for that waiter *inside the release*
+/// — a `try_acquire` racing in afterwards may only succeed once the
+/// waiter has been fully served (acquired AND released). An
+/// implementation that merely notifies without reserving lets
+/// `try_acquire` win while the waiter is still blocked, which this
+/// model catches. The cross-schedule counters prove both the
+/// reservation path and the waiter-finished-first path are exercised.
+#[test]
+fn bml_release_hands_off_to_queued_waiter_fifo() {
+    static TRY_LOST: AtomicUsize = AtomicUsize::new(0);
+    static TRY_WON_AFTER_DONE: AtomicUsize = AtomicUsize::new(0);
+    TRY_LOST.store(0, Ordering::SeqCst);
+    TRY_WON_AFTER_DONE.store(0, Ordering::SeqCst);
+    loomlite::model(|| {
+        let bml = Bml::new(BLOCK as u64); // room for exactly one block
+        let hold = bml.acquire(BLOCK).expect("open");
+        // Set to true by the waiter BEFORE it releases its buffer, so
+        // `done == false` while the waiter is queued, granted, or still
+        // holding memory — in all those states try_acquire must fail.
+        let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let waiter = {
+            let bml = bml.clone();
+            let done = done.clone();
+            thread::spawn(move || {
+                let buf = bml.acquire(BLOCK).expect("open");
+                done.store(true, Ordering::SeqCst);
+                drop(buf);
+            })
+        };
+        // Whether the waiter has queued yet is schedule-dependent; once
+        // it HAS queued it can only leave by being granted, so observing
+        // `queued` here is stable across the release below.
+        let queued = bml.waiter_count() == 1;
+        drop(hold); // release: must reserve the block for the waiter
+        if queued {
+            match bml.try_acquire(BLOCK) {
+                Some(_) => {
+                    assert!(
+                        done.load(Ordering::SeqCst),
+                        "try_acquire barged past a still-waiting queued acquirer"
+                    );
+                    TRY_WON_AFTER_DONE.fetch_add(1, Ordering::SeqCst);
+                }
+                None => {
+                    TRY_LOST.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        waiter.join().expect("waiter panicked");
+        assert_eq!(bml.outstanding(), 0);
+    });
+    assert!(
+        TRY_LOST.load(Ordering::SeqCst) > 0,
+        "no schedule exercised the reservation (try_acquire-fails) branch"
+    );
+    assert!(
+        TRY_WON_AFTER_DONE.load(Ordering::SeqCst) > 0,
+        "no schedule exercised the waiter-finished-first branch"
+    );
+}
+
+/// Daemon shutdown: close() must wake every blocked acquisition (which
+/// then fails with NoMem) and refuse new ones — a waiter sleeping
+/// through close would deadlock the model.
+#[test]
+fn bml_close_wakes_all_blocked_waiters() {
+    loomlite::model(|| {
+        let bml = Bml::new(BLOCK as u64);
+        let hold = bml.acquire(BLOCK).expect("open");
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let bml = bml.clone();
+            handles.push(thread::spawn(move || bml.acquire(BLOCK).is_err()));
+        }
+        bml.close();
+        for h in handles {
+            assert!(
+                h.join().expect("waiter panicked"),
+                "acquire returned a buffer after close"
+            );
+        }
+        drop(hold);
+        assert_eq!(bml.outstanding(), 0);
+        assert!(bml.try_acquire(BLOCK).is_none(), "try_acquire after close");
+    });
+}
+
+fn tagged(tag: u32) -> WorkItem {
+    // The reply receiver is dropped immediately: nothing executes these
+    // items, so nothing ever sends on the channel.
+    let (reply, _) = crossbeam::channel::unbounded();
+    WorkItem::Sync {
+        req: Request::Fsync { fd: Fd(tag) },
+        data: Bytes::new(),
+        reply,
+    }
+}
+
+fn tag_of(item: &WorkItem) -> u32 {
+    match item {
+        WorkItem::Sync {
+            req: Request::Fsync { fd },
+            ..
+        } => fd.0,
+        _ => u32::MAX,
+    }
+}
+
+/// The paper's shared FIFO: two producers racing to enqueue; whatever
+/// the interleaving, each producer's items drain in its program order
+/// and nothing is lost or duplicated.
+#[test]
+fn queue_preserves_per_producer_fifo_order() {
+    loomlite::model(|| {
+        let q = Arc::new(WorkQueue::new(QueueDiscipline::SharedFifo, 1));
+        let producers: Vec<_> = [(1u32, 2u32), (3, 4)]
+            .into_iter()
+            .map(|(a, b)| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    q.push(tagged(a));
+                    q.push(tagged(b));
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().expect("producer panicked");
+        }
+        let tags: Vec<u32> = q.pop_batch(0, 8).iter().map(tag_of).collect();
+        assert_eq!(tags.len(), 4, "items lost or duplicated: {tags:?}");
+        let pos = |t: u32| tags.iter().position(|&x| x == t).expect("missing item");
+        assert!(pos(1) < pos(2), "producer A reordered: {tags:?}");
+        assert!(pos(3) < pos(4), "producer B reordered: {tags:?}");
+        assert_eq!(q.depth(), 0);
+    });
+}
+
+/// Worker-pool shutdown: with workers blocked in `pop_batch`, a racing
+/// push + close must deliver the item to exactly one worker and release
+/// the other with an empty batch — never strand either (the classic
+/// notify_one lost-wakeup shape).
+#[test]
+fn queue_close_releases_blocked_workers_exactly_once() {
+    loomlite::model(|| {
+        let q = Arc::new(WorkQueue::new(QueueDiscipline::SharedFifo, 2));
+        let workers: Vec<_> = (0..2)
+            .map(|w| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = 0usize;
+                    loop {
+                        let batch = q.pop_batch(w, 4);
+                        if batch.is_empty() {
+                            return got; // closed and drained
+                        }
+                        got += batch.len();
+                    }
+                })
+            })
+            .collect();
+        q.push(tagged(7));
+        q.close();
+        let delivered: usize = workers
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum();
+        assert_eq!(delivered, 1, "item lost or double-delivered");
+        assert_eq!(q.depth(), 0);
+    });
+}

@@ -18,7 +18,10 @@ const ALL_MODES: [ForwardingMode; 4] = [
     ForwardingMode::Ciod,
     ForwardingMode::Zoid,
     ForwardingMode::Sched { workers: 4 },
-    ForwardingMode::AsyncStaged { workers: 4, bml_capacity: 8 << 20 },
+    ForwardingMode::AsyncStaged {
+        workers: 4,
+        bml_capacity: 8 << 20,
+    },
 ];
 
 fn start(mode: ForwardingMode, backend: Arc<dyn Backend>) -> (IonServer, MemHub) {
@@ -34,16 +37,28 @@ fn write_read_roundtrip_all_modes() {
         let (server, hub) = start(mode, backend.clone());
         let mut c = Client::connect(Box::new(hub.connect()));
 
-        let fd = c.open("/data", OpenFlags::RDWR | OpenFlags::CREATE, 0o644).unwrap();
+        let fd = c
+            .open("/data", OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+            .unwrap();
         let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
-        assert_eq!(c.write(fd, &payload).unwrap(), payload.len() as u64, "{}", mode.name());
+        assert_eq!(
+            c.write(fd, &payload).unwrap(),
+            payload.len() as u64,
+            "{}",
+            mode.name()
+        );
         c.fsync(fd).unwrap();
         let got = c.pread(fd, 0, payload.len() as u64).unwrap();
         assert_eq!(got, payload, "mode {}", mode.name());
         c.close(fd).unwrap();
         c.shutdown().unwrap();
         server.shutdown();
-        assert_eq!(backend.contents("/data").unwrap(), payload, "mode {}", mode.name());
+        assert_eq!(
+            backend.contents("/data").unwrap(),
+            payload,
+            "mode {}",
+            mode.name()
+        );
     }
 }
 
@@ -53,7 +68,9 @@ fn sequential_writes_preserve_order_all_modes() {
         let backend = Arc::new(MemSinkBackend::new());
         let (server, hub) = start(mode, backend.clone());
         let mut c = Client::connect(Box::new(hub.connect()));
-        let fd = c.open("/seq", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+        let fd = c
+            .open("/seq", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+            .unwrap();
         let mut expect = Vec::new();
         for i in 0..64u8 {
             let chunk = vec![i; 1000];
@@ -63,17 +80,29 @@ fn sequential_writes_preserve_order_all_modes() {
         c.close(fd).unwrap();
         c.shutdown().unwrap();
         server.shutdown();
-        assert_eq!(backend.contents("/seq").unwrap(), expect, "mode {}", mode.name());
+        assert_eq!(
+            backend.contents("/seq").unwrap(),
+            expect,
+            "mode {}",
+            mode.name()
+        );
     }
 }
 
 #[test]
 fn staged_mode_returns_staged_writes() {
     let backend = Arc::new(MemSinkBackend::new());
-    let (server, hub) =
-        start(ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 4 << 20 }, backend.clone());
+    let (server, hub) = start(
+        ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 4 << 20,
+        },
+        backend.clone(),
+    );
     let mut c = Client::connect(Box::new(hub.connect()));
-    let fd = c.open("/s", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+    let fd = c
+        .open("/s", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+        .unwrap();
     match c.write_detailed(fd, &[1u8; 4096]).unwrap() {
         WriteOutcome::Staged(op) => assert_eq!(op, iofwd_proto::OpId(1)),
         other => panic!("expected staged outcome, got {other:?}"),
@@ -91,12 +120,17 @@ fn staged_mode_returns_staged_writes() {
 
 #[test]
 fn non_staged_modes_never_stage() {
-    for mode in [ForwardingMode::Ciod, ForwardingMode::Zoid, ForwardingMode::Sched { workers: 2 }]
-    {
+    for mode in [
+        ForwardingMode::Ciod,
+        ForwardingMode::Zoid,
+        ForwardingMode::Sched { workers: 2 },
+    ] {
         let backend = Arc::new(MemSinkBackend::new());
         let (server, hub) = start(mode, backend);
         let mut c = Client::connect(Box::new(hub.connect()));
-        let fd = c.open("/n", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+        let fd = c
+            .open("/n", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+            .unwrap();
         match c.write_detailed(fd, b"x").unwrap() {
             WriteOutcome::Completed(1) => {}
             other => panic!("mode {}: unexpected {other:?}", mode.name()),
@@ -111,13 +145,26 @@ fn deferred_error_reported_on_next_operation() {
     let inner = Arc::new(MemSinkBackend::new());
     // First data op succeeds, everything after fails with ENOSPC.
     let backend = Arc::new(FaultInjectionBackend::new(inner, 1, Errno::NoSpc));
-    let (server, hub) =
-        start(ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 4 << 20 }, backend);
+    let (server, hub) = start(
+        ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 4 << 20,
+        },
+        backend,
+    );
     let mut c = Client::connect(Box::new(hub.connect()));
-    let fd = c.open("/d", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+    let fd = c
+        .open("/d", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+        .unwrap();
     // Both writes are accepted (staged) — the failure is asynchronous.
-    assert!(matches!(c.write_detailed(fd, &[0u8; 4096]).unwrap(), WriteOutcome::Staged(_)));
-    assert!(matches!(c.write_detailed(fd, &[0u8; 4096]).unwrap(), WriteOutcome::Staged(_)));
+    assert!(matches!(
+        c.write_detailed(fd, &[0u8; 4096]).unwrap(),
+        WriteOutcome::Staged(_)
+    ));
+    assert!(matches!(
+        c.write_detailed(fd, &[0u8; 4096]).unwrap(),
+        WriteOutcome::Staged(_)
+    ));
     // The barrier surfaces the second write's failure.
     match c.fsync(fd) {
         Err(ClientError::Deferred { op, errno }) => {
@@ -136,11 +183,21 @@ fn deferred_error_reported_on_next_operation() {
 fn deferred_error_reported_on_close() {
     let inner = Arc::new(MemSinkBackend::new());
     let backend = Arc::new(FaultInjectionBackend::new(inner, 0, Errno::Io));
-    let (server, hub) =
-        start(ForwardingMode::AsyncStaged { workers: 1, bml_capacity: 1 << 20 }, backend);
+    let (server, hub) = start(
+        ForwardingMode::AsyncStaged {
+            workers: 1,
+            bml_capacity: 1 << 20,
+        },
+        backend,
+    );
     let mut c = Client::connect(Box::new(hub.connect()));
-    let fd = c.open("/e", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
-    assert!(matches!(c.write_detailed(fd, &[9u8; 100]).unwrap(), WriteOutcome::Staged(_)));
+    let fd = c
+        .open("/e", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+        .unwrap();
+    assert!(matches!(
+        c.write_detailed(fd, &[9u8; 100]).unwrap(),
+        WriteOutcome::Staged(_)
+    ));
     match c.close(fd) {
         Err(ClientError::Deferred { errno, .. }) => assert_eq!(errno, Errno::Io),
         other => panic!("expected deferred EIO on close, got {other:?}"),
@@ -153,14 +210,22 @@ fn deferred_error_reported_on_close() {
 fn sync_modes_report_errors_immediately() {
     let inner = Arc::new(MemSinkBackend::new());
     let backend = Arc::new(FaultInjectionBackend::new(inner, 0, Errno::NoSpc));
-    for mode in [ForwardingMode::Ciod, ForwardingMode::Zoid, ForwardingMode::Sched { workers: 2 }]
-    {
+    for mode in [
+        ForwardingMode::Ciod,
+        ForwardingMode::Zoid,
+        ForwardingMode::Sched { workers: 2 },
+    ] {
         let (server, hub) = start(mode, backend.clone());
         let mut c = Client::connect(Box::new(hub.connect()));
-        let fd = c.open("/x", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+        let fd = c
+            .open("/x", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+            .unwrap();
         match c.write(fd, b"data") {
             Err(ClientError::Remote(Errno::NoSpc)) => {}
-            other => panic!("mode {}: expected immediate ENOSPC, got {other:?}", mode.name()),
+            other => panic!(
+                "mode {}: expected immediate ENOSPC, got {other:?}",
+                mode.name()
+            ),
         }
         c.shutdown().unwrap();
         server.shutdown();
@@ -177,10 +242,17 @@ fn bml_capacity_blocks_but_completes() {
         8.0 * 1024.0 * 1024.0, // 8 MiB/s
         Duration::ZERO,
     ));
-    let (server, hub) =
-        start(ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 64 * 1024 }, slow);
+    let (server, hub) = start(
+        ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 64 * 1024,
+        },
+        slow,
+    );
     let mut c = Client::connect(Box::new(hub.connect()));
-    let fd = c.open("/b", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+    let fd = c
+        .open("/b", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+        .unwrap();
     let mut expect = Vec::new();
     for i in 0..32u8 {
         let chunk = vec![i; 16 * 1024];
@@ -190,7 +262,10 @@ fn bml_capacity_blocks_but_completes() {
     c.close(fd).unwrap();
     c.shutdown().unwrap();
     let bml = server.bml_stats().unwrap();
-    assert!(bml.blocked_acquires > 0, "64 KiB BML must block under 512 KiB of writes");
+    assert!(
+        bml.blocked_acquires > 0,
+        "64 KiB BML must block under 512 KiB of writes"
+    );
     assert!(bml.high_water <= 64 * 1024);
     server.shutdown();
     assert_eq!(sink.contents("/b").unwrap(), expect);
@@ -201,14 +276,22 @@ fn staging_overlaps_slow_backend() {
     // With a throttled backend, staged writes should return much faster
     // than the backend can absorb them — the paper's overlap win.
     let sink = Arc::new(MemSinkBackend::new());
-    let slow =
-        Arc::new(ThrottledBackend::new(sink.clone(), 4.0 * 1024.0 * 1024.0, Duration::ZERO));
+    let slow = Arc::new(ThrottledBackend::new(
+        sink.clone(),
+        4.0 * 1024.0 * 1024.0,
+        Duration::ZERO,
+    ));
     let (server, hub) = start(
-        ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 16 << 20 },
+        ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 16 << 20,
+        },
         slow,
     );
     let mut c = Client::connect(Box::new(hub.connect()));
-    let fd = c.open("/ov", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+    let fd = c
+        .open("/ov", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+        .unwrap();
     let chunk = vec![7u8; 1 << 20];
     let t0 = Instant::now();
     for _ in 0..4 {
@@ -221,7 +304,10 @@ fn staging_overlaps_slow_backend() {
     );
     c.close(fd).unwrap(); // barrier: waits for drain
     let total = t0.elapsed();
-    assert!(total >= Duration::from_millis(800), "close must barrier ({total:?})");
+    assert!(
+        total >= Duration::from_millis(800),
+        "close must barrier ({total:?})"
+    );
     c.shutdown().unwrap();
     server.shutdown();
     assert_eq!(sink.contents("/ov").unwrap().len(), 4 << 20);
@@ -238,7 +324,9 @@ fn many_concurrent_clients_all_modes() {
             joins.push(std::thread::spawn(move || {
                 let mut c = Client::with_id(Box::new(conn), k);
                 let path = format!("/client-{k}");
-                let fd = c.open(&path, OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+                let fd = c
+                    .open(&path, OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+                    .unwrap();
                 for i in 0..20u32 {
                     let data = vec![(k as u8).wrapping_add(i as u8); 4096];
                     c.write(fd, &data).unwrap();
@@ -292,10 +380,17 @@ fn null_backend_microbenchmark_path() {
 #[test]
 fn metadata_ops_work_in_staged_mode() {
     let backend = Arc::new(MemSinkBackend::new());
-    let (server, hub) =
-        start(ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 1 << 20 }, backend);
+    let (server, hub) = start(
+        ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 1 << 20,
+        },
+        backend,
+    );
     let mut c = Client::connect(Box::new(hub.connect()));
-    let fd = c.open("/meta", OpenFlags::RDWR | OpenFlags::CREATE, 0o644).unwrap();
+    let fd = c
+        .open("/meta", OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+        .unwrap();
     c.write(fd, b"0123456789").unwrap();
     // lseek and reads barrier behind the staged write.
     assert_eq!(c.lseek(fd, 2, Whence::Set).unwrap(), 2);
@@ -304,7 +399,10 @@ fn metadata_ops_work_in_staged_mode() {
     assert_eq!(st.size, 10);
     assert_eq!(c.stat("/meta").unwrap().size, 10);
     c.unlink("/meta").unwrap();
-    assert!(matches!(c.stat("/meta"), Err(ClientError::Remote(Errno::NoEnt))));
+    assert!(matches!(
+        c.stat("/meta"),
+        Err(ClientError::Remote(Errno::NoEnt))
+    ));
     c.close(fd).unwrap();
     c.shutdown().unwrap();
     server.shutdown();
@@ -321,7 +419,9 @@ fn per_worker_queue_discipline_works() {
             .with_queue_discipline(QueueDiscipline::PerWorker),
     );
     let mut c = Client::connect(Box::new(hub.connect()));
-    let fd = c.open("/pw", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+    let fd = c
+        .open("/pw", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+        .unwrap();
     for i in 0..30u8 {
         c.write(fd, &[i; 512]).unwrap();
     }
@@ -339,10 +439,15 @@ fn tcp_transport_end_to_end() {
     let server = IonServer::spawn(
         Box::new(acceptor),
         backend.clone(),
-        ServerConfig::new(ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 8 << 20 }),
+        ServerConfig::new(ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 8 << 20,
+        }),
     );
     let mut c = Client::connect(Box::new(TcpConn::connect(addr).unwrap()));
-    let fd = c.open("/tcp", OpenFlags::RDWR | OpenFlags::CREATE, 0o644).unwrap();
+    let fd = c
+        .open("/tcp", OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+        .unwrap();
     let payload = vec![42u8; 2 << 20];
     c.write(fd, &payload).unwrap();
     c.fsync(fd).unwrap();
@@ -358,7 +463,9 @@ fn server_stats_accumulate() {
     let backend = Arc::new(MemSinkBackend::new());
     let (server, hub) = start(ForwardingMode::Zoid, backend);
     let mut c = Client::connect(Box::new(hub.connect()));
-    let fd = c.open("/st", OpenFlags::RDWR | OpenFlags::CREATE, 0o644).unwrap();
+    let fd = c
+        .open("/st", OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+        .unwrap();
     c.write(fd, &[1u8; 1000]).unwrap();
     c.pread(fd, 0, 1000).unwrap();
     c.close(fd).unwrap();
@@ -394,11 +501,16 @@ fn insitu_statistics_filter_observes_stream() {
     let server = IonServer::spawn(
         Box::new(hub.listener()),
         backend.clone(),
-        ServerConfig::new(ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 4 << 20 })
-            .with_filter(FilterChain::new().with(stats.clone())),
+        ServerConfig::new(ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 4 << 20,
+        })
+        .with_filter(FilterChain::new().with(stats.clone())),
     );
     let mut c = Client::connect(Box::new(hub.connect()));
-    let fd = c.open("/field", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+    let fd = c
+        .open("/field", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+        .unwrap();
     let samples: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
     let mut raw = Vec::new();
     for v in &samples {
@@ -426,13 +538,18 @@ fn insitu_subsample_filter_reduces_stored_bytes() {
     let server = IonServer::spawn(
         Box::new(hub.listener()),
         backend.clone(),
-        ServerConfig::new(ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 4 << 20 })
-            .with_filter(FilterChain::new().with(sub.clone())),
+        ServerConfig::new(ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 4 << 20,
+        })
+        .with_filter(FilterChain::new().with(sub.clone())),
     );
     let mut c = Client::connect(Box::new(hub.connect()));
-    let fd = c.open("/reduced", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+    let fd = c
+        .open("/reduced", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+        .unwrap();
     let raw = vec![1u8; 8 * 1024]; // 1024 f64 samples
-    // The application sees its full write acknowledged...
+                                   // The application sees its full write acknowledged...
     assert_eq!(c.write(fd, &raw).unwrap(), raw.len() as u64);
     c.close(fd).unwrap();
     c.shutdown().unwrap();
@@ -460,7 +577,9 @@ fn insitu_sink_filter_consumes_scratch_writes_in_all_modes() {
         let scratch = c
             .open("/scratch/tmp", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
             .unwrap();
-        let keep = c.open("/keep", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+        let keep = c
+            .open("/keep", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+            .unwrap();
         c.write(scratch, &[0u8; 4096]).unwrap();
         c.write(keep, &[1u8; 4096]).unwrap();
         c.close(scratch).unwrap();
@@ -468,8 +587,18 @@ fn insitu_sink_filter_consumes_scratch_writes_in_all_modes() {
         c.shutdown().unwrap();
         server.shutdown();
         assert_eq!(sink.consumed_bytes(), 4096, "mode {}", mode.name());
-        assert_eq!(backend.contents("/scratch/tmp").unwrap(), b"", "mode {}", mode.name());
-        assert_eq!(backend.contents("/keep").unwrap().len(), 4096, "mode {}", mode.name());
+        assert_eq!(
+            backend.contents("/scratch/tmp").unwrap(),
+            b"",
+            "mode {}",
+            mode.name()
+        );
+        assert_eq!(
+            backend.contents("/keep").unwrap().len(),
+            4096,
+            "mode {}",
+            mode.name()
+        );
     }
 }
 
@@ -482,7 +611,9 @@ fn vanished_client_descriptors_are_reclaimed() {
         let (server, hub) = start(mode, backend.clone());
         {
             let mut c = Client::connect(Box::new(hub.connect()));
-            let fd = c.open("/orphan", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+            let fd = c
+                .open("/orphan", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+                .unwrap();
             c.write(fd, &[5u8; 8192]).unwrap();
             // Drop the client without close() or shutdown(): the
             // connection just vanishes.
@@ -494,19 +625,32 @@ fn vanished_client_descriptors_are_reclaimed() {
         }
         assert_eq!(server.open_descriptors(), 0, "mode {}", mode.name());
         server.shutdown();
-        assert_eq!(backend.contents("/orphan").unwrap().len(), 8192, "mode {}", mode.name());
+        assert_eq!(
+            backend.contents("/orphan").unwrap().len(),
+            8192,
+            "mode {}",
+            mode.name()
+        );
     }
 }
 
 #[test]
 fn oversized_writes_are_chunked_transparently() {
-    for mode in [ForwardingMode::Zoid, ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 8 << 20 }] {
+    for mode in [
+        ForwardingMode::Zoid,
+        ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 8 << 20,
+        },
+    ] {
         let backend = Arc::new(MemSinkBackend::new());
         let (server, hub) = start(mode, backend.clone());
         let mut c = Client::connect(Box::new(hub.connect()));
         // Force tiny frames so a modest write must split.
         c.set_max_chunk(64 * 1024);
-        let fd = c.open("/big", OpenFlags::RDWR | OpenFlags::CREATE, 0o644).unwrap();
+        let fd = c
+            .open("/big", OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+            .unwrap();
         let payload: Vec<u8> = (0..1_000_000u32).map(|i| (i % 239) as u8).collect();
         assert_eq!(c.write(fd, &payload).unwrap(), payload.len() as u64);
         c.fsync(fd).unwrap();
@@ -515,11 +659,21 @@ fn oversized_writes_are_chunked_transparently() {
         c.fsync(fd).unwrap();
         let mut expect = payload.clone();
         expect[500_000..800_000].copy_from_slice(&payload[..300_000]);
-        assert_eq!(c.pread(fd, 0, expect.len() as u64).unwrap(), expect, "mode {}", mode.name());
+        assert_eq!(
+            c.pread(fd, 0, expect.len() as u64).unwrap(),
+            expect,
+            "mode {}",
+            mode.name()
+        );
         c.close(fd).unwrap();
         c.shutdown().unwrap();
         server.shutdown();
-        assert_eq!(backend.contents("/big").unwrap(), expect, "mode {}", mode.name());
+        assert_eq!(
+            backend.contents("/big").unwrap(),
+            expect,
+            "mode {}",
+            mode.name()
+        );
     }
 }
 
@@ -532,17 +686,29 @@ fn namespace_ops_work_end_to_end() {
         let mut c = Client::connect(Box::new(hub.connect()));
         c.mkdir("/proj", 0o755).unwrap();
         c.mkdir("/proj/run1", 0o755).unwrap();
-        assert!(matches!(c.mkdir("/proj", 0o755), Err(ClientError::Remote(Errno::Exist))));
+        assert!(matches!(
+            c.mkdir("/proj", 0o755),
+            Err(ClientError::Remote(Errno::Exist))
+        ));
         for name in ["a.dat", "b.dat"] {
             let fd = c
-                .open(&format!("/proj/{name}"), OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+                .open(
+                    &format!("/proj/{name}"),
+                    OpenFlags::WRONLY | OpenFlags::CREATE,
+                    0o644,
+                )
                 .unwrap();
             c.write(fd, &[9u8; 1000]).unwrap();
             c.close(fd).unwrap();
         }
         let mut entries = c.readdir("/proj").unwrap();
         entries.sort();
-        assert_eq!(entries, vec!["a.dat", "b.dat", "run1"], "mode {}", mode.name());
+        assert_eq!(
+            entries,
+            vec!["a.dat", "b.dat", "run1"],
+            "mode {}",
+            mode.name()
+        );
         // ftruncate shrinks and zero-extends, ordered after staged writes.
         let fd = c.open("/proj/a.dat", OpenFlags::RDWR, 0).unwrap();
         c.write(fd, &[7u8; 500]).unwrap();
@@ -565,7 +731,9 @@ fn readdir_missing_and_root() {
     let mut c = Client::connect(Box::new(hub.connect()));
     // Root of an empty store lists nothing.
     assert!(c.readdir("/").unwrap().is_empty());
-    let fd = c.open("/top.dat", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+    let fd = c
+        .open("/top.dat", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+        .unwrap();
     c.close(fd).unwrap();
     assert_eq!(c.readdir("/").unwrap(), vec!["top.dat"]);
     c.shutdown().unwrap();

@@ -50,7 +50,11 @@ impl MadbenchParams {
 
     /// The paper's 256-node weak-scaled run: NPIX = 8192, 512 GiB total.
     pub fn paper_256() -> Self {
-        MadbenchParams { npix: 8192, nproc: 256, ..Self::paper_64() }
+        MadbenchParams {
+            npix: 8192,
+            nproc: 256,
+            ..Self::paper_64()
+        }
     }
 
     /// Shrink the number of matrices (for simulation/testing time) while
@@ -151,7 +155,11 @@ mod tests {
 
     #[test]
     fn slice_alignment_rounds_up() {
-        let p = MadbenchParams { npix: 100, nproc: 3, ..MadbenchParams::paper_64() };
+        let p = MadbenchParams {
+            npix: 100,
+            nproc: 3,
+            ..MadbenchParams::paper_64()
+        };
         // 100²·8/3 = 26667 -> aligned to 28672.
         assert_eq!(p.slice_bytes() % 4096, 0);
         assert!(p.slice_bytes() >= 100 * 100 * 8 / 3);
@@ -159,7 +167,11 @@ mod tests {
 
     #[test]
     fn rmod_wmod_gate_ranks() {
-        let p = MadbenchParams { rmod: 2, wmod: 3, ..MadbenchParams::paper_64() };
+        let p = MadbenchParams {
+            rmod: 2,
+            wmod: 3,
+            ..MadbenchParams::paper_64()
+        };
         assert!(p.reads(0) && !p.reads(1) && p.reads(2));
         assert!(p.writes(0) && !p.writes(1) && p.writes(3));
     }

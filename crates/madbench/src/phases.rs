@@ -62,20 +62,40 @@ pub fn phase_ops(p: &MadbenchParams, phase: Phase, rank: u64) -> Vec<MbOp> {
         match phase {
             Phase::S => {
                 if p.writes(rank) {
-                    ops.push(MbOp { kind: MbOpKind::Write, bin, offset: offset_of(bin), bytes: slice });
+                    ops.push(MbOp {
+                        kind: MbOpKind::Write,
+                        bin,
+                        offset: offset_of(bin),
+                        bytes: slice,
+                    });
                 }
             }
             Phase::W => {
                 if p.reads(rank) {
-                    ops.push(MbOp { kind: MbOpKind::Read, bin, offset: offset_of(bin), bytes: slice });
+                    ops.push(MbOp {
+                        kind: MbOpKind::Read,
+                        bin,
+                        offset: offset_of(bin),
+                        bytes: slice,
+                    });
                 }
                 if p.writes(rank) {
-                    ops.push(MbOp { kind: MbOpKind::Write, bin, offset: offset_of(bin), bytes: slice });
+                    ops.push(MbOp {
+                        kind: MbOpKind::Write,
+                        bin,
+                        offset: offset_of(bin),
+                        bytes: slice,
+                    });
                 }
             }
             Phase::C => {
                 if p.reads(rank) {
-                    ops.push(MbOp { kind: MbOpKind::Read, bin, offset: offset_of(bin), bytes: slice });
+                    ops.push(MbOp {
+                        kind: MbOpKind::Read,
+                        bin,
+                        offset: offset_of(bin),
+                        bytes: slice,
+                    });
                 }
             }
         }
@@ -123,7 +143,10 @@ mod tests {
         let p = MadbenchParams::paper_64().with_nbin(3);
         let ops = phase_ops(&p, Phase::S, 5);
         let s = p.slice_bytes();
-        assert_eq!(ops.iter().map(|o| o.offset).collect::<Vec<_>>(), vec![0, s, 2 * s]);
+        assert_eq!(
+            ops.iter().map(|o| o.offset).collect::<Vec<_>>(),
+            vec![0, s, 2 * s]
+        );
     }
 
     #[test]
@@ -131,7 +154,9 @@ mod tests {
         let mut p = MadbenchParams::paper_64().with_nbin(2);
         p.rmod = 2;
         // Rank 1 doesn't read: W phase has only writes, C phase empty.
-        assert!(phase_ops(&p, Phase::W, 1).iter().all(|o| o.kind == MbOpKind::Write));
+        assert!(phase_ops(&p, Phase::W, 1)
+            .iter()
+            .all(|o| o.kind == MbOpKind::Write));
         assert!(phase_ops(&p, Phase::C, 1).is_empty());
         // Rank 0 reads normally.
         assert_eq!(phase_ops(&p, Phase::C, 0).len(), 2);

@@ -53,19 +53,21 @@ pub fn run(
                 scope.spawn(move || run_rank(&p, &phases, rank, conn))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect::<Vec<_>>()
     });
     let bytes_moved = totals.iter().map(|(b, _)| b).sum();
     let ops = totals.iter().map(|(_, o)| o).sum();
-    RunReport { elapsed: start.elapsed(), bytes_moved, ops }
+    RunReport {
+        elapsed: start.elapsed(),
+        bytes_moved,
+        ops,
+    }
 }
 
-fn run_rank(
-    p: &MadbenchParams,
-    phases: &[Phase],
-    rank: u64,
-    conn: Box<dyn Conn>,
-) -> (u64, u64) {
+fn run_rank(p: &MadbenchParams, phases: &[Phase], rank: u64, conn: Box<dyn Conn>) -> (u64, u64) {
     let mut client = Client::with_id(conn, rank as u32);
     let path = if p.shared_file {
         "/madbench/shared.dat".to_owned()
@@ -128,8 +130,11 @@ mod tests {
     fn run_mode(mode: ForwardingMode) -> (RunReport, Arc<MemSinkBackend>) {
         let hub = MemHub::new();
         let backend = Arc::new(MemSinkBackend::new());
-        let server =
-            IonServer::spawn(Box::new(hub.listener()), backend.clone(), ServerConfig::new(mode));
+        let server = IonServer::spawn(
+            Box::new(hub.listener()),
+            backend.clone(),
+            ServerConfig::new(mode),
+        );
         let p = tiny_params();
         let report = run(&p, &Phase::ALL, |_| Box::new(hub.connect()));
         server.shutdown();
@@ -163,7 +168,9 @@ mod tests {
         let slice = p.slice_bytes() as usize;
         for bin in 0..p.nbin as usize {
             let expect = (bin as u8) ^ 1u8;
-            assert!(f[bin * slice..(bin + 1) * slice].iter().all(|&b| b == expect));
+            assert!(f[bin * slice..(bin + 1) * slice]
+                .iter()
+                .all(|&b| b == expect));
         }
     }
 

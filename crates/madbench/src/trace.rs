@@ -21,7 +21,10 @@ pub fn proc_trace(p: &MadbenchParams, phases: &[Phase], rank: u64) -> Vec<MbStep
             // S computes before writing; W computes between read and
             // write; C accumulates after reads. Modeling think time
             // uniformly *before* each op preserves the totals.
-            steps.push(MbStep { think_seconds: think, op });
+            steps.push(MbStep {
+                think_seconds: think,
+                op,
+            });
         }
     }
     steps
@@ -40,15 +43,18 @@ mod tests {
     #[test]
     fn full_run_matches_total_bytes() {
         let p = MadbenchParams::paper_64().with_nbin(8);
-        let total: u64 =
-            (0..p.nproc).map(|r| trace_bytes(&proc_trace(&p, &Phase::ALL, r))).sum();
+        let total: u64 = (0..p.nproc)
+            .map(|r| trace_bytes(&proc_trace(&p, &Phase::ALL, r)))
+            .sum();
         assert_eq!(total, p.total_bytes());
     }
 
     #[test]
     fn io_mode_has_zero_think() {
         let p = MadbenchParams::paper_64().with_nbin(2);
-        assert!(proc_trace(&p, &Phase::ALL, 0).iter().all(|s| s.think_seconds == 0.0));
+        assert!(proc_trace(&p, &Phase::ALL, 0)
+            .iter()
+            .all(|s| s.think_seconds == 0.0));
     }
 
     #[test]
@@ -59,7 +65,12 @@ mod tests {
         let kinds: Vec<_> = t.iter().map(|s| s.op.kind).collect();
         assert_eq!(
             kinds,
-            vec![MbOpKind::Write, MbOpKind::Read, MbOpKind::Write, MbOpKind::Read]
+            vec![
+                MbOpKind::Write,
+                MbOpKind::Read,
+                MbOpKind::Write,
+                MbOpKind::Read
+            ]
         );
     }
 

@@ -141,7 +141,10 @@ impl Sim {
 
     /// A cheap, clonable handle for use inside actors.
     pub fn handle(&self) -> SimHandle {
-        SimHandle { core: self.core.clone(), ready: self.ready.clone() }
+        SimHandle {
+            core: self.core.clone(),
+            ready: self.ready.clone(),
+        }
     }
 
     /// Current virtual time.
@@ -213,7 +216,10 @@ impl Sim {
             }
         }
         let core = self.core.borrow();
-        Quiesce { at: core.now, parked_tasks: core.live_tasks }
+        Quiesce {
+            at: core.now,
+            parked_tasks: core.live_tasks,
+        }
     }
 
     /// Run, then assert every actor finished. Panics (with a diagnostic)
@@ -242,7 +248,10 @@ impl Sim {
                 }
             };
             let Some(mut fut) = fut else { continue }; // finished or spurious
-            let waker = Waker::from(Arc::new(TaskWaker { id, ready: self.ready.clone() }));
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                ready: self.ready.clone(),
+            }));
             let mut cx = Context::from_waker(&waker);
             match fut.as_mut().poll(&mut cx) {
                 Poll::Ready(()) => {
@@ -312,12 +321,19 @@ impl SimHandle {
 
     /// Park the actor until the given instant (no-op if already past).
     pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
-        Sleep { handle: self.clone(), deadline, cell: None }
+        Sleep {
+            handle: self.clone(),
+            deadline,
+            cell: None,
+        }
     }
 
     /// Create a fluid resource with a fixed capacity (units/second).
     pub fn resource(&self, name: &str, capacity: f64) -> ResourceId {
-        self.core.borrow_mut().fluid.add_resource(name, capacity, None)
+        self.core
+            .borrow_mut()
+            .fluid
+            .add_resource(name, capacity, None)
     }
 
     /// Create a fluid resource whose effective capacity is
@@ -329,7 +345,10 @@ impl SimHandle {
         capacity: f64,
         scale: impl Fn(usize) -> f64 + 'static,
     ) -> ResourceId {
-        self.core.borrow_mut().fluid.add_resource(name, capacity, Some(Box::new(scale)))
+        self.core
+            .borrow_mut()
+            .fluid
+            .add_resource(name, capacity, Some(Box::new(scale)))
     }
 
     /// Change a resource's base capacity (takes effect at the current time).
@@ -342,7 +361,11 @@ impl SimHandle {
     /// Start a fluid transfer and await its completion. The flow contends
     /// with every other active flow on the resources named in `spec`.
     pub fn transfer(&self, spec: FlowSpec) -> Transfer {
-        Transfer { handle: self.clone(), spec: Some(spec), flow: None }
+        Transfer {
+            handle: self.clone(),
+            spec: Some(spec),
+            flow: None,
+        }
     }
 
     /// Time-weighted utilization (0..=1) of a resource since simulation
@@ -388,7 +411,11 @@ impl Future for Sleep {
             waker: RefCell::new(cx.waker().clone()),
         });
         let seq = core.next_seq();
-        core.timers.push(Reverse(TimerEntry { at: self.deadline, seq, cell: cell.clone() }));
+        core.timers.push(Reverse(TimerEntry {
+            at: self.deadline,
+            seq,
+            cell: cell.clone(),
+        }));
         drop(core);
         self.cell = Some(cell);
         Poll::Pending
@@ -559,7 +586,8 @@ mod tests {
                 let log = log.clone();
                 sim.spawn(async move {
                     for k in 0..4u64 {
-                        h.sleep(Duration::from_micros((i as u64 * 7 + k * 13) % 17 + 1)).await;
+                        h.sleep(Duration::from_micros((i as u64 * 7 + k * 13) % 17 + 1))
+                            .await;
                         log.borrow_mut().push((i, h.now().as_nanos()));
                     }
                 });

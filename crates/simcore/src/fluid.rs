@@ -70,7 +70,11 @@ impl FlowSpec {
     /// A transfer of `work` units (typically bytes).
     pub fn new(work: f64) -> Self {
         assert!(work.is_finite() && work >= 0.0, "invalid work: {work}");
-        FlowSpec { work, usage: Vec::new(), rate_cap: f64::INFINITY }
+        FlowSpec {
+            work,
+            usage: Vec::new(),
+            rate_cap: f64::INFINITY,
+        }
     }
 
     /// The flow consumes `per_unit` units of `r` per unit of work.
@@ -159,7 +163,10 @@ impl System {
         capacity: f64,
         scale: Option<Box<dyn Fn(usize) -> f64>>,
     ) -> ResourceId {
-        assert!(capacity.is_finite() && capacity >= 0.0, "invalid capacity: {capacity}");
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "invalid capacity: {capacity}"
+        );
         self.resources.push(Resource {
             name: name.to_owned(),
             capacity,
@@ -187,8 +194,7 @@ impl System {
         cell: std::rc::Rc<FlowCell>,
     ) -> FlowId {
         self.catch_up(now);
-        let degenerate =
-            spec.work <= 0.0 || (spec.usage.is_empty() && spec.rate_cap.is_infinite());
+        let degenerate = spec.work <= 0.0 || (spec.usage.is_empty() && spec.rate_cap.is_infinite());
         if degenerate {
             cell.complete();
             return FlowId(u64::MAX);
@@ -318,8 +324,7 @@ impl System {
         let n = ids.len();
         let mut rate = vec![0.0f64; n];
         let mut frozen = vec![false; n];
-        let usage: Vec<&Vec<(usize, f64)>> =
-            ids.iter().map(|id| &self.flows[id].usage).collect();
+        let usage: Vec<&Vec<(usize, f64)>> = ids.iter().map(|id| &self.flows[id].usage).collect();
         let caps: Vec<f64> = ids.iter().map(|id| self.flows[id].cap).collect();
 
         // Flows touching a zero-capacity resource can never run.
@@ -417,8 +422,7 @@ mod tests {
         let _ = specs;
         let sim = Sim::new();
         let specs = setup(&sim);
-        let results: Rc<Vec<Cell<u64>>> =
-            Rc::new((0..specs.len()).map(|_| Cell::new(0)).collect());
+        let results: Rc<Vec<Cell<u64>>> = Rc::new((0..specs.len()).map(|_| Cell::new(0)).collect());
         let mut sim = sim;
         for (i, spec) in specs.into_iter().enumerate() {
             let h = sim.handle();
@@ -658,7 +662,9 @@ mod tests {
         // 10 equal flows on one link finish simultaneously.
         let t = finish_time_of(vec![], |sim| {
             let link = sim.resource("link", 1000.0);
-            (0..10).map(|_| FlowSpec::new(100.0).using(link, 1.0)).collect()
+            (0..10)
+                .map(|_| FlowSpec::new(100.0).using(link, 1.0))
+                .collect()
         });
         for &ti in &t {
             assert_eq!(ti, 1_000_000_000);

@@ -35,14 +35,18 @@ impl SimRng {
     pub fn new(seed: u64) -> Self {
         // Mix the raw seed once so that adjacent small seeds (0, 1, 2, ...)
         // give uncorrelated streams.
-        SimRng { state: mix64(seed ^ GOLDEN_GAMMA) }
+        SimRng {
+            state: mix64(seed ^ GOLDEN_GAMMA),
+        }
     }
 
     /// Derive an independent child generator. The parent's stream advances
     /// by one step; the child starts from a mixed snapshot.
     pub fn split(&mut self) -> SimRng {
         let s = self.next_u64();
-        SimRng { state: mix64(s.wrapping_add(GOLDEN_GAMMA)) }
+        SimRng {
+            state: mix64(s.wrapping_add(GOLDEN_GAMMA)),
+        }
     }
 
     /// Next raw 64 random bits.

@@ -39,7 +39,14 @@ pub struct Tally {
 
 impl Tally {
     pub fn new() -> Self {
-        Tally { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+        Tally {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
     }
 
     pub fn record(&mut self, x: f64) {
@@ -135,7 +142,13 @@ pub struct TimeWeighted {
 
 impl TimeWeighted {
     pub fn new(start: SimTime, initial: f64) -> Self {
-        TimeWeighted { start, last_t: start, last_v: initial, integral: 0.0, peak: initial }
+        TimeWeighted {
+            start,
+            last_t: start,
+            last_v: initial,
+            integral: 0.0,
+            peak: initial,
+        }
     }
 
     /// Record that the value changed to `v` at time `t`.
@@ -193,7 +206,11 @@ impl Default for LogHistogram {
 
 impl LogHistogram {
     pub fn new() -> Self {
-        LogHistogram { buckets: vec![0; 64], count: 0, sum: 0.0 }
+        LogHistogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum: 0.0,
+        }
     }
 
     pub fn record(&mut self, value: u64) {
@@ -256,7 +273,12 @@ impl Default for ThroughputMeter {
 
 impl ThroughputMeter {
     pub fn new() -> Self {
-        ThroughputMeter { started: None, stopped: None, bytes: 0, ops: 0 }
+        ThroughputMeter {
+            started: None,
+            stopped: None,
+            bytes: 0,
+            ops: 0,
+        }
     }
 
     pub fn start(&mut self, t: SimTime) {
@@ -306,7 +328,10 @@ pub struct Series {
 
 impl Series {
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     pub fn push(&mut self, x: f64, y: f64) {
@@ -314,11 +339,16 @@ impl Series {
     }
 
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points.iter().find(|(px, _)| (*px - x).abs() < 1e-9).map(|&(_, y)| y)
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
     }
 
     pub fn max_y(&self) -> f64 {
-        self.points.iter().fold(f64::NEG_INFINITY, |m, &(_, y)| m.max(y))
+        self.points
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &(_, y)| m.max(y))
     }
 }
 
@@ -363,7 +393,11 @@ impl fmt::Display for Figure {
             write!(f, "  {:>22}", s.label)?;
         }
         writeln!(f)?;
-        let xs: Vec<f64> = self.series.first().map(|s| s.points.iter().map(|p| p.0).collect()).unwrap_or_default();
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
         for (i, x) in xs.iter().enumerate() {
             write!(f, "{:>14}", format_x(*x))?;
             for s in &self.series {

@@ -75,7 +75,12 @@ pub fn oneshot<T>() -> (OneshotTx<T>, OneshotRx<T>) {
         closed: Cell::new(false),
         waker: RefCell::new(None),
     });
-    (OneshotTx { inner: inner.clone() }, OneshotRx { inner })
+    (
+        OneshotTx {
+            inner: inner.clone(),
+        },
+        OneshotRx { inner },
+    )
 }
 
 impl<T> OneshotTx<T> {
@@ -137,7 +142,9 @@ pub struct Queue<T> {
 
 impl<T> Clone for Queue<T> {
     fn clone(&self) -> Self {
-        Queue { inner: self.inner.clone() }
+        Queue {
+            inner: self.inner.clone(),
+        }
     }
 }
 
@@ -209,13 +216,20 @@ impl<T> Queue<T> {
 
     /// Push, waiting for space on a bounded queue.
     pub fn push(&self, item: T) -> Push<'_, T> {
-        Push { queue: self, item: Some(item), cell: None }
+        Push {
+            queue: self,
+            item: Some(item),
+            cell: None,
+        }
     }
 
     /// Pop the next item, waiting if empty. Resolves to `None` once the
     /// queue is closed and drained.
     pub fn pop(&self) -> Pop<T> {
-        Pop { queue: self.clone(), cell: None }
+        Pop {
+            queue: self.clone(),
+            cell: None,
+        }
     }
 
     /// Pop up to `max` items without waiting (the worker-thread
@@ -266,7 +280,8 @@ impl<T> Future for Push<'_, T> {
         assert!(!q.closed, "push on closed queue");
         let has_space = q.capacity.is_none_or(|cap| q.items.len() < cap);
         if has_space {
-            q.items.push_back(this.item.take().expect("Push polled after completion"));
+            q.items
+                .push_back(this.item.take().expect("Push polled after completion"));
             let depth = q.items.len();
             q.max_depth = q.max_depth.max(depth);
             if let Some(w) = q.pop_waiters.pop_front() {
@@ -399,7 +414,11 @@ impl Semaphore {
 
     /// Acquire `amount` units, waiting FIFO if necessary.
     pub fn acquire(&self, amount: u64) -> Acquire {
-        Acquire { sem: self.clone(), amount, waiter: None }
+        Acquire {
+            sem: self.clone(),
+            amount,
+            waiter: None,
+        }
     }
 
     /// Acquire without waiting.
@@ -513,8 +532,7 @@ impl Drop for Acquire {
 /// Drive a set of futures concurrently to completion (a worker thread's
 /// poll-based event loop over several in-flight I/O operations).
 pub async fn join_all<F: Future<Output = ()>>(futs: Vec<F>) {
-    let mut futs: Vec<Option<Pin<Box<F>>>> =
-        futs.into_iter().map(|f| Some(Box::pin(f))).collect();
+    let mut futs: Vec<Option<Pin<Box<F>>>> = futs.into_iter().map(|f| Some(Box::pin(f))).collect();
     std::future::poll_fn(move |cx| {
         let mut all_done = true;
         for slot in futs.iter_mut() {
@@ -557,7 +575,12 @@ impl Default for WaitGroup {
 
 impl WaitGroup {
     pub fn new() -> Self {
-        WaitGroup { inner: Rc::new(RefCell::new(WgInner { count: 0, waiters: Vec::new() })) }
+        WaitGroup {
+            inner: Rc::new(RefCell::new(WgInner {
+                count: 0,
+                waiters: Vec::new(),
+            })),
+        }
     }
 
     pub fn add(&self, n: usize) {
@@ -581,7 +604,10 @@ impl WaitGroup {
 
     /// Resolves when the count reaches zero (immediately if already zero).
     pub fn wait(&self) -> WgWait {
-        WgWait { wg: self.clone(), cell: None }
+        WgWait {
+            wg: self.clone(),
+            cell: None,
+        }
     }
 }
 
@@ -667,7 +693,8 @@ mod tests {
             let out = out.clone();
             sim.spawn(async move {
                 for _ in 0..3 {
-                    out.borrow_mut().push(q.pop().await.unwrap());
+                    let v = q.pop().await.unwrap();
+                    out.borrow_mut().push(v);
                 }
             });
         }
@@ -912,8 +939,10 @@ mod tests {
         let ok = Rc::new(Cell::new(false));
         let ok2 = ok.clone();
         sim.spawn(async move {
-            super::join_all(Vec::<std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>>::new())
-                .await;
+            super::join_all(Vec::<
+                std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>,
+            >::new())
+            .await;
             ok2.set(true);
         });
         sim.run_to_completion();

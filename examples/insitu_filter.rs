@@ -35,18 +35,29 @@ fn main() {
     let server = IonServer::spawn(
         Box::new(hub.listener()),
         backend.clone(),
-        ServerConfig::new(ForwardingMode::AsyncStaged { workers: 4, bml_capacity: 64 << 20 })
-            .with_filter(chain),
+        ServerConfig::new(ForwardingMode::AsyncStaged {
+            workers: 4,
+            bml_capacity: 64 << 20,
+        })
+        .with_filter(chain),
     );
 
     // The "simulation": writes 4 timesteps of a 256k-sample field, plus
     // some scratch output it never needs back.
     let mut cn = Client::connect(Box::new(hub.connect()));
     let field_fd = cn
-        .open("/results/field.dat", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+        .open(
+            "/results/field.dat",
+            OpenFlags::WRONLY | OpenFlags::CREATE,
+            0o644,
+        )
         .unwrap();
     let scratch_fd = cn
-        .open("/scratch/debug.dat", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+        .open(
+            "/scratch/debug.dat",
+            OpenFlags::WRONLY | OpenFlags::CREATE,
+            0o644,
+        )
         .unwrap();
 
     let samples_per_step = 256 * 1024;
@@ -58,7 +69,10 @@ fn main() {
         }
         cn.write(field_fd, &buf).unwrap();
         cn.write(scratch_fd, &vec![0u8; 1 << 20]).unwrap();
-        println!("timestep {step}: wrote {} MiB field + 1 MiB scratch", buf.len() >> 20);
+        println!(
+            "timestep {step}: wrote {} MiB field + 1 MiB scratch",
+            buf.len() >> 20
+        );
     }
     cn.close(field_fd).unwrap();
     cn.close(scratch_fd).unwrap();
@@ -77,9 +91,18 @@ fn main() {
     println!("\ndata reduction:");
     println!("  application wrote   {:>8} KiB", app_bytes >> 10);
     println!("  reached storage     {:>8} KiB", stored >> 10);
-    println!("  subsample removed   {:>8} KiB", subsample.reduced_bytes() >> 10);
-    println!("  scratch consumed    {:>8} KiB", scratch_sink.consumed_bytes() >> 10);
-    println!("  daemon filtered out {:>8} KiB", server_stats.bytes_filtered_out >> 10);
+    println!(
+        "  subsample removed   {:>8} KiB",
+        subsample.reduced_bytes() >> 10
+    );
+    println!(
+        "  scratch consumed    {:>8} KiB",
+        scratch_sink.consumed_bytes() >> 10
+    );
+    println!(
+        "  daemon filtered out {:>8} KiB",
+        server_stats.bytes_filtered_out >> 10
+    );
     server.shutdown();
 
     assert_eq!(stored, 4 * samples_per_step as u64); // 8 bytes per sample / 8x reduction

@@ -21,7 +21,12 @@ fn main() {
 
     // Workstation-scale MADbench2: same phase structure and per-op
     // geometry as the paper's runs, smaller matrices.
-    let p = MadbenchParams { npix: 512, nproc, ..MadbenchParams::paper_64() }.with_nbin(nbin);
+    let p = MadbenchParams {
+        npix: 512,
+        nproc,
+        ..MadbenchParams::paper_64()
+    }
+    .with_nbin(nbin);
     p.validate().expect("params");
     println!(
         "MADbench2 (I/O mode): NPIX={}, NBIN={}, {} processes, {} KiB/op, \
@@ -33,12 +38,18 @@ fn main() {
         p.total_bytes() >> 20
     );
 
-    println!("{:>14} {:>12} {:>10} {:>8}", "mode", "MiB/s", "elapsed", "ops");
+    println!(
+        "{:>14} {:>12} {:>10} {:>8}",
+        "mode", "MiB/s", "elapsed", "ops"
+    );
     for mode in [
         ForwardingMode::Ciod,
         ForwardingMode::Zoid,
         ForwardingMode::Sched { workers: 4 },
-        ForwardingMode::AsyncStaged { workers: 4, bml_capacity: 128 << 20 },
+        ForwardingMode::AsyncStaged {
+            workers: 4,
+            bml_capacity: 128 << 20,
+        },
     ] {
         let hub = MemHub::new();
         // A throttled backend stands in for a storage system the daemon
@@ -48,8 +59,7 @@ fn main() {
             256.0 * 1024.0 * 1024.0, // 256 MiB/s "GPFS"
             Duration::from_micros(50),
         ));
-        let server =
-            IonServer::spawn(Box::new(hub.listener()), backend, ServerConfig::new(mode));
+        let server = IonServer::spawn(Box::new(hub.listener()), backend, ServerConfig::new(mode));
         let report = madbench::runner::run(&p, &Phase::ALL, |_| Box::new(hub.connect()));
         server.shutdown();
         println!(

@@ -28,13 +28,20 @@ fn main() {
     let server = IonServer::spawn(
         Box::new(hub.listener()),
         backend.clone(),
-        ServerConfig::new(ForwardingMode::AsyncStaged { workers: 4, bml_capacity: 64 << 20 }),
+        ServerConfig::new(ForwardingMode::AsyncStaged {
+            workers: 4,
+            bml_capacity: 64 << 20,
+        }),
     );
 
     // The "compute node": a POSIX-like client.
     let mut cn = Client::connect(Box::new(hub.connect()));
     let fd = cn
-        .open("/science/output.dat", OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+        .open(
+            "/science/output.dat",
+            OpenFlags::RDWR | OpenFlags::CREATE,
+            0o644,
+        )
         .expect("open forwarded to the ION");
 
     // Data writes are *staged*: the call returns as soon as the payload
@@ -80,6 +87,9 @@ fn main() {
         );
     }
     server.shutdown();
-    assert_eq!(backend.contents("/science/output.dat").unwrap().len(), 8 << 20);
+    assert_eq!(
+        backend.contents("/science/output.dat").unwrap().len(),
+        8 << 20
+    );
     println!("ok: 8 MiB landed in the backend");
 }

@@ -28,7 +28,10 @@ fn main() {
     let server = IonServer::spawn(
         Box::new(acceptor),
         backend.clone(),
-        ServerConfig::new(ForwardingMode::AsyncStaged { workers: 4, bml_capacity: 256 << 20 }),
+        ServerConfig::new(ForwardingMode::AsyncStaged {
+            workers: 4,
+            bml_capacity: 256 << 20,
+        }),
     );
 
     let chunk = 1 << 20; // 1 MiB operations, like the paper's microbenchmark
@@ -39,7 +42,11 @@ fn main() {
                 let conn = TcpConn::connect(addr).expect("connect");
                 let mut cn = Client::with_id(Box::new(conn), rank as u32);
                 let fd = cn
-                    .open(&format!("/rank-{rank}.dat"), OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+                    .open(
+                        &format!("/rank-{rank}.dat"),
+                        OpenFlags::WRONLY | OpenFlags::CREATE,
+                        0o644,
+                    )
                     .expect("open");
                 let data = vec![rank as u8; chunk];
                 for _ in 0..mib_per_client {
@@ -65,7 +72,9 @@ fn main() {
     );
     server.shutdown();
     for rank in 0..clients {
-        let f = backend.contents(&format!("/rank-{rank}.dat")).expect("file exists");
+        let f = backend
+            .contents(&format!("/rank-{rank}.dat"))
+            .expect("file exists");
         assert_eq!(f.len(), mib_per_client << 20);
     }
     println!("ok: all files verified");

@@ -1,0 +1,676 @@
+//! loomlite — a miniature [loom]-style model checker for this workspace.
+//!
+//! Real `loom` is unavailable offline, so this crate implements the same
+//! idea at the scale our tests need: run a closure under a cooperative
+//! scheduler in which **exactly one thread executes at a time**, treat
+//! every synchronization operation (lock, unlock, condvar wait/notify,
+//! spawn, join) as a *choice point*, and re-execute the closure under
+//! every reachable sequence of choices (depth-first over the decision
+//! tree). A test wrapped in [`model`] therefore observes every
+//! interleaving of its critical sections, not just the ones the OS
+//! happens to produce.
+//!
+//! Guarantees and limits:
+//! * Sound for programs whose shared state is only touched under the
+//!   provided [`sync::Mutex`] (critical sections are scheduling-atomic).
+//! * Detects deadlocks (no runnable thread while some are blocked) and
+//!   propagates panics from any modeled thread, reporting the schedule.
+//! * `Condvar::wait_for` never times out under the model — model time
+//!   does not advance, so timeout paths must be exercised by regular
+//!   tests instead.
+//! * Exploration is capped (default 50 000 schedules, override with
+//!   `LOOMLITE_MAX_SCHEDULES`); tests should stay small (2–3 threads).
+//!
+//! [loom]: https://docs.rs/loom
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> (Arc<Sched>, usize) {
+    CTX.with(|c| c.borrow().clone())
+        .expect("loomlite primitive used outside loomlite::model")
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCv(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Clone, Copy)]
+struct Decision {
+    alternatives: usize,
+    chosen: usize,
+}
+
+#[derive(Default)]
+struct State {
+    tasks: Vec<Status>,
+    mutexes: Vec<bool>,          // locked?
+    cv_waiters: Vec<Vec<usize>>, // per condvar, in wait order
+    active: usize,
+    prefix: Vec<usize>,
+    cursor: usize, // how many branch decisions replayed so far
+    decisions: Vec<Decision>,
+    failure: Option<String>,
+    abort: bool,
+}
+
+struct Sched {
+    state: StdMutex<State>,
+    cv: StdCondvar,
+}
+
+type Guard<'a> = std::sync::MutexGuard<'a, State>;
+
+impl Sched {
+    fn lock_state(&self) -> Guard<'_> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record (or replay) a branch among `n` alternatives.
+    fn choose(st: &mut State, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let chosen = if st.cursor < st.prefix.len() {
+            st.prefix[st.cursor].min(n - 1)
+        } else {
+            0
+        };
+        st.cursor += 1;
+        st.decisions.push(Decision {
+            alternatives: n,
+            chosen,
+        });
+        chosen
+    }
+
+    fn runnable(st: &State) -> Vec<usize> {
+        (0..st.tasks.len())
+            .filter(|&t| st.tasks[t] == Status::Runnable)
+            .collect()
+    }
+
+    fn fail(&self, st: &mut Guard<'_>, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Hand control to a scheduler-chosen runnable thread and, unless this
+    /// thread is finished, wait until control returns to it.
+    fn reschedule(&self, mut st: Guard<'_>, me: usize) {
+        if st.abort {
+            drop(st);
+            panic!("loomlite: model aborted");
+        }
+        let runnable = Self::runnable(&st);
+        if runnable.is_empty() {
+            if st.tasks.iter().all(|&t| t == Status::Finished) {
+                self.cv.notify_all();
+                return;
+            }
+            let dump = format!("deadlock: no runnable thread, tasks {:?}", st.tasks);
+            self.fail(&mut st, dump);
+            drop(st);
+            panic!("loomlite: model aborted");
+        }
+        let idx = Self::choose(&mut st, runnable.len());
+        st.active = runnable[idx];
+        self.cv.notify_all();
+        if st.tasks[me] == Status::Finished {
+            return;
+        }
+        while st.active != me && !st.abort {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.abort {
+            drop(st);
+            panic!("loomlite: model aborted");
+        }
+    }
+
+    /// A preemption opportunity for a currently-runnable thread.
+    fn switch_point(&self, me: usize) {
+        let st = self.lock_state();
+        debug_assert_eq!(st.tasks[me], Status::Runnable);
+        self.reschedule(st, me);
+    }
+
+    fn register_mutex(&self) -> usize {
+        let mut st = self.lock_state();
+        st.mutexes.push(false);
+        st.mutexes.len() - 1
+    }
+
+    fn register_cv(&self) -> usize {
+        let mut st = self.lock_state();
+        st.cv_waiters.push(Vec::new());
+        st.cv_waiters.len() - 1
+    }
+
+    fn acquire(&self, mid: usize, me: usize) {
+        self.switch_point(me);
+        loop {
+            let mut st = self.lock_state();
+            if st.abort {
+                drop(st);
+                panic!("loomlite: model aborted");
+            }
+            if !st.mutexes[mid] {
+                st.mutexes[mid] = true;
+                return;
+            }
+            st.tasks[me] = Status::BlockedMutex(mid);
+            self.reschedule(st, me);
+        }
+    }
+
+    fn release_locked(st: &mut State, mid: usize) {
+        st.mutexes[mid] = false;
+        for t in 0..st.tasks.len() {
+            if st.tasks[t] == Status::BlockedMutex(mid) {
+                st.tasks[t] = Status::Runnable;
+            }
+        }
+    }
+
+    fn release(&self, mid: usize, me: usize) {
+        let mut st = self.lock_state();
+        Self::release_locked(&mut st, mid);
+        if st.abort {
+            // Unwinding guard drop: free the lock but do not panic again.
+            return;
+        }
+        self.reschedule(st, me);
+    }
+
+    fn cv_wait(&self, cid: usize, mid: usize, me: usize) {
+        {
+            let mut st = self.lock_state();
+            st.cv_waiters[cid].push(me);
+            Self::release_locked(&mut st, mid);
+            st.tasks[me] = Status::BlockedCv(cid);
+            self.reschedule(st, me);
+        }
+        // Notified: reacquire the mutex (may block again).
+        loop {
+            let mut st = self.lock_state();
+            if st.abort {
+                drop(st);
+                panic!("loomlite: model aborted");
+            }
+            if !st.mutexes[mid] {
+                st.mutexes[mid] = true;
+                return;
+            }
+            st.tasks[me] = Status::BlockedMutex(mid);
+            self.reschedule(st, me);
+        }
+    }
+
+    fn notify(&self, cid: usize, me: usize, all: bool) {
+        let mut st = self.lock_state();
+        if all {
+            let woken = std::mem::take(&mut st.cv_waiters[cid]);
+            for t in woken {
+                st.tasks[t] = Status::Runnable;
+            }
+        } else if !st.cv_waiters[cid].is_empty() {
+            // Which waiter wakes is nondeterministic: branch on it.
+            let n = st.cv_waiters[cid].len();
+            let idx = Self::choose(&mut st, n);
+            let t = st.cv_waiters[cid].remove(idx);
+            st.tasks[t] = Status::Runnable;
+        }
+        self.reschedule(st, me);
+    }
+
+    fn spawn_task(&self) -> usize {
+        let mut st = self.lock_state();
+        st.tasks.push(Status::Runnable);
+        st.tasks.len() - 1
+    }
+
+    fn wait_for_turn(&self, me: usize) {
+        let mut st = self.lock_state();
+        while st.active != me && !st.abort {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.abort {
+            drop(st);
+            panic!("loomlite: model aborted");
+        }
+    }
+
+    fn finish(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.tasks[me] = Status::Finished;
+        for t in 0..st.tasks.len() {
+            if st.tasks[t] == Status::BlockedJoin(me) {
+                st.tasks[t] = Status::Runnable;
+            }
+        }
+        if st.abort || st.tasks.iter().all(|&t| t == Status::Finished) {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable = Self::runnable(&st);
+        if runnable.is_empty() {
+            let dump = format!("deadlock after thread exit: tasks {:?}", st.tasks);
+            self.fail(&mut st, dump);
+            return;
+        }
+        let idx = Self::choose(&mut st, runnable.len());
+        st.active = runnable[idx];
+        self.cv.notify_all();
+    }
+
+    fn join_task(&self, target: usize, me: usize) {
+        loop {
+            let mut st = self.lock_state();
+            if st.abort {
+                drop(st);
+                panic!("loomlite: model aborted");
+            }
+            if st.tasks[target] == Status::Finished {
+                return;
+            }
+            st.tasks[me] = Status::BlockedJoin(target);
+            self.reschedule(st, me);
+        }
+    }
+}
+
+/// Explore every schedule of `f` (bounded; see crate docs). Panics with
+/// the failing schedule number if any interleaving panics or deadlocks.
+pub fn model<F: Fn()>(f: F) {
+    let cap: usize = std::env::var("LOOMLITE_MAX_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        if schedules > cap {
+            eprintln!(
+                "loomlite: stopping after {cap} schedules (exploration incomplete; \
+                 raise LOOMLITE_MAX_SCHEDULES or shrink the test)"
+            );
+            return;
+        }
+        let sched = Arc::new(Sched {
+            state: StdMutex::new(State::default()),
+            cv: StdCondvar::new(),
+        });
+        {
+            let mut st = sched.lock_state();
+            st.tasks.push(Status::Runnable); // task 0: this thread
+            st.active = 0;
+            st.prefix = prefix.clone();
+        }
+        CTX.with(|c| *c.borrow_mut() = Some((sched.clone(), 0)));
+        let outcome = catch_unwind(AssertUnwindSafe(&f));
+        // Let any unjoined/still-unwinding tasks run to completion.
+        {
+            let mut st = sched.lock_state();
+            if let Err(ref e) = outcome {
+                let msg = panic_message(e);
+                if st.failure.is_none() {
+                    st.failure = Some(msg);
+                }
+                st.abort = true;
+            }
+            st.tasks[0] = Status::Finished;
+            let runnable = Sched::runnable(&st);
+            if !runnable.is_empty() {
+                let idx = Sched::choose(&mut st, runnable.len());
+                st.active = runnable[idx];
+            }
+            sched.cv.notify_all();
+            while !st.tasks.iter().all(|&t| t == Status::Finished) {
+                if !st.abort && Sched::runnable(&st).is_empty() {
+                    let dump = format!("deadlock at model end: tasks {:?}", st.tasks);
+                    if st.failure.is_none() {
+                        st.failure = Some(dump);
+                    }
+                    st.abort = true;
+                    sched.cv.notify_all();
+                }
+                st = sched.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        CTX.with(|c| *c.borrow_mut() = None);
+        let st = sched.lock_state();
+        if let Some(ref failure) = st.failure {
+            panic!("loomlite: schedule #{schedules} failed: {failure}");
+        }
+        // Depth-first: advance the deepest branch with an untried arm.
+        let mut decisions = st.decisions.clone();
+        drop(st);
+        loop {
+            match decisions.pop() {
+                Some(d) if d.chosen + 1 < d.alternatives => {
+                    prefix = decisions.iter().map(|d| d.chosen).collect();
+                    prefix.push(d.chosen + 1);
+                    break;
+                }
+                Some(_) => continue,
+                None => return, // fully explored
+            }
+        }
+    }
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+pub mod thread {
+    use super::*;
+
+    pub struct JoinHandle<T> {
+        target: usize,
+        result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+        os: Option<std::thread::JoinHandle<()>>,
+    }
+
+    /// Spawn a modeled thread. Must be called inside [`model`].
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (sched, me) = current();
+        let id = sched.spawn_task();
+        let result = Arc::new(StdMutex::new(None));
+        let slot = result.clone();
+        let child_sched = sched.clone();
+        let os = std::thread::Builder::new()
+            .name(format!("loomlite-{id}"))
+            .spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((child_sched.clone(), id)));
+                child_sched.wait_for_turn(id);
+                let r = catch_unwind(AssertUnwindSafe(f));
+                if let Err(ref e) = r {
+                    let mut st = child_sched.lock_state();
+                    let msg = format!("thread {id} panicked: {}", panic_message(e));
+                    child_sched.fail(&mut st, msg);
+                }
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                child_sched.finish(id);
+            })
+            .expect("spawn loomlite thread");
+        // Branch: child may run immediately or the parent may continue.
+        sched.switch_point(me);
+        JoinHandle {
+            target: id,
+            result,
+            os: Some(os),
+        }
+    }
+
+    /// Explicit preemption point.
+    pub fn yield_now() {
+        let (sched, me) = current();
+        sched.switch_point(me);
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(mut self) -> std::thread::Result<T> {
+            let (sched, me) = current();
+            sched.join_task(self.target, me);
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+            self.result
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("loomlite thread finished without storing a result")
+        }
+    }
+}
+
+pub mod sync {
+    use super::*;
+    use std::time::Duration;
+
+    pub use std::sync::Arc;
+
+    /// Model-checked mutex with the parking_lot API shape.
+    pub struct Mutex<T: ?Sized> {
+        id: usize,
+        inner: StdMutex<T>,
+    }
+
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+        // Dropped (None) around condvar waits and before scheduler release.
+        std_guard: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            let (sched, _) = current();
+            Mutex {
+                id: sched.register_mutex(),
+                inner: StdMutex::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let (sched, me) = current();
+            sched.acquire(self.id, me);
+            let std_guard = self
+                .inner
+                .try_lock()
+                .expect("loomlite scheduler granted a held mutex");
+            MutexGuard {
+                lock: self,
+                std_guard: Some(std_guard),
+            }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.std_guard
+                .as_deref()
+                .expect("guard taken during condvar wait")
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.std_guard
+                .as_deref_mut()
+                .expect("guard taken during condvar wait")
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            drop(self.std_guard.take());
+            if let Some((sched, me)) = CTX.with(|c| c.borrow().clone()) {
+                sched.release(self.lock.id, me);
+            }
+        }
+    }
+
+    /// Result of a timed wait; under the model a wait never times out.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WaitTimeoutResult {
+        timed_out: bool,
+    }
+
+    impl WaitTimeoutResult {
+        pub fn timed_out(&self) -> bool {
+            self.timed_out
+        }
+    }
+
+    /// Model-checked condition variable (parking_lot API shape).
+    pub struct Condvar {
+        id: usize,
+    }
+
+    impl Condvar {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            let (sched, _) = current();
+            Condvar {
+                id: sched.register_cv(),
+            }
+        }
+
+        pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+            let (sched, me) = current();
+            drop(guard.std_guard.take());
+            sched.cv_wait(self.id, guard.lock.id, me);
+            guard.std_guard = Some(
+                guard
+                    .lock
+                    .inner
+                    .try_lock()
+                    .expect("loomlite granted a held mutex"),
+            );
+        }
+
+        /// Model time never advances, so this never times out. Timeout
+        /// paths must be covered by wall-clock tests, not loom tests.
+        pub fn wait_for<T: ?Sized>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            _timeout: Duration,
+        ) -> WaitTimeoutResult {
+            self.wait(guard);
+            WaitTimeoutResult { timed_out: false }
+        }
+
+        pub fn notify_one(&self) -> bool {
+            let (sched, me) = current();
+            sched.notify(self.id, me, false);
+            true
+        }
+
+        pub fn notify_all(&self) -> usize {
+            let (sched, me) = current();
+            sched.notify(self.id, me, true);
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::thread;
+
+    #[test]
+    fn finds_every_interleaving_of_two_increments() {
+        // Two threads each do read-modify-write under a lock: the final
+        // value is always 2 — and the model must actually terminate.
+        super::model(|| {
+            let counter = Arc::new(Mutex::new(0u32));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = counter.clone();
+                    thread::spawn(move || {
+                        let mut g = c.lock();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(*counter.lock(), 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "loomlite")]
+    fn catches_check_then_act_race() {
+        // Classic TOCTOU: both threads may observe 0 and both write 1;
+        // some interleaving must produce the "lost update" and panic.
+        super::model(|| {
+            let cell = Arc::new(Mutex::new(0u32));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = cell.clone();
+                    thread::spawn(move || {
+                        let seen = *c.lock(); // read in one critical section
+                        let mut g = c.lock(); // write in another
+                        *g = seen + 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(*cell.lock(), 2, "lost update");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn detects_deadlock() {
+        super::model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (a.clone(), b.clone());
+            let h = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop(_ga);
+            drop(_gb);
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn condvar_handoff_works_in_all_schedules() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p = pair.clone();
+            let h = thread::spawn(move || {
+                let (m, cv) = &*p;
+                let mut ready = m.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            });
+            {
+                let (m, cv) = &*pair;
+                *m.lock() = true;
+                cv.notify_all();
+            }
+            h.join().unwrap();
+        });
+    }
+}

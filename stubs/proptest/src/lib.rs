@@ -1,0 +1,658 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! Implements exactly the API surface this workspace's property tests use:
+//! the `proptest!` / `prop_oneof!` / `prop_assert!` macros, `any::<T>()`,
+//! numeric range strategies, tuple strategies, `Just`, `prop_map`,
+//! `collection::vec`, a regex-subset string generator, and
+//! `sample::Index`. Generation is deterministic per test (seeded from the
+//! test path) and there is **no shrinking**: a failing case reports the
+//! case number and message and panics immediately.
+
+use std::fmt;
+
+pub mod rng {
+    /// SplitMix64: tiny, fast, deterministic. Good enough for test-case
+    /// generation; never used in simulation code (simcore has its own RNG).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Stable seed derived from a test's module path and name (FNV-1a).
+    pub fn fingerprint(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Failure raised by `prop_assert!`-family macros inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Run-time configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut rng::TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut rng::TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut rng::TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut rng::TestRng) -> Self;
+}
+
+/// Strategy over the whole domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut rng::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut rng::TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut rng::TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut rng::TestRng) -> f64 {
+        // Finite, sign-balanced, spanning many magnitudes.
+        let mag = rng.unit_f64() * 2f64.powi((rng.below(61) as i32) - 30);
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut rng::TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut rng::TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy_signed!(i8, i16, i32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut rng::TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut rng::TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Uniform choice between boxed alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut rng::TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Helper used by `prop_oneof!` to erase arm types.
+pub fn boxed_strategy<T, S>(s: S) -> Box<dyn Strategy<Value = T>>
+where
+    S: Strategy<Value = T> + 'static,
+{
+    Box::new(s)
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut rng::TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A `&str` is a strategy generating strings matching it as a regex
+/// (subset: concatenations of literals and `[...]` classes with optional
+/// `{m,n}` repetition), mirroring proptest's regex-string strategies.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut rng::TestRng) -> String {
+        let gen = regex_gen::Pattern::parse(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"));
+        gen.generate(rng)
+    }
+}
+
+mod regex_gen {
+    use super::rng::TestRng;
+
+    pub enum Element {
+        Literal(char),
+        Class {
+            negated: bool,
+            ranges: Vec<(char, char)>,
+        },
+    }
+
+    pub struct Unit {
+        pub elem: Element,
+        pub min: usize,
+        pub max: usize,
+    }
+
+    pub struct Pattern {
+        pub units: Vec<Unit>,
+    }
+
+    impl Pattern {
+        pub fn parse(pattern: &str) -> Result<Pattern, String> {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut i = 0;
+            let mut units = Vec::new();
+            while i < chars.len() {
+                let elem = match chars[i] {
+                    '[' => {
+                        i += 1;
+                        let mut negated = false;
+                        if i < chars.len() && chars[i] == '^' {
+                            negated = true;
+                            i += 1;
+                        }
+                        let mut ranges = Vec::new();
+                        while i < chars.len() && chars[i] != ']' {
+                            let lo = if chars[i] == '\\' {
+                                i += 1;
+                                *chars.get(i).ok_or("trailing backslash")?
+                            } else {
+                                chars[i]
+                            };
+                            i += 1;
+                            if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                                i += 1;
+                                let hi = if chars[i] == '\\' {
+                                    i += 1;
+                                    *chars.get(i).ok_or("trailing backslash")?
+                                } else {
+                                    chars[i]
+                                };
+                                i += 1;
+                                ranges.push((lo, hi));
+                            } else {
+                                ranges.push((lo, lo));
+                            }
+                        }
+                        if i >= chars.len() {
+                            return Err("unterminated character class".into());
+                        }
+                        i += 1; // consume ']'
+                        Element::Class { negated, ranges }
+                    }
+                    '\\' => {
+                        i += 1;
+                        let c = *chars.get(i).ok_or("trailing backslash")?;
+                        i += 1;
+                        Element::Literal(c)
+                    }
+                    c => {
+                        i += 1;
+                        Element::Literal(c)
+                    }
+                };
+                let (min, max) = if i < chars.len() && chars[i] == '{' {
+                    i += 1;
+                    let start = i;
+                    while i < chars.len() && chars[i] != '}' {
+                        i += 1;
+                    }
+                    if i >= chars.len() {
+                        return Err("unterminated repetition".into());
+                    }
+                    let body: String = chars[start..i].iter().collect();
+                    i += 1; // consume '}'
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().map_err(|_| "bad repetition")?,
+                            n.trim().parse().map_err(|_| "bad repetition")?,
+                        ),
+                        None => {
+                            let n: usize = body.trim().parse().map_err(|_| "bad repetition")?;
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                units.push(Unit { elem, min, max });
+            }
+            Ok(Pattern { units })
+        }
+
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for unit in &self.units {
+                let n = unit.min + rng.below((unit.max - unit.min + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(sample(&unit.elem, rng));
+                }
+            }
+            out
+        }
+    }
+
+    fn sample(elem: &Element, rng: &mut TestRng) -> char {
+        match elem {
+            Element::Literal(c) => *c,
+            Element::Class {
+                negated: false,
+                ranges,
+            } => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                    .sum();
+                let mut k = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if k < span {
+                        return char::from_u32(*lo as u32 + k as u32).unwrap_or(*lo);
+                    }
+                    k -= span;
+                }
+                unreachable!("sample index out of class bounds")
+            }
+            Element::Class {
+                negated: true,
+                ranges,
+            } => {
+                // Sample printable ASCII (a valid subset of the negated
+                // language for every pattern this workspace uses).
+                loop {
+                    let c = char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or('x');
+                    if !ranges.iter().any(|(lo, hi)| (*lo..=*hi).contains(&c)) {
+                        return c;
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::{rng::TestRng, Strategy};
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Vector of `element`-generated values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    use super::regex_gen::Pattern;
+    use super::{rng::TestRng, Strategy};
+
+    pub struct RegexGeneratorStrategy {
+        pattern: Pattern,
+    }
+
+    /// Strategy generating strings matching `pattern` (regex subset).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, String> {
+        Ok(RegexGeneratorStrategy {
+            pattern: Pattern::parse(pattern)?,
+        })
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.pattern.generate(rng)
+        }
+    }
+}
+
+pub mod sample {
+    use super::{rng::TestRng, Arbitrary};
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Uniform position in `[0, len)`; `len` must be non-zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::Config as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::Config = $cfg;
+                let seed =
+                    $crate::rng::fingerprint(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::rng::TestRng::new(
+                        seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body;
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest {} case {case}: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_strategy($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::rng::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (5u32..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (1.0f64..2.0).generate(&mut rng);
+            assert!((1.0..2.0).contains(&f));
+            let i = (-3i64..4).generate(&mut rng);
+            assert!((-3..4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::rng::TestRng::new(9);
+        for _ in 0..200 {
+            let s = "[a-z0-9_]{0,16}".generate(&mut rng);
+            assert!(s.len() <= 16);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            let t = "[^\u{0}]{0,8}".generate(&mut rng);
+            assert!(!t.contains('\u{0}') && t.chars().count() <= 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_round_trip(a in 0u32..100, b in any::<bool>(),
+                            v in crate::collection::vec(0u8..10, 1..5)) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b, b);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+    }
+
+    #[test]
+    fn oneof_uses_every_arm() {
+        let s = prop_oneof![Just(1u8), Just(2u8), (3u8..5).prop_map(|x| x)];
+        let mut rng = crate::rng::TestRng::new(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2) && seen.contains(&3));
+    }
+}

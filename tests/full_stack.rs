@@ -13,7 +13,12 @@ use iofwd_proto::{Errno, OpenFlags};
 use madbench::{MadbenchParams, Phase};
 
 fn small_madbench() -> MadbenchParams {
-    MadbenchParams { npix: 128, nbin: 4, nproc: 8, ..MadbenchParams::paper_64() }
+    MadbenchParams {
+        npix: 128,
+        nbin: 4,
+        nproc: 8,
+        ..MadbenchParams::paper_64()
+    }
 }
 
 #[test]
@@ -22,21 +27,39 @@ fn madbench_over_every_mode_moves_all_bytes() {
         ForwardingMode::Ciod,
         ForwardingMode::Zoid,
         ForwardingMode::Sched { workers: 4 },
-        ForwardingMode::AsyncStaged { workers: 4, bml_capacity: 16 << 20 },
+        ForwardingMode::AsyncStaged {
+            workers: 4,
+            bml_capacity: 16 << 20,
+        },
     ] {
         let hub = MemHub::new();
         let backend = Arc::new(MemSinkBackend::new());
-        let server =
-            IonServer::spawn(Box::new(hub.listener()), backend.clone(), ServerConfig::new(mode));
+        let server = IonServer::spawn(
+            Box::new(hub.listener()),
+            backend.clone(),
+            ServerConfig::new(mode),
+        );
         let p = small_madbench();
         let report = madbench::runner::run(&p, &Phase::ALL, |_| Box::new(hub.connect()));
         server.shutdown();
         assert_eq!(report.bytes_moved, p.total_bytes(), "mode {}", mode.name());
-        assert_eq!(backend.file_count(), p.nproc as usize, "mode {}", mode.name());
+        assert_eq!(
+            backend.file_count(),
+            p.nproc as usize,
+            "mode {}",
+            mode.name()
+        );
         // Every rank's file holds its S+W-phase writes.
         for rank in 0..p.nproc {
-            let f = backend.contents(&format!("/madbench/rank-{rank}.dat")).unwrap();
-            assert_eq!(f.len() as u64, p.nbin * p.slice_bytes(), "mode {}", mode.name());
+            let f = backend
+                .contents(&format!("/madbench/rank-{rank}.dat"))
+                .unwrap();
+            assert_eq!(
+                f.len() as u64,
+                p.nbin * p.slice_bytes(),
+                "mode {}",
+                mode.name()
+            );
         }
     }
 }
@@ -49,9 +72,17 @@ fn madbench_over_tcp_transport() {
     let server = IonServer::spawn(
         Box::new(acceptor),
         backend.clone(),
-        ServerConfig::new(ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 8 << 20 }),
+        ServerConfig::new(ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 8 << 20,
+        }),
     );
-    let p = MadbenchParams { npix: 128, nbin: 3, nproc: 4, ..MadbenchParams::paper_64() };
+    let p = MadbenchParams {
+        npix: 128,
+        nbin: 3,
+        nproc: 4,
+        ..MadbenchParams::paper_64()
+    };
     let report = madbench::runner::run(&p, &Phase::ALL, |_| {
         Box::new(TcpConn::connect(addr).unwrap())
     });
@@ -67,8 +98,11 @@ fn madbench_shared_file_across_modes_is_identical() {
     let run_with = |mode| {
         let hub = MemHub::new();
         let backend = Arc::new(MemSinkBackend::new());
-        let server =
-            IonServer::spawn(Box::new(hub.listener()), backend.clone(), ServerConfig::new(mode));
+        let server = IonServer::spawn(
+            Box::new(hub.listener()),
+            backend.clone(),
+            ServerConfig::new(mode),
+        );
         let mut p = small_madbench();
         p.shared_file = true;
         madbench::runner::run(&p, &Phase::ALL, |_| Box::new(hub.connect()));
@@ -76,7 +110,10 @@ fn madbench_shared_file_across_modes_is_identical() {
         backend.contents("/madbench/shared.dat").unwrap()
     };
     let zoid = run_with(ForwardingMode::Zoid);
-    let staged = run_with(ForwardingMode::AsyncStaged { workers: 3, bml_capacity: 8 << 20 });
+    let staged = run_with(ForwardingMode::AsyncStaged {
+        workers: 3,
+        bml_capacity: 8 << 20,
+    });
     assert_eq!(zoid, staged);
 }
 
@@ -90,10 +127,15 @@ fn deferred_storage_failure_surfaces_through_madbench_style_flow() {
     let server = IonServer::spawn(
         Box::new(hub.listener()),
         backend,
-        ServerConfig::new(ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 8 << 20 }),
+        ServerConfig::new(ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 8 << 20,
+        }),
     );
     let mut c = Client::connect(Box::new(hub.connect()));
-    let fd = c.open("/doomed", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+    let fd = c
+        .open("/doomed", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+        .unwrap();
     let chunk = vec![0u8; 64 * 1024];
     let mut saw_deferred = false;
     for _ in 0..8 {
@@ -127,14 +169,19 @@ fn mixed_clients_on_one_daemon() {
     let server = IonServer::spawn(
         Box::new(hub.listener()),
         backend.clone(),
-        ServerConfig::new(ForwardingMode::AsyncStaged { workers: 4, bml_capacity: 16 << 20 }),
+        ServerConfig::new(ForwardingMode::AsyncStaged {
+            workers: 4,
+            bml_capacity: 16 << 20,
+        }),
     );
     std::thread::scope(|s| {
         // Writer.
         let conn = hub.connect();
         s.spawn(move || {
             let mut c = Client::with_id(Box::new(conn), 1);
-            let fd = c.open("/w", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap();
+            let fd = c
+                .open("/w", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+                .unwrap();
             for i in 0..50u8 {
                 c.write(fd, &vec![i; 8192]).unwrap();
             }
@@ -158,7 +205,9 @@ fn mixed_clients_on_one_daemon() {
             let mut c = Client::with_id(Box::new(conn), 3);
             for i in 0..25 {
                 let path = format!("/meta-{i}");
-                let fd = c.open(&path, OpenFlags::RDWR | OpenFlags::CREATE, 0o644).unwrap();
+                let fd = c
+                    .open(&path, OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+                    .unwrap();
                 c.write(fd, b"x").unwrap();
                 c.fsync(fd).unwrap();
                 assert_eq!(c.fstat(fd).unwrap().size, 1);
@@ -182,7 +231,10 @@ fn daemon_stats_are_consistent_after_full_run() {
     let server = IonServer::spawn(
         Box::new(hub.listener()),
         backend,
-        ServerConfig::new(ForwardingMode::AsyncStaged { workers: 2, bml_capacity: 4 << 20 }),
+        ServerConfig::new(ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 4 << 20,
+        }),
     );
     let p = small_madbench();
     madbench::runner::run(&p, &[Phase::S], |_| Box::new(hub.connect()));
@@ -197,7 +249,7 @@ fn daemon_stats_are_consistent_after_full_run() {
     assert!(peak >= 1);
     assert_eq!(bml.acquires, writes);
     // All buffers returned.
-    assert_eq!(bml.high_water % (4096) as u64, 0);
+    assert_eq!(bml.high_water % 4096, 0);
     assert_eq!(server_open_after(), 0);
 
     fn server_open_after() -> usize {
@@ -209,12 +261,20 @@ fn daemon_stats_are_consistent_after_full_run() {
 fn open_descriptor_count_returns_to_zero() {
     let hub = MemHub::new();
     let backend = Arc::new(MemSinkBackend::new());
-    let server =
-        IonServer::spawn(Box::new(hub.listener()), backend, ServerConfig::new(ForwardingMode::Zoid));
+    let server = IonServer::spawn(
+        Box::new(hub.listener()),
+        backend,
+        ServerConfig::new(ForwardingMode::Zoid),
+    );
     let mut c = Client::connect(Box::new(hub.connect()));
     let fds: Vec<_> = (0..10)
         .map(|i| {
-            c.open(&format!("/f{i}"), OpenFlags::WRONLY | OpenFlags::CREATE, 0o644).unwrap()
+            c.open(
+                &format!("/f{i}"),
+                OpenFlags::WRONLY | OpenFlags::CREATE,
+                0o644,
+            )
+            .unwrap()
         })
         .collect();
     assert_eq!(server.open_descriptors(), 10);

@@ -21,7 +21,13 @@ pub fn e2e_with(
     let cfg = MachineConfig::intrepid();
     run_end_to_end(
         &cfg,
-        &EndToEndParams { strategy, compute_nodes, msg_bytes, iters_per_cn, da_sinks },
+        &EndToEndParams {
+            strategy,
+            compute_nodes,
+            msg_bytes,
+            iters_per_cn,
+            da_sinks,
+        },
     )
     .mib_per_sec
 }

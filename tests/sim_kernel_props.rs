@@ -167,8 +167,7 @@ fn semaphore_fifo_order_with_mixed_sizes() {
 fn interleaved_sleep_transfer_ordering() {
     let mut sim = Sim::new();
     let link = sim.resource("l", 1000.0);
-    let log: Rc<std::cell::RefCell<Vec<(u64, u32)>>> =
-        Rc::new(std::cell::RefCell::new(Vec::new()));
+    let log: Rc<std::cell::RefCell<Vec<(u64, u32)>>> = Rc::new(std::cell::RefCell::new(Vec::new()));
     for i in 0..5u32 {
         let h = sim.handle();
         let log = log.clone();
@@ -214,6 +213,10 @@ fn semaphore_never_oversubscribes() {
         });
     }
     sim.run_to_completion();
-    assert!(peak.get() <= 1000, "peak usage {} exceeded capacity", peak.get());
+    assert!(
+        peak.get() <= 1000,
+        "peak usage {} exceeded capacity",
+        peak.get()
+    );
     assert!(peak.get() > 500, "test should actually exercise contention");
 }

@@ -42,7 +42,10 @@ fn fig4_collective_rises_peaks_then_declines() {
     // Plateau near the paper's 680 MiB/s (93 % of 731).
     assert_band("collective plateau @8 CNs", eight, 610.0, 700.0);
     // Degradation beyond 32 CNs (§III-A), but no collapse.
-    assert!(sixty_four < 0.95 * eight, "64 CNs {sixty_four} vs 8 CNs {eight}");
+    assert!(
+        sixty_four < 0.95 * eight,
+        "64 CNs {sixty_four} vs 8 CNs {eight}"
+    );
     assert!(sixty_four > 0.6 * eight);
 }
 
@@ -64,7 +67,11 @@ fn fig4_zoid_edges_out_ciod_at_the_plateau() {
     let zoid = run(Strategy::Zoid);
     // "a 2% performance improvement over CIOD" — small but real.
     assert!(zoid > ciod, "zoid {zoid} vs ciod {ciod}");
-    assert!(zoid / ciod < 1.12, "gap should be small at the plateau: {}", zoid / ciod);
+    assert!(
+        zoid / ciod < 1.12,
+        "gap should be small at the plateau: {}",
+        zoid / ciod
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -78,7 +85,10 @@ fn fig5_sender_thread_anchors() {
     assert_band("4 sender threads", at(4), 770.0, 800.0); // paper: 791
     let four = at(4);
     let eight = at(8);
-    assert!(eight < four, "8 threads ({eight}) must decline from 4 ({four})");
+    assert!(
+        eight < four,
+        "8 threads ({eight}) must decline from 4 ({four})"
+    );
     assert!(eight > 0.85 * four, "decline is mild");
     let two = at(2);
     assert!(two > at(1) * 1.7 && two < four);
@@ -180,7 +190,10 @@ fn fig10_larger_messages_are_more_efficient() {
 fn fig11_worker_pool_sweet_spot_at_4() {
     let at = |workers| {
         e2e_with(
-            Strategy::AsyncStaged { workers, bml_capacity: 512 * MIB },
+            Strategy::AsyncStaged {
+                workers,
+                bml_capacity: 512 * MIB,
+            },
             64,
             MIB,
             20,
@@ -195,7 +208,10 @@ fn fig11_worker_pool_sweet_spot_at_4() {
     assert!(one < 330.0, "1 worker: {one}");
     assert!(two > one, "2 workers ({two}) > 1 ({one})");
     assert!(four > two, "4 workers ({four}) > 2 ({two})");
-    assert!(eight < four, "8 workers ({eight}) < 4 ({four}) — contention");
+    assert!(
+        eight < four,
+        "8 workers ({eight}) < 4 ({four}) — contention"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -238,8 +254,16 @@ fn fig13_madbench_improvements() {
         let staged = run(Strategy::async_staged_default(), nodes);
         assert!(ciod < zoid, "@{nodes}: ciod {ciod} < zoid {zoid}");
         // Paper: ≥ +30% for async over both baselines.
-        assert!(staged / ciod > 1.3, "@{nodes}: async/ciod {}", staged / ciod);
-        assert!(staged / zoid > 1.3, "@{nodes}: async/zoid {}", staged / zoid);
+        assert!(
+            staged / ciod > 1.3,
+            "@{nodes}: async/ciod {}",
+            staged / ciod
+        );
+        assert!(
+            staged / zoid > 1.3,
+            "@{nodes}: async/zoid {}",
+            staged / zoid
+        );
     }
 }
 
@@ -261,7 +285,10 @@ fn staging_memory_pressure_blocks_but_preserves_throughput_order() {
     // A tiny BML forces blocking acquisitions; async should degrade
     // toward (but not catastrophically below) the sched baseline.
     let tiny = e2e_with(
-        Strategy::AsyncStaged { workers: 4, bml_capacity: 4 * MIB },
+        Strategy::AsyncStaged {
+            workers: 4,
+            bml_capacity: 4 * MIB,
+        },
         32,
         MIB,
         20,
@@ -269,8 +296,14 @@ fn staging_memory_pressure_blocks_but_preserves_throughput_order() {
     );
     let big = e2e(Strategy::async_staged_default(), 32);
     let sched = e2e(Strategy::sched_default(), 32);
-    assert!(tiny < big, "tiny BML ({tiny}) must cost throughput vs 512 MiB ({big})");
-    assert!(tiny > 0.75 * sched, "even a tiny BML should not fall far below sync ({tiny})");
+    assert!(
+        tiny < big,
+        "tiny BML ({tiny}) must cost throughput vs 512 MiB ({big})"
+    );
+    assert!(
+        tiny > 0.75 * sched,
+        "even a tiny BML should not fall far below sync ({tiny})"
+    );
 }
 
 #[test]

@@ -1,0 +1,255 @@
+//! A minimal Rust "lexer" for the invariant linter: it does not
+//! tokenize, it *masks*. [`strip`] returns the source with every
+//! comment, string literal, and char literal replaced by spaces (byte
+//! positions and newlines preserved), so the rule checkers can search
+//! for code constructs with plain substring logic and never trip over
+//! `"panic!"` appearing in a doc comment or an error message.
+
+/// Replace comments, string/char literals with spaces, preserving
+/// length and line structure exactly.
+pub fn strip(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                out[i] = b'\n';
+                i += 1;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment: mask to end of line.
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment, nesting-aware.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        out[i] = b'\n';
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if is_raw_string_start(b, i) => {
+                i = skip_raw_string(b, &mut out, i);
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                out[i] = b' ';
+                i = skip_string(b, &mut out, i + 1);
+            }
+            b'b' if is_raw_string_start(b, i + 1) && i + 1 < b.len() => {
+                i = skip_raw_string(b, &mut out, i + 1);
+            }
+            b'"' => {
+                i = skip_string(b, &mut out, i);
+            }
+            b'\'' => {
+                // Char literal vs lifetime. A char literal closes with a
+                // `'` after one (possibly escaped) character; a lifetime
+                // never does.
+                if let Some(end) = char_literal_end(b, i) {
+                    i = end;
+                } else {
+                    out[i] = b'\'';
+                    i += 1;
+                }
+            }
+            c => {
+                out[i] = c;
+                i += 1;
+            }
+        }
+    }
+    // The masked buffer only ever holds bytes copied from valid UTF-8
+    // boundaries or ASCII spaces, but multi-byte chars are copied
+    // byte-by-byte above, so this is still valid UTF-8.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    if i >= b.len() || b[i] != b'r' {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+fn skip_raw_string(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    // b[i] == 'r'
+    let mut j = i + 1;
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    while j < b.len() {
+        if b[j] == b'\n' {
+            out[j] = b'\n';
+            j += 1;
+        } else if b[j] == b'"' {
+            // Check for closing `"###...`
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < b.len() && b[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+fn skip_string(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    // b[i] == '"'
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                out[j] = b'\n';
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    // b[i] == '\''
+    let mut j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escape: \n, \t, \', \\, \x7f, \u{..}
+        j += 2;
+        if j <= b.len() && b[j - 1] == b'x' {
+            j += 2;
+        } else if j <= b.len() && b[j - 1] == b'u' {
+            while j < b.len() && b[j] != b'\'' {
+                j += 1;
+            }
+        }
+    } else {
+        // One UTF-8 scalar.
+        j += utf8_len(b[j]);
+    }
+    if j < b.len() && b[j] == b'\'' {
+        Some(j + 1)
+    } else {
+        None // a lifetime like 'a or 'static
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// True if `hay[pos..]` starts with `word` as a whole word (previous
+/// byte is not an identifier char).
+pub fn word_at(hay: &str, pos: usize, word: &str) -> bool {
+    if !hay[pos..].starts_with(word) {
+        return false;
+    }
+    let before_ok = pos == 0
+        || !hay.as_bytes()[pos - 1].is_ascii_alphanumeric() && hay.as_bytes()[pos - 1] != b'_';
+    let after = pos + word.len();
+    let after_ok = after >= hay.len()
+        || !hay.as_bytes()[after].is_ascii_alphanumeric() && hay.as_bytes()[after] != b'_';
+    before_ok && after_ok
+}
+
+/// All positions where `word` occurs as a whole word in `hay`.
+pub fn find_words(hay: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(off) = hay[start..].find(word) {
+        let pos = start + off;
+        if word_at(hay, pos, word) {
+            out.push(pos);
+        }
+        start = pos + word.len();
+    }
+    out
+}
+
+/// 1-based line number of byte `pos` in `src`.
+pub fn line_of(src: &str, pos: usize) -> usize {
+    src.as_bytes()[..pos.min(src.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = r#"let x = "panic!(a)"; // unwrap()
+/* .expect( */ let y = 'z'; let l: &'static str = s;"#;
+        let s = strip(src);
+        assert!(!s.contains("panic!"));
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains(".expect("));
+        assert!(!s.contains('z'));
+        assert!(s.contains("let x ="));
+        assert!(s.contains("&'static str"));
+        assert_eq!(s.len(), src.len());
+    }
+
+    #[test]
+    fn masks_raw_and_byte_strings() {
+        let src = r###"let a = r#"match _ => unwrap"#; let b = b"panic!";"###;
+        let s = strip(src);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("panic"));
+        assert!(s.contains("let b ="));
+    }
+
+    #[test]
+    fn preserves_line_numbers() {
+        let src = "a\n\"two\nthree\"\nunsafe";
+        let s = strip(src);
+        assert_eq!(line_of(&s, s.find("unsafe").unwrap()), 4);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let s = "munsafe unsafe unsafely";
+        let hits = find_words(s, "unsafe");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(&s[hits[0]..hits[0] + 6], "unsafe");
+    }
+}

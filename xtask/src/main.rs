@@ -1,0 +1,347 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Subcommands:
+//!
+//! * `lint` — the invariant linter. Four rules the compiler cannot
+//!   enforce but this codebase depends on (see DESIGN.md, "Enforced
+//!   invariants"):
+//!   - **R1** Simulation crates (`simcore`, `bgsim`, `bgp-model`,
+//!     `madbench`) must use the virtual clock, never the host clock:
+//!     no `std::time::Instant`, `std::time::SystemTime`,
+//!     `std::thread::sleep` in their `src/` trees.
+//!   - **R2** Daemon-path modules of `iofwd` (`backend`, `transport`,
+//!     `client`, `bml`, `descdb`) must not `.unwrap()` / `.expect(...)`
+//!     / `panic!` outside `#[cfg(test)]` modules — errors flow through
+//!     `iofwd_proto::error` to the client like CIOD returns errno.
+//!   - **R3** `match` expressions over wire-format enums (`Request`,
+//!     `Response`, `FrameKind`, `Whence`) must be exhaustive by
+//!     listing variants: no `_ =>` or bare-binding catch-all arms, so
+//!     adding a protocol op forces every dispatch site to be revisited.
+//!   - **R4** Every `unsafe` must be annotated with a `// SAFETY:`
+//!     comment in the three lines above it.
+//!
+//!   Known-good exceptions live in `xtask/lint.allow` (one per line:
+//!   `R<n> <path> -- <justification>`, at most [`MAX_ALLOW`] entries).
+//!
+//! * `loom` — run the loomlite model-checking suite
+//!   (`crates/iofwd/tests/loom_model.rs`) with `RUSTFLAGS="--cfg loom"`.
+//! * `miri` — run the protocol/runtime unit tests under Miri when the
+//!   component is installed; explains how to get it otherwise.
+//! * `tsan` — run the concurrency tests under ThreadSanitizer when the
+//!   nightly toolchain has `rust-src`; explains otherwise.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+mod lexer;
+mod rules;
+
+use rules::{Rule, Violation};
+
+/// Hard cap on `xtask/lint.allow` so the escape hatch stays an escape
+/// hatch; growing past this means fixing code, not the allowlist.
+const MAX_ALLOW: usize = 10;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&root),
+        Some("loom") => run_loom(&root),
+        Some("miri") => run_miri(&root),
+        Some("tsan") => run_tsan(&root),
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}`");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask <lint|loom|miri|tsan>");
+}
+
+/// The workspace root: xtask is always invoked via `cargo run` from the
+/// workspace, so the manifest dir's parent is the root.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+// ---------------------------------------------------------------------
+// lint
+// ---------------------------------------------------------------------
+
+/// One parsed `lint.allow` entry.
+struct AllowEntry {
+    rule: Rule,
+    path: String,
+    line_no: usize,
+}
+
+fn lint(root: &Path) -> ExitCode {
+    let allow = match parse_allowlist(root) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("xtask lint: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    collect_rs_files(&root.join("examples"), &mut files);
+    collect_rs_files(&root.join("tests"), &mut files);
+    collect_rs_files(&root.join("xtask"), &mut files);
+    files.sort();
+
+    let mut violations = Vec::new();
+    for file in &files {
+        let Ok(source) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        let rel = file.strip_prefix(root).unwrap_or(file);
+        violations.extend(rules::check_file(rel, &source));
+    }
+
+    let mut used: HashSet<usize> = HashSet::new();
+    let mut reported = 0usize;
+    for v in &violations {
+        let hit = allow.iter().position(|a| {
+            a.rule == v.rule && v.path.to_string_lossy().replace('\\', "/") == a.path
+        });
+        match hit {
+            Some(i) => {
+                used.insert(i);
+            }
+            None => {
+                reported += 1;
+                eprintln!("{v}");
+            }
+        }
+    }
+    for (i, a) in allow.iter().enumerate() {
+        if !used.contains(&i) {
+            eprintln!(
+                "xtask lint: warning: stale allowlist entry (lint.allow:{}): {} {}",
+                a.line_no, a.rule, a.path
+            );
+        }
+    }
+
+    if reported > 0 {
+        eprintln!(
+            "xtask lint: {reported} violation(s) in {} file(s) scanned",
+            files.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "xtask lint: ok ({} files scanned, {} allowlisted exception(s))",
+            files.len(),
+            used.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
+    let path = root.join("xtask/lint.allow");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, justification) = line
+            .split_once("--")
+            .ok_or_else(|| format!("lint.allow:{line_no}: missing `-- <justification>`"))?;
+        if justification.trim().is_empty() {
+            return Err(format!("lint.allow:{line_no}: empty justification"));
+        }
+        let mut parts = head.split_whitespace();
+        let rule = parts
+            .next()
+            .and_then(Rule::parse)
+            .ok_or_else(|| format!("lint.allow:{line_no}: expected R1..R4"))?;
+        let path = parts
+            .next()
+            .ok_or_else(|| format!("lint.allow:{line_no}: expected a file path"))?
+            .to_string();
+        if parts.next().is_some() {
+            return Err(format!("lint.allow:{line_no}: trailing tokens before `--`"));
+        }
+        entries.push(AllowEntry {
+            rule,
+            path,
+            line_no,
+        });
+    }
+    if entries.len() > MAX_ALLOW {
+        return Err(format!(
+            "lint.allow has {} entries; the cap is {MAX_ALLOW} — fix code instead of allowlisting",
+            entries.len()
+        ));
+    }
+    Ok(entries)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// loom / miri / tsan runners
+// ---------------------------------------------------------------------
+
+fn run_loom(root: &Path) -> ExitCode {
+    println!(
+        "xtask loom: RUSTFLAGS=\"--cfg loom\" cargo test -p iofwd --test loom_model --release"
+    );
+    let status = Command::new(cargo())
+        .current_dir(root)
+        .env("RUSTFLAGS", "--cfg loom")
+        .args(["test", "-p", "iofwd", "--test", "loom_model", "--release"])
+        .status();
+    exit_from(status, "cargo test (loom)")
+}
+
+fn run_miri(root: &Path) -> ExitCode {
+    let probe = Command::new(cargo())
+        .current_dir(root)
+        .args(["+nightly", "miri", "--version"])
+        .output();
+    let available = matches!(&probe, Ok(o) if o.status.success());
+    if !available {
+        println!("xtask miri: skipped — the `miri` component is not installed.");
+        println!("  Install with: rustup +nightly component add miri");
+        println!("  Then run:     cargo xtask miri");
+        return ExitCode::SUCCESS;
+    }
+    println!("xtask miri: cargo +nightly miri test -p iofwd-proto -p iofwd --lib");
+    let status = Command::new(cargo())
+        .current_dir(root)
+        .args([
+            "+nightly",
+            "miri",
+            "test",
+            "-p",
+            "iofwd-proto",
+            "-p",
+            "iofwd",
+            "--lib",
+        ])
+        .status();
+    exit_from(status, "cargo miri test")
+}
+
+fn run_tsan(root: &Path) -> ExitCode {
+    let probe = Command::new("rustc")
+        .args(["+nightly", "--print", "sysroot"])
+        .output();
+    let sysroot = match &probe {
+        Ok(o) if o.status.success() => String::from_utf8_lossy(&o.stdout).trim().to_string(),
+        _ => {
+            println!("xtask tsan: skipped — no nightly toolchain found.");
+            println!("  Install with: rustup toolchain install nightly");
+            return ExitCode::SUCCESS;
+        }
+    };
+    // -Zbuild-std (required to instrument std) needs the rust-src component.
+    if !Path::new(&sysroot)
+        .join("lib/rustlib/src/rust/library")
+        .exists()
+    {
+        println!("xtask tsan: skipped — nightly lacks the `rust-src` component.");
+        println!("  Install with: rustup +nightly component add rust-src");
+        println!("  Then run:     cargo xtask tsan");
+        return ExitCode::SUCCESS;
+    }
+    let target = host_target();
+    println!(
+        "xtask tsan: RUSTFLAGS=\"-Zsanitizer=thread\" cargo +nightly test -Zbuild-std \
+         --target {target} -p iofwd --lib"
+    );
+    let status = Command::new(cargo())
+        .current_dir(root)
+        .env("RUSTFLAGS", "-Zsanitizer=thread")
+        .args([
+            "+nightly",
+            "test",
+            "-Zbuild-std",
+            "--target",
+            &target,
+            "-p",
+            "iofwd",
+            "--lib",
+        ])
+        .status();
+    exit_from(status, "cargo test (tsan)")
+}
+
+fn cargo() -> String {
+    std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string())
+}
+
+fn host_target() -> String {
+    let out = Command::new("rustc").args(["-vV"]).output();
+    if let Ok(o) = out {
+        for line in String::from_utf8_lossy(&o.stdout).lines() {
+            if let Some(t) = line.strip_prefix("host: ") {
+                return t.to_string();
+            }
+        }
+    }
+    "x86_64-unknown-linux-gnu".to_string()
+}
+
+fn exit_from(status: std::io::Result<std::process::ExitStatus>, what: &str) -> ExitCode {
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(s) => {
+            eprintln!("xtask: {what} failed: {s}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask: could not run {what}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}

@@ -1,0 +1,507 @@
+//! The four invariant rules. Each works on the masked source from
+//! [`crate::lexer::strip`], so comments and string literals are
+//! invisible; `SAFETY:` comment detection (R4) reads the raw source.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{find_words, line_of, strip, word_at};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Sim crates must not touch the host clock.
+    R1,
+    /// Daemon-path modules must not unwrap/expect/panic.
+    R2,
+    /// Wire-enum matches must be exhaustive (no catch-all arms).
+    R3,
+    /// `unsafe` requires a `// SAFETY:` comment.
+    R4,
+}
+
+impl Rule {
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "R1" => Some(Rule::R1),
+            "R2" => Some(Rule::R2),
+            "R3" => Some(Rule::R3),
+            "R4" => Some(Rule::R4),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R4 => "R4",
+        })
+    }
+}
+
+pub struct Violation {
+    pub rule: Rule,
+    pub path: PathBuf,
+    pub line: usize,
+    pub message: String,
+}
+
+/// Crates whose `src/` trees must use the simulated clock only.
+const SIM_CRATES: &[&str] = &["simcore", "bgsim", "bgp-model", "madbench"];
+
+/// `iofwd` modules on the daemon data path: errors must reach the
+/// client as `iofwd_proto::error` values, never a panic.
+const NO_PANIC_MODULES: &[&str] = &["backend", "transport", "client", "bml", "descdb"];
+
+/// Wire-format enums (`iofwd_proto::op` / `wire`): matches over these
+/// must list variants explicitly so protocol changes surface at every
+/// dispatch site.
+const WIRE_ENUMS: &[&str] = &["Request", "Response", "FrameKind", "Whence"];
+
+pub fn check_file(rel: &Path, source: &str) -> Vec<Violation> {
+    let masked = strip(source);
+    let mut out = Vec::new();
+    let unix = rel.to_string_lossy().replace('\\', "/");
+
+    if SIM_CRATES
+        .iter()
+        .any(|c| unix.starts_with(&format!("crates/{c}/src/")))
+    {
+        check_r1(rel, &masked, &mut out);
+    }
+    if NO_PANIC_MODULES.iter().any(|m| {
+        unix == format!("crates/iofwd/src/{m}.rs")
+            || unix.starts_with(&format!("crates/iofwd/src/{m}/"))
+    }) {
+        check_r2(rel, &masked, &mut out);
+    }
+    // R3 guards *runtime* dispatch sites; a test asserting one expected
+    // variant (`other => panic!`) already fails loudly when the protocol
+    // changes, so test code is out of scope.
+    if !is_test_file(&unix) {
+        check_r3(rel, &masked, &mut out);
+    }
+    check_r4(rel, source, &masked, &mut out);
+    out
+}
+
+/// Integration-test and bench sources (whole file is test code).
+fn is_test_file(unix: &str) -> bool {
+    unix.starts_with("tests/") || unix.contains("/tests/") || unix.contains("/benches/")
+}
+
+// ---------------------------------------------------------------- R1
+
+fn check_r1(rel: &Path, masked: &str, out: &mut Vec<Violation>) {
+    for word in ["Instant", "SystemTime"] {
+        for pos in find_words(masked, word) {
+            out.push(Violation {
+                rule: Rule::R1,
+                path: rel.to_path_buf(),
+                line: line_of(masked, pos),
+                message: format!(
+                    "`{word}` in a simulation crate — use the virtual clock (simcore::time)"
+                ),
+            });
+        }
+    }
+    let mut start = 0;
+    while let Some(off) = masked[start..].find("thread::sleep") {
+        let pos = start + off;
+        out.push(Violation {
+            rule: Rule::R1,
+            path: rel.to_path_buf(),
+            line: line_of(masked, pos),
+            message: "`thread::sleep` in a simulation crate — advance the virtual clock instead"
+                .to_string(),
+        });
+        start = pos + "thread::sleep".len();
+    }
+}
+
+// ---------------------------------------------------------------- R2
+
+/// Byte ranges covered by `#[cfg(test)]`-gated items (whole item body).
+fn test_regions(masked: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for marker in ["#[cfg(test)]", "#[cfg(all(test"] {
+        let mut start = 0;
+        while let Some(off) = masked[start..].find(marker) {
+            let attr_at = start + off;
+            start = attr_at + marker.len();
+            // Find the gated item's opening brace (or `;` for an
+            // out-of-line `mod foo;`, which has no body here).
+            let bytes = masked.as_bytes();
+            let mut i = start;
+            let mut open = None;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'{' => {
+                        open = Some(i);
+                        break;
+                    }
+                    b';' => break,
+                    _ => i += 1,
+                }
+            }
+            let Some(open) = open else { continue };
+            if let Some(close) = matching_brace(bytes, open) {
+                regions.push((attr_at, close));
+            }
+        }
+    }
+    regions
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn check_r2(rel: &Path, masked: &str, out: &mut Vec<Violation>) {
+    let tests = test_regions(masked);
+    let in_tests = |pos: usize| tests.iter().any(|&(a, b)| pos >= a && pos <= b);
+    for (needle, what) in [
+        (".unwrap()", "`.unwrap()`"),
+        (".expect(", "`.expect(...)`"),
+        ("panic!(", "`panic!`"),
+    ] {
+        let mut start = 0;
+        while let Some(off) = masked[start..].find(needle) {
+            let pos = start + off;
+            start = pos + needle.len();
+            if in_tests(pos) {
+                continue;
+            }
+            out.push(Violation {
+                rule: Rule::R2,
+                path: rel.to_path_buf(),
+                line: line_of(masked, pos),
+                message: format!(
+                    "{what} on the daemon path — return an iofwd_proto::error value instead"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R3
+
+fn check_r3(rel: &Path, masked: &str, out: &mut Vec<Violation>) {
+    let bytes = masked.as_bytes();
+    let tests = test_regions(masked);
+    let in_tests = |pos: usize| tests.iter().any(|&(a, b)| pos >= a && pos <= b);
+    for match_at in find_words(masked, "match") {
+        if in_tests(match_at) {
+            continue;
+        }
+        // Opening brace of the match body: first `{` at paren/bracket
+        // depth 0 (struct literals are not legal in a bare scrutinee).
+        let mut i = match_at + "match".len();
+        let mut depth = 0i32;
+        let mut open = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    open = Some(i);
+                    break;
+                }
+                b';' if depth == 0 => break, // `match` in an ident-free spot
+                _ => {}
+            }
+            i += 1;
+        }
+        let (Some(open),) = (open,) else { continue };
+        let Some(close) = matching_brace(bytes, open) else {
+            continue;
+        };
+
+        let arms = split_arms(masked, open, close);
+        let qualifies = arms
+            .iter()
+            .any(|&(s, e)| WIRE_ENUMS.iter().any(|en| has_enum_path(&masked[s..e], en)));
+        if !qualifies {
+            continue;
+        }
+        for &(s, e) in &arms {
+            let pat = pattern_without_guard(&masked[s..e]);
+            if is_catch_all(pat) {
+                out.push(Violation {
+                    rule: Rule::R3,
+                    path: rel.to_path_buf(),
+                    line: line_of(masked, s + leading_ws(pat, &masked[s..e])),
+                    message: format!(
+                        "catch-all arm `{} =>` in a match over a wire-format enum — list the \
+                         remaining variants explicitly",
+                        pat.trim()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Byte offset of the first non-whitespace char of `pat` within `arm`.
+fn leading_ws(pat: &str, arm: &str) -> usize {
+    let trimmed = pat.trim_start();
+    arm.find(trimmed.split_whitespace().next().unwrap_or(""))
+        .unwrap_or(0)
+}
+
+/// Pattern spans (start, end) of each arm between `open` and `close`:
+/// the text before each top-level `=>`.
+fn split_arms(masked: &str, open: usize, close: usize) -> Vec<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut arms = Vec::new();
+    let mut i = open + 1;
+    let mut pat_start = i;
+    while i < close {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => {
+                // Nested group inside a pattern or guard: skip it whole.
+                let Some(end) = matching_group(bytes, i, close) else {
+                    break;
+                };
+                i = end + 1;
+            }
+            b'=' if i + 1 < close && bytes[i + 1] == b'>' => {
+                arms.push((pat_start, i));
+                i += 2;
+                // Skip the arm body: a block, or everything up to the
+                // next top-level `,`.
+                while i < close && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if i < close && bytes[i] == b'{' {
+                    let Some(end) = matching_brace(bytes, i) else {
+                        break;
+                    };
+                    i = end + 1;
+                } else {
+                    let mut d = 0i32;
+                    while i < close {
+                        match bytes[i] {
+                            b'(' | b'[' | b'{' => d += 1,
+                            b')' | b']' | b'}' => d -= 1,
+                            b',' if d == 0 => break,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+                if i < close && bytes[i] == b',' {
+                    i += 1;
+                }
+                pat_start = i;
+            }
+            _ => i += 1,
+        }
+    }
+    arms
+}
+
+/// Matching close delimiter for the open delimiter at `i`, bounded.
+fn matching_group(bytes: &[u8], i: usize, limit: usize) -> Option<usize> {
+    let (open, closec) = match bytes[i] {
+        b'(' => (b'(', b')'),
+        b'[' => (b'[', b']'),
+        b'{' => (b'{', b'}'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    let mut j = i;
+    while j <= limit && j < bytes.len() {
+        if bytes[j] == open {
+            depth += 1;
+        } else if bytes[j] == closec {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+fn pattern_without_guard(arm: &str) -> &str {
+    // A guard is ` if ` at paren depth 0.
+    let bytes = arm.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b'i' if depth == 0 && word_at(arm, i, "if") => return &arm[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    arm
+}
+
+fn has_enum_path(pat: &str, en: &str) -> bool {
+    let mut start = 0;
+    while let Some(off) = pat[start..].find(en) {
+        let pos = start + off;
+        start = pos + en.len();
+        if word_at(pat, pos, en) && pat[pos + en.len()..].trim_start().starts_with("::") {
+            return true;
+        }
+    }
+    false
+}
+
+/// A catch-all pattern: matches anything without naming a variant,
+/// literal, or Option/Result constructor — `_`, `other`, `(x, _)`, ...
+fn is_catch_all(pat: &str) -> bool {
+    let pat = pat.trim();
+    if pat.is_empty() {
+        return false;
+    }
+    // Any path segment (Foo::..., Ok, Err, Some, None, a literal, or a
+    // range) makes the arm selective.
+    if pat.contains("::")
+        || pat.contains("..=")
+        || pat
+            .bytes()
+            .any(|b| b.is_ascii_digit() || b == b'"' || b == b'\'')
+    {
+        return false;
+    }
+    for word in ["Ok", "Err", "Some", "None", "true", "false"] {
+        let mut start = 0;
+        while let Some(off) = pat[start..].find(word) {
+            let pos = start + off;
+            if word_at(pat, pos, word) {
+                return false;
+            }
+            start = pos + word.len();
+        }
+    }
+    // What's left is built only from `_`, lowercase bindings, tuples,
+    // refs, and `|` — all catch-alls.
+    true
+}
+
+// ---------------------------------------------------------------- R4
+
+fn check_r4(rel: &Path, source: &str, masked: &str, out: &mut Vec<Violation>) {
+    let lines: Vec<&str> = source.lines().collect();
+    for pos in find_words(masked, "unsafe") {
+        let line = line_of(masked, pos);
+        // Look for a SAFETY: comment on this line or the three above.
+        let lo = line.saturating_sub(4); // lines[] is 0-based
+        let annotated = lines[lo..line.min(lines.len())]
+            .iter()
+            .any(|l| l.contains("SAFETY:"));
+        if !annotated {
+            out.push(Violation {
+                rule: Rule::R4,
+                path: rel.to_path_buf(),
+                line,
+                message: "`unsafe` without a `// SAFETY:` comment in the preceding 3 lines"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        check_file(Path::new(path), src)
+    }
+
+    #[test]
+    fn r1_flags_host_clock_in_sim_crates_only() {
+        let src = "use std::time::{Duration, Instant};\nfn f() { std::thread::sleep(d); }\n";
+        let v = check("crates/simcore/src/lib.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::R1).count(), 2);
+        assert!(check("crates/iofwd/src/file.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::R1));
+    }
+
+    #[test]
+    fn r1_ignores_comments_and_strings() {
+        let src = "// Instant is banned\nlet s = \"SystemTime\";\n";
+        assert!(check("crates/bgsim/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_unwrap_outside_tests() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn g() { y.unwrap(); } }\n";
+        let v = check("crates/iofwd/src/bml.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::R2).count(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn r2_only_in_daemon_modules() {
+        let src = "fn f() { x.unwrap(); }";
+        assert!(check("crates/iofwd/src/server/engine.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::R2));
+        assert!(!check("crates/iofwd/src/transport/tcp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_wildcard_over_wire_enum() {
+        let src = "fn f(r: Response) -> u8 { match r { Response::Ok => 1, other => 0 } }";
+        let v = check("crates/iofwd/src/file.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::R3);
+    }
+
+    #[test]
+    fn r3_accepts_exhaustive_and_ignores_other_enums() {
+        let ok = "fn f(r: Response) -> u8 { match r { Response::Ok => 1, Response::Err(e) => 0 } }";
+        assert!(check("crates/iofwd/src/file.rs", ok).is_empty());
+        let other = "fn f(x: Foo) -> u8 { match x { Foo::A => 1, _ => 0 } }";
+        assert!(check("crates/iofwd/src/file.rs", other).is_empty());
+    }
+
+    #[test]
+    fn r3_guarded_and_nested_arms() {
+        let src = "fn f(r: Request) { match r { Request::Write { fd, .. } if fd.0 > 0 => {}\n\
+                   Request::Read { .. } => { match q { _ => {} } }\n_ => {} } }";
+        let v = check("crates/iofwd/src/file.rs", src);
+        // Only the outer `_` arm is over a wire enum; inner match on `q`
+        // has no wire arms.
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("catch-all"));
+    }
+
+    #[test]
+    fn r4_requires_safety_comment() {
+        let bad = "fn f() { unsafe { g() } }";
+        let v = check("crates/iofwd/src/file.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::R4);
+        let good = "// SAFETY: g has no preconditions.\nfn f() { unsafe { g() } }";
+        assert!(check("crates/iofwd/src/file.rs", good).is_empty());
+    }
+}
