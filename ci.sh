@@ -24,4 +24,33 @@ cargo build --release --workspace
 step "test --release"
 cargo test -q --release --workspace
 
+step "telemetry smoke (iofwdd stats -> iofwd-cp snapshot)"
+SMOKE=$(mktemp -d)
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
+target/release/iofwdd --listen 127.0.0.1:0 --root "$SMOKE/root" \
+    --mode staged --workers 2 --stats-interval 1 \
+    --stats-json "$SMOKE/stats.json" --port-file "$SMOKE/port" \
+    2>"$SMOKE/daemon.log" &
+DAEMON_PID=$!
+for _ in $(seq 50); do [ -s "$SMOKE/port" ] && break; sleep 0.1; done
+[ -s "$SMOKE/port" ] || { echo "ci: iofwdd never wrote its port file"; exit 1; }
+ADDR="127.0.0.1:$(cat "$SMOKE/port")"
+head -c 1048576 /dev/urandom >"$SMOKE/in.bin"
+target/release/iofwd-cp --stats put "$SMOKE/in.bin" "$ADDR" /smoke.bin
+target/release/iofwd-cp --stats get "$ADDR" /smoke.bin "$SMOKE/out.bin"
+cmp "$SMOKE/in.bin" "$SMOKE/out.bin"
+# The snapshot is written on the daemon's 1 s stats tick; poll until it
+# parses with nonzero completed ops (iofwd-cp exits nonzero otherwise).
+SNAP_OK=
+for _ in $(seq 50); do
+    if [ -s "$SMOKE/stats.json" ] \
+        && target/release/iofwd-cp snapshot "$SMOKE/stats.json"; then
+        SNAP_OK=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$SNAP_OK" ] || { echo "ci: telemetry snapshot never showed completed ops"; exit 1; }
+kill "$DAEMON_PID"
+
 printf '\nci: all gates passed\n'

@@ -1,0 +1,58 @@
+//! The cost of leaving telemetry on: the same sched-mode echo loop
+//! against a daemon with the default (enabled) registry and one with
+//! `Telemetry::disabled()` wired through `ServerConfig`. The per-op
+//! delta is the full span-stamping + histogram + flight-recorder path;
+//! the acceptance bar is instrumented within 5% of disabled.
+//!
+//! Results are recorded in `BENCH_PR2.json` at the workspace root.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iofwd::backend::MemSinkBackend;
+use iofwd::client::Client;
+use iofwd::server::{ForwardingMode, IonServer, ServerConfig};
+use iofwd::telemetry::Telemetry;
+use iofwd::transport::mem::MemHub;
+use iofwd_proto::OpenFlags;
+
+/// Small writes so fixed per-op cost (the part telemetry adds to)
+/// dominates over payload copying.
+const OP_BYTES: usize = 4096;
+/// Ops per timed iteration: batching keeps each sample around the
+/// millisecond scale, where scheduler noise stops mattering.
+const OPS_PER_ITER: usize = 256;
+
+fn echo_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.throughput(Throughput::Bytes((OP_BYTES * OPS_PER_ITER) as u64));
+    for (label, telemetry) in [
+        ("instrumented", Arc::new(Telemetry::new())),
+        ("disabled", Arc::new(Telemetry::disabled())),
+    ] {
+        g.bench_function(label, |b| {
+            let hub = MemHub::new();
+            let backend = Arc::new(MemSinkBackend::new());
+            let config = ServerConfig::new(ForwardingMode::Sched { workers: 2 })
+                .with_telemetry(telemetry.clone());
+            let server = IonServer::spawn(Box::new(hub.listener()), backend, config);
+            let mut client = Client::connect(Box::new(hub.connect()));
+            let fd = client
+                .open("/bench", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+                .unwrap();
+            let data = vec![42u8; OP_BYTES];
+            b.iter(|| {
+                for _ in 0..OPS_PER_ITER {
+                    client.write(fd, &data).unwrap();
+                }
+            });
+            client.close(fd).unwrap();
+            client.shutdown().unwrap();
+            server.shutdown();
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, echo_loop);
+criterion_main!(benches);

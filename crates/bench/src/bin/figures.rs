@@ -5,11 +5,19 @@
 //! cargo run -p bench --release --bin figures -- fig9 fig13
 //! cargo run -p bench --release --bin figures -- --scale 4 fig12   # more iterations
 //! cargo run -p bench --release --bin figures -- efficiency
+//! cargo run -p bench --release --bin figures -- telemetry   # live-daemon stage breakdown
 //! ```
+
+use std::sync::Arc;
 
 use bench::figures::{build, efficiency_ladder, Budget, FigureId};
 use bench::paper;
 use bgp_model::MachineConfig;
+use iofwd::backend::MemSinkBackend;
+use iofwd::server::{ForwardingMode, IonServer, ServerConfig};
+use iofwd::telemetry::snapshot::fmt_ns;
+use iofwd::transport::mem::MemHub;
+use madbench::{MadbenchParams, Phase};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +60,7 @@ fn main() {
                 );
             }
             "efficiency" | "t-effic" => print_efficiency(budget),
+            "telemetry" => print_telemetry(budget),
             "ablation-bml" => {
                 eprintln!("[figures] running ablation-bml ...");
                 println!(
@@ -219,11 +228,83 @@ fn print_efficiency(budget: Budget) {
     println!();
 }
 
+/// Live-daemon telemetry: run MADbench against a real in-process daemon
+/// once per forwarding strategy and print the paper-style lifecycle
+/// stage breakdown (queue wait vs backend service) each one exhibits.
+fn print_telemetry(budget: Budget) {
+    eprintln!("[figures] running live-daemon telemetry sweep ...");
+    let nbin = ((3.0 * budget.scale).round() as u64).max(1);
+    let p = MadbenchParams {
+        npix: 64,
+        nbin,
+        nproc: 4,
+        ..MadbenchParams::paper_64()
+    };
+    // A BML barely larger than one write forces occupancy to swing and
+    // acquires to block — the gauge evidence for staging backpressure.
+    let bml_capacity = 2 * p.slice_bytes();
+    let modes = [
+        ForwardingMode::Ciod,
+        ForwardingMode::Zoid,
+        ForwardingMode::Sched { workers: 2 },
+        ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity,
+        },
+    ];
+    println!(
+        "# Per-strategy op lifecycle (MADbench {} procs x {} bins, live daemon)",
+        p.nproc, p.nbin
+    );
+    println!(
+        "{:>12} {:>6} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "mode", "ops", "qwait-mean", "qwait-p99", "svc-mean", "svc-p99", "total-mean", "total-p99"
+    );
+    for mode in modes {
+        let hub = MemHub::new();
+        let backend = Arc::new(MemSinkBackend::new());
+        let server = IonServer::spawn(
+            Box::new(hub.listener()),
+            backend.clone(),
+            ServerConfig::new(mode),
+        );
+        let telemetry = server.telemetry();
+        madbench::runner::run(&p, &Phase::ALL, |_| Box::new(hub.connect()));
+        server.shutdown();
+        let snap = telemetry.snapshot();
+        let h = |name: &str| snap.hist(name).cloned().unwrap_or_default();
+        let (qw, svc, tot) = (h("queue_wait_ns"), h("service_ns"), h("total_ns"));
+        println!(
+            "{:>12} {:>6} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            mode.name(),
+            snap.counter("ops_completed"),
+            fmt_ns(qw.mean()),
+            fmt_ns(qw.quantile(0.99) as f64),
+            fmt_ns(svc.mean()),
+            fmt_ns(svc.quantile(0.99) as f64),
+            fmt_ns(tot.mean()),
+            fmt_ns(tot.quantile(0.99) as f64),
+        );
+        if matches!(mode, ForwardingMode::AsyncStaged { .. }) {
+            println!(
+                "# async-staged: {} staged ops, {} blocked BML acquires, \
+                 BML occupancy peak {} B / final {} B, queue depth peak {}",
+                snap.counter("ops_staged"),
+                snap.counter("bml_blocked_acquires"),
+                snap.gauge("bml_occupancy").peak,
+                snap.gauge("bml_occupancy").current,
+                snap.gauge("queue_depth").peak,
+            );
+        }
+    }
+    println!();
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: figures [--scale N] \
-                <fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|efficiency|ablation-bml|ablation-protocol|all>..."
+                <fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|efficiency|telemetry|ablation-bml|ablation-protocol|all>..."
     );
     std::process::exit(2);
 }

@@ -1,0 +1,329 @@
+//! # iofwd-telemetry — observability for the forwarding runtime
+//!
+//! The paper's argument is built on stage-by-stage measurement of the
+//! forwarding pipeline (its Figs. 4–6 isolate the tree-network, ION,
+//! and storage-side stages before composing them). This crate gives the
+//! live runtime (`iofwd`, re-exporting this as `iofwd::telemetry`) the
+//! same vocabulary:
+//!
+//! * a lock-light metrics registry — monotonic [`Counter`]s, peak-
+//!   tracking [`Gauge`]s, and power-of-two-bucket [`Histogram`]s whose
+//!   bucket math matches `simcore::stats::LogHistogram`, so simulator
+//!   and daemon report comparably;
+//! * per-op lifecycle [`OpSpan`]s stamping arrival → queue → dispatch →
+//!   backend start → backend done → reply;
+//! * a fixed-size lock-free [`FlightRecorder`] ring holding the last N
+//!   completed spans for post-mortem dumps.
+//!
+//! Recording is allocation-free and cheap enough to leave on (relaxed
+//! atomics, per-thread histogram shards merged only at snapshot time).
+//! [`Telemetry::disabled`] is a null sink: `now_ns` returns 0 and every
+//! record call early-returns, for benches that want zero overhead.
+//! Snapshot assembly, text rendering, and the hand-rolled JSON codec
+//! live in [`snapshot`] — the one module allowed to allocate freely.
+
+pub mod hist;
+pub mod ring;
+pub mod snapshot;
+pub mod span;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use ring::FlightRecorder;
+pub use snapshot::{GaugeValue, TelemetrySnapshot};
+pub use span::{OpKind, OpSpan};
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic event counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level with a high-water mark (queue depth, BML
+/// occupancy, in-flight ops, …).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl Gauge {
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicI64::new(0),
+            peak: AtomicI64::new(0),
+        }
+    }
+
+    /// Apply a delta (negative to decrement) and fold the new level
+    /// into the peak.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn peak(&self) -> i64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-size per-worker dispatch counters (for the load-balancing
+/// heuristic: how evenly does the queue spread work?).
+pub const MAX_WORKERS: usize = 64;
+
+pub struct PerWorker {
+    counts: [Counter; MAX_WORKERS],
+}
+
+impl PerWorker {
+    pub fn new() -> PerWorker {
+        PerWorker {
+            counts: std::array::from_fn(|_| Counter::new()),
+        }
+    }
+
+    #[inline]
+    pub fn inc(&self, worker: usize) {
+        self.counts[worker % MAX_WORKERS].inc();
+    }
+
+    #[inline]
+    pub fn add(&self, worker: usize, n: u64) {
+        self.counts[worker % MAX_WORKERS].add(n);
+    }
+
+    pub fn get(&self, worker: usize) -> u64 {
+        self.counts[worker % MAX_WORKERS].get()
+    }
+}
+
+impl Default for PerWorker {
+    fn default() -> Self {
+        PerWorker::new()
+    }
+}
+
+/// Default flight-recorder capacity (completed spans retained).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// The registry: one per daemon (or per bench harness), shared as
+/// `Arc<Telemetry>` by every layer of the request path.
+pub struct Telemetry {
+    enabled: bool,
+    origin: Instant,
+
+    // -- counters -----------------------------------------------------
+    /// Ops whose lifecycle completed (span recorded).
+    pub ops_completed: Counter,
+    /// Completed ops that returned an error to the client (or, for
+    /// staged writes, recorded a deferred error).
+    pub ops_failed: Counter,
+    /// Writes acknowledged early and completed asynchronously (§IV).
+    pub ops_staged: Counter,
+    /// Deferred errors recorded against a descriptor by the DescDb.
+    pub deferred_errors: Counter,
+    /// Acquires that had to block for BML space.
+    pub bml_blocked_acquires: Counter,
+    /// Frames/payload bytes over the transport, per direction
+    /// (server-relative: `in` = received from clients).
+    pub frames_in: Counter,
+    pub frames_out: Counter,
+    pub transport_bytes_in: Counter,
+    pub transport_bytes_out: Counter,
+    /// Backend data-plane traffic.
+    pub backend_write_ops: Counter,
+    pub backend_read_ops: Counter,
+    pub backend_bytes_written: Counter,
+    pub backend_bytes_read: Counter,
+
+    // -- gauges -------------------------------------------------------
+    pub queue_depth: Gauge,
+    pub bml_occupancy: Gauge,
+    pub bml_waiters: Gauge,
+    pub inflight_ops: Gauge,
+    pub open_descriptors: Gauge,
+
+    // -- histograms (nanoseconds unless noted) ------------------------
+    pub queue_wait_ns: Histogram,
+    pub service_ns: Histogram,
+    pub total_ns: Histogram,
+    pub bml_block_ns: Histogram,
+    /// Items per scheduling pass (unit: items, not ns).
+    pub batch_size: Histogram,
+
+    pub worker_dispatch: PerWorker,
+    pub flight: FlightRecorder,
+}
+
+impl Telemetry {
+    pub fn new() -> Telemetry {
+        Telemetry::with_flight_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    pub fn with_flight_capacity(capacity: usize) -> Telemetry {
+        Telemetry::build(true, capacity)
+    }
+
+    /// The null sink: `now_ns` returns 0, every record path
+    /// early-returns. For benches that want zero overhead.
+    pub fn disabled() -> Telemetry {
+        Telemetry::build(false, 1)
+    }
+
+    fn build(enabled: bool, flight: usize) -> Telemetry {
+        Telemetry {
+            enabled,
+            origin: Instant::now(),
+            ops_completed: Counter::new(),
+            ops_failed: Counter::new(),
+            ops_staged: Counter::new(),
+            deferred_errors: Counter::new(),
+            bml_blocked_acquires: Counter::new(),
+            frames_in: Counter::new(),
+            frames_out: Counter::new(),
+            transport_bytes_in: Counter::new(),
+            transport_bytes_out: Counter::new(),
+            backend_write_ops: Counter::new(),
+            backend_read_ops: Counter::new(),
+            backend_bytes_written: Counter::new(),
+            backend_bytes_read: Counter::new(),
+            queue_depth: Gauge::new(),
+            bml_occupancy: Gauge::new(),
+            bml_waiters: Gauge::new(),
+            inflight_ops: Gauge::new(),
+            open_descriptors: Gauge::new(),
+            queue_wait_ns: Histogram::new(),
+            service_ns: Histogram::new(),
+            total_ns: Histogram::new(),
+            bml_block_ns: Histogram::new(),
+            batch_size: Histogram::new(),
+            worker_dispatch: PerWorker::new(),
+            flight: FlightRecorder::new(flight),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Nanoseconds since this registry's origin; 0 when disabled, so
+    /// span stamping in a disabled daemon costs one branch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Fold a finished span into the stage histograms and the flight
+    /// recorder. Allocation-free.
+    pub fn complete(&self, span: &OpSpan) {
+        if !self.enabled {
+            return;
+        }
+        self.ops_completed.inc();
+        if !span.ok {
+            self.ops_failed.inc();
+        }
+        self.queue_wait_ns.record(span.queue_wait_ns());
+        self.service_ns.record(span.service_ns());
+        self.total_ns.record(span.total_ns());
+        self.flight.record(span);
+    }
+
+    /// Assemble a consistent-enough point-in-time view (see
+    /// [`snapshot`] for rendering and the JSON codec).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        snapshot::capture(self)
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_a_null_sink() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        assert_eq!(t.now_ns(), 0);
+        let span = OpSpan::begin(OpKind::Write, 1, 1, 0);
+        t.complete(&span);
+        assert_eq!(t.ops_completed.get(), 0);
+        assert!(t.flight.snapshot().is_empty());
+    }
+
+    #[test]
+    fn complete_folds_stages() {
+        let t = Telemetry::new();
+        let mut span = OpSpan::begin(OpKind::Write, 3, 9, 100);
+        span.enqueue_ns = 110;
+        span.dispatch_ns = 150;
+        span.backend_start_ns = 150;
+        span.backend_done_ns = 350;
+        span.reply_ns = 360;
+        span.bytes = 4096;
+        t.complete(&span);
+        assert_eq!(t.ops_completed.get(), 1);
+        assert_eq!(t.queue_wait_ns.snapshot().count, 1);
+        assert_eq!(t.service_ns.snapshot().sum, 200);
+        let flight = t.flight.snapshot();
+        assert_eq!(flight.len(), 1);
+        assert_eq!(flight[0], span);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let g = Gauge::new();
+        g.add(3);
+        g.add(4);
+        g.add(-6);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.peak(), 7);
+    }
+
+    #[test]
+    fn now_ns_is_monotonic_when_enabled() {
+        let t = Telemetry::new();
+        let a = t.now_ns();
+        let b = t.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,212 @@
+//! The flight recorder: a fixed-size lock-free ring of the last N
+//! completed spans, for post-mortem dumps.
+//!
+//! Each slot is a miniature seqlock: an `AtomicU64` sequence word plus
+//! the span payload stored as [`OpSpan::WORDS`] atomic words (data as
+//! atomics keeps the whole structure free of `unsafe`). A writer claims
+//! the slot by CASing the sequence from even to odd, stores the words,
+//! then publishes by storing `seq + 2` (even again). A reader validates
+//! that the sequence is even, non-zero, and unchanged across its copy;
+//! anything else is a write in flight or an overwrite, and the slot is
+//! retried a bounded number of times, then skipped. A writer that finds
+//! its slot mid-write (another writer lapped the ring) drops its record
+//! rather than spin — recording must never block the hot path — and the
+//! drop is counted.
+//!
+//! Under `--cfg loom` the protocol is laced with scheduler yield points
+//! so the loomlite model (`crates/iofwd/tests/loom_model.rs`) can
+//! interleave writers and readers mid-protocol.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use crate::span::OpSpan;
+
+#[cfg(loom)]
+fn chaos() {
+    loomlite::thread::yield_now();
+}
+
+#[cfg(not(loom))]
+#[inline(always)]
+fn chaos() {}
+
+const WORDS: usize = OpSpan::WORDS;
+
+/// Bounded retries when a reader races a writer on one slot.
+const READ_RETRIES: usize = 4;
+
+struct Slot {
+    /// 0 = never written; odd = write in flight; even ≥ 2 = published.
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    /// Next ticket; `ticket % slots.len()` is the slot to write.
+    head: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(1);
+        FlightRecorder {
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever submitted (including dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records abandoned because their slot was mid-write.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Push a completed span. Wait-free: on slot contention the record
+    /// is dropped and counted, never retried.
+    pub fn record(&self, span: &OpSpan) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq & 1 == 1 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if slot
+            .seq
+            .compare_exchange(seq, seq + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        chaos();
+        let words = span.encode();
+        for (w, v) in slot.words.iter().zip(words) {
+            w.store(v, Ordering::Relaxed);
+            chaos();
+        }
+        slot.seq.store(seq + 2, Ordering::Release);
+    }
+
+    /// Copy out every fully-published record, oldest-first. Slots whose
+    /// writer is mid-flight after bounded retries are skipped — a
+    /// snapshot only ever observes complete records.
+    pub fn snapshot(&self) -> Vec<OpSpan> {
+        let len = self.slots.len();
+        let head = self.head.load(Ordering::Acquire) as usize;
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            if let Some(span) = read_slot(&self.slots[(head + i) % len]) {
+                out.push(span);
+            }
+        }
+        out
+    }
+}
+
+fn read_slot(slot: &Slot) -> Option<OpSpan> {
+    for _ in 0..READ_RETRIES {
+        let before = slot.seq.load(Ordering::Acquire);
+        if before == 0 {
+            return None;
+        }
+        if before & 1 == 1 {
+            chaos();
+            continue;
+        }
+        let mut words = [0u64; WORDS];
+        for (w, s) in words.iter_mut().zip(slot.words.iter()) {
+            *w = s.load(Ordering::Relaxed);
+            chaos();
+        }
+        fence(Ordering::Acquire);
+        if slot.seq.load(Ordering::Relaxed) == before {
+            return Some(OpSpan::decode(&words));
+        }
+    }
+    None
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::span::OpKind;
+
+    fn span(tag: u64) -> OpSpan {
+        let mut s = OpSpan::begin(OpKind::Write, tag, tag, tag);
+        s.bytes = tag;
+        s.enqueue_ns = tag;
+        s.dispatch_ns = tag;
+        s.backend_start_ns = tag;
+        s.backend_done_ns = tag;
+        s.reply_ns = tag;
+        s
+    }
+
+    #[test]
+    fn keeps_last_n_oldest_first() {
+        let ring = FlightRecorder::new(4);
+        for tag in 1..=10u64 {
+            ring.record(&span(tag));
+        }
+        let got = ring.snapshot();
+        let tags: Vec<u64> = got.iter().map(|s| s.client).collect();
+        assert_eq!(tags, vec![7, 8, 9, 10]);
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn empty_ring_snapshots_empty() {
+        let ring = FlightRecorder::new(8);
+        assert!(ring.snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear() {
+        let ring = std::sync::Arc::new(FlightRecorder::new(2));
+        let mut handles = Vec::new();
+        for t in 1..=4u64 {
+            let r = ring.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    let tag = t * 10_000 + i;
+                    r.record(&span(tag));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for rec in ring.snapshot() {
+            // Every word of a record carries the writer's tag; any mix
+            // would mean a torn slot.
+            let tag = rec.client;
+            assert_eq!(rec.seq, tag);
+            assert_eq!(rec.bytes, tag);
+            assert_eq!(rec.arrival_ns, tag);
+            assert_eq!(rec.reply_ns, tag);
+        }
+        assert_eq!(ring.recorded(), 2000);
+    }
+}

@@ -1,0 +1,640 @@
+//! Snapshot assembly, text rendering, and a hand-rolled JSON codec.
+//!
+//! This is the one telemetry module allowed to allocate and format
+//! (lint rule R5 exempts it): everything here runs at snapshot/dump
+//! time, never on the request hot path. The JSON codec is deliberately
+//! dependency-free — a writer over `format!` and a recursive-descent
+//! reader for the subset the writer emits (objects, arrays, strings,
+//! integers) — and round-trips [`TelemetrySnapshot`] exactly (see the
+//! proptests in `tests/telemetry_props.rs`).
+
+use std::fmt::Write as _;
+
+use crate::hist::HistSnapshot;
+use crate::span::OpSpan;
+use crate::{Telemetry, MAX_WORKERS};
+
+/// Current level + high-water mark of one gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GaugeValue {
+    pub current: i64,
+    pub peak: i64,
+}
+
+/// A named, ordered, mergeable-at-rest view of a [`Telemetry`]
+/// registry. Generic name→value vectors (rather than fixed fields)
+/// keep the JSON codec and renderers independent of the metric set.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, GaugeValue)>,
+    pub hists: Vec<(String, HistSnapshot)>,
+}
+
+impl TelemetrySnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> GaugeValue {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(GaugeValue::default(), |(_, v)| *v)
+    }
+
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    // -- JSON ---------------------------------------------------------
+
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", quote(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, g)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"current\":{},\"peak\":{}}}",
+                quote(name),
+                g.current,
+                g.peak
+            );
+        }
+        out.push_str("},\"hists\":{");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"buckets\":[",
+                quote(name),
+                h.count,
+                h.sum
+            );
+            let mut first = true;
+            for (b, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "[{b},{c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    pub fn from_json(text: &str) -> Result<TelemetrySnapshot, String> {
+        let root = match Json::parse(text)? {
+            Json::Obj(pairs) => pairs,
+            _ => return Err("top level is not an object".into()),
+        };
+        let mut snap = TelemetrySnapshot::default();
+        for (key, value) in root {
+            match (key.as_str(), value) {
+                ("counters", Json::Obj(pairs)) => {
+                    for (name, v) in pairs {
+                        snap.counters.push((name, v.as_u64()?));
+                    }
+                }
+                ("gauges", Json::Obj(pairs)) => {
+                    for (name, v) in pairs {
+                        let fields = v.into_obj()?;
+                        let mut g = GaugeValue::default();
+                        for (k, fv) in fields {
+                            match k.as_str() {
+                                "current" => g.current = fv.as_i64()?,
+                                "peak" => g.peak = fv.as_i64()?,
+                                other => return Err(format!("unknown gauge field `{other}`")),
+                            }
+                        }
+                        snap.gauges.push((name, g));
+                    }
+                }
+                ("hists", Json::Obj(pairs)) => {
+                    for (name, v) in pairs {
+                        let fields = v.into_obj()?;
+                        let mut h = HistSnapshot::default();
+                        for (k, fv) in fields {
+                            match k.as_str() {
+                                "count" => h.count = fv.as_u64()?,
+                                "sum" => h.sum = fv.as_u64()?,
+                                "buckets" => {
+                                    for pair in fv.into_arr()? {
+                                        let pair = pair.into_arr()?;
+                                        if pair.len() != 2 {
+                                            return Err("bucket pair is not [idx,count]".into());
+                                        }
+                                        let idx = pair[0].as_u64()? as usize;
+                                        if idx >= h.buckets.len() {
+                                            return Err(format!("bucket index {idx} out of range"));
+                                        }
+                                        h.buckets[idx] = pair[1].as_u64()?;
+                                    }
+                                }
+                                other => return Err(format!("unknown hist field `{other}`")),
+                            }
+                        }
+                        snap.hists.push((name, h));
+                    }
+                }
+                (other, _) => return Err(format!("unknown top-level key `{other}`")),
+            }
+        }
+        Ok(snap)
+    }
+
+    // -- text ---------------------------------------------------------
+
+    /// Human-readable dump for `iofwdd --stats-interval` / on-demand
+    /// dumps.
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("== iofwd telemetry ==\n");
+        out.push_str("counters:\n");
+        for (name, v) in &self.counters {
+            if *v == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "  {name:<24} {v}");
+        }
+        out.push_str("gauges (current / peak):\n");
+        for (name, g) in &self.gauges {
+            if g.current == 0 && g.peak == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "  {name:<24} {} / {}", g.current, g.peak);
+        }
+        out.push_str("histograms (count · mean · p50 · p99):\n");
+        for (name, h) in &self.hists {
+            if h.is_empty() {
+                continue;
+            }
+            if name.ends_with("_ns") {
+                let _ = writeln!(
+                    out,
+                    "  {name:<24} {:>8} · {:>9} · {:>9} · {:>9}",
+                    h.count,
+                    fmt_ns(h.mean()),
+                    fmt_ns(h.quantile(0.5) as f64),
+                    fmt_ns(h.quantile(0.99) as f64),
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  {name:<24} {:>8} · {:>9.1} · {:>9} · {:>9}",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Build a snapshot from a live registry. Lives here (not in `lib.rs`)
+/// because naming metrics means allocating strings — snapshot-time
+/// work, kept out of the hot-path module.
+pub fn capture(t: &Telemetry) -> TelemetrySnapshot {
+    let mut counters = vec![
+        ("ops_completed".to_string(), t.ops_completed.get()),
+        ("ops_failed".to_string(), t.ops_failed.get()),
+        ("ops_staged".to_string(), t.ops_staged.get()),
+        ("deferred_errors".to_string(), t.deferred_errors.get()),
+        (
+            "bml_blocked_acquires".to_string(),
+            t.bml_blocked_acquires.get(),
+        ),
+        ("frames_in".to_string(), t.frames_in.get()),
+        ("frames_out".to_string(), t.frames_out.get()),
+        ("transport_bytes_in".to_string(), t.transport_bytes_in.get()),
+        (
+            "transport_bytes_out".to_string(),
+            t.transport_bytes_out.get(),
+        ),
+        ("backend_write_ops".to_string(), t.backend_write_ops.get()),
+        ("backend_read_ops".to_string(), t.backend_read_ops.get()),
+        (
+            "backend_bytes_written".to_string(),
+            t.backend_bytes_written.get(),
+        ),
+        ("backend_bytes_read".to_string(), t.backend_bytes_read.get()),
+        ("flight_recorded".to_string(), t.flight.recorded()),
+        ("flight_dropped".to_string(), t.flight.dropped()),
+    ];
+    for w in 0..MAX_WORKERS {
+        let c = t.worker_dispatch.get(w);
+        if c > 0 {
+            counters.push((format!("worker_dispatch_{w}"), c));
+        }
+    }
+    let gauge = |g: &crate::Gauge| GaugeValue {
+        current: g.get(),
+        peak: g.peak(),
+    };
+    TelemetrySnapshot {
+        counters,
+        gauges: vec![
+            ("queue_depth".to_string(), gauge(&t.queue_depth)),
+            ("bml_occupancy".to_string(), gauge(&t.bml_occupancy)),
+            ("bml_waiters".to_string(), gauge(&t.bml_waiters)),
+            ("inflight_ops".to_string(), gauge(&t.inflight_ops)),
+            ("open_descriptors".to_string(), gauge(&t.open_descriptors)),
+        ],
+        hists: vec![
+            ("queue_wait_ns".to_string(), t.queue_wait_ns.snapshot()),
+            ("service_ns".to_string(), t.service_ns.snapshot()),
+            ("total_ns".to_string(), t.total_ns.snapshot()),
+            ("bml_block_ns".to_string(), t.bml_block_ns.snapshot()),
+            ("batch_size".to_string(), t.batch_size.snapshot()),
+        ],
+    }
+}
+
+/// Render the flight recorder's tail as a stage-breakdown table.
+pub fn render_flight(spans: &[OpSpan]) -> String {
+    let mut out = String::with_capacity(256 + spans.len() * 96);
+    out.push_str("flight recorder (oldest first):\n");
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>6} {:>8} {:>10} {:>3}  {:>9} {:>9} {:>9}",
+        "kind", "client", "seq", "bytes", "ok", "queue", "service", "total"
+    );
+    for s in spans {
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>6} {:>8} {:>10} {:>3}  {:>9} {:>9} {:>9}",
+            s.kind.name(),
+            s.client,
+            s.seq,
+            s.bytes,
+            if s.ok { "y" } else { "n" },
+            fmt_ns(s.queue_wait_ns() as f64),
+            fmt_ns(s.service_ns() as f64),
+            fmt_ns(s.total_ns() as f64),
+        );
+    }
+    out
+}
+
+/// Human-scale duration formatting.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (the subset the writer emits)
+// ---------------------------------------------------------------------
+
+// The subset the writer emits: strings occur only as object keys, so
+// there is no string *value* variant.
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Num(i128),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::Num(n) => u64::try_from(*n).map_err(|_| format!("{n} out of u64 range")),
+            _ => Err("expected a number".into()),
+        }
+    }
+
+    fn as_i64(&self) -> Result<i64, String> {
+        match self {
+            Json::Num(n) => i64::try_from(*n).map_err(|_| format!("{n} out of i64 range")),
+            _ => Err("expected a number".into()),
+        }
+    }
+
+    fn into_obj(self) -> Result<Vec<(String, Json)>, String> {
+        match self {
+            Json::Obj(pairs) => Ok(pairs),
+            _ => Err("expected an object".into()),
+        }
+    }
+
+    fn into_arr(self) -> Result<Vec<Json>, String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err("expected an array".into()),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Err(format!("unexpected string value at byte {}", self.pos)),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected `{}` at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                other => {
+                    return Err(format!(
+                        "expected `,` or `}}`, got `{}` at byte {}",
+                        other as char, self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected `,` or `]`, got `{}` at byte {}",
+                        other as char, self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            self.pos += 4;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "bad \\u code point".to_string())?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                }
+                other => {
+                    // Re-assemble UTF-8 sequences byte-by-byte.
+                    if other < 0x80 {
+                        out.push(other as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = utf8_len(other)?;
+                        let chunk = self
+                            .bytes
+                            .get(start..start + len)
+                            .ok_or_else(|| "truncated UTF-8 sequence".to_string())?;
+                        let s = std::str::from_utf8(chunk)
+                            .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                        out.push_str(s);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "bad number".to_string())?;
+        text.parse::<i128>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+}
+
+fn utf8_len(first: u8) -> Result<usize, String> {
+    match first {
+        0xc0..=0xdf => Ok(2),
+        0xe0..=0xef => Ok(3),
+        0xf0..=0xf7 => Ok(4),
+        _ => Err("invalid UTF-8 lead byte".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::OpKind;
+
+    #[test]
+    fn capture_and_round_trip() {
+        let t = Telemetry::new();
+        t.ops_staged.add(3);
+        t.transport_bytes_in.add(12345);
+        t.queue_depth.add(5);
+        t.queue_depth.add(-2);
+        t.worker_dispatch.inc(2);
+        t.queue_wait_ns.record(1500);
+        let mut span = OpSpan::begin(OpKind::Write, 1, 1, 10);
+        span.backend_start_ns = 20;
+        span.backend_done_ns = 40;
+        span.reply_ns = 41;
+        t.complete(&span);
+
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("ops_completed"), 1);
+        assert_eq!(snap.counter("ops_staged"), 3);
+        assert_eq!(snap.counter("worker_dispatch_2"), 1);
+        assert_eq!(snap.gauge("queue_depth").current, 3);
+        assert_eq!(snap.gauge("queue_depth").peak, 5);
+        assert_eq!(snap.hist("queue_wait_ns").map(|h| h.count), Some(2));
+
+        let json = snap.to_json();
+        let back = TelemetrySnapshot::from_json(&json).expect("parse back");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn renderers_do_not_panic() {
+        let t = Telemetry::new();
+        let mut span = OpSpan::begin(OpKind::Read, 2, 7, 0);
+        span.bytes = 1 << 20;
+        span.backend_done_ns = 2_500_000;
+        t.complete(&span);
+        let snap = t.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("ops_completed"));
+        let flight = render_flight(&t.flight.snapshot());
+        assert!(flight.contains("read"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(TelemetrySnapshot::from_json("").is_err());
+        assert!(TelemetrySnapshot::from_json("[]").is_err());
+        assert!(TelemetrySnapshot::from_json("{\"counters\":{\"a\":}}").is_err());
+        assert!(TelemetrySnapshot::from_json("{\"bogus\":{}}").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut snap = TelemetrySnapshot::default();
+        snap.counters
+            .push(("weird \"name\"\\\n\u{1}µ".to_string(), 9));
+        let back = TelemetrySnapshot::from_json(&snap.to_json()).expect("parse");
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-op lifecycle spans.
+//!
+//! A span timestamps one forwarded operation at each pipeline stage —
+//! arrival → queue → dispatch → backend start → backend done → reply —
+//! mirroring the paper's stage-by-stage decomposition (tree network /
+//! ION processing / storage hop). Spans are plain `Copy` structs of
+//! `u64` nanoseconds; recording one never allocates. Timestamps are
+//! relative to the owning [`crate::Telemetry`]'s origin; a stage that
+//! never happened is 0 (stage durations saturate to 0 around it).
+
+/// Coarse operation class a span belongs to. Deliberately coarser than
+/// the wire `Request` enum: the stages of interest (queue wait, backend
+/// service) behave the same for all metadata ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OpKind {
+    Open,
+    Write,
+    Read,
+    Fsync,
+    Close,
+    /// stat/fstat/seek/truncate/unlink/mkdir/readdir — cheap metadata.
+    Meta,
+    /// Streaming-socket connect (DA-node sink).
+    Connect,
+    /// Session control (shutdown and anything non-I/O).
+    #[default]
+    Control,
+}
+
+impl OpKind {
+    pub const ALL: [OpKind; 8] = [
+        OpKind::Open,
+        OpKind::Write,
+        OpKind::Read,
+        OpKind::Fsync,
+        OpKind::Close,
+        OpKind::Meta,
+        OpKind::Connect,
+        OpKind::Control,
+    ];
+
+    pub fn code(self) -> u64 {
+        match self {
+            OpKind::Open => 0,
+            OpKind::Write => 1,
+            OpKind::Read => 2,
+            OpKind::Fsync => 3,
+            OpKind::Close => 4,
+            OpKind::Meta => 5,
+            OpKind::Connect => 6,
+            OpKind::Control => 7,
+        }
+    }
+
+    pub fn from_code(code: u64) -> OpKind {
+        match code {
+            0 => OpKind::Open,
+            1 => OpKind::Write,
+            2 => OpKind::Read,
+            3 => OpKind::Fsync,
+            4 => OpKind::Close,
+            5 => OpKind::Meta,
+            6 => OpKind::Connect,
+            _ => OpKind::Control,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Open => "open",
+            OpKind::Write => "write",
+            OpKind::Read => "read",
+            OpKind::Fsync => "fsync",
+            OpKind::Close => "close",
+            OpKind::Meta => "meta",
+            OpKind::Connect => "connect",
+            OpKind::Control => "control",
+        }
+    }
+}
+
+/// One op's lifecycle. All timestamps are nanoseconds since the owning
+/// `Telemetry`'s origin; 0 means "stage not reached / not applicable".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpSpan {
+    pub kind: OpKind,
+    pub client: u64,
+    pub seq: u64,
+    /// Payload bytes moved (in for writes, out for reads).
+    pub bytes: u64,
+    pub ok: bool,
+    pub arrival_ns: u64,
+    pub enqueue_ns: u64,
+    pub dispatch_ns: u64,
+    pub backend_start_ns: u64,
+    pub backend_done_ns: u64,
+    pub reply_ns: u64,
+}
+
+impl OpSpan {
+    /// Words in the fixed flight-recorder encoding.
+    pub const WORDS: usize = 10;
+
+    pub fn begin(kind: OpKind, client: u64, seq: u64, arrival_ns: u64) -> OpSpan {
+        OpSpan {
+            kind,
+            client,
+            seq,
+            bytes: 0,
+            ok: true,
+            arrival_ns,
+            enqueue_ns: 0,
+            dispatch_ns: 0,
+            backend_start_ns: 0,
+            backend_done_ns: 0,
+            reply_ns: 0,
+        }
+    }
+
+    /// Time spent parked in the scheduling stage (work queue or shm
+    /// channel) before a worker picked the op up.
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.dispatch_ns.saturating_sub(self.enqueue_ns)
+    }
+
+    /// Backend service time.
+    pub fn service_ns(&self) -> u64 {
+        self.backend_done_ns.saturating_sub(self.backend_start_ns)
+    }
+
+    /// Arrival-to-last-stamp latency. For staged writes the reply
+    /// precedes backend completion, so the later of the two wins.
+    pub fn total_ns(&self) -> u64 {
+        let end = self.reply_ns.max(self.backend_done_ns);
+        end.saturating_sub(self.arrival_ns)
+    }
+
+    /// Fixed-width encoding for the flight-recorder ring.
+    pub fn encode(&self) -> [u64; Self::WORDS] {
+        [
+            self.client,
+            self.seq,
+            self.kind.code() | (u64::from(self.ok) << 8),
+            self.bytes,
+            self.arrival_ns,
+            self.enqueue_ns,
+            self.dispatch_ns,
+            self.backend_start_ns,
+            self.backend_done_ns,
+            self.reply_ns,
+        ]
+    }
+
+    pub fn decode(words: &[u64; Self::WORDS]) -> OpSpan {
+        OpSpan {
+            client: words[0],
+            seq: words[1],
+            kind: OpKind::from_code(words[2] & 0xff),
+            ok: (words[2] >> 8) & 1 == 1,
+            bytes: words[3],
+            arrival_ns: words[4],
+            enqueue_ns: words[5],
+            dispatch_ns: words[6],
+            backend_start_ns: words[7],
+            backend_done_ns: words[8],
+            reply_ns: words[9],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for kind in OpKind::ALL {
+            let mut s = OpSpan::begin(kind, 7, 42, 100);
+            s.bytes = 4096;
+            s.ok = kind != OpKind::Fsync;
+            s.enqueue_ns = 110;
+            s.dispatch_ns = 150;
+            s.backend_start_ns = 151;
+            s.backend_done_ns = 300;
+            s.reply_ns = 310;
+            assert_eq!(OpSpan::decode(&s.encode()), s);
+        }
+    }
+
+    #[test]
+    fn stage_durations() {
+        let mut s = OpSpan::begin(OpKind::Write, 1, 1, 100);
+        s.enqueue_ns = 120;
+        s.dispatch_ns = 200;
+        s.backend_start_ns = 210;
+        s.backend_done_ns = 400;
+        s.reply_ns = 250; // staged: ack precedes backend completion
+        assert_eq!(s.queue_wait_ns(), 80);
+        assert_eq!(s.service_ns(), 190);
+        assert_eq!(s.total_ns(), 300);
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in OpKind::ALL {
+            assert_eq!(OpKind::from_code(kind.code()), kind);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the telemetry primitives: histogram merge
+//! is a commutative monoid that conserves bucket counts (so sharded
+//! recording and cross-snapshot aggregation cannot lose samples), and
+//! the hand-rolled JSON codec round-trips every snapshot the writer
+//! can emit.
+
+use iofwd_telemetry::hist::{bucket_of, Histogram, BUCKETS, SHARDS};
+use iofwd_telemetry::{GaugeValue, HistSnapshot, TelemetrySnapshot};
+use proptest::prelude::*;
+
+/// Build a snapshot-at-rest from raw samples.
+fn hist_of(samples: &[u64]) -> HistSnapshot {
+    let mut h = HistSnapshot::default();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+fn merged(a: &HistSnapshot, b: &HistSnapshot) -> HistSnapshot {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+proptest! {
+    /// merge is associative and commutative with the empty snapshot as
+    /// identity — the algebra that lets shards, workers, and periodic
+    /// dumps be combined in any grouping or order.
+    #[test]
+    fn merge_is_a_commutative_monoid(
+        xs in proptest::collection::vec(0u64..(1 << 40), 0..50),
+        ys in proptest::collection::vec(0u64..(1 << 40), 0..50),
+        zs in proptest::collection::vec(0u64..(1 << 40), 0..50),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+        prop_assert_eq!(merged(&a, &HistSnapshot::default()), a);
+    }
+
+    /// Bucket-count conservation: however samples are striped across a
+    /// live histogram's shards, the merged snapshot holds exactly the
+    /// recorded population — per bucket, in total, and in sum.
+    #[test]
+    fn shard_merge_conserves_bucket_counts(
+        samples in proptest::collection::vec(
+            (0usize..SHARDS * 3, 1u64..(1 << 40)),
+            1..200,
+        ),
+    ) {
+        let live = Histogram::new();
+        let mut expect = [0u64; BUCKETS];
+        let mut sum = 0u64;
+        for &(shard, v) in &samples {
+            live.record_shard(shard, v);
+            expect[bucket_of(v)] += 1;
+            sum += v;
+        }
+        let snap = live.snapshot();
+        prop_assert_eq!(snap.buckets, expect);
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+        prop_assert_eq!(snap.sum, sum);
+    }
+
+    /// The JSON writer and reader are exact inverses over the codec's
+    /// whole domain: any mix of counters, negative-valued gauges, and
+    /// sparse histograms — with names needing every escape the writer
+    /// knows — survives a round trip unchanged.
+    #[test]
+    fn json_snapshot_round_trips(
+        counters in proptest::collection::vec((0usize..8, 0u64..u64::MAX), 0..8),
+        gauges in proptest::collection::vec(
+            (0usize..8, i64::MIN..i64::MAX, i64::MIN..i64::MAX),
+            0..6,
+        ),
+        hists in proptest::collection::vec(
+            (0usize..8, proptest::collection::vec(0u64..(1 << 40), 0..30)),
+            0..4,
+        ),
+    ) {
+        // Names exercise the quote()/unescape paths: quotes,
+        // backslashes, control chars, and non-ASCII.
+        let name = |i: usize| {
+            ["ops", "a\"b", "c\\d", "e\nf", "g\th", "\r\u{1}", "µops", ""][i].to_string()
+        };
+        let snap = TelemetrySnapshot {
+            counters: counters.iter().map(|&(i, v)| (name(i), v)).collect(),
+            gauges: gauges
+                .iter()
+                .map(|&(i, current, peak)| (name(i), GaugeValue { current, peak }))
+                .collect(),
+            hists: hists
+                .iter()
+                .map(|(i, samples)| (name(*i), hist_of(samples)))
+                .collect(),
+        };
+        let parsed = TelemetrySnapshot::from_json(&snap.to_json())
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;
+        prop_assert_eq!(parsed, snap);
+    }
+}

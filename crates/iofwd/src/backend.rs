@@ -79,6 +79,107 @@ pub trait Backend: Send + Sync + 'static {
 }
 
 // ---------------------------------------------------------------------------
+// Instrumented (telemetry decorator)
+// ---------------------------------------------------------------------------
+
+/// Wraps any backend and counts data-plane traffic (ops and bytes, per
+/// direction) into the daemon's telemetry registry. Only successful
+/// operations are counted — a failed write moved no data.
+pub struct Instrumented {
+    inner: Arc<dyn Backend>,
+    telemetry: Arc<crate::telemetry::Telemetry>,
+}
+
+impl Instrumented {
+    pub fn new(inner: Arc<dyn Backend>, telemetry: Arc<crate::telemetry::Telemetry>) -> Self {
+        Instrumented { inner, telemetry }
+    }
+
+    fn wrap(&self, obj: Box<dyn BackendObject>) -> Box<dyn BackendObject> {
+        Box::new(InstrumentedObject {
+            inner: obj,
+            telemetry: self.telemetry.clone(),
+        })
+    }
+}
+
+struct InstrumentedObject {
+    inner: Box<dyn BackendObject>,
+    telemetry: Arc<crate::telemetry::Telemetry>,
+}
+
+impl BackendObject for InstrumentedObject {
+    fn write_at(&mut self, offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
+        let res = self.inner.write_at(offset, data);
+        if let Ok(n) = res {
+            if self.telemetry.enabled() {
+                self.telemetry.backend_write_ops.inc();
+                self.telemetry.backend_bytes_written.add(n);
+            }
+        }
+        res
+    }
+
+    fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno> {
+        let res = self.inner.read_at(offset, len);
+        if let Ok(buf) = &res {
+            if self.telemetry.enabled() {
+                self.telemetry.backend_read_ops.inc();
+                self.telemetry.backend_bytes_read.add(buf.len() as u64);
+            }
+        }
+        res
+    }
+
+    fn seek(&mut self, offset: i64, whence: Whence) -> Result<u64, Errno> {
+        self.inner.seek(offset, whence)
+    }
+
+    fn sync(&mut self) -> Result<(), Errno> {
+        self.inner.sync()
+    }
+
+    fn fstat(&mut self) -> Result<FileStat, Errno> {
+        self.inner.fstat()
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), Errno> {
+        self.inner.truncate(len)
+    }
+}
+
+impl Backend for Instrumented {
+    fn open(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        mode: u32,
+    ) -> Result<Box<dyn BackendObject>, Errno> {
+        self.inner.open(path, flags, mode).map(|o| self.wrap(o))
+    }
+
+    fn connect(&self, host: &str, port: u16) -> Result<Box<dyn BackendObject>, Errno> {
+        self.inner.connect(host, port).map(|o| self.wrap(o))
+    }
+
+    fn stat(&self, path: &str) -> Result<FileStat, Errno> {
+        self.inner.stat(path)
+    }
+
+    fn unlink(&self, path: &str) -> Result<(), Errno> {
+        self.inner.unlink(path)
+    }
+
+    fn mkdir(&self, path: &str, mode: u32) -> Result<(), Errno> {
+        self.inner.mkdir(path, mode)
+    }
+
+    fn readdir(&self, path: &str) -> Result<Vec<String>, Errno> {
+        self.inner.readdir(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // NullBackend
 // ---------------------------------------------------------------------------
 

@@ -4,19 +4,27 @@
 //! iofwd-cp put LOCAL  ADDR REMOTE     # upload through the daemon
 //! iofwd-cp get ADDR REMOTE  LOCAL     # download through the daemon
 //! iofwd-cp stat ADDR REMOTE           # forwarded stat
+//! iofwd-cp snapshot FILE              # validate a daemon JSON snapshot
 //! ```
 //!
-//! Example against a local daemon:
+//! `--stats` (before the subcommand) records the latency of every
+//! forwarded call client-side and prints per-operation mean/p99 —
+//! the compute-node's view of the daemon's stage breakdown:
 //!
 //! ```text
 //! iofwdd --listen 127.0.0.1:9331 --root /tmp/ion &
-//! iofwd-cp put ./data.bin 127.0.0.1:9331 /incoming/data.bin
+//! iofwd-cp --stats put ./data.bin 127.0.0.1:9331 /incoming/data.bin
 //! ```
+//!
+//! `snapshot FILE` parses a `--stats-json` snapshot written by `iofwdd`,
+//! prints a digest, and exits nonzero unless it records completed ops —
+//! the CI smoke-check for the telemetry pipeline.
 
 use std::io::{Read, Write};
 use std::time::Instant;
 
 use iofwd::client::Client;
+use iofwd::telemetry::{snapshot::fmt_ns, HistSnapshot, TelemetrySnapshot};
 use iofwd::transport::tcp::TcpConn;
 use iofwd_proto::OpenFlags;
 
@@ -33,27 +41,92 @@ fn connect(addr: &str) -> Client {
     Client::connect(Box::new(conn))
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(|s| s.as_str()) {
-        Some("put") if args.len() == 4 => put(&args[1], &args[2], &args[3]),
-        Some("get") if args.len() == 4 => get(&args[1], &args[2], &args[3]),
-        Some("stat") if args.len() == 3 => stat(&args[1], &args[2]),
-        _ => {
-            die("usage: iofwd-cp put LOCAL ADDR REMOTE | get ADDR REMOTE LOCAL | stat ADDR REMOTE")
+/// Client-side latency recorder: one histogram per forwarded-call kind.
+#[derive(Default)]
+struct CallStats {
+    enabled: bool,
+    ops: Vec<(&'static str, HistSnapshot)>,
+}
+
+impl CallStats {
+    fn new(enabled: bool) -> CallStats {
+        CallStats {
+            enabled,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Time `f` and charge it to `name`'s histogram.
+    fn timed<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return f();
+        }
+        let t0 = Instant::now();
+        let out = f();
+        let ns = t0.elapsed().as_nanos() as u64;
+        match self.ops.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => h.record(ns),
+            None => {
+                let mut h = HistSnapshot::default();
+                h.record(ns);
+                self.ops.push((name, h));
+            }
+        }
+        out
+    }
+
+    fn print(&self) {
+        if !self.enabled || self.ops.is_empty() {
+            return;
+        }
+        eprintln!("iofwd-cp: client-side op latencies");
+        eprintln!(
+            "  {:<8} {:>8} {:>12} {:>12} {:>12}",
+            "op", "count", "mean", "p50", "p99"
+        );
+        for (name, h) in &self.ops {
+            eprintln!(
+                "  {:<8} {:>8} {:>12} {:>12} {:>12}",
+                name,
+                h.count,
+                fmt_ns(h.mean()),
+                fmt_ns(h.quantile(0.50) as f64),
+                fmt_ns(h.quantile(0.99) as f64),
+            );
         }
     }
 }
 
-fn put(local: &str, addr: &str, remote: &str) {
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats = args.first().map(|s| s.as_str()) == Some("--stats");
+    if stats {
+        args.remove(0);
+    }
+    match args.first().map(|s| s.as_str()) {
+        Some("put") if args.len() == 4 => put(&args[1], &args[2], &args[3], stats),
+        Some("get") if args.len() == 4 => get(&args[1], &args[2], &args[3], stats),
+        Some("stat") if args.len() == 3 => stat(&args[1], &args[2]),
+        Some("snapshot") if args.len() == 2 => check_snapshot(&args[1]),
+        _ => die(
+            "usage: iofwd-cp [--stats] put LOCAL ADDR REMOTE | get ADDR REMOTE LOCAL \
+             | stat ADDR REMOTE | snapshot FILE",
+        ),
+    }
+}
+
+fn put(local: &str, addr: &str, remote: &str, stats: bool) {
+    let mut calls = CallStats::new(stats);
     let mut src = std::fs::File::open(local).unwrap_or_else(|e| die(&format!("open {local}: {e}")));
     let mut client = connect(addr);
-    let fd = client
-        .open(
-            remote,
-            OpenFlags::WRONLY | OpenFlags::CREATE | OpenFlags::TRUNC,
-            0o644,
-        )
+    let fd = calls
+        .timed("open", || {
+            client.open(
+                remote,
+                OpenFlags::WRONLY | OpenFlags::CREATE | OpenFlags::TRUNC,
+                0o644,
+            )
+        })
         .unwrap_or_else(|e| die(&format!("remote open {remote}: {e}")));
     let mut buf = vec![0u8; CHUNK];
     let mut total = 0u64;
@@ -65,33 +138,35 @@ fn put(local: &str, addr: &str, remote: &str) {
         if n == 0 {
             break;
         }
-        client
-            .write(fd, &buf[..n])
+        calls
+            .timed("write", || client.write(fd, &buf[..n]))
             .unwrap_or_else(|e| die(&format!("forwarded write: {e}")));
         total += n as u64;
     }
-    client
-        .fsync(fd)
+    calls
+        .timed("fsync", || client.fsync(fd))
         .unwrap_or_else(|e| die(&format!("fsync (staged writes): {e}")));
-    client
-        .close(fd)
+    calls
+        .timed("close", || client.close(fd))
         .unwrap_or_else(|e| die(&format!("close: {e}")));
     let _ = client.shutdown();
     report("put", total, t0, client.stats().staged_writes);
+    calls.print();
 }
 
-fn get(addr: &str, remote: &str, local: &str) {
+fn get(addr: &str, remote: &str, local: &str, stats: bool) {
+    let mut calls = CallStats::new(stats);
     let mut client = connect(addr);
-    let fd = client
-        .open(remote, OpenFlags::RDONLY, 0)
+    let fd = calls
+        .timed("open", || client.open(remote, OpenFlags::RDONLY, 0))
         .unwrap_or_else(|e| die(&format!("remote open {remote}: {e}")));
     let mut dst =
         std::fs::File::create(local).unwrap_or_else(|e| die(&format!("create {local}: {e}")));
     let mut total = 0u64;
     let t0 = Instant::now();
     loop {
-        let data = client
-            .read(fd, CHUNK as u64)
+        let data = calls
+            .timed("read", || client.read(fd, CHUNK as u64))
             .unwrap_or_else(|e| die(&format!("forwarded read: {e}")));
         if data.is_empty() {
             break;
@@ -100,11 +175,12 @@ fn get(addr: &str, remote: &str, local: &str) {
             .unwrap_or_else(|e| die(&format!("write {local}: {e}")));
         total += data.len() as u64;
     }
-    client
-        .close(fd)
+    calls
+        .timed("close", || client.close(fd))
         .unwrap_or_else(|e| die(&format!("close: {e}")));
     let _ = client.shutdown();
     report("get", total, t0, 0);
+    calls.print();
 }
 
 fn stat(addr: &str, remote: &str) {
@@ -120,6 +196,28 @@ fn stat(addr: &str, remote: &str) {
         st.mtime_ns,
         if st.is_dir { ", directory" } else { "" }
     );
+}
+
+/// Parse a daemon `--stats-json` snapshot and verify it shows activity.
+/// Exit status is the CI contract: 0 iff the snapshot parses and records
+/// at least one completed op.
+fn check_snapshot(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let snap =
+        TelemetrySnapshot::from_json(&text).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+    let ops = snap.counter("ops_completed");
+    let frames_in = snap.counter("frames_in");
+    let bytes_in = snap.counter("transport_bytes_in");
+    println!(
+        "{path}: {ops} ops completed, {frames_in} frames in, {bytes_in} bytes in, \
+         {} counters / {} gauges / {} histograms",
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.hists.len(),
+    );
+    if ops == 0 {
+        die("snapshot records zero completed ops");
+    }
 }
 
 fn report(verb: &str, bytes: u64, t0: Instant, staged: u64) {

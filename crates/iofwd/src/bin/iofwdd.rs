@@ -7,11 +7,25 @@
 //! iofwdd --listen 0.0.0.0:9331 --root /srv/iofwd --mode staged --workers 4 --bml-mib 256
 //! iofwdd --mode zoid --root /tmp/ion            # ZOID-style baseline
 //! ```
+//!
+//! Observability (`iofwd::telemetry` is always compiled in and on):
+//!
+//! * `--stats-interval SECS` — periodic human-readable dump of the full
+//!   registry (counters, gauges, stage-latency histograms) to stderr.
+//! * `--stats-json PATH` — at each interval (and on demand) write a
+//!   machine-readable JSON snapshot atomically (tmp + rename).
+//! * `--dump-trigger PATH` — on-demand dump: `touch PATH` and the daemon
+//!   dumps immediately (including the flight recorder's recent-op table)
+//!   then removes the file. A portable stand-in for SIGUSR1.
+//! * `--port-file PATH` — write the bound port (for `--listen host:0`).
 
+use std::path::Path;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use iofwd::backend::FileBackend;
 use iofwd::server::{ForwardingMode, IonServer, ServerConfig};
+use iofwd::telemetry::{snapshot, Telemetry};
 use iofwd::transport::tcp::TcpAcceptor;
 
 struct Options {
@@ -20,6 +34,10 @@ struct Options {
     mode: String,
     workers: usize,
     bml_mib: u64,
+    stats_interval: u64,
+    stats_json: Option<String>,
+    dump_trigger: Option<String>,
+    port_file: Option<String>,
 }
 
 impl Options {
@@ -30,6 +48,10 @@ impl Options {
             mode: "staged".into(),
             workers: 4,
             bml_mib: 256,
+            stats_interval: 30,
+            stats_json: None,
+            dump_trigger: None,
+            port_file: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -51,10 +73,20 @@ impl Options {
                         die("--bml-mib needs an integer");
                     })
                 }
+                "--stats-interval" => {
+                    opts.stats_interval = take("--stats-interval").parse().unwrap_or_else(|_| {
+                        die("--stats-interval needs an integer (seconds; 0 disables)");
+                    })
+                }
+                "--stats-json" => opts.stats_json = Some(take("--stats-json")),
+                "--dump-trigger" => opts.dump_trigger = Some(take("--dump-trigger")),
+                "--port-file" => opts.port_file = Some(take("--port-file")),
                 "--help" | "-h" => {
                     println!(
                         "usage: iofwdd [--listen ADDR] [--root DIR] \
-                         [--mode ciod|zoid|sched|staged] [--workers N] [--bml-mib N]"
+                         [--mode ciod|zoid|sched|staged] [--workers N] [--bml-mib N] \
+                         [--stats-interval SECS] [--stats-json PATH] \
+                         [--dump-trigger PATH] [--port-file PATH]"
                     );
                     std::process::exit(0);
                 }
@@ -85,6 +117,30 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Write `contents` to `path` atomically (same-directory tmp + rename),
+/// so a concurrent reader never observes a half-written snapshot.
+fn write_atomic(path: &str, contents: &str) {
+    let tmp = format!("{path}.tmp");
+    let ok = std::fs::write(&tmp, contents).is_ok() && std::fs::rename(&tmp, path).is_ok();
+    if !ok {
+        eprintln!("iofwdd: failed to write stats snapshot to {path}");
+    }
+}
+
+/// One full observability dump: text registry to stderr, JSON snapshot
+/// to `stats_json` if configured. `with_flight` appends the flight
+/// recorder's recent-completions table (used for on-demand dumps).
+fn dump_stats(telemetry: &Telemetry, stats_json: Option<&str>, with_flight: bool) {
+    let snap = telemetry.snapshot();
+    eprint!("{}", snap.render_text());
+    if with_flight {
+        eprint!("{}", snapshot::render_flight(&telemetry.flight.snapshot()));
+    }
+    if let Some(path) = stats_json {
+        write_atomic(path, &snap.to_json());
+    }
+}
+
 fn main() {
     let opts = Options::parse();
     let mode = opts.forwarding_mode();
@@ -93,25 +149,45 @@ fn main() {
     let acceptor = TcpAcceptor::bind(&opts.listen)
         .unwrap_or_else(|e| die(&format!("cannot bind {}: {e}", opts.listen)));
     let addr = acceptor.local_addr().expect("local addr");
+    if let Some(pf) = &opts.port_file {
+        write_atomic(pf, &addr.port().to_string());
+    }
     let backend = Arc::new(FileBackend::new(&opts.root));
     let server = IonServer::spawn(Box::new(acceptor), backend, ServerConfig::new(mode));
+    let telemetry = server.telemetry();
     eprintln!(
         "iofwdd: listening on {addr}, mode {}, root {}, {} worker(s), {} MiB BML",
         opts.mode, opts.root, opts.workers, opts.bml_mib
     );
     eprintln!("iofwdd: press Ctrl-C to stop");
 
-    // Periodically report daemon statistics until killed.
+    // Poll loop: periodic stats at --stats-interval, on-demand dumps
+    // whenever the trigger file appears.
+    let interval = (opts.stats_interval > 0).then(|| Duration::from_secs(opts.stats_interval));
+    let mut next_dump = interval.map(|iv| Instant::now() + iv);
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(30));
-        let s = server.stats();
-        eprintln!(
-            "iofwdd: {} requests, {} MiB in, {} MiB out, {} staged ops, {} open fds",
-            s.requests,
-            s.bytes_in >> 20,
-            s.bytes_out >> 20,
-            s.staged_ops,
-            server.open_descriptors()
-        );
+        std::thread::sleep(Duration::from_millis(200));
+        if let Some(trigger) = &opts.dump_trigger {
+            if Path::new(trigger).exists() {
+                let _ = std::fs::remove_file(trigger);
+                eprintln!("iofwdd: on-demand stats dump");
+                dump_stats(&telemetry, opts.stats_json.as_deref(), true);
+            }
+        }
+        if let (Some(iv), Some(due)) = (interval, next_dump) {
+            if Instant::now() >= due {
+                let s = server.stats();
+                eprintln!(
+                    "iofwdd: {} requests, {} MiB in, {} MiB out, {} staged ops, {} open fds",
+                    s.requests,
+                    s.bytes_in >> 20,
+                    s.bytes_out >> 20,
+                    s.staged_ops,
+                    server.open_descriptors()
+                );
+                dump_stats(&telemetry, opts.stats_json.as_deref(), false);
+                next_dump = Some(due + iv);
+            }
+        }
     }
 }

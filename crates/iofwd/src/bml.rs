@@ -30,6 +30,7 @@ use std::time::Duration;
 use iofwd_proto::Errno;
 
 use crate::sync::{Condvar, Mutex};
+use crate::telemetry::Telemetry;
 
 /// Smallest buffer class: 4 KiB (one BG/P page).
 pub const MIN_CLASS_SHIFT: u32 = 12;
@@ -92,6 +93,7 @@ struct BmlShared {
     inner: Mutex<BmlInner>,
     cv: Condvar,
     capacity: u64,
+    telemetry: Arc<Telemetry>,
 }
 
 /// A staged buffer: exclusive access to `len` usable bytes backed by a
@@ -110,6 +112,12 @@ impl Bml {
     ///
     /// Panics if `capacity` cannot hold even one smallest-class block.
     pub fn new(capacity: u64) -> Self {
+        Self::with_telemetry(capacity, Arc::new(Telemetry::disabled()))
+    }
+
+    /// Like [`Bml::new`], reporting occupancy/waiter gauges and block
+    /// durations into a shared telemetry registry.
+    pub fn with_telemetry(capacity: u64, telemetry: Arc<Telemetry>) -> Self {
         assert!(
             capacity >= (1 << MIN_CLASS_SHIFT),
             "BML capacity {capacity} smaller than one {} B block",
@@ -128,6 +136,7 @@ impl Bml {
                 }),
                 cv: Condvar::new(),
                 capacity,
+                telemetry,
             }),
         }
     }
@@ -178,13 +187,27 @@ impl Bml {
         let ticket = inner.next_ticket;
         inner.next_ticket += 1;
         inner.waiters.push_back((ticket, block_size as u64));
+        let tel = &self.shared.telemetry;
+        let block_start = tel.now_ns();
+        if tel.enabled() {
+            tel.bml_blocked_acquires.inc();
+            tel.bml_waiters.add(1);
+        }
         loop {
             if inner.granted.remove(&ticket).is_some() {
                 // Capacity already reserved on our behalf.
+                if tel.enabled() {
+                    tel.bml_waiters.add(-1);
+                    tel.bml_block_ns
+                        .record(tel.now_ns().saturating_sub(block_start));
+                }
                 return Some(self.take_block(inner, class, block_size, len, true));
             }
             if inner.closed {
                 inner.stats.blocked_acquires += 1;
+                if tel.enabled() {
+                    tel.bml_waiters.add(-1);
+                }
                 return None;
             }
             match timeout {
@@ -193,7 +216,14 @@ impl Bml {
                     if self.shared.cv.wait_for(&mut inner, t).timed_out() {
                         // A grant may have landed between timeout and
                         // relock; consume it rather than losing capacity.
+                        if tel.enabled() {
+                            tel.bml_waiters.add(-1);
+                        }
                         if inner.granted.remove(&ticket).is_some() {
+                            if tel.enabled() {
+                                tel.bml_block_ns
+                                    .record(tel.now_ns().saturating_sub(block_start));
+                            }
                             return Some(self.take_block(inner, class, block_size, len, true));
                         }
                         inner.waiters.retain(|&(t, _)| t != ticket);
@@ -226,6 +256,14 @@ impl Bml {
         }
         inner.stats.high_water = inner.stats.high_water.max(inner.outstanding);
         inner.stats.fragmentation_bytes += (block_size - len) as u64;
+        if self.shared.telemetry.enabled() {
+            // `outstanding` was charged by the caller under this same
+            // lock, so the gauge tracks the accounting exactly.
+            self.shared
+                .telemetry
+                .bml_occupancy
+                .set(inner.outstanding as i64);
+        }
         let block = match inner.free[class].pop() {
             Some(b) => {
                 inner.stats.freelist_hits += 1;
@@ -301,6 +339,12 @@ impl Bml {
         // FIFO hand-off: reserve the freed capacity for the head
         // waiter(s) before any new arrival can take it.
         inner.grant_from_front(self.shared.capacity);
+        if self.shared.telemetry.enabled() {
+            self.shared
+                .telemetry
+                .bml_occupancy
+                .set(inner.outstanding as i64);
+        }
         drop(inner);
         self.shared.cv.notify_all();
     }

@@ -22,6 +22,7 @@ use iofwd_proto::{Errno, Fd, OpId};
 use parking_lot::{Condvar, Mutex};
 
 use crate::backend::BackendObject;
+use crate::telemetry::Telemetry;
 
 /// A shared, lockable open backend object.
 pub type SharedObject = Arc<Mutex<Box<dyn BackendObject>>>;
@@ -60,6 +61,7 @@ struct DbInner {
 pub struct DescDb {
     inner: Mutex<DbInner>,
     idle_cv: Condvar,
+    telemetry: Arc<Telemetry>,
 }
 
 /// Snapshot of a descriptor's staging state, for introspection/tests.
@@ -78,12 +80,19 @@ impl Default for DescDb {
 
 impl DescDb {
     pub fn new() -> Self {
+        Self::with_telemetry(Arc::new(Telemetry::disabled()))
+    }
+
+    /// Like [`DescDb::new`], reporting open-descriptor and in-flight-op
+    /// gauges plus deferred-error counts into a shared registry.
+    pub fn with_telemetry(telemetry: Arc<Telemetry>) -> Self {
         DescDb {
             inner: Mutex::new(DbInner {
                 entries: HashMap::new(),
                 next_fd: 3,
             }),
             idle_cv: Condvar::new(),
+            telemetry,
         }
     }
 
@@ -106,6 +115,9 @@ impl DescDb {
                 closing: false,
             },
         );
+        if self.telemetry.enabled() {
+            self.telemetry.open_descriptors.add(1);
+        }
         Ok(fd)
     }
 
@@ -146,25 +158,37 @@ impl DescDb {
         let op = e.next_op;
         e.next_op = op.next();
         e.in_progress.insert(op);
-        Ok((op, e.obj.clone()))
+        let obj = e.obj.clone();
+        if self.telemetry.enabled() {
+            self.telemetry.inflight_ops.add(1);
+        }
+        Ok((op, obj))
     }
 
     /// Record the outcome of a previously begun operation.
     pub fn finish_op(&self, fd: Fd, op: OpId, outcome: OpOutcome) {
         let mut db = self.inner.lock();
+        let mut finished = false;
         if let Some(e) = db.entries.get_mut(&fd) {
             let was_tracked = e.in_progress.remove(&op);
             debug_assert!(was_tracked, "finish_op for untracked {op}");
             e.completed_ops += 1;
+            finished = true;
             if let OpOutcome::Failed(errno) = outcome {
                 // Keep only the FIRST unreported failure; later failures
                 // on the same descriptor are typically cascades.
                 if e.pending_error.is_none() {
                     e.pending_error = Some((op, errno));
                 }
+                if self.telemetry.enabled() {
+                    self.telemetry.deferred_errors.inc();
+                }
             }
         }
         drop(db);
+        if finished && self.telemetry.enabled() {
+            self.telemetry.inflight_ops.add(-1);
+        }
         self.idle_cv.notify_all();
     }
 
@@ -203,6 +227,9 @@ impl DescDb {
         let mut db = self.inner.lock();
         let e = db.entries.remove(&fd).ok_or(Errno::BadF)?;
         assert!(e.in_progress.is_empty(), "remove with operations in flight");
+        if self.telemetry.enabled() {
+            self.telemetry.open_descriptors.add(-1);
+        }
         Ok((e.obj, e.pending_error))
     }
 

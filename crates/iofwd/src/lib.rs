@@ -74,5 +74,9 @@ pub mod server;
 pub(crate) mod sync;
 pub mod transport;
 
+/// Observability: counters/gauges/histograms, per-op lifecycle spans,
+/// and the flight-recorder ring (the `iofwd-telemetry` crate).
+pub use iofwd_telemetry as telemetry;
+
 pub use client::{Client, ClientError};
 pub use server::{ForwardingMode, IonServer, ServerConfig};

@@ -13,6 +13,28 @@ use crate::backend::Backend;
 use crate::bml::Bml;
 use crate::descdb::{BeginError, DescDb, OpOutcome};
 use crate::filter::{FilterChain, WriteContext};
+use crate::telemetry::{OpKind, OpSpan, Telemetry};
+
+/// Telemetry classification of a request. Exhaustive so a new `Request`
+/// variant forces a decision about its span kind.
+pub(crate) fn op_kind(req: &Request) -> OpKind {
+    match req {
+        Request::Open { .. } => OpKind::Open,
+        Request::Connect { .. } => OpKind::Connect,
+        Request::Write { .. } | Request::Pwrite { .. } => OpKind::Write,
+        Request::Read { .. } | Request::Pread { .. } => OpKind::Read,
+        Request::Fsync { .. } => OpKind::Fsync,
+        Request::Close { .. } => OpKind::Close,
+        Request::Lseek { .. }
+        | Request::Stat { .. }
+        | Request::Fstat { .. }
+        | Request::Unlink { .. }
+        | Request::Ftruncate { .. }
+        | Request::Mkdir { .. }
+        | Request::Readdir { .. } => OpKind::Meta,
+        Request::Shutdown => OpKind::Control,
+    }
+}
 
 /// Daemon-wide counters.
 #[derive(Debug, Default)]
@@ -44,6 +66,7 @@ pub struct Engine {
     pub(crate) bml: Option<Bml>,
     pub(crate) stats: ServerStats,
     pub(crate) filters: FilterChain,
+    pub(crate) telemetry: Arc<Telemetry>,
 }
 
 impl Engine {
@@ -52,13 +75,29 @@ impl Engine {
     }
 
     pub fn with_filters(backend: Arc<dyn Backend>, bml: Option<Bml>, filters: FilterChain) -> Self {
+        Self::with_telemetry(backend, bml, filters, Arc::new(Telemetry::disabled()))
+    }
+
+    /// Full constructor: the telemetry registry is shared with the
+    /// descriptor database (and, by the caller, the BML/queue/transport).
+    pub fn with_telemetry(
+        backend: Arc<dyn Backend>,
+        bml: Option<Bml>,
+        filters: FilterChain,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
         Engine {
             backend,
-            db: DescDb::new(),
+            db: DescDb::with_telemetry(telemetry.clone()),
             bml,
             stats: ServerStats::default(),
             filters,
+            telemetry,
         }
+    }
+
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     pub fn stats(&self) -> StatsSnapshot {
@@ -78,6 +117,22 @@ impl Engine {
 
     pub fn bml(&self) -> Option<&Bml> {
         self.bml.as_ref()
+    }
+
+    /// [`Engine::execute`] bracketed with backend-stage timestamps and
+    /// outcome/byte accounting on the caller's lifecycle span.
+    pub fn execute_timed(
+        &self,
+        req: &Request,
+        data: &Bytes,
+        span: &mut OpSpan,
+    ) -> (Response, Bytes) {
+        span.backend_start_ns = self.telemetry.now_ns();
+        let (resp, out) = self.execute(req, data);
+        span.backend_done_ns = self.telemetry.now_ns();
+        span.ok = !matches!(resp, Response::Err { .. } | Response::DeferredErr { .. });
+        span.bytes = span.bytes.max(out.len() as u64);
+        (resp, out)
     }
 
     /// Execute a request to completion and produce the response. `data`
@@ -259,14 +314,15 @@ impl Engine {
     }
 
     /// Execute a staged write on behalf of a worker: filter, write,
-    /// record the outcome in the descriptor database.
+    /// record the outcome in the descriptor database. Returns the
+    /// outcome so the worker can finish the op's lifecycle span.
     pub fn execute_staged_write(
         &self,
         fd: iofwd_proto::Fd,
         op: iofwd_proto::OpId,
         offset: Option<u64>,
         data: &[u8],
-    ) {
+    ) -> OpOutcome {
         let outcome = match self.filter_write(fd, offset, Bytes::copy_from_slice(data)) {
             None => OpOutcome::Ok, // consumed in situ
             Some(filtered) => match self.db.object(fd) {
@@ -281,6 +337,7 @@ impl Engine {
             },
         };
         self.db.finish_op(fd, op, outcome);
+        outcome
     }
 
     fn data_read(&self, fd: iofwd_proto::Fd, offset: Option<u64>, len: u64) -> (Response, Bytes) {

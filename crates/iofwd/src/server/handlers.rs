@@ -21,10 +21,11 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded};
 use iofwd_proto::{Errno, Frame, Request, Response};
 
-use super::engine::Engine;
+use super::engine::{op_kind, Engine};
 use super::queue::{WorkItem, WorkQueue};
 use super::staged::FdSerializer;
 use crate::descdb::{BeginError, OpOutcome};
+use crate::telemetry::{OpKind, OpSpan};
 use crate::transport::Conn;
 
 /// Descriptors opened by one client connection, so a vanished client's
@@ -98,17 +99,26 @@ fn decode_or_reject(conn: &dyn Conn, frame: &Frame) -> Option<Request> {
     }
 }
 
-/// ZOID: thread-per-client, execute inline.
+/// ZOID: thread-per-client, execute inline. There is no queue, so
+/// arrival, enqueue, and dispatch collapse to the same instant.
 pub fn handle_zoid(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
+    let telemetry = engine.telemetry().clone();
     let mut session = Session::default();
     while let Ok(Some(frame)) = conn.recv() {
         let Some(req) = decode_or_reject(conn.as_ref(), &frame) else {
             continue;
         };
+        let now = telemetry.now_ns();
+        let mut span = OpSpan::begin(op_kind(&req), u64::from(frame.client_id), frame.seq, now);
+        span.enqueue_ns = now;
+        span.dispatch_ns = now;
+        span.bytes = frame.data.len() as u64;
         let shutdown = matches!(req, Request::Shutdown);
-        let (resp, data) = engine.execute(&req, &frame.data);
+        let (resp, data) = engine.execute_timed(&req, &frame.data, &mut span);
         session.track(&req, &resp);
         send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data);
+        span.reply_ns = telemetry.now_ns();
+        telemetry.complete(&span);
         if shutdown {
             break;
         }
@@ -119,7 +129,7 @@ pub fn handle_zoid(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
 /// CIOD: daemon thread copies into "shared memory", a per-client proxy
 /// executes. The copy is real — it is CIOD's architectural cost.
 pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
-    let (shm_tx, shm_rx) = unbounded::<Frame>();
+    let (shm_tx, shm_rx) = unbounded::<(Frame, OpSpan)>();
     let proxy_conn = conn.clone();
     let proxy_engine = engine.clone();
     let proxy = std::thread::Builder::new()
@@ -127,15 +137,23 @@ pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
         .spawn(move || {
             // The I/O proxy process: executes forwarded calls and returns
             // results directly to the compute node.
+            let telemetry = proxy_engine.telemetry().clone();
             let mut session = Session::default();
-            while let Ok(frame) = shm_rx.recv() {
+            while let Ok((frame, mut span)) = shm_rx.recv() {
+                // Queue wait = time the frame sat in the shm channel.
+                span.dispatch_ns = telemetry.now_ns();
                 let Some(req) = decode_or_reject(proxy_conn.as_ref(), &frame) else {
+                    span.ok = false;
+                    span.reply_ns = telemetry.now_ns();
+                    telemetry.complete(&span);
                     continue;
                 };
                 let shutdown = matches!(req, Request::Shutdown);
-                let (resp, data) = proxy_engine.execute(&req, &frame.data);
+                let (resp, data) = proxy_engine.execute_timed(&req, &frame.data, &mut span);
                 session.track(&req, &resp);
                 send_response(proxy_conn.as_ref(), frame.client_id, frame.seq, &resp, data);
+                span.reply_ns = telemetry.now_ns();
+                telemetry.complete(&span);
                 if shutdown {
                     break;
                 }
@@ -144,7 +162,19 @@ pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
         })
         .expect("spawn ciod proxy");
 
+    let telemetry = engine.telemetry().clone();
     while let Ok(Some(frame)) = conn.recv() {
+        let kind = match frame.decode_request() {
+            Ok(ref req) => op_kind(req),
+            Err(_) => OpKind::Control, // proxy will reject it
+        };
+        let mut span = OpSpan::begin(
+            kind,
+            u64::from(frame.client_id),
+            frame.seq,
+            telemetry.now_ns(),
+        );
+        span.bytes = frame.data.len() as u64;
         // Copy the payload into the shared-memory region before the proxy
         // may touch it (CIOD's double copy, §II-B1).
         let copied = Bytes::from(frame.data.to_vec());
@@ -153,7 +183,8 @@ pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
             data: copied,
             ..frame
         };
-        if shm_tx.send(staged).is_err() {
+        span.enqueue_ns = telemetry.now_ns();
+        if shm_tx.send((staged, span)).is_err() {
             break;
         }
         if shutdown {
@@ -166,11 +197,19 @@ pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
 
 /// I/O scheduling: enqueue, wait for a worker, reply.
 pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQueue>) {
+    let telemetry = engine.telemetry().clone();
     let mut session = Session::default();
     while let Ok(Some(frame)) = conn.recv() {
         let Some(req) = decode_or_reject(conn.as_ref(), &frame) else {
             continue;
         };
+        let mut span = OpSpan::begin(
+            op_kind(&req),
+            u64::from(frame.client_id),
+            frame.seq,
+            telemetry.now_ns(),
+        );
+        span.bytes = frame.data.len() as u64;
         if matches!(req, Request::Shutdown) {
             send_response(
                 conn.as_ref(),
@@ -182,15 +221,19 @@ pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQue
             break;
         }
         let (tx, rx) = bounded(1);
+        span.enqueue_ns = telemetry.now_ns();
         queue.push(WorkItem::Sync {
             req: req.clone(),
             data: frame.data.clone(),
             reply: tx,
+            span,
         });
         match rx.recv() {
-            Ok((resp, data)) => {
+            Ok((resp, data, mut span)) => {
                 session.track(&req, &resp);
-                send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data)
+                send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data);
+                span.reply_ns = telemetry.now_ns();
+                telemetry.complete(&span);
             }
             Err(_) => break, // workers gone: daemon shutting down
         }
@@ -206,11 +249,19 @@ pub fn handle_staged(
     serializer: Arc<FdSerializer>,
 ) {
     let bml = engine.bml().expect("staged mode requires a BML").clone();
+    let telemetry = engine.telemetry().clone();
     let mut session = Session::default();
     while let Ok(Some(frame)) = conn.recv() {
         let Some(req) = decode_or_reject(conn.as_ref(), &frame) else {
             continue;
         };
+        let mut span = OpSpan::begin(
+            op_kind(&req),
+            u64::from(frame.client_id),
+            frame.seq,
+            telemetry.now_ns(),
+        );
+        span.bytes = frame.data.len() as u64;
         match req {
             Request::Shutdown => {
                 send_response(
@@ -240,8 +291,15 @@ pub fn handle_staged(
                         },
                         Bytes::new(),
                     );
+                    span.ok = false;
+                    span.reply_ns = telemetry.now_ns();
+                    telemetry.complete(&span);
                     continue;
                 }
+                // When the write is handed off, the worker finishes the
+                // span; on the synchronous error paths below this
+                // handler finishes it itself.
+                let mut handed_off = false;
                 let resp = match engine.descriptor_db().begin_op(fd) {
                     Err(BeginError::Sync(errno)) => Response::Err { errno },
                     Err(BeginError::Deferred { op, errno }) => {
@@ -273,11 +331,22 @@ pub fn handle_staged(
                                 engine.stats.requests.fetch_add(1, Ordering::Relaxed);
                                 engine.stats.bytes_in.fetch_add(len, Ordering::Relaxed);
                                 engine.stats.staged_ops.fetch_add(1, Ordering::Relaxed);
+                                if telemetry.enabled() {
+                                    telemetry.ops_staged.inc();
+                                }
+                                // The staging ack goes out right after the
+                                // push; stamp the client-visible reply now
+                                // (OpSpan is Copy — the worker's copy keeps
+                                // these stamps and adds the backend ones).
+                                span.enqueue_ns = telemetry.now_ns();
+                                span.reply_ns = span.enqueue_ns;
+                                handed_off = true;
                                 let item = WorkItem::StagedWrite {
                                     fd,
                                     op,
                                     offset,
                                     buf,
+                                    span,
                                 };
                                 if let Some(item) = serializer.admit(fd, item) {
                                     queue.push(item);
@@ -294,6 +363,11 @@ pub fn handle_staged(
                     &resp,
                     Bytes::new(),
                 );
+                if !handed_off {
+                    span.ok = false;
+                    span.reply_ns = telemetry.now_ns();
+                    telemetry.complete(&span);
+                }
             }
             Request::Read { fd, .. } | Request::Pread { fd, .. } => {
                 // Reads barrier behind staged writes on the descriptor so
@@ -306,17 +380,24 @@ pub fn handle_staged(
                         &Response::Err { errno },
                         Bytes::new(),
                     );
+                    span.ok = false;
+                    span.reply_ns = telemetry.now_ns();
+                    telemetry.complete(&span);
                     continue;
                 }
                 let (tx, rx) = bounded(1);
+                span.enqueue_ns = telemetry.now_ns();
                 queue.push(WorkItem::Sync {
                     req,
                     data: frame.data.clone(),
                     reply: tx,
+                    span,
                 });
                 match rx.recv() {
-                    Ok((resp, data)) => {
-                        send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data)
+                    Ok((resp, data, mut span)) => {
+                        send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data);
+                        span.reply_ns = telemetry.now_ns();
+                        telemetry.complete(&span);
                     }
                     Err(_) => break,
                 }
@@ -338,9 +419,14 @@ pub fn handle_staged(
             | Request::Ftruncate { .. }
             | Request::Mkdir { .. }
             | Request::Readdir { .. }) => {
-                let (resp, data) = engine.execute(&other, &frame.data);
+                let now = telemetry.now_ns();
+                span.enqueue_ns = now;
+                span.dispatch_ns = now;
+                let (resp, data) = engine.execute_timed(&other, &frame.data, &mut span);
                 session.track(&other, &resp);
                 send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data);
+                span.reply_ns = telemetry.now_ns();
+                telemetry.complete(&span);
             }
         }
     }
@@ -358,6 +444,7 @@ pub fn worker_loop(
     engine: Arc<Engine>,
     serializer: Arc<FdSerializer>,
 ) {
+    let telemetry = engine.telemetry().clone();
     loop {
         let items = queue.pop_batch(worker, batch);
         if items.is_empty() {
@@ -365,20 +452,33 @@ pub fn worker_loop(
         }
         for item in items {
             match item {
-                WorkItem::Sync { req, data, reply } => {
-                    let (resp, out) = engine.execute(&req, &data);
-                    let _ = reply.send((resp, out));
+                WorkItem::Sync {
+                    req,
+                    data,
+                    reply,
+                    mut span,
+                } => {
+                    span.dispatch_ns = telemetry.now_ns();
+                    let (resp, out) = engine.execute_timed(&req, &data, &mut span);
+                    // The handler stamps reply_ns and completes the span.
+                    let _ = reply.send((resp, out, span));
                 }
                 WorkItem::StagedWrite {
                     fd,
                     op,
                     offset,
                     buf,
+                    mut span,
                 } => {
+                    span.dispatch_ns = telemetry.now_ns();
+                    span.backend_start_ns = span.dispatch_ns;
                     // Filters, backend write, and outcome recording all
                     // happen in the engine (shared with the sync path).
-                    engine.execute_staged_write(fd, op, offset, buf.as_slice());
+                    let outcome = engine.execute_staged_write(fd, op, offset, buf.as_slice());
+                    span.backend_done_ns = telemetry.now_ns();
+                    span.ok = matches!(outcome, OpOutcome::Ok);
                     drop(buf); // return staging memory before dispatching more
+                    telemetry.complete(&span);
                     if let Some(next) = serializer.complete(fd) {
                         queue.push(next);
                     }

@@ -75,6 +75,10 @@ pub struct ServerConfig {
     /// In-situ filter chain applied to every data write on the ION
     /// (§VII future work: offloaded data filtering / analytics).
     pub filters: crate::filter::FilterChain,
+    /// Observability registry shared by every layer of the daemon.
+    /// Enabled by default — recording is cheap enough to leave on; swap
+    /// in `Telemetry::disabled()` for a zero-overhead null sink.
+    pub telemetry: Arc<crate::telemetry::Telemetry>,
 }
 
 impl ServerConfig {
@@ -84,7 +88,15 @@ impl ServerConfig {
             worker_batch: 4,
             queue_discipline: QueueDiscipline::SharedFifo,
             filters: crate::filter::FilterChain::new(),
+            telemetry: Arc::new(crate::telemetry::Telemetry::new()),
         }
+    }
+
+    /// Replace the telemetry registry (e.g. `Telemetry::disabled()`, or
+    /// one with a larger flight-recorder capacity).
+    pub fn with_telemetry(mut self, telemetry: Arc<crate::telemetry::Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     pub fn with_worker_batch(mut self, batch: usize) -> Self {
@@ -126,18 +138,39 @@ impl IonServer {
         backend: Arc<dyn Backend>,
         config: ServerConfig,
     ) -> IonServer {
+        let telemetry = config.telemetry.clone();
         let bml = match config.mode {
-            ForwardingMode::AsyncStaged { bml_capacity, .. } => Some(Bml::new(bml_capacity)),
+            ForwardingMode::AsyncStaged { bml_capacity, .. } => {
+                Some(Bml::with_telemetry(bml_capacity, telemetry.clone()))
+            }
             _ => None,
         };
-        let engine = Arc::new(Engine::with_filters(backend, bml, config.filters.clone()));
+        // Count backend data-plane traffic only when someone is looking.
+        let backend: Arc<dyn Backend> = if telemetry.enabled() {
+            Arc::new(crate::backend::Instrumented::new(
+                backend,
+                telemetry.clone(),
+            ))
+        } else {
+            backend
+        };
+        let engine = Arc::new(Engine::with_telemetry(
+            backend,
+            bml,
+            config.filters.clone(),
+            telemetry.clone(),
+        ));
         let listener: Arc<dyn Listener> = Arc::from(listener);
         let handler_threads = Arc::new(Mutex::new(Vec::new()));
 
         let (queue, serializer, worker_threads) = match config.mode.workers() {
             0 => (None, None, Vec::new()),
             n => {
-                let queue = Arc::new(WorkQueue::new(config.queue_discipline, n));
+                let queue = Arc::new(WorkQueue::with_telemetry(
+                    config.queue_discipline,
+                    n,
+                    telemetry.clone(),
+                ));
                 let serializer = Arc::new(FdSerializer::new());
                 let workers = (0..n)
                     .map(|w| {
@@ -164,11 +197,16 @@ impl IonServer {
             let serializer = serializer.clone();
             let handler_threads = handler_threads.clone();
             let mode = config.mode;
+            let telemetry = telemetry.clone();
             std::thread::Builder::new()
                 .name("iofwd-accept".into())
                 .spawn(move || {
                     while let Ok(Some(conn)) = listener.accept() {
-                        let conn: Arc<dyn crate::transport::Conn> = Arc::from(conn);
+                        let conn: Arc<dyn crate::transport::Conn> = if telemetry.enabled() {
+                            Arc::new(crate::transport::Instrumented::new(conn, telemetry.clone()))
+                        } else {
+                            Arc::from(conn)
+                        };
                         let engine = engine.clone();
                         let queue = queue.clone();
                         let serializer = serializer.clone();
@@ -209,6 +247,12 @@ impl IonServer {
 
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// The daemon's telemetry registry (always present; a null sink if
+    /// the config disabled it).
+    pub fn telemetry(&self) -> Arc<crate::telemetry::Telemetry> {
+        self.engine.telemetry().clone()
     }
 
     /// Daemon-wide request counters.

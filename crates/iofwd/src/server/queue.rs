@@ -15,6 +15,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::Sender;
@@ -22,15 +23,18 @@ use iofwd_proto::{Fd, OpId, Request, Response};
 
 use crate::bml::BmlBuffer;
 use crate::sync::{Condvar, Mutex};
+use crate::telemetry::{OpSpan, Telemetry};
 
-/// A unit of work for the worker pool.
+/// A unit of work for the worker pool. Every item carries its lifecycle
+/// span; the worker stamps dispatch/backend stages into it.
 pub enum WorkItem {
     /// Execute a request and send the outcome back to the waiting client
     /// handler (the synchronous-scheduling path).
     Sync {
         req: Request,
         data: Bytes,
-        reply: Sender<(Response, Bytes)>,
+        reply: Sender<(Response, Bytes, OpSpan)>,
+        span: OpSpan,
     },
     /// A staged write: data already copied into BML memory, the client
     /// already released (the asynchronous-staging path). The buffer
@@ -41,6 +45,7 @@ pub enum WorkItem {
         /// `Some` for pwrite, `None` for a cursor write.
         offset: Option<u64>,
         buf: BmlBuffer,
+        span: OpSpan,
     },
 }
 
@@ -68,10 +73,19 @@ pub struct WorkQueue {
     depth_high_water: AtomicU64,
     total_enqueued: AtomicU64,
     total_steals: AtomicU64,
+    telemetry: Arc<Telemetry>,
 }
 
 impl WorkQueue {
     pub fn new(discipline: QueueDiscipline, workers: usize) -> Self {
+        Self::with_telemetry(discipline, workers, Arc::new(Telemetry::disabled()))
+    }
+
+    pub fn with_telemetry(
+        discipline: QueueDiscipline,
+        workers: usize,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
         assert!(workers > 0, "worker pool must be non-empty");
         WorkQueue {
             state: Mutex::new(QueueState {
@@ -85,6 +99,7 @@ impl WorkQueue {
             depth_high_water: AtomicU64::new(0),
             total_enqueued: AtomicU64::new(0),
             total_steals: AtomicU64::new(0),
+            telemetry,
         }
     }
 
@@ -108,6 +123,9 @@ impl WorkQueue {
         drop(s);
         self.depth_high_water.fetch_max(depth, Ordering::Relaxed);
         self.total_enqueued.fetch_add(1, Ordering::Relaxed);
+        if self.telemetry.enabled() {
+            self.telemetry.queue_depth.add(1);
+        }
         self.cv.notify_one();
     }
 
@@ -150,6 +168,14 @@ impl WorkQueue {
                 }
             }
             if !out.is_empty() {
+                drop(s);
+                if self.telemetry.enabled() {
+                    self.telemetry.queue_depth.add(-(out.len() as i64));
+                    self.telemetry
+                        .batch_size
+                        .record_shard(worker, out.len() as u64);
+                    self.telemetry.worker_dispatch.add(worker, out.len() as u64);
+                }
                 return out;
             }
             if s.closed {
@@ -201,6 +227,7 @@ mod tests {
             req: Request::Fsync { fd: Fd(tag as u32) },
             data: Bytes::new(),
             reply: tx,
+            span: OpSpan::default(),
         }
     }
 

@@ -84,6 +84,7 @@ mod tests {
             req: Request::Fsync { fd: Fd(tag) },
             data: Bytes::new(),
             reply: tx,
+            span: crate::telemetry::OpSpan::default(),
         }
     }
 

@@ -23,6 +23,52 @@ pub trait Conn: Send + Sync {
     fn close(&self);
 }
 
+/// A [`Conn`] decorator counting frames and payload bytes per direction
+/// into the daemon's telemetry registry. Directions are server-relative:
+/// `recv` feeds the `*_in` counters, `send` the `*_out` ones.
+pub struct Instrumented {
+    inner: Box<dyn Conn>,
+    telemetry: std::sync::Arc<crate::telemetry::Telemetry>,
+}
+
+impl Instrumented {
+    pub fn new(
+        inner: Box<dyn Conn>,
+        telemetry: std::sync::Arc<crate::telemetry::Telemetry>,
+    ) -> Instrumented {
+        Instrumented { inner, telemetry }
+    }
+}
+
+impl Conn for Instrumented {
+    fn send(&self, frame: Frame) -> io::Result<()> {
+        let bytes = frame.data.len() as u64;
+        let res = self.inner.send(frame);
+        if res.is_ok() && self.telemetry.enabled() {
+            self.telemetry.frames_out.inc();
+            self.telemetry.transport_bytes_out.add(bytes);
+        }
+        res
+    }
+
+    fn recv(&self) -> io::Result<Option<Frame>> {
+        let res = self.inner.recv();
+        if let Ok(Some(frame)) = &res {
+            if self.telemetry.enabled() {
+                self.telemetry.frames_in.inc();
+                self.telemetry
+                    .transport_bytes_in
+                    .add(frame.data.len() as u64);
+            }
+        }
+        res
+    }
+
+    fn close(&self) {
+        self.inner.close();
+    }
+}
+
 /// Server-side accept source.
 pub trait Listener: Send + Sync {
     /// Block for the next client connection; `Ok(None)` means the

@@ -2,7 +2,7 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — the invariant linter. Four rules the compiler cannot
+//! * `lint` — the invariant linter. Five rules the compiler cannot
 //!   enforce but this codebase depends on (see DESIGN.md, "Enforced
 //!   invariants"):
 //!   - **R1** Simulation crates (`simcore`, `bgsim`, `bgp-model`,
@@ -19,6 +19,10 @@
 //!     adding a protocol op forces every dispatch site to be revisited.
 //!   - **R4** Every `unsafe` must be annotated with a `// SAFETY:`
 //!     comment in the three lines above it.
+//!   - **R5** Telemetry-recording hot paths (`iofwd::{bml, descdb,
+//!     server::queue}` and `iofwd-telemetry` outside `snapshot.rs`)
+//!     must not `format!` / `println!` / `eprintln!` — recording stays
+//!     allocation-free; rendering lives in the snapshot/dump layer.
 //!
 //!   Known-good exceptions live in `xtask/lint.allow` (one per line:
 //!   `R<n> <path> -- <justification>`, at most [`MAX_ALLOW`] entries).
@@ -173,7 +177,7 @@ fn parse_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
         let rule = parts
             .next()
             .and_then(Rule::parse)
-            .ok_or_else(|| format!("lint.allow:{line_no}: expected R1..R4"))?;
+            .ok_or_else(|| format!("lint.allow:{line_no}: expected R1..R5"))?;
         let path = parts
             .next()
             .ok_or_else(|| format!("lint.allow:{line_no}: expected a file path"))?

@@ -1,4 +1,4 @@
-//! The four invariant rules. Each works on the masked source from
+//! The five invariant rules. Each works on the masked source from
 //! [`crate::lexer::strip`], so comments and string literals are
 //! invisible; `SAFETY:` comment detection (R4) reads the raw source.
 
@@ -16,6 +16,8 @@ pub enum Rule {
     R3,
     /// `unsafe` requires a `// SAFETY:` comment.
     R4,
+    /// Telemetry-recording hot paths must not format or print.
+    R5,
 }
 
 impl Rule {
@@ -25,6 +27,7 @@ impl Rule {
             "R2" => Some(Rule::R2),
             "R3" => Some(Rule::R3),
             "R4" => Some(Rule::R4),
+            "R5" => Some(Rule::R5),
             _ => None,
         }
     }
@@ -37,6 +40,7 @@ impl std::fmt::Display for Rule {
             Rule::R2 => "R2",
             Rule::R3 => "R3",
             Rule::R4 => "R4",
+            Rule::R5 => "R5",
         })
     }
 }
@@ -59,6 +63,16 @@ const NO_PANIC_MODULES: &[&str] = &["backend", "transport", "client", "bml", "de
 /// must list variants explicitly so protocol changes surface at every
 /// dispatch site.
 const WIRE_ENUMS: &[&str] = &["Request", "Response", "FrameKind", "Whence"];
+
+/// Per-op hot paths where telemetry is recorded: `format!` / `println!`
+/// / `eprintln!` mean a heap allocation or stderr lock per forwarded
+/// op, defeating the "cheap enough to leave on" contract. Rendering
+/// belongs in `iofwd-telemetry/src/snapshot.rs` (exempt below).
+const NO_FMT_FILES: &[&str] = &[
+    "crates/iofwd/src/bml.rs",
+    "crates/iofwd/src/descdb.rs",
+    "crates/iofwd/src/server/queue.rs",
+];
 
 pub fn check_file(rel: &Path, source: &str) -> Vec<Violation> {
     let masked = strip(source);
@@ -84,6 +98,12 @@ pub fn check_file(rel: &Path, source: &str) -> Vec<Violation> {
         check_r3(rel, &masked, &mut out);
     }
     check_r4(rel, source, &masked, &mut out);
+    if NO_FMT_FILES.contains(&unix.as_str())
+        || (unix.starts_with("crates/iofwd-telemetry/src/")
+            && unix != "crates/iofwd-telemetry/src/snapshot.rs")
+    {
+        check_r5(rel, &masked, &mut out);
+    }
     out
 }
 
@@ -404,6 +424,29 @@ fn is_catch_all(pat: &str) -> bool {
     true
 }
 
+// ---------------------------------------------------------------- R5
+
+fn check_r5(rel: &Path, masked: &str, out: &mut Vec<Violation>) {
+    let tests = test_regions(masked);
+    let in_tests = |pos: usize| tests.iter().any(|&(a, b)| pos >= a && pos <= b);
+    for name in ["format", "println", "eprintln"] {
+        for pos in find_words(masked, name) {
+            if in_tests(pos) || !masked[pos + name.len()..].starts_with('!') {
+                continue;
+            }
+            out.push(Violation {
+                rule: Rule::R5,
+                path: rel.to_path_buf(),
+                line: line_of(masked, pos),
+                message: format!(
+                    "`{name}!` on a telemetry-recording hot path — recording must stay \
+                     allocation-free; move rendering to the snapshot/dump layer"
+                ),
+            });
+        }
+    }
+}
+
 // ---------------------------------------------------------------- R4
 
 fn check_r4(rel: &Path, source: &str, masked: &str, out: &mut Vec<Violation>) {
@@ -493,6 +536,31 @@ mod tests {
         // has no wire arms.
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("catch-all"));
+    }
+
+    #[test]
+    fn r5_flags_fmt_macros_in_hot_modules_only() {
+        let src = "fn f() { let s = format!(\"x\"); eprintln!(\"{s}\"); }\n\
+                   #[cfg(test)]\nmod tests { fn g() { println!(\"ok\"); } }\n";
+        let v = check("crates/iofwd/src/server/queue.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::R5).count(), 2);
+        let v = check("crates/iofwd-telemetry/src/ring.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::R5).count(), 2);
+        // The rendering layer and non-hot-path modules are exempt.
+        assert!(check("crates/iofwd-telemetry/src/snapshot.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::R5));
+        assert!(check("crates/iofwd/src/server/engine.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::R5));
+    }
+
+    #[test]
+    fn r5_ignores_comments_and_non_macro_idents() {
+        let src = "// format! is banned here\nfn format(x: u8) -> u8 { x }\n";
+        assert!(check("crates/iofwd/src/bml.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::R5));
     }
 
     #[test]
