@@ -53,4 +53,50 @@ done
 [ -n "$SNAP_OK" ] || { echo "ci: telemetry snapshot never showed completed ops"; exit 1; }
 kill "$DAEMON_PID"
 
+step "chaos smoke (iofwdd --fault-plan, retries must absorb injected faults)"
+CHAOS=$(mktemp -d)
+trap 'kill "$DAEMON_PID" "$CHAOS_PID" 2>/dev/null || true; rm -rf "$SMOKE" "$CHAOS"' EXIT
+cat >"$CHAOS/plan" <<'EOF'
+# Seeded transient-fault plan: well over 5% of data-plane ops fail or
+# go short, plus one guaranteed open-time EAGAIN (nth=1) so the
+# fault/retry counters are provably nonzero on any workload shape.
+seed 42
+on open nth=1 errno=EAGAIN
+on write p=0.3 errno=EAGAIN
+on write p=0.2 short=0.5
+on read p=0.3 errno=EAGAIN
+EOF
+target/release/iofwdd --listen 127.0.0.1:0 --root "$CHAOS/root" \
+    --mode staged --workers 2 --stats-interval 1 \
+    --fault-plan "$CHAOS/plan" --retry-attempts 8 \
+    --stats-json "$CHAOS/stats.json" --port-file "$CHAOS/port" \
+    2>"$CHAOS/daemon.log" &
+CHAOS_PID=$!
+for _ in $(seq 50); do [ -s "$CHAOS/port" ] && break; sleep 0.1; done
+[ -s "$CHAOS/port" ] || { echo "ci: chaos iofwdd never wrote its port file"; exit 1; }
+ADDR="127.0.0.1:$(cat "$CHAOS/port")"
+head -c 2097152 /dev/urandom >"$CHAOS/in.bin"
+# The workload must complete despite the fault plan — retries absorb
+# every transient error — and round-trip the bytes intact.
+target/release/iofwd-cp put "$CHAOS/in.bin" "$ADDR" /chaos.bin
+target/release/iofwd-cp get "$ADDR" /chaos.bin "$CHAOS/out.bin"
+cmp "$CHAOS/in.bin" "$CHAOS/out.bin"
+# Snapshot contract: faults actually fired AND retries actually ran —
+# a silently inert fault plan or retry loop fails the gate.
+CHAOS_OK=
+for _ in $(seq 50); do
+    if [ -s "$CHAOS/stats.json" ] \
+        && target/release/iofwd-cp snapshot "$CHAOS/stats.json" \
+            faults_injected retries_attempted; then
+        CHAOS_OK=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$CHAOS_OK" ] || { echo "ci: chaos snapshot missing fault/retry activity"; exit 1; }
+if grep -qi "panicked" "$CHAOS/daemon.log"; then
+    echo "ci: daemon panicked under fault injection"; cat "$CHAOS/daemon.log"; exit 1
+fi
+kill "$CHAOS_PID"
+
 printf '\nci: all gates passed\n'

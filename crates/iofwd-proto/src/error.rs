@@ -17,6 +17,9 @@ pub enum Errno {
     Io = 5,
     /// Bad file descriptor.
     BadF = 9,
+    /// Resource temporarily unavailable; the canonical *transient*
+    /// error — retry policies may re-attempt the operation.
+    Again = 11,
     /// Out of memory (e.g. BML staging memory exhausted and the daemon
     /// chose to fail rather than block).
     NoMem = 12,
@@ -53,6 +56,7 @@ impl Errno {
             2 => NoEnt,
             5 => Io,
             9 => BadF,
+            11 => Again,
             12 => NoMem,
             13 => Access,
             17 => Exist,
@@ -82,6 +86,7 @@ impl Errno {
             AlreadyExists => Errno::Exist,
             InvalidInput => Errno::Inval,
             BrokenPipe => Errno::Pipe,
+            WouldBlock => Errno::Again,
             ConnectionReset | ConnectionAborted => Errno::ConnReset,
             OutOfMemory => Errno::NoMem,
             _ => Errno::Io,
@@ -96,6 +101,7 @@ impl fmt::Display for Errno {
             Errno::NoEnt => "ENOENT",
             Errno::Io => "EIO",
             Errno::BadF => "EBADF",
+            Errno::Again => "EAGAIN",
             Errno::NoMem => "ENOMEM",
             Errno::Access => "EACCES",
             Errno::Exist => "EEXIST",
@@ -179,6 +185,7 @@ mod tests {
             Errno::NoEnt,
             Errno::Io,
             Errno::BadF,
+            Errno::Again,
             Errno::NoMem,
             Errno::Access,
             Errno::Exist,

@@ -165,6 +165,18 @@ pub struct Telemetry {
     pub backend_read_ops: Counter,
     pub backend_bytes_written: Counter,
     pub backend_bytes_read: Counter,
+    /// Faults injected by a `FaultBackend` chaos plan.
+    pub faults_injected: Counter,
+    /// Backend retries attempted on transient errors (one per re-issue).
+    pub retries_attempted: Counter,
+    /// Operations whose retry budget/deadline ran out; the last
+    /// transient error surfaced as if retries were off.
+    pub retries_exhausted: Counter,
+    /// Staged writes executed by the shutdown drain (late, but done).
+    pub drain_executed: Counter,
+    /// Staged writes the shutdown drain abandoned past its deadline,
+    /// recorded as deferred errors — never silently dropped.
+    pub drain_deferred: Counter,
 
     // -- gauges -------------------------------------------------------
     pub queue_depth: Gauge,
@@ -217,6 +229,11 @@ impl Telemetry {
             backend_read_ops: Counter::new(),
             backend_bytes_written: Counter::new(),
             backend_bytes_read: Counter::new(),
+            faults_injected: Counter::new(),
+            retries_attempted: Counter::new(),
+            retries_exhausted: Counter::new(),
+            drain_executed: Counter::new(),
+            drain_deferred: Counter::new(),
             queue_depth: Gauge::new(),
             bml_occupancy: Gauge::new(),
             bml_waiters: Gauge::new(),

@@ -240,6 +240,11 @@ pub fn capture(t: &Telemetry) -> TelemetrySnapshot {
             t.backend_bytes_written.get(),
         ),
         ("backend_bytes_read".to_string(), t.backend_bytes_read.get()),
+        ("faults_injected".to_string(), t.faults_injected.get()),
+        ("retries_attempted".to_string(), t.retries_attempted.get()),
+        ("retries_exhausted".to_string(), t.retries_exhausted.get()),
+        ("drain_executed".to_string(), t.drain_executed.get()),
+        ("drain_deferred".to_string(), t.drain_deferred.get()),
         ("flight_recorded".to_string(), t.flight.recorded()),
         ("flight_dropped".to_string(), t.flight.dropped()),
     ];

@@ -940,6 +940,232 @@ impl<B: Backend> Backend for ThrottledBackend<B> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// FaultBackend (deterministic fault plans)
+// ---------------------------------------------------------------------------
+
+/// Per-class operation counters driving `nth=` triggers. Shared by every
+/// object opened through one [`FaultBackend`], so "the 7th write" means
+/// the 7th write the *daemon* performs, not the 7th on one descriptor.
+#[derive(Default)]
+struct FaultSeq {
+    write: AtomicU64,
+    read: AtomicU64,
+    open: AtomicU64,
+    sync: AtomicU64,
+}
+
+impl FaultSeq {
+    fn next(&self, class: crate::fault::OpClass) -> u64 {
+        use crate::fault::OpClass;
+        let c = match class {
+            OpClass::Write => &self.write,
+            OpClass::Read => &self.read,
+            OpClass::Open => &self.open,
+            OpClass::Sync => &self.sync,
+            OpClass::Any => &self.write,
+        };
+        c.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// Wraps any backend and perturbs it according to a seeded
+/// [`crate::fault::FaultPlan`]: errno injection, short writes/reads,
+/// latency spikes, and open-time failures. Unlike the fixed-budget
+/// [`FaultInjectionBackend`], the fault *sequence* is a deterministic
+/// function of the plan seed and the operation order, so chaos runs
+/// replay exactly. Injected faults are counted into the daemon's
+/// `faults_injected` telemetry counter.
+pub struct FaultBackend {
+    inner: Arc<dyn Backend>,
+    shared: Arc<FaultShared>,
+}
+
+impl FaultBackend {
+    pub fn new(
+        inner: Arc<dyn Backend>,
+        plan: crate::fault::FaultPlan,
+        telemetry: Arc<crate::telemetry::Telemetry>,
+    ) -> Self {
+        let rng = simcore::rng::SimRng::new(plan.seed);
+        FaultBackend {
+            inner,
+            shared: Arc::new(FaultShared {
+                plan,
+                rng: Mutex::new(rng),
+                seq: FaultSeq::default(),
+                injected: AtomicU64::new(0),
+                telemetry,
+            }),
+        }
+    }
+
+    /// Total faults this backend has injected (for tests that do not
+    /// run with telemetry enabled).
+    pub fn faults_injected(&self) -> u64 {
+        self.shared.injected.load(Ordering::Relaxed)
+    }
+
+    fn wrap(&self, obj: Box<dyn BackendObject>, path: String) -> Box<dyn BackendObject> {
+        Box::new(PlannedFaultObject {
+            inner: obj,
+            path,
+            shared: self.shared.clone(),
+        })
+    }
+}
+
+/// The state a [`PlannedFaultObject`] shares with its parent backend:
+/// the plan, one seeded rng stream, and the per-class op counters.
+struct FaultShared {
+    plan: crate::fault::FaultPlan,
+    rng: Mutex<simcore::rng::SimRng>,
+    seq: FaultSeq,
+    injected: AtomicU64,
+    telemetry: Arc<crate::telemetry::Telemetry>,
+}
+
+impl FaultShared {
+    fn decide(
+        &self,
+        class: crate::fault::OpClass,
+        path: &str,
+    ) -> Option<crate::fault::FaultAction> {
+        let seq = self.seq.next(class);
+        let mut rng = self.rng.lock();
+        let action = self.plan.decide(class, path, seq, &mut rng);
+        drop(rng);
+        if action.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            if self.telemetry.enabled() {
+                self.telemetry.faults_injected.inc();
+            }
+        }
+        action
+    }
+}
+
+struct PlannedFaultObject {
+    inner: Box<dyn BackendObject>,
+    path: String,
+    shared: Arc<FaultShared>,
+}
+
+impl BackendObject for PlannedFaultObject {
+    fn write_at(&mut self, offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
+        use crate::fault::{FaultAction, OpClass};
+        match self.shared.decide(OpClass::Write, &self.path) {
+            Some(FaultAction::Errno(e)) => Err(e),
+            Some(FaultAction::Short { numerator }) => {
+                // POSIX-legal short write: some prefix goes through.
+                let n = ((data.len() * numerator as usize) / 256)
+                    .max(1)
+                    .min(data.len());
+                self.inner.write_at(offset, &data[..n])
+            }
+            Some(FaultAction::DelayUs(us)) => {
+                std::thread::sleep(Duration::from_micros(us as u64));
+                self.inner.write_at(offset, data)
+            }
+            None => self.inner.write_at(offset, data),
+        }
+    }
+
+    fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno> {
+        use crate::fault::{FaultAction, OpClass};
+        match self.shared.decide(OpClass::Read, &self.path) {
+            Some(FaultAction::Errno(e)) => Err(e),
+            Some(FaultAction::Short { numerator }) => {
+                // Short read: serve a prefix of the request. POSIX lets
+                // read() return fewer bytes than asked with no error.
+                let n = ((len * numerator as u64) / 256).max(1).min(len);
+                self.inner.read_at(offset, n)
+            }
+            Some(FaultAction::DelayUs(us)) => {
+                std::thread::sleep(Duration::from_micros(us as u64));
+                self.inner.read_at(offset, len)
+            }
+            None => self.inner.read_at(offset, len),
+        }
+    }
+
+    fn seek(&mut self, offset: i64, whence: Whence) -> Result<u64, Errno> {
+        self.inner.seek(offset, whence)
+    }
+
+    fn sync(&mut self) -> Result<(), Errno> {
+        use crate::fault::{FaultAction, OpClass};
+        match self.shared.decide(OpClass::Sync, &self.path) {
+            Some(FaultAction::Errno(e)) => Err(e),
+            Some(FaultAction::DelayUs(us)) => {
+                std::thread::sleep(Duration::from_micros(us as u64));
+                self.inner.sync()
+            }
+            // A "short" sync has no meaning; execute normally.
+            _ => self.inner.sync(),
+        }
+    }
+
+    fn fstat(&mut self) -> Result<FileStat, Errno> {
+        self.inner.fstat()
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), Errno> {
+        self.inner.truncate(len)
+    }
+}
+
+impl Backend for FaultBackend {
+    fn open(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        mode: u32,
+    ) -> Result<Box<dyn BackendObject>, Errno> {
+        use crate::fault::{FaultAction, OpClass};
+        match self.shared.decide(OpClass::Open, path) {
+            Some(FaultAction::Errno(e)) => return Err(e),
+            Some(FaultAction::DelayUs(us)) => {
+                std::thread::sleep(Duration::from_micros(us as u64));
+            }
+            _ => {}
+        }
+        let obj = self.inner.open(path, flags, mode)?;
+        Ok(self.wrap(obj, path.to_owned()))
+    }
+
+    fn connect(&self, host: &str, port: u16) -> Result<Box<dyn BackendObject>, Errno> {
+        use crate::fault::{FaultAction, OpClass};
+        // Socket sinks participate under their `host:port` name.
+        let name = format!("{host}:{port}");
+        match self.shared.decide(OpClass::Open, &name) {
+            Some(FaultAction::Errno(e)) => return Err(e),
+            Some(FaultAction::DelayUs(us)) => {
+                std::thread::sleep(Duration::from_micros(us as u64));
+            }
+            _ => {}
+        }
+        let obj = self.inner.connect(host, port)?;
+        Ok(self.wrap(obj, name))
+    }
+
+    fn stat(&self, path: &str) -> Result<FileStat, Errno> {
+        self.inner.stat(path)
+    }
+
+    fn unlink(&self, path: &str) -> Result<(), Errno> {
+        self.inner.unlink(path)
+    }
+
+    fn mkdir(&self, path: &str, mode: u32) -> Result<(), Errno> {
+        self.inner.mkdir(path, mode)
+    }
+
+    fn readdir(&self, path: &str) -> Result<Vec<String>, Errno> {
+        self.inner.readdir(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -107,10 +107,10 @@ fn main() {
         Some("put") if args.len() == 4 => put(&args[1], &args[2], &args[3], stats),
         Some("get") if args.len() == 4 => get(&args[1], &args[2], &args[3], stats),
         Some("stat") if args.len() == 3 => stat(&args[1], &args[2]),
-        Some("snapshot") if args.len() == 2 => check_snapshot(&args[1]),
+        Some("snapshot") if args.len() >= 2 => check_snapshot(&args[1], &args[2..]),
         _ => die(
             "usage: iofwd-cp [--stats] put LOCAL ADDR REMOTE | get ADDR REMOTE LOCAL \
-             | stat ADDR REMOTE | snapshot FILE",
+             | stat ADDR REMOTE | snapshot FILE [COUNTER...]",
         ),
     }
 }
@@ -199,9 +199,11 @@ fn stat(addr: &str, remote: &str) {
 }
 
 /// Parse a daemon `--stats-json` snapshot and verify it shows activity.
-/// Exit status is the CI contract: 0 iff the snapshot parses and records
-/// at least one completed op.
-fn check_snapshot(path: &str) {
+/// Exit status is the CI contract: 0 iff the snapshot parses, records at
+/// least one completed op, and every explicitly named counter is nonzero
+/// (the chaos smoke passes e.g. `faults_injected retries_attempted` to
+/// prove the fault plan actually fired and retries actually ran).
+fn check_snapshot(path: &str, require_nonzero: &[String]) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
     let snap =
         TelemetrySnapshot::from_json(&text).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
@@ -217,6 +219,16 @@ fn check_snapshot(path: &str) {
     );
     if ops == 0 {
         die("snapshot records zero completed ops");
+    }
+    for name in require_nonzero {
+        if !snap.counters.iter().any(|(n, _)| n == name) {
+            die(&format!("snapshot has no counter named '{name}'"));
+        }
+        let v = snap.counter(name);
+        println!("{path}: {name} = {v}");
+        if v == 0 {
+            die(&format!("required counter '{name}' is zero"));
+        }
     }
 }
 

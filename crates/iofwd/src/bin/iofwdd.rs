@@ -18,12 +18,21 @@
 //!   dumps immediately (including the flight recorder's recent-op table)
 //!   then removes the file. A portable stand-in for SIGUSR1.
 //! * `--port-file PATH` — write the bound port (for `--listen host:0`).
+//!
+//! Robustness (`iofwd::fault`):
+//!
+//! * `--fault-plan PATH` — wrap the backend in a deterministic, seeded
+//!   fault injector driven by the plan file (chaos testing; see
+//!   DESIGN.md §10 for the plan grammar).
+//! * `--retry-attempts N` — max attempts for transient backend errors
+//!   (EAGAIN/EIO/ECONNRESET). Default 4; `1` disables retries.
 
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use iofwd::backend::FileBackend;
+use iofwd::backend::{FaultBackend, FileBackend};
+use iofwd::fault::{FaultPlan, RetryPolicy};
 use iofwd::server::{ForwardingMode, IonServer, ServerConfig};
 use iofwd::telemetry::{snapshot, Telemetry};
 use iofwd::transport::tcp::TcpAcceptor;
@@ -38,6 +47,8 @@ struct Options {
     stats_json: Option<String>,
     dump_trigger: Option<String>,
     port_file: Option<String>,
+    fault_plan: Option<String>,
+    retry_attempts: u32,
 }
 
 impl Options {
@@ -52,6 +63,8 @@ impl Options {
             stats_json: None,
             dump_trigger: None,
             port_file: None,
+            fault_plan: None,
+            retry_attempts: 4,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -81,12 +94,19 @@ impl Options {
                 "--stats-json" => opts.stats_json = Some(take("--stats-json")),
                 "--dump-trigger" => opts.dump_trigger = Some(take("--dump-trigger")),
                 "--port-file" => opts.port_file = Some(take("--port-file")),
+                "--fault-plan" => opts.fault_plan = Some(take("--fault-plan")),
+                "--retry-attempts" => {
+                    opts.retry_attempts = take("--retry-attempts").parse().unwrap_or_else(|_| {
+                        die("--retry-attempts needs an integer (1 disables retries)");
+                    })
+                }
                 "--help" | "-h" => {
                     println!(
                         "usage: iofwdd [--listen ADDR] [--root DIR] \
                          [--mode ciod|zoid|sched|staged] [--workers N] [--bml-mib N] \
                          [--stats-interval SECS] [--stats-json PATH] \
-                         [--dump-trigger PATH] [--port-file PATH]"
+                         [--dump-trigger PATH] [--port-file PATH] \
+                         [--fault-plan PATH] [--retry-attempts N]"
                     );
                     std::process::exit(0);
                 }
@@ -152,9 +172,26 @@ fn main() {
     if let Some(pf) = &opts.port_file {
         write_atomic(pf, &addr.port().to_string());
     }
-    let backend = Arc::new(FileBackend::new(&opts.root));
-    let server = IonServer::spawn(Box::new(acceptor), backend, ServerConfig::new(mode));
-    let telemetry = server.telemetry();
+    // Build telemetry up front so the fault injector (outermost backend
+    // wrapper) and the daemon share one registry.
+    let telemetry = Arc::new(Telemetry::new());
+    let mut backend: Arc<dyn iofwd::backend::Backend> = Arc::new(FileBackend::new(&opts.root));
+    if let Some(plan_path) = &opts.fault_plan {
+        let text = std::fs::read_to_string(plan_path)
+            .unwrap_or_else(|e| die(&format!("cannot read fault plan {plan_path}: {e}")));
+        let plan = FaultPlan::parse(&text)
+            .unwrap_or_else(|e| die(&format!("bad fault plan {plan_path}: {e}")));
+        eprintln!(
+            "iofwdd: fault injection ON — seed {}, {} rule(s) from {plan_path}",
+            plan.seed,
+            plan.rules.len()
+        );
+        backend = Arc::new(FaultBackend::new(backend, plan, telemetry.clone()));
+    }
+    let config = ServerConfig::new(mode)
+        .with_telemetry(telemetry.clone())
+        .with_retry_policy(RetryPolicy::with_attempts(opts.retry_attempts));
+    let server = IonServer::spawn(Box::new(acceptor), backend, config);
     eprintln!(
         "iofwdd: listening on {addr}, mode {}, root {}, {} worker(s), {} MiB BML",
         opts.mode, opts.root, opts.workers, opts.bml_mib

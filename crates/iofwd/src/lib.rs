@@ -68,6 +68,7 @@ pub mod backend;
 pub mod bml;
 pub mod client;
 pub mod descdb;
+pub mod fault;
 pub mod file;
 pub mod filter;
 pub mod server;

@@ -5,13 +5,16 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::Bytes;
 use iofwd_proto::{Errno, Request, Response};
+use simcore::rng::SimRng;
 
-use crate::backend::Backend;
+use crate::backend::{Backend, BackendObject};
 use crate::bml::Bml;
 use crate::descdb::{BeginError, DescDb, OpOutcome};
+use crate::fault::{is_transient, RetryPolicy};
 use crate::filter::{FilterChain, WriteContext};
 use crate::telemetry::{OpKind, OpSpan, Telemetry};
 
@@ -67,6 +70,13 @@ pub struct Engine {
     pub(crate) stats: ServerStats,
     pub(crate) filters: FilterChain,
     pub(crate) telemetry: Arc<Telemetry>,
+    /// Retry policy for transient backend errors. Disabled by default:
+    /// embedders (and the daemon CLI) opt in explicitly, so existing
+    /// error-propagation semantics are unchanged unless asked for.
+    pub(crate) retry: RetryPolicy,
+    /// Deterministic jitter source for backoff; seeded once so retry
+    /// timing is reproducible run-to-run.
+    retry_rng: parking_lot::Mutex<SimRng>,
 }
 
 impl Engine {
@@ -93,11 +103,85 @@ impl Engine {
             stats: ServerStats::default(),
             filters,
             telemetry,
+            retry: RetryPolicy::disabled(),
+            retry_rng: parking_lot::Mutex::new(SimRng::new(0x10f_44d)),
         }
+    }
+
+    /// Enable (or reconfigure) retrying of transient backend errors.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// Run a backend call under the retry policy: *transient* errnos
+    /// ([`is_transient`]) are re-attempted with exponential backoff and
+    /// deterministic jitter until the attempt budget or the per-op
+    /// deadline runs out. Permanent errnos return immediately — they
+    /// keep flowing into the sync reply or the descdb deferred-error
+    /// channel exactly as before.
+    pub(crate) fn with_retries<T>(
+        &self,
+        mut f: impl FnMut() -> Result<T, Errno>,
+    ) -> Result<T, Errno> {
+        let mut attempt = 1u32;
+        let started = Instant::now();
+        loop {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) if !is_transient(e) || !self.retry.enabled() => return Err(e),
+                Err(e) => {
+                    if attempt >= self.retry.max_attempts
+                        || started.elapsed() >= self.retry.op_deadline
+                    {
+                        if self.telemetry.enabled() {
+                            self.telemetry.retries_exhausted.inc();
+                        }
+                        return Err(e);
+                    }
+                    let backoff = {
+                        let mut rng = self.retry_rng.lock();
+                        self.retry.backoff(attempt, &mut rng)
+                    };
+                    if self.telemetry.enabled() {
+                        self.telemetry.retries_attempted.inc();
+                    }
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Write all of `data`, continuing after POSIX-legal short writes
+    /// and retrying transient errors per the policy. A device that
+    /// accepts zero bytes with data remaining reports `EIO` rather than
+    /// spinning.
+    pub(crate) fn write_fully(
+        &self,
+        o: &mut dyn BackendObject,
+        offset: Option<u64>,
+        data: &[u8],
+    ) -> Result<(), Errno> {
+        let mut written = 0usize;
+        while written < data.len() {
+            // Positional writes continue at offset+written; cursor
+            // writes continue at the cursor the short write advanced.
+            let at = offset.map(|base| base + written as u64);
+            let n = self.with_retries(|| o.write_at(at, &data[written..]))? as usize;
+            if n == 0 {
+                return Err(Errno::Io);
+            }
+            written += n;
+        }
+        Ok(())
     }
 
     pub fn stats(&self) -> StatsSnapshot {
@@ -145,16 +229,14 @@ impl Engine {
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         match req {
             Request::Open { path, flags, mode } => match self
-                .backend
-                .open(path, *flags, *mode)
+                .with_retries(|| self.backend.open(path, *flags, *mode))
                 .and_then(|obj| self.db.insert(obj, path))
             {
                 Ok(fd) => (Response::Ok { ret: fd.0 as i64 }, Bytes::new()),
                 Err(e) => (Response::Err { errno: e }, Bytes::new()),
             },
             Request::Connect { host, port } => match self
-                .backend
-                .connect(host, *port)
+                .with_retries(|| self.backend.connect(host, *port))
                 .and_then(|obj| self.db.insert(obj, &format!("{host}:{port}")))
             {
                 Ok(fd) => (Response::Ok { ret: fd.0 as i64 }, Bytes::new()),
@@ -165,10 +247,19 @@ impl Engine {
             Request::Read { fd, len } => self.data_read(*fd, None, *len),
             Request::Pread { fd, offset, len } => self.data_read(*fd, Some(*offset), *len),
             Request::Lseek { fd, offset, whence } => match self.db.object(*fd) {
-                Ok(obj) => match obj.lock().seek(*offset, *whence) {
-                    Ok(pos) => (Response::Ok { ret: pos as i64 }, Bytes::new()),
-                    Err(e) => (Response::Err { errno: e }, Bytes::new()),
-                },
+                Ok(obj) => {
+                    // Seeks are ordered against staged writes: a staged
+                    // cursor write consumes the object cursor when the
+                    // worker executes it, so a seek overtaking it would
+                    // move the cursor out from under the write.
+                    if let Err(e) = self.db.wait_idle(*fd) {
+                        return (Response::Err { errno: e }, Bytes::new());
+                    }
+                    match obj.lock().seek(*offset, *whence) {
+                        Ok(pos) => (Response::Ok { ret: pos as i64 }, Bytes::new()),
+                        Err(e) => (Response::Err { errno: e }, Bytes::new()),
+                    }
+                }
                 Err(e) => (Response::Err { errno: e }, Bytes::new()),
             },
             Request::Fsync { fd } => self.fsync(*fd),
@@ -258,9 +349,12 @@ impl Engine {
                 );
             }
         };
-        let result = obj.lock().write_at(offset, &filtered);
+        let result = {
+            let mut o = obj.lock();
+            self.write_fully(&mut **o, offset, &filtered)
+        };
         match result {
-            Ok(_) => {
+            Ok(()) => {
                 self.db.finish_op(fd, op, OpOutcome::Ok);
                 // Report the *application's* byte count, not the
                 // post-filter count: filtering is transparent.
@@ -327,9 +421,12 @@ impl Engine {
             None => OpOutcome::Ok, // consumed in situ
             Some(filtered) => match self.db.object(fd) {
                 Ok(obj) => {
-                    let res = obj.lock().write_at(offset, &filtered);
+                    let res = {
+                        let mut o = obj.lock();
+                        self.write_fully(&mut **o, offset, &filtered)
+                    };
                     match res {
-                        Ok(_) => OpOutcome::Ok,
+                        Ok(()) => OpOutcome::Ok,
                         Err(e) => OpOutcome::Failed(e),
                     }
                 }
@@ -345,7 +442,10 @@ impl Engine {
             Ok(v) => v,
             Err(e) => return (self.begin_error_response(e), Bytes::new()),
         };
-        let result = obj.lock().read_at(offset, len);
+        let result = {
+            let mut o = obj.lock();
+            self.with_retries(|| o.read_at(offset, len))
+        };
         self.db.finish_op(fd, op, OpOutcome::Ok);
         match result {
             Ok(buf) => {
@@ -376,10 +476,16 @@ impl Engine {
             return (Response::DeferredErr { op, errno }, Bytes::new());
         }
         match self.db.object(fd) {
-            Ok(obj) => match obj.lock().sync() {
-                Ok(()) => (Response::Ok { ret: 0 }, Bytes::new()),
-                Err(e) => (Response::Err { errno: e }, Bytes::new()),
-            },
+            Ok(obj) => {
+                let res = {
+                    let mut o = obj.lock();
+                    self.with_retries(|| o.sync())
+                };
+                match res {
+                    Ok(()) => (Response::Ok { ret: 0 }, Bytes::new()),
+                    Err(e) => (Response::Err { errno: e }, Bytes::new()),
+                }
+            }
             Err(e) => (Response::Err { errno: e }, Bytes::new()),
         }
     }

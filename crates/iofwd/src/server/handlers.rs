@@ -222,12 +222,30 @@ pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQue
         }
         let (tx, rx) = bounded(1);
         span.enqueue_ns = telemetry.now_ns();
-        queue.push(WorkItem::Sync {
+        let pushed = queue.push(WorkItem::Sync {
             req: req.clone(),
             data: frame.data.clone(),
             reply: tx,
             span,
         });
+        if pushed.is_err() {
+            // Queue closed: the daemon is shutting down. Reply with a
+            // clean transient errno instead of killing the process
+            // (the old behavior was an assert in push).
+            send_response(
+                conn.as_ref(),
+                frame.client_id,
+                frame.seq,
+                &Response::Err {
+                    errno: Errno::Again,
+                },
+                Bytes::new(),
+            );
+            span.ok = false;
+            span.reply_ns = telemetry.now_ns();
+            telemetry.complete(&span);
+            break;
+        }
         match rx.recv() {
             Ok((resp, data, mut span)) => {
                 session.track(&req, &resp);
@@ -349,7 +367,18 @@ pub fn handle_staged(
                                     span,
                                 };
                                 if let Some(item) = serializer.admit(fd, item) {
-                                    queue.push(item);
+                                    if let Err(closed) = queue.push(item) {
+                                        // Queue closed under us: the
+                                        // worker pool will never run
+                                        // this write, so execute it
+                                        // inline (plus any successors
+                                        // the lane releases) to keep
+                                        // the `Staged` ack truthful.
+                                        run_staged_inline(&engine, &telemetry, *closed.0);
+                                        while let Some(next) = serializer.complete(fd) {
+                                            run_staged_inline(&engine, &telemetry, next);
+                                        }
+                                    }
                                 }
                                 Response::Staged { op }
                             }
@@ -387,12 +416,27 @@ pub fn handle_staged(
                 }
                 let (tx, rx) = bounded(1);
                 span.enqueue_ns = telemetry.now_ns();
-                queue.push(WorkItem::Sync {
+                let pushed = queue.push(WorkItem::Sync {
                     req,
                     data: frame.data.clone(),
                     reply: tx,
                     span,
                 });
+                if pushed.is_err() {
+                    send_response(
+                        conn.as_ref(),
+                        frame.client_id,
+                        frame.seq,
+                        &Response::Err {
+                            errno: Errno::Again,
+                        },
+                        Bytes::new(),
+                    );
+                    span.ok = false;
+                    span.reply_ns = telemetry.now_ns();
+                    telemetry.complete(&span);
+                    break;
+                }
                 match rx.recv() {
                     Ok((resp, data, mut span)) => {
                         send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data);
@@ -435,6 +479,35 @@ pub fn handle_staged(
     session.reclaim(&engine);
 }
 
+/// Execute a staged write outside the worker pool (handler racing
+/// shutdown, or the shutdown drain): filters, backend write, outcome
+/// recording, span completion, and BML buffer return.
+pub(crate) fn run_staged_inline(
+    engine: &Engine,
+    telemetry: &crate::telemetry::Telemetry,
+    item: WorkItem,
+) {
+    match item {
+        WorkItem::StagedWrite {
+            fd,
+            op,
+            offset,
+            buf,
+            mut span,
+        } => {
+            span.dispatch_ns = telemetry.now_ns();
+            span.backend_start_ns = span.dispatch_ns;
+            let outcome = engine.execute_staged_write(fd, op, offset, buf.as_slice());
+            span.backend_done_ns = telemetry.now_ns();
+            span.ok = matches!(outcome, OpOutcome::Ok);
+            drop(buf);
+            telemetry.complete(&span);
+        }
+        // Only staged writes are ever admitted to a serializer lane.
+        WorkItem::Sync { .. } => {}
+    }
+}
+
 /// Worker-pool loop: batch-dequeue ("I/O multiplexing per thread") and
 /// execute.
 pub fn worker_loop(
@@ -470,6 +543,14 @@ pub fn worker_loop(
                     buf,
                     mut span,
                 } => {
+                    // Drop-safe lane release: when the guard goes out of
+                    // scope — normal completion or an early exit — the
+                    // lane is completed and the successor re-enqueued
+                    // (or parked for the shutdown drain if the queue
+                    // closed). The old explicit `complete` leaked the
+                    // lane, and every parked successor's BML buffer, on
+                    // any path that skipped it.
+                    let _guard = serializer.completion_guard(fd, queue.clone());
                     span.dispatch_ns = telemetry.now_ns();
                     span.backend_start_ns = span.dispatch_ns;
                     // Filters, backend write, and outcome recording all
@@ -479,9 +560,6 @@ pub fn worker_loop(
                     span.ok = matches!(outcome, OpOutcome::Ok);
                     drop(buf); // return staging memory before dispatching more
                     telemetry.complete(&span);
-                    if let Some(next) = serializer.complete(fd) {
-                        queue.push(next);
-                    }
                 }
             }
         }

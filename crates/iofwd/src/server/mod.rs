@@ -21,11 +21,15 @@ pub use staged::FdSerializer;
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
+use iofwd_proto::Errno;
 use parking_lot::Mutex;
 
 use crate::backend::Backend;
 use crate::bml::Bml;
+use crate::descdb::OpOutcome;
+use crate::fault::RetryPolicy;
 use crate::transport::Listener;
 
 /// Which forwarding architecture the daemon runs.
@@ -79,6 +83,11 @@ pub struct ServerConfig {
     /// Enabled by default — recording is cheap enough to leave on; swap
     /// in `Telemetry::disabled()` for a zero-overhead null sink.
     pub telemetry: Arc<crate::telemetry::Telemetry>,
+    /// Retry policy for transient backend errors (EAGAIN/EIO/ECONNRESET).
+    /// Disabled by default: tests and benches see every backend error
+    /// exactly once unless they opt in. `iofwdd` enables
+    /// [`RetryPolicy::standard`] by default.
+    pub retry: RetryPolicy,
 }
 
 impl ServerConfig {
@@ -89,6 +98,7 @@ impl ServerConfig {
             queue_discipline: QueueDiscipline::SharedFifo,
             filters: crate::filter::FilterChain::new(),
             telemetry: Arc::new(crate::telemetry::Telemetry::new()),
+            retry: RetryPolicy::disabled(),
         }
     }
 
@@ -116,6 +126,12 @@ impl ServerConfig {
         self.filters = chain;
         self
     }
+
+    /// Retry transient backend errors per `policy` before failing an op.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
 }
 
 /// A running ION daemon. Dropping without [`IonServer::shutdown`] detaches
@@ -124,11 +140,23 @@ impl ServerConfig {
 pub struct IonServer {
     engine: Arc<Engine>,
     queue: Option<Arc<WorkQueue>>,
+    serializer: Option<Arc<FdSerializer>>,
     listener: Arc<dyn Listener>,
     accept_thread: Option<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
     handler_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     config: ServerConfig,
+}
+
+/// What the shutdown drain did with staged writes that were still parked
+/// when the deadline forced the worker pool down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Staged writes executed during the drain (within the deadline).
+    pub executed: usize,
+    /// Staged writes failed with a recorded deferred error (deadline
+    /// exhausted before they could run).
+    pub deferred: usize,
 }
 
 impl IonServer {
@@ -154,12 +182,10 @@ impl IonServer {
         } else {
             backend
         };
-        let engine = Arc::new(Engine::with_telemetry(
-            backend,
-            bml,
-            config.filters.clone(),
-            telemetry.clone(),
-        ));
+        let mut engine =
+            Engine::with_telemetry(backend, bml, config.filters.clone(), telemetry.clone());
+        engine.set_retry_policy(config.retry);
+        let engine = Arc::new(engine);
         let listener: Arc<dyn Listener> = Arc::from(listener);
         let handler_threads = Arc::new(Mutex::new(Vec::new()));
 
@@ -237,6 +263,7 @@ impl IonServer {
         IonServer {
             engine,
             queue,
+            serializer,
             listener,
             accept_thread: Some(accept_thread),
             worker_threads,
@@ -277,25 +304,103 @@ impl IonServer {
         self.engine.descriptor_db().open_count()
     }
 
-    /// Orderly shutdown: stop accepting, join client handlers (clients
-    /// must have disconnected), drain the work queue, join workers.
-    pub fn shutdown(mut self) {
+    /// Orderly shutdown: stop accepting, drain the work queue, join
+    /// workers and client handlers. Delegates to
+    /// [`shutdown_with_deadline`](Self::shutdown_with_deadline) with a
+    /// generous budget; under normal load everything executes and the
+    /// report is all-`executed`.
+    pub fn shutdown(self) {
+        self.shutdown_with_deadline(Duration::from_secs(30));
+    }
+
+    /// Deadline-bounded degraded shutdown.
+    ///
+    /// Ordering matters here, and every step exists to uphold one
+    /// invariant: **no staged write is dropped without an outcome, and
+    /// no BML buffer is stranded.**
+    ///
+    /// 1. Stop accepting connections and join the accept loop.
+    /// 2. `close()` the work queue: new pushes fail with `QueueClosed`
+    ///    (handlers translate that into a clean errno reply or an
+    ///    inline execution), while workers keep draining what's queued.
+    /// 3. Give workers half the budget to finish in order, then
+    ///    `abort()`: remaining items stay parked for the drain instead
+    ///    of being handed to workers that must now exit.
+    /// 4. Join workers, then drain the queue *and* the serializer
+    ///    lanes. Each parked staged write either executes now (while
+    ///    budget remains) or records a deferred error via the
+    ///    descriptor database — either way its op completes and its
+    ///    BML buffer is returned.
+    /// 5. Join handlers. This must come *after* the drain: a handler's
+    ///    close-time reclaim waits for every staged op to reach an
+    ///    outcome, which step 4 guarantees.
+    /// 6. Close the BML.
+    pub fn shutdown_with_deadline(mut self, deadline: Duration) -> ShutdownReport {
+        let started = Instant::now();
         self.listener.shutdown();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        let handlers: Vec<_> = std::mem::take(&mut *self.handler_threads.lock());
-        for h in handlers {
-            let _ = h.join();
-        }
         if let Some(q) = &self.queue {
             q.close();
+            let soft = deadline / 2;
+            while q.depth() > 0 && started.elapsed() < soft {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            q.abort();
         }
         for w in std::mem::take(&mut self.worker_threads) {
             let _ = w.join();
         }
+
+        let telemetry = self.engine.telemetry().clone();
+        let mut leftovers: Vec<WorkItem> = Vec::new();
+        if let Some(q) = &self.queue {
+            leftovers.extend(q.drain_remaining());
+        }
+        if let Some(s) = &self.serializer {
+            leftovers.extend(s.drain_all());
+        }
+        let mut report = ShutdownReport::default();
+        for item in leftovers {
+            match item {
+                item @ WorkItem::StagedWrite { .. } if started.elapsed() < deadline => {
+                    handlers::run_staged_inline(&self.engine, &telemetry, item);
+                    report.executed += 1;
+                    if telemetry.enabled() {
+                        telemetry.drain_executed.inc();
+                    }
+                }
+                WorkItem::StagedWrite {
+                    fd, op, buf, span, ..
+                } => {
+                    // Deadline exhausted: fail the op *explicitly* so the
+                    // client's deferred-error channel reports it on the
+                    // next op or close, and return the staging memory.
+                    self.engine
+                        .descriptor_db()
+                        .finish_op(fd, op, OpOutcome::Failed(Errno::Io));
+                    drop(buf);
+                    let _ = span;
+                    report.deferred += 1;
+                    if telemetry.enabled() {
+                        telemetry.drain_deferred.inc();
+                    }
+                }
+                // Sync items carry no BML memory and no recorded op;
+                // dropping the reply sender unblocks the waiting handler
+                // with a disconnect.
+                WorkItem::Sync { .. } => {}
+            }
+        }
+
+        let handlers: Vec<_> = std::mem::take(&mut *self.handler_threads.lock());
+        for h in handlers {
+            let _ = h.join();
+        }
         if let Some(bml) = self.engine.bml() {
             bml.close();
         }
+        report
     }
 }

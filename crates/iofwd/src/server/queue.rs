@@ -58,11 +58,33 @@ pub enum QueueDiscipline {
     PerWorker,
 }
 
+/// Returned by [`WorkQueue::push`] when the queue has been closed: the
+/// daemon is shutting down and accepts no new work. The rejected item
+/// is handed back so the caller can fail it cleanly (reply with an
+/// errno, record a deferred error) instead of losing it — a staged
+/// write carries a BML buffer that must not be stranded. Boxed so the
+/// hot path's `Result` stays a word; the allocation only happens on
+/// the cold shutdown race.
+pub struct QueueClosed(pub Box<WorkItem>);
+
+impl std::fmt::Debug for QueueClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("QueueClosed(..)")
+    }
+}
+
+impl std::fmt::Display for QueueClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("work queue is closed")
+    }
+}
+
 struct QueueState {
     shared: VecDeque<WorkItem>,
     per_worker: Vec<VecDeque<WorkItem>>,
     rr_next: usize,
     closed: bool,
+    aborted: bool,
 }
 
 /// MPMC work queue with batch dequeue ("I/O multiplexing per thread").
@@ -93,6 +115,7 @@ impl WorkQueue {
                 per_worker: (0..workers).map(|_| VecDeque::new()).collect(),
                 rr_next: 0,
                 closed: false,
+                aborted: false,
             }),
             cv: Condvar::new(),
             discipline,
@@ -107,10 +130,16 @@ impl WorkQueue {
         self.discipline
     }
 
-    /// Enqueue a task; wakes one worker.
-    pub fn push(&self, item: WorkItem) {
+    /// Enqueue a task; wakes one worker. Fails with [`QueueClosed`]
+    /// (returning the item) once [`close`](Self::close) has been
+    /// called — a handler racing daemon shutdown gets its work back to
+    /// fail cleanly rather than a panic.
+    pub fn push(&self, item: WorkItem) -> Result<(), QueueClosed> {
         let mut s = self.state.lock();
-        assert!(!s.closed, "push on closed work queue");
+        if s.closed {
+            drop(s);
+            return Err(QueueClosed(Box::new(item)));
+        }
         match self.discipline {
             QueueDiscipline::SharedFifo => s.shared.push_back(item),
             QueueDiscipline::PerWorker => {
@@ -119,14 +148,18 @@ impl WorkQueue {
                 s.per_worker[w].push_back(item);
             }
         }
+        // Fold the high-water mark while still holding the lock: after
+        // `drop(s)` a racing pop could shrink the queue first and a
+        // racing push could observe (and record) a stale, too-low peak.
         let depth = Self::depth_locked(&s) as u64;
-        drop(s);
         self.depth_high_water.fetch_max(depth, Ordering::Relaxed);
         self.total_enqueued.fetch_add(1, Ordering::Relaxed);
+        drop(s);
         if self.telemetry.enabled() {
             self.telemetry.queue_depth.add(1);
         }
         self.cv.notify_one();
+        Ok(())
     }
 
     /// Dequeue up to `batch` tasks for `worker`, blocking while empty.
@@ -135,6 +168,11 @@ impl WorkQueue {
         assert!(batch > 0);
         let mut s = self.state.lock();
         loop {
+            if s.aborted {
+                // Degraded shutdown: remaining items belong to the
+                // drain, not the workers.
+                return Vec::new();
+            }
             let mut out = Vec::new();
             match self.discipline {
                 QueueDiscipline::SharedFifo => {
@@ -193,6 +231,35 @@ impl WorkQueue {
         self.cv.notify_all();
     }
 
+    /// Close *and* stop handing items to workers: subsequent
+    /// `pop_batch` calls return empty even if items remain. Whatever
+    /// is still parked belongs to [`drain_remaining`](Self::drain_remaining)
+    /// — the deadline-bounded shutdown drain.
+    pub fn abort(&self) {
+        let mut s = self.state.lock();
+        s.closed = true;
+        s.aborted = true;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Take every item still parked in the queue (all workers' queues
+    /// and the shared FIFO), in FIFO order per queue. Used by shutdown
+    /// after workers have exited to guarantee no staged write — and no
+    /// BML buffer — is silently dropped.
+    pub fn drain_remaining(&self) -> Vec<WorkItem> {
+        let mut s = self.state.lock();
+        let mut out: Vec<WorkItem> = s.shared.drain(..).collect();
+        for q in s.per_worker.iter_mut() {
+            out.extend(q.drain(..));
+        }
+        drop(s);
+        if self.telemetry.enabled() && !out.is_empty() {
+            self.telemetry.queue_depth.add(-(out.len() as i64));
+        }
+        out
+    }
+
     pub fn depth(&self) -> usize {
         Self::depth_locked(&self.state.lock())
     }
@@ -244,24 +311,45 @@ mod tests {
     #[test]
     fn shared_fifo_preserves_order() {
         let q = WorkQueue::new(QueueDiscipline::SharedFifo, 2);
+        let mut high_water = Vec::new();
         for i in 0..5 {
-            q.push(sync_item(i));
+            q.push(sync_item(i)).unwrap();
+            high_water.push(q.depth_high_water());
         }
+        // The high-water mark is folded under the queue lock, so it is
+        // monotone and exact: after the i-th push it is exactly i+1.
+        assert_eq!(high_water, vec![1, 2, 3, 4, 5]);
         let batch = q.pop_batch(0, 3);
         assert_eq!(batch.iter().map(tag_of).collect::<Vec<_>>(), vec![0, 1, 2]);
         let rest = q.pop_batch(1, 10);
         assert_eq!(rest.iter().map(tag_of).collect::<Vec<_>>(), vec![3, 4]);
         assert_eq!(q.total_enqueued(), 5);
         assert_eq!(q.depth_high_water(), 5);
+        // Pops never lower the high-water mark.
+        q.push(sync_item(9)).unwrap();
+        assert_eq!(q.depth_high_water(), 5);
     }
 
     #[test]
     fn close_drains_then_returns_empty() {
         let q = WorkQueue::new(QueueDiscipline::SharedFifo, 1);
-        q.push(sync_item(1));
+        q.push(sync_item(1)).unwrap();
         q.close();
         assert_eq!(q.pop_batch(0, 10).len(), 1);
         assert!(q.pop_batch(0, 10).is_empty());
+    }
+
+    #[test]
+    fn push_after_close_returns_queue_closed_with_item() {
+        let q = WorkQueue::new(QueueDiscipline::SharedFifo, 1);
+        q.push(sync_item(1)).unwrap();
+        q.close();
+        // A handler racing shutdown gets its item back, not a panic.
+        let err = q.push(sync_item(2)).unwrap_err();
+        assert_eq!(tag_of(&err.0), 2);
+        // The rejected push left no trace in the accounting.
+        assert_eq!(q.total_enqueued(), 1);
+        assert_eq!(q.depth(), 1);
     }
 
     #[test]
@@ -270,7 +358,7 @@ mod tests {
         let q2 = q.clone();
         let t = std::thread::spawn(move || q2.pop_batch(0, 1));
         std::thread::sleep(std::time::Duration::from_millis(30));
-        q.push(sync_item(7));
+        q.push(sync_item(7)).unwrap();
         let got = t.join().unwrap();
         assert_eq!(tag_of(&got[0]), 7);
     }
@@ -279,7 +367,7 @@ mod tests {
     fn per_worker_round_robin_and_steal() {
         let q = WorkQueue::new(QueueDiscipline::PerWorker, 2);
         for i in 0..4 {
-            q.push(sync_item(i)); // 0,2 -> worker 0; 1,3 -> worker 1
+            q.push(sync_item(i)).unwrap(); // 0,2 -> worker 0; 1,3 -> worker 1
         }
         let own = q.pop_batch(0, 10);
         assert_eq!(own.iter().map(tag_of).collect::<Vec<_>>(), vec![0, 2]);
@@ -288,6 +376,49 @@ mod tests {
         assert_eq!(stolen.len(), 1);
         assert_eq!(tag_of(&stolen[0]), 1);
         assert_eq!(q.total_steals(), 1);
+    }
+
+    #[test]
+    fn per_worker_steal_drains_other_queues_after_close() {
+        // Satellite: under close(), a worker whose own queue is empty
+        // must still drain the *other* workers' parked items (one steal
+        // per pass) before pop_batch returns empty.
+        let q = WorkQueue::new(QueueDiscipline::PerWorker, 3);
+        for i in 0..6 {
+            q.push(sync_item(i)).unwrap(); // rr: two items per worker
+        }
+        q.close();
+        // Worker 0 empties its own queue...
+        assert_eq!(q.pop_batch(0, 10).len(), 2);
+        // ...then steals everything parked for workers 1 and 2.
+        let mut stolen = Vec::new();
+        loop {
+            let batch = q.pop_batch(0, 10);
+            if batch.is_empty() {
+                break;
+            }
+            stolen.extend(batch.iter().map(tag_of));
+        }
+        stolen.sort_unstable();
+        assert_eq!(stolen, vec![1, 2, 4, 5]);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn abort_parks_items_for_drain() {
+        let q = WorkQueue::new(QueueDiscipline::PerWorker, 2);
+        for i in 0..4 {
+            q.push(sync_item(i)).unwrap();
+        }
+        q.abort();
+        // Workers get nothing after an abort, even with items parked.
+        assert!(q.pop_batch(0, 10).is_empty());
+        assert!(q.pop_batch(1, 10).is_empty());
+        // The drain recovers every item exactly once.
+        let mut drained: Vec<u64> = q.drain_remaining().iter().map(tag_of).collect();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![0, 1, 2, 3]);
+        assert!(q.drain_remaining().is_empty());
     }
 
     #[test]

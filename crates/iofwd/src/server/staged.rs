@@ -10,11 +10,12 @@
 //! is enforced at dispatch, so the pool cannot deadlock on ordering.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use iofwd_proto::Fd;
 use parking_lot::Mutex;
 
-use super::queue::WorkItem;
+use super::queue::{WorkItem, WorkQueue};
 
 #[derive(Default)]
 struct Lane {
@@ -26,6 +27,11 @@ struct Lane {
 #[derive(Default)]
 pub struct FdSerializer {
     lanes: Mutex<HashMap<Fd, Lane>>,
+    /// Successors whose re-enqueue lost the race with queue close: they
+    /// could not go back on the work queue, but they carry BML buffers
+    /// and must not be dropped — the shutdown drain collects them via
+    /// [`drain_all`](Self::drain_all).
+    orphans: Mutex<Vec<WorkItem>>,
 }
 
 impl FdSerializer {
@@ -49,11 +55,13 @@ impl FdSerializer {
     }
 
     /// Mark `fd`'s in-flight item complete. Returns the next parked item
-    /// for that lane (the caller enqueues it), if any.
+    /// for that lane (the caller enqueues it), if any. Total: completing
+    /// an unknown or idle lane (a double-complete racing descriptor
+    /// close, or a guard firing after `drain_all`) is a no-op, not a
+    /// panic.
     pub fn complete(&self, fd: Fd) -> Option<WorkItem> {
         let mut lanes = self.lanes.lock();
-        let lane = lanes.get_mut(&fd).expect("complete on unknown lane");
-        debug_assert!(lane.busy, "complete on idle lane");
+        let lane = lanes.get_mut(&fd)?;
         match lane.pending.pop_front() {
             Some(next) => Some(next),
             None => {
@@ -65,9 +73,62 @@ impl FdSerializer {
         }
     }
 
+    /// Drop-safe completion for `fd`: the returned guard completes the
+    /// lane when it goes out of scope — normal return, `?`, or unwind —
+    /// and re-enqueues the successor on `queue`, parking it as an
+    /// orphan if the queue has closed. Holding the guard across
+    /// execution makes it impossible to leak a lane (and with it every
+    /// successor's BML buffer) on an error path.
+    pub fn completion_guard(self: &Arc<Self>, fd: Fd, queue: Arc<WorkQueue>) -> CompletionGuard {
+        CompletionGuard {
+            serializer: self.clone(),
+            queue,
+            fd,
+        }
+    }
+
+    /// Park an item that could not be re-enqueued.
+    fn orphan(&self, item: WorkItem) {
+        self.orphans.lock().push(item);
+    }
+
     /// Items parked across all lanes (for stats/tests).
     pub fn parked(&self) -> usize {
         self.lanes.lock().values().map(|l| l.pending.len()).sum()
+    }
+
+    /// Orphaned successors awaiting the shutdown drain (for stats/tests).
+    pub fn orphaned(&self) -> usize {
+        self.orphans.lock().len()
+    }
+
+    /// Take every parked item — lane successors and orphans — for the
+    /// shutdown drain. After this, lanes are empty; `complete` on a
+    /// drained lane is a no-op.
+    pub fn drain_all(&self) -> Vec<WorkItem> {
+        let mut out: Vec<WorkItem> = self.orphans.lock().drain(..).collect();
+        let mut lanes = self.lanes.lock();
+        for (_, lane) in lanes.drain() {
+            out.extend(lane.pending);
+        }
+        out
+    }
+}
+
+/// See [`FdSerializer::completion_guard`].
+pub struct CompletionGuard {
+    serializer: Arc<FdSerializer>,
+    queue: Arc<WorkQueue>,
+    fd: Fd,
+}
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        if let Some(next) = self.serializer.complete(self.fd) {
+            if let Err(closed) = self.queue.push(next) {
+                self.serializer.orphan(*closed.0);
+            }
+        }
     }
 }
 
@@ -137,5 +198,66 @@ mod tests {
         assert!(s.admit(Fd(1), item(1)).is_some());
         assert!(s.complete(Fd(1)).is_none());
         assert!(s.admit(Fd(1), item(2)).is_some());
+    }
+
+    #[test]
+    fn complete_is_total_on_unknown_lane() {
+        let s = FdSerializer::new();
+        // Never admitted: no panic, no successor.
+        assert!(s.complete(Fd(99)).is_none());
+        // Double-complete after the lane was removed: same.
+        assert!(s.admit(Fd(1), item(1)).is_some());
+        assert!(s.complete(Fd(1)).is_none());
+        assert!(s.complete(Fd(1)).is_none());
+    }
+
+    #[test]
+    fn guard_completes_lane_on_drop_and_requeues_successor() {
+        use super::super::queue::QueueDiscipline;
+        let s = Arc::new(FdSerializer::new());
+        let q = Arc::new(WorkQueue::new(QueueDiscipline::SharedFifo, 1));
+        assert!(s.admit(Fd(1), item(10)).is_some());
+        assert!(s.admit(Fd(1), item(11)).is_none());
+        {
+            // Worker "drops the StagedWrite on an error path" — the
+            // guard still releases the lane and re-enqueues item 11.
+            let _guard = s.completion_guard(Fd(1), q.clone());
+        }
+        assert_eq!(s.parked(), 0);
+        let batch = q.pop_batch(0, 10);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(tag(&batch[0]), 11);
+    }
+
+    #[test]
+    fn guard_parks_orphan_when_queue_closed() {
+        use super::super::queue::QueueDiscipline;
+        let s = Arc::new(FdSerializer::new());
+        let q = Arc::new(WorkQueue::new(QueueDiscipline::SharedFifo, 1));
+        assert!(s.admit(Fd(1), item(10)).is_some());
+        assert!(s.admit(Fd(1), item(11)).is_none());
+        q.close();
+        drop(s.completion_guard(Fd(1), q.clone()));
+        // The successor lost the race with close but was not dropped.
+        assert_eq!(s.orphaned(), 1);
+        let drained = s.drain_all();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(tag(&drained[0]), 11);
+        assert_eq!(s.orphaned(), 0);
+    }
+
+    #[test]
+    fn drain_all_collects_lane_successors() {
+        let s = FdSerializer::new();
+        assert!(s.admit(Fd(1), item(10)).is_some());
+        assert!(s.admit(Fd(1), item(11)).is_none());
+        assert!(s.admit(Fd(2), item(20)).is_some());
+        assert!(s.admit(Fd(2), item(21)).is_none());
+        let mut drained: Vec<u32> = s.drain_all().iter().map(tag).collect();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![11, 21]);
+        // Lanes are gone; stale completes are no-ops.
+        assert!(s.complete(Fd(1)).is_none());
+        assert!(s.complete(Fd(2)).is_none());
     }
 }

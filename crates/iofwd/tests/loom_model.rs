@@ -252,8 +252,8 @@ fn queue_preserves_per_producer_fifo_order() {
             .map(|(a, b)| {
                 let q = q.clone();
                 thread::spawn(move || {
-                    q.push(tagged(a));
-                    q.push(tagged(b));
+                    q.push(tagged(a)).expect("queue is open");
+                    q.push(tagged(b)).expect("queue is open");
                 })
             })
             .collect();
@@ -292,7 +292,7 @@ fn queue_close_releases_blocked_workers_exactly_once() {
                 })
             })
             .collect();
-        q.push(tagged(7));
+        q.push(tagged(7)).expect("queue is open");
         q.close();
         let delivered: usize = workers
             .into_iter()
@@ -301,4 +301,49 @@ fn queue_close_releases_blocked_workers_exactly_once() {
         assert_eq!(delivered, 1, "item lost or double-delivered");
         assert_eq!(q.depth(), 0);
     });
+}
+
+/// A push racing close: whichever order the model explores, the push
+/// either lands (and the item drains) or comes back as `QueueClosed`
+/// with the item intact — it must never panic and never leak the item.
+/// Before this contract, `push` asserted `!closed`, so a handler racing
+/// daemon shutdown took the whole process down. The cross-schedule
+/// counters prove both outcomes are actually explored.
+#[test]
+fn queue_push_racing_close_returns_queue_closed() {
+    static ACCEPTED: AtomicUsize = AtomicUsize::new(0);
+    static REJECTED: AtomicUsize = AtomicUsize::new(0);
+    ACCEPTED.store(0, Ordering::SeqCst);
+    REJECTED.store(0, Ordering::SeqCst);
+    loomlite::model(|| {
+        let q = Arc::new(WorkQueue::new(QueueDiscipline::SharedFifo, 1));
+        let pusher = {
+            let q = q.clone();
+            thread::spawn(move || match q.push(tagged(9)) {
+                Ok(()) => true,
+                Err(closed) => {
+                    assert_eq!(tag_of(&closed.0), 9, "rejected item mangled");
+                    false
+                }
+            })
+        };
+        q.close();
+        let accepted = pusher.join().expect("pusher panicked");
+        let drained = q.pop_batch(0, 4).len();
+        if accepted {
+            ACCEPTED.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(drained, 1, "accepted item lost");
+        } else {
+            REJECTED.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(drained, 0, "rejected item still reached the queue");
+        }
+    });
+    assert!(
+        ACCEPTED.load(Ordering::SeqCst) > 0,
+        "no schedule explored push-before-close"
+    );
+    assert!(
+        REJECTED.load(Ordering::SeqCst) > 0,
+        "no schedule explored push-after-close"
+    );
 }

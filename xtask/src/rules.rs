@@ -57,7 +57,16 @@ const SIM_CRATES: &[&str] = &["simcore", "bgsim", "bgp-model", "madbench"];
 
 /// `iofwd` modules on the daemon data path: errors must reach the
 /// client as `iofwd_proto::error` values, never a panic.
-const NO_PANIC_MODULES: &[&str] = &["backend", "transport", "client", "bml", "descdb"];
+const NO_PANIC_MODULES: &[&str] = &[
+    "backend",
+    "transport",
+    "client",
+    "bml",
+    "descdb",
+    "fault",
+    "server/queue",
+    "server/staged",
+];
 
 /// Wire-format enums (`iofwd_proto::op` / `wire`): matches over these
 /// must list variants explicitly so protocol changes surface at every
