@@ -1,0 +1,167 @@
+//! The cost of distributed tracing on top of the always-on telemetry:
+//! the PR 2 echo loop (sched mode, 256 × 4 KiB writes per iteration)
+//! in three configurations:
+//!
+//! * `telemetry_baseline` — the instrumented daemon exactly as
+//!   benchmarked in BENCH_PR2.json: no exporter, untraced client.
+//! * `self_sampled` — production tracing (`iofwdd --trace-out F
+//!   --trace-sample 16`): a trace exporter sink retains every 16th op;
+//!   clients are unmodified and no frame grows. The acceptance bar —
+//!   sampled tracing adds < 2% — applies to this arm.
+//! * `client_traced` — the full `iofwd-cp --trace` diagnostic: every
+//!   request carries a trace context, every reply a stage echo, the
+//!   client timestamps each call, and the exporter retains every span.
+//!   Reported for context; this is an opt-in debugging mode.
+//!
+//! Because the deltas under test (tens of ns per ~10 µs op) are far
+//! below the scheduler noise between two back-to-back daemon lifetimes,
+//! the group's conventional measurements are followed by a *paired*
+//! pass: all three stacks stay up while timed batches rotate through
+//! them, and the reported overheads are ratios of per-arm medians,
+//! which cancels the slow drift (thermal, core migration) that
+//! sequential A-then-B measurement cannot.
+//!
+//! Results are recorded in `BENCH_PR4.json` at the workspace root.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iofwd::backend::MemSinkBackend;
+use iofwd::client::Client;
+use iofwd::server::{ForwardingMode, IonServer, ServerConfig};
+use iofwd::telemetry::Telemetry;
+use iofwd::trace::TraceExporter;
+use iofwd::transport::mem::MemHub;
+use iofwd_proto::{Fd, OpenFlags};
+
+/// Small writes so fixed per-op cost (the part tracing adds to)
+/// dominates over payload copying.
+const OP_BYTES: usize = 4096;
+/// Ops per timed iteration, matching the PR 2 baseline bench.
+const OPS_PER_ITER: usize = 256;
+/// Daemon self-sampling rate (`iofwdd --trace-sample 16`).
+const SAMPLE_EVERY: u64 = 16;
+/// Interleaved rounds per arm for the paired measurement.
+const PAIRED_ROUNDS: usize = 200;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Arm {
+    Baseline,
+    SelfSampled,
+    ClientTraced,
+}
+
+impl Arm {
+    const ALL: [Arm; 3] = [Arm::Baseline, Arm::SelfSampled, Arm::ClientTraced];
+
+    fn label(self) -> &'static str {
+        match self {
+            Arm::Baseline => "telemetry_baseline",
+            Arm::SelfSampled => "self_sampled",
+            Arm::ClientTraced => "client_traced",
+        }
+    }
+}
+
+/// One full client+daemon stack in the given configuration.
+struct Stack {
+    server: IonServer,
+    client: Client,
+    fd: Fd,
+}
+
+impl Stack {
+    fn new(arm: Arm) -> Stack {
+        let telemetry = Arc::new(Telemetry::new());
+        if arm != Arm::Baseline {
+            assert!(telemetry.set_sink(Arc::new(TraceExporter::new(SAMPLE_EVERY))));
+        }
+        let hub = MemHub::new();
+        let backend = Arc::new(MemSinkBackend::new());
+        let config =
+            ServerConfig::new(ForwardingMode::Sched { workers: 2 }).with_telemetry(telemetry);
+        let server = IonServer::spawn(Box::new(hub.listener()), backend, config);
+        let mut client = Client::connect(Box::new(hub.connect()));
+        if arm == Arm::ClientTraced {
+            client.enable_tracing();
+        }
+        let fd = client
+            .open("/bench", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+            .unwrap();
+        Stack { server, client, fd }
+    }
+
+    fn batch(&mut self, data: &[u8]) {
+        for _ in 0..OPS_PER_ITER {
+            self.client.write(self.fd, data).unwrap();
+        }
+    }
+
+    fn teardown(mut self) {
+        self.client.close(self.fd).unwrap();
+        self.client.shutdown().unwrap();
+        self.server.shutdown();
+    }
+}
+
+fn echo_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(40);
+    g.throughput(Throughput::Bytes((OP_BYTES * OPS_PER_ITER) as u64));
+    let data = vec![42u8; OP_BYTES];
+    for arm in Arm::ALL {
+        g.bench_function(arm.label(), |b| {
+            let mut stack = Stack::new(arm);
+            b.iter(|| stack.batch(&data));
+            stack.teardown();
+        });
+    }
+    g.finish();
+
+    // Paired pass: rotate timed batches across all three live stacks,
+    // rotating the starting arm each round so order effects cancel.
+    let mut stacks: Vec<Stack> = Arm::ALL.iter().map(|&a| Stack::new(a)).collect();
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(PAIRED_ROUNDS); Arm::ALL.len()];
+    for s in &mut stacks {
+        s.batch(&data); // warm every path untimed
+    }
+    for round in 0..PAIRED_ROUNDS {
+        for k in 0..Arm::ALL.len() {
+            let i = (round + k) % Arm::ALL.len();
+            let t = Instant::now();
+            stacks[i].batch(&data);
+            samples[i].push(t.elapsed().as_nanos() as f64);
+        }
+    }
+    for s in stacks {
+        s.teardown();
+    }
+    // Median tracks typical load; the 10th percentile approximates the
+    // interference-free path on a noisy host and is the steadier of the
+    // two estimators for a delta this small.
+    let stats = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        (v[v.len() / 2], v[v.len() / 10])
+    };
+    let (base_med, base_p10) = stats(&mut samples[0]);
+    for (i, arm) in Arm::ALL.iter().enumerate().skip(1) {
+        let (med, p10) = stats(&mut samples[i]);
+        println!(
+            "trace_overhead/paired {:<14} ({PAIRED_ROUNDS} rounds)  \
+             baseline {:.3}/{:.3} µs/iter (median/p10), {} {:.3}/{:.3} µs/iter, \
+             overhead median {:+.2}% p10 {:+.2}%",
+            arm.label(),
+            base_med / 1e3,
+            base_p10 / 1e3,
+            arm.label(),
+            med / 1e3,
+            p10 / 1e3,
+            (med / base_med - 1.0) * 100.0,
+            (p10 / base_p10 - 1.0) * 100.0
+        );
+    }
+}
+
+criterion_group!(benches, echo_loop);
+criterion_main!(benches);

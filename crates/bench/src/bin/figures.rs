@@ -6,6 +6,7 @@
 //! cargo run -p bench --release --bin figures -- --scale 4 fig12   # more iterations
 //! cargo run -p bench --release --bin figures -- efficiency
 //! cargo run -p bench --release --bin figures -- telemetry   # live-daemon stage breakdown
+//! cargo run -p bench --release --bin figures -- bottleneck  # dominant-stage attribution
 //! ```
 
 use std::sync::Arc;
@@ -16,6 +17,7 @@ use bgp_model::MachineConfig;
 use iofwd::backend::MemSinkBackend;
 use iofwd::server::{ForwardingMode, IonServer, ServerConfig};
 use iofwd::telemetry::snapshot::fmt_ns;
+use iofwd::trace::StageBreakdown;
 use iofwd::transport::mem::MemHub;
 use madbench::{MadbenchParams, Phase};
 
@@ -61,6 +63,7 @@ fn main() {
             }
             "efficiency" | "t-effic" => print_efficiency(budget),
             "telemetry" => print_telemetry(budget),
+            "bottleneck" => print_bottleneck(budget),
             "ablation-bml" => {
                 eprintln!("[figures] running ablation-bml ...");
                 println!(
@@ -300,11 +303,57 @@ fn print_telemetry(budget: Budget) {
     println!();
 }
 
+/// Bottleneck attribution: run the same live-daemon MADbench sweep as
+/// `telemetry`, but reduce each strategy's histograms to a
+/// [`StageBreakdown`] and name the stage that dominates server
+/// residency — the paper's §III/§V diagnosis (thread-per-CN strategies
+/// queue; the worker pool moves the cost into backend service) as a
+/// one-line verdict per mode.
+fn print_bottleneck(budget: Budget) {
+    eprintln!("[figures] running live-daemon bottleneck attribution ...");
+    let nbin = ((3.0 * budget.scale).round() as u64).max(1);
+    let p = MadbenchParams {
+        npix: 64,
+        nbin,
+        nproc: 4,
+        ..MadbenchParams::paper_64()
+    };
+    let bml_capacity = 2 * p.slice_bytes();
+    let modes = [
+        ForwardingMode::Ciod,
+        ForwardingMode::Zoid,
+        ForwardingMode::Sched { workers: 2 },
+        ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity,
+        },
+    ];
+    println!(
+        "# Per-strategy bottleneck attribution (MADbench {} procs x {} bins, live daemon)",
+        p.nproc, p.nbin
+    );
+    for mode in modes {
+        let hub = MemHub::new();
+        let backend = Arc::new(MemSinkBackend::new());
+        let server = IonServer::spawn(
+            Box::new(hub.listener()),
+            backend.clone(),
+            ServerConfig::new(mode),
+        );
+        let telemetry = server.telemetry();
+        madbench::runner::run(&p, &Phase::ALL, |_| Box::new(hub.connect()));
+        server.shutdown();
+        let breakdown = StageBreakdown::from_snapshot(&telemetry.snapshot());
+        print!("{}", breakdown.render(mode.name()));
+    }
+    println!();
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: figures [--scale N] \
-                <fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|efficiency|telemetry|ablation-bml|ablation-protocol|all>..."
+                <fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|efficiency|telemetry|bottleneck|ablation-bml|ablation-protocol|all>..."
     );
     std::process::exit(2);
 }

@@ -17,6 +17,11 @@
 //! data. On BG/P the 16-byte forwarding header the paper describes plays
 //! the same role at packet granularity; [`bgp_model`'s collective model]
 //! accounts for that per-packet overhead when simulating.
+//!
+//! A frame may additionally carry a trace extension (see
+//! [`crate::trace`]): the kind byte's high bit flags a fixed-size
+//! extension between the header and the metadata section. Frames
+//! without the extension are byte-identical to the pre-trace protocol.
 
 use bytes::{Bytes, BytesMut};
 
@@ -24,6 +29,7 @@ use crate::dec::Reader;
 use crate::enc::Writer;
 use crate::error::DecodeError;
 use crate::op::{Request, Response};
+use crate::trace::{StageEcho, TraceContext, TraceExt, TRACE_EXT_FLAG};
 
 /// Frame magic: "IF" little-endian.
 pub const MAGIC: u16 = 0x4649;
@@ -67,6 +73,10 @@ pub struct Frame {
     pub seq: u64,
     pub meta: Bytes,
     pub data: Bytes,
+    /// Optional trace extension (trace context on requests, stage echo
+    /// on responses). `None` keeps the frame byte-identical to the
+    /// pre-trace protocol.
+    pub ext: Option<TraceExt>,
 }
 
 impl Frame {
@@ -85,6 +95,7 @@ impl Frame {
             seq,
             meta: meta.freeze(),
             data,
+            ext: None,
         }
     }
 
@@ -98,6 +109,29 @@ impl Frame {
             seq,
             meta: meta.freeze(),
             data,
+            ext: None,
+        }
+    }
+
+    /// Attach a trace extension.
+    pub fn with_ext(mut self, ext: TraceExt) -> Frame {
+        self.ext = Some(ext);
+        self
+    }
+
+    /// The trace context, if this frame carries one.
+    pub fn trace_ctx(&self) -> Option<TraceContext> {
+        match self.ext {
+            Some(TraceExt::Ctx(c)) => Some(c),
+            Some(TraceExt::Echo(_)) | None => None,
+        }
+    }
+
+    /// The stage echo, if this frame carries one.
+    pub fn stage_echo(&self) -> Option<StageEcho> {
+        match self.ext {
+            Some(TraceExt::Echo(e)) => Some(e),
+            Some(TraceExt::Ctx(_)) | None => None,
         }
     }
 
@@ -113,7 +147,8 @@ impl Frame {
 
     /// Total encoded size.
     pub fn wire_len(&self) -> usize {
-        FRAME_HEADER_BYTES + self.meta.len() + self.data.len()
+        let ext_len = self.ext.as_ref().map_or(0, TraceExt::wire_len);
+        FRAME_HEADER_BYTES + ext_len + self.meta.len() + self.data.len()
     }
 
     /// Serialise into a single buffer.
@@ -123,11 +158,20 @@ impl Frame {
             let mut w = Writer::new(&mut buf);
             w.u16(MAGIC);
             w.u8(VERSION);
-            w.u8(self.kind as u8);
+            let kind = self.kind as u8
+                | if self.ext.is_some() {
+                    TRACE_EXT_FLAG
+                } else {
+                    0
+                };
+            w.u8(kind);
             w.u32(self.client_id);
             w.u64(self.seq);
             w.u32(self.meta.len() as u32);
             w.u32(self.data.len() as u32);
+            if let Some(ext) = &self.ext {
+                ext.encode(&mut w);
+            }
             w.raw(&self.meta);
             w.raw(&self.data);
         }
@@ -150,7 +194,9 @@ impl Frame {
         if version != VERSION {
             return Err(DecodeError::BadVersion(version));
         }
-        let kind = FrameKind::from_wire(r.u8()?)?;
+        let kind_byte = r.u8()?;
+        let has_ext = kind_byte & TRACE_EXT_FLAG != 0;
+        let kind = FrameKind::from_wire(kind_byte & !TRACE_EXT_FLAG)?;
         let client_id = r.u32()?;
         let seq = r.u64()?;
         let meta_len = r.u32()? as u64;
@@ -169,14 +215,34 @@ impl Frame {
                 max: MAX_DATA_LEN,
             });
         }
-        let total = FRAME_HEADER_BYTES + (meta_len + data_len) as usize;
+        // The extension's length is determined by its tag byte, so a
+        // streaming decoder needs that one byte before it can size the
+        // rest of the frame.
+        let ext_len = if has_ext {
+            let Some(&tag) = buf.get(FRAME_HEADER_BYTES) else {
+                return Ok(None);
+            };
+            match TraceExt::wire_len_of_tag(tag) {
+                Some(n) => n,
+                None => return Err(DecodeError::BadEnum("trace ext tag", u64::from(tag))),
+            }
+        } else {
+            0
+        };
+        let body = FRAME_HEADER_BYTES + ext_len;
+        let total = body + (meta_len + data_len) as usize;
         if buf.len() < total {
             return Ok(None);
         }
-        let meta = Bytes::copy_from_slice(
-            &buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + meta_len as usize],
-        );
-        let data = Bytes::copy_from_slice(&buf[FRAME_HEADER_BYTES + meta_len as usize..total]);
+        let ext = if has_ext {
+            Some(TraceExt::decode(&mut Reader::new(
+                &buf[FRAME_HEADER_BYTES..body],
+            ))?)
+        } else {
+            None
+        };
+        let meta = Bytes::copy_from_slice(&buf[body..body + meta_len as usize]);
+        let data = Bytes::copy_from_slice(&buf[body + meta_len as usize..total]);
         Ok(Some((
             Frame {
                 kind,
@@ -184,6 +250,7 @@ impl Frame {
                 seq,
                 meta,
                 data,
+                ext,
             },
             total,
         )))
@@ -292,5 +359,72 @@ mod tests {
     fn header_is_24_bytes() {
         let f = Frame::request(0, 0, &Request::Shutdown, Bytes::new());
         assert_eq!(f.wire_len(), FRAME_HEADER_BYTES + 1 /* opcode byte */);
+    }
+
+    #[test]
+    fn traced_request_roundtrip() {
+        let f = sample_frame().with_ext(TraceExt::Ctx(TraceContext::sampled(0xABCD)));
+        let wire = f.encode();
+        // The flag lives in the kind byte; the base kind still decodes.
+        assert_eq!(wire[3], FrameKind::Request as u8 | TRACE_EXT_FLAG);
+        let (g, consumed) = Frame::decode(&wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(g, f);
+        assert_eq!(g.trace_ctx(), Some(TraceContext::sampled(0xABCD)));
+        assert_eq!(g.stage_echo(), None);
+    }
+
+    #[test]
+    fn echoed_response_roundtrip() {
+        let echo = StageEcho {
+            trace_id: 42,
+            flags: TraceContext::SAMPLED,
+            queue_ns: 1,
+            dispatch_ns: 2,
+            backend_ns: 3,
+            reply_ns: 4,
+            total_ns: 11,
+        };
+        let f = Frame::response(3, 12, &Response::Ok { ret: 0 }, Bytes::new())
+            .with_ext(TraceExt::Echo(echo));
+        let (g, _) = Frame::decode(&f.encode()).unwrap().unwrap();
+        assert_eq!(g.stage_echo(), Some(echo));
+        assert_eq!(g.trace_ctx(), None);
+    }
+
+    #[test]
+    fn untraced_frame_is_byte_identical_to_pre_trace_wire() {
+        // Backward compatibility: an ext-less frame must not change by a
+        // single byte — old peers keep working.
+        let wire = sample_frame().encode();
+        assert_eq!(wire[3], FrameKind::Request as u8);
+        assert_eq!(wire.len(), sample_frame().wire_len());
+        let (g, _) = Frame::decode(&wire).unwrap().unwrap();
+        assert_eq!(g.ext, None);
+    }
+
+    #[test]
+    fn traced_streaming_decode_waits_for_ext() {
+        let f = sample_frame().with_ext(TraceExt::Ctx(TraceContext::sampled(9)));
+        let wire = f.encode();
+        // Cut inside the extension (including right at the tag byte):
+        // decode must ask for more bytes, never misparse meta as ext.
+        for cut in FRAME_HEADER_BYTES..wire.len() {
+            assert_eq!(Frame::decode(&wire[..cut]).unwrap(), None, "cut at {cut}");
+        }
+        let (g, used) = Frame::decode(&wire).unwrap().unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn unknown_ext_tag_rejected() {
+        let f = sample_frame().with_ext(TraceExt::Ctx(TraceContext::sampled(9)));
+        let mut wire = f.encode().to_vec();
+        wire[FRAME_HEADER_BYTES] = 0x7E; // corrupt the ext tag
+        assert!(matches!(
+            Frame::decode(&wire),
+            Err(DecodeError::BadEnum("trace ext tag", 0x7E))
+        ));
     }
 }

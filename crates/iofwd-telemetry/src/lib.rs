@@ -30,10 +30,19 @@ pub mod span;
 pub use hist::{HistSnapshot, Histogram};
 pub use ring::FlightRecorder;
 pub use snapshot::{GaugeValue, TelemetrySnapshot};
-pub use span::{OpKind, OpSpan};
+pub use span::{Disposition, OpKind, OpSpan};
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// A consumer of completed spans, beyond the built-in histogram fold —
+/// e.g. the trace exporter retaining sampled spans for Perfetto export.
+/// `on_complete` runs on the recording hot path: implementations must
+/// be cheap and must never block for long.
+pub trait SpanSink: Send + Sync {
+    fn on_complete(&self, span: &OpSpan);
+}
 
 /// Monotonic event counter.
 #[derive(Default)]
@@ -184,17 +193,27 @@ pub struct Telemetry {
     pub bml_waiters: Gauge,
     pub inflight_ops: Gauge,
     pub open_descriptors: Gauge,
+    /// Workers currently executing a batch (peak = worst contention).
+    pub workers_busy: Gauge,
 
     // -- histograms (nanoseconds unless noted) ------------------------
     pub queue_wait_ns: Histogram,
     pub service_ns: Histogram,
     pub total_ns: Histogram,
+    /// Dispatch overhead per op (dequeue → backend call issued).
+    pub dispatch_lag_ns: Histogram,
+    /// Reply marshalling lag per op (backend done → reply stamped).
+    pub reply_lag_ns: Histogram,
     pub bml_block_ns: Histogram,
     /// Items per scheduling pass (unit: items, not ns).
     pub batch_size: Histogram,
 
     pub worker_dispatch: PerWorker,
+    /// Nanoseconds each worker spent executing batches (vs. parked in
+    /// `pop_batch`); busy fraction = busy_ns / uptime_ns.
+    pub worker_busy_ns: PerWorker,
     pub flight: FlightRecorder,
+    sink: OnceLock<Arc<dyn SpanSink>>,
 }
 
 impl Telemetry {
@@ -239,14 +258,26 @@ impl Telemetry {
             bml_waiters: Gauge::new(),
             inflight_ops: Gauge::new(),
             open_descriptors: Gauge::new(),
+            workers_busy: Gauge::new(),
             queue_wait_ns: Histogram::new(),
             service_ns: Histogram::new(),
             total_ns: Histogram::new(),
+            dispatch_lag_ns: Histogram::new(),
+            reply_lag_ns: Histogram::new(),
             bml_block_ns: Histogram::new(),
             batch_size: Histogram::new(),
             worker_dispatch: PerWorker::new(),
+            worker_busy_ns: PerWorker::new(),
             flight: FlightRecorder::new(flight),
+            sink: OnceLock::new(),
         }
+    }
+
+    /// Attach a [`SpanSink`] receiving every completed span. Write-once:
+    /// returns `false` (and leaves the existing sink) if one is already
+    /// attached.
+    pub fn set_sink(&self, sink: Arc<dyn SpanSink>) -> bool {
+        self.sink.set(sink).is_ok()
     }
 
     pub fn enabled(&self) -> bool {
@@ -276,7 +307,18 @@ impl Telemetry {
         self.queue_wait_ns.record(span.queue_wait_ns());
         self.service_ns.record(span.service_ns());
         self.total_ns.record(span.total_ns());
+        self.dispatch_lag_ns.record(span.dispatch_lag_ns());
+        self.reply_lag_ns.record(span.reply_lag_ns());
         self.flight.record(span);
+        if let Some(sink) = self.sink.get() {
+            sink.on_complete(span);
+        }
+    }
+
+    /// Nanoseconds this registry has existed — the denominator for
+    /// per-worker busy fractions. 0 when disabled.
+    pub fn uptime_ns(&self) -> u64 {
+        self.now_ns()
     }
 
     /// Assemble a consistent-enough point-in-time view (see
@@ -342,5 +384,22 @@ mod tests {
         let a = t.now_ns();
         let b = t.now_ns();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn span_sink_sees_every_completion_and_is_write_once() {
+        struct CountSink(Counter);
+        impl SpanSink for CountSink {
+            fn on_complete(&self, _span: &OpSpan) {
+                self.0.inc();
+            }
+        }
+        let t = Telemetry::new();
+        let sink = Arc::new(CountSink(Counter::new()));
+        assert!(t.set_sink(sink.clone()));
+        assert!(!t.set_sink(Arc::new(CountSink(Counter::new()))));
+        t.complete(&OpSpan::begin(OpKind::Write, 1, 1, 0));
+        t.complete(&OpSpan::begin(OpKind::Read, 1, 2, 0));
+        assert_eq!(sink.0.get(), 2);
     }
 }

@@ -247,11 +247,18 @@ pub fn capture(t: &Telemetry) -> TelemetrySnapshot {
         ("drain_deferred".to_string(), t.drain_deferred.get()),
         ("flight_recorded".to_string(), t.flight.recorded()),
         ("flight_dropped".to_string(), t.flight.dropped()),
+        ("uptime_ns".to_string(), t.uptime_ns()),
     ];
     for w in 0..MAX_WORKERS {
         let c = t.worker_dispatch.get(w);
         if c > 0 {
             counters.push((format!("worker_dispatch_{w}"), c));
+        }
+    }
+    for w in 0..MAX_WORKERS {
+        let busy = t.worker_busy_ns.get(w);
+        if busy > 0 {
+            counters.push((format!("worker_busy_ns_{w}"), busy));
         }
     }
     let gauge = |g: &crate::Gauge| GaugeValue {
@@ -266,35 +273,47 @@ pub fn capture(t: &Telemetry) -> TelemetrySnapshot {
             ("bml_waiters".to_string(), gauge(&t.bml_waiters)),
             ("inflight_ops".to_string(), gauge(&t.inflight_ops)),
             ("open_descriptors".to_string(), gauge(&t.open_descriptors)),
+            ("workers_busy".to_string(), gauge(&t.workers_busy)),
         ],
         hists: vec![
             ("queue_wait_ns".to_string(), t.queue_wait_ns.snapshot()),
             ("service_ns".to_string(), t.service_ns.snapshot()),
             ("total_ns".to_string(), t.total_ns.snapshot()),
+            ("dispatch_lag_ns".to_string(), t.dispatch_lag_ns.snapshot()),
+            ("reply_lag_ns".to_string(), t.reply_lag_ns.snapshot()),
             ("bml_block_ns".to_string(), t.bml_block_ns.snapshot()),
             ("batch_size".to_string(), t.batch_size.snapshot()),
         ],
     }
 }
 
-/// Render the flight recorder's tail as a stage-breakdown table.
+/// Render the flight recorder's tail as a stage-breakdown table. Failed
+/// and drain-path ops show their wire errno and disposition so a
+/// post-mortem read can tell what was dropped during degraded shutdown.
 pub fn render_flight(spans: &[OpSpan]) -> String {
-    let mut out = String::with_capacity(256 + spans.len() * 96);
+    let mut out = String::with_capacity(256 + spans.len() * 112);
     out.push_str("flight recorder (oldest first):\n");
     let _ = writeln!(
         out,
-        "  {:<8} {:>6} {:>8} {:>10} {:>3}  {:>9} {:>9} {:>9}",
-        "kind", "client", "seq", "bytes", "ok", "queue", "service", "total"
+        "  {:<8} {:>6} {:>8} {:>10} {:>3} {:>5} {:<8}  {:>9} {:>9} {:>9}",
+        "kind", "client", "seq", "bytes", "ok", "errno", "disp", "queue", "service", "total"
     );
     for s in spans {
+        let errno = if s.errno == 0 {
+            "-".to_string()
+        } else {
+            s.errno.to_string()
+        };
         let _ = writeln!(
             out,
-            "  {:<8} {:>6} {:>8} {:>10} {:>3}  {:>9} {:>9} {:>9}",
+            "  {:<8} {:>6} {:>8} {:>10} {:>3} {:>5} {:<8}  {:>9} {:>9} {:>9}",
             s.kind.name(),
             s.client,
             s.seq,
             s.bytes,
             if s.ok { "y" } else { "n" },
+            errno,
+            s.disposition.name(),
             fmt_ns(s.queue_wait_ns() as f64),
             fmt_ns(s.service_ns() as f64),
             fmt_ns(s.total_ns() as f64),

@@ -79,6 +79,54 @@ impl OpKind {
     }
 }
 
+/// How an op's lifecycle ended. `Completed` covers the normal path
+/// (including ops that *failed with a reply* — `ok`/`errno` carry the
+/// outcome); the other variants mark the degraded paths a post-mortem
+/// flight-recorder read needs to distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Disposition {
+    /// Normal lifecycle: executed (or failed) and replied.
+    #[default]
+    Completed,
+    /// Rejected at enqueue time because the work queue had closed
+    /// (shutdown race); the client saw EAGAIN.
+    QueueRejected,
+    /// Picked up by the shutdown drain and executed late.
+    DrainExecuted,
+    /// Abandoned by the shutdown drain: never executed, failure parked
+    /// as a deferred error.
+    DrainDeferred,
+}
+
+impl Disposition {
+    pub fn code(self) -> u64 {
+        match self {
+            Disposition::Completed => 0,
+            Disposition::QueueRejected => 1,
+            Disposition::DrainExecuted => 2,
+            Disposition::DrainDeferred => 3,
+        }
+    }
+
+    pub fn from_code(code: u64) -> Disposition {
+        match code & 0b11 {
+            1 => Disposition::QueueRejected,
+            2 => Disposition::DrainExecuted,
+            3 => Disposition::DrainDeferred,
+            _ => Disposition::Completed,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Disposition::Completed => "done",
+            Disposition::QueueRejected => "rejected",
+            Disposition::DrainExecuted => "drained",
+            Disposition::DrainDeferred => "deferred",
+        }
+    }
+}
+
 /// One op's lifecycle. All timestamps are nanoseconds since the owning
 /// `Telemetry`'s origin; 0 means "stage not reached / not applicable".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,6 +137,17 @@ pub struct OpSpan {
     /// Payload bytes moved (in for writes, out for reads).
     pub bytes: u64,
     pub ok: bool,
+    /// Distributed-trace id propagated from the client; 0 = untraced.
+    pub trace_id: u64,
+    /// Client asked for this span to be retained by the trace exporter.
+    pub sampled: bool,
+    /// Pool worker that executed the op, 1-based; 0 = not executed by a
+    /// pool worker (inline handler, proxy thread, or never executed).
+    pub worker: u32,
+    /// Wire errno of the failure (`Errno::to_wire`); 0 = no error.
+    pub errno: u32,
+    /// How the lifecycle ended (normal / rejected / drain paths).
+    pub disposition: Disposition,
     pub arrival_ns: u64,
     pub enqueue_ns: u64,
     pub dispatch_ns: u64,
@@ -99,7 +158,7 @@ pub struct OpSpan {
 
 impl OpSpan {
     /// Words in the fixed flight-recorder encoding.
-    pub const WORDS: usize = 10;
+    pub const WORDS: usize = 11;
 
     pub fn begin(kind: OpKind, client: u64, seq: u64, arrival_ns: u64) -> OpSpan {
         OpSpan {
@@ -108,6 +167,11 @@ impl OpSpan {
             seq,
             bytes: 0,
             ok: true,
+            trace_id: 0,
+            sampled: false,
+            worker: 0,
+            errno: 0,
+            disposition: Disposition::Completed,
             arrival_ns,
             enqueue_ns: 0,
             dispatch_ns: 0,
@@ -128,6 +192,17 @@ impl OpSpan {
         self.backend_done_ns.saturating_sub(self.backend_start_ns)
     }
 
+    /// Dispatch overhead: picked off the queue → backend call issued.
+    pub fn dispatch_lag_ns(&self) -> u64 {
+        self.backend_start_ns.saturating_sub(self.dispatch_ns)
+    }
+
+    /// Reply marshalling lag: backend done → reply stamped. 0 for
+    /// staged writes, whose ack precedes backend completion.
+    pub fn reply_lag_ns(&self) -> u64 {
+        self.reply_ns.saturating_sub(self.backend_done_ns)
+    }
+
     /// Arrival-to-last-stamp latency. For staged writes the reply
     /// precedes backend completion, so the later of the two wins.
     pub fn total_ns(&self) -> u64 {
@@ -135,12 +210,20 @@ impl OpSpan {
         end.saturating_sub(self.arrival_ns)
     }
 
-    /// Fixed-width encoding for the flight-recorder ring.
+    /// Fixed-width encoding for the flight-recorder ring. Word 2 packs
+    /// the small fields: bits 0–7 kind, 8 ok, 9 sampled, 10–11
+    /// disposition, 16–23 worker (saturated), 32–63 errno.
     pub fn encode(&self) -> [u64; Self::WORDS] {
+        let packed = self.kind.code()
+            | (u64::from(self.ok) << 8)
+            | (u64::from(self.sampled) << 9)
+            | (self.disposition.code() << 10)
+            | (u64::from(self.worker.min(0xff) as u8) << 16)
+            | (u64::from(self.errno) << 32);
         [
             self.client,
             self.seq,
-            self.kind.code() | (u64::from(self.ok) << 8),
+            packed,
             self.bytes,
             self.arrival_ns,
             self.enqueue_ns,
@@ -148,6 +231,7 @@ impl OpSpan {
             self.backend_start_ns,
             self.backend_done_ns,
             self.reply_ns,
+            self.trace_id,
         ]
     }
 
@@ -157,6 +241,10 @@ impl OpSpan {
             seq: words[1],
             kind: OpKind::from_code(words[2] & 0xff),
             ok: (words[2] >> 8) & 1 == 1,
+            sampled: (words[2] >> 9) & 1 == 1,
+            disposition: Disposition::from_code(words[2] >> 10),
+            worker: ((words[2] >> 16) & 0xff) as u32,
+            errno: (words[2] >> 32) as u32,
             bytes: words[3],
             arrival_ns: words[4],
             enqueue_ns: words[5],
@@ -164,6 +252,7 @@ impl OpSpan {
             backend_start_ns: words[7],
             backend_done_ns: words[8],
             reply_ns: words[9],
+            trace_id: words[10],
         }
     }
 }
@@ -178,6 +267,11 @@ mod tests {
             let mut s = OpSpan::begin(kind, 7, 42, 100);
             s.bytes = 4096;
             s.ok = kind != OpKind::Fsync;
+            s.trace_id = 0xAB00_0000_0000_0001 | kind.code();
+            s.sampled = kind == OpKind::Write;
+            s.worker = kind.code() as u32;
+            s.errno = if s.ok { 0 } else { 5 };
+            s.disposition = Disposition::from_code(kind.code());
             s.enqueue_ns = 110;
             s.dispatch_ns = 150;
             s.backend_start_ns = 151;
@@ -196,8 +290,29 @@ mod tests {
         s.backend_done_ns = 400;
         s.reply_ns = 250; // staged: ack precedes backend completion
         assert_eq!(s.queue_wait_ns(), 80);
+        assert_eq!(s.dispatch_lag_ns(), 10);
         assert_eq!(s.service_ns(), 190);
+        assert_eq!(s.reply_lag_ns(), 0); // ack before completion saturates
         assert_eq!(s.total_ns(), 300);
+    }
+
+    #[test]
+    fn disposition_codes_round_trip() {
+        for d in [
+            Disposition::Completed,
+            Disposition::QueueRejected,
+            Disposition::DrainExecuted,
+            Disposition::DrainDeferred,
+        ] {
+            assert_eq!(Disposition::from_code(d.code()), d);
+        }
+    }
+
+    #[test]
+    fn oversized_worker_saturates_in_ring_encoding() {
+        let mut s = OpSpan::begin(OpKind::Write, 1, 1, 0);
+        s.worker = 1000;
+        assert_eq!(OpSpan::decode(&s.encode()).worker, 0xff);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! iofwd-cp get ADDR REMOTE  LOCAL     # download through the daemon
 //! iofwd-cp stat ADDR REMOTE           # forwarded stat
 //! iofwd-cp snapshot FILE              # validate a daemon JSON snapshot
+//! iofwd-cp trace FILE                 # validate an exported trace JSON
 //! ```
 //!
 //! `--stats` (before the subcommand) records the latency of every
@@ -16,15 +17,27 @@
 //! iofwd-cp --stats put ./data.bin 127.0.0.1:9331 /incoming/data.bin
 //! ```
 //!
+//! `--trace` (also before the subcommand) stamps every forwarded call
+//! with a sampled trace context; the daemon echoes its stage breakdown
+//! in each reply, and the transfer ends with a latency decomposition —
+//! network vs. ION residency, and which server stage dominates.
+//!
 //! `snapshot FILE` parses a `--stats-json` snapshot written by `iofwdd`,
 //! prints a digest, and exits nonzero unless it records completed ops —
-//! the CI smoke-check for the telemetry pipeline.
+//! the CI smoke-check for the telemetry pipeline. Extra arguments are
+//! assertions: a bare name requires that counter to be nonzero, and
+//! `p99:queue_wait_ns<2000` requires the named histogram's 0.99
+//! quantile to be below 2000 µs (the CI latency-regression gate).
+//!
+//! `trace FILE` validates a `--trace-out` export against the Chrome
+//! trace-event schema and exits nonzero if it is malformed or empty.
 
 use std::io::{Read, Write};
 use std::time::Instant;
 
 use iofwd::client::Client;
 use iofwd::telemetry::{snapshot::fmt_ns, HistSnapshot, TelemetrySnapshot};
+use iofwd::trace::validate_chrome_trace;
 use iofwd::transport::tcp::TcpConn;
 use iofwd_proto::OpenFlags;
 
@@ -99,26 +112,65 @@ impl CallStats {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let stats = args.first().map(|s| s.as_str()) == Some("--stats");
-    if stats {
+    let mut stats = false;
+    let mut trace = false;
+    while let Some(first) = args.first().map(|s| s.as_str()) {
+        match first {
+            "--stats" => stats = true,
+            "--trace" => trace = true,
+            _ => break,
+        }
         args.remove(0);
     }
     match args.first().map(|s| s.as_str()) {
-        Some("put") if args.len() == 4 => put(&args[1], &args[2], &args[3], stats),
-        Some("get") if args.len() == 4 => get(&args[1], &args[2], &args[3], stats),
+        Some("put") if args.len() == 4 => put(&args[1], &args[2], &args[3], stats, trace),
+        Some("get") if args.len() == 4 => get(&args[1], &args[2], &args[3], stats, trace),
         Some("stat") if args.len() == 3 => stat(&args[1], &args[2]),
         Some("snapshot") if args.len() >= 2 => check_snapshot(&args[1], &args[2..]),
+        Some("trace") if args.len() == 2 => check_trace(&args[1]),
         _ => die(
-            "usage: iofwd-cp [--stats] put LOCAL ADDR REMOTE | get ADDR REMOTE LOCAL \
-             | stat ADDR REMOTE | snapshot FILE [COUNTER...]",
+            "usage: iofwd-cp [--stats] [--trace] put LOCAL ADDR REMOTE | get ADDR REMOTE LOCAL \
+             | stat ADDR REMOTE | snapshot FILE [ASSERTION...] | trace FILE",
         ),
     }
 }
 
-fn put(local: &str, addr: &str, remote: &str, stats: bool) {
+/// Print the traced transfer's latency decomposition: how much of the
+/// client-observed wall-clock the daemon accounts for, the per-stage
+/// shares of that server residency, and the dominant stage.
+fn print_trace_stats(client: &Client) {
+    let t = client.trace_stats();
+    if t.calls == 0 {
+        eprintln!("iofwd-cp: trace: no replies carried a stage echo (old daemon?)");
+        return;
+    }
+    eprintln!(
+        "iofwd-cp: trace: {} calls, client {}, server {} ({:.1}%), network+client {}",
+        t.calls,
+        fmt_ns(t.client_ns as f64),
+        fmt_ns(t.server_total_ns as f64),
+        100.0 * t.server_total_ns as f64 / t.client_ns.max(1) as f64,
+        fmt_ns(t.network_ns() as f64),
+    );
+    let mut line = String::from("iofwd-cp: stage shares of wall-clock:");
+    for (name, share) in t.shares() {
+        line.push_str(&format!(" {name} {:.1}%", share * 100.0));
+    }
+    eprintln!("{line}");
+    let (stage, share) = t.dominant_server_stage();
+    eprintln!(
+        "iofwd-cp: dominant server stage: {stage} ({:.1}% of server residency)",
+        share * 100.0
+    );
+}
+
+fn put(local: &str, addr: &str, remote: &str, stats: bool, trace: bool) {
     let mut calls = CallStats::new(stats);
     let mut src = std::fs::File::open(local).unwrap_or_else(|e| die(&format!("open {local}: {e}")));
     let mut client = connect(addr);
+    if trace {
+        client.enable_tracing();
+    }
     let fd = calls
         .timed("open", || {
             client.open(
@@ -152,11 +204,17 @@ fn put(local: &str, addr: &str, remote: &str, stats: bool) {
     let _ = client.shutdown();
     report("put", total, t0, client.stats().staged_writes);
     calls.print();
+    if trace {
+        print_trace_stats(&client);
+    }
 }
 
-fn get(addr: &str, remote: &str, local: &str, stats: bool) {
+fn get(addr: &str, remote: &str, local: &str, stats: bool, trace: bool) {
     let mut calls = CallStats::new(stats);
     let mut client = connect(addr);
+    if trace {
+        client.enable_tracing();
+    }
     let fd = calls
         .timed("open", || client.open(remote, OpenFlags::RDONLY, 0))
         .unwrap_or_else(|e| die(&format!("remote open {remote}: {e}")));
@@ -181,6 +239,9 @@ fn get(addr: &str, remote: &str, local: &str, stats: bool) {
     let _ = client.shutdown();
     report("get", total, t0, 0);
     calls.print();
+    if trace {
+        print_trace_stats(&client);
+    }
 }
 
 fn stat(addr: &str, remote: &str) {
@@ -198,12 +259,48 @@ fn stat(addr: &str, remote: &str) {
     );
 }
 
+/// A `pQQ:HIST<USEC` percentile assertion from the `snapshot` argv:
+/// require `HIST`'s `QQ/100` quantile to be below `USEC` microseconds.
+struct PercentileAssert {
+    quantile: f64,
+    hist: String,
+    max_usec: u64,
+}
+
+/// Parse `p99:queue_wait_ns<2000` (also `p50`, `p99.9`, ...). Returns
+/// `None` for arguments that are plain counter names.
+fn parse_percentile_assert(arg: &str) -> Option<Result<PercentileAssert, String>> {
+    let rest = arg.strip_prefix('p')?;
+    let (pct, rest) = rest.split_once(':')?;
+    let Ok(pct) = pct.parse::<f64>() else {
+        return Some(Err(format!("bad percentile in '{arg}'")));
+    };
+    if !(0.0..=100.0).contains(&pct) {
+        return Some(Err(format!("percentile out of range in '{arg}'")));
+    }
+    let Some((hist, bound)) = rest.split_once('<') else {
+        return Some(Err(format!(
+            "'{arg}' needs a '<USEC' bound (e.g. p99:queue_wait_ns<2000)"
+        )));
+    };
+    let Ok(max_usec) = bound.parse::<u64>() else {
+        return Some(Err(format!("bad microsecond bound in '{arg}'")));
+    };
+    Some(Ok(PercentileAssert {
+        quantile: pct / 100.0,
+        hist: hist.to_string(),
+        max_usec,
+    }))
+}
+
 /// Parse a daemon `--stats-json` snapshot and verify it shows activity.
 /// Exit status is the CI contract: 0 iff the snapshot parses, records at
-/// least one completed op, and every explicitly named counter is nonzero
-/// (the chaos smoke passes e.g. `faults_injected retries_attempted` to
-/// prove the fault plan actually fired and retries actually ran).
-fn check_snapshot(path: &str, require_nonzero: &[String]) {
+/// least one completed op, and every assertion holds. A bare name
+/// requires that counter to be nonzero (the chaos smoke passes e.g.
+/// `faults_injected retries_attempted` to prove the fault plan actually
+/// fired); a `p99:HIST<USEC` argument bounds a stage-latency percentile
+/// (the CI latency-regression gate).
+fn check_snapshot(path: &str, assertions: &[String]) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
     let snap =
         TelemetrySnapshot::from_json(&text).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
@@ -220,15 +317,61 @@ fn check_snapshot(path: &str, require_nonzero: &[String]) {
     if ops == 0 {
         die("snapshot records zero completed ops");
     }
-    for name in require_nonzero {
-        if !snap.counters.iter().any(|(n, _)| n == name) {
-            die(&format!("snapshot has no counter named '{name}'"));
+    for arg in assertions {
+        if let Some(parsed) = parse_percentile_assert(arg) {
+            let a = parsed.unwrap_or_else(|e| die(&e));
+            let Some((_, h)) = snap.hists.iter().find(|(n, _)| *n == a.hist) else {
+                die(&format!("snapshot has no histogram named '{}'", a.hist));
+            };
+            if h.count == 0 {
+                die(&format!("histogram '{}' recorded no samples", a.hist));
+            }
+            let got_ns = h.quantile(a.quantile);
+            println!(
+                "{path}: {arg}: p{} of {} = {} (bound {} µs)",
+                a.quantile * 100.0,
+                a.hist,
+                fmt_ns(got_ns as f64),
+                a.max_usec
+            );
+            if got_ns >= a.max_usec * 1_000 {
+                die(&format!(
+                    "percentile assertion failed: {arg} (got {})",
+                    fmt_ns(got_ns as f64)
+                ));
+            }
+            continue;
         }
-        let v = snap.counter(name);
-        println!("{path}: {name} = {v}");
+        if !snap.counters.iter().any(|(n, _)| n == arg) {
+            die(&format!("snapshot has no counter named '{arg}'"));
+        }
+        let v = snap.counter(arg);
+        println!("{path}: {arg} = {v}");
         if v == 0 {
-            die(&format!("required counter '{name}' is zero"));
+            die(&format!("required counter '{arg}' is zero"));
         }
+    }
+}
+
+/// Validate a `--trace-out` export: well-formed Chrome trace-event JSON
+/// with at least one duration slice. Prints the track/slice digest that
+/// the CI gate (and a curious operator) wants to see.
+fn check_trace(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let summary =
+        validate_chrome_trace(&text).unwrap_or_else(|e| die(&format!("invalid trace {path}: {e}")));
+    println!(
+        "{path}: {} events ({} slices, {} counter samples), \
+         {} client track(s), {} worker track(s), {:.1} ms span",
+        summary.events,
+        summary.slices,
+        summary.counter_events,
+        summary.client_tracks,
+        summary.worker_tracks,
+        summary.span_us / 1_000.0,
+    );
+    if summary.slices == 0 {
+        die("trace contains no op slices");
     }
 }
 
@@ -244,4 +387,48 @@ fn report(verb: &str, bytes: u64, t0: Instant, staged: u64) {
             String::new()
         }
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_percentile_assert;
+
+    #[test]
+    fn percentile_grammar_parses() {
+        let a = parse_percentile_assert("p99:queue_wait_ns<2000")
+            .expect("recognized")
+            .expect("valid");
+        assert!((a.quantile - 0.99).abs() < 1e-9);
+        assert_eq!(a.hist, "queue_wait_ns");
+        assert_eq!(a.max_usec, 2000);
+
+        let a = parse_percentile_assert("p99.9:total_ns<500000")
+            .expect("recognized")
+            .expect("valid");
+        assert!((a.quantile - 0.999).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plain_counter_names_are_not_percentiles() {
+        assert!(parse_percentile_assert("faults_injected").is_none());
+        assert!(parse_percentile_assert("ops_completed").is_none());
+        // 'p'-prefixed counters without a ':' stay counters too.
+        assert!(parse_percentile_assert("pool_hits").is_none());
+    }
+
+    #[test]
+    fn malformed_assertions_are_errors_not_counters() {
+        assert!(parse_percentile_assert("p99:queue_wait_ns")
+            .unwrap()
+            .is_err());
+        assert!(parse_percentile_assert("pxx:queue_wait_ns<5")
+            .unwrap()
+            .is_err());
+        assert!(parse_percentile_assert("p150:queue_wait_ns<5")
+            .unwrap()
+            .is_err());
+        assert!(parse_percentile_assert("p99:queue_wait_ns<abc")
+            .unwrap()
+            .is_err());
+    }
 }

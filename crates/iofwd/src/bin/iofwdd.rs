@@ -26,6 +26,15 @@
 //!   DESIGN.md §10 for the plan grammar).
 //! * `--retry-attempts N` — max attempts for transient backend errors
 //!   (EAGAIN/EIO/ECONNRESET). Default 4; `1` disables retries.
+//!
+//! Tracing (`iofwd::trace`; see DESIGN.md §11):
+//!
+//! * `--trace-out PATH` — export retained op spans as Chrome
+//!   trace-event JSON (Perfetto-loadable), rewritten atomically whenever
+//!   new spans arrive. Spans flagged sampled by a tracing client
+//!   (`iofwd-cp --trace`) are always retained.
+//! * `--trace-sample N` — additionally self-sample every Nth completed
+//!   op regardless of client flags (0 disables; default 0).
 
 use std::path::Path;
 use std::sync::Arc;
@@ -35,6 +44,7 @@ use iofwd::backend::{FaultBackend, FileBackend};
 use iofwd::fault::{FaultPlan, RetryPolicy};
 use iofwd::server::{ForwardingMode, IonServer, ServerConfig};
 use iofwd::telemetry::{snapshot, Telemetry};
+use iofwd::trace::TraceExporter;
 use iofwd::transport::tcp::TcpAcceptor;
 
 struct Options {
@@ -49,6 +59,8 @@ struct Options {
     port_file: Option<String>,
     fault_plan: Option<String>,
     retry_attempts: u32,
+    trace_out: Option<String>,
+    trace_sample: u64,
 }
 
 impl Options {
@@ -65,6 +77,8 @@ impl Options {
             port_file: None,
             fault_plan: None,
             retry_attempts: 4,
+            trace_out: None,
+            trace_sample: 0,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -100,13 +114,20 @@ impl Options {
                         die("--retry-attempts needs an integer (1 disables retries)");
                     })
                 }
+                "--trace-out" => opts.trace_out = Some(take("--trace-out")),
+                "--trace-sample" => {
+                    opts.trace_sample = take("--trace-sample").parse().unwrap_or_else(|_| {
+                        die("--trace-sample needs an integer (keep every Nth op; 0 disables)");
+                    })
+                }
                 "--help" | "-h" => {
                     println!(
                         "usage: iofwdd [--listen ADDR] [--root DIR] \
                          [--mode ciod|zoid|sched|staged] [--workers N] [--bml-mib N] \
                          [--stats-interval SECS] [--stats-json PATH] \
                          [--dump-trigger PATH] [--port-file PATH] \
-                         [--fault-plan PATH] [--retry-attempts N]"
+                         [--fault-plan PATH] [--retry-attempts N] \
+                         [--trace-out PATH] [--trace-sample N]"
                     );
                     std::process::exit(0);
                 }
@@ -175,6 +196,19 @@ fn main() {
     // Build telemetry up front so the fault injector (outermost backend
     // wrapper) and the daemon share one registry.
     let telemetry = Arc::new(Telemetry::new());
+    // The trace exporter must be attached before any op completes so the
+    // first traced request is already observable.
+    let exporter = opts.trace_out.as_ref().map(|path| {
+        let exporter = Arc::new(TraceExporter::new(opts.trace_sample));
+        if !telemetry.set_sink(exporter.clone()) {
+            die("telemetry span sink already attached");
+        }
+        eprintln!(
+            "iofwdd: tracing ON — spans to {path} (self-sample every {} op(s))",
+            opts.trace_sample
+        );
+        exporter
+    });
     let mut backend: Arc<dyn iofwd::backend::Backend> = Arc::new(FileBackend::new(&opts.root));
     if let Some(plan_path) = &opts.fault_plan {
         let text = std::fs::read_to_string(plan_path)
@@ -202,8 +236,19 @@ fn main() {
     // whenever the trigger file appears.
     let interval = (opts.stats_interval > 0).then(|| Duration::from_secs(opts.stats_interval));
     let mut next_dump = interval.map(|iv| Instant::now() + iv);
+    let mut traced_spans = 0usize;
     loop {
         std::thread::sleep(Duration::from_millis(200));
+        // Rewrite the trace whenever new spans were retained, so a
+        // short-lived traced run's spans land on disk within a poll
+        // tick rather than at the next stats interval.
+        if let (Some(path), Some(exporter)) = (&opts.trace_out, &exporter) {
+            let kept = exporter.kept();
+            if kept != traced_spans {
+                traced_spans = kept;
+                write_atomic(path, &exporter.render());
+            }
+        }
         if let Some(trigger) = &opts.dump_trigger {
             if Path::new(trigger).exists() {
                 let _ = std::fs::remove_file(trigger);

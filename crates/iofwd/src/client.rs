@@ -14,10 +14,12 @@
 //! on the same descriptor as [`ClientError::Deferred`] (§IV).
 
 use std::io;
+use std::time::Instant;
 
 use bytes::Bytes;
 use iofwd_proto::{
-    DecodeError, Errno, Fd, FileStat, Frame, OpId, OpenFlags, Request, Response, Whence,
+    DecodeError, Errno, Fd, FileStat, Frame, OpId, OpenFlags, Request, Response, TraceContext,
+    TraceExt, Whence,
 };
 
 use crate::transport::Conn;
@@ -95,6 +97,75 @@ pub struct ClientStats {
     pub staged_writes: u64,
 }
 
+/// Client-side latency decomposition, accumulated over traced calls
+/// whose replies carried a server stage echo. All durations are
+/// nanoseconds; server stages come from the daemon's clock, while
+/// `client_ns` is this process's wall clock around send→receive — the
+/// difference is network + marshalling time, no clock sync needed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Traced calls whose reply carried a stage echo.
+    pub calls: u64,
+    /// Wall-clock time across those calls (send → reply received).
+    pub client_ns: u64,
+    /// Sum of the daemon's reported total residency.
+    pub server_total_ns: u64,
+    /// Per-stage sums as reported by the daemon.
+    pub queue_ns: u64,
+    pub dispatch_ns: u64,
+    pub backend_ns: u64,
+    pub reply_ns: u64,
+}
+
+impl TraceStats {
+    /// Client-observed time not accounted to the server: network and
+    /// client-side marshalling.
+    pub fn network_ns(&self) -> u64 {
+        self.client_ns.saturating_sub(self.server_total_ns)
+    }
+
+    /// Server time not attributed to a named stage.
+    pub fn other_server_ns(&self) -> u64 {
+        self.server_total_ns
+            .saturating_sub(self.queue_ns + self.dispatch_ns + self.backend_ns + self.reply_ns)
+    }
+
+    /// `(component, share of client-observed time)` over network plus
+    /// the server stages, fixed order.
+    pub fn shares(&self) -> [(&'static str, f64); 6] {
+        let total = self.client_ns.max(1) as f64;
+        [
+            ("network+client", self.network_ns() as f64 / total),
+            ("queue-wait", self.queue_ns as f64 / total),
+            ("dispatch", self.dispatch_ns as f64 / total),
+            ("backend", self.backend_ns as f64 / total),
+            ("reply", self.reply_ns as f64 / total),
+            ("server-other", self.other_server_ns() as f64 / total),
+        ]
+    }
+
+    /// The dominant *server* stage and its share of server residency
+    /// (the bottleneck-attribution verdict, excluding network time).
+    pub fn dominant_server_stage(&self) -> (&'static str, f64) {
+        let total = self.server_total_ns.max(1) as f64;
+        let stages = [
+            ("queue-wait", self.queue_ns),
+            ("dispatch", self.dispatch_ns),
+            ("backend", self.backend_ns),
+            ("reply", self.reply_ns),
+            ("server-other", self.other_server_ns()),
+        ];
+        let mut best = ("server-other", 0.0);
+        for (name, ns) in stages {
+            let share = ns as f64 / total;
+            if share > best.1 {
+                best = (name, share);
+            }
+        }
+        best
+    }
+}
+
 /// A forwarded-I/O client over any [`Conn`].
 pub struct Client {
     conn: Box<dyn Conn>,
@@ -102,6 +173,8 @@ pub struct Client {
     seq: u64,
     stats: ClientStats,
     max_chunk: usize,
+    tracing: bool,
+    trace: TraceStats,
 }
 
 impl Client {
@@ -118,7 +191,24 @@ impl Client {
             seq: 0,
             stats: ClientStats::default(),
             max_chunk: iofwd_proto::MAX_DATA_LEN as usize,
+            tracing: false,
+            trace: TraceStats::default(),
         }
+    }
+
+    /// Attach a sampled trace context to every subsequent request and
+    /// accumulate the daemon's echoed stage breakdowns into
+    /// [`Client::trace_stats`]. Trace ids are deterministic:
+    /// `(client_id + 1) << 32 | seq`.
+    pub fn enable_tracing(&mut self) {
+        self.tracing = true;
+    }
+
+    /// The accumulated latency decomposition (empty unless
+    /// [`Client::enable_tracing`] was called and the daemon echoes
+    /// stage breakdowns).
+    pub fn trace_stats(&self) -> TraceStats {
+        self.trace
     }
 
     /// Cap the per-frame payload; larger application writes are split
@@ -141,14 +231,30 @@ impl Client {
         let seq = self.seq;
         self.stats.requests += 1;
         self.stats.bytes_sent += data.len() as u64;
-        self.conn
-            .send(Frame::request(self.client_id, seq, req, data))?;
+        let mut frame = Frame::request(self.client_id, seq, req, data);
+        let started = if self.tracing {
+            let trace_id = (u64::from(self.client_id) + 1) << 32 | (seq & 0xffff_ffff);
+            frame = frame.with_ext(TraceExt::Ctx(TraceContext::sampled(trace_id)));
+            Some(Instant::now())
+        } else {
+            None
+        };
+        self.conn.send(frame)?;
         let frame = self.conn.recv()?.ok_or(ClientError::Closed)?;
         if frame.seq != seq {
             return Err(ClientError::Protocol(format!(
                 "response out of order: expected seq {seq}, got {}",
                 frame.seq
             )));
+        }
+        if let (Some(started), Some(echo)) = (started, frame.stage_echo()) {
+            self.trace.calls += 1;
+            self.trace.client_ns += started.elapsed().as_nanos() as u64;
+            self.trace.server_total_ns += echo.total_ns;
+            self.trace.queue_ns += echo.queue_ns;
+            self.trace.dispatch_ns += echo.dispatch_ns;
+            self.trace.backend_ns += echo.backend_ns;
+            self.trace.reply_ns += echo.reply_ns;
         }
         let resp = frame.decode_response()?;
         self.stats.bytes_received += frame.data.len() as u64;

@@ -73,11 +73,13 @@ pub mod file;
 pub mod filter;
 pub mod server;
 pub(crate) mod sync;
+pub mod trace;
 pub mod transport;
 
 /// Observability: counters/gauges/histograms, per-op lifecycle spans,
 /// and the flight-recorder ring (the `iofwd-telemetry` crate).
 pub use iofwd_telemetry as telemetry;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, TraceStats};
 pub use server::{ForwardingMode, IonServer, ServerConfig};
+pub use trace::{StageBreakdown, TraceExporter};

@@ -39,6 +39,15 @@ pub(crate) fn op_kind(req: &Request) -> OpKind {
     }
 }
 
+/// Wire errno carried by a response, 0 for success shapes. Exhaustive
+/// so a new `Response` variant forces a decision about its errno.
+pub(crate) fn response_errno(resp: &Response) -> u32 {
+    match resp {
+        Response::Err { errno } | Response::DeferredErr { errno, .. } => errno.to_wire(),
+        Response::Ok { .. } | Response::StatOk { .. } | Response::Staged { .. } => 0,
+    }
+}
+
 /// Daemon-wide counters.
 #[derive(Debug, Default)]
 pub struct ServerStats {
@@ -215,6 +224,7 @@ impl Engine {
         let (resp, out) = self.execute(req, data);
         span.backend_done_ns = self.telemetry.now_ns();
         span.ok = !matches!(resp, Response::Err { .. } | Response::DeferredErr { .. });
+        span.errno = response_errno(&resp);
         span.bytes = span.bytes.max(out.len() as u64);
         (resp, out)
     }

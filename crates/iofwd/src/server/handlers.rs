@@ -19,13 +19,13 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded};
-use iofwd_proto::{Errno, Frame, Request, Response};
+use iofwd_proto::{Errno, Frame, Request, Response, StageEcho, TraceContext, TraceExt};
 
-use super::engine::{op_kind, Engine};
+use super::engine::{op_kind, response_errno, Engine};
 use super::queue::{WorkItem, WorkQueue};
 use super::staged::FdSerializer;
 use crate::descdb::{BeginError, OpOutcome};
-use crate::telemetry::{OpKind, OpSpan};
+use crate::telemetry::{Disposition, OpKind, OpSpan, Telemetry};
 use crate::transport::Conn;
 
 /// Descriptors opened by one client connection, so a vanished client's
@@ -81,6 +81,64 @@ fn send_response(conn: &dyn Conn, client: u32, seq: u64, resp: &Response, data: 
     let _ = conn.send(Frame::response(client, seq, resp, data));
 }
 
+/// Adopt the client's trace context (if the frame carries one) onto the
+/// op's lifecycle span, so the id survives queueing, staging, and the
+/// worker pool, and shows up in the flight recorder and trace exporter.
+fn apply_trace(span: &mut OpSpan, frame: &Frame) {
+    if let Some(ctx) = frame.trace_ctx() {
+        span.trace_id = ctx.trace_id;
+        span.sampled = ctx.is_sampled();
+    }
+}
+
+/// Server-side stage breakdown echoed back to a traced client. Built
+/// from the same span `Telemetry::complete` folds into the histograms,
+/// so a client summing echoes reproduces the daemon's own numbers.
+fn stage_echo_of(span: &OpSpan) -> StageEcho {
+    StageEcho {
+        trace_id: span.trace_id,
+        flags: if span.sampled {
+            TraceContext::SAMPLED
+        } else {
+            0
+        },
+        queue_ns: span.queue_wait_ns(),
+        dispatch_ns: span.dispatch_lag_ns(),
+        backend_ns: span.service_ns(),
+        // A staged ack goes out before the backend runs
+        // (backend_done_ns == 0); its reply lag is not yet measurable.
+        reply_ns: if span.backend_done_ns == 0 {
+            0
+        } else {
+            span.reply_lag_ns()
+        },
+        total_ns: span.total_ns(),
+    }
+}
+
+/// Stamp the reply, echo the stage breakdown to traced clients, send,
+/// and complete the span — in that order, so the echoed durations are
+/// exactly the ones the daemon's histograms record.
+fn finish_and_reply(
+    conn: &dyn Conn,
+    telemetry: &Telemetry,
+    span: &mut OpSpan,
+    client: u32,
+    seq: u64,
+    resp: &Response,
+    data: Bytes,
+) {
+    span.reply_ns = telemetry.now_ns();
+    let mut frame = Frame::response(client, seq, resp, data);
+    if span.trace_id != 0 {
+        frame = frame.with_ext(TraceExt::Echo(stage_echo_of(span)));
+    }
+    // A send failure means the client vanished; the handler loop will
+    // observe the closed connection on its next recv.
+    let _ = conn.send(frame);
+    telemetry.complete(span);
+}
+
 fn decode_or_reject(conn: &dyn Conn, frame: &Frame) -> Option<Request> {
     match frame.decode_request() {
         Ok(req) => Some(req),
@@ -113,12 +171,19 @@ pub fn handle_zoid(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
         span.enqueue_ns = now;
         span.dispatch_ns = now;
         span.bytes = frame.data.len() as u64;
+        apply_trace(&mut span, &frame);
         let shutdown = matches!(req, Request::Shutdown);
         let (resp, data) = engine.execute_timed(&req, &frame.data, &mut span);
         session.track(&req, &resp);
-        send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data);
-        span.reply_ns = telemetry.now_ns();
-        telemetry.complete(&span);
+        finish_and_reply(
+            conn.as_ref(),
+            &telemetry,
+            &mut span,
+            frame.client_id,
+            frame.seq,
+            &resp,
+            data,
+        );
         if shutdown {
             break;
         }
@@ -144,6 +209,7 @@ pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
                 span.dispatch_ns = telemetry.now_ns();
                 let Some(req) = decode_or_reject(proxy_conn.as_ref(), &frame) else {
                     span.ok = false;
+                    span.errno = Errno::Inval.to_wire();
                     span.reply_ns = telemetry.now_ns();
                     telemetry.complete(&span);
                     continue;
@@ -151,9 +217,15 @@ pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
                 let shutdown = matches!(req, Request::Shutdown);
                 let (resp, data) = proxy_engine.execute_timed(&req, &frame.data, &mut span);
                 session.track(&req, &resp);
-                send_response(proxy_conn.as_ref(), frame.client_id, frame.seq, &resp, data);
-                span.reply_ns = telemetry.now_ns();
-                telemetry.complete(&span);
+                finish_and_reply(
+                    proxy_conn.as_ref(),
+                    &telemetry,
+                    &mut span,
+                    frame.client_id,
+                    frame.seq,
+                    &resp,
+                    data,
+                );
                 if shutdown {
                     break;
                 }
@@ -175,6 +247,7 @@ pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
             telemetry.now_ns(),
         );
         span.bytes = frame.data.len() as u64;
+        apply_trace(&mut span, &frame);
         // Copy the payload into the shared-memory region before the proxy
         // may touch it (CIOD's double copy, §II-B1).
         let copied = Bytes::from(frame.data.to_vec());
@@ -210,6 +283,7 @@ pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQue
             telemetry.now_ns(),
         );
         span.bytes = frame.data.len() as u64;
+        apply_trace(&mut span, &frame);
         if matches!(req, Request::Shutdown) {
             send_response(
                 conn.as_ref(),
@@ -232,8 +306,13 @@ pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQue
             // Queue closed: the daemon is shutting down. Reply with a
             // clean transient errno instead of killing the process
             // (the old behavior was an assert in push).
-            send_response(
+            span.ok = false;
+            span.errno = Errno::Again.to_wire();
+            span.disposition = Disposition::QueueRejected;
+            finish_and_reply(
                 conn.as_ref(),
+                &telemetry,
+                &mut span,
                 frame.client_id,
                 frame.seq,
                 &Response::Err {
@@ -241,17 +320,20 @@ pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQue
                 },
                 Bytes::new(),
             );
-            span.ok = false;
-            span.reply_ns = telemetry.now_ns();
-            telemetry.complete(&span);
             break;
         }
         match rx.recv() {
             Ok((resp, data, mut span)) => {
                 session.track(&req, &resp);
-                send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data);
-                span.reply_ns = telemetry.now_ns();
-                telemetry.complete(&span);
+                finish_and_reply(
+                    conn.as_ref(),
+                    &telemetry,
+                    &mut span,
+                    frame.client_id,
+                    frame.seq,
+                    &resp,
+                    data,
+                );
             }
             Err(_) => break, // workers gone: daemon shutting down
         }
@@ -280,6 +362,7 @@ pub fn handle_staged(
             telemetry.now_ns(),
         );
         span.bytes = frame.data.len() as u64;
+        apply_trace(&mut span, &frame);
         match req {
             Request::Shutdown => {
                 send_response(
@@ -300,8 +383,12 @@ pub fn handle_staged(
                     None
                 };
                 if len != frame.data.len() as u64 {
-                    send_response(
+                    span.ok = false;
+                    span.errno = Errno::Inval.to_wire();
+                    finish_and_reply(
                         conn.as_ref(),
+                        &telemetry,
+                        &mut span,
                         frame.client_id,
                         frame.seq,
                         &Response::Err {
@@ -309,9 +396,6 @@ pub fn handle_staged(
                         },
                         Bytes::new(),
                     );
-                    span.ok = false;
-                    span.reply_ns = telemetry.now_ns();
-                    telemetry.complete(&span);
                     continue;
                 }
                 // When the write is handed off, the worker finishes the
@@ -374,9 +458,19 @@ pub fn handle_staged(
                                         // inline (plus any successors
                                         // the lane releases) to keep
                                         // the `Staged` ack truthful.
-                                        run_staged_inline(&engine, &telemetry, *closed.0);
+                                        run_staged_inline(
+                                            &engine,
+                                            &telemetry,
+                                            *closed.0,
+                                            Disposition::Completed,
+                                        );
                                         while let Some(next) = serializer.complete(fd) {
-                                            run_staged_inline(&engine, &telemetry, next);
+                                            run_staged_inline(
+                                                &engine,
+                                                &telemetry,
+                                                next,
+                                                Disposition::Completed,
+                                            );
                                         }
                                     }
                                 }
@@ -385,33 +479,45 @@ pub fn handle_staged(
                         }
                     }
                 };
-                send_response(
-                    conn.as_ref(),
-                    frame.client_id,
-                    frame.seq,
-                    &resp,
-                    Bytes::new(),
-                );
-                if !handed_off {
+                if handed_off {
+                    // Staged ack: echo the ack-time stages now (queue /
+                    // backend are still zero — the ack precedes them);
+                    // the worker completes the span after the backend
+                    // write. reply_ns was stamped alongside enqueue_ns.
+                    let mut ack = Frame::response(frame.client_id, frame.seq, &resp, Bytes::new());
+                    if span.trace_id != 0 {
+                        ack = ack.with_ext(TraceExt::Echo(stage_echo_of(&span)));
+                    }
+                    let _ = conn.send(ack);
+                } else {
                     span.ok = false;
-                    span.reply_ns = telemetry.now_ns();
-                    telemetry.complete(&span);
+                    span.errno = response_errno(&resp);
+                    finish_and_reply(
+                        conn.as_ref(),
+                        &telemetry,
+                        &mut span,
+                        frame.client_id,
+                        frame.seq,
+                        &resp,
+                        Bytes::new(),
+                    );
                 }
             }
             Request::Read { fd, .. } | Request::Pread { fd, .. } => {
                 // Reads barrier behind staged writes on the descriptor so
                 // a read never observes pre-staging file contents.
                 if let Err(errno) = engine.descriptor_db().wait_idle(fd) {
-                    send_response(
+                    span.ok = false;
+                    span.errno = errno.to_wire();
+                    finish_and_reply(
                         conn.as_ref(),
+                        &telemetry,
+                        &mut span,
                         frame.client_id,
                         frame.seq,
                         &Response::Err { errno },
                         Bytes::new(),
                     );
-                    span.ok = false;
-                    span.reply_ns = telemetry.now_ns();
-                    telemetry.complete(&span);
                     continue;
                 }
                 let (tx, rx) = bounded(1);
@@ -423,8 +529,13 @@ pub fn handle_staged(
                     span,
                 });
                 if pushed.is_err() {
-                    send_response(
+                    span.ok = false;
+                    span.errno = Errno::Again.to_wire();
+                    span.disposition = Disposition::QueueRejected;
+                    finish_and_reply(
                         conn.as_ref(),
+                        &telemetry,
+                        &mut span,
                         frame.client_id,
                         frame.seq,
                         &Response::Err {
@@ -432,16 +543,19 @@ pub fn handle_staged(
                         },
                         Bytes::new(),
                     );
-                    span.ok = false;
-                    span.reply_ns = telemetry.now_ns();
-                    telemetry.complete(&span);
                     break;
                 }
                 match rx.recv() {
                     Ok((resp, data, mut span)) => {
-                        send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data);
-                        span.reply_ns = telemetry.now_ns();
-                        telemetry.complete(&span);
+                        finish_and_reply(
+                            conn.as_ref(),
+                            &telemetry,
+                            &mut span,
+                            frame.client_id,
+                            frame.seq,
+                            &resp,
+                            data,
+                        );
                     }
                     Err(_) => break,
                 }
@@ -468,9 +582,15 @@ pub fn handle_staged(
                 span.dispatch_ns = now;
                 let (resp, data) = engine.execute_timed(&other, &frame.data, &mut span);
                 session.track(&other, &resp);
-                send_response(conn.as_ref(), frame.client_id, frame.seq, &resp, data);
-                span.reply_ns = telemetry.now_ns();
-                telemetry.complete(&span);
+                finish_and_reply(
+                    conn.as_ref(),
+                    &telemetry,
+                    &mut span,
+                    frame.client_id,
+                    frame.seq,
+                    &resp,
+                    data,
+                );
             }
         }
     }
@@ -481,11 +601,14 @@ pub fn handle_staged(
 
 /// Execute a staged write outside the worker pool (handler racing
 /// shutdown, or the shutdown drain): filters, backend write, outcome
-/// recording, span completion, and BML buffer return.
+/// recording, span completion, and BML buffer return. `disposition`
+/// records *why* it ran inline (handler race → `Completed`, shutdown
+/// drain → `DrainExecuted`) for the flight recorder.
 pub(crate) fn run_staged_inline(
     engine: &Engine,
-    telemetry: &crate::telemetry::Telemetry,
+    telemetry: &Telemetry,
     item: WorkItem,
+    disposition: Disposition,
 ) {
     match item {
         WorkItem::StagedWrite {
@@ -500,6 +623,10 @@ pub(crate) fn run_staged_inline(
             let outcome = engine.execute_staged_write(fd, op, offset, buf.as_slice());
             span.backend_done_ns = telemetry.now_ns();
             span.ok = matches!(outcome, OpOutcome::Ok);
+            if let OpOutcome::Failed(errno) = outcome {
+                span.errno = errno.to_wire();
+            }
+            span.disposition = disposition;
             drop(buf);
             telemetry.complete(&span);
         }
@@ -523,6 +650,14 @@ pub fn worker_loop(
         if items.is_empty() {
             return; // queue closed and drained
         }
+        // Utilization sampling: the gauge counts workers currently
+        // executing a batch, and the per-worker busy-ns counter
+        // accumulates the time between dequeue and batch completion —
+        // idle fraction falls out against `uptime_ns` at snapshot time.
+        let busy_from = telemetry.now_ns();
+        if telemetry.enabled() {
+            telemetry.workers_busy.add(1);
+        }
         for item in items {
             match item {
                 WorkItem::Sync {
@@ -532,6 +667,7 @@ pub fn worker_loop(
                     mut span,
                 } => {
                     span.dispatch_ns = telemetry.now_ns();
+                    span.worker = worker as u32 + 1;
                     let (resp, out) = engine.execute_timed(&req, &data, &mut span);
                     // The handler stamps reply_ns and completes the span.
                     let _ = reply.send((resp, out, span));
@@ -553,15 +689,25 @@ pub fn worker_loop(
                     let _guard = serializer.completion_guard(fd, queue.clone());
                     span.dispatch_ns = telemetry.now_ns();
                     span.backend_start_ns = span.dispatch_ns;
+                    span.worker = worker as u32 + 1;
                     // Filters, backend write, and outcome recording all
                     // happen in the engine (shared with the sync path).
                     let outcome = engine.execute_staged_write(fd, op, offset, buf.as_slice());
                     span.backend_done_ns = telemetry.now_ns();
                     span.ok = matches!(outcome, OpOutcome::Ok);
+                    if let OpOutcome::Failed(errno) = outcome {
+                        span.errno = errno.to_wire();
+                    }
                     drop(buf); // return staging memory before dispatching more
                     telemetry.complete(&span);
                 }
             }
+        }
+        if telemetry.enabled() {
+            telemetry.workers_busy.add(-1);
+            telemetry
+                .worker_busy_ns
+                .add(worker, telemetry.now_ns().saturating_sub(busy_from));
         }
     }
 }

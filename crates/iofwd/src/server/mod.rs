@@ -365,14 +365,23 @@ impl IonServer {
         for item in leftovers {
             match item {
                 item @ WorkItem::StagedWrite { .. } if started.elapsed() < deadline => {
-                    handlers::run_staged_inline(&self.engine, &telemetry, item);
+                    handlers::run_staged_inline(
+                        &self.engine,
+                        &telemetry,
+                        item,
+                        crate::telemetry::Disposition::DrainExecuted,
+                    );
                     report.executed += 1;
                     if telemetry.enabled() {
                         telemetry.drain_executed.inc();
                     }
                 }
                 WorkItem::StagedWrite {
-                    fd, op, buf, span, ..
+                    fd,
+                    op,
+                    buf,
+                    mut span,
+                    ..
                 } => {
                     // Deadline exhausted: fail the op *explicitly* so the
                     // client's deferred-error channel reports it on the
@@ -381,7 +390,13 @@ impl IonServer {
                         .descriptor_db()
                         .finish_op(fd, op, OpOutcome::Failed(Errno::Io));
                     drop(buf);
-                    let _ = span;
+                    // The span still completes — into the flight recorder
+                    // and trace, not the void — recording that this write
+                    // was deferred to the error channel at shutdown.
+                    span.ok = false;
+                    span.errno = Errno::Io.to_wire();
+                    span.disposition = crate::telemetry::Disposition::DrainDeferred;
+                    telemetry.complete(&span);
                     report.deferred += 1;
                     if telemetry.enabled() {
                         telemetry.drain_deferred.inc();

@@ -2,7 +2,7 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — the invariant linter. Five rules the compiler cannot
+//! * `lint` — the invariant linter. Six rules the compiler cannot
 //!   enforce but this codebase depends on (see DESIGN.md, "Enforced
 //!   invariants"):
 //!   - **R1** Simulation crates (`simcore`, `bgsim`, `bgp-model`,
@@ -23,6 +23,11 @@
 //!     server::queue}` and `iofwd-telemetry` outside `snapshot.rs`)
 //!     must not `format!` / `println!` / `eprintln!` — recording stays
 //!     allocation-free; rendering lives in the snapshot/dump layer.
+//!   - **R6** Every runtime `OpSpan::begin` site must stamp the full
+//!     lifecycle — `enqueue_ns`, `dispatch_ns`, `reply_ns` — and hand
+//!     the span to `Telemetry::complete` in the same file, so no op
+//!     type can silently ship half-timed spans to the flight recorder
+//!     or the trace exporter.
 //!
 //!   Known-good exceptions live in `xtask/lint.allow` (one per line:
 //!   `R<n> <path> -- <justification>`, at most [`MAX_ALLOW`] entries).
@@ -177,7 +182,7 @@ fn parse_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
         let rule = parts
             .next()
             .and_then(Rule::parse)
-            .ok_or_else(|| format!("lint.allow:{line_no}: expected R1..R5"))?;
+            .ok_or_else(|| format!("lint.allow:{line_no}: expected R1..R6"))?;
         let path = parts
             .next()
             .ok_or_else(|| format!("lint.allow:{line_no}: expected a file path"))?

@@ -1,4 +1,4 @@
-//! The five invariant rules. Each works on the masked source from
+//! The six invariant rules. Each works on the masked source from
 //! [`crate::lexer::strip`], so comments and string literals are
 //! invisible; `SAFETY:` comment detection (R4) reads the raw source.
 
@@ -18,6 +18,9 @@ pub enum Rule {
     R4,
     /// Telemetry-recording hot paths must not format or print.
     R5,
+    /// Every runtime `OpSpan::begin` site must stamp the full lifecycle
+    /// (enqueue/dispatch/reply) and complete the span.
+    R6,
 }
 
 impl Rule {
@@ -28,6 +31,7 @@ impl Rule {
             "R3" => Some(Rule::R3),
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
+            "R6" => Some(Rule::R6),
             _ => None,
         }
     }
@@ -41,6 +45,7 @@ impl std::fmt::Display for Rule {
             Rule::R3 => "R3",
             Rule::R4 => "R4",
             Rule::R5 => "R5",
+            Rule::R6 => "R6",
         })
     }
 }
@@ -107,6 +112,9 @@ pub fn check_file(rel: &Path, source: &str) -> Vec<Violation> {
         check_r3(rel, &masked, &mut out);
     }
     check_r4(rel, source, &masked, &mut out);
+    if !is_test_file(&unix) {
+        check_r6(rel, &masked, &mut out);
+    }
     if NO_FMT_FILES.contains(&unix.as_str())
         || (unix.starts_with("crates/iofwd-telemetry/src/")
             && unix != "crates/iofwd-telemetry/src/snapshot.rs")
@@ -456,6 +464,66 @@ fn check_r5(rel: &Path, masked: &str, out: &mut Vec<Violation>) {
     }
 }
 
+// ---------------------------------------------------------------- R6
+
+/// Does the masked source assign to `.{field}` anywhere? (`=`, not `==`
+/// — a comparison is not a stamp.)
+fn has_stamp(masked: &str, field: &str) -> bool {
+    let needle = format!(".{field}");
+    let mut start = 0;
+    while let Some(off) = masked[start..].find(&needle) {
+        let pos = start + off;
+        start = pos + needle.len();
+        let rest = masked[pos + needle.len()..].trim_start();
+        if rest.starts_with('=') && !rest.starts_with("==") {
+            return true;
+        }
+    }
+    false
+}
+
+/// An op type that constructs an `OpSpan` owns its full lifecycle: the
+/// file must stamp `enqueue_ns`, `dispatch_ns`, and `reply_ns`, and
+/// hand the span to `Telemetry::complete`, or the flight recorder /
+/// trace exporter silently report half-timed ops. File-granular on
+/// purpose: spans legitimately cross functions (handler → worker), but
+/// an op whose span escapes the *file* without all its stamps is a
+/// telemetry hole.
+fn check_r6(rel: &Path, masked: &str, out: &mut Vec<Violation>) {
+    let tests = test_regions(masked);
+    let in_tests = |pos: usize| tests.iter().any(|&(a, b)| pos >= a && pos <= b);
+    let mut begin_at = None;
+    let mut start = 0;
+    while let Some(off) = masked[start..].find("OpSpan::begin") {
+        let pos = start + off;
+        start = pos + "OpSpan::begin".len();
+        if !in_tests(pos) {
+            begin_at = Some(pos);
+            break;
+        }
+    }
+    let Some(pos) = begin_at else { return };
+    let mut missing: Vec<&str> = ["enqueue_ns", "dispatch_ns", "reply_ns"]
+        .into_iter()
+        .filter(|f| !has_stamp(masked, f))
+        .collect();
+    if !masked.contains(".complete(") {
+        missing.push("a `.complete(...)` call");
+    }
+    if !missing.is_empty() {
+        out.push(Violation {
+            rule: Rule::R6,
+            path: rel.to_path_buf(),
+            line: line_of(masked, pos),
+            message: format!(
+                "`OpSpan::begin` without {} in this file — every op span must stamp its \
+                 full lifecycle and reach `Telemetry::complete`",
+                missing.join(", ")
+            ),
+        });
+    }
+}
+
 // ---------------------------------------------------------------- R4
 
 fn check_r4(rel: &Path, source: &str, masked: &str, out: &mut Vec<Violation>) {
@@ -570,6 +638,42 @@ mod tests {
         assert!(check("crates/iofwd/src/bml.rs", src)
             .iter()
             .all(|v| v.rule != Rule::R5));
+    }
+
+    #[test]
+    fn r6_requires_full_lifecycle_stamping() {
+        let bad = "fn f(t: &Telemetry) { let mut s = OpSpan::begin(k, 1, 1, 0);\n\
+                   s.enqueue_ns = 1; s.dispatch_ns = 2; }\n";
+        let v = check("crates/iofwd/src/server/handlers.rs", bad);
+        let r6: Vec<_> = v.iter().filter(|v| v.rule == Rule::R6).collect();
+        assert_eq!(r6.len(), 1);
+        assert!(r6[0].message.contains("reply_ns"));
+        assert!(r6[0].message.contains("complete"));
+    }
+
+    #[test]
+    fn r6_accepts_complete_lifecycles_and_ignores_tests() {
+        let good = "fn f(t: &Telemetry) { let mut s = OpSpan::begin(k, 1, 1, 0);\n\
+                    s.enqueue_ns = 1; s.dispatch_ns = 2; s.reply_ns = 3; t.complete(&s); }\n";
+        assert!(check("crates/iofwd/src/server/handlers.rs", good)
+            .iter()
+            .all(|v| v.rule != Rule::R6));
+        // Comparisons are not stamps.
+        let cmp = "fn f() { let s = OpSpan::begin(k, 1, 1, 0);\n\
+                   if s.enqueue_ns == 0 && s.dispatch_ns == 0 && s.reply_ns == 0 { t.complete(&s); } }\n";
+        assert!(!check("crates/iofwd/src/server/handlers.rs", cmp)
+            .iter()
+            .all(|v| v.rule != Rule::R6));
+        // Test modules and integration tests are out of scope.
+        let in_tests =
+            "#[cfg(test)]\nmod tests { fn g() { let s = OpSpan::begin(k, 1, 1, 0); } }\n";
+        assert!(check("crates/iofwd/src/server/handlers.rs", in_tests)
+            .iter()
+            .all(|v| v.rule != Rule::R6));
+        let bare = "fn g() { let s = OpSpan::begin(k, 1, 1, 0); }";
+        assert!(check("crates/iofwd/tests/trace_e2e.rs", bare)
+            .iter()
+            .all(|v| v.rule != Rule::R6));
     }
 
     #[test]
