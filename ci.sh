@@ -60,8 +60,15 @@ cat >"$CHAOS/plan" <<'EOF'
 # Seeded transient-fault plan: well over 5% of data-plane ops fail or
 # go short, plus one guaranteed open-time EAGAIN (nth=1) so the
 # fault/retry counters are provably nonzero on any workload shape.
+# The nth=1 write stall parks the rest of the put's 1 MiB chunks on
+# the fd's lane, so the worker provably harvests a coalesced batch
+# (the coalesced_* counter assertions below); the vectored rule aims
+# a transient errno at that batch to exercise per-constituent draws
+# and the mid-batch hold-over under retries.
 seed 42
 on open nth=1 errno=EAGAIN
+on write nth=1 delay_us=150000
+on write vectored p=0.3 errno=EAGAIN
 on write p=0.3 errno=EAGAIN
 on write p=0.2 short=0.5
 on read p=0.3 errno=EAGAIN
@@ -69,25 +76,28 @@ EOF
 target/release/iofwdd --listen 127.0.0.1:0 --root "$CHAOS/root" \
     --mode staged --workers 2 --stats-interval 1 \
     --fault-plan "$CHAOS/plan" --retry-attempts 8 \
+    --coalesce=8388608,16 \
     --stats-json "$CHAOS/stats.json" --port-file "$CHAOS/port" \
     2>"$CHAOS/daemon.log" &
 CHAOS_PID=$!
 for _ in $(seq 50); do [ -s "$CHAOS/port" ] && break; sleep 0.1; done
 [ -s "$CHAOS/port" ] || { echo "ci: chaos iofwdd never wrote its port file"; exit 1; }
 ADDR="127.0.0.1:$(cat "$CHAOS/port")"
-head -c 2097152 /dev/urandom >"$CHAOS/in.bin"
+head -c 8388608 /dev/urandom >"$CHAOS/in.bin"
 # The workload must complete despite the fault plan — retries absorb
 # every transient error — and round-trip the bytes intact.
 target/release/iofwd-cp put "$CHAOS/in.bin" "$ADDR" /chaos.bin
 target/release/iofwd-cp get "$ADDR" /chaos.bin "$CHAOS/out.bin"
 cmp "$CHAOS/in.bin" "$CHAOS/out.bin"
 # Snapshot contract: faults actually fired AND retries actually ran —
-# a silently inert fault plan or retry loop fails the gate.
+# a silently inert fault plan or retry loop fails the gate — AND the
+# stalled first chunk forced at least one coalesced vectored batch.
 CHAOS_OK=
 for _ in $(seq 50); do
     if [ -s "$CHAOS/stats.json" ] \
         && target/release/iofwd-cp snapshot "$CHAOS/stats.json" \
-            faults_injected retries_attempted; then
+            faults_injected retries_attempted \
+            coalesced_batches coalesced_ops coalesced_bytes; then
         CHAOS_OK=1
         break
     fi
@@ -172,5 +182,11 @@ grep -A6 '^ciod:' "$TRACED/bottleneck.txt" | grep -q 'dominant stage: queue-wait
     || { echo "ci: ciod bottleneck not attributed to queue-wait"; exit 1; }
 grep -A6 '^zoid:' "$TRACED/bottleneck.txt" | grep -q 'dominant stage: backend' \
     || { echo "ci: zoid bottleneck not attributed to backend"; exit 1; }
+
+step "coalescing bench gate (>=1.20x MiB/s coalesced vs not, counters nonzero)"
+COALESCE_OUT=$(cargo bench -p bench --bench coalescing 2>&1)
+printf '%s\n' "$COALESCE_OUT" | grep "coalescing_gate:"
+printf '%s\n' "$COALESCE_OUT" | grep -q "^coalescing_gate: overall pass=true" \
+    || { echo "ci: coalescing bench gate failed"; exit 1; }
 
 printf '\nci: all gates passed\n'

@@ -1,0 +1,236 @@
+//! Throughput of the staged-write coalescing layer (DESIGN.md §12):
+//! the same workloads with coalescing forced off vs the AsyncStaged
+//! default (on, 16 ops / 1 MiB per batch), against a throttled device
+//! whose fixed per-operation cost (20 µs, ~an NFS round trip or a
+//! flash program latency) dominates its bandwidth term for small
+//! writes. Three workload shapes:
+//!
+//! * `contig_small_writes` — 256 × 2 KiB cursor writes + fsync: the
+//!   coalescing best case; every lane backlog merges.
+//! * `strided` — 256 × 2 KiB pwrites with a one-chunk hole between
+//!   them: nothing is contiguous, so coalescing must stand down and
+//!   cost nothing.
+//! * `madbench_mixed` — MADbench-shaped phases: bursts of contiguous
+//!   writes separated by large reads of the previous phase's output,
+//!   the paper's §V mixed-I/O pattern.
+//!
+//! The conventional criterion arms are followed by a *paired* pass
+//! (both stacks live, timed batches alternating, median-of-rounds)
+//! whose verdict lines are the CI gate:
+//!
+//! ```text
+//! coalescing_gate: contig_small_writes ... ratio=4.31 bar=1.20 pass=true
+//! ```
+//!
+//! `ci.sh` requires every gated workload to clear the 1.20× bar (≥20%
+//! MiB/s gain) and the on-arm's `coalesced_*` counters to be nonzero.
+//! Results are recorded in `BENCH_PR5.json` at the workspace root.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iofwd::backend::{MemSinkBackend, ThrottledBackend};
+use iofwd::client::Client;
+use iofwd::server::{ForwardingMode, IonServer, ServerConfig};
+use iofwd::transport::mem::MemHub;
+use iofwd_proto::{Fd, OpenFlags};
+
+/// Small writes: the per-op device cost is ~40× the bandwidth term.
+const CHUNK: usize = 2048;
+/// Cursor writes per timed iteration.
+const OPS_PER_ITER: usize = 256;
+/// Fixed device cost per backend call — what coalescing amortises.
+const PER_OP: Duration = Duration::from_micros(20);
+/// Device bandwidth: high enough that bytes are nearly free.
+const DEVICE_BW: f64 = 4.0 * 1024.0 * 1024.0 * 1024.0;
+/// Interleaved rounds per arm for the paired gate measurement.
+const PAIRED_ROUNDS: usize = 30;
+/// The CI bar: coalescing must deliver ≥20% more MiB/s.
+const GATE_RATIO: f64 = 1.20;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    Contig,
+    Strided,
+    Mixed,
+}
+
+impl Workload {
+    const ALL: [Workload; 3] = [Workload::Contig, Workload::Strided, Workload::Mixed];
+
+    fn label(self) -> &'static str {
+        match self {
+            Workload::Contig => "contig_small_writes",
+            Workload::Strided => "strided",
+            Workload::Mixed => "madbench_mixed",
+        }
+    }
+
+    /// Whether the 1.20× CI bar applies: strided writes share no
+    /// boundary, so there is nothing for coalescing to win there (the
+    /// arm exists to show it costs nothing either).
+    fn gated(self) -> bool {
+        self != Workload::Strided
+    }
+
+    fn bytes_per_iter(self) -> u64 {
+        (OPS_PER_ITER * CHUNK) as u64
+    }
+}
+
+/// One daemon + client over the throttled device.
+struct Stack {
+    server: IonServer,
+    client: Client,
+    fd: Fd,
+}
+
+impl Stack {
+    fn new(coalesce_on: bool) -> Stack {
+        let device = Arc::new(ThrottledBackend::new(
+            Arc::new(MemSinkBackend::new()),
+            DEVICE_BW,
+            PER_OP,
+        ));
+        let mut config = ServerConfig::new(ForwardingMode::AsyncStaged {
+            workers: 2,
+            bml_capacity: 8 << 20,
+        });
+        if !coalesce_on {
+            config = config.with_coalescing(None);
+        }
+        let hub = MemHub::new();
+        let server = IonServer::spawn(Box::new(hub.listener()), device, config);
+        let mut client = Client::connect(Box::new(hub.connect()));
+        let fd = client
+            .open("/bench", OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+            .unwrap();
+        Stack { server, client, fd }
+    }
+
+    /// One timed iteration: the workload's writes, then an fsync
+    /// barrier so the staged backlog drains inside the measurement.
+    fn batch(&mut self, w: Workload, data: &[u8]) {
+        match w {
+            Workload::Contig => {
+                for _ in 0..OPS_PER_ITER {
+                    self.client.write(self.fd, data).unwrap();
+                }
+            }
+            Workload::Strided => {
+                // A hole after every chunk: no two writes are mergeable.
+                for i in 0..OPS_PER_ITER {
+                    let at = (i * 2 * CHUNK) as u64;
+                    self.client.pwrite(self.fd, at, data).unwrap();
+                }
+            }
+            Workload::Mixed => {
+                // 8 phases of 32 contiguous writes, each phase reading
+                // back a 16 KiB slab of the previous one (MADbench's
+                // compute-then-checkpoint rhythm).
+                for phase in 0..8usize {
+                    for _ in 0..32 {
+                        self.client.write(self.fd, data).unwrap();
+                    }
+                    if phase > 0 {
+                        let at = ((phase - 1) * 32 * CHUNK) as u64;
+                        self.client.pread(self.fd, at, 16 * 1024).unwrap();
+                    }
+                }
+            }
+        }
+        self.client.fsync(self.fd).unwrap();
+    }
+
+    fn coalesced_counters(&self) -> (u64, u64, u64) {
+        let t = self.server.telemetry();
+        (
+            t.coalesced_batches.get(),
+            t.coalesced_ops.get(),
+            t.coalesced_bytes.get(),
+        )
+    }
+
+    fn teardown(mut self) {
+        self.client.close(self.fd).unwrap();
+        self.client.shutdown().unwrap();
+        self.server.shutdown();
+    }
+}
+
+fn coalescing(c: &mut Criterion) {
+    let data = vec![0xabu8; CHUNK];
+
+    let mut g = c.benchmark_group("coalescing");
+    g.sample_size(10);
+    for w in Workload::ALL {
+        g.throughput(Throughput::Bytes(w.bytes_per_iter()));
+        for (suffix, on) in [("off", false), ("on", true)] {
+            g.bench_function(format!("{}_{}", w.label(), suffix), |b| {
+                let mut stack = Stack::new(on);
+                b.iter(|| stack.batch(w, &data));
+                stack.teardown();
+            });
+        }
+    }
+    g.finish();
+
+    // Paired gate pass: for each workload keep the off and on stacks
+    // live and alternate timed batches between them, flipping the
+    // starting arm each round so drift and order effects cancel.
+    let mut all_pass = true;
+    for w in Workload::ALL {
+        let mut off = Stack::new(false);
+        let mut on = Stack::new(true);
+        off.batch(w, &data); // warm both paths untimed
+        on.batch(w, &data);
+        let mut samples = [Vec::with_capacity(PAIRED_ROUNDS), Vec::new()];
+        for round in 0..PAIRED_ROUNDS {
+            for k in 0..2 {
+                let arm = (round + k) % 2;
+                let t = Instant::now();
+                match arm {
+                    0 => off.batch(w, &data),
+                    _ => on.batch(w, &data),
+                }
+                samples[arm].push(t.elapsed().as_nanos() as f64);
+            }
+        }
+        let median = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.total_cmp(b));
+            v[v.len() / 2]
+        };
+        let off_med = median(&mut samples[0]);
+        let on_med = median(&mut samples[1]);
+        let ratio = off_med / on_med;
+        let (batches, ops, bytes) = on.coalesced_counters();
+        let mib_s = |ns: f64| w.bytes_per_iter() as f64 / (1024.0 * 1024.0) / (ns / 1e9);
+        // Gated workloads must clear the throughput bar AND show the
+        // merge actually happened (nonzero coalescing counters).
+        let pass = !w.gated() || (ratio >= GATE_RATIO && batches > 0 && ops > batches && bytes > 0);
+        all_pass &= pass;
+        println!(
+            "coalescing_gate: {:<19} off={:.3}ms ({:.1} MiB/s) on={:.3}ms ({:.1} MiB/s) \
+             ratio={:.2} bar={:.2}{} counters(batches={} ops={} bytes={}) pass={}",
+            w.label(),
+            off_med / 1e6,
+            mib_s(off_med),
+            on_med / 1e6,
+            mib_s(on_med),
+            ratio,
+            GATE_RATIO,
+            if w.gated() { "" } else { " (ungated)" },
+            batches,
+            ops,
+            bytes,
+            pass
+        );
+        off.teardown();
+        on.teardown();
+    }
+    println!("coalescing_gate: overall pass={all_pass}");
+}
+
+criterion_group!(benches, coalescing);
+criterion_main!(benches);

@@ -186,6 +186,13 @@ pub struct Telemetry {
     /// Staged writes the shutdown drain abandoned past its deadline,
     /// recorded as deferred errors — never silently dropped.
     pub drain_deferred: Counter,
+    /// Coalesced vectored-write batches dispatched (offset-contiguous
+    /// staged writes merged into one backend call).
+    pub coalesced_batches: Counter,
+    /// Constituent staged writes covered by those batches.
+    pub coalesced_ops: Counter,
+    /// Payload bytes carried inside coalesced batches.
+    pub coalesced_bytes: Counter,
 
     // -- gauges -------------------------------------------------------
     pub queue_depth: Gauge,
@@ -207,6 +214,8 @@ pub struct Telemetry {
     pub bml_block_ns: Histogram,
     /// Items per scheduling pass (unit: items, not ns).
     pub batch_size: Histogram,
+    /// Constituent ops per coalesced batch (unit: ops, not ns).
+    pub coalesce_width: Histogram,
 
     pub worker_dispatch: PerWorker,
     /// Nanoseconds each worker spent executing batches (vs. parked in
@@ -253,6 +262,9 @@ impl Telemetry {
             retries_exhausted: Counter::new(),
             drain_executed: Counter::new(),
             drain_deferred: Counter::new(),
+            coalesced_batches: Counter::new(),
+            coalesced_ops: Counter::new(),
+            coalesced_bytes: Counter::new(),
             queue_depth: Gauge::new(),
             bml_occupancy: Gauge::new(),
             bml_waiters: Gauge::new(),
@@ -266,6 +278,7 @@ impl Telemetry {
             reply_lag_ns: Histogram::new(),
             bml_block_ns: Histogram::new(),
             batch_size: Histogram::new(),
+            coalesce_width: Histogram::new(),
             worker_dispatch: PerWorker::new(),
             worker_busy_ns: PerWorker::new(),
             flight: FlightRecorder::new(flight),

@@ -245,6 +245,9 @@ pub fn capture(t: &Telemetry) -> TelemetrySnapshot {
         ("retries_exhausted".to_string(), t.retries_exhausted.get()),
         ("drain_executed".to_string(), t.drain_executed.get()),
         ("drain_deferred".to_string(), t.drain_deferred.get()),
+        ("coalesced_batches".to_string(), t.coalesced_batches.get()),
+        ("coalesced_ops".to_string(), t.coalesced_ops.get()),
+        ("coalesced_bytes".to_string(), t.coalesced_bytes.get()),
         ("flight_recorded".to_string(), t.flight.recorded()),
         ("flight_dropped".to_string(), t.flight.dropped()),
         ("uptime_ns".to_string(), t.uptime_ns()),
@@ -283,6 +286,7 @@ pub fn capture(t: &Telemetry) -> TelemetrySnapshot {
             ("reply_lag_ns".to_string(), t.reply_lag_ns.snapshot()),
             ("bml_block_ns".to_string(), t.bml_block_ns.snapshot()),
             ("batch_size".to_string(), t.batch_size.snapshot()),
+            ("coalesce_width".to_string(), t.coalesce_width.snapshot()),
         ],
     }
 }

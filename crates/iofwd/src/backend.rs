@@ -33,6 +33,33 @@ pub trait BackendObject: Send {
     /// Write at `offset` (or the current position if `None`). Returns
     /// bytes written.
     fn write_at(&mut self, offset: Option<u64>, data: &[u8]) -> Result<u64, Errno>;
+    /// Write the buffers of `bufs` back-to-back starting at `offset`
+    /// (or the current position), as one logical operation — `pwritev`
+    /// semantics. Returns total bytes written; a short count is legal
+    /// and means a prefix of the concatenated buffers went through.
+    ///
+    /// The default delegates buffer-by-buffer to [`Self::write_at`],
+    /// stopping at the first short write. An error after some bytes
+    /// already landed is reported as a short write (the bytes moved;
+    /// POSIX `writev` cannot report both), so callers retry from the
+    /// new position and see the error only when no progress was made.
+    fn write_vectored_at(&mut self, offset: Option<u64>, bufs: &[&[u8]]) -> Result<u64, Errno> {
+        let mut total = 0u64;
+        for buf in bufs {
+            let at = offset.map(|base| base + total);
+            match self.write_at(at, buf) {
+                Ok(n) => {
+                    total += n;
+                    if n < buf.len() as u64 {
+                        return Ok(total);
+                    }
+                }
+                Err(e) if total == 0 => return Err(e),
+                Err(_) => return Ok(total),
+            }
+        }
+        Ok(total)
+    }
     /// Read up to `len` bytes at `offset` (or current position).
     fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno>;
     /// Reposition; returns the new offset.
@@ -111,6 +138,19 @@ struct InstrumentedObject {
 impl BackendObject for InstrumentedObject {
     fn write_at(&mut self, offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
         let res = self.inner.write_at(offset, data);
+        if let Ok(n) = res {
+            if self.telemetry.enabled() {
+                self.telemetry.backend_write_ops.inc();
+                self.telemetry.backend_bytes_written.add(n);
+            }
+        }
+        res
+    }
+
+    fn write_vectored_at(&mut self, offset: Option<u64>, bufs: &[&[u8]]) -> Result<u64, Errno> {
+        // A coalesced batch is one backend operation — that drop in
+        // ops-per-byte is exactly what the counters should show.
+        let res = self.inner.write_vectored_at(offset, bufs);
         if let Ok(n) = res {
             if self.telemetry.enabled() {
                 self.telemetry.backend_write_ops.inc();
@@ -615,6 +655,29 @@ impl BackendObject for FileObject {
         Ok(data.len() as u64)
     }
 
+    fn write_vectored_at(&mut self, offset: Option<u64>, bufs: &[&[u8]]) -> Result<u64, Errno> {
+        // pwritev semantics: one seek positions the whole batch, then
+        // the buffers stream out back-to-back on the advancing cursor —
+        // the per-op seek+dispatch cost is paid once per batch instead
+        // of once per forwarded request.
+        if let Some(off) = offset {
+            self.file
+                .seek(SeekFrom::Start(off))
+                .map_err(|e| Errno::from_io(&e))?;
+        }
+        let mut total = 0u64;
+        for buf in bufs {
+            match self.file.write_all(buf) {
+                Ok(()) => total += buf.len() as u64,
+                // Progress already made: report the short count, like
+                // writev; the caller resumes from the new position.
+                Err(_) if total > 0 => return Ok(total),
+                Err(e) => return Err(Errno::from_io(&e)),
+            }
+        }
+        Ok(total)
+    }
+
     fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno> {
         if let Some(off) = offset {
             self.file
@@ -772,6 +835,29 @@ impl BackendObject for FaultObject {
         self.inner.write_at(offset, data)
     }
 
+    fn write_vectored_at(&mut self, offset: Option<u64>, bufs: &[&[u8]]) -> Result<u64, Errno> {
+        // The budget meters *logical* data operations, so a coalesced
+        // batch charges once per constituent: the failure lands on the
+        // same logical write whether or not merging happened.
+        if bufs.is_empty() {
+            return self.inner.write_vectored_at(offset, bufs);
+        }
+        let mut ok = 0usize;
+        for _ in bufs {
+            if self.charge().is_err() {
+                break;
+            }
+            ok += 1;
+        }
+        if ok == 0 {
+            return Err(self.errno);
+        }
+        // Budget ran out mid-batch: write the prefix it covers (a short
+        // vectored write), so the engine's fan-out charges the error to
+        // exactly the constituents past the failure point.
+        self.inner.write_vectored_at(offset, &bufs[..ok])
+    }
+
     fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno> {
         self.charge()?;
         self.inner.read_at(offset, len)
@@ -884,6 +970,14 @@ impl BackendObject for ThrottledObject {
     fn write_at(&mut self, offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
         (self.pacer)(data.len());
         self.inner.write_at(offset, data)
+    }
+
+    fn write_vectored_at(&mut self, offset: Option<u64>, bufs: &[&[u8]]) -> Result<u64, Errno> {
+        // The device pays `per_op` once for the batch plus bandwidth
+        // for every byte — the per-op saving coalescing exists to win.
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        (self.pacer)(total);
+        self.inner.write_vectored_at(offset, bufs)
     }
 
     fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno> {
@@ -1011,6 +1105,7 @@ impl FaultBackend {
             inner: obj,
             path,
             shared: self.shared.clone(),
+            pending_errno: None,
         })
     }
 }
@@ -1031,9 +1126,20 @@ impl FaultShared {
         class: crate::fault::OpClass,
         path: &str,
     ) -> Option<crate::fault::FaultAction> {
+        self.decide_shaped(class, path, false)
+    }
+
+    fn decide_shaped(
+        &self,
+        class: crate::fault::OpClass,
+        path: &str,
+        vectored: bool,
+    ) -> Option<crate::fault::FaultAction> {
         let seq = self.seq.next(class);
         let mut rng = self.rng.lock();
-        let action = self.plan.decide(class, path, seq, &mut rng);
+        let action = self
+            .plan
+            .decide_vectored(class, path, seq, &mut rng, vectored);
         drop(rng);
         if action.is_some() {
             self.injected.fetch_add(1, Ordering::Relaxed);
@@ -1049,6 +1155,11 @@ struct PlannedFaultObject {
     inner: Box<dyn BackendObject>,
     path: String,
     shared: Arc<FaultShared>,
+    /// An errno drawn for a mid-batch constituent of a vectored write.
+    /// The call itself returns the clean prefix (POSIX short writev);
+    /// the errno surfaces on the caller's continuation call, mirroring
+    /// what a serial re-issue of that constituent would have seen.
+    pending_errno: Option<Errno>,
 }
 
 impl BackendObject for PlannedFaultObject {
@@ -1069,6 +1180,48 @@ impl BackendObject for PlannedFaultObject {
             }
             None => self.inner.write_at(offset, data),
         }
+    }
+
+    fn write_vectored_at(&mut self, offset: Option<u64>, bufs: &[&[u8]]) -> Result<u64, Errno> {
+        use crate::fault::{FaultAction, OpClass};
+        // Each constituent of a coalesced batch is still one write op
+        // to the plan — one sequence slot, one draw apiece — so the
+        // fault sequence is a function of *logical* operation order,
+        // identical whether or not merging happened. `vectored`-flagged
+        // rules additionally match (only) these draws.
+        if let Some(e) = self.pending_errno.take() {
+            return Err(e);
+        }
+        for (i, buf) in bufs.iter().enumerate() {
+            match self.shared.decide_shaped(OpClass::Write, &self.path, true) {
+                Some(FaultAction::Errno(e)) => {
+                    // Fault at constituent i: commit the clean prefix
+                    // (a POSIX-legal short writev) and hold the errno
+                    // for the continuation; with nothing written the
+                    // errno surfaces immediately.
+                    if i == 0 {
+                        return Err(e);
+                    }
+                    self.pending_errno = Some(e);
+                    return self.inner.write_vectored_at(offset, &bufs[..i]);
+                }
+                Some(FaultAction::Short { numerator }) => {
+                    // Short write inside constituent i: the batch ends
+                    // with a prefix of this buffer.
+                    let n = ((buf.len() * numerator as usize) / 256)
+                        .max(1)
+                        .min(buf.len());
+                    let mut prefix: Vec<&[u8]> = bufs[..i].to_vec();
+                    prefix.push(&buf[..n]);
+                    return self.inner.write_vectored_at(offset, &prefix);
+                }
+                Some(FaultAction::DelayUs(us)) => {
+                    std::thread::sleep(Duration::from_micros(us as u64));
+                }
+                None => {}
+            }
+        }
+        self.inner.write_vectored_at(offset, bufs)
     }
 
     fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno> {
@@ -1304,6 +1457,107 @@ mod tests {
         assert!(b
             .open("../../x", OpenFlags::WRONLY | OpenFlags::CREATE, 0)
             .is_err());
+    }
+
+    #[test]
+    fn default_write_vectored_matches_sequential_writes() {
+        let b = MemSinkBackend::new();
+        let mut f = b
+            .open("/v", OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+            .unwrap();
+        // MemFileObject has no override, so this exercises the trait's
+        // default delegate-per-buffer loop, positionally...
+        let n = f
+            .write_vectored_at(Some(2), &[b"ab", b"cde", b"", b"f"])
+            .unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(b.contents("/v").unwrap(), b"\0\0abcdef");
+        // ...and on the cursor, which must advance across buffers.
+        f.seek(8, Whence::Set).unwrap();
+        assert_eq!(f.write_vectored_at(None, &[b"gh", b"ij"]).unwrap(), 4);
+        assert_eq!(b.contents("/v").unwrap(), b"\0\0abcdefghij");
+    }
+
+    #[test]
+    fn default_write_vectored_reports_progress_before_error() {
+        let b = MemSinkBackend::new();
+        b.open("/ro", OpenFlags::WRONLY | OpenFlags::CREATE, 0)
+            .unwrap();
+        let mut r = b.open("/ro", OpenFlags::RDONLY, 0).unwrap();
+        // No progress at all: the error surfaces.
+        assert_eq!(
+            r.write_vectored_at(None, &[b"x", b"y"]).err(),
+            Some(Errno::BadF)
+        );
+    }
+
+    #[test]
+    fn file_backend_write_vectored_at() {
+        let dir = std::env::temp_dir().join(format!("iofwd-vec-test-{}", std::process::id()));
+        let b = FileBackend::new(&dir);
+        let mut f = b
+            .open("vec.bin", OpenFlags::RDWR | OpenFlags::CREATE, 0o644)
+            .unwrap();
+        f.write_at(None, b"........").unwrap();
+        let n = f
+            .write_vectored_at(Some(2), &[b"AA", b"BBB", b"C"])
+            .unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(f.read_at(Some(0), 8).unwrap(), b"..AABBBC");
+        b.unlink("vec.bin").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn planned_fault_draws_per_constituent() {
+        use crate::fault::{FaultPlan, FaultRule, OpClass};
+        use crate::telemetry::Telemetry;
+        let inner = Arc::new(MemSinkBackend::new());
+        // Vectored-only rule on the 3rd logical write: the plain write
+        // consumes seq 1, the batch's constituents consume seq 2..4, so
+        // the fault lands inside the batch's *second* buffer.
+        let plan =
+            FaultPlan::new(1).rule(FaultRule::on(OpClass::Write).vectored().nth(3).short(0.25));
+        let b = FaultBackend::new(inner.clone(), plan, Arc::new(Telemetry::disabled()));
+        let mut f = b
+            .open("/short", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+            .unwrap();
+        // Plain writes are untouched by the vectored-only rule.
+        assert_eq!(f.write_at(Some(0), &[7u8; 8]).unwrap(), 8);
+        // The batch commits buffer 0 plus a short prefix of buffer 1.
+        let n = f
+            .write_vectored_at(Some(8), &[&[1u8; 1], &[2u8; 3], &[3u8; 4]])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(&inner.contents("/short").unwrap()[8..10], &[1, 2]);
+        assert_eq!(b.faults_injected(), 1);
+    }
+
+    #[test]
+    fn planned_fault_mid_batch_errno_surfaces_on_continuation() {
+        use crate::fault::{FaultPlan, FaultRule, OpClass};
+        use crate::telemetry::Telemetry;
+        let inner = Arc::new(MemSinkBackend::new());
+        // The 2nd logical write draws ENOSPC — mid-batch, so the call
+        // commits the clean prefix and the errno lands on the caller's
+        // continuation (the re-issue a serial path would have made).
+        let plan = FaultPlan::new(1).rule(FaultRule::on(OpClass::Write).nth(2).errno(Errno::NoSpc));
+        let b = FaultBackend::new(inner.clone(), plan, Arc::new(Telemetry::disabled()));
+        let mut f = b
+            .open("/mid", OpenFlags::WRONLY | OpenFlags::CREATE, 0o644)
+            .unwrap();
+        let n = f
+            .write_vectored_at(Some(0), &[&[1u8; 4], &[2u8; 4]])
+            .unwrap();
+        assert_eq!(n, 4, "clean prefix commits");
+        assert_eq!(
+            f.write_vectored_at(Some(4), &[&[2u8; 4]]),
+            Err(Errno::NoSpc),
+            "held errno surfaces on the continuation call"
+        );
+        // The hold-over is one-shot: the next batch draws normally.
+        assert_eq!(f.write_vectored_at(Some(4), &[&[2u8; 4]]).unwrap(), 4);
+        assert_eq!(b.faults_injected(), 1);
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //! * `--retry-attempts N` — max attempts for transient backend errors
 //!   (EAGAIN/EIO/ECONNRESET). Default 4; `1` disables retries.
 //!
+//! Performance (DESIGN.md §12):
+//!
+//! * `--coalesce[=off|MAX_BYTES,MAX_OPS]` — staged-write coalescing:
+//!   offset-contiguous writes parked on one descriptor merge into a
+//!   single vectored backend call. On by default for the worker-pool
+//!   modes (sched/staged) with budgets 1 MiB / 16 ops; off (and
+//!   meaningless) for ciod/zoid.
+//!
 //! Tracing (`iofwd::trace`; see DESIGN.md §11):
 //!
 //! * `--trace-out PATH` — export retained op spans as Chrome
@@ -42,7 +50,7 @@ use std::time::{Duration, Instant};
 
 use iofwd::backend::{FaultBackend, FileBackend};
 use iofwd::fault::{FaultPlan, RetryPolicy};
-use iofwd::server::{ForwardingMode, IonServer, ServerConfig};
+use iofwd::server::{CoalesceConfig, ForwardingMode, IonServer, ServerConfig};
 use iofwd::telemetry::{snapshot, Telemetry};
 use iofwd::trace::TraceExporter;
 use iofwd::transport::tcp::TcpAcceptor;
@@ -61,6 +69,9 @@ struct Options {
     retry_attempts: u32,
     trace_out: Option<String>,
     trace_sample: u64,
+    /// `None` = mode default (on for sched/staged, off for ciod/zoid);
+    /// `Some(None)` = forced off; `Some(Some(cfg))` = forced on.
+    coalesce: Option<Option<CoalesceConfig>>,
 }
 
 impl Options {
@@ -79,6 +90,7 @@ impl Options {
             retry_attempts: 4,
             trace_out: None,
             trace_sample: 0,
+            coalesce: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -114,6 +126,30 @@ impl Options {
                         die("--retry-attempts needs an integer (1 disables retries)");
                     })
                 }
+                // --coalesce            enable with mode defaults
+                // --coalesce=off        disable merging
+                // --coalesce=BYTES,OPS  enable with explicit budgets
+                "--coalesce" => opts.coalesce = Some(Some(CoalesceConfig::default())),
+                s if s.starts_with("--coalesce=") => {
+                    let v = &s["--coalesce=".len()..];
+                    opts.coalesce = if v == "off" {
+                        Some(None)
+                    } else {
+                        let (bytes, ops) = v
+                            .split_once(',')
+                            .unwrap_or_else(|| die("--coalesce needs 'off' or MAX_BYTES,MAX_OPS"));
+                        let max_bytes = bytes
+                            .parse()
+                            .unwrap_or_else(|_| die("--coalesce MAX_BYTES must be an integer"));
+                        let max_ops = ops
+                            .parse()
+                            .unwrap_or_else(|_| die("--coalesce MAX_OPS must be an integer"));
+                        if max_bytes == 0 || max_ops == 0 {
+                            die("--coalesce budgets must be nonzero");
+                        }
+                        Some(Some(CoalesceConfig { max_bytes, max_ops }))
+                    };
+                }
                 "--trace-out" => opts.trace_out = Some(take("--trace-out")),
                 "--trace-sample" => {
                     opts.trace_sample = take("--trace-sample").parse().unwrap_or_else(|_| {
@@ -127,6 +163,7 @@ impl Options {
                          [--stats-interval SECS] [--stats-json PATH] \
                          [--dump-trigger PATH] [--port-file PATH] \
                          [--fault-plan PATH] [--retry-attempts N] \
+                         [--coalesce[=off|MAX_BYTES,MAX_OPS]] \
                          [--trace-out PATH] [--trace-sample N]"
                     );
                     std::process::exit(0);
@@ -222,14 +259,28 @@ fn main() {
         );
         backend = Arc::new(FaultBackend::new(backend, plan, telemetry.clone()));
     }
-    let config = ServerConfig::new(mode)
+    let mut config = ServerConfig::new(mode)
         .with_telemetry(telemetry.clone())
         .with_retry_policy(RetryPolicy::with_attempts(opts.retry_attempts));
+    if let Some(coalesce) = opts.coalesce {
+        config = config.with_coalescing(coalesce);
+    }
+    let coalesce = config.coalesce;
     let server = IonServer::spawn(Box::new(acceptor), backend, config);
+    // The "listening" banner stays first on stderr: startup probes (and
+    // the CLI smoke test) key on it.
     eprintln!(
         "iofwdd: listening on {addr}, mode {}, root {}, {} worker(s), {} MiB BML",
         opts.mode, opts.root, opts.workers, opts.bml_mib
     );
+    match coalesce {
+        Some(c) => eprintln!(
+            "iofwdd: write coalescing ON — up to {} ops / {} KiB per vectored batch",
+            c.max_ops,
+            c.max_bytes >> 10
+        ),
+        None => eprintln!("iofwdd: write coalescing off"),
+    }
     eprintln!("iofwdd: press Ctrl-C to stop");
 
     // Poll loop: periodic stats at --stats-interval, on-demand dumps

@@ -22,6 +22,16 @@
 //! blocked earlier (no starvation of large requests behind a stream of
 //! small ones). This hand-off protocol is model-checked by the loom
 //! suite (`tests/loom_model.rs`, run with `RUSTFLAGS="--cfg loom"`).
+//!
+//! Lifetime under write coalescing (DESIGN.md §12): a staged buffer is
+//! normally released right after its own serial backend write. When the
+//! worker harvests a contiguous chain into one vectored call, every
+//! constituent's buffer is instead *lent* to the batch iovec (no copy)
+//! and all of them are released together at fan-out, after the batch's
+//! outcome has been attributed per op. Coalescing therefore never
+//! extends occupancy past the batch it rode in — the gauge still reads
+//! zero once the lane drains, which `kill_during_load_strands_no_bml_buffer`
+//! and the drain contract check.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;

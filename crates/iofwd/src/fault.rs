@@ -165,6 +165,11 @@ pub struct FaultRule {
     pub probability: f64,
     /// Fire on exactly the nth op this rule has seen (1-based).
     pub nth: Option<u64>,
+    /// Only match *vectored* (coalesced) writes — batches the daemon
+    /// merged from several forwarded ops and issued as one
+    /// `write_vectored_at`. Lets a plan aim at the coalescing path
+    /// specifically; plain rules match both shapes.
+    pub vectored: bool,
     pub action: FaultAction,
 }
 
@@ -177,12 +182,19 @@ impl FaultRule {
             path_glob: None,
             probability: 1.0,
             nth: None,
+            vectored: false,
             action: FaultAction::Errno(Errno::Io),
         }
     }
 
     pub fn path(mut self, glob: &str) -> FaultRule {
         self.path_glob = Some(glob.to_owned());
+        self
+    }
+
+    /// Restrict the rule to vectored (coalesced) writes.
+    pub fn vectored(mut self) -> FaultRule {
+        self.vectored = true;
         self
     }
 
@@ -247,7 +259,12 @@ impl FaultPlan {
     /// on read p=0.1 short=0.5
     /// on open path=/scratch/* errno=EIO
     /// on any p=0.01 delay_us=500
+    /// on write vectored p=0.5 short=0.25   # coalesced batches only
     /// ```
+    ///
+    /// The bare `vectored` token restricts a rule to coalesced
+    /// (vectored) writes; without it a `write` rule hits both single
+    /// and coalesced writes, each batch counting as one op.
     pub fn parse(text: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new(0);
         for (i, raw) in text.lines().enumerate() {
@@ -273,6 +290,15 @@ impl FaultPlan {
                     let mut rule = FaultRule::on(class);
                     let mut action = None;
                     for tok in tokens {
+                        if tok == "vectored" {
+                            if class != OpClass::Write {
+                                return Err(format!(
+                                    "line {line_no}: 'vectored' only applies to write rules"
+                                ));
+                            }
+                            rule.vectored = true;
+                            continue;
+                        }
                         let (key, val) = tok.split_once('=').ok_or_else(|| {
                             format!("line {line_no}: expected key=value, got '{tok}'")
                         })?;
@@ -349,8 +375,26 @@ impl FaultPlan {
         seq: u64,
         rng: &mut SimRng,
     ) -> Option<FaultAction> {
+        self.decide_vectored(class, path, seq, rng, false)
+    }
+
+    /// [`FaultPlan::decide`] with the op's *vectored* shape made
+    /// explicit, so `vectored`-flagged rules can single out coalesced
+    /// batches. A coalesced batch consumes exactly one draw per rule,
+    /// like any other op.
+    pub fn decide_vectored(
+        &self,
+        class: OpClass,
+        path: &str,
+        seq: u64,
+        rng: &mut SimRng,
+        vectored: bool,
+    ) -> Option<FaultAction> {
         for rule in &self.rules {
             if !rule.class.matches(class) {
+                continue;
+            }
+            if rule.vectored && !vectored {
                 continue;
             }
             if let Some(glob) = &rule.path_glob {
@@ -459,6 +503,32 @@ mod tests {
         assert!(FaultPlan::parse("on write nth=0 errno=EIO").is_err());
         assert!(FaultPlan::parse("bogus line").is_err());
         assert!(FaultPlan::parse("# only comments\n\n").is_ok());
+        // `vectored` is a write-rule refinement, not a general key.
+        assert!(FaultPlan::parse("on read vectored errno=EIO").is_err());
+        assert!(FaultPlan::parse("on write vectored errno=EIO").is_ok());
+    }
+
+    #[test]
+    fn vectored_rules_target_coalesced_writes_only() {
+        let plan = FaultPlan::parse("on write vectored errno=ENOSPC\n").unwrap();
+        assert!(plan.rules[0].vectored);
+        let mut rng = SimRng::new(0);
+        // Plain writes slip past a vectored-only rule...
+        assert!(plan
+            .decide_vectored(OpClass::Write, "/f", 1, &mut rng, false)
+            .is_none());
+        assert!(plan.decide(OpClass::Write, "/f", 2, &mut rng).is_none());
+        // ...coalesced batches are hit.
+        assert_eq!(
+            plan.decide_vectored(OpClass::Write, "/f", 3, &mut rng, true),
+            Some(FaultAction::Errno(Errno::NoSpc))
+        );
+        // An unflagged rule hits both shapes.
+        let both = FaultPlan::new(0).rule(FaultRule::on(OpClass::Write).errno(Errno::Io));
+        assert!(both
+            .decide_vectored(OpClass::Write, "/f", 1, &mut rng, true)
+            .is_some());
+        assert!(both.decide(OpClass::Write, "/f", 2, &mut rng).is_some());
     }
 
     #[test]

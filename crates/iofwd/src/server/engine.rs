@@ -447,6 +447,97 @@ impl Engine {
         outcome
     }
 
+    /// Whether staged writes may be merged into vectored batches.
+    /// A non-empty filter chain sees writes one at a time, so the
+    /// coalescing layer stands down rather than change what filters
+    /// observe.
+    pub fn coalescible(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Execute a batch of offset-contiguous staged writes on one
+    /// descriptor as a single vectored backend operation, fanning the
+    /// outcome back per constituent: parts fully covered by the bytes
+    /// the backend accepted succeed; the part containing the shortfall
+    /// and every later part fail with the batch's errno. Every part's
+    /// outcome is recorded in the descriptor database in batch order,
+    /// so deferred-error attribution (first error wins) lands on the
+    /// same op as serial execution against a backend whose errors are
+    /// positional.
+    ///
+    /// `base` is the first part's offset (`None` for a cursor chain —
+    /// short writes then resume at the cursor the backend advanced).
+    /// Parts must be contiguous: part *i+1* starts where part *i*
+    /// ends. With a non-empty filter chain (see
+    /// [`Engine::coalescible`]) the batch degrades to per-part serial
+    /// execution so filter semantics are unchanged.
+    pub fn execute_coalesced_write(
+        &self,
+        fd: iofwd_proto::Fd,
+        base: Option<u64>,
+        parts: &[(iofwd_proto::OpId, &[u8])],
+    ) -> Vec<OpOutcome> {
+        if !self.filters.is_empty() {
+            // Reconstruct each part's own offset from the chain shape.
+            let mut at = base;
+            return parts
+                .iter()
+                .map(|&(op, data)| {
+                    let outcome = self.execute_staged_write(fd, op, at, data);
+                    at = at.map(|o| o + data.len() as u64);
+                    outcome
+                })
+                .collect();
+        }
+        let total: usize = parts.iter().map(|(_, d)| d.len()).sum();
+        let mut written = 0usize;
+        let mut failure = None;
+        match self.db.object(fd) {
+            Ok(obj) => {
+                let mut o = obj.lock();
+                while written < total && failure.is_none() {
+                    // Rebuild the remaining iovec: drop fully-written
+                    // parts, slice the one the short write split.
+                    let mut bufs = Vec::with_capacity(parts.len());
+                    let mut start = 0usize;
+                    for (_, d) in parts {
+                        let end = start + d.len();
+                        if end > written && !d.is_empty() {
+                            bufs.push(&d[written.saturating_sub(start).min(d.len())..]);
+                        }
+                        start = end;
+                    }
+                    let at = base.map(|b| b + written as u64);
+                    match self.with_retries(|| o.write_vectored_at(at, &bufs)) {
+                        // A device accepting zero bytes with data
+                        // remaining is an error, as in write_fully.
+                        Ok(0) => failure = Some(Errno::Io),
+                        Ok(n) => written += n as usize,
+                        Err(e) => failure = Some(e),
+                    }
+                }
+            }
+            Err(e) => failure = Some(e),
+        }
+        // Fan the batch outcome back out per constituent op.
+        let mut out = Vec::with_capacity(parts.len());
+        let mut start = 0usize;
+        for &(op, d) in parts {
+            let end = start + d.len();
+            let outcome = match failure {
+                // Covered parts moved all their bytes: full success,
+                // even when a later part made the batch go short.
+                None => OpOutcome::Ok,
+                Some(_) if end <= written => OpOutcome::Ok,
+                Some(e) => OpOutcome::Failed(e),
+            };
+            self.db.finish_op(fd, op, outcome);
+            out.push(outcome);
+            start = end;
+        }
+        out
+    }
+
     fn data_read(&self, fd: iofwd_proto::Fd, offset: Option<u64>, len: u64) -> (Response, Bytes) {
         let (op, obj) = match self.db.begin_op(fd) {
             Ok(v) => v,
@@ -674,5 +765,182 @@ mod tests {
         assert_eq!(resp, Response::Ok { ret: 1 });
         let (_, data) = e.execute(&Request::Read { fd, len: 2 }, &Bytes::new());
         assert_eq!(&data[..], b"xy");
+    }
+
+    use crate::backend::BackendObject;
+    use iofwd_proto::{FileStat, Whence};
+
+    /// Position-sticky faulty backend for coalescing tests: every
+    /// positional write at or past `limit` fails with `errno`, and any
+    /// single call moves at most `cap` bytes (a POSIX short write).
+    /// Being a function of file position (not call count), serial and
+    /// coalesced execution must observe identical per-op outcomes.
+    struct StickyLimit {
+        inner: Arc<MemSinkBackend>,
+        cap: usize,
+        limit: u64,
+        errno: Errno,
+    }
+
+    struct StickyObj {
+        inner: Box<dyn crate::backend::BackendObject>,
+        cap: usize,
+        limit: u64,
+        errno: Errno,
+    }
+
+    impl BackendObject for StickyObj {
+        fn write_at(&mut self, offset: Option<u64>, data: &[u8]) -> Result<u64, Errno> {
+            let off = offset.expect("sticky test backend is positional-only");
+            if off >= self.limit {
+                return Err(self.errno);
+            }
+            let n = data.len().min(self.cap).min((self.limit - off) as usize);
+            self.inner.write_at(offset, &data[..n])
+        }
+
+        fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno> {
+            self.inner.read_at(offset, len)
+        }
+
+        fn seek(&mut self, offset: i64, whence: Whence) -> Result<u64, Errno> {
+            self.inner.seek(offset, whence)
+        }
+
+        fn sync(&mut self) -> Result<(), Errno> {
+            self.inner.sync()
+        }
+
+        fn fstat(&mut self) -> Result<FileStat, Errno> {
+            self.inner.fstat()
+        }
+    }
+
+    impl Backend for StickyLimit {
+        fn open(
+            &self,
+            path: &str,
+            flags: OpenFlags,
+            mode: u32,
+        ) -> Result<Box<dyn BackendObject>, Errno> {
+            Ok(Box::new(StickyObj {
+                inner: self.inner.open(path, flags, mode)?,
+                cap: self.cap,
+                limit: self.limit,
+                errno: self.errno,
+            }))
+        }
+
+        fn stat(&self, path: &str) -> Result<FileStat, Errno> {
+            self.inner.stat(path)
+        }
+
+        fn unlink(&self, path: &str) -> Result<(), Errno> {
+            self.inner.unlink(path)
+        }
+    }
+
+    fn begin(e: &Engine, fd: Fd) -> iofwd_proto::OpId {
+        match e.descriptor_db().begin_op(fd) {
+            Ok((op, _)) => op,
+            Err(err) => panic!("begin_op failed: {err:?}"),
+        }
+    }
+
+    #[test]
+    fn coalesced_write_success_and_cursor_chain() {
+        let (e, be) = engine();
+        let fd = open(&e, "/co");
+        let (a, b, c) = (begin(&e, fd), begin(&e, fd), begin(&e, fd));
+        // Positional chain [2, 8).
+        let parts: Vec<(iofwd_proto::OpId, &[u8])> = vec![(a, b"AB"), (b, b"CDE"), (c, b"F")];
+        let outcomes = e.execute_coalesced_write(fd, Some(2), &parts);
+        assert_eq!(outcomes, vec![OpOutcome::Ok; 3]);
+        assert_eq!(be.contents("/co").unwrap(), b"\0\0ABCDEF");
+        // Cursor chain: the engine-held cursor sits at 0 (positional
+        // writes leave it), so a None-base batch lands from there.
+        let (d, g) = (begin(&e, fd), begin(&e, fd));
+        let outcomes = e.execute_coalesced_write(fd, None, &[(d, b"xy"), (g, b"z")]);
+        assert_eq!(outcomes, vec![OpOutcome::Ok; 2]);
+        assert_eq!(&be.contents("/co").unwrap()[..3], b"xyz");
+        // No deferred error: fsync is clean.
+        assert_eq!(
+            e.execute(&Request::Fsync { fd }, &Bytes::new()).0,
+            Response::Ok { ret: 0 }
+        );
+    }
+
+    #[test]
+    fn coalesced_short_writes_complete_via_continuation() {
+        // cap=3 forces every backend call short; no error position.
+        let be = Arc::new(MemSinkBackend::new());
+        let sticky = Arc::new(StickyLimit {
+            inner: be.clone(),
+            cap: 3,
+            limit: u64::MAX,
+            errno: Errno::Io,
+        });
+        let e = Engine::new(sticky, None);
+        let fd = open(&e, "/short");
+        let (a, b) = (begin(&e, fd), begin(&e, fd));
+        let outcomes = e.execute_coalesced_write(fd, Some(0), &[(a, b"01234"), (b, b"56789")]);
+        assert_eq!(outcomes, vec![OpOutcome::Ok; 2]);
+        assert_eq!(be.contents("/short").unwrap(), b"0123456789");
+    }
+
+    #[test]
+    fn coalesced_error_fans_out_to_uncovered_ops_only() {
+        // Writes at/past byte 6 fail: part a ([0,4)) is covered, part b
+        // ([4,8)) straddles, part c ([8,10)) is untouched.
+        let be = Arc::new(MemSinkBackend::new());
+        let sticky = Arc::new(StickyLimit {
+            inner: be.clone(),
+            cap: usize::MAX,
+            limit: 6,
+            errno: Errno::NoSpc,
+        });
+        let e = Engine::new(sticky, None);
+        let fd = open(&e, "/fan");
+        let (a, b, c) = (begin(&e, fd), begin(&e, fd), begin(&e, fd));
+        let outcomes =
+            e.execute_coalesced_write(fd, Some(0), &[(a, b"AAAA"), (b, b"BBBB"), (c, b"CC")]);
+        assert_eq!(
+            outcomes,
+            vec![
+                OpOutcome::Ok,
+                OpOutcome::Failed(Errno::NoSpc),
+                OpOutcome::Failed(Errno::NoSpc),
+            ]
+        );
+        // The prefix the device accepted is on disk.
+        assert_eq!(be.contents("/fan").unwrap(), b"AAAABB");
+        // Deferred-error attribution: first failing op, its errno.
+        match e.execute(&Request::Fsync { fd }, &Bytes::new()).0 {
+            Response::DeferredErr { op, errno } => {
+                assert_eq!(op, b);
+                assert_eq!(errno, Errno::NoSpc);
+            }
+            other => panic!("expected deferred error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coalesced_write_on_dead_descriptor_fails_every_part() {
+        let (e, _) = engine();
+        let fd = open(&e, "/dead");
+        let (a, b) = (begin(&e, fd), begin(&e, fd));
+        // Retire the object out from under the batch.
+        e.descriptor_db().finish_op(fd, a, OpOutcome::Ok);
+        e.descriptor_db().finish_op(fd, b, OpOutcome::Ok);
+        e.execute(&Request::Close { fd }, &Bytes::new());
+        let (x, y) = (iofwd_proto::OpId(900), iofwd_proto::OpId(901));
+        let outcomes = e.execute_coalesced_write(fd, Some(0), &[(x, b"a"), (y, b"b")]);
+        assert_eq!(
+            outcomes,
+            vec![
+                OpOutcome::Failed(Errno::BadF),
+                OpOutcome::Failed(Errno::BadF),
+            ]
+        );
     }
 }

@@ -19,11 +19,12 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded};
-use iofwd_proto::{Errno, Frame, Request, Response, StageEcho, TraceContext, TraceExt};
+use iofwd_proto::{Errno, Frame, OpId, Request, Response, StageEcho, TraceContext, TraceExt};
 
 use super::engine::{op_kind, response_errno, Engine};
-use super::queue::{WorkItem, WorkQueue};
+use super::queue::{StagedPart, WorkItem, WorkQueue};
 use super::staged::FdSerializer;
+use super::CoalesceConfig;
 use crate::descdb::{BeginError, OpOutcome};
 use crate::telemetry::{Disposition, OpKind, OpSpan, Telemetry};
 use crate::transport::Conn;
@@ -296,9 +297,13 @@ pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQue
         }
         let (tx, rx) = bounded(1);
         span.enqueue_ns = telemetry.now_ns();
+        // `frame.data` moves into the item — `Bytes` would make a clone
+        // cheap, but the work item owns the payload from here on, so
+        // even a refcount bump is gratuitous. (CIOD's double copy at
+        // its proxy hop is deliberate paper fidelity; this is not that.)
         let pushed = queue.push(WorkItem::Sync {
             req: req.clone(),
-            data: frame.data.clone(),
+            data: frame.data,
             reply: tx,
             span,
         });
@@ -630,25 +635,133 @@ pub(crate) fn run_staged_inline(
             drop(buf);
             telemetry.complete(&span);
         }
+        // A coalesced batch racing shutdown (or left for the drain)
+        // still fans completion out to every constituent op.
+        item @ WorkItem::CoalescedWrite { .. } => {
+            execute_coalesced(engine, telemetry, item, 0, disposition);
+        }
         // Only staged writes are ever admitted to a serializer lane.
         WorkItem::Sync { .. } => {}
     }
 }
 
+/// Execute a coalesced batch of offset-contiguous staged writes as one
+/// vectored backend call and fan the result back to every constituent
+/// op: each part keeps its own `OpSpan` (dispatch/backend stamps are
+/// shared, as the parts genuinely share the backend interval), its own
+/// `finish_op` outcome in the DescDb, and its own BML buffer return.
+/// A short vectored write credits full success to the parts it covered
+/// and charges the error only to the parts (or tails) it did not.
+pub(crate) fn execute_coalesced(
+    engine: &Engine,
+    telemetry: &Telemetry,
+    item: WorkItem,
+    worker: u32,
+    disposition: Disposition,
+) {
+    let WorkItem::CoalescedWrite { fd, mut parts } = item else {
+        return;
+    };
+    let Some(first) = parts.first() else {
+        return;
+    };
+    let base = first.offset;
+    let now = telemetry.now_ns();
+    let total: u64 = parts.iter().map(|p| p.buf.len() as u64).sum();
+    for part in parts.iter_mut() {
+        part.span.dispatch_ns = now;
+        part.span.backend_start_ns = now;
+        part.span.worker = worker;
+    }
+    if telemetry.enabled() {
+        telemetry.coalesced_batches.inc();
+        telemetry.coalesced_ops.add(parts.len() as u64);
+        telemetry.coalesced_bytes.add(total);
+        telemetry.coalesce_width.record(parts.len() as u64);
+    }
+    let outcomes = {
+        // Inner scope: the borrows of `parts` end before the move-out
+        // fan-out below.
+        let descr: Vec<(OpId, &[u8])> = parts.iter().map(|p| (p.op, p.buf.as_slice())).collect();
+        engine.execute_coalesced_write(fd, base, &descr)
+    };
+    let done = telemetry.now_ns();
+    for (part, outcome) in parts.into_iter().zip(outcomes) {
+        let mut span = part.span;
+        span.backend_done_ns = done;
+        span.ok = matches!(outcome, OpOutcome::Ok);
+        if let OpOutcome::Failed(errno) = outcome {
+            span.errno = errno.to_wire();
+        }
+        span.disposition = disposition;
+        drop(part.buf); // return staging memory per constituent
+        telemetry.complete(&span);
+    }
+}
+
+/// The positional-read sort key for "elevator" dispatch. `if let`
+/// rather than a `match` over `Request` so the wire enum keeps exactly
+/// one exhaustive dispatch site (lint R3).
+fn pread_key(item: &WorkItem) -> Option<(iofwd_proto::Fd, u64)> {
+    if let WorkItem::Sync {
+        req: Request::Pread { fd, offset, .. },
+        ..
+    } = item
+    {
+        return Some((*fd, *offset));
+    }
+    None
+}
+
+/// "Elevator" read dispatch: within one popped batch, sort each maximal
+/// run of *consecutive* positional reads on the same descriptor by file
+/// offset. Only adjacent `Pread`s are reordered — they commute with
+/// each other, while anything else (cursor reads, writes, metadata)
+/// pins the run boundary so cross-op ordering is preserved exactly.
+fn elevator_sort_reads(items: &mut [WorkItem]) {
+    let mut i = 0;
+    while i < items.len() {
+        let Some((fd, _)) = pread_key(&items[i]) else {
+            i += 1;
+            continue;
+        };
+        let mut j = i + 1;
+        while j < items.len() && matches!(pread_key(&items[j]), Some((f, _)) if f == fd) {
+            j += 1;
+        }
+        if j - i > 1 {
+            items[i..j].sort_by_key(|it| match pread_key(it) {
+                Some((_, offset)) => offset,
+                None => 0, // unreachable: the run is all Preads
+            });
+        }
+        i = j;
+    }
+}
+
 /// Worker-pool loop: batch-dequeue ("I/O multiplexing per thread") and
-/// execute.
+/// execute. With `coalesce` set, a dequeued staged write additionally
+/// harvests the offset-contiguous prefix parked behind it on its
+/// serializer lane and executes the whole chain as one vectored write.
 pub fn worker_loop(
     worker: usize,
     batch: usize,
     queue: Arc<WorkQueue>,
     engine: Arc<Engine>,
     serializer: Arc<FdSerializer>,
+    coalesce: Option<CoalesceConfig>,
 ) {
     let telemetry = engine.telemetry().clone();
+    // Caller-owned batch buffer, reused across every scheduling pass so
+    // the steady state allocates nothing per dequeue.
+    let mut items: Vec<WorkItem> = Vec::new();
     loop {
-        let items = queue.pop_batch(worker, batch);
+        queue.pop_batch_into(worker, batch, &mut items);
         if items.is_empty() {
             return; // queue closed and drained
+        }
+        if coalesce.is_some() {
+            elevator_sort_reads(&mut items);
         }
         // Utilization sampling: the gauge counts workers currently
         // executing a batch, and the per-worker busy-ns counter
@@ -658,7 +771,7 @@ pub fn worker_loop(
         if telemetry.enabled() {
             telemetry.workers_busy.add(1);
         }
-        for item in items {
+        for item in items.drain(..) {
             match item {
                 WorkItem::Sync {
                     req,
@@ -687,6 +800,55 @@ pub fn worker_loop(
                     // lane, and every parked successor's BML buffer, on
                     // any path that skipped it.
                     let _guard = serializer.completion_guard(fd, queue.clone());
+                    // Coalescing: harvest the offset-contiguous prefix
+                    // parked behind this write on its lane and execute
+                    // the chain as one vectored backend call. Filters
+                    // disable merging (they are defined per-op).
+                    if let Some(cfg) = coalesce {
+                        if engine.coalescible() {
+                            let chain_end = offset.map(|o| o + buf.len() as u64);
+                            let extra = serializer.harvest_contiguous(
+                                fd,
+                                chain_end,
+                                cfg.max_ops.saturating_sub(1),
+                                cfg.max_bytes.saturating_sub(buf.len()),
+                            );
+                            if !extra.is_empty() {
+                                let mut parts = Vec::with_capacity(extra.len() + 1);
+                                parts.push(StagedPart {
+                                    op,
+                                    offset,
+                                    buf,
+                                    span,
+                                });
+                                for harvested in extra {
+                                    if let WorkItem::StagedWrite {
+                                        op,
+                                        offset,
+                                        buf,
+                                        span,
+                                        ..
+                                    } = harvested
+                                    {
+                                        parts.push(StagedPart {
+                                            op,
+                                            offset,
+                                            buf,
+                                            span,
+                                        });
+                                    }
+                                }
+                                execute_coalesced(
+                                    &engine,
+                                    &telemetry,
+                                    WorkItem::CoalescedWrite { fd, parts },
+                                    worker as u32 + 1,
+                                    Disposition::Completed,
+                                );
+                                continue; // lane guard drops here
+                            }
+                        }
+                    }
                     span.dispatch_ns = telemetry.now_ns();
                     span.backend_start_ns = span.dispatch_ns;
                     span.worker = worker as u32 + 1;
@@ -700,6 +862,19 @@ pub fn worker_loop(
                     }
                     drop(buf); // return staging memory before dispatching more
                     telemetry.complete(&span);
+                }
+                // Coalesced items are built worker-side and executed
+                // immediately, so none is ever *enqueued*; if one shows
+                // up anyway it owns no serializer lane — just complete
+                // every constituent.
+                item @ WorkItem::CoalescedWrite { .. } => {
+                    execute_coalesced(
+                        &engine,
+                        &telemetry,
+                        item,
+                        worker as u32 + 1,
+                        Disposition::Completed,
+                    );
                 }
             }
         }

@@ -16,7 +16,7 @@ mod queue;
 mod staged;
 
 pub use engine::{Engine, ServerStats, StatsSnapshot};
-pub use queue::{QueueDiscipline, WorkItem, WorkQueue};
+pub use queue::{QueueDiscipline, StagedPart, WorkItem, WorkQueue};
 pub use staged::FdSerializer;
 
 use std::sync::Arc;
@@ -66,6 +66,26 @@ impl ForwardingMode {
     }
 }
 
+/// Write-coalescing budgets: how much a worker may merge into a single
+/// vectored backend call when it finds offset-contiguous staged writes
+/// parked behind the one it dequeued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalesceConfig {
+    /// Upper bound on merged payload bytes per batch.
+    pub max_bytes: usize,
+    /// Upper bound on constituent ops per batch (including the lead).
+    pub max_ops: usize,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        CoalesceConfig {
+            max_bytes: 1 << 20,
+            max_ops: 16,
+        }
+    }
+}
+
 /// Daemon configuration.
 #[derive(Clone)]
 pub struct ServerConfig {
@@ -88,6 +108,11 @@ pub struct ServerConfig {
     /// exactly once unless they opt in. `iofwdd` enables
     /// [`RetryPolicy::standard`] by default.
     pub retry: RetryPolicy,
+    /// Staged-write coalescing budgets; `None` disables merging. On by
+    /// default for the worker-pool modes (Sched/AsyncStaged) — the only
+    /// modes with a queue for writes to park behind — and off (and
+    /// meaningless) for Ciod/Zoid, which execute inline.
+    pub coalesce: Option<CoalesceConfig>,
 }
 
 impl ServerConfig {
@@ -99,6 +124,12 @@ impl ServerConfig {
             filters: crate::filter::FilterChain::new(),
             telemetry: Arc::new(crate::telemetry::Telemetry::new()),
             retry: RetryPolicy::disabled(),
+            coalesce: match mode {
+                ForwardingMode::Sched { .. } | ForwardingMode::AsyncStaged { .. } => {
+                    Some(CoalesceConfig::default())
+                }
+                ForwardingMode::Ciod | ForwardingMode::Zoid => None,
+            },
         }
     }
 
@@ -130,6 +161,12 @@ impl ServerConfig {
     /// Retry transient backend errors per `policy` before failing an op.
     pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
+        self
+    }
+
+    /// Override the write-coalescing budgets (`None` disables merging).
+    pub fn with_coalescing(mut self, coalesce: Option<CoalesceConfig>) -> Self {
+        self.coalesce = coalesce;
         self
     }
 }
@@ -204,10 +241,11 @@ impl IonServer {
                         let engine = engine.clone();
                         let serializer = serializer.clone();
                         let batch = config.worker_batch;
+                        let coalesce = config.coalesce;
                         std::thread::Builder::new()
                             .name(format!("iofwd-worker-{w}"))
                             .spawn(move || {
-                                handlers::worker_loop(w, batch, queue, engine, serializer)
+                                handlers::worker_loop(w, batch, queue, engine, serializer, coalesce)
                             })
                             .expect("spawn worker")
                     })
@@ -400,6 +438,44 @@ impl IonServer {
                     report.deferred += 1;
                     if telemetry.enabled() {
                         telemetry.drain_deferred.inc();
+                    }
+                }
+                // A coalesced batch caught by the drain (workers are
+                // never killed mid-item, but the arm keeps the drain
+                // total): execute or defer every constituent.
+                item @ WorkItem::CoalescedWrite { .. } if started.elapsed() < deadline => {
+                    let n = match &item {
+                        WorkItem::CoalescedWrite { parts, .. } => parts.len(),
+                        _ => 0,
+                    };
+                    handlers::run_staged_inline(
+                        &self.engine,
+                        &telemetry,
+                        item,
+                        crate::telemetry::Disposition::DrainExecuted,
+                    );
+                    report.executed += n;
+                    if telemetry.enabled() {
+                        telemetry.drain_executed.add(n as u64);
+                    }
+                }
+                WorkItem::CoalescedWrite { fd, parts } => {
+                    for part in parts {
+                        self.engine.descriptor_db().finish_op(
+                            fd,
+                            part.op,
+                            OpOutcome::Failed(Errno::Io),
+                        );
+                        drop(part.buf);
+                        let mut span = part.span;
+                        span.ok = false;
+                        span.errno = Errno::Io.to_wire();
+                        span.disposition = crate::telemetry::Disposition::DrainDeferred;
+                        telemetry.complete(&span);
+                        report.deferred += 1;
+                        if telemetry.enabled() {
+                            telemetry.drain_deferred.inc();
+                        }
                     }
                 }
                 // Sync items carry no BML memory and no recorded op;

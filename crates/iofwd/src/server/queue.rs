@@ -47,6 +47,30 @@ pub enum WorkItem {
         buf: BmlBuffer,
         span: OpSpan,
     },
+    /// Offset-contiguous staged writes on one descriptor, merged by the
+    /// coalescing layer and issued to the backend as a single vectored
+    /// write over the constituents' original BML buffers (no copy).
+    /// Completion fans back out per constituent: every part keeps its
+    /// own `OpId` (descdb outcome) and `OpSpan` (lifecycle), and every
+    /// part's span must be completed on every exit path — success,
+    /// short-write split, error, or shutdown drain (lint rule R7).
+    CoalescedWrite {
+        fd: Fd,
+        /// In batch order; offsets ascend contiguously (or are all
+        /// `None` for a cursor-write chain). Never empty.
+        parts: Vec<StagedPart>,
+    },
+}
+
+/// One constituent of a [`WorkItem::CoalescedWrite`]: exactly the
+/// payload of the [`WorkItem::StagedWrite`] it was merged from, minus
+/// the shared descriptor.
+pub struct StagedPart {
+    pub op: OpId,
+    /// `Some` for pwrite, `None` for a cursor write.
+    pub offset: Option<u64>,
+    pub buf: BmlBuffer,
+    pub span: OpSpan,
 }
 
 /// Queueing discipline, for the ablation in DESIGN.md §5.
@@ -164,16 +188,30 @@ impl WorkQueue {
 
     /// Dequeue up to `batch` tasks for `worker`, blocking while empty.
     /// Returns an empty vec once the queue is closed and drained.
+    ///
+    /// Convenience wrapper over [`Self::pop_batch_into`]; the worker
+    /// hot loop uses the `_into` form to reuse one buffer per thread
+    /// instead of allocating a fresh `Vec` per drain.
     pub fn pop_batch(&self, worker: usize, batch: usize) -> Vec<WorkItem> {
+        let mut out = Vec::new();
+        self.pop_batch_into(worker, batch, &mut out);
+        out
+    }
+
+    /// Dequeue up to `batch` tasks for `worker` into `out` (cleared
+    /// first), blocking while empty. Leaves `out` empty once the queue
+    /// is closed and drained. The caller owns — and reuses — the
+    /// buffer, so a long-lived worker allocates its batch storage once.
+    pub fn pop_batch_into(&self, worker: usize, batch: usize, out: &mut Vec<WorkItem>) {
         assert!(batch > 0);
+        out.clear();
         let mut s = self.state.lock();
         loop {
             if s.aborted {
                 // Degraded shutdown: remaining items belong to the
                 // drain, not the workers.
-                return Vec::new();
+                return;
             }
-            let mut out = Vec::new();
             match self.discipline {
                 QueueDiscipline::SharedFifo => {
                     while out.len() < batch {
@@ -214,10 +252,10 @@ impl WorkQueue {
                         .record_shard(worker, out.len() as u64);
                     self.telemetry.worker_dispatch.add(worker, out.len() as u64);
                 }
-                return out;
+                return;
             }
             if s.closed {
-                return Vec::new();
+                return;
             }
             self.cv.wait(&mut s);
         }
@@ -328,6 +366,25 @@ mod tests {
         // Pops never lower the high-water mark.
         q.push(sync_item(9)).unwrap();
         assert_eq!(q.depth_high_water(), 5);
+    }
+
+    #[test]
+    fn pop_batch_into_reuses_and_clears_caller_buffer() {
+        let q = WorkQueue::new(QueueDiscipline::SharedFifo, 1);
+        for i in 0..4 {
+            q.push(sync_item(i)).unwrap();
+        }
+        let mut buf = Vec::new();
+        q.pop_batch_into(0, 3, &mut buf);
+        assert_eq!(buf.iter().map(tag_of).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let cap = buf.capacity();
+        // Stale contents from the previous drain must not leak through.
+        q.pop_batch_into(0, 3, &mut buf);
+        assert_eq!(buf.iter().map(tag_of).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(buf.capacity(), cap, "reused allocation, no regrow");
+        q.close();
+        q.pop_batch_into(0, 3, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

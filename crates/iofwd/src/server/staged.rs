@@ -87,6 +87,66 @@ impl FdSerializer {
         }
     }
 
+    /// Harvest parked staged writes from the front of `fd`'s lane while
+    /// they extend a contiguous chain: the coalescing layer's feed.
+    ///
+    /// `chain_end` is where the worker's in-flight write ends —
+    /// `Some(offset + len)` for a positional write, `None` for a cursor
+    /// write. A parked `StagedWrite` joins the chain when it is the
+    /// same shape (positional starting exactly at the chain end, or
+    /// cursor following cursor) and fits `max_bytes`/`max_ops`. The
+    /// first non-joining item stops the harvest and stays parked, so
+    /// per-lane FIFO order is preserved: harvested items execute in
+    /// the batch, ahead of everything still pending, exactly as they
+    /// would have serially. The lane stays busy; the caller's
+    /// completion releases whatever remains.
+    pub fn harvest_contiguous(
+        &self,
+        fd: Fd,
+        chain_end: Option<u64>,
+        max_ops: usize,
+        max_bytes: usize,
+    ) -> Vec<WorkItem> {
+        let mut out = Vec::new();
+        let mut end = chain_end;
+        let mut bytes = 0usize;
+        let mut lanes = self.lanes.lock();
+        let Some(lane) = lanes.get_mut(&fd) else {
+            return out;
+        };
+        while out.len() < max_ops {
+            let joins = match lane.pending.front() {
+                Some(WorkItem::StagedWrite { offset, buf, .. }) => {
+                    let contiguous = match (end, offset) {
+                        // A cursor write extends a cursor chain...
+                        (None, None) => true,
+                        // ...a positional write extends a positional
+                        // chain only from exactly the chain end.
+                        (Some(e), Some(o)) => *o == e,
+                        _ => false,
+                    };
+                    contiguous && bytes + buf.len() <= max_bytes
+                }
+                _ => false,
+            };
+            if !joins {
+                break;
+            }
+            let Some(item) = lane.pending.pop_front() else {
+                break;
+            };
+            if let WorkItem::StagedWrite {
+                offset, ref buf, ..
+            } = item
+            {
+                bytes += buf.len();
+                end = offset.map(|o| o + buf.len() as u64);
+            }
+            out.push(item);
+        }
+        out
+    }
+
     /// Park an item that could not be re-enqueued.
     fn orphan(&self, item: WorkItem) {
         self.orphans.lock().push(item);
@@ -157,6 +217,76 @@ mod tests {
             } => fd.0,
             _ => unreachable!(),
         }
+    }
+
+    fn staged(bml: &crate::bml::Bml, tag: u32, offset: Option<u64>, len: usize) -> WorkItem {
+        let mut buf = bml.acquire(len).unwrap();
+        buf.fill_from(&vec![tag as u8; len]);
+        WorkItem::StagedWrite {
+            fd: Fd(1),
+            op: iofwd_proto::OpId(tag as u64),
+            offset,
+            buf,
+            span: crate::telemetry::OpSpan::default(),
+        }
+    }
+
+    fn staged_tag(i: &WorkItem) -> u32 {
+        match i {
+            WorkItem::StagedWrite { op, .. } => op.0 as u32,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn harvest_takes_contiguous_prefix_only() {
+        let bml = crate::bml::Bml::new(1 << 20);
+        let s = FdSerializer::new();
+        // In-flight positional write covering [0, 100).
+        assert!(s.admit(Fd(1), staged(&bml, 0, Some(0), 100)).is_some());
+        // Parked: two contiguous successors, then a gap, then another.
+        assert!(s.admit(Fd(1), staged(&bml, 1, Some(100), 50)).is_none());
+        assert!(s.admit(Fd(1), staged(&bml, 2, Some(150), 50)).is_none());
+        assert!(s.admit(Fd(1), staged(&bml, 3, Some(999), 50)).is_none());
+        assert!(s.admit(Fd(1), staged(&bml, 4, Some(1049), 50)).is_none());
+        let got = s.harvest_contiguous(Fd(1), Some(100), 16, 1 << 20);
+        assert_eq!(got.iter().map(staged_tag).collect::<Vec<_>>(), vec![1, 2]);
+        // The gap item (and its successor) stay parked, in order.
+        assert_eq!(s.parked(), 2);
+        let next = s.complete(Fd(1)).unwrap();
+        assert_eq!(staged_tag(&next), 3);
+    }
+
+    #[test]
+    fn harvest_respects_budgets_and_shape() {
+        let bml = crate::bml::Bml::new(1 << 20);
+        let s = FdSerializer::new();
+        assert!(s.admit(Fd(1), staged(&bml, 0, None, 10)).is_some());
+        for t in 1..=5 {
+            assert!(s.admit(Fd(1), staged(&bml, t, None, 10)).is_none());
+        }
+        // A cursor chain harvests cursor writes, capped by max_ops...
+        let got = s.harvest_contiguous(Fd(1), None, 2, 1 << 20);
+        assert_eq!(got.iter().map(staged_tag).collect::<Vec<_>>(), vec![1, 2]);
+        // ...and by max_bytes (3 fits alone; 4 would exceed 15 bytes).
+        let got = s.harvest_contiguous(Fd(1), None, 16, 15);
+        assert_eq!(got.iter().map(staged_tag).collect::<Vec<_>>(), vec![3]);
+        // A positional chain never harvests cursor writes.
+        assert!(s
+            .harvest_contiguous(Fd(1), Some(40), 16, 1 << 20)
+            .is_empty());
+        assert_eq!(s.parked(), 2);
+    }
+
+    #[test]
+    fn harvest_ignores_unknown_lane_and_sync_items() {
+        let s = FdSerializer::new();
+        assert!(s.harvest_contiguous(Fd(9), Some(0), 16, 1 << 20).is_empty());
+        assert!(s.admit(Fd(1), item(10)).is_some());
+        assert!(s.admit(Fd(1), item(11)).is_none());
+        // A parked Sync item never joins a write chain.
+        assert!(s.harvest_contiguous(Fd(1), None, 16, 1 << 20).is_empty());
+        assert_eq!(s.parked(), 1);
     }
 
     #[test]

@@ -29,6 +29,14 @@
 //! completion (`iofwdd --trace-sample N`; 0 disables self-sampling).
 //! Retention is bounded ([`TraceExporter::with_capacity`]); overflow
 //! increments a drop counter rather than growing without bound.
+//!
+//! Coalesced writes (DESIGN.md §12): when the staged pipeline merges a
+//! contiguous chain into one vectored backend call, each constituent op
+//! still completes its *own* span — on a timeline the chain renders as
+//! stacked per-op slices sharing one `dispatch_ns`/backend interval
+//! (the batch genuinely occupied the backend once, on behalf of all of
+//! them), while `enqueue_ns` stays per-op, so queue-wait attribution
+//! remains correct per constituent.
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;

@@ -163,7 +163,10 @@ fn kill_during_load_strands_no_bml_buffer() {
         2.0 * 1024.0 * 1024.0,
         Duration::ZERO,
     ));
-    let config = staged_config(2, 4 << 20);
+    // Coalescing off: this test targets the *serial* backlog drain.
+    // Merged, the parked chain would execute as one vectored call that
+    // simply outlives the deadline, leaving the drain nothing to defer.
+    let config = staged_config(2, 4 << 20).with_coalescing(None);
     let telemetry = config.telemetry.clone();
     let hub = MemHub::new();
     let server = IonServer::spawn(Box::new(hub.listener()), slow, config);

@@ -2,7 +2,7 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — the invariant linter. Six rules the compiler cannot
+//! * `lint` — the invariant linter. Seven rules the compiler cannot
 //!   enforce but this codebase depends on (see DESIGN.md, "Enforced
 //!   invariants"):
 //!   - **R1** Simulation crates (`simcore`, `bgsim`, `bgp-model`,
@@ -28,6 +28,10 @@
 //!     the span to `Telemetry::complete` in the same file, so no op
 //!     type can silently ship half-timed spans to the flight recorder
 //!     or the trace exporter.
+//!   - **R7** Every file handling `WorkItem::CoalescedWrite` (outside
+//!     the declaring enum and test code) must stamp a `.disposition`
+//!     and reach `Telemetry::complete`, so no exit path can drop a
+//!     constituent op's span when a batch fans back out.
 //!
 //!   Known-good exceptions live in `xtask/lint.allow` (one per line:
 //!   `R<n> <path> -- <justification>`, at most [`MAX_ALLOW`] entries).
@@ -182,7 +186,7 @@ fn parse_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
         let rule = parts
             .next()
             .and_then(Rule::parse)
-            .ok_or_else(|| format!("lint.allow:{line_no}: expected R1..R6"))?;
+            .ok_or_else(|| format!("lint.allow:{line_no}: expected R1..R7"))?;
         let path = parts
             .next()
             .ok_or_else(|| format!("lint.allow:{line_no}: expected a file path"))?

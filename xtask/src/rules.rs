@@ -21,6 +21,10 @@ pub enum Rule {
     /// Every runtime `OpSpan::begin` site must stamp the full lifecycle
     /// (enqueue/dispatch/reply) and complete the span.
     R6,
+    /// Every file handling `CoalescedWrite` batches must fan completion
+    /// out per constituent: stamp a disposition and reach
+    /// `Telemetry::complete` on every exit path.
+    R7,
 }
 
 impl Rule {
@@ -32,6 +36,7 @@ impl Rule {
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
+            "R7" => Some(Rule::R7),
             _ => None,
         }
     }
@@ -46,6 +51,7 @@ impl std::fmt::Display for Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::R6 => "R6",
+            Rule::R7 => "R7",
         })
     }
 }
@@ -114,6 +120,7 @@ pub fn check_file(rel: &Path, source: &str) -> Vec<Violation> {
     check_r4(rel, source, &masked, &mut out);
     if !is_test_file(&unix) {
         check_r6(rel, &masked, &mut out);
+        check_r7(rel, &masked, &unix, &mut out);
     }
     if NO_FMT_FILES.contains(&unix.as_str())
         || (unix.starts_with("crates/iofwd-telemetry/src/")
@@ -524,6 +531,52 @@ fn check_r6(rel: &Path, masked: &str, out: &mut Vec<Violation>) {
     }
 }
 
+// ---------------------------------------------------------------- R7
+
+/// The file that *declares* `WorkItem::CoalescedWrite` (an enum variant
+/// constructs nothing) is out of R7's scope.
+const R7_DECL_FILE: &str = "crates/iofwd/src/server/queue.rs";
+
+/// A coalesced batch carries one `OpSpan` per constituent; losing any
+/// of them silently halves the flight recorder. File-granular like R6
+/// (batches legitimately cross functions): any non-test file that
+/// handles `CoalescedWrite` must both stamp a `.disposition` and reach
+/// a `.complete(...)` call, or some exit path drops constituent spans.
+fn check_r7(rel: &Path, masked: &str, unix: &str, out: &mut Vec<Violation>) {
+    if unix == R7_DECL_FILE {
+        return;
+    }
+    let tests = test_regions(masked);
+    let in_tests = |pos: usize| tests.iter().any(|&(a, b)| pos >= a && pos <= b);
+    let mut site = None;
+    for pos in find_words(masked, "CoalescedWrite") {
+        if !in_tests(pos) {
+            site = Some(pos);
+            break;
+        }
+    }
+    let Some(pos) = site else { return };
+    let mut missing: Vec<&str> = Vec::new();
+    if !has_stamp(masked, "disposition") {
+        missing.push("a `.disposition` stamp");
+    }
+    if !masked.contains(".complete(") {
+        missing.push("a `.complete(...)` call");
+    }
+    if !missing.is_empty() {
+        out.push(Violation {
+            rule: Rule::R7,
+            path: rel.to_path_buf(),
+            line: line_of(masked, pos),
+            message: format!(
+                "`CoalescedWrite` handled without {} in this file — every constituent's \
+                 span must be dispositioned and completed on all exit paths",
+                missing.join(" or ")
+            ),
+        });
+    }
+}
+
 // ---------------------------------------------------------------- R4
 
 fn check_r4(rel: &Path, source: &str, masked: &str, out: &mut Vec<Violation>) {
@@ -674,6 +727,38 @@ mod tests {
         assert!(check("crates/iofwd/tests/trace_e2e.rs", bare)
             .iter()
             .all(|v| v.rule != Rule::R6));
+    }
+
+    #[test]
+    fn r7_requires_constituent_completion() {
+        let bad = "fn f(item: WorkItem) { if let WorkItem::CoalescedWrite { fd, parts } = item \
+                   { run(fd, parts); } }";
+        let v = check("crates/iofwd/src/server/handlers.rs", bad);
+        let r7: Vec<_> = v.iter().filter(|v| v.rule == Rule::R7).collect();
+        assert_eq!(r7.len(), 1);
+        assert!(r7[0].message.contains("disposition"));
+        assert!(r7[0].message.contains("complete"));
+    }
+
+    #[test]
+    fn r7_accepts_completion_and_exempts_decl_and_tests() {
+        let good = "fn f(item: WorkItem, t: &Telemetry) { if let WorkItem::CoalescedWrite \
+                    { parts, .. } = item { for p in parts { let mut s = p.span; \
+                    s.disposition = d; t.complete(&s); } } }";
+        assert!(check("crates/iofwd/src/server/handlers.rs", good)
+            .iter()
+            .all(|v| v.rule != Rule::R7));
+        // The declaring file constructs nothing.
+        let decl = "pub enum WorkItem { CoalescedWrite { fd: Fd, parts: Vec<StagedPart> } }";
+        assert!(check("crates/iofwd/src/server/queue.rs", decl)
+            .iter()
+            .all(|v| v.rule != Rule::R7));
+        // Test code is out of scope.
+        let in_tests = "#[cfg(test)]\nmod tests { fn g() { let _ = WorkItem::CoalescedWrite \
+                        { fd, parts }; } }";
+        assert!(check("crates/iofwd/src/server/mod.rs", in_tests)
+            .iter()
+            .all(|v| v.rule != Rule::R7));
     }
 
     #[test]
