@@ -13,7 +13,8 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use iofwd_proto::Fd;
-use parking_lot::Mutex;
+
+use crate::sync::Mutex;
 
 use super::queue::{WorkItem, WorkQueue};
 

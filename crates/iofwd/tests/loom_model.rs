@@ -1,7 +1,7 @@
-//! Model-checked concurrency tests for the BML, the work queue, and the
-//! telemetry flight recorder — the protocols whose blocking/hand-off or
-//! lock-free publication logic cannot be trusted to a handful of
-//! wall-clock interleavings.
+//! Model-checked concurrency tests for the BML, the work queue, the
+//! coalescing lane serializer, and the telemetry flight recorder — the
+//! protocols whose blocking/hand-off or lock-free publication logic
+//! cannot be trusted to a handful of wall-clock interleavings.
 //!
 //! Build and run with:
 //!
@@ -25,8 +25,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bytes::Bytes;
 use iofwd::bml::Bml;
-use iofwd::server::{QueueDiscipline, WorkItem, WorkQueue};
-use iofwd_proto::{Fd, Request};
+use iofwd::server::{FdSerializer, QueueDiscipline, WorkItem, WorkQueue};
+use iofwd_proto::{Fd, OpId, Request};
 use loomlite::sync::Arc;
 use loomlite::thread;
 
@@ -345,5 +345,116 @@ fn queue_push_racing_close_returns_queue_closed() {
     assert!(
         REJECTED.load(Ordering::SeqCst) > 0,
         "no schedule explored push-after-close"
+    );
+}
+
+fn staged_item(bml: &Bml, tag: u64, offset: Option<u64>, len: usize) -> WorkItem {
+    let mut buf = bml.acquire(len).expect("BML open and under budget");
+    buf.fill_from(&vec![tag as u8; len]);
+    WorkItem::StagedWrite {
+        fd: Fd(1),
+        op: OpId(tag),
+        offset,
+        buf,
+        span: iofwd::telemetry::OpSpan::default(),
+    }
+}
+
+fn staged_tag(item: &WorkItem) -> u64 {
+    match item {
+        WorkItem::StagedWrite { op, .. } => op.0,
+        _ => u64::MAX,
+    }
+}
+
+/// The PR 5 coalescing path racing shutdown: a worker holds fd 1's lane
+/// (op 0 in flight), harvests the contiguous parked successor (op 1)
+/// into its batch, and lets its drop-safe `CompletionGuard` re-enqueue
+/// the non-contiguous remainder (op 2) — while another thread closes
+/// the work queue. Depending on the schedule the re-enqueue either
+/// lands on the queue (drained at shutdown) or loses to close and is
+/// parked as an orphan (collected by `drain_all`). In EVERY
+/// interleaving each constituent op is *either* executed *or* deferred
+/// to the shutdown drain — never both, never neither — and no BML
+/// buffer is stranded. The cross-schedule counters prove both race
+/// outcomes are actually explored.
+#[test]
+fn coalesce_harvest_racing_close_never_splits_or_strands_ops() {
+    static ENQUEUED: AtomicUsize = AtomicUsize::new(0);
+    static ORPHANED: AtomicUsize = AtomicUsize::new(0);
+    ENQUEUED.store(0, Ordering::SeqCst);
+    ORPHANED.store(0, Ordering::SeqCst);
+    loomlite::model(|| {
+        let bml = Bml::new(1 << 20);
+        let queue = Arc::new(WorkQueue::new(QueueDiscipline::SharedFifo, 1));
+        let serializer = Arc::new(FdSerializer::new());
+        // Op 0 in flight on the lane; op 1 parked contiguous with it;
+        // op 2 parked behind a gap (stays after the harvest, so the
+        // completion guard has a successor to re-enqueue).
+        let inflight = serializer
+            .admit(Fd(1), staged_item(&bml, 0, Some(0), 100))
+            .expect("fresh lane admits the first item");
+        assert!(serializer
+            .admit(Fd(1), staged_item(&bml, 1, Some(100), 50))
+            .is_none());
+        assert!(serializer
+            .admit(Fd(1), staged_item(&bml, 2, Some(999), 50))
+            .is_none());
+
+        let worker = {
+            let serializer = serializer.clone();
+            let queue = queue.clone();
+            thread::spawn(move || {
+                let guard = serializer.completion_guard(Fd(1), queue);
+                let batch = serializer.harvest_contiguous(Fd(1), Some(100), 16, 1 << 20);
+                let mut executed: Vec<u64> = vec![staged_tag(&inflight)];
+                executed.extend(batch.iter().map(staged_tag));
+                // "Execute": buffers return to the BML as items drop.
+                drop(inflight);
+                drop(batch);
+                drop(guard); // completes the lane, re-enqueues op 2
+                executed
+            })
+        };
+        queue.close();
+        let executed = worker.join().expect("worker panicked");
+
+        // Shutdown drain: whatever landed on the queue before close
+        // lost the race into it, plus every parked/orphaned item.
+        let mut deferred: Vec<u64> = queue.pop_batch(0, 16).iter().map(staged_tag).collect();
+        if !deferred.is_empty() {
+            ENQUEUED.fetch_add(1, Ordering::SeqCst);
+        }
+        let drained = serializer.drain_all();
+        if !drained.is_empty() {
+            ORPHANED.fetch_add(1, Ordering::SeqCst);
+        }
+        deferred.extend(drained.iter().map(staged_tag));
+        drop(drained);
+
+        assert_eq!(
+            executed,
+            vec![0, 1],
+            "harvest must take exactly the contiguous prefix"
+        );
+        assert_eq!(
+            deferred,
+            vec![2],
+            "op 2 deferred exactly once: {deferred:?}"
+        );
+        for op in &executed {
+            assert!(!deferred.contains(op), "op {op} both executed and deferred");
+        }
+        assert_eq!(serializer.parked(), 0);
+        assert_eq!(serializer.orphaned(), 0);
+        assert_eq!(bml.outstanding(), 0, "BML buffer stranded at shutdown");
+    });
+    assert!(
+        ENQUEUED.load(Ordering::SeqCst) > 0,
+        "no schedule explored re-enqueue-before-close"
+    );
+    assert!(
+        ORPHANED.load(Ordering::SeqCst) > 0,
+        "no schedule explored the orphan (close-won) path"
     );
 }

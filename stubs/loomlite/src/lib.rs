@@ -478,6 +478,15 @@ pub mod sync {
         }
     }
 
+    // Like every loomlite primitive, this is only usable inside
+    // `model(..)` — it lets `#[derive(Default)]` types carry a Mutex
+    // under both cfgs.
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
     impl<T: ?Sized> Mutex<T> {
         pub fn lock(&self) -> MutexGuard<'_, T> {
             let (sched, me) = current();

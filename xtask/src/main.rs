@@ -35,6 +35,17 @@
 //!
 //!   Known-good exceptions live in `xtask/lint.allow` (one per line:
 //!   `R<n> <path> -- <justification>`, at most [`MAX_ALLOW`] entries).
+//!   Stale entries — suppressions whose finding no longer exists — fail
+//!   the run.
+//!
+//! * `analyze` — the interprocedural concurrency analyzer: builds
+//!   per-function summaries (locks, blocking calls, BML buffer events)
+//!   for `iofwd` / `iofwd-proto` / `iofwd-telemetry`, propagates them
+//!   over a name-resolution call graph, and reports lock-order cycles
+//!   (A1), blocking-under-lock (A2), and BML buffer leak paths (A3).
+//!   `--json` emits a machine-readable report on stdout. Exceptions
+//!   live in `xtask/analyze.allow` (same shape as `lint.allow`); see
+//!   DESIGN.md §13 for rule semantics and approximations.
 //!
 //! * `loom` — run the loomlite model-checking suite
 //!   (`crates/iofwd/tests/loom_model.rs`) with `RUSTFLAGS="--cfg loom"`.
@@ -44,14 +55,11 @@
 //!   nightly toolchain has `rust-src`; explains otherwise.
 
 use std::collections::HashSet;
-use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
-mod lexer;
-mod rules;
-
-use rules::{Rule, Violation};
+use xtask::rules::{self, Rule};
+use xtask::{analyze, collect_rs_files};
 
 /// Hard cap on `xtask/lint.allow` so the escape hatch stays an escape
 /// hatch; growing past this means fixing code, not the allowlist.
@@ -62,6 +70,7 @@ fn main() -> ExitCode {
     let root = workspace_root();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&root),
+        Some("analyze") => analyze::run(&root, args.iter().any(|a| a == "--json")),
         Some("loom") => run_loom(&root),
         Some("miri") => run_miri(&root),
         Some("tsan") => run_tsan(&root),
@@ -78,7 +87,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask <lint|loom|miri|tsan>");
+    eprintln!("usage: cargo xtask <lint|analyze [--json]|loom|miri|tsan>");
 }
 
 /// The workspace root: xtask is always invoked via `cargo run` from the
@@ -140,18 +149,23 @@ fn lint(root: &Path) -> ExitCode {
             }
         }
     }
+    // A stale entry means the suppressed finding no longer exists: the
+    // suppression must not outlive its bug, so this is a hard failure.
+    let mut stale = 0usize;
     for (i, a) in allow.iter().enumerate() {
         if !used.contains(&i) {
+            stale += 1;
             eprintln!(
-                "xtask lint: warning: stale allowlist entry (lint.allow:{}): {} {}",
+                "xtask lint: stale allowlist entry (lint.allow:{}): {} {} — remove it",
                 a.line_no, a.rule, a.path
             );
         }
     }
 
-    if reported > 0 {
+    if reported > 0 || stale > 0 {
         eprintln!(
-            "xtask lint: {reported} violation(s) in {} file(s) scanned",
+            "xtask lint: {reported} violation(s), {stale} stale allowlist entr(ies) in {} \
+             file(s) scanned",
             files.len()
         );
         ExitCode::FAILURE
@@ -207,24 +221,6 @@ fn parse_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
         ));
     }
     Ok(entries)
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            let name = entry.file_name();
-            if name == "target" || name == ".git" {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
 }
 
 // ---------------------------------------------------------------------
@@ -343,18 +339,5 @@ fn exit_from(status: std::io::Result<std::process::ExitStatus>, what: &str) -> E
             eprintln!("xtask: could not run {what}: {e}");
             ExitCode::FAILURE
         }
-    }
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.path.display(),
-            self.line,
-            self.rule,
-            self.message
-        )
     }
 }

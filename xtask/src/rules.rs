@@ -63,6 +63,19 @@ pub struct Violation {
     pub message: String,
 }
 
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
 /// Crates whose `src/` trees must use the simulated clock only.
 const SIM_CRATES: &[&str] = &["simcore", "bgsim", "bgp-model", "madbench"];
 
@@ -168,7 +181,7 @@ fn check_r1(rel: &Path, masked: &str, out: &mut Vec<Violation>) {
 // ---------------------------------------------------------------- R2
 
 /// Byte ranges covered by `#[cfg(test)]`-gated items (whole item body).
-fn test_regions(masked: &str) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(masked: &str) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     for marker in ["#[cfg(test)]", "#[cfg(all(test"] {
         let mut start = 0;
@@ -200,7 +213,7 @@ fn test_regions(masked: &str) -> Vec<(usize, usize)> {
 }
 
 /// Index of the `}` matching the `{` at `open`.
-fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+pub(crate) fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
     let mut depth = 0usize;
     let mut i = open;
     while i < bytes.len() {
