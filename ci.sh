@@ -42,94 +42,39 @@ cargo build --release --workspace
 step "test --release"
 cargo test -q --release --workspace
 
-step "telemetry smoke (iofwdd stats -> iofwd-cp snapshot)"
-SMOKE=$(mktemp -d)
-trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
-target/release/iofwdd --listen 127.0.0.1:0 --root "$SMOKE/root" \
-    --mode staged --workers 2 --stats-interval 1 \
-    --stats-json "$SMOKE/stats.json" --port-file "$SMOKE/port" \
-    2>"$SMOKE/daemon.log" &
-DAEMON_PID=$!
-for _ in $(seq 50); do [ -s "$SMOKE/port" ] && break; sleep 0.1; done
-[ -s "$SMOKE/port" ] || { echo "ci: iofwdd never wrote its port file"; exit 1; }
-ADDR="127.0.0.1:$(cat "$SMOKE/port")"
-head -c 1048576 /dev/urandom >"$SMOKE/in.bin"
-target/release/iofwd-cp --stats put "$SMOKE/in.bin" "$ADDR" /smoke.bin
-target/release/iofwd-cp --stats get "$ADDR" /smoke.bin "$SMOKE/out.bin"
-cmp "$SMOKE/in.bin" "$SMOKE/out.bin"
-# The snapshot is written on the daemon's 1 s stats tick; poll until it
-# parses with nonzero completed ops (iofwd-cp exits nonzero otherwise).
-SNAP_OK=
-for _ in $(seq 50); do
-    if [ -s "$SMOKE/stats.json" ] \
-        && target/release/iofwd-cp snapshot "$SMOKE/stats.json"; then
-        SNAP_OK=1
-        break
-    fi
-    sleep 0.2
-done
-[ -n "$SNAP_OK" ] || { echo "ci: telemetry snapshot never showed completed ops"; exit 1; }
-kill "$DAEMON_PID"
+step "experiment harness: coalescing paired sweep (scenario gate)"
+# The declarative successor of the old telemetry smoke + coalescing
+# bench gate: the committed scenario replays a seeded MADbench write
+# phase off/on over live daemons and enforces the >=1.20x paired
+# throughput budget plus nonzero coalesced_* telemetry. --force keeps
+# CI measurements fresh (no checkpoint reuse between CI runs); the
+# report JSON/markdown land in ci-artifacts for offline triage.
+mkdir -p target/ci-artifacts/experiments
+cargo run --release -q -p experiments -- run \
+    crates/experiments/scenarios/coalescing.toml \
+    --out target/ci-artifacts/experiments/coalescing \
+    --bin target/release/iofwdd --force
 
-step "chaos smoke (iofwdd --fault-plan, retries must absorb injected faults)"
-CHAOS=$(mktemp -d)
-trap 'kill "$DAEMON_PID" "$CHAOS_PID" 2>/dev/null || true; rm -rf "$SMOKE" "$CHAOS"' EXIT
-cat >"$CHAOS/plan" <<'EOF'
-# Seeded transient-fault plan: well over 5% of data-plane ops fail or
-# go short, plus one guaranteed open-time EAGAIN (nth=1) so the
-# fault/retry counters are provably nonzero on any workload shape.
-# The nth=1 write stall parks the rest of the put's 1 MiB chunks on
-# the fd's lane, so the worker provably harvests a coalesced batch
-# (the coalesced_* counter assertions below); the vectored rule aims
-# a transient errno at that batch to exercise per-constituent draws
-# and the mid-batch hold-over under retries.
-seed 42
-on open nth=1 errno=EAGAIN
-on write nth=1 delay_us=150000
-on write vectored p=0.3 errno=EAGAIN
-on write p=0.3 errno=EAGAIN
-on write p=0.2 short=0.5
-on read p=0.3 errno=EAGAIN
-EOF
-target/release/iofwdd --listen 127.0.0.1:0 --root "$CHAOS/root" \
-    --mode staged --workers 2 --stats-interval 1 \
-    --fault-plan "$CHAOS/plan" --retry-attempts 8 \
-    --coalesce=8388608,16 \
-    --stats-json "$CHAOS/stats.json" --port-file "$CHAOS/port" \
-    2>"$CHAOS/daemon.log" &
-CHAOS_PID=$!
-for _ in $(seq 50); do [ -s "$CHAOS/port" ] && break; sleep 0.1; done
-[ -s "$CHAOS/port" ] || { echo "ci: chaos iofwdd never wrote its port file"; exit 1; }
-ADDR="127.0.0.1:$(cat "$CHAOS/port")"
-head -c 8388608 /dev/urandom >"$CHAOS/in.bin"
-# The workload must complete despite the fault plan — retries absorb
-# every transient error — and round-trip the bytes intact.
-target/release/iofwd-cp put "$CHAOS/in.bin" "$ADDR" /chaos.bin
-target/release/iofwd-cp get "$ADDR" /chaos.bin "$CHAOS/out.bin"
-cmp "$CHAOS/in.bin" "$CHAOS/out.bin"
-# Snapshot contract: faults actually fired AND retries actually ran —
-# a silently inert fault plan or retry loop fails the gate — AND the
-# stalled first chunk forced at least one coalesced vectored batch.
-CHAOS_OK=
-for _ in $(seq 50); do
-    if [ -s "$CHAOS/stats.json" ] \
-        && target/release/iofwd-cp snapshot "$CHAOS/stats.json" \
-            faults_injected retries_attempted \
-            coalesced_batches coalesced_ops coalesced_bytes; then
-        CHAOS_OK=1
-        break
-    fi
-    sleep 0.2
-done
-[ -n "$CHAOS_OK" ] || { echo "ci: chaos snapshot missing fault/retry activity"; exit 1; }
-if grep -qi "panicked" "$CHAOS/daemon.log"; then
-    echo "ci: daemon panicked under fault injection"; cat "$CHAOS/daemon.log"; exit 1
-fi
-kill "$CHAOS_PID"
+step "experiment harness: fault-plan chaos sweep (scenario gate)"
+# Declarative successor of the old chaos smoke: mixed workload clean vs
+# seeded fault storm across sched/staged; budgets require completion
+# >=95%, a throughput floor, and provably-nonzero fault/retry counters.
+cargo run --release -q -p experiments -- run \
+    crates/experiments/scenarios/faults.toml \
+    --out target/ci-artifacts/experiments/faults \
+    --bin target/release/iofwdd --force
+echo "experiment reports: target/ci-artifacts/experiments/{coalescing,faults}/report.{json,md}"
+
+step "experiment artifact guard (BENCH_PR7.json drift check)"
+# The committed report must stay structurally valid, green, and
+# fingerprint-matched to the scenario that generated it — editing the
+# scenario without regenerating the artifact fails here.
+cargo run --release -q -p experiments -- check \
+    BENCH_PR7.json crates/experiments/scenarios/coalescing.toml
 
 step "trace smoke (traced put/get under faults -> Perfetto export + stage bounds)"
 TRACED=$(mktemp -d)
-trap 'kill "$DAEMON_PID" "$CHAOS_PID" "$TRACED_PID" 2>/dev/null || true; rm -rf "$SMOKE" "$CHAOS" "$TRACED"' EXIT
+trap 'kill "$TRACED_PID" 2>/dev/null || true; rm -rf "$TRACED"' EXIT
 cat >"$TRACED/plan" <<'EOF'
 # Tracing must survive the retry path: traced ops that fault transiently
 # still complete and still land in the trace with full lifecycles.
@@ -200,11 +145,5 @@ grep -A6 '^ciod:' "$TRACED/bottleneck.txt" | grep -q 'dominant stage: queue-wait
     || { echo "ci: ciod bottleneck not attributed to queue-wait"; exit 1; }
 grep -A6 '^zoid:' "$TRACED/bottleneck.txt" | grep -q 'dominant stage: backend' \
     || { echo "ci: zoid bottleneck not attributed to backend"; exit 1; }
-
-step "coalescing bench gate (>=1.20x MiB/s coalesced vs not, counters nonzero)"
-COALESCE_OUT=$(cargo bench -p bench --bench coalescing 2>&1)
-printf '%s\n' "$COALESCE_OUT" | grep "coalescing_gate:"
-printf '%s\n' "$COALESCE_OUT" | grep -q "^coalescing_gate: overall pass=true" \
-    || { echo "ci: coalescing bench gate failed"; exit 1; }
 
 printf '\nci: all gates passed\n'

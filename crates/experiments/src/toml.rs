@@ -1,0 +1,531 @@
+//! A dependency-free TOML reader for experiment scenarios.
+//!
+//! The offline workspace vendors every external crate it uses, so
+//! rather than stub the real `toml` (a large API surface), this module
+//! implements the subset scenario files are written in:
+//!
+//! * `[table]` / `[dotted.table]` headers and `[[array.of.tables]]`;
+//! * `key = value` with bare keys (`[A-Za-z0-9_-]+`);
+//! * values: basic strings (`"…"` with escapes), multi-line basic
+//!   strings (`"""…"""`), integers (sign + `_` separators), floats,
+//!   booleans, and single-line arrays of those scalars;
+//! * `#` comments and blank lines.
+//!
+//! Order is preserved everywhere (tables are association lists), which
+//! the scenario layer relies on for deterministic axis ordering. The
+//! parser reports errors with line numbers; anything outside the subset
+//! is a hard error rather than a silent skip, so a typo'd scenario file
+//! cannot half-load.
+
+use std::fmt;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Table(Table),
+    Array(Vec<Value>),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+}
+
+/// An order-preserving table.
+pub type Table = Vec<(String, Value)>;
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Table(t) => t.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            Value::Array(_) | Value::Str(_) | Value::Int(_) | Value::Float(_) | Value::Bool(_) => {
+                None
+            }
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Table(_) => "table",
+            Value::Array(_) => "array",
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.type_name())
+    }
+}
+
+/// Parse a whole document into its root table.
+pub fn parse(text: &str) -> Result<Table, String> {
+    let mut root: Table = Vec::new();
+    // Path of the table currently receiving `key = value` lines, plus
+    // whether the last segment addresses the newest element of an
+    // array-of-tables.
+    let mut current: Vec<String> = Vec::new();
+    let mut current_is_array_elem = false;
+
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let line_no = i + 1;
+        let line = strip_comment(lines[i]).trim().to_string();
+        i += 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line
+            .strip_prefix("[[")
+            .and_then(|rest| rest.strip_suffix("]]"))
+        {
+            current = parse_path(inner, line_no)?;
+            current_is_array_elem = true;
+            push_array_table(&mut root, &current, line_no)?;
+        } else if let Some(inner) = line
+            .strip_prefix('[')
+            .and_then(|rest| rest.strip_suffix(']'))
+        {
+            current = parse_path(inner, line_no)?;
+            current_is_array_elem = false;
+            // Creating the table here makes empty sections legal.
+            resolve_table(&mut root, &current, false, line_no)?;
+        } else if let Some((key, rest)) = line.split_once('=') {
+            let key = key.trim();
+            check_key(key, line_no)?;
+            let rest = rest.trim();
+            let value = if let Some(body) = rest.strip_prefix("\"\"\"") {
+                parse_multiline(body, &lines, &mut i, line_no)?
+            } else {
+                parse_scalar(rest, line_no)?
+            };
+            let table = resolve_table(&mut root, &current, current_is_array_elem, line_no)?;
+            if table.iter().any(|(k, _)| k == key) {
+                return Err(format!("line {line_no}: duplicate key `{key}`"));
+            }
+            table.push((key.to_string(), value));
+        } else {
+            return Err(format!(
+                "line {line_no}: expected `[table]` or `key = value`"
+            ));
+        }
+    }
+    Ok(root)
+}
+
+/// Strip a `#` comment, honouring `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, &b) in bytes.iter().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => escaped = true,
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn check_key(key: &str, line_no: usize) -> Result<(), String> {
+    let ok = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("line {line_no}: bad key `{key}` (bare keys only)"))
+    }
+}
+
+fn parse_path(inner: &str, line_no: usize) -> Result<Vec<String>, String> {
+    let mut path = Vec::new();
+    for seg in inner.split('.') {
+        let seg = seg.trim();
+        check_key(seg, line_no)?;
+        path.push(seg.to_string());
+    }
+    Ok(path)
+}
+
+/// Walk (creating as needed) to the table at `path`. When
+/// `into_array_elem` is set, the final segment must be an
+/// array-of-tables and the newest element is returned.
+fn resolve_table<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    into_array_elem: bool,
+    line_no: usize,
+) -> Result<&'a mut Table, String> {
+    let mut table = root;
+    for (depth, seg) in path.iter().enumerate() {
+        let last = depth == path.len() - 1;
+        if !table.iter().any(|(k, _)| k == seg) {
+            table.push((seg.clone(), Value::Table(Vec::new())));
+        }
+        let idx = table.iter().position(|(k, _)| k == seg).unwrap_or(0);
+        let entry = &mut table[idx].1;
+        table = match entry {
+            Value::Table(t) => t,
+            // An array segment addresses the newest element, whether it
+            // is the final `[[x]]` target or a dotted path through one
+            // — TOML's array-of-tables rule either way.
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(t)) => t,
+                Some(_) | None => {
+                    let what = if last && into_array_elem {
+                        "an array of tables"
+                    } else {
+                        "a table"
+                    };
+                    return Err(format!("line {line_no}: `{seg}` is not {what}"));
+                }
+            },
+            Value::Str(_) | Value::Int(_) | Value::Float(_) | Value::Bool(_) => {
+                return Err(format!("line {line_no}: `{seg}` is not a table"));
+            }
+        };
+    }
+    Ok(table)
+}
+
+/// Append a fresh element to the array-of-tables at `path`.
+fn push_array_table(root: &mut Table, path: &[String], line_no: usize) -> Result<(), String> {
+    let (last, parents) = path
+        .split_last()
+        .ok_or(format!("line {line_no}: empty path"))?;
+    let parent = resolve_table(root, parents, false, line_no)?;
+    match parent.iter_mut().find(|(k, _)| k == last) {
+        Some((_, Value::Array(items))) => items.push(Value::Table(Vec::new())),
+        Some(_) => {
+            return Err(format!(
+                "line {line_no}: `{last}` is not an array of tables"
+            ))
+        }
+        None => parent.push((last.clone(), Value::Array(vec![Value::Table(Vec::new())]))),
+    }
+    Ok(())
+}
+
+/// A `"""` string: the remainder of the opening line plus following
+/// lines until the closing delimiter. A newline right after the opener
+/// is trimmed, per TOML, and a `\` at the end of a line is a line
+/// continuation (the newline and the next line's leading whitespace
+/// vanish), so long prose values can wrap.
+fn parse_multiline(
+    first: &str,
+    lines: &[&str],
+    i: &mut usize,
+    line_no: usize,
+) -> Result<Value, String> {
+    if let Some(body) = first.strip_suffix("\"\"\"") {
+        return Ok(Value::Str(unescape_multiline(body)));
+    }
+    let mut body = String::new();
+    if !first.is_empty() {
+        body.push_str(first);
+        body.push('\n');
+    }
+    while *i < lines.len() {
+        let line = lines[*i];
+        *i += 1;
+        if let Some(head) = line.trim_end().strip_suffix("\"\"\"") {
+            if !head.is_empty() {
+                body.push_str(head);
+                body.push('\n');
+            }
+            return Ok(Value::Str(unescape_multiline(&body)));
+        }
+        body.push_str(line);
+        body.push('\n');
+    }
+    Err(format!("line {line_no}: unterminated `\"\"\"` string"))
+}
+
+/// Escape processing for multi-line basic strings: line-ending `\`
+/// swallows the newline plus leading whitespace, and the common
+/// single-character escapes are honored. Unknown escapes pass through
+/// verbatim (fault plans and similar embedded DSLs stay untouched).
+fn unescape_multiline(body: &str) -> String {
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.peek() {
+            Some('\n') => {
+                while matches!(chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+                    chars.next();
+                }
+            }
+            Some('n') => {
+                out.push('\n');
+                chars.next();
+            }
+            Some('t') => {
+                out.push('\t');
+                chars.next();
+            }
+            Some('"') => {
+                out.push('"');
+                chars.next();
+            }
+            Some('\\') => {
+                out.push('\\');
+                chars.next();
+            }
+            _ => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn parse_scalar(text: &str, line_no: usize) -> Result<Value, String> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(format!("line {line_no}: missing value"));
+    }
+    if let Some(rest) = text.strip_prefix('[') {
+        let inner = rest.strip_suffix(']').ok_or(format!(
+            "line {line_no}: arrays must close on the same line"
+        ))?;
+        let mut items = Vec::new();
+        for part in split_array(inner, line_no)? {
+            items.push(parse_scalar(&part, line_no)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    if text.starts_with('"') {
+        return Ok(Value::Str(parse_string(text, line_no)?));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let numeric = text.replace('_', "");
+    if numeric.contains('.') || numeric.contains('e') || numeric.contains('E') {
+        if let Ok(f) = numeric.parse::<f64>() {
+            return Ok(Value::Float(f));
+        }
+    } else if let Ok(n) = numeric.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Err(format!("line {line_no}: cannot parse value `{text}`"))
+}
+
+/// Split an array body on commas outside strings.
+fn split_array(inner: &str, line_no: usize) -> Result<Vec<String>, String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in inner.chars() {
+        if escaped {
+            cur.push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => {
+                cur.push(c);
+                escaped = true;
+            }
+            '"' => {
+                cur.push(c);
+                in_str = !in_str;
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_str {
+        return Err(format!("line {line_no}: unterminated string in array"));
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts.retain(|p| !p.trim().is_empty());
+    Ok(parts.into_iter().map(|p| p.trim().to_string()).collect())
+}
+
+fn parse_string(text: &str, line_no: usize) -> Result<String, String> {
+    let body = text
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or(format!("line {line_no}: unterminated string"))?;
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            if c == '"' {
+                return Err(format!("line {line_no}: unescaped `\"` inside string"));
+            }
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            other => return Err(format!("line {line_no}: bad escape `\\{other:?}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// Table field lookup.
+pub fn get<'a>(table: &'a Table, key: &str) -> Option<&'a Value> {
+    table.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = r#"
+# comment
+[scenario]
+name = "demo"      # trailing comment
+seed = 42
+ratio = 1.5
+on = true
+
+[axes]
+mode = ["staged", "ciod"]
+clients = [1, 2]
+
+[[budget]]
+name = "a"
+[[budget]]
+name = "b"
+
+[faults.chaos]
+plan = """
+seed 7
+on write p=0.5 errno=EAGAIN
+"""
+"#;
+        let root = parse(doc).expect("parse");
+        let scenario = get(&root, "scenario").unwrap();
+        assert_eq!(scenario.get("name").unwrap().as_str(), Some("demo"));
+        assert_eq!(scenario.get("seed").unwrap().as_i64(), Some(42));
+        assert_eq!(scenario.get("ratio").unwrap().as_f64(), Some(1.5));
+        assert_eq!(scenario.get("on").unwrap().as_bool(), Some(true));
+        let axes = get(&root, "axes").unwrap().as_table().unwrap();
+        assert_eq!(axes[0].0, "mode");
+        assert_eq!(axes[0].1.as_array().unwrap().len(), 2);
+        assert_eq!(axes[1].1.as_array().unwrap()[1].as_i64(), Some(2));
+        let budgets = get(&root, "budget").unwrap().as_array().unwrap();
+        assert_eq!(budgets.len(), 2);
+        assert_eq!(budgets[1].get("name").unwrap().as_str(), Some("b"));
+        let plan = get(&root, "faults")
+            .unwrap()
+            .get("chaos")
+            .unwrap()
+            .get("plan")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(plan.starts_with("seed 7\n"));
+        assert!(plan.contains("errno=EAGAIN"));
+    }
+
+    #[test]
+    fn multiline_backslash_joins_lines() {
+        let doc = "k = \"\"\"\nfirst \\\n   second\nthird\n\"\"\"\n";
+        let root = parse(doc).expect("parse");
+        assert_eq!(
+            get(&root, "k").unwrap().as_str(),
+            Some("first second\nthird\n")
+        );
+
+        // Plain multi-line bodies (fault-plan style) keep their newlines
+        // and any mid-line backslash-free text verbatim.
+        let doc = "k = \"\"\"\nseed 7\non write p=0.5\n\"\"\"\n";
+        let root = parse(doc).expect("parse");
+        assert_eq!(
+            get(&root, "k").unwrap().as_str(),
+            Some("seed 7\non write p=0.5\n")
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("[scenario]\nname = \n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse("x = 1\nx = 2\n").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        let err = parse("k = \"\"\"never closed\n").unwrap_err();
+        assert!(err.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let root = parse("k = \"a#b\"\n").expect("parse");
+        assert_eq!(get(&root, "k").unwrap().as_str(), Some("a#b"));
+    }
+}

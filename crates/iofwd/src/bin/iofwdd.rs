@@ -34,6 +34,11 @@
 //!   single vectored backend call. On by default for the worker-pool
 //!   modes (sched/staged) with budgets 1 MiB / 16 ops; off (and
 //!   meaningless) for ciod/zoid.
+//! * `--throttle PER_OP_US,BW_MIB_S` — wrap the file backend in the
+//!   deterministic device model (`ThrottledBackend`): a fixed
+//!   per-operation cost plus a bandwidth limit shared by all
+//!   descriptors. The experiment harness (DESIGN.md §14) uses this to
+//!   make backend-bound regimes reproducible on arbitrary hardware.
 //!
 //! Tracing (`iofwd::trace`; see DESIGN.md §11):
 //!
@@ -48,7 +53,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use iofwd::backend::{FaultBackend, FileBackend};
+use iofwd::backend::{FaultBackend, FileBackend, ThrottledBackend};
 use iofwd::fault::{FaultPlan, RetryPolicy};
 use iofwd::server::{CoalesceConfig, ForwardingMode, IonServer, ServerConfig};
 use iofwd::telemetry::{snapshot, Telemetry};
@@ -72,6 +77,8 @@ struct Options {
     /// `None` = mode default (on for sched/staged, off for ciod/zoid);
     /// `Some(None)` = forced off; `Some(Some(cfg))` = forced on.
     coalesce: Option<Option<CoalesceConfig>>,
+    /// Device model: `(per_op, bytes_per_sec)`.
+    throttle: Option<(Duration, f64)>,
 }
 
 impl Options {
@@ -91,6 +98,7 @@ impl Options {
             trace_out: None,
             trace_sample: 0,
             coalesce: None,
+            throttle: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -150,6 +158,25 @@ impl Options {
                         Some(Some(CoalesceConfig { max_bytes, max_ops }))
                     };
                 }
+                "--throttle" => {
+                    let v = take("--throttle");
+                    let (per_op, bw) = v
+                        .split_once(',')
+                        .unwrap_or_else(|| die("--throttle needs PER_OP_US,BW_MIB_S"));
+                    let per_op_us: u64 = per_op
+                        .parse()
+                        .unwrap_or_else(|_| die("--throttle PER_OP_US must be an integer"));
+                    let bw_mib: f64 = bw
+                        .parse()
+                        .unwrap_or_else(|_| die("--throttle BW_MIB_S must be a number"));
+                    if bw_mib <= 0.0 {
+                        die("--throttle BW_MIB_S must be positive");
+                    }
+                    opts.throttle = Some((
+                        Duration::from_micros(per_op_us),
+                        bw_mib * (1u64 << 20) as f64,
+                    ));
+                }
                 "--trace-out" => opts.trace_out = Some(take("--trace-out")),
                 "--trace-sample" => {
                     opts.trace_sample = take("--trace-sample").parse().unwrap_or_else(|_| {
@@ -164,6 +191,7 @@ impl Options {
                          [--dump-trigger PATH] [--port-file PATH] \
                          [--fault-plan PATH] [--retry-attempts N] \
                          [--coalesce[=off|MAX_BYTES,MAX_OPS]] \
+                         [--throttle PER_OP_US,BW_MIB_S] \
                          [--trace-out PATH] [--trace-sample N]"
                     );
                     std::process::exit(0);
@@ -246,7 +274,18 @@ fn main() {
         );
         exporter
     });
-    let mut backend: Arc<dyn iofwd::backend::Backend> = Arc::new(FileBackend::new(&opts.root));
+    let file_backend = Arc::new(FileBackend::new(&opts.root));
+    let mut backend: Arc<dyn iofwd::backend::Backend> = match opts.throttle {
+        Some((per_op, bytes_per_sec)) => {
+            eprintln!(
+                "iofwdd: device model ON — {} us/op, {} MiB/s",
+                per_op.as_micros(),
+                (bytes_per_sec / (1u64 << 20) as f64).round()
+            );
+            Arc::new(ThrottledBackend::new(file_backend, bytes_per_sec, per_op))
+        }
+        None => file_backend,
+    };
     if let Some(plan_path) = &opts.fault_plan {
         let text = std::fs::read_to_string(plan_path)
             .unwrap_or_else(|e| die(&format!("cannot read fault plan {plan_path}: {e}")));

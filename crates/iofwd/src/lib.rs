@@ -67,6 +67,7 @@
 pub mod backend;
 pub mod bml;
 pub mod client;
+pub mod daemon;
 pub mod descdb;
 pub mod fault;
 pub mod file;

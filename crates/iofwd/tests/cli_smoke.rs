@@ -1,38 +1,13 @@
 //! End-to-end smoke test of the shipped binaries: `iofwdd` (the daemon)
 //! and `iofwd-cp` (the transfer tool), as real processes over real TCP
-//! and a real filesystem root.
+//! and a real filesystem root. Daemon lifecycle goes through
+//! [`iofwd::daemon::DaemonHandle`] — the same supervisor the experiment
+//! harness and CI gates use.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpListener;
-use std::process::{Child, Command, Stdio};
-use std::time::Duration;
+use std::io::{Read, Write};
+use std::process::Command;
 
-struct DaemonGuard(Child);
-
-impl Drop for DaemonGuard {
-    fn drop(&mut self) {
-        let _ = self.0.kill();
-        let _ = self.0.wait();
-    }
-}
-
-fn free_port() -> u16 {
-    TcpListener::bind("127.0.0.1:0")
-        .unwrap()
-        .local_addr()
-        .unwrap()
-        .port()
-}
-
-fn wait_listening(addr: &str) {
-    for _ in 0..100 {
-        if std::net::TcpStream::connect(addr).is_ok() {
-            return;
-        }
-        std::thread::sleep(Duration::from_millis(50));
-    }
-    panic!("daemon never started listening on {addr}");
-}
+use iofwd::daemon::{DaemonHandle, DaemonSpec};
 
 #[test]
 fn daemon_and_cp_roundtrip() {
@@ -48,40 +23,21 @@ fn daemon_and_cp_roundtrip() {
         .write_all(&payload)
         .unwrap();
 
-    let port = free_port();
-    let addr = format!("127.0.0.1:{port}");
-    let daemon = Command::new(env!("CARGO_BIN_EXE_iofwdd"))
-        .args([
-            "--listen",
-            &addr,
-            "--root",
-            root.to_str().unwrap(),
-            "--mode",
-            "staged",
-        ])
-        .stderr(Stdio::piped())
-        .spawn()
-        .expect("spawn iofwdd");
-    let mut daemon = DaemonGuard(daemon);
-    // Check the banner, then keep draining stderr so the daemon never
-    // blocks (or EPIPEs) on its periodic status lines.
-    {
-        let stderr = daemon.0.stderr.take().unwrap();
-        let mut reader = BufReader::new(stderr);
-        let mut first = String::new();
-        reader.read_line(&mut first).unwrap();
-        assert!(first.contains("listening"), "{first}");
-        std::thread::spawn(move || {
-            let mut sink = String::new();
-            while let Ok(n) = reader.read_line(&mut sink) {
-                if n == 0 {
-                    break;
-                }
-                sink.clear();
-            }
-        });
-    }
-    wait_listening(&addr);
+    let spec = DaemonSpec::new(env!("CARGO_BIN_EXE_iofwdd"), &root).mode("staged");
+    let mut daemon = DaemonHandle::spawn(&spec).expect("spawn iofwdd");
+    let addr = daemon.addr();
+    // The startup banner must land in the captured log. The daemon
+    // writes its port file before the banner, so poll briefly.
+    let bannered = (0..100).any(|_| {
+        let seen = std::fs::read_to_string(daemon.log_path())
+            .map(|t| t.contains("listening"))
+            .unwrap_or(false);
+        if !seen {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        seen
+    });
+    assert!(bannered, "{}", daemon.log_tail());
 
     let cp = env!("CARGO_BIN_EXE_iofwd-cp");
     // put
@@ -125,7 +81,8 @@ fn daemon_and_cp_roundtrip() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("ENOENT"));
 
-    drop(daemon);
+    assert!(!daemon.panicked(), "{}", daemon.log_tail());
+    daemon.shutdown().expect("daemon shutdown");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -32,6 +32,12 @@
 //!     the declaring enum and test code) must stamp a `.disposition`
 //!     and reach `Telemetry::complete`, so no exit path can drop a
 //!     constituent op's span when a batch fans back out.
+//!   - **R8** Experiment scenarios stay runnable: every
+//!     `scenarios/*.toml` path referenced by `ci.sh` must exist, and
+//!     every committed file under `crates/experiments/scenarios/` must
+//!     load through the harness's own parser (schema + cross-field
+//!     validation), so a scenario edit cannot break the CI gates at
+//!     sweep time instead of lint time.
 //!
 //!   Known-good exceptions live in `xtask/lint.allow` (one per line:
 //!   `R<n> <path> -- <justification>`, at most [`MAX_ALLOW`] entries).
@@ -162,6 +168,19 @@ fn lint(root: &Path) -> ExitCode {
         }
     }
 
+    // R8: experiment scenarios referenced by CI (and all committed
+    // ones) must parse through the harness's own loader.
+    let scenarios_checked = match lint_scenarios(root) {
+        Ok(n) => n,
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("xtask lint: R8 {e}");
+            }
+            reported += errors.len();
+            0
+        }
+    };
+
     if reported > 0 || stale > 0 {
         eprintln!(
             "xtask lint: {reported} violation(s), {stale} stale allowlist entr(ies) in {} \
@@ -171,11 +190,78 @@ fn lint(root: &Path) -> ExitCode {
         ExitCode::FAILURE
     } else {
         println!(
-            "xtask lint: ok ({} files scanned, {} allowlisted exception(s))",
+            "xtask lint: ok ({} files scanned, {} scenario(s) validated, \
+             {} allowlisted exception(s))",
             files.len(),
+            scenarios_checked,
             used.len()
         );
         ExitCode::SUCCESS
+    }
+}
+
+/// R8: every `scenarios/*.toml` token in `ci.sh` must resolve to a
+/// committed file, and every committed scenario must load cleanly.
+fn lint_scenarios(root: &Path) -> Result<usize, Vec<String>> {
+    let mut errors = Vec::new();
+    let scenarios_dir = root.join("crates/experiments/scenarios");
+
+    // Scenario paths referenced by CI.
+    let ci = root.join("ci.sh");
+    let mut referenced = Vec::new();
+    match std::fs::read_to_string(&ci) {
+        Ok(text) => {
+            for (i, line) in text.lines().enumerate() {
+                for token in line.split_whitespace() {
+                    let token = token.trim_matches(|c: char| "\"'".contains(c));
+                    if token.contains("scenarios/") && token.ends_with(".toml") {
+                        if !root.join(token).is_file() {
+                            errors.push(format!(
+                                "ci.sh:{}: references missing scenario `{token}`",
+                                i + 1
+                            ));
+                        } else {
+                            referenced.push(token.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        Err(e) => errors.push(format!("cannot read {}: {e}", ci.display())),
+    }
+    if referenced.is_empty() && errors.is_empty() {
+        errors.push("ci.sh references no scenarios/*.toml — the scenario gates are gone".into());
+    }
+
+    // Every committed scenario parses (covers referenced ones too).
+    let mut checked = 0usize;
+    match std::fs::read_dir(&scenarios_dir) {
+        Ok(entries) => {
+            let mut paths: Vec<PathBuf> = entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+                .collect();
+            paths.sort();
+            if paths.is_empty() {
+                errors.push(format!(
+                    "{} holds no .toml scenarios",
+                    scenarios_dir.display()
+                ));
+            }
+            for path in paths {
+                match experiments::scenario::Scenario::load(&path) {
+                    Ok(_) => checked += 1,
+                    Err(e) => errors.push(e),
+                }
+            }
+        }
+        Err(e) => errors.push(format!("cannot read {}: {e}", scenarios_dir.display())),
+    }
+
+    if errors.is_empty() {
+        Ok(checked)
+    } else {
+        Err(errors)
     }
 }
 
