@@ -63,7 +63,17 @@ cargo run --release -q -p experiments -- run \
     crates/experiments/scenarios/faults.toml \
     --out target/ci-artifacts/experiments/faults \
     --bin target/release/iofwdd --force
-echo "experiment reports: target/ci-artifacts/experiments/{coalescing,faults}/report.{json,md}"
+step "experiment harness: connection-scale transport sweep (scenario gate)"
+# Thread-per-connection vs poll-based reactor at 1000 concurrent
+# clients with injected accept faults (DESIGN.md 15). Budgets require
+# the reactor arm to match or beat the threads arm on p99 tail latency
+# and hold aggregate throughput, full completion in both arms, and
+# proof that the injected accept faults actually fired.
+cargo run --release -q -p experiments -- run \
+    crates/experiments/scenarios/connection_scale.toml \
+    --out target/ci-artifacts/experiments/connection_scale \
+    --bin target/release/iofwdd --force
+echo "experiment reports: target/ci-artifacts/experiments/{coalescing,faults,connection_scale}/report.{json,md}"
 
 step "experiment artifact guard (BENCH_PR7.json drift check)"
 # The committed report must stay structurally valid, green, and

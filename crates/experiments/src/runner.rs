@@ -178,6 +178,19 @@ fn run_cell(
         }
         None => {}
     }
+    if let Some(transport) = cell.axis("transport") {
+        spec = spec.arg("--transport").arg(transport);
+        if transport == "reactor" {
+            spec = spec
+                .arg("--reactor-threads")
+                .arg(d.reactor_threads.to_string());
+        }
+    }
+    if d.accept_fault_every > 0 {
+        spec = spec
+            .arg("--accept-fault-every")
+            .arg(d.accept_fault_every.to_string());
+    }
     if let Some((per_op_us, bytes_per_sec)) = d.throttle {
         spec = spec.arg("--throttle").arg(format!(
             "{per_op_us},{}",

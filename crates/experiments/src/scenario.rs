@@ -16,7 +16,14 @@ use crate::toml::{self, Table, Value};
 use crate::workload::{WorkloadKind, WorkloadSpec};
 
 /// Axis names the runner knows how to apply to a daemon/cell.
-pub const KNOWN_AXES: [&str; 5] = ["mode", "coalesce", "clients", "fault", "workers"];
+pub const KNOWN_AXES: [&str; 6] = [
+    "mode",
+    "coalesce",
+    "clients",
+    "fault",
+    "workers",
+    "transport",
+];
 
 /// One sweep dimension: `name = ["value", …]` under `[axes]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +46,11 @@ pub struct DaemonConfig {
     /// Budgets used when a cell's `coalesce` axis value is plain `on`.
     pub coalesce_max_bytes: u64,
     pub coalesce_max_ops: u64,
+    /// Inject a synthetic EMFILE on every Nth accept attempt (0 = off),
+    /// via `iofwdd --accept-fault-every` — the accept-path chaos knob.
+    pub accept_fault_every: u64,
+    /// Event-loop threads for `transport = "reactor"` cells.
+    pub reactor_threads: usize,
 }
 
 impl Default for DaemonConfig {
@@ -50,6 +62,8 @@ impl Default for DaemonConfig {
             throttle: None,
             coalesce_max_bytes: 1 << 20,
             coalesce_max_ops: 16,
+            accept_fault_every: 0,
+            reactor_threads: 2,
         }
     }
 }
@@ -306,6 +320,10 @@ impl Scenario {
                     ))
                 }
             }
+            "transport" => match value {
+                "threads" | "reactor" => Ok(()),
+                other => Err(format!("axis transport: `{other}` is not threads|reactor")),
+            },
             other => Err(format!("unknown axis `{other}`")),
         }
     }
@@ -505,6 +523,12 @@ fn parse_daemon(root: &Table) -> Result<DaemonConfig, String> {
     }
     if let Some(v) = opt_u64(t, "coalesce_max_ops")? {
         cfg.coalesce_max_ops = v.max(1);
+    }
+    if let Some(v) = opt_u64(t, "accept_fault_every")? {
+        cfg.accept_fault_every = v;
+    }
+    if let Some(v) = opt_u64(t, "reactor_threads")? {
+        cfg.reactor_threads = v.max(1) as usize;
     }
     Ok(cfg)
 }

@@ -193,8 +193,17 @@ pub struct Telemetry {
     pub coalesced_ops: Counter,
     /// Payload bytes carried inside coalesced batches.
     pub coalesced_bytes: Counter,
+    /// Transient `accept(2)` failures (EMFILE/ECONNABORTED/EINTR/…)
+    /// survived by the accept path instead of killing the listener.
+    pub accept_errors: Counter,
+    /// Times the reactor parked a client (stopped polling it for
+    /// readability) because BML, the work queue, or its write buffer
+    /// pushed back.
+    pub backpressure_events: Counter,
 
     // -- gauges -------------------------------------------------------
+    /// Client connections currently open (peak = worst concurrency).
+    pub conns_open: Gauge,
     pub queue_depth: Gauge,
     pub bml_occupancy: Gauge,
     pub bml_waiters: Gauge,
@@ -265,6 +274,9 @@ impl Telemetry {
             coalesced_batches: Counter::new(),
             coalesced_ops: Counter::new(),
             coalesced_bytes: Counter::new(),
+            accept_errors: Counter::new(),
+            backpressure_events: Counter::new(),
+            conns_open: Gauge::new(),
             queue_depth: Gauge::new(),
             bml_occupancy: Gauge::new(),
             bml_waiters: Gauge::new(),

@@ -248,6 +248,11 @@ pub fn capture(t: &Telemetry) -> TelemetrySnapshot {
         ("coalesced_batches".to_string(), t.coalesced_batches.get()),
         ("coalesced_ops".to_string(), t.coalesced_ops.get()),
         ("coalesced_bytes".to_string(), t.coalesced_bytes.get()),
+        ("accept_errors".to_string(), t.accept_errors.get()),
+        (
+            "backpressure_events".to_string(),
+            t.backpressure_events.get(),
+        ),
         ("flight_recorded".to_string(), t.flight.recorded()),
         ("flight_dropped".to_string(), t.flight.dropped()),
         ("uptime_ns".to_string(), t.uptime_ns()),
@@ -271,6 +276,7 @@ pub fn capture(t: &Telemetry) -> TelemetrySnapshot {
     TelemetrySnapshot {
         counters,
         gauges: vec![
+            ("conns_open".to_string(), gauge(&t.conns_open)),
             ("queue_depth".to_string(), gauge(&t.queue_depth)),
             ("bml_occupancy".to_string(), gauge(&t.bml_occupancy)),
             ("bml_waiters".to_string(), gauge(&t.bml_waiters)),

@@ -79,6 +79,14 @@ struct Options {
     coalesce: Option<Option<CoalesceConfig>>,
     /// Device model: `(per_op, bytes_per_sec)`.
     throttle: Option<(Duration, f64)>,
+    /// `threads` (thread-per-connection) or `reactor` (poll-based
+    /// event loops; requires a worker-pool mode).
+    transport: String,
+    /// Event-loop threads for `--transport reactor`.
+    reactor_threads: usize,
+    /// Inject a synthetic EMFILE on every Nth accept attempt (0 = off);
+    /// the connection-churn chaos harness flips this on.
+    accept_fault_every: u64,
 }
 
 impl Options {
@@ -99,6 +107,9 @@ impl Options {
             trace_sample: 0,
             coalesce: None,
             throttle: None,
+            transport: "threads".into(),
+            reactor_threads: 2,
+            accept_fault_every: 0,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -177,6 +188,26 @@ impl Options {
                         bw_mib * (1u64 << 20) as f64,
                     ));
                 }
+                "--transport" => {
+                    opts.transport = take("--transport");
+                    if opts.transport != "threads" && opts.transport != "reactor" {
+                        die("--transport must be 'threads' or 'reactor'");
+                    }
+                }
+                "--reactor-threads" => {
+                    opts.reactor_threads = take("--reactor-threads").parse().unwrap_or_else(|_| {
+                        die("--reactor-threads needs an integer");
+                    });
+                    if opts.reactor_threads == 0 {
+                        die("--reactor-threads must be nonzero");
+                    }
+                }
+                "--accept-fault-every" => {
+                    opts.accept_fault_every =
+                        take("--accept-fault-every").parse().unwrap_or_else(|_| {
+                            die("--accept-fault-every needs an integer (0 disables)");
+                        })
+                }
                 "--trace-out" => opts.trace_out = Some(take("--trace-out")),
                 "--trace-sample" => {
                     opts.trace_sample = take("--trace-sample").parse().unwrap_or_else(|_| {
@@ -192,6 +223,8 @@ impl Options {
                          [--fault-plan PATH] [--retry-attempts N] \
                          [--coalesce[=off|MAX_BYTES,MAX_OPS]] \
                          [--throttle PER_OP_US,BW_MIB_S] \
+                         [--transport threads|reactor] [--reactor-threads N] \
+                         [--accept-fault-every N] \
                          [--trace-out PATH] [--trace-sample N]"
                     );
                     std::process::exit(0);
@@ -305,13 +338,44 @@ fn main() {
         config = config.with_coalescing(coalesce);
     }
     let coalesce = config.coalesce;
-    let server = IonServer::spawn(Box::new(acceptor), backend, config);
+    if opts.accept_fault_every > 0 {
+        acceptor.set_accept_fault(opts.accept_fault_every);
+    }
+    let mut transport = opts.transport.clone();
+    if transport == "reactor" {
+        if matches!(mode, ForwardingMode::Ciod | ForwardingMode::Zoid) {
+            die("--transport reactor requires a worker-pool mode (--mode sched|staged)");
+        }
+        if !polling::supported() {
+            eprintln!(
+                "iofwdd: warning: poller unsupported on this target, \
+                 falling back to --transport threads"
+            );
+            transport = "threads".into();
+        }
+    }
+    let server = if transport == "reactor" {
+        let reactor_cfg = iofwd::server::ReactorConfig {
+            threads: opts.reactor_threads,
+            ..Default::default()
+        };
+        IonServer::spawn_reactor(acceptor, backend, config, reactor_cfg)
+            .unwrap_or_else(|e| die(&format!("cannot start reactor transport: {e}")))
+    } else {
+        IonServer::spawn(Box::new(acceptor), backend, config)
+    };
     // The "listening" banner stays first on stderr: startup probes (and
     // the CLI smoke test) key on it.
     eprintln!(
-        "iofwdd: listening on {addr}, mode {}, root {}, {} worker(s), {} MiB BML",
+        "iofwdd: listening on {addr}, mode {}, root {}, {} worker(s), {} MiB BML, {transport} transport",
         opts.mode, opts.root, opts.workers, opts.bml_mib
     );
+    if opts.accept_fault_every > 0 {
+        eprintln!(
+            "iofwdd: accept-fault injection ON — synthetic EMFILE every {} accept(s)",
+            opts.accept_fault_every
+        );
+    }
     match coalesce {
         Some(c) => eprintln!(
             "iofwdd: write coalescing ON — up to {} ops / {} KiB per vectored batch",

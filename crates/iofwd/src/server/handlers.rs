@@ -22,7 +22,7 @@ use crossbeam::channel::{bounded, unbounded};
 use iofwd_proto::{Errno, Frame, OpId, Request, Response, StageEcho, TraceContext, TraceExt};
 
 use super::engine::{op_kind, response_errno, Engine};
-use super::queue::{StagedPart, WorkItem, WorkQueue};
+use super::queue::{ReplyTo, StagedPart, WorkItem, WorkQueue};
 use super::staged::FdSerializer;
 use super::CoalesceConfig;
 use crate::descdb::{BeginError, OpOutcome};
@@ -85,7 +85,7 @@ fn send_response(conn: &dyn Conn, client: u32, seq: u64, resp: &Response, data: 
 /// Adopt the client's trace context (if the frame carries one) onto the
 /// op's lifecycle span, so the id survives queueing, staging, and the
 /// worker pool, and shows up in the flight recorder and trace exporter.
-fn apply_trace(span: &mut OpSpan, frame: &Frame) {
+pub(crate) fn apply_trace(span: &mut OpSpan, frame: &Frame) {
     if let Some(ctx) = frame.trace_ctx() {
         span.trace_id = ctx.trace_id;
         span.sampled = ctx.is_sampled();
@@ -95,7 +95,7 @@ fn apply_trace(span: &mut OpSpan, frame: &Frame) {
 /// Server-side stage breakdown echoed back to a traced client. Built
 /// from the same span `Telemetry::complete` folds into the histograms,
 /// so a client summing echoes reproduces the daemon's own numbers.
-fn stage_echo_of(span: &OpSpan) -> StageEcho {
+pub(crate) fn stage_echo_of(span: &OpSpan) -> StageEcho {
     StageEcho {
         trace_id: span.trace_id,
         flags: if span.sampled {
@@ -304,7 +304,7 @@ pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQue
         let pushed = queue.push(WorkItem::Sync {
             req: req.clone(),
             data: frame.data,
-            reply: tx,
+            reply: ReplyTo::Handler(tx),
             span,
         });
         if pushed.is_err() {
@@ -530,7 +530,7 @@ pub fn handle_staged(
                 let pushed = queue.push(WorkItem::Sync {
                     req,
                     data: frame.data.clone(),
-                    reply: tx,
+                    reply: ReplyTo::Handler(tx),
                     span,
                 });
                 if pushed.is_err() {
@@ -783,7 +783,7 @@ pub fn worker_loop(
                     span.worker = worker as u32 + 1;
                     let (resp, out) = engine.execute_timed(&req, &data, &mut span);
                     // The handler stamps reply_ns and completes the span.
-                    let _ = reply.send((resp, out, span));
+                    reply.deliver(resp, out, span);
                 }
                 WorkItem::StagedWrite {
                     fd,

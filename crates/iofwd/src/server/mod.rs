@@ -13,17 +13,23 @@
 mod engine;
 mod handlers;
 mod queue;
+mod reactor;
 mod staged;
 
 pub use engine::{Engine, ServerStats, StatsSnapshot};
-pub use queue::{QueueDiscipline, StagedPart, WorkItem, WorkQueue};
+pub use queue::{
+    Completion, CompletionSink, QueueDiscipline, ReplyTo, StagedPart, WorkItem, WorkQueue,
+};
+pub use reactor::{ReactorConfig, ReactorHandle};
 pub use staged::FdSerializer;
 
+use std::io;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use iofwd_proto::Errno;
+use bytes::Bytes;
+use iofwd_proto::{Errno, Response};
 use parking_lot::Mutex;
 
 use crate::backend::Backend;
@@ -182,6 +188,7 @@ pub struct IonServer {
     accept_thread: Option<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
     handler_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor: Option<ReactorHandle>,
     config: ServerConfig,
 }
 
@@ -196,63 +203,101 @@ pub struct ShutdownReport {
     pub deferred: usize,
 }
 
+/// Engine + worker-pool plumbing shared by both transports.
+struct ServerCore {
+    engine: Arc<Engine>,
+    queue: Option<Arc<WorkQueue>>,
+    serializer: Option<Arc<FdSerializer>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+fn build_core(backend: Arc<dyn Backend>, config: &ServerConfig) -> ServerCore {
+    let telemetry = config.telemetry.clone();
+    let bml = match config.mode {
+        ForwardingMode::AsyncStaged { bml_capacity, .. } => {
+            Some(Bml::with_telemetry(bml_capacity, telemetry.clone()))
+        }
+        _ => None,
+    };
+    // Count backend data-plane traffic only when someone is looking.
+    let backend: Arc<dyn Backend> = if telemetry.enabled() {
+        Arc::new(crate::backend::Instrumented::new(
+            backend,
+            telemetry.clone(),
+        ))
+    } else {
+        backend
+    };
+    let mut engine =
+        Engine::with_telemetry(backend, bml, config.filters.clone(), telemetry.clone());
+    engine.set_retry_policy(config.retry);
+    let engine = Arc::new(engine);
+
+    let (queue, serializer, worker_threads) = match config.mode.workers() {
+        0 => (None, None, Vec::new()),
+        n => {
+            let queue = Arc::new(WorkQueue::with_telemetry(
+                config.queue_discipline,
+                n,
+                telemetry.clone(),
+            ));
+            let serializer = Arc::new(FdSerializer::new());
+            let workers = (0..n)
+                .map(|w| {
+                    let queue = queue.clone();
+                    let engine = engine.clone();
+                    let serializer = serializer.clone();
+                    let batch = config.worker_batch;
+                    let coalesce = config.coalesce;
+                    std::thread::Builder::new()
+                        .name(format!("iofwd-worker-{w}"))
+                        .spawn(move || {
+                            handlers::worker_loop(w, batch, queue, engine, serializer, coalesce)
+                        })
+                        .expect("spawn worker")
+                })
+                .collect();
+            (Some(queue), Some(serializer), workers)
+        }
+    };
+    ServerCore {
+        engine,
+        queue,
+        serializer,
+        worker_threads,
+    }
+}
+
+/// Join (and discard) every handler thread that has already returned,
+/// so a long-lived daemon's handle list tracks *live* clients instead
+/// of growing monotonically across connection churn.
+fn reap_finished(handles: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            let _ = handles.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
 impl IonServer {
-    /// Start the daemon on a listener.
+    /// Start the daemon on a listener (thread-per-connection transport).
     pub fn spawn(
         listener: Box<dyn Listener>,
         backend: Arc<dyn Backend>,
         config: ServerConfig,
     ) -> IonServer {
         let telemetry = config.telemetry.clone();
-        let bml = match config.mode {
-            ForwardingMode::AsyncStaged { bml_capacity, .. } => {
-                Some(Bml::with_telemetry(bml_capacity, telemetry.clone()))
-            }
-            _ => None,
-        };
-        // Count backend data-plane traffic only when someone is looking.
-        let backend: Arc<dyn Backend> = if telemetry.enabled() {
-            Arc::new(crate::backend::Instrumented::new(
-                backend,
-                telemetry.clone(),
-            ))
-        } else {
-            backend
-        };
-        let mut engine =
-            Engine::with_telemetry(backend, bml, config.filters.clone(), telemetry.clone());
-        engine.set_retry_policy(config.retry);
-        let engine = Arc::new(engine);
+        let ServerCore {
+            engine,
+            queue,
+            serializer,
+            worker_threads,
+        } = build_core(backend, &config);
         let listener: Arc<dyn Listener> = Arc::from(listener);
         let handler_threads = Arc::new(Mutex::new(Vec::new()));
-
-        let (queue, serializer, worker_threads) = match config.mode.workers() {
-            0 => (None, None, Vec::new()),
-            n => {
-                let queue = Arc::new(WorkQueue::with_telemetry(
-                    config.queue_discipline,
-                    n,
-                    telemetry.clone(),
-                ));
-                let serializer = Arc::new(FdSerializer::new());
-                let workers = (0..n)
-                    .map(|w| {
-                        let queue = queue.clone();
-                        let engine = engine.clone();
-                        let serializer = serializer.clone();
-                        let batch = config.worker_batch;
-                        let coalesce = config.coalesce;
-                        std::thread::Builder::new()
-                            .name(format!("iofwd-worker-{w}"))
-                            .spawn(move || {
-                                handlers::worker_loop(w, batch, queue, engine, serializer, coalesce)
-                            })
-                            .expect("spawn worker")
-                    })
-                    .collect();
-                (Some(queue), Some(serializer), workers)
-            }
-        };
 
         let accept_thread = {
             let listener = listener.clone();
@@ -265,7 +310,26 @@ impl IonServer {
             std::thread::Builder::new()
                 .name("iofwd-accept".into())
                 .spawn(move || {
-                    while let Ok(Some(conn)) = listener.accept() {
+                    // Transient accept failures (EMFILE, ECONNABORTED,
+                    // EINTR, …) must not kill the listener: back off,
+                    // count, retry. Only `shutdown()` (surfaced as
+                    // `Ok(None)`) ends the loop.
+                    let mut backoff = Duration::from_millis(1);
+                    loop {
+                        let conn = match listener.accept() {
+                            Ok(Some(conn)) => conn,
+                            Ok(None) => break,
+                            Err(_) => {
+                                if telemetry.enabled() {
+                                    telemetry.accept_errors.inc();
+                                }
+                                std::thread::sleep(backoff);
+                                backoff = (backoff * 2).min(Duration::from_millis(100));
+                                continue;
+                            }
+                        };
+                        backoff = Duration::from_millis(1);
+                        reap_finished(&mut handler_threads.lock());
                         let conn: Arc<dyn crate::transport::Conn> = if telemetry.enabled() {
                             Arc::new(crate::transport::Instrumented::new(conn, telemetry.clone()))
                         } else {
@@ -274,22 +338,31 @@ impl IonServer {
                         let engine = engine.clone();
                         let queue = queue.clone();
                         let serializer = serializer.clone();
+                        if telemetry.enabled() {
+                            telemetry.conns_open.add(1);
+                        }
+                        let telemetry = telemetry.clone();
                         let handle = std::thread::Builder::new()
                             .name("iofwd-handler".into())
-                            .spawn(move || match mode {
-                                ForwardingMode::Ciod => handlers::handle_ciod(conn, engine),
-                                ForwardingMode::Zoid => handlers::handle_zoid(conn, engine),
-                                ForwardingMode::Sched { .. } => handlers::handle_sched(
-                                    conn,
-                                    engine,
-                                    queue.expect("sched mode has a queue"),
-                                ),
-                                ForwardingMode::AsyncStaged { .. } => handlers::handle_staged(
-                                    conn,
-                                    engine,
-                                    queue.expect("staged mode has a queue"),
-                                    serializer.expect("staged mode has a serializer"),
-                                ),
+                            .spawn(move || {
+                                match mode {
+                                    ForwardingMode::Ciod => handlers::handle_ciod(conn, engine),
+                                    ForwardingMode::Zoid => handlers::handle_zoid(conn, engine),
+                                    ForwardingMode::Sched { .. } => handlers::handle_sched(
+                                        conn,
+                                        engine,
+                                        queue.expect("sched mode has a queue"),
+                                    ),
+                                    ForwardingMode::AsyncStaged { .. } => handlers::handle_staged(
+                                        conn,
+                                        engine,
+                                        queue.expect("staged mode has a queue"),
+                                        serializer.expect("staged mode has a serializer"),
+                                    ),
+                                }
+                                if telemetry.enabled() {
+                                    telemetry.conns_open.add(-1);
+                                }
                             })
                             .expect("spawn handler");
                         handler_threads.lock().push(handle);
@@ -306,8 +379,83 @@ impl IonServer {
             accept_thread: Some(accept_thread),
             worker_threads,
             handler_threads,
+            reactor: None,
             config,
         }
+    }
+
+    /// Start the daemon on a TCP listener using the poll-based reactor
+    /// transport: a small fixed pool of event loops multiplexes every
+    /// client socket instead of spawning a thread per connection.
+    ///
+    /// Requires a worker-pool mode (`Sched`/`AsyncStaged`) — the
+    /// reactor has no per-client thread to execute inline on. Fails if
+    /// the vendored poller does not support this target (the caller
+    /// falls back to [`IonServer::spawn`]).
+    pub fn spawn_reactor(
+        acceptor: crate::transport::tcp::TcpAcceptor,
+        backend: Arc<dyn Backend>,
+        config: ServerConfig,
+        reactor_cfg: ReactorConfig,
+    ) -> io::Result<IonServer> {
+        if config.mode.workers() == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "reactor transport requires a worker-pool mode (sched/async-staged)",
+            ));
+        }
+        let ServerCore {
+            engine,
+            queue,
+            serializer,
+            worker_threads,
+        } = build_core(backend, &config);
+        let queue = queue.expect("worker-pool mode has a queue");
+        let acceptor = Arc::new(acceptor);
+        let staged = matches!(config.mode, ForwardingMode::AsyncStaged { .. });
+        match reactor::spawn(
+            acceptor.clone(),
+            engine.clone(),
+            queue.clone(),
+            serializer.clone(),
+            staged,
+            reactor_cfg,
+        ) {
+            Ok(handle) => Ok(IonServer {
+                engine,
+                queue: Some(queue),
+                serializer,
+                listener: acceptor,
+                accept_thread: None,
+                worker_threads,
+                handler_threads: Arc::new(Mutex::new(Vec::new())),
+                reactor: Some(handle),
+                config,
+            }),
+            Err(e) => {
+                // Unwind the worker pool we just built; no client ever
+                // connected, so there is nothing to drain.
+                queue.close();
+                queue.abort();
+                for w in worker_threads {
+                    let _ = w.join();
+                }
+                if let Some(bml) = engine.bml() {
+                    bml.close();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Live handler threads (thread-per-connection transport only; the
+    /// reactor spawns none). Finished handlers are reaped on the next
+    /// accept, so across connection churn this tracks open clients, not
+    /// historical ones.
+    pub fn handler_thread_count(&self) -> usize {
+        let mut handles = self.handler_threads.lock();
+        reap_finished(&mut handles);
+        handles.len()
     }
 
     pub fn config(&self) -> &ServerConfig {
@@ -478,16 +626,41 @@ impl IonServer {
                         }
                     }
                 }
-                // Sync items carry no BML memory and no recorded op;
-                // dropping the reply sender unblocks the waiting handler
-                // with a disconnect.
-                WorkItem::Sync { .. } => {}
+                // Sync items carry no BML memory and no recorded op.
+                // Handler-origin: dropping the reply sender unblocks the
+                // waiting handler with a disconnect. Reactor-origin: the
+                // event loop is still running and holds per-connection
+                // bookkeeping for this op, so fail it explicitly — the
+                // completion routes back through the reactor's sink.
+                WorkItem::Sync {
+                    reply, mut span, ..
+                } => {
+                    if matches!(reply, ReplyTo::Reactor { .. }) {
+                        span.ok = false;
+                        span.errno = Errno::Again.to_wire();
+                        span.disposition = crate::telemetry::Disposition::QueueRejected;
+                        reply.deliver(
+                            Response::Err {
+                                errno: Errno::Again,
+                            },
+                            Bytes::new(),
+                            span,
+                        );
+                    }
+                }
             }
         }
 
         let handlers: Vec<_> = std::mem::take(&mut *self.handler_threads.lock());
         for h in handlers {
             let _ = h.join();
+        }
+        // Reactor transport: the event loops stayed up through the
+        // drain so queue-rejected completions could still reach their
+        // connections; now stop them (tears down remaining sockets and
+        // reclaims descriptors) before closing the BML.
+        if let Some(r) = self.reactor.take() {
+            r.stop();
         }
         if let Some(bml) = self.engine.bml() {
             bml.close();

@@ -13,7 +13,7 @@
 //! variant (round-robin enqueue + work stealing when a worker's own queue
 //! runs dry) is provided for the queue-discipline ablation bench.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -25,6 +25,74 @@ use crate::bml::BmlBuffer;
 use crate::sync::{Condvar, Mutex};
 use crate::telemetry::{OpSpan, Telemetry};
 
+/// A finished unit of work routed back to a reactor event loop. The
+/// `(token, gen)` pair addresses the originating connection slot; a
+/// stale `gen` means the client disconnected while the op was in
+/// flight, in which case the reactor still completes the span but has
+/// nowhere to write the reply.
+pub struct Completion {
+    pub token: usize,
+    pub gen: u64,
+    pub client_id: u32,
+    pub seq: u64,
+    pub resp: Response,
+    pub data: Bytes,
+    pub span: OpSpan,
+}
+
+/// Where a reactor-origin reply goes once a worker finishes the op.
+/// Implemented by the reactor's completion queue; lives here (not in
+/// the reactor module) so `WorkItem` does not depend on the reactor.
+pub trait CompletionSink: Send + Sync {
+    fn complete(&self, completion: Completion);
+}
+
+/// How a finished [`WorkItem::Sync`] finds its way back to the client:
+/// either a blocked handler thread waiting on a channel (threaded
+/// transport) or a reactor completion queue (event-loop transport).
+pub enum ReplyTo {
+    /// A per-connection handler thread parked on the receiving end.
+    Handler(Sender<(Response, Bytes, OpSpan)>),
+    /// A reactor connection slot; the sink wakes the owning event loop.
+    Reactor {
+        sink: Arc<dyn CompletionSink>,
+        token: usize,
+        gen: u64,
+        client_id: u32,
+        seq: u64,
+    },
+}
+
+impl ReplyTo {
+    /// Route the outcome to whoever is waiting. The handler path stamps
+    /// `reply_ns` and folds telemetry on its own thread; the reactor
+    /// path does both when the event loop drains its completion queue.
+    pub fn deliver(self, resp: Response, data: Bytes, span: OpSpan) {
+        match self {
+            // A gone handler (client disconnected mid-op) is not an
+            // error; the outcome is simply unobservable.
+            ReplyTo::Handler(tx) => {
+                let _ = tx.send((resp, data, span));
+            }
+            ReplyTo::Reactor {
+                sink,
+                token,
+                gen,
+                client_id,
+                seq,
+            } => sink.complete(Completion {
+                token,
+                gen,
+                client_id,
+                seq,
+                resp,
+                data,
+                span,
+            }),
+        }
+    }
+}
+
 /// A unit of work for the worker pool. Every item carries its lifecycle
 /// span; the worker stamps dispatch/backend stages into it.
 pub enum WorkItem {
@@ -33,7 +101,7 @@ pub enum WorkItem {
     Sync {
         req: Request,
         data: Bytes,
-        reply: Sender<(Response, Bytes, OpSpan)>,
+        reply: ReplyTo,
         span: OpSpan,
     },
     /// A staged write: data already copied into BML memory, the client
@@ -73,6 +141,18 @@ pub struct StagedPart {
     pub span: OpSpan,
 }
 
+impl WorkItem {
+    /// The client this work belongs to (from its span), for per-client
+    /// admission accounting.
+    pub fn client(&self) -> u64 {
+        match self {
+            WorkItem::Sync { span, .. } => span.client,
+            WorkItem::StagedWrite { span, .. } => span.client,
+            WorkItem::CoalescedWrite { parts, .. } => parts.first().map_or(0, |p| p.span.client),
+        }
+    }
+}
+
 /// Queueing discipline, for the ablation in DESIGN.md §5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueDiscipline {
@@ -109,6 +189,27 @@ struct QueueState {
     rr_next: usize,
     closed: bool,
     aborted: bool,
+    /// Items currently queued per client — the fairness signal the
+    /// reactor uses to park a chatty connection instead of letting it
+    /// flood the queue. Entries are removed at zero so an idle client
+    /// costs nothing.
+    per_client: HashMap<u64, usize>,
+}
+
+impl QueueState {
+    fn client_inc(&mut self, client: u64) {
+        *self.per_client.entry(client).or_insert(0) += 1;
+    }
+
+    fn client_dec(&mut self, client: u64) {
+        if let Some(n) = self.per_client.get_mut(&client) {
+            if *n <= 1 {
+                self.per_client.remove(&client);
+            } else {
+                *n -= 1;
+            }
+        }
+    }
 }
 
 /// MPMC work queue with batch dequeue ("I/O multiplexing per thread").
@@ -140,6 +241,7 @@ impl WorkQueue {
                 rr_next: 0,
                 closed: false,
                 aborted: false,
+                per_client: HashMap::new(),
             }),
             cv: Condvar::new(),
             discipline,
@@ -164,6 +266,7 @@ impl WorkQueue {
             drop(s);
             return Err(QueueClosed(Box::new(item)));
         }
+        s.client_inc(item.client());
         match self.discipline {
             QueueDiscipline::SharedFifo => s.shared.push_back(item),
             QueueDiscipline::PerWorker => {
@@ -244,6 +347,9 @@ impl WorkQueue {
                 }
             }
             if !out.is_empty() {
+                for it in out.iter() {
+                    s.client_dec(it.client());
+                }
                 drop(s);
                 if self.telemetry.enabled() {
                     self.telemetry.queue_depth.add(-(out.len() as i64));
@@ -291,6 +397,7 @@ impl WorkQueue {
         for q in s.per_worker.iter_mut() {
             out.extend(q.drain(..));
         }
+        s.per_client.clear();
         drop(s);
         if self.telemetry.enabled() && !out.is_empty() {
             self.telemetry.queue_depth.add(-(out.len() as i64));
@@ -300,6 +407,18 @@ impl WorkQueue {
 
     pub fn depth(&self) -> usize {
         Self::depth_locked(&self.state.lock())
+    }
+
+    /// How many items `client` has parked in the queue right now — the
+    /// reactor's fair-admission signal (park the connection once this
+    /// crosses its cap, resume as completions drain it).
+    pub fn client_queued(&self, client: u64) -> usize {
+        self.state
+            .lock()
+            .per_client
+            .get(&client)
+            .copied()
+            .unwrap_or(0)
     }
 
     fn depth_locked(s: &QueueState) -> usize {
@@ -327,12 +446,20 @@ mod tests {
     use std::sync::Arc;
 
     fn sync_item(tag: u64) -> WorkItem {
+        sync_item_for_client(tag, 0)
+    }
+
+    fn sync_item_for_client(tag: u64, client: u64) -> WorkItem {
         let (tx, _rx) = unbounded();
+        let span = OpSpan {
+            client,
+            ..OpSpan::default()
+        };
         WorkItem::Sync {
             req: Request::Fsync { fd: Fd(tag as u32) },
             data: Bytes::new(),
-            reply: tx,
-            span: OpSpan::default(),
+            reply: ReplyTo::Handler(tx),
+            span,
         }
     }
 
@@ -476,6 +603,27 @@ mod tests {
         drained.sort_unstable();
         assert_eq!(drained, vec![0, 1, 2, 3]);
         assert!(q.drain_remaining().is_empty());
+    }
+
+    #[test]
+    fn per_client_counts_track_push_pop_and_drain() {
+        let q = WorkQueue::new(QueueDiscipline::SharedFifo, 1);
+        for i in 0..3 {
+            q.push(sync_item_for_client(i, 7)).unwrap();
+        }
+        q.push(sync_item_for_client(9, 8)).unwrap();
+        assert_eq!(q.client_queued(7), 3);
+        assert_eq!(q.client_queued(8), 1);
+        assert_eq!(q.client_queued(99), 0);
+        // Pops release the pusher's budget item by item.
+        assert_eq!(q.pop_batch(0, 2).len(), 2);
+        assert_eq!(q.client_queued(7), 1);
+        assert_eq!(q.client_queued(8), 1);
+        // The shutdown drain forgets all per-client accounting.
+        q.abort();
+        assert_eq!(q.drain_remaining().len(), 2);
+        assert_eq!(q.client_queued(7), 0);
+        assert_eq!(q.client_queued(8), 0);
     }
 
     #[test]

@@ -1,0 +1,1568 @@
+//! Poll-based reactor transport: the event-loop alternative to
+//! thread-per-connection.
+//!
+//! The paper's ION serves on the order of a hundred compute nodes per
+//! I/O node; at petascale fan-in (and in the `connection_scale`
+//! experiment) a thread per client means thousands of stacks and a
+//! scheduler meltdown on the ION's handful of cores. The reactor
+//! multiplexes every client socket onto a small fixed pool of event
+//! loops built on `epoll(7)` (vendored `polling` stub):
+//!
+//! - **Framed, non-blocking I/O.** Each connection owns a read buffer
+//!   fed by [`bytes::BytesMut::read_from`] (no intermediate copy) and a
+//!   write buffer of encoded frames drained on writability.
+//!   [`Frame::decode`]'s streaming contract (`Ok(None)` = incomplete)
+//!   drives the partial-read state machine; partial writes park the
+//!   remainder and wait for `POLLOUT`.
+//! - **Admission control as backpressure.** Where the threaded staged
+//!   handler *blocks* on BML exhaustion (`acquire_timeout(len, None)`),
+//!   an event loop must never block: a failed [`Bml::try_acquire`]
+//!   parks the connection — the frame is stashed, the socket drops out
+//!   of the readable interest set — and is retried each loop lap. TCP
+//!   flow control pushes the stall back to the compute node, exactly
+//!   the §IV contract ("the I/O operation is blocked until sufficient
+//!   memory is available"), minus the dedicated thread.
+//! - **Per-client fairness.** A client with more than
+//!   [`ReactorConfig::max_client_queued`] items in the shared work
+//!   queue is parked the same way, so one chatty compute node cannot
+//!   monopolize the worker pool ahead of its neighbors.
+//! - **Blocking ops off-loop.** Metadata requests and the
+//!   read-after-staged-write barrier (`wait_idle`) touch the filesystem
+//!   or block on the descriptor database, so they run on a tiny
+//!   `iofwd-sync-*` executor pool, never on an event loop.
+//!
+//! Completions flow back through [`CompletionSink`]: workers finish an
+//! op, push a [`Completion`] onto the owning loop's channel, and kick
+//! its [`Waker`]. `(token, gen)` pairs make stale completions (client
+//! disconnected mid-op) harmless: the span still folds into telemetry,
+//! the reply is simply unaddressable.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use iofwd_proto::{Errno, Fd, Frame, Request, Response, TraceExt};
+use polling::{Event, Interest, Poller, Waker};
+
+use super::engine::{op_kind, response_errno, Engine};
+use super::handlers::{apply_trace, run_staged_inline, stage_echo_of};
+use super::queue::{Completion, CompletionSink, ReplyTo, WorkItem, WorkQueue};
+use super::staged::FdSerializer;
+use crate::bml::Bml;
+use crate::descdb::BeginError;
+use crate::telemetry::{Disposition, OpSpan, Telemetry};
+use crate::transport::tcp::TcpAcceptor;
+
+/// Token reserved for the listening socket (registered on loop 0 only).
+const LISTENER_TOKEN: usize = usize::MAX - 1;
+/// Minimum spare read-buffer capacity per `read(2)`.
+const READ_CHUNK: usize = 64 * 1024;
+/// Idle poll timeout; parked-connection retries ride on this tick.
+const TICK: Duration = Duration::from_millis(20);
+/// Backoff before re-touching a listener that just failed `accept(2)`.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(1);
+
+/// Tuning knobs for [`spawn`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReactorConfig {
+    /// Event-loop threads; client sockets are assigned round-robin.
+    pub threads: usize,
+    /// Frames decoded per connection per loop lap before yielding to
+    /// the next connection (fairness between clients on one loop).
+    pub frames_per_pass: usize,
+    /// Park a client once it has this many items in the work queue.
+    pub max_client_queued: usize,
+    /// Park a client's read side once its un-flushed reply bytes
+    /// exceed this (it is not reading its responses).
+    pub max_write_buffer: usize,
+    /// Threads for blocking work (metadata ops, read barriers).
+    pub sync_executors: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            threads: 2,
+            frames_per_pass: 8,
+            max_client_queued: 32,
+            max_write_buffer: 1 << 20,
+            sync_executors: 8,
+        }
+    }
+}
+
+/// Running reactor: event-loop threads plus the sync-executor pool.
+pub struct ReactorHandle {
+    stop: Arc<AtomicBool>,
+    wakers: Vec<Waker>,
+    threads: Vec<JoinHandle<()>>,
+    sync_threads: Vec<JoinHandle<()>>,
+}
+
+impl ReactorHandle {
+    /// Stop every event loop and join all threads. Connections still
+    /// open are torn down (descriptors reclaimed, spans completed).
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        for w in &self.wakers {
+            w.wake();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Event loops dropped their SyncTask senders on exit; the
+        // executors drain what is left and hang up.
+        for t in self.sync_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Blocking work an event loop must not run in place.
+enum SyncTask {
+    /// Execute a metadata (or oversized-write) request inline.
+    Execute {
+        req: Request,
+        data: Bytes,
+        reply: ReplyTo,
+        span: OpSpan,
+    },
+    /// Barrier behind staged writes on `fd`, then enqueue the read.
+    BarrierThenQueue {
+        fd: Fd,
+        req: Request,
+        data: Bytes,
+        reply: ReplyTo,
+        span: OpSpan,
+    },
+    /// Close descriptors left open by a disconnected client.
+    Reclaim { fds: Vec<Fd> },
+}
+
+/// Completion queue for one event loop; `Send + Sync` so workers and
+/// sync executors can push from any thread.
+struct ReactorSink {
+    tx: Sender<Completion>,
+    waker: Waker,
+    telemetry: Arc<Telemetry>,
+}
+
+impl CompletionSink for ReactorSink {
+    fn complete(&self, completion: Completion) {
+        match self.tx.send(completion) {
+            Ok(()) => self.waker.wake(),
+            // The loop is gone (shutdown race): the reply has no
+            // destination but the span must still reach the recorder.
+            Err(send_err) => {
+                let mut span = send_err.0.span;
+                span.reply_ns = self.telemetry.now_ns();
+                self.telemetry.complete(&span);
+            }
+        }
+    }
+}
+
+/// What a completed op means for the connection's descriptor session
+/// (mirrors `handlers::Session`, keyed by request seq because the
+/// response arrives asynchronously).
+enum PendingOp {
+    /// `Open`/`Connect`: success allocates a descriptor to track.
+    Open,
+    /// `Close`: success (or deferred error) releases the descriptor.
+    Close(Fd),
+}
+
+/// Per-connection state machine.
+struct ConnState {
+    stream: TcpStream,
+    /// Inbound bytes; `Frame::decode` consumes complete frames.
+    rbuf: BytesMut,
+    /// Encoded reply frames awaiting the socket.
+    wbuf: VecDeque<Bytes>,
+    /// Bytes of `wbuf.front()` already written (partial-write cursor).
+    wbuf_off: usize,
+    /// Total un-flushed bytes across `wbuf`.
+    wbuf_bytes: usize,
+    /// Session-tracking ops in flight, keyed by frame seq.
+    pending: HashMap<u64, PendingOp>,
+    /// Descriptors this client opened and has not closed.
+    fds: HashSet<Fd>,
+    /// Client id from the most recent frame (for fairness lookups).
+    client: u64,
+    /// Decoded frame waiting for admission (BML or queue pushed back).
+    parked_frame: Option<Frame>,
+    /// Ops handed to the queue / sync pool with replies outstanding.
+    inflight: usize,
+    parked_queue: bool,
+    parked_bml: bool,
+    parked_wbuf: bool,
+    peer_closed: bool,
+    close_after_flush: bool,
+    /// Interest set currently registered with the poller. `finish_conn`
+    /// only issues an `epoll_ctl`-backed `modify` when the recomputed
+    /// set differs — most service passes leave it untouched, and a
+    /// syscall per pass is exactly the per-op overhead the reactor
+    /// exists to avoid.
+    interest: Interest,
+    /// On the hot list (decoded frames may still be buffered).
+    in_hot: bool,
+    /// Wants a hot-list slot next lap (set when the per-pass frame
+    /// budget ran out with bytes still buffered).
+    want_hot: bool,
+    dead: bool,
+}
+
+impl ConnState {
+    fn new(stream: TcpStream) -> ConnState {
+        ConnState {
+            stream,
+            rbuf: BytesMut::with_capacity(READ_CHUNK),
+            wbuf: VecDeque::new(),
+            wbuf_off: 0,
+            wbuf_bytes: 0,
+            pending: HashMap::new(),
+            fds: HashSet::new(),
+            client: 0,
+            parked_frame: None,
+            inflight: 0,
+            parked_queue: false,
+            parked_bml: false,
+            parked_wbuf: false,
+            peer_closed: false,
+            close_after_flush: false,
+            interest: Interest::READABLE,
+            in_hot: false,
+            want_hot: false,
+            dead: false,
+        }
+    }
+
+    fn parked(&self) -> bool {
+        self.parked_queue || self.parked_bml || self.parked_wbuf
+    }
+
+    /// A drained connection whose peer is done (or that acked
+    /// `Shutdown`) dies once every reply has left the building.
+    fn maybe_finished(&mut self) {
+        if (self.peer_closed || self.close_after_flush)
+            && self.inflight == 0
+            && self.wbuf.is_empty()
+            && self.parked_frame.is_none()
+        {
+            self.dead = true;
+        }
+    }
+}
+
+/// Connection slot: `gen` increments on reuse so completions addressed
+/// to a previous occupant are recognized as stale.
+struct Slot {
+    gen: u64,
+    conn: Option<ConnState>,
+}
+
+/// One event loop.
+struct ReactorThread {
+    idx: usize,
+    poller: Poller,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Connections with buffered-but-undecoded frames: serviced every
+    /// lap with a zero poll timeout, since no new socket readiness
+    /// will announce bytes we already hold.
+    hot: VecDeque<usize>,
+    events: Vec<Event>,
+    conn_rx: Receiver<TcpStream>,
+    comp_rx: Receiver<Completion>,
+    sink: Arc<ReactorSink>,
+    sync_tx: Sender<SyncTask>,
+    engine: Arc<Engine>,
+    queue: Arc<WorkQueue>,
+    serializer: Option<Arc<FdSerializer>>,
+    bml: Option<Bml>,
+    staged: bool,
+    telemetry: Arc<Telemetry>,
+    cfg: ReactorConfig,
+    stop: Arc<AtomicBool>,
+    /// Accept duty (loop 0 only): the listener plus the round-robin
+    /// hand-off channels to every loop (self included).
+    acceptor: Option<Arc<TcpAcceptor>>,
+    assign: Vec<Sender<TcpStream>>,
+    assign_wakers: Vec<Waker>,
+    rr: usize,
+    /// Accept backoff deadline after a transient accept failure.
+    next_accept_at: Option<Instant>,
+}
+
+impl ReactorThread {
+    fn run(mut self) {
+        while !self.stop.load(Ordering::Acquire) {
+            self.drain_incoming();
+            self.drain_completions();
+            self.retry_parked();
+            let lap = self.hot.len();
+            for _ in 0..lap {
+                if let Some(tok) = self.hot.pop_front() {
+                    if let Some(c) = self.slots.get_mut(tok).and_then(|s| s.conn.as_mut()) {
+                        c.in_hot = false;
+                    }
+                    self.service_conn(tok);
+                }
+            }
+            let timeout = if self.hot.is_empty() && self.next_accept_at.is_none() {
+                TICK
+            } else {
+                Duration::ZERO
+            };
+            let mut events = std::mem::take(&mut self.events);
+            let _ = self.poller.wait(&mut events, Some(timeout));
+            for ev in events.drain(..) {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_burst();
+                    continue;
+                }
+                if ev.writable {
+                    self.flush_conn(ev.token);
+                }
+                if ev.readable {
+                    self.service_conn(ev.token);
+                }
+            }
+            self.events = events;
+            if self.next_accept_at.is_some() {
+                self.accept_burst();
+            }
+        }
+        self.teardown();
+    }
+
+    // -- accept path --------------------------------------------------
+
+    /// Accept everything the backlog holds, spreading connections
+    /// round-robin across the loops. Transient failures (EMFILE,
+    /// ECONNABORTED, injected faults) are counted and retried after a
+    /// short backoff — the listener stays alive no matter what.
+    fn accept_burst(&mut self) {
+        let Some(acceptor) = self.acceptor.clone() else {
+            return;
+        };
+        if let Some(at) = self.next_accept_at {
+            if Instant::now() < at {
+                return;
+            }
+            self.next_accept_at = None;
+        }
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            match acceptor.try_accept_stream() {
+                Ok(Some(stream)) => {
+                    let target = if self.assign.is_empty() {
+                        self.idx
+                    } else {
+                        self.rr % self.assign.len()
+                    };
+                    self.rr = self.rr.wrapping_add(1);
+                    if target == self.idx {
+                        self.register_conn(stream);
+                    } else if let (Some(tx), Some(w)) =
+                        (self.assign.get(target), self.assign_wakers.get(target))
+                    {
+                        if tx.send(stream).is_ok() {
+                            w.wake();
+                        }
+                    }
+                }
+                // Backlog drained, or the listener has shut down.
+                Ok(None) => return,
+                Err(_) => {
+                    if self.telemetry.enabled() {
+                        self.telemetry.accept_errors.inc();
+                    }
+                    self.next_accept_at = Some(Instant::now() + ACCEPT_BACKOFF);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let tok = match self.free.pop() {
+            Some(t) => t,
+            None => {
+                self.slots.push(Slot { gen: 0, conn: None });
+                self.slots.len() - 1
+            }
+        };
+        if self
+            .poller
+            .add(stream.as_raw_fd(), tok, Interest::READABLE)
+            .is_err()
+        {
+            self.free.push(tok);
+            return;
+        }
+        if let Some(slot) = self.slots.get_mut(tok) {
+            slot.conn = Some(ConnState::new(stream));
+        }
+        if self.telemetry.enabled() {
+            self.telemetry.conns_open.add(1);
+        }
+        // The client may have written before registration; service once
+        // now rather than waiting for the next readiness report.
+        self.push_hot(tok);
+    }
+
+    fn push_hot(&mut self, tok: usize) {
+        if let Some(c) = self.slots.get_mut(tok).and_then(|s| s.conn.as_mut()) {
+            if !c.in_hot && !c.dead {
+                c.in_hot = true;
+                self.hot.push_back(tok);
+            }
+        }
+    }
+
+    // -- channel drains -----------------------------------------------
+
+    fn drain_incoming(&mut self) {
+        while let Ok(stream) = self.conn_rx.try_recv() {
+            self.register_conn(stream);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        while let Ok(c) = self.comp_rx.try_recv() {
+            self.on_completion(c);
+        }
+    }
+
+    fn on_completion(&mut self, c: Completion) {
+        let mut span = c.span;
+        span.reply_ns = self.telemetry.now_ns();
+        let live = self
+            .slots
+            .get(c.token)
+            .is_some_and(|slot| slot.gen == c.gen && slot.conn.is_some());
+        if !live {
+            // Stale: the client disconnected while the op ran.
+            self.telemetry.complete(&span);
+            return;
+        }
+        let Some(mut conn) = self.slots.get_mut(c.token).and_then(|s| s.conn.take()) else {
+            self.telemetry.complete(&span);
+            return;
+        };
+        match conn.pending.remove(&c.seq) {
+            Some(PendingOp::Open) => {
+                if let Response::Ok { ret } = c.resp {
+                    conn.fds.insert(Fd(ret as u32));
+                }
+            }
+            Some(PendingOp::Close(fd)) => {
+                if matches!(c.resp, Response::Ok { .. } | Response::DeferredErr { .. }) {
+                    conn.fds.remove(&fd);
+                }
+            }
+            None => {}
+        }
+        conn.inflight = conn.inflight.saturating_sub(1);
+        let mut frame = Frame::response(c.client_id, c.seq, &c.resp, c.data);
+        if span.trace_id != 0 {
+            frame = frame.with_ext(TraceExt::Echo(stage_echo_of(&span)));
+        }
+        self.telemetry.complete(&span);
+        self.enqueue_wire(&mut conn, frame);
+        conn.maybe_finished();
+        self.finish_conn(c.token, conn);
+    }
+
+    /// Re-admit parked frames. BML parks retry every lap (buffers free
+    /// continuously); queue parks retry once the client's backlog has
+    /// drained to half the cap (hysteresis, so a parked client does not
+    /// flap at the boundary).
+    fn retry_parked(&mut self) {
+        for tok in 0..self.slots.len() {
+            let eligible = match self.slots.get(tok).and_then(|s| s.conn.as_ref()) {
+                Some(c) if c.parked_frame.is_some() && !c.dead => {
+                    if c.parked_queue {
+                        self.queue.client_queued(c.client) * 2 <= self.cfg.max_client_queued
+                    } else {
+                        c.parked_bml
+                    }
+                }
+                _ => false,
+            };
+            if !eligible {
+                continue;
+            }
+            let Some(mut conn) = self.slots.get_mut(tok).and_then(|s| s.conn.take()) else {
+                continue;
+            };
+            conn.parked_queue = false;
+            if let Some(frame) = conn.parked_frame.take() {
+                // parked_bml stays set through the retry so a re-park
+                // does not double-count the backpressure event; admit
+                // clears it on success.
+                self.admit(tok, &mut conn, frame);
+            }
+            if !conn.parked() {
+                // Unparked: resume draining whatever piled up in rbuf.
+                conn.want_hot = true;
+            }
+            self.finish_conn(tok, conn);
+        }
+    }
+
+    // -- read path ----------------------------------------------------
+
+    fn service_conn(&mut self, tok: usize) {
+        let Some(mut conn) = self.slots.get_mut(tok).and_then(|s| s.conn.take()) else {
+            return;
+        };
+        self.pump(tok, &mut conn);
+        conn.maybe_finished();
+        self.finish_conn(tok, conn);
+    }
+
+    /// Decode-and-admit loop: up to `frames_per_pass` frames, refilling
+    /// `rbuf` from the socket when a frame is incomplete.
+    fn pump(&mut self, tok: usize, conn: &mut ConnState) {
+        let mut budget = self.cfg.frames_per_pass.max(1);
+        loop {
+            if conn.dead || conn.parked() || conn.peer_closed || conn.close_after_flush {
+                return;
+            }
+            if budget == 0 {
+                // Yield to other connections; come back next lap if
+                // undecoded bytes remain.
+                if !conn.rbuf.is_empty() {
+                    conn.want_hot = true;
+                }
+                return;
+            }
+            match Frame::decode(&conn.rbuf) {
+                Ok(Some((frame, used))) => {
+                    let _ = conn.rbuf.split_to(used);
+                    budget -= 1;
+                    if self.telemetry.enabled() {
+                        self.telemetry.frames_in.inc();
+                        self.telemetry
+                            .transport_bytes_in
+                            .add(frame.data.len() as u64);
+                    }
+                    self.admit(tok, conn, frame);
+                }
+                Ok(None) => match conn.rbuf.read_from(&mut conn.stream, READ_CHUNK) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        return;
+                    }
+                    Ok(_) => {}
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.dead = true;
+                        return;
+                    }
+                },
+                // Undecodable garbage: the framing is unrecoverable.
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    // -- admission ----------------------------------------------------
+
+    fn admit(&mut self, tok: usize, conn: &mut ConnState, frame: Frame) {
+        let client = u64::from(frame.client_id);
+        conn.client = client;
+        // Fairness gate: a client hogging the work queue is parked
+        // before we even decode the request.
+        if self.queue.client_queued(client) >= self.cfg.max_client_queued.max(1) {
+            self.park_queue(conn, frame);
+            return;
+        }
+        let req = match frame.decode_request() {
+            Ok(req) => req,
+            Err(_) => {
+                // Mirror `decode_or_reject`: error reply, no span.
+                let reply = Frame::response(
+                    frame.client_id,
+                    frame.seq,
+                    &Response::Err {
+                        errno: Errno::Inval,
+                    },
+                    Bytes::new(),
+                );
+                self.enqueue_wire(conn, reply);
+                return;
+            }
+        };
+        let mut span = OpSpan::begin(op_kind(&req), client, frame.seq, self.telemetry.now_ns());
+        span.bytes = frame.data.len() as u64;
+        apply_trace(&mut span, &frame);
+        if matches!(req, Request::Shutdown) {
+            let reply = Frame::response(
+                frame.client_id,
+                frame.seq,
+                &Response::Ok { ret: 0 },
+                Bytes::new(),
+            );
+            self.enqueue_wire(conn, reply);
+            conn.close_after_flush = true;
+            return;
+        }
+        if self.staged {
+            self.admit_staged(tok, conn, frame, req, span);
+        } else {
+            self.submit_queue(tok, conn, frame, req, span);
+        }
+    }
+
+    /// Sched mode: everything rides the shared work queue.
+    fn submit_queue(
+        &mut self,
+        tok: usize,
+        conn: &mut ConnState,
+        frame: Frame,
+        req: Request,
+        mut span: OpSpan,
+    ) {
+        span.enqueue_ns = self.telemetry.now_ns();
+        let reply = self.reply_to(tok, frame.client_id, frame.seq);
+        self.track_pending(conn, frame.seq, &req);
+        conn.inflight += 1;
+        if let Err(closed) = self.queue.push(WorkItem::Sync {
+            req,
+            data: frame.data,
+            reply,
+            span,
+        }) {
+            // Queue closed (shutdown race): fail the op with a clean
+            // transient errno; the completion routes back through our
+            // own sink, so the bookkeeping above unwinds normally.
+            fail_queued_item(*closed.0);
+        }
+    }
+
+    /// Staged mode: the asynchronous-staging admission state machine,
+    /// non-blocking edition.
+    fn admit_staged(
+        &mut self,
+        tok: usize,
+        conn: &mut ConnState,
+        frame: Frame,
+        req: Request,
+        mut span: OpSpan,
+    ) {
+        let Some(bml) = self.bml.clone() else {
+            // Defensive: staged mode always builds a BML.
+            self.submit_queue(tok, conn, frame, req, span);
+            return;
+        };
+        match req {
+            Request::Write { fd, len } | Request::Pwrite { fd, len, .. }
+                if len as usize <= bml.max_request() =>
+            {
+                let offset = if let Request::Pwrite { offset, .. } = req {
+                    Some(offset)
+                } else {
+                    None
+                };
+                if len != frame.data.len() as u64 {
+                    self.fail_inline(
+                        conn,
+                        frame.client_id,
+                        frame.seq,
+                        &mut span,
+                        &Response::Err {
+                            errno: Errno::Inval,
+                        },
+                    );
+                    return;
+                }
+                // Admission control: where the threaded handler blocks
+                // on `acquire_timeout`, the reactor parks the client.
+                // Order matters — acquire *before* `begin_op`, so a
+                // parked client leaves no half-open operation on the
+                // descriptor for barriers to wait on.
+                let Some(mut buf) = bml.try_acquire(len as usize) else {
+                    self.park_bml(conn, frame);
+                    return;
+                };
+                conn.parked_bml = false;
+                let resp = match self.engine.descriptor_db().begin_op(fd) {
+                    Err(BeginError::Sync(errno)) => Response::Err { errno },
+                    Err(BeginError::Deferred { op, errno }) => {
+                        self.engine
+                            .stats
+                            .deferred_errors_reported
+                            .fetch_add(1, Ordering::Relaxed);
+                        Response::DeferredErr { op, errno }
+                    }
+                    Ok((op, _obj)) => {
+                        buf.fill_from(&frame.data);
+                        self.engine.stats.requests.fetch_add(1, Ordering::Relaxed);
+                        self.engine.stats.bytes_in.fetch_add(len, Ordering::Relaxed);
+                        self.engine.stats.staged_ops.fetch_add(1, Ordering::Relaxed);
+                        if self.telemetry.enabled() {
+                            self.telemetry.ops_staged.inc();
+                        }
+                        // The staging ack is the client-visible reply;
+                        // the worker completes the span post-backend.
+                        span.enqueue_ns = self.telemetry.now_ns();
+                        span.reply_ns = span.enqueue_ns;
+                        let item = WorkItem::StagedWrite {
+                            fd,
+                            op,
+                            offset,
+                            buf,
+                            span,
+                        };
+                        if let Some(serializer) = self.serializer.clone() {
+                            if let Some(item) = serializer.admit(fd, item) {
+                                if let Err(closed) = self.queue.push(item) {
+                                    run_staged_inline(
+                                        &self.engine,
+                                        &self.telemetry,
+                                        *closed.0,
+                                        Disposition::Completed,
+                                    );
+                                    while let Some(next) = serializer.complete(fd) {
+                                        run_staged_inline(
+                                            &self.engine,
+                                            &self.telemetry,
+                                            next,
+                                            Disposition::Completed,
+                                        );
+                                    }
+                                }
+                            }
+                        } else if let Err(closed) = self.queue.push(item) {
+                            run_staged_inline(
+                                &self.engine,
+                                &self.telemetry,
+                                *closed.0,
+                                Disposition::Completed,
+                            );
+                        }
+                        let mut ack = Frame::response(
+                            frame.client_id,
+                            frame.seq,
+                            &Response::Staged { op },
+                            Bytes::new(),
+                        );
+                        if span.trace_id != 0 {
+                            ack = ack.with_ext(TraceExt::Echo(stage_echo_of(&span)));
+                        }
+                        self.enqueue_wire(conn, ack);
+                        return;
+                    }
+                };
+                self.fail_inline(conn, frame.client_id, frame.seq, &mut span, &resp);
+            }
+            Request::Read { fd, .. } | Request::Pread { fd, .. } => {
+                // Read barrier blocks on `wait_idle`; run it off-loop.
+                let reply = self.reply_to(tok, frame.client_id, frame.seq);
+                conn.inflight += 1;
+                let task = SyncTask::BarrierThenQueue {
+                    fd,
+                    req,
+                    data: frame.data,
+                    reply,
+                    span,
+                };
+                if let Err(send_err) = self.sync_tx.send(task) {
+                    fail_sync_task(send_err.0);
+                }
+            }
+            // Metadata ops and oversized writes (falling through the
+            // size guard above) execute synchronously — on the executor
+            // pool, since they touch the filesystem. `Shutdown` is
+            // consumed by `admit` and never reaches here, but routing it
+            // through the executor would be harmless.
+            other @ (Request::Open { .. }
+            | Request::Connect { .. }
+            | Request::Close { .. }
+            | Request::Write { .. }
+            | Request::Pwrite { .. }
+            | Request::Lseek { .. }
+            | Request::Fsync { .. }
+            | Request::Stat { .. }
+            | Request::Fstat { .. }
+            | Request::Unlink { .. }
+            | Request::Ftruncate { .. }
+            | Request::Mkdir { .. }
+            | Request::Readdir { .. }
+            | Request::Shutdown) => {
+                let reply = self.reply_to(tok, frame.client_id, frame.seq);
+                self.track_pending(conn, frame.seq, &other);
+                conn.inflight += 1;
+                let task = SyncTask::Execute {
+                    req: other,
+                    data: frame.data,
+                    reply,
+                    span,
+                };
+                if let Err(send_err) = self.sync_tx.send(task) {
+                    fail_sync_task(send_err.0);
+                }
+            }
+        }
+    }
+
+    fn track_pending(&self, conn: &mut ConnState, seq: u64, req: &Request) {
+        match req {
+            Request::Open { .. } | Request::Connect { .. } => {
+                conn.pending.insert(seq, PendingOp::Open);
+            }
+            Request::Close { fd } => {
+                conn.pending.insert(seq, PendingOp::Close(*fd));
+            }
+            Request::Write { .. }
+            | Request::Pwrite { .. }
+            | Request::Read { .. }
+            | Request::Pread { .. }
+            | Request::Lseek { .. }
+            | Request::Fsync { .. }
+            | Request::Stat { .. }
+            | Request::Fstat { .. }
+            | Request::Unlink { .. }
+            | Request::Ftruncate { .. }
+            | Request::Mkdir { .. }
+            | Request::Readdir { .. }
+            | Request::Shutdown => {}
+        }
+    }
+
+    fn reply_to(&self, tok: usize, client_id: u32, seq: u64) -> ReplyTo {
+        ReplyTo::Reactor {
+            sink: self.sink.clone(),
+            token: tok,
+            gen: self.slots.get(tok).map_or(0, |s| s.gen),
+            client_id,
+            seq,
+        }
+    }
+
+    fn park_queue(&mut self, conn: &mut ConnState, frame: Frame) {
+        if !conn.parked_queue {
+            conn.parked_queue = true;
+            if self.telemetry.enabled() {
+                self.telemetry.backpressure_events.inc();
+            }
+        }
+        conn.parked_frame = Some(frame);
+    }
+
+    fn park_bml(&mut self, conn: &mut ConnState, frame: Frame) {
+        if !conn.parked_bml {
+            conn.parked_bml = true;
+            if self.telemetry.enabled() {
+                self.telemetry.backpressure_events.inc();
+            }
+        }
+        conn.parked_frame = Some(frame);
+    }
+
+    /// Complete a span as failed and queue the error reply, all inline.
+    fn fail_inline(
+        &mut self,
+        conn: &mut ConnState,
+        client_id: u32,
+        seq: u64,
+        span: &mut OpSpan,
+        resp: &Response,
+    ) {
+        let now = self.telemetry.now_ns();
+        span.enqueue_ns = now;
+        span.dispatch_ns = now;
+        span.ok = false;
+        span.errno = response_errno(resp);
+        span.reply_ns = self.telemetry.now_ns();
+        let mut frame = Frame::response(client_id, seq, resp, Bytes::new());
+        if span.trace_id != 0 {
+            frame = frame.with_ext(TraceExt::Echo(stage_echo_of(span)));
+        }
+        self.telemetry.complete(span);
+        self.enqueue_wire(conn, frame);
+    }
+
+    // -- write path ---------------------------------------------------
+
+    fn enqueue_wire(&mut self, conn: &mut ConnState, frame: Frame) {
+        if conn.dead {
+            return;
+        }
+        let data_len = frame.data.len() as u64;
+        let wire = frame.encode();
+        conn.wbuf_bytes += wire.len();
+        conn.wbuf.push_back(wire);
+        if self.telemetry.enabled() {
+            self.telemetry.frames_out.inc();
+            self.telemetry.transport_bytes_out.add(data_len);
+        }
+        self.flush(conn);
+        // Write-side backpressure: a client not reading its replies
+        // stops being read from until the backlog halves.
+        if conn.wbuf_bytes > self.cfg.max_write_buffer && !conn.parked_wbuf {
+            conn.parked_wbuf = true;
+            if self.telemetry.enabled() {
+                self.telemetry.backpressure_events.inc();
+            }
+        }
+    }
+
+    fn flush(&mut self, conn: &mut ConnState) {
+        while let Some(front) = conn.wbuf.front() {
+            let off = conn.wbuf_off.min(front.len());
+            match (&conn.stream).write(&front[off..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    conn.wbuf_bytes = conn.wbuf_bytes.saturating_sub(n);
+                    conn.wbuf_off = off + n;
+                    if conn.wbuf_off >= front.len() {
+                        conn.wbuf_off = 0;
+                        conn.wbuf.pop_front();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+        if conn.parked_wbuf && conn.wbuf_bytes <= self.cfg.max_write_buffer / 2 {
+            conn.parked_wbuf = false;
+        }
+        conn.maybe_finished();
+    }
+
+    fn flush_conn(&mut self, tok: usize) {
+        let Some(mut conn) = self.slots.get_mut(tok).and_then(|s| s.conn.take()) else {
+            return;
+        };
+        let was_parked = conn.parked_wbuf;
+        self.flush(&mut conn);
+        if was_parked && !conn.parked_wbuf {
+            // Read side resumes; drain anything buffered meanwhile.
+            conn.want_hot = true;
+        }
+        self.finish_conn(tok, conn);
+    }
+
+    // -- slot lifecycle -----------------------------------------------
+
+    /// Put a connection back in its slot (recomputing poll interest),
+    /// or tear it down if it died.
+    fn finish_conn(&mut self, tok: usize, conn: ConnState) {
+        if conn.dead {
+            self.destroy(tok, conn);
+            return;
+        }
+        let interest = Interest {
+            readable: !conn.parked() && !conn.peer_closed && !conn.close_after_flush,
+            writable: !conn.wbuf.is_empty(),
+        };
+        let want_hot = conn.want_hot;
+        let fd_tok = {
+            let mut conn = conn;
+            if interest != conn.interest
+                && self
+                    .poller
+                    .modify(conn.stream.as_raw_fd(), interest)
+                    .is_ok()
+            {
+                conn.interest = interest;
+            }
+            conn.want_hot = false;
+            if let Some(slot) = self.slots.get_mut(tok) {
+                slot.conn = Some(conn);
+                Some(tok)
+            } else {
+                None
+            }
+        };
+        if want_hot {
+            if let Some(tok) = fd_tok {
+                self.push_hot(tok);
+            }
+        }
+    }
+
+    fn destroy(&mut self, tok: usize, conn: ConnState) {
+        self.poller.delete(conn.stream.as_raw_fd());
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        if !conn.fds.is_empty() {
+            let fds: Vec<Fd> = conn.fds.iter().copied().collect();
+            // Reclaim barriers staged writes (close waits for them), so
+            // it must happen off-loop; at teardown the executors may be
+            // gone, in which case we reclaim inline — the loop is done
+            // serving clients anyway.
+            if let Err(send_err) = self.sync_tx.send(SyncTask::Reclaim { fds }) {
+                if let SyncTask::Reclaim { fds } = send_err.0 {
+                    for fd in fds {
+                        let _ = self.engine.execute(&Request::Close { fd }, &Bytes::new());
+                    }
+                }
+            }
+        }
+        if self.telemetry.enabled() {
+            self.telemetry.conns_open.add(-1);
+        }
+        if let Some(slot) = self.slots.get_mut(tok) {
+            slot.gen = slot.gen.wrapping_add(1);
+            slot.conn = None;
+        }
+        self.free.push(tok);
+    }
+
+    fn teardown(&mut self) {
+        for tok in 0..self.slots.len() {
+            let conn = self.slots.get_mut(tok).and_then(|s| s.conn.take());
+            if let Some(conn) = conn {
+                self.destroy(tok, conn);
+            }
+        }
+        // Late completions: nowhere to reply, but every span folds in.
+        while let Ok(c) = self.comp_rx.try_recv() {
+            let mut span = c.span;
+            span.reply_ns = self.telemetry.now_ns();
+            self.telemetry.complete(&span);
+        }
+    }
+}
+
+/// Fail a queue-rejected item the way the threaded handlers do.
+fn fail_queued_item(item: WorkItem) {
+    if let WorkItem::Sync {
+        reply, mut span, ..
+    } = item
+    {
+        span.ok = false;
+        span.errno = Errno::Again.to_wire();
+        span.disposition = Disposition::QueueRejected;
+        span.dispatch_ns = span.enqueue_ns;
+        reply.deliver(
+            Response::Err {
+                errno: Errno::Again,
+            },
+            Bytes::new(),
+            span,
+        );
+    }
+}
+
+/// Fail a task whose executor pool is gone (shutdown race).
+fn fail_sync_task(task: SyncTask) {
+    match task {
+        SyncTask::Execute {
+            reply, mut span, ..
+        }
+        | SyncTask::BarrierThenQueue {
+            reply, mut span, ..
+        } => {
+            span.ok = false;
+            span.errno = Errno::Again.to_wire();
+            span.dispatch_ns = span.enqueue_ns;
+            reply.deliver(
+                Response::Err {
+                    errno: Errno::Again,
+                },
+                Bytes::new(),
+                span,
+            );
+        }
+        SyncTask::Reclaim { .. } => {}
+    }
+}
+
+/// Blocking-work executor: metadata ops, read barriers, descriptor
+/// reclamation. Exits when every event loop has dropped its sender.
+fn sync_executor_loop(
+    rx: Receiver<SyncTask>,
+    engine: Arc<Engine>,
+    queue: Arc<WorkQueue>,
+    telemetry: Arc<Telemetry>,
+) {
+    while let Ok(task) = rx.recv() {
+        match task {
+            SyncTask::Execute {
+                req,
+                data,
+                reply,
+                mut span,
+            } => {
+                let now = telemetry.now_ns();
+                span.enqueue_ns = now;
+                span.dispatch_ns = now;
+                let (resp, out) = engine.execute_timed(&req, &data, &mut span);
+                reply.deliver(resp, out, span);
+            }
+            SyncTask::BarrierThenQueue {
+                fd,
+                req,
+                data,
+                reply,
+                mut span,
+            } => {
+                if let Err(errno) = engine.descriptor_db().wait_idle(fd) {
+                    span.ok = false;
+                    span.errno = errno.to_wire();
+                    let now = telemetry.now_ns();
+                    span.enqueue_ns = now;
+                    span.dispatch_ns = now;
+                    reply.deliver(Response::Err { errno }, Bytes::new(), span);
+                    continue;
+                }
+                span.enqueue_ns = telemetry.now_ns();
+                if let Err(closed) = queue.push(WorkItem::Sync {
+                    req,
+                    data,
+                    reply,
+                    span,
+                }) {
+                    fail_queued_item(*closed.0);
+                }
+            }
+            SyncTask::Reclaim { fds } => {
+                for fd in fds {
+                    let _ = engine.execute(&Request::Close { fd }, &Bytes::new());
+                }
+            }
+        }
+    }
+}
+
+/// Start the reactor: `cfg.threads` event loops (loop 0 owns the
+/// listener) plus `cfg.sync_executors` blocking-work threads.
+///
+/// Fails if the poller is unsupported on this target (caller falls back
+/// to the threaded transport) or thread spawning fails.
+pub(crate) fn spawn(
+    acceptor: Arc<TcpAcceptor>,
+    engine: Arc<Engine>,
+    queue: Arc<WorkQueue>,
+    serializer: Option<Arc<FdSerializer>>,
+    staged: bool,
+    cfg: ReactorConfig,
+) -> io::Result<ReactorHandle> {
+    let telemetry = engine.telemetry().clone();
+    let n = cfg.threads.max(1);
+    acceptor.set_nonblocking(true)?;
+
+    let mut pollers = Vec::with_capacity(n);
+    let mut wakers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let poller = Poller::new()?;
+        wakers.push(poller.waker());
+        pollers.push(poller);
+    }
+    if let Some(p0) = pollers.first_mut() {
+        p0.add(acceptor.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (sync_tx, sync_rx) = unbounded::<SyncTask>();
+    let mut conn_txs = Vec::with_capacity(n);
+    let mut conn_rxs = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<TcpStream>();
+        conn_txs.push(tx);
+        conn_rxs.push_back(rx);
+    }
+
+    let mut sync_threads = Vec::new();
+    for i in 0..cfg.sync_executors.max(1) {
+        let rx = sync_rx.clone();
+        let engine = engine.clone();
+        let queue = queue.clone();
+        let telemetry = telemetry.clone();
+        match std::thread::Builder::new()
+            .name(format!("iofwd-sync-{i}"))
+            .spawn(move || sync_executor_loop(rx, engine, queue, telemetry))
+        {
+            Ok(h) => sync_threads.push(h),
+            Err(e) => {
+                drop(sync_tx);
+                for t in sync_threads {
+                    let _ = t.join();
+                }
+                return Err(e);
+            }
+        }
+    }
+    drop(sync_rx);
+
+    let mut threads = Vec::with_capacity(n);
+    for (idx, poller) in pollers.into_iter().enumerate() {
+        let Some(conn_rx) = conn_rxs.pop_front() else {
+            break;
+        };
+        let (comp_tx, comp_rx) = unbounded::<Completion>();
+        let sink = Arc::new(ReactorSink {
+            tx: comp_tx,
+            waker: poller.waker(),
+            telemetry: telemetry.clone(),
+        });
+        let thread = ReactorThread {
+            idx,
+            poller,
+            slots: Vec::new(),
+            free: Vec::new(),
+            hot: VecDeque::new(),
+            events: Vec::new(),
+            conn_rx,
+            comp_rx,
+            sink,
+            sync_tx: sync_tx.clone(),
+            engine: engine.clone(),
+            queue: queue.clone(),
+            serializer: serializer.clone(),
+            bml: engine.bml().cloned(),
+            staged,
+            telemetry: telemetry.clone(),
+            cfg,
+            stop: stop.clone(),
+            acceptor: (idx == 0).then(|| acceptor.clone()),
+            assign: if idx == 0 {
+                conn_txs.clone()
+            } else {
+                Vec::new()
+            },
+            assign_wakers: if idx == 0 { wakers.clone() } else { Vec::new() },
+            rr: 0,
+            next_accept_at: None,
+        };
+        match std::thread::Builder::new()
+            .name(format!("iofwd-reactor-{idx}"))
+            .spawn(move || thread.run())
+        {
+            Ok(h) => threads.push(h),
+            Err(e) => {
+                stop.store(true, Ordering::Release);
+                for w in &wakers {
+                    w.wake();
+                }
+                for t in threads {
+                    let _ = t.join();
+                }
+                drop(sync_tx);
+                drop(conn_txs);
+                for t in sync_threads {
+                    let _ = t.join();
+                }
+                return Err(e);
+            }
+        }
+    }
+    // The spawned loops hold the only live senders now; dropping ours
+    // lets the executor pool hang up once the loops exit.
+    drop(sync_tx);
+    drop(conn_txs);
+
+    Ok(ReactorHandle {
+        stop,
+        wakers,
+        threads,
+        sync_threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemSinkBackend;
+    use crate::client::Client;
+    use crate::server::{ForwardingMode, IonServer, ServerConfig};
+    use crate::transport::tcp::{TcpAcceptor, TcpConn};
+    use iofwd_proto::OpenFlags;
+    use std::io::Read;
+
+    fn reactor_server(
+        mode: ForwardingMode,
+        cfg: ReactorConfig,
+    ) -> (IonServer, std::net::SocketAddr) {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind");
+        let addr = acceptor.local_addr().expect("addr");
+        let server = IonServer::spawn_reactor(
+            acceptor,
+            Arc::new(MemSinkBackend::new()),
+            ServerConfig::new(mode),
+            cfg,
+        )
+        .expect("spawn reactor");
+        (server, addr)
+    }
+
+    /// Read frames off a raw socket until `n` responses have arrived.
+    fn read_responses(stream: &mut TcpStream, n: usize) -> Vec<Frame> {
+        let mut buf = BytesMut::new();
+        let mut out = Vec::new();
+        while out.len() < n {
+            match Frame::decode(&buf).expect("well-formed response stream") {
+                Some((frame, used)) => {
+                    let _ = buf.split_to(used);
+                    out.push(frame);
+                }
+                None => {
+                    let got = buf.read_from(stream, 4096).expect("read");
+                    assert!(got > 0, "server hung up early ({}/{n} replies)", out.len());
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn partial_frame_reads_reassemble_across_many_small_writes() {
+        let (server, addr) = reactor_server(
+            ForwardingMode::Sched { workers: 1 },
+            ReactorConfig::default(),
+        );
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+
+        // One open + one pwrite, dribbled onto the wire a few bytes at
+        // a time: the reactor must hold partial frames across many
+        // read(2)s and admit each frame exactly once.
+        let payload = vec![0xabu8; 512];
+        let open = Frame::request(
+            7,
+            1,
+            &Request::Open {
+                path: "/dribble".into(),
+                flags: OpenFlags::CREATE | OpenFlags::WRONLY,
+                mode: 0o644,
+            },
+            Bytes::new(),
+        )
+        .encode();
+        for chunk in open.chunks(7) {
+            stream.write_all(chunk).expect("write chunk");
+            stream.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let open_reply = read_responses(&mut stream, 1).remove(0);
+        assert_eq!(open_reply.seq, 1);
+        let fd = match open_reply.decode_response().expect("open resp") {
+            Response::Ok { ret } => Fd(ret as u32),
+            other => panic!("open failed: {other:?}"),
+        };
+        let pwrite = Frame::request(
+            7,
+            2,
+            &Request::Pwrite {
+                fd,
+                offset: 0,
+                len: payload.len() as u64,
+            },
+            Bytes::copy_from_slice(&payload),
+        )
+        .encode();
+        for chunk in pwrite.chunks(7) {
+            stream.write_all(chunk).expect("write chunk");
+            stream.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let reply = read_responses(&mut stream, 1).remove(0);
+        assert_eq!(reply.seq, 2);
+        match reply.decode_response().expect("pwrite resp") {
+            Response::Ok { ret } => assert_eq!(ret, payload.len() as i64),
+            other => panic!("pwrite failed: {other:?}"),
+        }
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn write_backpressure_parks_the_reader_and_every_reply_still_arrives() {
+        let cfg = ReactorConfig {
+            // Tiny reply budget so pipelined 64 KiB pread responses
+            // trip the write-side park immediately.
+            max_write_buffer: 4096,
+            ..ReactorConfig::default()
+        };
+        // One worker: the shared FIFO then guarantees per-client reply
+        // order, so the ordering assertion below is meaningful.
+        let (server, addr) = reactor_server(ForwardingMode::Sched { workers: 1 }, cfg);
+        let telemetry = server.telemetry();
+
+        let mut setup = Client::connect(Box::new(TcpConn::connect(addr).expect("connect")));
+        let fd = setup
+            .open("/big", OpenFlags::CREATE | OpenFlags::WRONLY, 0o644)
+            .expect("open");
+        let block = vec![0x5au8; 64 * 1024];
+        setup.pwrite(fd, 0, &block).expect("pwrite");
+        setup.close(fd).expect("close");
+        setup.shutdown().expect("shutdown req");
+
+        // Pipeline 128 preads (8 MiB of replies) without reading any of
+        // them: the socket fills, the reactor's write buffer exceeds its
+        // cap, and the connection must be parked — not killed, not
+        // replied to out of order.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .write_all(
+                &Frame::request(
+                    9,
+                    0,
+                    &Request::Open {
+                        path: "/big".into(),
+                        flags: OpenFlags::RDONLY,
+                        mode: 0,
+                    },
+                    Bytes::new(),
+                )
+                .encode(),
+            )
+            .expect("open");
+        let open_reply = read_responses(&mut stream, 1).remove(0);
+        let fd = match open_reply.decode_response().expect("open resp") {
+            Response::Ok { ret } => Fd(ret as u32),
+            other => panic!("open failed: {other:?}"),
+        };
+        let total = 128u64;
+        let replies = {
+            let mut wire = Vec::new();
+            for seq in 1..=total {
+                wire.extend_from_slice(
+                    &Frame::request(
+                        9,
+                        seq,
+                        &Request::Pread {
+                            fd,
+                            offset: 0,
+                            len: block.len() as u64,
+                        },
+                        Bytes::new(),
+                    )
+                    .encode(),
+                );
+            }
+            stream.write_all(&wire).expect("pipeline");
+            stream.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(100));
+            read_responses(&mut stream, total as usize)
+        };
+        for (i, reply) in replies.iter().enumerate() {
+            let i = i + 1;
+            assert_eq!(reply.seq, i as u64, "replies must come back in order");
+            match reply.decode_response().expect("pread resp") {
+                Response::Ok { ret } => assert_eq!(ret, block.len() as i64),
+                other => panic!("pread {i} failed: {other:?}"),
+            }
+            assert_eq!(reply.data.len(), block.len());
+        }
+        assert!(
+            telemetry.backpressure_events.get() > 0,
+            "8 MiB of unread replies against a 4 KiB budget must park"
+        );
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_accept_faults_do_not_kill_the_reactor_listener() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind");
+        let addr = acceptor.local_addr().expect("addr");
+        // Every second accept attempt fails with a synthetic EMFILE
+        // *before* the kernel accept, so the pending client stays in
+        // the backlog and is picked up on the post-backoff retry.
+        acceptor.set_accept_fault(2);
+        let server = IonServer::spawn_reactor(
+            acceptor,
+            Arc::new(MemSinkBackend::new()),
+            ServerConfig::new(ForwardingMode::AsyncStaged {
+                workers: 1,
+                bml_capacity: 1 << 20,
+            }),
+            ReactorConfig::default(),
+        )
+        .expect("spawn reactor");
+        let telemetry = server.telemetry();
+
+        for i in 0..6 {
+            let mut client = Client::connect(Box::new(TcpConn::connect(addr).expect("connect")));
+            let fd = client
+                .open(
+                    &format!("/chaos-{i}"),
+                    OpenFlags::CREATE | OpenFlags::WRONLY,
+                    0o644,
+                )
+                .expect("open");
+            client.pwrite(fd, 0, b"still alive").expect("pwrite");
+            client.close(fd).expect("close");
+            client.shutdown().expect("shutdown req");
+        }
+        assert!(
+            telemetry.accept_errors.get() >= 3,
+            "fault injection must have fired"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn disconnect_mid_pipeline_reclaims_descriptors() {
+        let (server, addr) = reactor_server(
+            ForwardingMode::AsyncStaged {
+                workers: 1,
+                bml_capacity: 1 << 20,
+            },
+            ReactorConfig::default(),
+        );
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let wire = Frame::request(
+                3,
+                1,
+                &Request::Open {
+                    path: "/abandoned".into(),
+                    flags: OpenFlags::CREATE | OpenFlags::WRONLY,
+                    mode: 0o644,
+                },
+                Bytes::new(),
+            )
+            .encode();
+            stream.write_all(&wire).expect("write");
+            // Wait for the open reply so the descriptor is definitely
+            // allocated and session-tracked, then vanish without Close.
+            let mut byte = [0u8; 1];
+            assert!(stream.read(&mut byte).expect("reply") > 0);
+            std::mem::drop(stream);
+        }
+        // The reactor notices the EOF, tears the slot down, and the
+        // sync pool reclaims the orphaned descriptor.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.open_descriptors() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            server.open_descriptors(),
+            0,
+            "orphaned fd must be reclaimed"
+        );
+        server.shutdown();
+    }
+}

@@ -205,7 +205,7 @@ mod tests {
         WorkItem::Sync {
             req: Request::Fsync { fd: Fd(tag) },
             data: Bytes::new(),
-            reply: tx,
+            reply: super::super::queue::ReplyTo::Handler(tx),
             span: crate::telemetry::OpSpan::default(),
         }
     }

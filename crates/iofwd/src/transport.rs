@@ -269,8 +269,10 @@ pub mod tcp {
     use bytes::BytesMut;
     use iofwd_proto::Frame;
     use parking_lot::Mutex;
-    use std::io::{self, Read, Write};
-    use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+    use std::io::{self, Write};
+    use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::time::Duration;
 
     /// A frame connection over a `TcpStream`.
@@ -312,10 +314,11 @@ pub mod tcp {
 
         fn recv(&self) -> io::Result<Option<Frame>> {
             let mut state = self.read.lock();
+            let ReadState { stream, buf } = &mut *state;
             loop {
-                match Frame::decode(&state.buf) {
+                match Frame::decode(buf) {
                     Ok(Some((frame, used))) => {
-                        let _ = state.buf.split_to(used);
+                        let _ = buf.split_to(used);
                         return Ok(Some(frame));
                     }
                     Ok(None) => {}
@@ -323,10 +326,11 @@ pub mod tcp {
                         return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
                     }
                 }
-                let mut chunk = [0u8; 64 * 1024];
-                let n = state.stream.read(&mut chunk)?;
+                // Read straight into the buffer's spare capacity — no
+                // intermediate stack chunk, no second copy.
+                let n = buf.read_from(stream, 64 * 1024)?;
                 if n == 0 {
-                    return if state.buf.is_empty() {
+                    return if buf.is_empty() {
                         Ok(None)
                     } else {
                         Err(io::Error::new(
@@ -335,7 +339,6 @@ pub mod tcp {
                         ))
                     };
                 }
-                state.buf.extend_from_slice(&chunk[..n]);
             }
         }
 
@@ -345,53 +348,140 @@ pub mod tcp {
     }
 
     /// Accept side over a `TcpListener`.
+    ///
+    /// Two modes share this type: the threaded server calls the blocking
+    /// [`Listener::accept`] (a real blocking `accept(2)` — no poll/sleep
+    /// dance — unblocked by a self-connection from [`Listener::shutdown`]),
+    /// and the reactor puts the listener in nonblocking mode, registers
+    /// its fd with the poller, and drains it with
+    /// [`TcpAcceptor::try_accept_stream`].
+    ///
+    /// For chaos testing, [`TcpAcceptor::set_accept_fault`] makes every
+    /// Nth accept fail with a synthetic `EMFILE` *before* touching the
+    /// kernel — the pending connection stays in the backlog and succeeds
+    /// on the retry, so a surviving accept path loses no clients.
     pub struct TcpAcceptor {
         listener: TcpListener,
-        closed: Mutex<bool>,
+        closed: AtomicBool,
+        /// Inject a synthetic EMFILE on every Nth accept (0 = off).
+        fault_every: AtomicU64,
+        accept_seq: AtomicU64,
     }
 
     impl TcpAcceptor {
         pub fn bind(addr: impl ToSocketAddrs) -> io::Result<TcpAcceptor> {
             let listener = TcpListener::bind(addr)?;
-            // Poll with a timeout so shutdown can be observed.
-            listener.set_nonblocking(false)?;
             Ok(TcpAcceptor {
                 listener,
-                closed: Mutex::new(false),
+                closed: AtomicBool::new(false),
+                fault_every: AtomicU64::new(0),
+                accept_seq: AtomicU64::new(0),
             })
         }
 
         pub fn local_addr(&self) -> io::Result<SocketAddr> {
             self.listener.local_addr()
         }
+
+        /// Fail every `every`-th accept attempt with a synthetic EMFILE
+        /// (0 disables). The failure fires before the kernel accept, so
+        /// no real connection is consumed by it.
+        pub fn set_accept_fault(&self, every: u64) {
+            self.fault_every.store(every, Ordering::Relaxed);
+        }
+
+        /// Switch the underlying listener between blocking (threaded
+        /// accept loop) and nonblocking (reactor poll registration).
+        pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+            self.listener.set_nonblocking(nonblocking)
+        }
+
+        pub fn is_shut_down(&self) -> bool {
+            self.closed.load(Ordering::Acquire)
+        }
+
+        fn injected_fault(&self) -> Option<io::Error> {
+            let every = self.fault_every.load(Ordering::Relaxed);
+            if every == 0 {
+                return None;
+            }
+            let seq = self.accept_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            // EMFILE: "too many open files" — the classic fd-exhaustion
+            // failure the accept loop must survive.
+            seq.is_multiple_of(every)
+                .then(|| io::Error::from_raw_os_error(24))
+        }
+
+        /// Nonblocking accept for the reactor: `Ok(None)` means no
+        /// connection is pending right now (WouldBlock); transient
+        /// errors (including injected faults) surface as `Err` for the
+        /// caller to count and retry.
+        pub fn try_accept_stream(&self) -> io::Result<Option<TcpStream>> {
+            if self.is_shut_down() {
+                return Ok(None);
+            }
+            if let Some(e) = self.injected_fault() {
+                return Err(e);
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => Ok(Some(stream)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            }
+        }
+
+        /// Blocking accept of the raw stream; `Ok(None)` on shutdown.
+        fn accept_stream(&self) -> io::Result<Option<TcpStream>> {
+            if self.is_shut_down() {
+                return Ok(None);
+            }
+            if let Some(e) = self.injected_fault() {
+                return Err(e);
+            }
+            let (stream, _) = self.listener.accept()?;
+            if self.is_shut_down() {
+                // This is (or raced with) the wake connection from
+                // `shutdown()`; drop it and report an orderly stop.
+                return Ok(None);
+            }
+            Ok(Some(stream))
+        }
+    }
+
+    impl AsRawFd for TcpAcceptor {
+        fn as_raw_fd(&self) -> RawFd {
+            self.listener.as_raw_fd()
+        }
     }
 
     impl Listener for TcpAcceptor {
         fn accept(&self) -> io::Result<Option<Box<dyn Conn>>> {
-            loop {
-                if *self.closed.lock() {
-                    return Ok(None);
-                }
-                // Use a short accept timeout via nonblocking + sleep so a
-                // shutdown is noticed promptly without platform-specific
-                // APIs.
-                self.listener.set_nonblocking(true)?;
-                match self.listener.accept() {
-                    Ok((stream, _)) => {
-                        self.listener.set_nonblocking(false)?;
-                        stream.set_nonblocking(false)?;
-                        return Ok(Some(Box::new(TcpConn::from_stream(stream)?)));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                    Err(e) => return Err(e),
-                }
+            match self.accept_stream()? {
+                Some(stream) => Ok(Some(Box::new(TcpConn::from_stream(stream)?))),
+                None => Ok(None),
             }
         }
 
         fn shutdown(&self) {
-            *self.closed.lock() = true;
+            if self.closed.swap(true, Ordering::AcqRel) {
+                return;
+            }
+            // Unblock a thread parked in accept(2) by connecting to
+            // ourselves; the accept path re-checks `closed` after every
+            // accept, so the wake connection is dropped on arrival. If
+            // nobody is blocked the connection just sits in the backlog
+            // until the listener is dropped — harmless either way.
+            if let Ok(addr) = self.listener.local_addr() {
+                let target = SocketAddr::new(
+                    match addr.ip() {
+                        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+                        ip => ip,
+                    },
+                    addr.port(),
+                );
+                let _ = TcpStream::connect_timeout(&target, Duration::from_millis(200));
+            }
         }
     }
 }
@@ -513,6 +603,37 @@ mod tests {
         let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
         acceptor.shutdown();
         assert!(acceptor.accept().unwrap().is_none());
+    }
+
+    #[test]
+    fn tcp_shutdown_unblocks_blocked_accept() {
+        let acceptor = std::sync::Arc::new(TcpAcceptor::bind("127.0.0.1:0").unwrap());
+        let blocked = acceptor.clone();
+        let t = std::thread::spawn(move || blocked.accept().unwrap().is_none());
+        // Let the thread park in accept(2), then wake it via shutdown.
+        std::thread::sleep(Duration::from_millis(50));
+        acceptor.shutdown();
+        assert!(t.join().unwrap(), "accept should report orderly shutdown");
+    }
+
+    #[test]
+    fn tcp_accept_fault_fires_before_the_kernel_accept() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        acceptor.set_accept_fault(1); // every accept attempt fails
+        let client = std::thread::spawn(move || TcpConn::connect(addr).unwrap());
+        let err = match acceptor.accept() {
+            Err(e) => e,
+            Ok(_) => panic!("expected injected accept fault"),
+        };
+        assert_eq!(err.raw_os_error(), Some(24), "expected synthetic EMFILE");
+        // The client's handshake completed into the backlog untouched:
+        // once the fault clears, the same connection is accepted.
+        acceptor.set_accept_fault(0);
+        let server = acceptor.accept().unwrap().unwrap();
+        let c = client.join().unwrap();
+        c.send(frame(42)).unwrap();
+        assert_eq!(server.recv().unwrap().unwrap().seq, 42);
     }
 
     #[test]

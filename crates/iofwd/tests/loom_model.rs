@@ -225,7 +225,7 @@ fn tagged(tag: u32) -> WorkItem {
     WorkItem::Sync {
         req: Request::Fsync { fd: Fd(tag) },
         data: Bytes::new(),
-        reply,
+        reply: iofwd::server::ReplyTo::Handler(reply),
         span: iofwd::telemetry::OpSpan::default(),
     }
 }

@@ -188,6 +188,37 @@ impl BytesMut {
     pub fn reserve(&mut self, additional: usize) {
         self.data.reserve(additional);
     }
+
+    /// Read from `r` directly into this buffer's spare capacity —
+    /// at least `min_spare` bytes of room are reserved first — and
+    /// advance the length by however many bytes the reader produced.
+    /// One syscall, zero intermediate copies; this is the receive-side
+    /// replacement for the stack-chunk-then-extend pattern.
+    ///
+    /// Returns the number of bytes read (0 on EOF). Errors leave the
+    /// buffer contents and length untouched.
+    pub fn read_from<R: std::io::Read>(
+        &mut self,
+        r: &mut R,
+        min_spare: usize,
+    ) -> std::io::Result<usize> {
+        self.data.reserve(min_spare.max(1));
+        let len = self.data.len();
+        let spare = self.data.spare_capacity_mut();
+        // SAFETY: `spare` is valid, exclusively-owned writable memory of
+        // exactly `spare.len()` bytes inside the Vec's allocation.
+        // `Read::read` implementations must not *read* from the buffer,
+        // only write initialized bytes and report how many; every
+        // reader used here (TcpStream, cursors over &[u8]) honors that.
+        let uninit: &mut [u8] =
+            unsafe { std::slice::from_raw_parts_mut(spare.as_mut_ptr().cast::<u8>(), spare.len()) };
+        let n = r.read(uninit)?;
+        let n = n.min(uninit.len());
+        // SAFETY: the first `n` bytes of the spare region were just
+        // initialized by the reader, so len + n is fully initialized.
+        unsafe { self.data.set_len(len + n) };
+        Ok(n)
+    }
 }
 
 impl Deref for BytesMut {
@@ -266,6 +297,19 @@ mod tests {
         let head = b.split_to(2);
         assert_eq!(&head[..], b"ab");
         assert_eq!(&b[..], b"cdef");
+    }
+
+    #[test]
+    fn read_from_appends_via_spare_capacity() {
+        let mut b = BytesMut::with_capacity(4);
+        b.extend_from_slice(b"ab");
+        let mut src = std::io::Cursor::new(b"cdefgh".to_vec());
+        let n = b.read_from(&mut src, 64).unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(&b[..], b"abcdefgh");
+        // EOF reads zero and leaves the buffer alone.
+        assert_eq!(b.read_from(&mut src, 64).unwrap(), 0);
+        assert_eq!(&b[..], b"abcdefgh");
     }
 
     #[test]

@@ -89,6 +89,7 @@ const NO_PANIC_MODULES: &[&str] = &[
     "descdb",
     "fault",
     "server/queue",
+    "server/reactor",
     "server/staged",
 ];
 
