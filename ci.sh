@@ -73,7 +73,18 @@ cargo run --release -q -p experiments -- run \
     crates/experiments/scenarios/connection_scale.toml \
     --out target/ci-artifacts/experiments/connection_scale \
     --bin target/release/iofwdd --force
-echo "experiment reports: target/ci-artifacts/experiments/{coalescing,faults,connection_scale}/report.{json,md}"
+
+step "experiment harness: introspection-overhead paired sweep (scenario gate)"
+# Per-client attribution must stay off the critical path: the same
+# seeded 500-client reactor workload with `--attribution on` vs `off`,
+# with paired budgets holding the on arm to >=98% throughput and
+# <=105% p99 of its twin, full completion in both arms, and nonzero
+# ops on the attributing daemon.
+cargo run --release -q -p experiments -- run \
+    crates/experiments/scenarios/introspection_overhead.toml \
+    --out target/ci-artifacts/experiments/introspection_overhead \
+    --bin target/release/iofwdd --force
+echo "experiment reports: target/ci-artifacts/experiments/{coalescing,faults,connection_scale,introspection_overhead}/report.{json,md}"
 
 step "experiment artifact guard (BENCH_PR7.json drift check)"
 # The committed report must stay structurally valid, green, and
@@ -139,6 +150,25 @@ for _ in $(seq 50); do
     sleep 0.2
 done
 [ -n "$SNAP_OK" ] || { echo "ci: traced snapshot failed the p99 stage bound"; exit 1; }
+
+step "live introspection smoke (stats wire protocol against the running daemon)"
+# The same daemon, queried in-band on its data port mid-run: the
+# rendered snapshot must carry per-client attribution rows for the
+# put/get traffic above, the windowed-rates JSON must expose its rate
+# fields, the Prometheus exposition must pass the built-in validator,
+# and one `top` refresh must render.
+target/release/iofwd-cp stats "$ADDR" >"$TRACED/live-stats.txt"
+cat "$TRACED/live-stats.txt"
+grep -q '^clients (' "$TRACED/live-stats.txt" \
+    || { echo "ci: live snapshot carries no per-client rows"; exit 1; }
+target/release/iofwd-cp stats "$ADDR" --rates | grep -q '"ops_per_s"' \
+    || { echo "ci: live rates JSON missing rate fields"; exit 1; }
+target/release/iofwd-cp stats "$ADDR" --prom --check \
+    || { echo "ci: live Prometheus exposition failed validation"; exit 1; }
+target/release/iofwd-cp top "$ADDR" --count 1 --interval 0.2 >"$TRACED/live-top.txt"
+grep -q '^iofwd top' "$TRACED/live-top.txt" \
+    || { echo "ci: iofwd-cp top rendered nothing"; cat "$TRACED/live-top.txt"; exit 1; }
+
 if grep -qi "panicked" "$TRACED/daemon.log"; then
     echo "ci: daemon panicked while tracing"; cat "$TRACED/daemon.log"; exit 1
 fi

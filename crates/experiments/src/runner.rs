@@ -10,9 +10,12 @@
 //! because the fingerprint changes.
 
 use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
+use iofwd::client::Client;
 use iofwd::daemon::{locate_iofwdd, DaemonHandle, DaemonSpec};
+use iofwd::transport::tcp::TcpConn;
+use iofwd_proto::StatsQuery;
 use iofwd_telemetry::snapshot::TelemetrySnapshot;
 
 use crate::report::{self, CellResult};
@@ -142,7 +145,6 @@ fn run_cell(
         .map_err(|e| format!("cannot create {}: {e}", scratch.display()))?;
     let root = scratch.join("root");
     let stats_json = scratch.join("stats.json");
-    let trigger = scratch.join("dump.trigger");
 
     let d = &scenario.daemon;
     let mode = cell.axis("mode").unwrap_or("staged");
@@ -160,10 +162,11 @@ fn run_cell(
         .arg("0")
         .arg("--stats-json")
         .arg(stats_json.display().to_string())
-        .arg("--dump-trigger")
-        .arg(trigger.display().to_string())
         .arg("--retry-attempts")
         .arg(d.retry_attempts.to_string());
+    if let Some(attribution) = cell.axis("attribution") {
+        spec = spec.arg("--attribution").arg(attribution);
+    }
     match cell.axis("coalesce") {
         Some("off") => spec = spec.arg("--coalesce=off"),
         Some("on") => {
@@ -219,7 +222,7 @@ fn run_cell(
     let measurement = crate::replay::run(&daemon.addr(), &streams)
         .map_err(|e| format!("cell {}: replay: {e}\n{}", cell.name, daemon.log_tail()))?;
 
-    let snapshot = harvest_snapshot(&trigger, &stats_json)
+    let snapshot = harvest_snapshot(&daemon.addr(), &stats_json)
         .map_err(|e| format!("cell {}: {e}\n{}", cell.name, daemon.log_tail()))?;
     if daemon.panicked() {
         return Err(format!(
@@ -234,27 +237,53 @@ fn run_cell(
     Ok(CellResult::from_measurement(cell, &measurement, &snapshot))
 }
 
-/// Ask the daemon for a final stats dump (touch the trigger file, wait
-/// for the JSON to land) and parse it.
-fn harvest_snapshot(trigger: &Path, stats_json: &Path) -> Result<TelemetrySnapshot, String> {
-    let _ = std::fs::remove_file(stats_json);
-    std::fs::write(trigger, b"dump\n").map_err(|e| format!("cannot touch trigger: {e}"))?;
-    // The daemon polls the trigger every 200 ms; give it a generous 10 s.
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        if let Ok(text) = std::fs::read_to_string(stats_json) {
-            if let Ok(snap) = TelemetrySnapshot::from_json(&text) {
-                return Ok(snap);
-            }
+/// Harvest the daemon's final telemetry over the stats wire protocol —
+/// one synchronous request/reply, no trigger files and no polling. If
+/// the wire path fails (daemon already gone, listener wedged), fall
+/// back to whatever `--stats-json` dump the daemon last wrote.
+fn harvest_snapshot(addr: &str, stats_json: &Path) -> Result<TelemetrySnapshot, String> {
+    let wire_err = match harvest_over_wire(addr) {
+        Ok(snap) => return Ok(snap),
+        Err(e) => e,
+    };
+    if let Ok(text) = std::fs::read_to_string(stats_json) {
+        if let Ok(snap) = TelemetrySnapshot::from_json(&text) {
+            return Ok(snap);
         }
-        if Instant::now() >= deadline {
-            return Err(format!(
-                "telemetry dump did not appear at {} within 10s",
-                stats_json.display()
-            ));
-        }
-        std::thread::sleep(Duration::from_millis(50));
     }
+    Err(format!(
+        "stats query to {addr} failed ({wire_err}) and no usable dump at {}",
+        stats_json.display()
+    ))
+}
+
+fn harvest_over_wire(addr: &str) -> Result<TelemetrySnapshot, String> {
+    let conn = TcpConn::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut client = Client::connect(Box::new(conn));
+    let fetch = |client: &mut Client| -> Result<TelemetrySnapshot, String> {
+        let data = client
+            .query_stats(StatsQuery::Snapshot)
+            .map_err(|e| format!("query: {e}"))?;
+        TelemetrySnapshot::from_json(&String::from_utf8_lossy(&data))
+            .map_err(|e| format!("parse: {e}"))
+    };
+    // Staged-write spans fold in worker threads a beat after the
+    // client's barrier reply, so a snapshot taken the instant the
+    // replay returns can be one or two ops short. Settle: re-query
+    // until two consecutive snapshots agree on the fold counters.
+    let mut snap = fetch(&mut client)?;
+    for _ in 0..100 {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let next = fetch(&mut client)?;
+        let settled = next.counter("ops_completed") == snap.counter("ops_completed")
+            && next.counter("ops_failed") == snap.counter("ops_failed");
+        snap = next;
+        if settled {
+            break;
+        }
+    }
+    let _ = client.shutdown();
+    Ok(snap)
 }
 
 /// Find the scenario file: as given, else relative to the repo root

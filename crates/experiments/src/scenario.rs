@@ -16,13 +16,14 @@ use crate::toml::{self, Table, Value};
 use crate::workload::{WorkloadKind, WorkloadSpec};
 
 /// Axis names the runner knows how to apply to a daemon/cell.
-pub const KNOWN_AXES: [&str; 6] = [
+pub const KNOWN_AXES: [&str; 7] = [
     "mode",
     "coalesce",
     "clients",
     "fault",
     "workers",
     "transport",
+    "attribution",
 ];
 
 /// One sweep dimension: `name = ["value", …]` under `[axes]`.
@@ -323,6 +324,10 @@ impl Scenario {
             "transport" => match value {
                 "threads" | "reactor" => Ok(()),
                 other => Err(format!("axis transport: `{other}` is not threads|reactor")),
+            },
+            "attribution" => match value {
+                "on" | "off" => Ok(()),
+                other => Err(format!("axis attribution: `{other}` is not on|off")),
             },
             other => Err(format!("unknown axis `{other}`")),
         }

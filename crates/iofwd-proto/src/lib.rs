@@ -28,6 +28,8 @@ pub mod wire;
 
 pub use descriptor::{Fd, OpId};
 pub use error::{DecodeError, Errno};
-pub use op::{decode_dirents, encode_dirents, FileStat, OpenFlags, Request, Response, Whence};
+pub use op::{
+    decode_dirents, encode_dirents, FileStat, OpenFlags, Request, Response, StatsQuery, Whence,
+};
 pub use trace::{StageEcho, TraceContext, TraceExt, TRACE_EXT_FLAG};
 pub use wire::{Frame, FrameKind, FRAME_HEADER_BYTES, MAX_DATA_LEN, MAX_META_LEN};

@@ -129,6 +129,35 @@ pub enum Request {
     Readdir { path: String },
     /// Orderly client disconnect.
     Shutdown,
+    /// Introspection: ask the daemon for its live telemetry. Served
+    /// off the data path (never enqueued), so it answers even when the
+    /// work queue is wedged. The rendered bytes return in the response
+    /// payload with `Ok { ret: payload_len }`.
+    Stats { query: StatsQuery },
+}
+
+/// What a [`Request::Stats`] query wants back in the response payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum StatsQuery {
+    /// The full telemetry snapshot as JSON (counters, gauges,
+    /// histograms, per-client attribution rows).
+    Snapshot = 0,
+    /// Windowed rates from the time-series ring as a small JSON object.
+    Rates = 1,
+    /// Prometheus text exposition of the snapshot plus rate gauges.
+    Prometheus = 2,
+}
+
+impl StatsQuery {
+    fn from_wire(v: u8) -> Result<StatsQuery, DecodeError> {
+        match v {
+            0 => Ok(StatsQuery::Snapshot),
+            1 => Ok(StatsQuery::Rates),
+            2 => Ok(StatsQuery::Prometheus),
+            _ => Err(DecodeError::BadEnum("stats query", v as u64)),
+        }
+    }
 }
 
 impl Request {
@@ -151,6 +180,7 @@ impl Request {
             Request::Ftruncate { .. } => 14,
             Request::Mkdir { .. } => 15,
             Request::Readdir { .. } => 16,
+            Request::Stats { .. } => 17,
         }
     }
 
@@ -183,7 +213,8 @@ impl Request {
             | Request::Shutdown
             | Request::Ftruncate { .. }
             | Request::Mkdir { .. }
-            | Request::Readdir { .. } => 0,
+            | Request::Readdir { .. }
+            | Request::Stats { .. } => 0,
         }
     }
 
@@ -239,6 +270,7 @@ impl Request {
                 w.u32(*mode);
             }
             Request::Readdir { path } => w.str(path),
+            Request::Stats { query } => w.u8(*query as u8),
         }
     }
 
@@ -300,6 +332,9 @@ impl Request {
             },
             16 => Request::Readdir {
                 path: r.str(MAX_PATH)?,
+            },
+            17 => Request::Stats {
+                query: StatsQuery::from_wire(r.u8()?)?,
             },
             _ => return Err(DecodeError::BadOpCode(op)),
         };
@@ -496,6 +531,27 @@ mod tests {
         });
         roundtrip_req(Request::Readdir { path: "/a".into() });
         roundtrip_req(Request::Shutdown);
+        for query in [
+            StatsQuery::Snapshot,
+            StatsQuery::Rates,
+            StatsQuery::Prometheus,
+        ] {
+            roundtrip_req(Request::Stats { query });
+        }
+    }
+
+    #[test]
+    fn stats_is_control_not_data() {
+        let req = Request::Stats {
+            query: StatsQuery::Snapshot,
+        };
+        assert!(!req.is_data_op());
+        assert_eq!(req.expected_payload(), 0);
+        // Unknown query tags fail cleanly rather than aliasing.
+        assert_eq!(
+            Request::decode(&[17, 9]),
+            Err(DecodeError::BadEnum("stats query", 9))
+        );
     }
 
     #[test]

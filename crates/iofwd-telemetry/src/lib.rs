@@ -22,15 +22,19 @@
 //! Snapshot assembly, text rendering, and the hand-rolled JSON codec
 //! live in [`snapshot`] — the one module allowed to allocate freely.
 
+pub mod clients;
 pub mod hist;
 pub mod ring;
 pub mod snapshot;
 pub mod span;
+pub mod timeseries;
 
+pub use clients::{ClientSnapshot, ClientTable, PerClientStats};
 pub use hist::{HistSnapshot, Histogram};
 pub use ring::FlightRecorder;
 pub use snapshot::{GaugeValue, TelemetrySnapshot};
 pub use span::{Disposition, OpKind, OpSpan};
+pub use timeseries::{Rates, SeriesPoint, TimeSeries};
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -142,6 +146,63 @@ impl Default for PerWorker {
     }
 }
 
+/// Liveness heartbeats for the reactor event loops (and any other
+/// periodic thread that wants watchdog coverage). Each loop registers
+/// once for a slot, then stores `now_ns` into it every iteration; the
+/// watchdog reads the *worst* lag across registered slots, so one
+/// healthy loop cannot mask a stuck sibling.
+pub struct Heartbeats {
+    slots: [AtomicU64; MAX_WORKERS],
+    registered: AtomicU64,
+}
+
+impl Heartbeats {
+    pub fn new() -> Heartbeats {
+        Heartbeats {
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+            registered: AtomicU64::new(0),
+        }
+    }
+
+    /// Claim a slot and seed it with `now_ns` (so a loop that registers
+    /// and immediately blocks still shows lag from registration, not
+    /// from epoch 0).
+    pub fn register(&self, now_ns: u64) -> usize {
+        let slot = (self.registered.fetch_add(1, Ordering::Relaxed) as usize) % MAX_WORKERS;
+        self.slots[slot].store(now_ns.max(1), Ordering::Relaxed);
+        slot
+    }
+
+    #[inline]
+    pub fn beat(&self, slot: usize, now_ns: u64) {
+        self.slots[slot % MAX_WORKERS].store(now_ns.max(1), Ordering::Relaxed);
+    }
+
+    pub fn registered(&self) -> usize {
+        (self.registered.load(Ordering::Relaxed) as usize).min(MAX_WORKERS)
+    }
+
+    /// Worst (largest) lag across registered slots, nanoseconds.
+    /// Zero when nothing has registered.
+    pub fn max_lag_ns(&self, now_ns: u64) -> u64 {
+        let n = self.registered();
+        let mut worst = 0u64;
+        for slot in self.slots.iter().take(n) {
+            let beat = slot.load(Ordering::Relaxed);
+            if beat != 0 {
+                worst = worst.max(now_ns.saturating_sub(beat));
+            }
+        }
+        worst
+    }
+}
+
+impl Default for Heartbeats {
+    fn default() -> Self {
+        Heartbeats::new()
+    }
+}
+
 /// Default flight-recorder capacity (completed spans retained).
 pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
 
@@ -200,6 +261,9 @@ pub struct Telemetry {
     /// readability) because BML, the work queue, or its write buffer
     /// pushed back.
     pub backpressure_events: Counter,
+    /// Times the health watchdog tripped an SLO (queue head-of-line
+    /// age, loop lag, or persistent write-buffer high water).
+    pub watchdog_trips: Counter,
 
     // -- gauges -------------------------------------------------------
     /// Client connections currently open (peak = worst concurrency).
@@ -211,6 +275,12 @@ pub struct Telemetry {
     pub open_descriptors: Gauge,
     /// Workers currently executing a batch (peak = worst contention).
     pub workers_busy: Gauge,
+    /// Tasks queued to the reactor's sync executors but not yet run
+    /// (peak = worst barrier backlog).
+    pub sync_queue_depth: Gauge,
+    /// Aggregate reactor write-buffer bytes across connections (peak =
+    /// worst egress backlog).
+    pub wbuf_bytes: Gauge,
 
     // -- histograms (nanoseconds unless noted) ------------------------
     pub queue_wait_ns: Histogram,
@@ -225,11 +295,26 @@ pub struct Telemetry {
     pub batch_size: Histogram,
     /// Constituent ops per coalesced batch (unit: ops, not ns).
     pub coalesce_width: Histogram,
+    /// Time each reactor loop spent blocked in `poll`.
+    pub poll_wait_ns: Histogram,
+    /// Full reactor loop iteration time (lap-to-lap), the event loop's
+    /// responsiveness floor.
+    pub loop_lag_ns: Histogram,
+    /// Events delivered per poll wake-up (unit: events, not ns).
+    pub ready_batch: Histogram,
+    /// Run time of each sync-executor task (barriered closes, drains).
+    pub sync_run_ns: Histogram,
 
     pub worker_dispatch: PerWorker,
     /// Nanoseconds each worker spent executing batches (vs. parked in
     /// `pop_batch`); busy fraction = busy_ns / uptime_ns.
     pub worker_busy_ns: PerWorker,
+    /// Event-loop liveness heartbeats (see [`Heartbeats`]).
+    pub loop_heartbeats: Heartbeats,
+    /// Per-client attribution table (see [`clients`]).
+    pub clients: ClientTable,
+    /// Deltified snapshot ring (see [`timeseries`]).
+    pub timeseries: TimeSeries,
     pub flight: FlightRecorder,
     sink: OnceLock<Arc<dyn SpanSink>>,
 }
@@ -276,6 +361,7 @@ impl Telemetry {
             coalesced_bytes: Counter::new(),
             accept_errors: Counter::new(),
             backpressure_events: Counter::new(),
+            watchdog_trips: Counter::new(),
             conns_open: Gauge::new(),
             queue_depth: Gauge::new(),
             bml_occupancy: Gauge::new(),
@@ -283,6 +369,8 @@ impl Telemetry {
             inflight_ops: Gauge::new(),
             open_descriptors: Gauge::new(),
             workers_busy: Gauge::new(),
+            sync_queue_depth: Gauge::new(),
+            wbuf_bytes: Gauge::new(),
             queue_wait_ns: Histogram::new(),
             service_ns: Histogram::new(),
             total_ns: Histogram::new(),
@@ -291,8 +379,15 @@ impl Telemetry {
             bml_block_ns: Histogram::new(),
             batch_size: Histogram::new(),
             coalesce_width: Histogram::new(),
+            poll_wait_ns: Histogram::new(),
+            loop_lag_ns: Histogram::new(),
+            ready_batch: Histogram::new(),
+            sync_run_ns: Histogram::new(),
             worker_dispatch: PerWorker::new(),
             worker_busy_ns: PerWorker::new(),
+            loop_heartbeats: Heartbeats::new(),
+            clients: ClientTable::new(),
+            timeseries: TimeSeries::new(timeseries::DEFAULT_SERIES_CAPACITY),
             flight: FlightRecorder::new(flight),
             sink: OnceLock::new(),
         }
@@ -319,8 +414,9 @@ impl Telemetry {
         self.origin.elapsed().as_nanos() as u64
     }
 
-    /// Fold a finished span into the stage histograms and the flight
-    /// recorder. Allocation-free.
+    /// Fold a finished span into the stage histograms, the per-client
+    /// attribution table, and the flight recorder. Allocation-free in
+    /// steady state (a client's first op allocates its table entry).
     pub fn complete(&self, span: &OpSpan) {
         if !self.enabled {
             return;
@@ -334,10 +430,40 @@ impl Telemetry {
         self.total_ns.record(span.total_ns());
         self.dispatch_lag_ns.record(span.dispatch_lag_ns());
         self.reply_lag_ns.record(span.reply_lag_ns());
+        if let Some(c) = self.client_stats(span.client) {
+            c.ops.inc();
+            if !span.ok {
+                c.ops_failed.inc();
+            }
+            c.queue_wait_ns.record(span.queue_wait_ns());
+            c.backend_ns.record(span.service_ns());
+        }
         self.flight.record(span);
         if let Some(sink) = self.sink.get() {
             sink.on_complete(span);
         }
+    }
+
+    /// The attribution entry for `client`, created on first touch —
+    /// the sanctioned mutation path for the per-client table (lint
+    /// R9): steady-state cost is one sharded read lock, and hot-path
+    /// callers should cache the `Arc` per connection. `None` when the
+    /// registry is disabled or attribution is off.
+    #[inline]
+    pub fn client_stats(&self, client: u64) -> Option<Arc<PerClientStats>> {
+        if !self.enabled {
+            return None;
+        }
+        self.clients.entry(client)
+    }
+
+    /// Push one deltified point into the time-series ring; call on the
+    /// daemon's absolute-deadline stats schedule. No-op when disabled.
+    pub fn tick_timeseries(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.timeseries.tick(self);
     }
 
     /// Nanoseconds this registry has existed — the denominator for
@@ -391,6 +517,46 @@ mod tests {
         let flight = t.flight.snapshot();
         assert_eq!(flight.len(), 1);
         assert_eq!(flight[0], span);
+    }
+
+    #[test]
+    fn complete_attributes_to_the_spans_client() {
+        let t = Telemetry::new();
+        let mut span = OpSpan::begin(OpKind::Write, 42, 1, 100);
+        span.enqueue_ns = 100;
+        span.dispatch_ns = 150;
+        span.backend_start_ns = 150;
+        span.backend_done_ns = 250;
+        span.reply_ns = 260;
+        span.ok = false;
+        t.complete(&span);
+        let c = t.clients.lookup(42).expect("client 42 attributed");
+        assert_eq!(c.ops.get(), 1);
+        assert_eq!(c.ops_failed.get(), 1);
+        assert_eq!(c.queue_wait_ns.snapshot().sum, 50);
+        assert_eq!(c.backend_ns.snapshot().sum, 100);
+        assert!(t.clients.lookup(43).is_none());
+    }
+
+    #[test]
+    fn disabled_registry_never_attributes() {
+        let t = Telemetry::disabled();
+        assert!(t.client_stats(7).is_none());
+        t.complete(&OpSpan::begin(OpKind::Write, 7, 1, 0));
+        assert!(t.clients.lookup(7).is_none());
+    }
+
+    #[test]
+    fn heartbeats_report_worst_lag() {
+        let h = Heartbeats::new();
+        assert_eq!(h.max_lag_ns(1_000), 0);
+        let a = h.register(100);
+        let b = h.register(100);
+        h.beat(a, 900);
+        // Slot b last beat at 100: lag 900 at t=1000 dominates a's 100.
+        assert_eq!(h.max_lag_ns(1_000), 900);
+        h.beat(b, 990);
+        assert_eq!(h.max_lag_ns(1_000), 100);
     }
 
     #[test]

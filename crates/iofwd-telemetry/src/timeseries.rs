@@ -1,0 +1,303 @@
+//! Time-series rates: a fixed-capacity ring of *deltified* snapshots.
+//!
+//! Cumulative counters answer "how much since boot"; operators ask
+//! "how fast right now". Every tick (driven by the daemon's stats loop
+//! on an absolute-deadline schedule) captures the cumulative totals,
+//! subtracts the previous capture, and pushes one [`SeriesPoint`] of
+//! per-interval deltas into a bounded ring. Windowed rates (MiB/s,
+//! ops/s, p99-over-window) are then pure arithmetic over the last N
+//! points — no sliding-window bookkeeping on the hot path, and a
+//! p99 that reflects the *recent* distribution rather than the
+//! since-boot blur.
+//!
+//! Ticking and reading take one `Mutex` on the cold path only;
+//! recording threads never touch this module.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::hist::HistSnapshot;
+use crate::Telemetry;
+
+/// Default ring capacity: at the daemon's 1 s tick this retains about
+/// two minutes of history, enough for `iofwd-cp top` windows while
+/// bounding memory at ~70 KiB.
+pub const DEFAULT_SERIES_CAPACITY: usize = 128;
+
+/// Per-bucket/count/sum difference of two cumulative histogram
+/// snapshots — the histogram of samples recorded *during* an interval.
+/// Saturating: counters are monotonic, so any underflow means a torn
+/// read straddled the capture and clamping to zero is the honest floor.
+pub fn hist_delta(now: &HistSnapshot, prev: &HistSnapshot) -> HistSnapshot {
+    let mut out = HistSnapshot::default();
+    for (o, (a, b)) in out
+        .buckets
+        .iter_mut()
+        .zip(now.buckets.iter().zip(prev.buckets.iter()))
+    {
+        *o = a.saturating_sub(*b);
+    }
+    out.count = now.count.saturating_sub(prev.count);
+    out.sum = now.sum.saturating_sub(prev.sum);
+    out
+}
+
+/// One interval's worth of activity: counter deltas plus sampled gauge
+/// levels at capture time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Registry uptime at capture, nanoseconds.
+    pub t_ns: u64,
+    /// Interval covered by the deltas, nanoseconds.
+    pub dt_ns: u64,
+    pub d_ops: u64,
+    pub d_ops_failed: u64,
+    pub d_bytes_in: u64,
+    pub d_bytes_out: u64,
+    pub d_backend_bytes_written: u64,
+    pub d_backend_bytes_read: u64,
+    /// End-to-end latency histogram of ops completed this interval.
+    pub d_total_ns: HistSnapshot,
+    /// Gauge levels sampled at capture (not deltas).
+    pub queue_depth: i64,
+    pub conns_open: i64,
+}
+
+/// Windowed rates derived from the newest points of the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rates {
+    /// Points the window actually covered (≤ requested).
+    pub points: usize,
+    /// Wall-clock span of those points, nanoseconds.
+    pub window_ns: u64,
+    pub ops_per_s: f64,
+    pub fail_per_s: f64,
+    pub in_mib_s: f64,
+    pub out_mib_s: f64,
+    pub backend_write_mib_s: f64,
+    pub backend_read_mib_s: f64,
+    /// p99 end-to-end latency over the window's completions, ns.
+    pub p99_total_ns: u64,
+}
+
+/// Cumulative totals at the previous tick — the subtrahend.
+#[derive(Clone, Copy)]
+struct Baseline {
+    t_ns: u64,
+    ops: u64,
+    ops_failed: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    backend_written: u64,
+    backend_read: u64,
+    total_ns: HistSnapshot,
+}
+
+struct Inner {
+    points: VecDeque<SeriesPoint>,
+    prev: Option<Baseline>,
+}
+
+/// The ring itself. Lives inside [`Telemetry`]; tick it via
+/// [`Telemetry::tick_timeseries`].
+pub struct TimeSeries {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl TimeSeries {
+    pub fn new(capacity: usize) -> TimeSeries {
+        TimeSeries {
+            capacity: capacity.max(2),
+            inner: Mutex::new(Inner {
+                points: VecDeque::new(),
+                prev: None,
+            }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Capture cumulative totals from `t`, push the delta vs. the
+    /// previous capture. The first call only seeds the baseline (there
+    /// is no interval to attribute the since-boot totals to).
+    pub fn tick(&self, t: &Telemetry) {
+        let now = Baseline {
+            t_ns: t.now_ns(),
+            ops: t.ops_completed.get(),
+            ops_failed: t.ops_failed.get(),
+            bytes_in: t.transport_bytes_in.get(),
+            bytes_out: t.transport_bytes_out.get(),
+            backend_written: t.backend_bytes_written.get(),
+            backend_read: t.backend_bytes_read.get(),
+            total_ns: t.total_ns.snapshot(),
+        };
+        let queue_depth = t.queue_depth.get();
+        let conns_open = t.conns_open.get();
+        let mut inner = self.lock();
+        if let Some(prev) = inner.prev {
+            let point = SeriesPoint {
+                t_ns: now.t_ns,
+                dt_ns: now.t_ns.saturating_sub(prev.t_ns),
+                d_ops: now.ops.saturating_sub(prev.ops),
+                d_ops_failed: now.ops_failed.saturating_sub(prev.ops_failed),
+                d_bytes_in: now.bytes_in.saturating_sub(prev.bytes_in),
+                d_bytes_out: now.bytes_out.saturating_sub(prev.bytes_out),
+                d_backend_bytes_written: now.backend_written.saturating_sub(prev.backend_written),
+                d_backend_bytes_read: now.backend_read.saturating_sub(prev.backend_read),
+                d_total_ns: hist_delta(&now.total_ns, &prev.total_ns),
+                queue_depth,
+                conns_open,
+            };
+            if inner.points.len() == self.capacity {
+                inner.points.pop_front();
+            }
+            inner.points.push_back(point);
+        }
+        inner.prev = Some(now);
+    }
+
+    /// Points captured so far, oldest first.
+    pub fn points(&self) -> Vec<SeriesPoint> {
+        self.lock().points.iter().copied().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().points.is_empty()
+    }
+
+    /// Rates over the newest `window` points (all of them if fewer).
+    /// Returns the zero value before two ticks have happened.
+    pub fn rates(&self, window: usize) -> Rates {
+        let inner = self.lock();
+        let n = window.max(1).min(inner.points.len());
+        if n == 0 {
+            return Rates::default();
+        }
+        let newest = inner.points.iter().rev().take(n);
+        let mut dt_ns = 0u64;
+        let mut ops = 0u64;
+        let mut fails = 0u64;
+        let mut bin = 0u64;
+        let mut bout = 0u64;
+        let mut bw = 0u64;
+        let mut br = 0u64;
+        let mut total = HistSnapshot::default();
+        for p in newest {
+            dt_ns += p.dt_ns;
+            ops += p.d_ops;
+            fails += p.d_ops_failed;
+            bin += p.d_bytes_in;
+            bout += p.d_bytes_out;
+            bw += p.d_backend_bytes_written;
+            br += p.d_backend_bytes_read;
+            total.merge(&p.d_total_ns);
+        }
+        if dt_ns == 0 {
+            return Rates {
+                points: n,
+                ..Rates::default()
+            };
+        }
+        let secs = dt_ns as f64 / 1e9;
+        const MIB: f64 = 1024.0 * 1024.0;
+        Rates {
+            points: n,
+            window_ns: dt_ns,
+            ops_per_s: ops as f64 / secs,
+            fail_per_s: fails as f64 / secs,
+            in_mib_s: bin as f64 / MIB / secs,
+            out_mib_s: bout as f64 / MIB / secs,
+            backend_write_mib_s: bw as f64 / MIB / secs,
+            backend_read_mib_s: br as f64 / MIB / secs,
+            p99_total_ns: total.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_delta_subtracts_and_saturates() {
+        let mut a = HistSnapshot::default();
+        let mut b = HistSnapshot::default();
+        for v in [1u64, 100, 100] {
+            a.record(v);
+        }
+        b.record(1);
+        let d = hist_delta(&a, &b);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 200);
+        // Reversed operands saturate to zero instead of wrapping.
+        let z = hist_delta(&b, &a);
+        assert_eq!(z.count, 0);
+        assert_eq!(z.sum, 0);
+    }
+
+    #[test]
+    fn first_tick_seeds_second_tick_produces_point() {
+        let t = Telemetry::new();
+        t.ops_completed.add(5);
+        t.timeseries.tick(&t);
+        assert!(t.timeseries.is_empty());
+        t.ops_completed.add(3);
+        t.transport_bytes_in.add(4096);
+        t.timeseries.tick(&t);
+        let pts = t.timeseries.points();
+        assert_eq!(pts.len(), 1);
+        // Only the activity *between* ticks lands in the point.
+        assert_eq!(pts[0].d_ops, 3);
+        assert_eq!(pts[0].d_bytes_in, 4096);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let t = Telemetry::new();
+        let ts = TimeSeries::new(3);
+        for i in 0..6u64 {
+            t.ops_completed.add(i + 1);
+            ts.tick(&t);
+        }
+        let pts = ts.points();
+        assert_eq!(pts.len(), 3);
+        // Newest three deltas: +4, +5, +6.
+        assert_eq!(
+            pts.iter().map(|p| p.d_ops).collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn rates_cover_requested_window() {
+        let t = Telemetry::new();
+        let ts = TimeSeries::new(8);
+        ts.tick(&t);
+        t.ops_completed.add(10);
+        t.total_ns.record(1 << 20);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        ts.tick(&t);
+        let r = ts.rates(4);
+        assert_eq!(r.points, 1);
+        assert!(r.window_ns > 0);
+        assert!(r.ops_per_s > 0.0);
+        assert_eq!(r.p99_total_ns, 1 << 21);
+    }
+
+    #[test]
+    fn rates_before_two_ticks_are_zero() {
+        let ts = TimeSeries::new(4);
+        assert_eq!(ts.rates(4), Rates::default());
+    }
+}

@@ -5,7 +5,7 @@
 //! can emit.
 
 use iofwd_telemetry::hist::{bucket_of, Histogram, BUCKETS, SHARDS};
-use iofwd_telemetry::{GaugeValue, HistSnapshot, TelemetrySnapshot};
+use iofwd_telemetry::{ClientSnapshot, GaugeValue, HistSnapshot, TelemetrySnapshot};
 use proptest::prelude::*;
 
 /// Build a snapshot-at-rest from raw samples.
@@ -79,6 +79,15 @@ proptest! {
             (0usize..8, proptest::collection::vec(0u64..(1 << 40), 0..30)),
             0..4,
         ),
+        clients in proptest::collection::vec(
+            (
+                0u64..u64::MAX,
+                proptest::collection::vec(0u64..u64::MAX, 6..7),
+                proptest::collection::vec(0u64..(1 << 40), 0..10),
+                proptest::collection::vec(0u64..(1 << 40), 0..10),
+            ),
+            0..4,
+        ),
     ) {
         // Names exercise the quote()/unescape paths: quotes,
         // backslashes, control chars, and non-ASCII.
@@ -95,6 +104,27 @@ proptest! {
                 .iter()
                 .map(|(i, samples)| (name(*i), hist_of(samples)))
                 .collect(),
+            clients: {
+                // The capture path emits rows sorted by unique id; give
+                // the codec the same shape.
+                let mut rows: Vec<ClientSnapshot> = clients
+                    .iter()
+                    .map(|(id, c, qw, be)| ClientSnapshot {
+                        id: *id,
+                        ops: c[0],
+                        ops_failed: c[1],
+                        bytes_in: c[2],
+                        bytes_out: c[3],
+                        backpressure_events: c[4],
+                        wbuf_high_water: c[5],
+                        queue_wait_ns: hist_of(qw),
+                        backend_ns: hist_of(be),
+                    })
+                    .collect();
+                rows.sort_by_key(|c| c.id);
+                rows.dedup_by_key(|c| c.id);
+                rows
+            },
         };
         let parsed = TelemetrySnapshot::from_json(&snap.to_json())
             .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;

@@ -4,9 +4,18 @@
 //! iofwd-cp put LOCAL  ADDR REMOTE     # upload through the daemon
 //! iofwd-cp get ADDR REMOTE  LOCAL     # download through the daemon
 //! iofwd-cp stat ADDR REMOTE           # forwarded stat
+//! iofwd-cp stats ADDR [--json|--rates|--prom [--check]]   # live query
+//! iofwd-cp top ADDR [-n K] [--interval SECS] [--count N]  # live top-K
 //! iofwd-cp snapshot FILE              # validate a daemon JSON snapshot
 //! iofwd-cp trace FILE                 # validate an exported trace JSON
 //! ```
+//!
+//! `stats` and `top` speak the stats wire protocol to a *running*
+//! daemon — either the data-path port or a dedicated `--stats-addr`
+//! listener. The daemon answers from telemetry memory without touching
+//! the work queue, so both keep working while the data path is wedged.
+//! `top` polls full snapshots and diffs them client-side into per-client
+//! rates, ranked by bytes moved over the refresh window.
 //!
 //! `--stats` (before the subcommand) records the latency of every
 //! forwarded call client-side and prints per-operation mean/p99 —
@@ -36,10 +45,13 @@ use std::io::{Read, Write};
 use std::time::Instant;
 
 use iofwd::client::Client;
-use iofwd::telemetry::{snapshot::fmt_ns, HistSnapshot, TelemetrySnapshot};
+use iofwd::telemetry::{
+    snapshot::{fmt_ns, render_top, validate_prometheus},
+    HistSnapshot, TelemetrySnapshot,
+};
 use iofwd::trace::validate_chrome_trace;
 use iofwd::transport::tcp::TcpConn;
-use iofwd_proto::OpenFlags;
+use iofwd_proto::{OpenFlags, StatsQuery};
 
 const CHUNK: usize = 1 << 20;
 
@@ -126,13 +138,121 @@ fn main() {
         Some("put") if args.len() == 4 => put(&args[1], &args[2], &args[3], stats, trace),
         Some("get") if args.len() == 4 => get(&args[1], &args[2], &args[3], stats, trace),
         Some("stat") if args.len() == 3 => stat(&args[1], &args[2]),
+        Some("stats") if args.len() >= 2 => live_stats(&args[1], &args[2..]),
+        Some("top") if args.len() >= 2 => live_top(&args[1], &args[2..]),
         Some("snapshot") if args.len() >= 2 => check_snapshot(&args[1], &args[2..]),
         Some("trace") if args.len() == 2 => check_trace(&args[1]),
         _ => die(
             "usage: iofwd-cp [--stats] [--trace] put LOCAL ADDR REMOTE | get ADDR REMOTE LOCAL \
-             | stat ADDR REMOTE | snapshot FILE [ASSERTION...] | trace FILE",
+             | stat ADDR REMOTE | stats ADDR [--json|--rates|--prom [--check]] \
+             | top ADDR [-n K] [--interval SECS] [--count N] \
+             | snapshot FILE [ASSERTION...] | trace FILE",
         ),
     }
+}
+
+/// `stats ADDR`: one live query over the stats wire protocol. Default
+/// output is the daemon's registry rendered human-readable (fetched as
+/// a JSON snapshot and formatted locally); `--json` prints the raw
+/// snapshot, `--rates` the windowed-rates JSON, `--prom` the Prometheus
+/// exposition (with `--check` additionally validating its format — the
+/// CI live-scrape gate).
+fn live_stats(addr: &str, args: &[String]) {
+    let mut query = StatsQuery::Snapshot;
+    let mut raw_json = false;
+    let mut check = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => raw_json = true,
+            "--rates" => query = StatsQuery::Rates,
+            "--prom" => query = StatsQuery::Prometheus,
+            "--check" => check = true,
+            other => die(&format!("stats: unknown option '{other}'")),
+        }
+    }
+    if check && query != StatsQuery::Prometheus {
+        die("stats: --check requires --prom");
+    }
+    let mut client = connect(addr);
+    let data = client
+        .query_stats(query)
+        .unwrap_or_else(|e| die(&format!("stats query to {addr}: {e}")));
+    let _ = client.shutdown();
+    let text = String::from_utf8_lossy(&data);
+    match query {
+        StatsQuery::Snapshot if !raw_json => {
+            let snap = TelemetrySnapshot::from_json(&text)
+                .unwrap_or_else(|e| die(&format!("malformed snapshot from {addr}: {e}")));
+            print!("{}", snap.render_text());
+        }
+        StatsQuery::Prometheus if check => {
+            let samples =
+                validate_prometheus(&text).unwrap_or_else(|e| die(&format!("bad exposition: {e}")));
+            print!("{text}");
+            eprintln!("iofwd-cp: exposition OK ({samples} samples)");
+        }
+        _ => println!("{}", text.trim_end()),
+    }
+}
+
+/// `top ADDR`: poll snapshots and print the per-client rate table each
+/// refresh. The first fetch is the baseline; every subsequent one diffs
+/// against its predecessor, so the rates cover exactly one interval.
+/// `--count N` stops after N refreshes (0 = until killed).
+fn live_top(addr: &str, args: &[String]) {
+    let mut k = 8usize;
+    let mut interval = std::time::Duration::from_secs(1);
+    let mut count = 0u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("top: {name} needs a value")))
+        };
+        match a.as_str() {
+            "-n" => {
+                k = take("-n")
+                    .parse()
+                    .unwrap_or_else(|_| die("top: -n needs an integer"));
+            }
+            "--interval" => {
+                let secs: f64 = take("--interval")
+                    .parse()
+                    .unwrap_or_else(|_| die("top: --interval needs seconds"));
+                if !secs.is_finite() || secs <= 0.0 {
+                    die("top: --interval must be positive");
+                }
+                interval = std::time::Duration::from_secs_f64(secs);
+            }
+            "--count" => {
+                count = take("--count")
+                    .parse()
+                    .unwrap_or_else(|_| die("top: --count needs an integer"));
+            }
+            other => die(&format!("top: unknown option '{other}'")),
+        }
+    }
+    let mut client = connect(addr);
+    let fetch = |client: &mut Client| -> TelemetrySnapshot {
+        let data = client
+            .query_stats(StatsQuery::Snapshot)
+            .unwrap_or_else(|e| die(&format!("stats query to {addr}: {e}")));
+        TelemetrySnapshot::from_json(&String::from_utf8_lossy(&data))
+            .unwrap_or_else(|e| die(&format!("malformed snapshot from {addr}: {e}")))
+    };
+    let mut prev = fetch(&mut client);
+    let mut refreshes = 0u64;
+    loop {
+        std::thread::sleep(interval);
+        let now = fetch(&mut client);
+        print!("{}", render_top(&prev, &now, k));
+        prev = now;
+        refreshes += 1;
+        if count > 0 && refreshes >= count {
+            break;
+        }
+    }
+    let _ = client.shutdown();
 }
 
 /// Print the traced transfer's latency decomposition: how much of the

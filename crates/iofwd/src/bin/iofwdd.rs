@@ -19,6 +19,23 @@
 //!   then removes the file. A portable stand-in for SIGUSR1.
 //! * `--port-file PATH` — write the bound port (for `--listen host:0`).
 //!
+//! Live introspection (DESIGN.md §16; `Request::Stats` is also answered
+//! in-band on every data connection — `iofwd-cp stats|top ADDR`):
+//!
+//! * `--stats-addr HOST:PORT` — out-of-band stats listener speaking the
+//!   framed protocol but accepting only stats queries; answers even
+//!   when every data connection is parked under backpressure.
+//! * `--stats-port-file PATH` — write the stats listener's bound port
+//!   (for `--stats-addr host:0`).
+//! * `--attribution on|off` — per-client attribution table (default
+//!   on): ops, payload bytes, stage histograms, backpressure per
+//!   client id.
+//! * `--watchdog [k=v,...]` — event-loop/queue health watchdog
+//!   (`interval_ms`, `queue_age_ms`, `loop_lag_ms`, `wbuf_bytes`,
+//!   `wbuf_strikes`, `dump=PATH`): each SLO is a rising-edge latch
+//!   that bumps `watchdog_trips`, logs one structured reason line, and
+//!   appends a flight-recorder dump.
+//!
 //! Robustness (`iofwd::fault`):
 //!
 //! * `--fault-plan PATH` — wrap the backend in a deterministic, seeded
@@ -55,7 +72,9 @@ use std::time::{Duration, Instant};
 
 use iofwd::backend::{FaultBackend, FileBackend, ThrottledBackend};
 use iofwd::fault::{FaultPlan, RetryPolicy};
-use iofwd::server::{CoalesceConfig, ForwardingMode, IonServer, ServerConfig};
+use iofwd::server::{
+    introspect, watchdog, CoalesceConfig, ForwardingMode, IonServer, ServerConfig, WatchdogConfig,
+};
 use iofwd::telemetry::{snapshot, Telemetry};
 use iofwd::trace::TraceExporter;
 use iofwd::transport::tcp::TcpAcceptor;
@@ -70,6 +89,14 @@ struct Options {
     stats_json: Option<String>,
     dump_trigger: Option<String>,
     port_file: Option<String>,
+    /// Out-of-band introspection listener (`iofwd-cp stats --addr`).
+    stats_addr: Option<String>,
+    /// Where to write the stats listener's bound port (for `:0`).
+    stats_port_file: Option<String>,
+    /// `--watchdog` spec (absent = watchdog off).
+    watchdog: Option<WatchdogConfig>,
+    /// Per-client attribution (on unless `--attribution off`).
+    attribution: bool,
     fault_plan: Option<String>,
     retry_attempts: u32,
     trace_out: Option<String>,
@@ -101,6 +128,10 @@ impl Options {
             stats_json: None,
             dump_trigger: None,
             port_file: None,
+            stats_addr: None,
+            stats_port_file: None,
+            watchdog: None,
+            attribution: true,
             fault_plan: None,
             retry_attempts: 4,
             trace_out: None,
@@ -137,6 +168,19 @@ impl Options {
                     })
                 }
                 "--stats-json" => opts.stats_json = Some(take("--stats-json")),
+                "--stats-addr" => opts.stats_addr = Some(take("--stats-addr")),
+                "--stats-port-file" => opts.stats_port_file = Some(take("--stats-port-file")),
+                "--watchdog" => {
+                    let spec = take("--watchdog");
+                    opts.watchdog = Some(WatchdogConfig::parse(&spec).unwrap_or_else(|e| die(&e)));
+                }
+                "--attribution" => {
+                    opts.attribution = match take("--attribution").as_str() {
+                        "on" => true,
+                        "off" => false,
+                        _ => die("--attribution must be 'on' or 'off'"),
+                    };
+                }
                 "--dump-trigger" => opts.dump_trigger = Some(take("--dump-trigger")),
                 "--port-file" => opts.port_file = Some(take("--port-file")),
                 "--fault-plan" => opts.fault_plan = Some(take("--fault-plan")),
@@ -219,6 +263,8 @@ impl Options {
                         "usage: iofwdd [--listen ADDR] [--root DIR] \
                          [--mode ciod|zoid|sched|staged] [--workers N] [--bml-mib N] \
                          [--stats-interval SECS] [--stats-json PATH] \
+                         [--stats-addr ADDR [--stats-port-file PATH]] \
+                         [--watchdog SPEC] [--attribution on|off] \
                          [--dump-trigger PATH] [--port-file PATH] \
                          [--fault-plan PATH] [--retry-attempts N] \
                          [--coalesce[=off|MAX_BYTES,MAX_OPS]] \
@@ -294,6 +340,7 @@ fn main() {
     // Build telemetry up front so the fault injector (outermost backend
     // wrapper) and the daemon share one registry.
     let telemetry = Arc::new(Telemetry::new());
+    telemetry.clients.set_attribution(opts.attribution);
     // The trace exporter must be attached before any op completes so the
     // first traced request is already observable.
     let exporter = opts.trace_out.as_ref().map(|path| {
@@ -384,15 +431,54 @@ fn main() {
         ),
         None => eprintln!("iofwdd: write coalescing off"),
     }
+    // Out-of-band introspection: a dedicated listener that answers only
+    // Stats queries straight from telemetry memory — reachable even when
+    // the data-path port is saturated with parked connections.
+    let _introspect = opts.stats_addr.as_ref().map(|stats_addr| {
+        let acceptor = TcpAcceptor::bind(stats_addr)
+            .unwrap_or_else(|e| die(&format!("cannot bind stats listener {stats_addr}: {e}")));
+        let handle = introspect::spawn(acceptor, telemetry.clone())
+            .unwrap_or_else(|e| die(&format!("cannot start stats listener: {e}")));
+        eprintln!("iofwdd: stats listener on {}", handle.addr());
+        if let Some(pf) = &opts.stats_port_file {
+            write_atomic(pf, &handle.addr().port().to_string());
+        }
+        handle
+    });
+    let _watchdog = opts.watchdog.clone().map(|cfg| {
+        eprintln!(
+            "iofwdd: watchdog ON — interval {:?}, queue age {:?}, loop lag {:?}, \
+             wbuf {} B x{}",
+            cfg.interval, cfg.max_queue_age, cfg.max_loop_lag, cfg.wbuf_limit, cfg.wbuf_strikes
+        );
+        watchdog::spawn(cfg, telemetry.clone(), server.work_queue())
+            .unwrap_or_else(|e| die(&format!("cannot start watchdog: {e}")))
+    });
     eprintln!("iofwdd: press Ctrl-C to stop");
 
-    // Poll loop: periodic stats at --stats-interval, on-demand dumps
-    // whenever the trigger file appears.
+    // Supervision loop. Recurring work runs on *absolute* deadlines
+    // advanced by whole periods from the start phase, so neither sleep
+    // quantization nor the work itself accumulates drift — a 30 s stats
+    // interval produces a dump at start+30 s, start+60 s, …, not at
+    // "previous dump + 30 s + processing time". The sleep itself targets
+    // the earliest pending deadline, bounded by a short poll tick so
+    // on-demand triggers (dump file, fresh trace spans) stay responsive.
+    const POLL_TICK: Duration = Duration::from_millis(200);
+    /// Time-series cadence: one deltified snapshot per second feeds the
+    /// windowed rates served over the stats protocol.
+    const TS_TICK: Duration = Duration::from_secs(1);
     let interval = (opts.stats_interval > 0).then(|| Duration::from_secs(opts.stats_interval));
-    let mut next_dump = interval.map(|iv| Instant::now() + iv);
+    let start = Instant::now();
+    let mut next_dump = interval.map(|iv| start + iv);
+    let mut next_ts = start + TS_TICK;
     let mut traced_spans = 0usize;
     loop {
-        std::thread::sleep(Duration::from_millis(200));
+        let now = Instant::now();
+        let mut wake = (now + POLL_TICK).min(next_ts);
+        if let Some(due) = next_dump {
+            wake = wake.min(due);
+        }
+        std::thread::sleep(wake.saturating_duration_since(now));
         // Rewrite the trace whenever new spans were retained, so a
         // short-lived traced run's spans land on disk within a poll
         // tick rather than at the next stats interval.
@@ -410,8 +496,15 @@ fn main() {
                 dump_stats(&telemetry, opts.stats_json.as_deref(), true);
             }
         }
+        let now = Instant::now();
+        if now >= next_ts {
+            telemetry.tick_timeseries();
+            while next_ts <= now {
+                next_ts += TS_TICK;
+            }
+        }
         if let (Some(iv), Some(due)) = (interval, next_dump) {
-            if Instant::now() >= due {
+            if now >= due {
                 let s = server.stats();
                 eprintln!(
                     "iofwdd: {} requests, {} MiB in, {} MiB out, {} staged ops, {} open fds",
@@ -422,7 +515,14 @@ fn main() {
                     server.open_descriptors()
                 );
                 dump_stats(&telemetry, opts.stats_json.as_deref(), false);
-                next_dump = Some(due + iv);
+                // Whole-period catch-up: a dump stalled past several
+                // deadlines resumes on phase, without a burst of
+                // back-to-back dumps.
+                let mut due = due + iv;
+                while due <= now {
+                    due += iv;
+                }
+                next_dump = Some(due);
             }
         }
     }

@@ -488,6 +488,22 @@ impl Client {
         }
     }
 
+    /// Query the daemon's live introspection plane. The reply payload is
+    /// the rendered document (JSON snapshot, JSON rates, or Prometheus
+    /// text, by [`StatsQuery`]); the daemon answers from telemetry
+    /// memory without entering the work queue, so this works even while
+    /// the data path is saturated or wedged.
+    pub fn query_stats(&mut self, query: iofwd_proto::StatsQuery) -> Result<Bytes, ClientError> {
+        match self.call(&Request::Stats { query }, Bytes::new())? {
+            (Response::Ok { .. }, data) => Ok(data),
+            (Response::Err { errno }, _) => Err(ClientError::Remote(errno)),
+            (Response::DeferredErr { op, errno }, _) => Err(ClientError::Deferred { op, errno }),
+            (other @ (Response::Staged { .. } | Response::StatOk { .. }), _) => Err(
+                ClientError::Protocol(format!("unexpected response {other:?}")),
+            ),
+        }
+    }
+
     /// Orderly disconnect: tells the daemon this client is done.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.expect_ret(&Request::Shutdown, Bytes::new())?;

@@ -35,7 +35,7 @@ pub(crate) fn op_kind(req: &Request) -> OpKind {
         | Request::Ftruncate { .. }
         | Request::Mkdir { .. }
         | Request::Readdir { .. } => OpKind::Meta,
-        Request::Shutdown => OpKind::Control,
+        Request::Shutdown | Request::Stats { .. } => OpKind::Control,
     }
 }
 
@@ -322,6 +322,15 @@ impl Engine {
                 Err(e) => (Response::Err { errno: e }, Bytes::new()),
             },
             Request::Shutdown => (Response::Ok { ret: 0 }, Bytes::new()),
+            // Stats queries are answered at the transport layer (off
+            // the data path, before any enqueue); one reaching the
+            // engine is a routing bug, reported rather than masked.
+            Request::Stats { .. } => (
+                Response::Err {
+                    errno: Errno::Inval,
+                },
+                Bytes::new(),
+            ),
         }
     }
 

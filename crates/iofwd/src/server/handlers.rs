@@ -62,6 +62,7 @@ impl Session {
             | Request::Fstat { .. }
             | Request::Unlink { .. }
             | Request::Shutdown
+            | Request::Stats { .. }
             | Request::Ftruncate { .. }
             | Request::Mkdir { .. }
             | Request::Readdir { .. } => {}
@@ -134,10 +135,29 @@ fn finish_and_reply(
     if span.trace_id != 0 {
         frame = frame.with_ext(TraceExt::Echo(stage_echo_of(span)));
     }
+    // Fold the span BEFORE the reply hits the wire: once a client has
+    // seen its response, a stats snapshot must already account for the
+    // op (the experiment harness harvests over the wire immediately
+    // after its last reply).
+    telemetry.complete(span);
     // A send failure means the client vanished; the handler loop will
     // observe the closed connection on its next recv.
     let _ = conn.send(frame);
-    telemetry.complete(span);
+}
+
+/// Intercept a stats query right after decode: answered from telemetry
+/// memory before any span, queue, or engine involvement, so the
+/// introspection plane works even when the data path is wedged (see
+/// `server::introspect`). Returns `true` when the frame was consumed.
+/// `if let` rather than a `match` over `Request` so the wire enum keeps
+/// exactly one exhaustive dispatch site per handler (lint R3).
+fn try_answer_stats(conn: &dyn Conn, telemetry: &Telemetry, frame: &Frame, req: &Request) -> bool {
+    let Request::Stats { query } = req else {
+        return false;
+    };
+    let (resp, data) = super::introspect::answer(telemetry, *query);
+    send_response(conn, frame.client_id, frame.seq, &resp, data);
+    true
 }
 
 fn decode_or_reject(conn: &dyn Conn, frame: &Frame) -> Option<Request> {
@@ -167,6 +187,9 @@ pub fn handle_zoid(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
         let Some(req) = decode_or_reject(conn.as_ref(), &frame) else {
             continue;
         };
+        if try_answer_stats(conn.as_ref(), &telemetry, &frame, &req) {
+            continue;
+        }
         let now = telemetry.now_ns();
         let mut span = OpSpan::begin(op_kind(&req), u64::from(frame.client_id), frame.seq, now);
         span.enqueue_ns = now;
@@ -215,6 +238,11 @@ pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
                     telemetry.complete(&span);
                     continue;
                 };
+                if try_answer_stats(proxy_conn.as_ref(), &telemetry, &frame, &req) {
+                    // Meta-traffic, not an I/O op: the span is dropped
+                    // unfolded so stats polling never skews op counters.
+                    continue;
+                }
                 let shutdown = matches!(req, Request::Shutdown);
                 let (resp, data) = proxy_engine.execute_timed(&req, &frame.data, &mut span);
                 session.track(&req, &resp);
@@ -277,6 +305,9 @@ pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQue
         let Some(req) = decode_or_reject(conn.as_ref(), &frame) else {
             continue;
         };
+        if try_answer_stats(conn.as_ref(), &telemetry, &frame, &req) {
+            continue;
+        }
         let mut span = OpSpan::begin(
             op_kind(&req),
             u64::from(frame.client_id),
@@ -360,6 +391,9 @@ pub fn handle_staged(
         let Some(req) = decode_or_reject(conn.as_ref(), &frame) else {
             continue;
         };
+        if try_answer_stats(conn.as_ref(), &telemetry, &frame, &req) {
+            continue;
+        }
         let mut span = OpSpan::begin(
             op_kind(&req),
             u64::from(frame.client_id),
@@ -568,7 +602,9 @@ pub fn handle_staged(
             // Metadata operations (and oversized writes that exceed the
             // BML's largest class, falling through the guard above) run
             // synchronously in the handler, as the paper specifies for
-            // open/close/attribute operations.
+            // open/close/attribute operations. `Stats` is consumed by
+            // the interception above and never reaches this dispatch;
+            // the engine rejects one anyway (routing bug, not data).
             other @ (Request::Open { .. }
             | Request::Connect { .. }
             | Request::Close { .. }
@@ -581,6 +617,7 @@ pub fn handle_staged(
             | Request::Unlink { .. }
             | Request::Ftruncate { .. }
             | Request::Mkdir { .. }
+            | Request::Stats { .. }
             | Request::Readdir { .. }) => {
                 let now = telemetry.now_ns();
                 span.enqueue_ns = now;

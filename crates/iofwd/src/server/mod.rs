@@ -12,16 +12,20 @@
 
 mod engine;
 mod handlers;
+pub mod introspect;
 mod queue;
 mod reactor;
 mod staged;
+pub mod watchdog;
 
 pub use engine::{Engine, ServerStats, StatsSnapshot};
+pub use introspect::IntrospectHandle;
 pub use queue::{
     Completion, CompletionSink, QueueDiscipline, ReplyTo, StagedPart, WorkItem, WorkQueue,
 };
 pub use reactor::{ReactorConfig, ReactorHandle};
 pub use staged::FdSerializer;
+pub use watchdog::{WatchdogConfig, WatchdogHandle};
 
 use std::io;
 use std::sync::Arc;
@@ -471,6 +475,12 @@ impl IonServer {
     /// Daemon-wide request counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.engine.stats()
+    }
+
+    /// The shared work queue (None for Ciod/Zoid modes) — the watchdog
+    /// samples its head-of-line age through this.
+    pub fn work_queue(&self) -> Option<Arc<WorkQueue>> {
+        self.queue.clone()
     }
 
     /// Work-queue statistics (None for Ciod/Zoid modes).

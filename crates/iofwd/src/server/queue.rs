@@ -151,6 +151,18 @@ impl WorkItem {
             WorkItem::CoalescedWrite { parts, .. } => parts.first().map_or(0, |p| p.span.client),
         }
     }
+
+    /// When this item entered the queue (its span's enqueue stamp; 0
+    /// when telemetry is disabled), for head-of-line-age sampling.
+    fn enqueue_ns(&self) -> u64 {
+        match self {
+            WorkItem::Sync { span, .. } => span.enqueue_ns,
+            WorkItem::StagedWrite { span, .. } => span.enqueue_ns,
+            WorkItem::CoalescedWrite { parts, .. } => {
+                parts.first().map_or(0, |p| p.span.enqueue_ns)
+            }
+        }
+    }
 }
 
 /// Queueing discipline, for the ablation in DESIGN.md §5.
@@ -425,6 +437,23 @@ impl WorkQueue {
         s.shared.len() + s.per_worker.iter().map(|q| q.len()).sum::<usize>()
     }
 
+    /// Enqueue stamp of the oldest item still parked (the front of the
+    /// shared FIFO and of each per-worker queue — FIFO order makes the
+    /// fronts the oldest candidates). `None` when the queue is empty or
+    /// every front predates telemetry (stamp 0). This is the watchdog's
+    /// head-of-line-age signal: one bounded scan under the queue lock,
+    /// a few times per second, never on the data path.
+    pub fn oldest_enqueue_ns(&self) -> Option<u64> {
+        let s = self.state.lock();
+        s.shared
+            .front()
+            .into_iter()
+            .chain(s.per_worker.iter().filter_map(|q| q.front()))
+            .map(|item| item.enqueue_ns())
+            .filter(|&ns| ns > 0)
+            .min()
+    }
+
     /// Deepest the queue has ever been.
     pub fn depth_high_water(&self) -> u64 {
         self.depth_high_water.load(Ordering::Relaxed)
@@ -624,6 +653,36 @@ mod tests {
         assert_eq!(q.drain_remaining().len(), 2);
         assert_eq!(q.client_queued(7), 0);
         assert_eq!(q.client_queued(8), 0);
+    }
+
+    #[test]
+    fn oldest_enqueue_ns_follows_the_queue_fronts() {
+        let q = WorkQueue::new(QueueDiscipline::PerWorker, 2);
+        assert_eq!(q.oldest_enqueue_ns(), None);
+        let stamped = |tag: u64, ns: u64| {
+            let (tx, _rx) = unbounded();
+            let span = OpSpan {
+                enqueue_ns: ns,
+                ..OpSpan::default()
+            };
+            WorkItem::Sync {
+                req: Request::Fsync { fd: Fd(tag as u32) },
+                data: Bytes::new(),
+                reply: ReplyTo::Handler(tx),
+                span,
+            }
+        };
+        q.push(stamped(0, 900)).unwrap(); // rr -> worker 0
+        q.push(stamped(1, 500)).unwrap(); // rr -> worker 1
+                                          // The probe scans every queue front, not just one FIFO.
+        assert_eq!(q.oldest_enqueue_ns(), Some(500));
+        assert_eq!(q.pop_batch(1, 1).len(), 1);
+        assert_eq!(q.oldest_enqueue_ns(), Some(900));
+        assert_eq!(q.pop_batch(0, 1).len(), 1);
+        assert_eq!(q.oldest_enqueue_ns(), None);
+        // Unstamped items (telemetry disabled) never report an age.
+        q.push(stamped(2, 0)).unwrap();
+        assert_eq!(q.oldest_enqueue_ns(), None);
     }
 
     #[test]

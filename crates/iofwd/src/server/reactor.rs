@@ -57,7 +57,7 @@ use super::queue::{Completion, CompletionSink, ReplyTo, WorkItem, WorkQueue};
 use super::staged::FdSerializer;
 use crate::bml::Bml;
 use crate::descdb::BeginError;
-use crate::telemetry::{Disposition, OpSpan, Telemetry};
+use crate::telemetry::{Disposition, OpSpan, PerClientStats, Telemetry};
 use crate::transport::tcp::TcpAcceptor;
 
 /// Token reserved for the listening socket (registered on loop 0 only).
@@ -196,6 +196,10 @@ struct ConnState {
     fds: HashSet<Fd>,
     /// Client id from the most recent frame (for fairness lookups).
     client: u64,
+    /// Cached per-client attribution row for `client`, refreshed when
+    /// the id changes — one shard lookup per id change, not per frame
+    /// (lint R9: all mutations go through `Telemetry::client_stats`).
+    stats: Option<Arc<PerClientStats>>,
     /// Decoded frame waiting for admission (BML or queue pushed back).
     parked_frame: Option<Frame>,
     /// Ops handed to the queue / sync pool with replies outstanding.
@@ -230,6 +234,7 @@ impl ConnState {
             pending: HashMap::new(),
             fds: HashSet::new(),
             client: 0,
+            stats: None,
             parked_frame: None,
             inflight: 0,
             parked_queue: false,
@@ -303,7 +308,30 @@ struct ReactorThread {
 
 impl ReactorThread {
     fn run(mut self) {
+        // Loop-health instrumentation: a heartbeat slot the watchdog
+        // reads for worst-case lap lag, plus lap-to-lap and poll-wait
+        // timings. `poll_wait_ns` is time *voluntarily* parked in
+        // `wait(2)`; `loop_lag_ns` minus it is time spent working — a
+        // lap that stretches without polling means a blocking call
+        // leaked onto the event loop.
+        let instrumented = self.telemetry.enabled();
+        let hb_slot = instrumented.then(|| {
+            self.telemetry
+                .loop_heartbeats
+                .register(self.telemetry.now_ns())
+        });
+        let mut last_lap_ns = self.telemetry.now_ns();
         while !self.stop.load(Ordering::Acquire) {
+            if instrumented {
+                let now = self.telemetry.now_ns();
+                self.telemetry
+                    .loop_lag_ns
+                    .record_shard(self.idx, now.saturating_sub(last_lap_ns));
+                last_lap_ns = now;
+                if let Some(slot) = hb_slot {
+                    self.telemetry.loop_heartbeats.beat(slot, now);
+                }
+            }
             self.drain_incoming();
             self.drain_completions();
             self.retry_parked();
@@ -322,7 +350,16 @@ impl ReactorThread {
                 Duration::ZERO
             };
             let mut events = std::mem::take(&mut self.events);
+            let wait_from = self.telemetry.now_ns();
             let _ = self.poller.wait(&mut events, Some(timeout));
+            if instrumented {
+                self.telemetry
+                    .poll_wait_ns
+                    .record_shard(self.idx, self.telemetry.now_ns().saturating_sub(wait_from));
+                self.telemetry
+                    .ready_batch
+                    .record_shard(self.idx, events.len() as u64);
+            }
             for ev in events.drain(..) {
                 if ev.token == LISTENER_TOKEN {
                     self.accept_burst();
@@ -561,6 +598,17 @@ impl ReactorThread {
                         self.telemetry
                             .transport_bytes_in
                             .add(frame.data.len() as u64);
+                        // Attribute inbound bytes at decode time — once
+                        // per frame, even if admission later parks and
+                        // re-admits it. The row is cached per id.
+                        let client = u64::from(frame.client_id);
+                        if conn.client != client || conn.stats.is_none() {
+                            conn.client = client;
+                            conn.stats = self.telemetry.client_stats(client);
+                        }
+                        if let Some(stats) = &conn.stats {
+                            stats.bytes_in.add(frame.data.len() as u64);
+                        }
                     }
                     self.admit(tok, conn, frame);
                 }
@@ -613,6 +661,16 @@ impl ReactorThread {
                 return;
             }
         };
+        // Stats queries are answered inline from telemetry memory —
+        // never queued, never parked behind the fairness gate's retry
+        // (the gate above applies, but a stalled *worker pool* cannot
+        // block a query; only this client's own queue debt can).
+        if let Request::Stats { query } = req {
+            let (resp, data) = super::introspect::answer(&self.telemetry, query);
+            let reply = Frame::response(frame.client_id, frame.seq, &resp, data);
+            self.enqueue_wire(conn, reply);
+            return;
+        }
         let mut span = OpSpan::begin(op_kind(&req), client, frame.seq, self.telemetry.now_ns());
         span.bytes = frame.data.len() as u64;
         apply_trace(&mut span, &frame);
@@ -787,15 +845,14 @@ impl ReactorThread {
                     reply,
                     span,
                 };
-                if let Err(send_err) = self.sync_tx.send(task) {
-                    fail_sync_task(send_err.0);
-                }
+                self.send_sync(task);
             }
             // Metadata ops and oversized writes (falling through the
             // size guard above) execute synchronously — on the executor
-            // pool, since they touch the filesystem. `Shutdown` is
-            // consumed by `admit` and never reaches here, but routing it
-            // through the executor would be harmless.
+            // pool, since they touch the filesystem. `Shutdown` and
+            // `Stats` are consumed by `admit` and never reach here, but
+            // routing them through the executor would be harmless (the
+            // engine rejects a stray `Stats` with `Inval`).
             other @ (Request::Open { .. }
             | Request::Connect { .. }
             | Request::Close { .. }
@@ -809,6 +866,7 @@ impl ReactorThread {
             | Request::Ftruncate { .. }
             | Request::Mkdir { .. }
             | Request::Readdir { .. }
+            | Request::Stats { .. }
             | Request::Shutdown) => {
                 let reply = self.reply_to(tok, frame.client_id, frame.seq);
                 self.track_pending(conn, frame.seq, &other);
@@ -819,10 +877,22 @@ impl ReactorThread {
                     reply,
                     span,
                 };
-                if let Err(send_err) = self.sync_tx.send(task) {
-                    fail_sync_task(send_err.0);
-                }
+                self.send_sync(task);
             }
+        }
+    }
+
+    /// Hand a task to the sync-executor pool, keeping the
+    /// `sync_queue_depth` gauge honest on the failure path.
+    fn send_sync(&self, task: SyncTask) {
+        if self.telemetry.enabled() {
+            self.telemetry.sync_queue_depth.add(1);
+        }
+        if let Err(send_err) = self.sync_tx.send(task) {
+            if self.telemetry.enabled() {
+                self.telemetry.sync_queue_depth.add(-1);
+            }
+            fail_sync_task(send_err.0);
         }
     }
 
@@ -846,6 +916,7 @@ impl ReactorThread {
             | Request::Ftruncate { .. }
             | Request::Mkdir { .. }
             | Request::Readdir { .. }
+            | Request::Stats { .. }
             | Request::Shutdown => {}
         }
     }
@@ -865,6 +936,9 @@ impl ReactorThread {
             conn.parked_queue = true;
             if self.telemetry.enabled() {
                 self.telemetry.backpressure_events.inc();
+                if let Some(stats) = &conn.stats {
+                    stats.backpressure_events.inc();
+                }
             }
         }
         conn.parked_frame = Some(frame);
@@ -875,6 +949,9 @@ impl ReactorThread {
             conn.parked_bml = true;
             if self.telemetry.enabled() {
                 self.telemetry.backpressure_events.inc();
+                if let Some(stats) = &conn.stats {
+                    stats.backpressure_events.inc();
+                }
             }
         }
         conn.parked_frame = Some(frame);
@@ -916,6 +993,13 @@ impl ReactorThread {
         if self.telemetry.enabled() {
             self.telemetry.frames_out.inc();
             self.telemetry.transport_bytes_out.add(data_len);
+            self.telemetry
+                .wbuf_bytes
+                .add(conn.wbuf.back().map_or(0, |w| w.len()) as i64);
+            if let Some(stats) = &conn.stats {
+                stats.bytes_out.add(data_len);
+                stats.note_wbuf(conn.wbuf_bytes as u64);
+            }
         }
         self.flush(conn);
         // Write-side backpressure: a client not reading its replies
@@ -924,6 +1008,9 @@ impl ReactorThread {
             conn.parked_wbuf = true;
             if self.telemetry.enabled() {
                 self.telemetry.backpressure_events.inc();
+                if let Some(stats) = &conn.stats {
+                    stats.backpressure_events.inc();
+                }
             }
         }
     }
@@ -938,6 +1025,9 @@ impl ReactorThread {
                 }
                 Ok(n) => {
                     conn.wbuf_bytes = conn.wbuf_bytes.saturating_sub(n);
+                    if self.telemetry.enabled() {
+                        self.telemetry.wbuf_bytes.add(-(n as i64));
+                    }
                     conn.wbuf_off = off + n;
                     if conn.wbuf_off >= front.len() {
                         conn.wbuf_off = 0;
@@ -1019,7 +1109,13 @@ impl ReactorThread {
             // it must happen off-loop; at teardown the executors may be
             // gone, in which case we reclaim inline — the loop is done
             // serving clients anyway.
+            if self.telemetry.enabled() {
+                self.telemetry.sync_queue_depth.add(1);
+            }
             if let Err(send_err) = self.sync_tx.send(SyncTask::Reclaim { fds }) {
+                if self.telemetry.enabled() {
+                    self.telemetry.sync_queue_depth.add(-1);
+                }
                 if let SyncTask::Reclaim { fds } = send_err.0 {
                     for fd in fds {
                         let _ = self.engine.execute(&Request::Close { fd }, &Bytes::new());
@@ -1029,6 +1125,9 @@ impl ReactorThread {
         }
         if self.telemetry.enabled() {
             self.telemetry.conns_open.add(-1);
+            // Release this connection's share of the un-flushed-bytes
+            // gauge; its replies die with the socket.
+            self.telemetry.wbuf_bytes.add(-(conn.wbuf_bytes as i64));
         }
         if let Some(slot) = self.slots.get_mut(tok) {
             slot.gen = slot.gen.wrapping_add(1);
@@ -1106,6 +1205,12 @@ fn sync_executor_loop(
     telemetry: Arc<Telemetry>,
 ) {
     while let Ok(task) = rx.recv() {
+        let run_from = if telemetry.enabled() {
+            telemetry.sync_queue_depth.add(-1);
+            telemetry.now_ns()
+        } else {
+            0
+        };
         match task {
             SyncTask::Execute {
                 req,
@@ -1150,6 +1255,11 @@ fn sync_executor_loop(
                     let _ = engine.execute(&Request::Close { fd }, &Bytes::new());
                 }
             }
+        }
+        if run_from > 0 {
+            telemetry
+                .sync_run_ns
+                .record(telemetry.now_ns().saturating_sub(run_from));
         }
     }
 }

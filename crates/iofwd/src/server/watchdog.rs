@@ -1,0 +1,371 @@
+//! Event-loop health watchdog: a sampling thread that trips on
+//! configured SLOs and dumps the flight recorder.
+//!
+//! The introspection plane answers "what is happening"; the watchdog
+//! answers "something stopped happening" without anyone asking. Every
+//! [`WatchdogConfig::interval`] it samples three stall signals:
+//!
+//! - **Queue head-of-line age** ([`WorkQueue::oldest_enqueue_ns`]): the
+//!   oldest item still parked in the work queue. A backend that hangs
+//!   (injected `delay_us` faults, a dead filesystem) shows up here
+//!   first, while throughput counters just flatline silently.
+//! - **Loop lag** ([`Telemetry::loop_heartbeats`]): how long since the
+//!   slowest reactor event loop completed a lap. A loop stuck in a
+//!   blocking call stops beating even when the queue is empty.
+//! - **Persistent write-buffer high water** (`wbuf_bytes` gauge): reply
+//!   bytes parked for clients that stopped reading. One sample is
+//!   normal backpressure; [`WatchdogConfig::wbuf_strikes`] consecutive
+//!   samples over the limit means the condition is stuck.
+//!
+//! A trip bumps `watchdog_trips`, emits one structured stderr line
+//! (`iofwd-watchdog: trip reason=... observed=... limit=...`), and
+//! appends a flight-recorder dump to [`WatchdogConfig::dump_path`] so
+//! the ops in flight at the moment of the stall are preserved. Each
+//! reason latches: it re-arms only after its signal drops back under
+//! the limit, so a wedged daemon logs one line per stall, not one per
+//! sample.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use super::queue::WorkQueue;
+use crate::telemetry::{snapshot, Telemetry};
+
+/// SLO thresholds and plumbing for [`spawn`]. Parsed from the daemon's
+/// `--watchdog key=value,...` flag by [`WatchdogConfig::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Sampling period.
+    pub interval: Duration,
+    /// Trip once the oldest queued item has waited this long
+    /// (zero disables the check).
+    pub max_queue_age: Duration,
+    /// Trip once the slowest registered event loop has gone this long
+    /// without completing a lap (zero disables the check).
+    pub max_loop_lag: Duration,
+    /// Trip once `wbuf_bytes` has stayed above this for
+    /// `wbuf_strikes` consecutive samples (zero disables the check).
+    pub wbuf_limit: u64,
+    /// Consecutive over-limit samples before a wbuf trip.
+    pub wbuf_strikes: u32,
+    /// Where trip dumps (reason line + flight recorder) are appended;
+    /// `None` keeps dumps on stderr only.
+    pub dump_path: Option<PathBuf>,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            interval: Duration::from_millis(100),
+            max_queue_age: Duration::from_secs(2),
+            max_loop_lag: Duration::from_secs(1),
+            wbuf_limit: 0,
+            wbuf_strikes: 5,
+            dump_path: None,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Parse the `--watchdog` flag grammar: comma-separated `key=value`
+    /// pairs over the defaults. Keys: `interval_ms`, `queue_age_ms`,
+    /// `loop_lag_ms`, `wbuf_bytes`, `wbuf_strikes`, `dump=<path>`.
+    /// The literal `on` (or an empty string) takes every default.
+    pub fn parse(spec: &str) -> Result<WatchdogConfig, String> {
+        let mut cfg = WatchdogConfig::default();
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "on" {
+            return Ok(cfg);
+        }
+        for pair in spec.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("watchdog: expected key=value, got {pair:?}"))?;
+            let ms = |v: &str| -> Result<Duration, String> {
+                v.parse::<u64>()
+                    .map(Duration::from_millis)
+                    .map_err(|_| format!("watchdog: bad milliseconds in {pair:?}"))
+            };
+            match key.trim() {
+                "interval_ms" => cfg.interval = ms(value)?.max(Duration::from_millis(1)),
+                "queue_age_ms" => cfg.max_queue_age = ms(value)?,
+                "loop_lag_ms" => cfg.max_loop_lag = ms(value)?,
+                "wbuf_bytes" => {
+                    cfg.wbuf_limit = value
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("watchdog: bad byte count in {pair:?}"))?;
+                }
+                "wbuf_strikes" => {
+                    cfg.wbuf_strikes = value
+                        .trim()
+                        .parse::<u32>()
+                        .map_err(|_| format!("watchdog: bad strike count in {pair:?}"))?
+                        .max(1);
+                }
+                "dump" => cfg.dump_path = Some(PathBuf::from(value.trim())),
+                other => return Err(format!("watchdog: unknown key {other:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Per-reason latch: fires on the rising edge, re-arms on the falling
+/// one.
+#[derive(Default)]
+struct Latch {
+    tripped: bool,
+}
+
+impl Latch {
+    fn edge(&mut self, firing: bool) -> bool {
+        let rising = firing && !self.tripped;
+        self.tripped = firing;
+        rising
+    }
+}
+
+/// A running watchdog. Dropping without
+/// [`shutdown`](WatchdogHandle::shutdown) detaches the sampler thread.
+pub struct WatchdogHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WatchdogHandle {
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+struct Sampler {
+    cfg: WatchdogConfig,
+    telemetry: Arc<Telemetry>,
+    queue: Option<Arc<WorkQueue>>,
+    queue_latch: Latch,
+    loop_latch: Latch,
+    wbuf_latch: Latch,
+    wbuf_over: u32,
+}
+
+impl Sampler {
+    fn sample(&mut self) {
+        let now = self.telemetry.now_ns();
+
+        let queue_age_ns = self
+            .queue
+            .as_ref()
+            .and_then(|q| q.oldest_enqueue_ns())
+            .filter(|&e| e > 0)
+            .map_or(0, |e| now.saturating_sub(e));
+        let limit = self.cfg.max_queue_age.as_nanos() as u64;
+        if self.queue_latch.edge(limit > 0 && queue_age_ns > limit) {
+            self.trip("queue_stall", queue_age_ns, limit);
+        }
+
+        let lag_ns = if self.telemetry.loop_heartbeats.registered() > 0 {
+            self.telemetry.loop_heartbeats.max_lag_ns(now)
+        } else {
+            0
+        };
+        let limit = self.cfg.max_loop_lag.as_nanos() as u64;
+        if self.loop_latch.edge(limit > 0 && lag_ns > limit) {
+            self.trip("loop_stall", lag_ns, limit);
+        }
+
+        let wbuf = self.telemetry.wbuf_bytes.get().max(0) as u64;
+        if self.cfg.wbuf_limit > 0 && wbuf > self.cfg.wbuf_limit {
+            self.wbuf_over = self.wbuf_over.saturating_add(1);
+        } else {
+            self.wbuf_over = 0;
+        }
+        if self
+            .wbuf_latch
+            .edge(self.wbuf_over >= self.cfg.wbuf_strikes)
+        {
+            self.trip("wbuf_high_water", wbuf, self.cfg.wbuf_limit);
+        }
+    }
+
+    fn trip(&self, reason: &str, observed: u64, limit: u64) {
+        self.telemetry.watchdog_trips.inc();
+        let line = format!(
+            "iofwd-watchdog: trip reason={reason} observed={observed} limit={limit} \
+             trips={} queue_depth={} conns_open={}",
+            self.telemetry.watchdog_trips.get(),
+            self.telemetry.queue_depth.get(),
+            self.telemetry.conns_open.get(),
+        );
+        eprintln!("{line}");
+        let Some(path) = &self.cfg.dump_path else {
+            return;
+        };
+        let dump = snapshot::render_flight(&self.telemetry.flight.snapshot());
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| writeln!(f, "{line}\n{dump}"));
+        if let Err(e) = written {
+            eprintln!(
+                "iofwd-watchdog: flight dump to {} failed: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Start the sampler thread. The queue handle is optional so the
+/// watchdog still covers loop lag and wbuf pressure in the queueless
+/// modes (Ciod/Zoid).
+pub fn spawn(
+    cfg: WatchdogConfig,
+    telemetry: Arc<Telemetry>,
+    queue: Option<Arc<WorkQueue>>,
+) -> std::io::Result<WatchdogHandle> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let stop = stop.clone();
+        let mut sampler = Sampler {
+            cfg,
+            telemetry,
+            queue,
+            queue_latch: Latch::default(),
+            loop_latch: Latch::default(),
+            wbuf_latch: Latch::default(),
+            wbuf_over: 0,
+        };
+        std::thread::Builder::new()
+            .name("iofwd-watchdog".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    sampler.sample();
+                    std::thread::sleep(sampler.cfg.interval);
+                }
+            })?
+    };
+    Ok(WatchdogHandle {
+        stop,
+        thread: Some(thread),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_defaults_and_overrides() {
+        assert_eq!(
+            WatchdogConfig::parse("on").expect("on"),
+            WatchdogConfig::default()
+        );
+        assert_eq!(
+            WatchdogConfig::parse("").expect("empty"),
+            WatchdogConfig::default()
+        );
+        let cfg = WatchdogConfig::parse(
+            "interval_ms=50, queue_age_ms=250,loop_lag_ms=500,wbuf_bytes=1048576,\
+             wbuf_strikes=3,dump=/tmp/wd.txt",
+        )
+        .expect("full spec");
+        assert_eq!(cfg.interval, Duration::from_millis(50));
+        assert_eq!(cfg.max_queue_age, Duration::from_millis(250));
+        assert_eq!(cfg.max_loop_lag, Duration::from_millis(500));
+        assert_eq!(cfg.wbuf_limit, 1 << 20);
+        assert_eq!(cfg.wbuf_strikes, 3);
+        assert_eq!(cfg.dump_path, Some(PathBuf::from("/tmp/wd.txt")));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(WatchdogConfig::parse("queue_age_ms").is_err());
+        assert!(WatchdogConfig::parse("queue_age_ms=soon").is_err());
+        assert!(WatchdogConfig::parse("blink=1").is_err());
+    }
+
+    #[test]
+    fn latch_fires_on_rising_edge_only() {
+        let mut l = Latch::default();
+        assert!(!l.edge(false));
+        assert!(l.edge(true));
+        assert!(!l.edge(true), "held condition must not re-fire");
+        assert!(!l.edge(false), "falling edge re-arms silently");
+        assert!(l.edge(true), "re-armed latch fires again");
+    }
+
+    #[test]
+    fn loop_stall_trips_and_recovers() {
+        let telemetry = Arc::new(Telemetry::new());
+        let slot = telemetry.loop_heartbeats.register(telemetry.now_ns());
+        let mut sampler = Sampler {
+            cfg: WatchdogConfig {
+                max_loop_lag: Duration::from_millis(1),
+                max_queue_age: Duration::ZERO,
+                ..WatchdogConfig::default()
+            },
+            telemetry: telemetry.clone(),
+            queue: None,
+            queue_latch: Latch::default(),
+            loop_latch: Latch::default(),
+            wbuf_latch: Latch::default(),
+            wbuf_over: 0,
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        sampler.sample();
+        assert_eq!(telemetry.watchdog_trips.get(), 1);
+        sampler.sample();
+        assert_eq!(telemetry.watchdog_trips.get(), 1, "latched while stalled");
+        // The loop beats again: the latch re-arms, a second stall trips.
+        telemetry.loop_heartbeats.beat(slot, telemetry.now_ns());
+        sampler.sample();
+        std::thread::sleep(Duration::from_millis(5));
+        sampler.sample();
+        assert_eq!(telemetry.watchdog_trips.get(), 2);
+    }
+
+    #[test]
+    fn wbuf_trip_requires_consecutive_strikes() {
+        let telemetry = Arc::new(Telemetry::new());
+        let mut sampler = Sampler {
+            cfg: WatchdogConfig {
+                wbuf_limit: 100,
+                wbuf_strikes: 3,
+                max_queue_age: Duration::ZERO,
+                max_loop_lag: Duration::ZERO,
+                ..WatchdogConfig::default()
+            },
+            telemetry: telemetry.clone(),
+            queue: None,
+            queue_latch: Latch::default(),
+            loop_latch: Latch::default(),
+            wbuf_latch: Latch::default(),
+            wbuf_over: 0,
+        };
+        telemetry.wbuf_bytes.add(500);
+        sampler.sample();
+        sampler.sample();
+        assert_eq!(telemetry.watchdog_trips.get(), 0, "two strikes is not out");
+        // An intervening clean sample resets the streak.
+        telemetry.wbuf_bytes.add(-500);
+        sampler.sample();
+        telemetry.wbuf_bytes.add(500);
+        sampler.sample();
+        sampler.sample();
+        assert_eq!(telemetry.watchdog_trips.get(), 0);
+        sampler.sample();
+        assert_eq!(telemetry.watchdog_trips.get(), 1);
+    }
+}

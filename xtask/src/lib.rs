@@ -3,7 +3,7 @@
 //! CLI in `main.rs`.
 //!
 //! * [`lexer`] — the masking "lexer" shared by every source-level check.
-//! * [`rules`] — the single-file invariant lint rules R1–R7.
+//! * [`rules`] — the single-file invariant lint rules R1–R9.
 //! * [`summary`] — per-function concurrency summaries (locks, blocking
 //!   calls, BML buffer events) extracted from the masked token stream.
 //! * [`analyze`] — the interprocedural pass over those summaries: lock

@@ -2,7 +2,7 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — the invariant linter. Seven rules the compiler cannot
+//! * `lint` — the invariant linter. Nine rules the compiler cannot
 //!   enforce but this codebase depends on (see DESIGN.md, "Enforced
 //!   invariants"):
 //!   - **R1** Simulation crates (`simcore`, `bgsim`, `bgp-model`,
@@ -38,6 +38,11 @@
 //!     load through the harness's own parser (schema + cross-field
 //!     validation), so a scenario edit cannot break the CI gates at
 //!     sweep time instead of lint time.
+//!   - **R9** Per-client attribution in `crates/iofwd/src/` goes
+//!     through the sharded `Telemetry::client_stats` accessor — no raw
+//!     `.clients.` table access outside boot-time toggles, so hot
+//!     paths can neither take extra shard locks nor bypass
+//!     `--attribution off`.
 //!
 //!   Known-good exceptions live in `xtask/lint.allow` (one per line:
 //!   `R<n> <path> -- <justification>`, at most [`MAX_ALLOW`] entries).
@@ -286,7 +291,7 @@ fn parse_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
         let rule = parts
             .next()
             .and_then(Rule::parse)
-            .ok_or_else(|| format!("lint.allow:{line_no}: expected R1..R7"))?;
+            .ok_or_else(|| format!("lint.allow:{line_no}: expected R1..R9"))?;
         let path = parts
             .next()
             .ok_or_else(|| format!("lint.allow:{line_no}: expected a file path"))?

@@ -1,4 +1,4 @@
-//! The six invariant rules. Each works on the masked source from
+//! The invariant rules. Each works on the masked source from
 //! [`crate::lexer::strip`], so comments and string literals are
 //! invisible; `SAFETY:` comment detection (R4) reads the raw source.
 
@@ -25,6 +25,10 @@ pub enum Rule {
     /// out per constituent: stamp a disposition and reach
     /// `Telemetry::complete` on every exit path.
     R7,
+    /// Per-client attribution in daemon code must go through the
+    /// sharded `client_stats(...)` accessor — no raw `.clients.` table
+    /// access on the hot path.
+    R9,
 }
 
 impl Rule {
@@ -37,6 +41,7 @@ impl Rule {
             "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
             "R7" => Some(Rule::R7),
+            "R9" => Some(Rule::R9),
             _ => None,
         }
     }
@@ -52,6 +57,7 @@ impl std::fmt::Display for Rule {
             Rule::R5 => "R5",
             Rule::R6 => "R6",
             Rule::R7 => "R7",
+            Rule::R9 => "R9",
         })
     }
 }
@@ -135,6 +141,9 @@ pub fn check_file(rel: &Path, source: &str) -> Vec<Violation> {
     if !is_test_file(&unix) {
         check_r6(rel, &masked, &mut out);
         check_r7(rel, &masked, &unix, &mut out);
+        if unix.starts_with("crates/iofwd/src/") {
+            check_r9(rel, &masked, &mut out);
+        }
     }
     if NO_FMT_FILES.contains(&unix.as_str())
         || (unix.starts_with("crates/iofwd-telemetry/src/")
@@ -591,6 +600,48 @@ fn check_r7(rel: &Path, masked: &str, unix: &str, out: &mut Vec<Violation>) {
     }
 }
 
+// ---------------------------------------------------------------- R9
+
+/// Boot-time switches on the client table that take no shard lock per
+/// op; everything else behind `.clients.` is hot-path table access.
+const R9_COLD_METHODS: &[&str] = &["set_attribution", "attribution"];
+
+/// Per-client attribution lives in a sharded table; the one accessor
+/// that encapsulates shard choice, the attribution toggle, and the
+/// entry upsert is `Telemetry::client_stats`. Daemon code reaching
+/// into `.clients.` directly (entry/lookup/snapshot/...) re-implements
+/// that locking on the hot path and silently bypasses
+/// `--attribution off`, so only the boot-time toggles are legal
+/// outside `iofwd-telemetry` itself.
+fn check_r9(rel: &Path, masked: &str, out: &mut Vec<Violation>) {
+    let tests = test_regions(masked);
+    let in_tests = |pos: usize| tests.iter().any(|&(a, b)| pos >= a && pos <= b);
+    const NEEDLE: &str = ".clients.";
+    let mut start = 0;
+    while let Some(off) = masked[start..].find(NEEDLE) {
+        let pos = start + off;
+        start = pos + NEEDLE.len();
+        if in_tests(pos) {
+            continue;
+        }
+        let method_at = pos + NEEDLE.len();
+        if R9_COLD_METHODS
+            .iter()
+            .any(|m| word_at(masked, method_at, m))
+        {
+            continue;
+        }
+        out.push(Violation {
+            rule: Rule::R9,
+            path: rel.to_path_buf(),
+            line: line_of(masked, pos),
+            message: "raw `.clients.` table access — per-client mutations must go through \
+                      the sharded `client_stats(...)` accessor"
+                .to_string(),
+        });
+    }
+}
+
 // ---------------------------------------------------------------- R4
 
 fn check_r4(rel: &Path, source: &str, masked: &str, out: &mut Vec<Violation>) {
@@ -773,6 +824,37 @@ mod tests {
         assert!(check("crates/iofwd/src/server/mod.rs", in_tests)
             .iter()
             .all(|v| v.rule != Rule::R7));
+    }
+
+    #[test]
+    fn r9_flags_raw_client_table_access_in_iofwd() {
+        let bad = "fn f(t: &Telemetry, id: u64) { t.clients.entry(id).ops.inc(); \
+                   let _ = t.clients.lookup(id); }";
+        let v = check("crates/iofwd/src/server/reactor.rs", bad);
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::R9).count(), 2);
+        // The telemetry crate implements the table; it is out of scope.
+        assert!(check("crates/iofwd-telemetry/src/lib.rs", bad)
+            .iter()
+            .all(|v| v.rule != Rule::R9));
+    }
+
+    #[test]
+    fn r9_allows_accessor_toggles_and_tests() {
+        let good = "fn f(t: &Telemetry, id: u64) { t.clients.set_attribution(true); \
+                    let a = t.clients.attribution(); \
+                    if let Some(c) = t.client_stats(id) { c.ops.inc(); } let _ = a; }";
+        assert!(check("crates/iofwd/src/bin/iofwdd.rs", good)
+            .iter()
+            .all(|v| v.rule != Rule::R9));
+        let in_tests = "#[cfg(test)]\nmod tests { fn g(t: &Telemetry) { \
+                        let _ = t.clients.lookup(1); } }";
+        assert!(check("crates/iofwd/src/transport.rs", in_tests)
+            .iter()
+            .all(|v| v.rule != Rule::R9));
+        let e2e = "fn g(t: &Telemetry) { let _ = t.clients.snapshot(); }";
+        assert!(check("crates/iofwd/tests/introspection_e2e.rs", e2e)
+            .iter()
+            .all(|v| v.rule != Rule::R9));
     }
 
     #[test]
