@@ -35,6 +35,11 @@ impl CellResult {
     ) -> CellResult {
         let client_ns = m.trace.client_ns.max(1) as f64;
         let pct = |ns: u64| (ns as f64 / client_ns * 100.0 * 10.0).round() / 10.0;
+        // Allocation guard: deliberate hot-path deep copies (seed arm,
+        // filter staging, Vec reads) self-report into this counter, so
+        // per-op bytes ≈ 0 is what "zero-copy" means, measurably.
+        let alloc_per_op =
+            snapshot.counter("hotpath_alloc_bytes") as f64 / m.ops_attempted.max(1) as f64;
         let metrics = vec![
             ("wall_ms".to_string(), round3(m.wall.as_secs_f64() * 1e3)),
             ("ops".to_string(), m.ops_attempted as f64),
@@ -50,6 +55,7 @@ impl CellResult {
             ("stage_dispatch_pct".to_string(), pct(m.trace.dispatch_ns)),
             ("stage_backend_pct".to_string(), pct(m.trace.backend_ns)),
             ("stage_reply_pct".to_string(), pct(m.trace.reply_ns)),
+            ("alloc_bytes_per_op".to_string(), round3(alloc_per_op)),
         ];
         CellResult {
             cell: cell.name.clone(),

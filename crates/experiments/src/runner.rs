@@ -129,8 +129,60 @@ fn load_checkpoint(path: &Path, scenario: &Scenario, cell: &Cell) -> Option<Cell
     (fp == scenario.fingerprint && result.cell == cell.name).then_some(result)
 }
 
-/// Run one cell: fresh scratch root, fresh daemon, replay, harvest.
+/// The daemon's backing root for one cell. With `daemon.root_dir` set
+/// the root lives outside the report tree (typically a tmpfs like
+/// `/dev/shm`) and is torn down when the cell finishes — RAM-backed
+/// roots must not outlive the measurement that needed them.
+struct CellRoot {
+    path: std::path::PathBuf,
+    ephemeral: bool,
+}
+
+impl Drop for CellRoot {
+    fn drop(&mut self) {
+        if self.ephemeral {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+/// Run one cell `scenario.repeats` times and keep the run with the
+/// median throughput (upper median on even counts, earlier run on
+/// ties). Budgets judge one representative measurement per cell, so
+/// the representative must be the distribution's center, not whichever
+/// single run the machine's mood produced.
 fn run_cell(
+    scenario: &Scenario,
+    cell: &Cell,
+    bin: &Path,
+    out_dir: &Path,
+) -> Result<CellResult, String> {
+    let n = scenario.repeats.max(1);
+    if n == 1 {
+        return measure_cell(scenario, cell, bin, out_dir);
+    }
+    let mut runs = Vec::with_capacity(n);
+    for _ in 0..n {
+        runs.push(measure_cell(scenario, cell, bin, out_dir)?);
+    }
+    let throughput = |r: &CellResult| {
+        r.metrics
+            .iter()
+            .find(|(k, _)| k == "throughput_mib_s")
+            .map_or(0.0, |(_, v)| *v)
+    };
+    let mut order: Vec<usize> = (0..runs.len()).collect();
+    order.sort_by(|&a, &b| {
+        throughput(&runs[a])
+            .total_cmp(&throughput(&runs[b]))
+            .then(a.cmp(&b))
+    });
+    let mid = order[runs.len() / 2];
+    Ok(runs.swap_remove(mid))
+}
+
+/// One measurement: fresh scratch root, fresh daemon, replay, harvest.
+fn measure_cell(
     scenario: &Scenario,
     cell: &Cell,
     bin: &Path,
@@ -143,16 +195,32 @@ fn run_cell(
     let _ = std::fs::remove_dir_all(&scratch);
     std::fs::create_dir_all(&scratch)
         .map_err(|e| format!("cannot create {}: {e}", scratch.display()))?;
-    let root = scratch.join("root");
-    let stats_json = scratch.join("stats.json");
-
     let d = &scenario.daemon;
+    let root = match &d.root_dir {
+        Some(base) => {
+            let path = Path::new(base)
+                .join(format!("iofwd-exp-{}", scenario.name))
+                .join(cell.slug());
+            // Same clean-root contract as the scratch tree: stale
+            // leftovers from a crashed run must not feed read-backs.
+            let _ = std::fs::remove_dir_all(&path);
+            CellRoot {
+                path,
+                ephemeral: true,
+            }
+        }
+        None => CellRoot {
+            path: scratch.join("root"),
+            ephemeral: false,
+        },
+    };
+    let stats_json = scratch.join("stats.json");
     let mode = cell.axis("mode").unwrap_or("staged");
     let workers: usize = cell
         .axis("workers")
         .map(|w| w.parse().expect("validated at load"))
         .unwrap_or(d.workers);
-    let mut spec = DaemonSpec::new(bin, &root)
+    let mut spec = DaemonSpec::new(bin, &root.path)
         .mode(mode)
         .workers(workers)
         .log_to(scratch.join("daemon.log"))
@@ -180,6 +248,9 @@ fn run_cell(
             spec = spec.arg(format!("--coalesce={budgets}"));
         }
         None => {}
+    }
+    if let Some(hotpath) = cell.axis("hotpath") {
+        spec = spec.arg("--hotpath").arg(hotpath);
     }
     if let Some(transport) = cell.axis("transport") {
         spec = spec.arg("--transport").arg(transport);

@@ -16,7 +16,7 @@ use crate::toml::{self, Table, Value};
 use crate::workload::{WorkloadKind, WorkloadSpec};
 
 /// Axis names the runner knows how to apply to a daemon/cell.
-pub const KNOWN_AXES: [&str; 7] = [
+pub const KNOWN_AXES: [&str; 8] = [
     "mode",
     "coalesce",
     "clients",
@@ -24,6 +24,7 @@ pub const KNOWN_AXES: [&str; 7] = [
     "workers",
     "transport",
     "attribution",
+    "hotpath",
 ];
 
 /// One sweep dimension: `name = ["value", …]` under `[axes]`.
@@ -52,6 +53,14 @@ pub struct DaemonConfig {
     pub accept_fault_every: u64,
     /// Event-loop threads for `transport = "reactor"` cells.
     pub reactor_threads: usize,
+    /// Base directory for the daemon's `--root` backing store. `None`
+    /// keeps it in the report's scratch tree (the build disk). Paired
+    /// CPU-bound scenarios point this at a tmpfs (e.g. `/dev/shm`) so
+    /// run-to-run device-speed drift cannot dilute the ratio under
+    /// test: an fsync against spinning metal is an additive cost both
+    /// arms pay equally, which compresses every paired comparison
+    /// toward 1.0.
+    pub root_dir: Option<String>,
 }
 
 impl Default for DaemonConfig {
@@ -65,6 +74,7 @@ impl Default for DaemonConfig {
             coalesce_max_ops: 16,
             accept_fault_every: 0,
             reactor_threads: 2,
+            root_dir: None,
         }
     }
 }
@@ -108,6 +118,12 @@ pub struct Scenario {
     pub seed: u64,
     pub workload: WorkloadSpec,
     pub daemon: DaemonConfig,
+    /// Measurements per cell; the reported cell is the run with the
+    /// median throughput (ties break toward the earlier run). One
+    /// measurement of a sub-second live-daemon cell on a busy machine
+    /// wanders ±10%, which is fatal to a paired-ratio budget whose
+    /// margin is the same order; the median of three is not.
+    pub repeats: usize,
     pub axes: Vec<Axis>,
     /// Named fault plans referenced by the `fault` axis.
     pub fault_plans: Vec<(String, String)>,
@@ -179,6 +195,13 @@ impl Scenario {
             .map_err(&ctx)?
             .unwrap_or_default();
         let seed = opt_u64(scenario, "seed").map_err(&ctx)?.unwrap_or(1);
+        let repeats = match opt_u64(scenario, "repeats").map_err(&ctx)? {
+            None => 1,
+            Some(r @ 1..=9) => r as usize,
+            Some(other) => {
+                return Err(ctx(format!("scenario.repeats = {other} must be in 1..=9")));
+            }
+        };
 
         let workload = parse_workload(&root).map_err(&ctx)?;
         let daemon = parse_daemon(&root).map_err(&ctx)?;
@@ -193,6 +216,7 @@ impl Scenario {
             seed,
             workload,
             daemon,
+            repeats,
             axes,
             fault_plans,
             budgets,
@@ -328,6 +352,10 @@ impl Scenario {
             "attribution" => match value {
                 "on" | "off" => Ok(()),
                 other => Err(format!("axis attribution: `{other}` is not on|off")),
+            },
+            "hotpath" => match value {
+                "fast" | "seed" => Ok(()),
+                other => Err(format!("axis hotpath: `{other}` is not fast|seed")),
             },
             other => Err(format!("unknown axis `{other}`")),
         }
@@ -534,6 +562,12 @@ fn parse_daemon(root: &Table) -> Result<DaemonConfig, String> {
     }
     if let Some(v) = opt_u64(t, "reactor_threads")? {
         cfg.reactor_threads = v.max(1) as usize;
+    }
+    if let Some(v) = opt_str(t, "root_dir")? {
+        if v.is_empty() {
+            return Err("daemon.root_dir must not be empty".into());
+        }
+        cfg.root_dir = Some(v);
     }
     Ok(cfg)
 }

@@ -70,7 +70,11 @@ impl<'a> Reader<'a> {
             });
         }
         let bytes = self.take(len as usize)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+        // Validate in place, then copy exactly once into the owned String
+        // (`from_utf8(to_vec())` would copy before knowing it's valid).
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| DecodeError::BadUtf8)
     }
 }
 

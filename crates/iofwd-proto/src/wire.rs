@@ -151,37 +151,126 @@ impl Frame {
         FRAME_HEADER_BYTES + ext_len + self.meta.len() + self.data.len()
     }
 
+    /// Payload size at which transports should stop re-copying the
+    /// payload into a contiguous wire image and instead send
+    /// [`Frame::encode_header`] and the payload `Bytes` as separate
+    /// writes. Below this, one buffer and one syscall win; above it,
+    /// the memcpy dominates the extra write bookkeeping.
+    pub const SPLIT_SEND_MIN: usize = 16 * 1024;
+
     /// Serialise into a single buffer.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_len());
-        {
-            let mut w = Writer::new(&mut buf);
-            w.u16(MAGIC);
-            w.u8(VERSION);
-            let kind = self.kind as u8
-                | if self.ext.is_some() {
-                    TRACE_EXT_FLAG
-                } else {
-                    0
-                };
-            w.u8(kind);
-            w.u32(self.client_id);
-            w.u64(self.seq);
-            w.u32(self.meta.len() as u32);
-            w.u32(self.data.len() as u32);
-            if let Some(ext) = &self.ext {
-                ext.encode(&mut w);
-            }
-            w.raw(&self.meta);
-            w.raw(&self.data);
-        }
+        self.encode_prefix(&mut buf);
+        Writer::new(&mut buf).raw(&self.data);
         buf.freeze()
+    }
+
+    /// Serialise everything *except* the payload: fixed header, trace
+    /// extension, meta. Concatenated with `self.data` this is exactly
+    /// the [`Frame::encode`] wire image. Transports use it to put a
+    /// large payload on the wire by reference — the refcounted `Bytes`
+    /// travels from the receive buffer or the BML slab straight to the
+    /// socket without ever being re-copied into a wire buffer.
+    pub fn encode_header(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len() - self.data.len());
+        self.encode_prefix(&mut buf);
+        buf.freeze()
+    }
+
+    fn encode_prefix(&self, buf: &mut BytesMut) {
+        let mut w = Writer::new(buf);
+        w.u16(MAGIC);
+        w.u8(VERSION);
+        let kind = self.kind as u8
+            | if self.ext.is_some() {
+                TRACE_EXT_FLAG
+            } else {
+                0
+            };
+        w.u8(kind);
+        w.u32(self.client_id);
+        w.u64(self.seq);
+        w.u32(self.meta.len() as u32);
+        w.u32(self.data.len() as u32);
+        if let Some(ext) = &self.ext {
+            ext.encode(&mut w);
+        }
+        w.raw(&self.meta);
     }
 
     /// Parse one frame from the front of `buf`. Returns the frame and the
     /// number of bytes consumed, or `Ok(None)` if more bytes are needed
-    /// (streaming decode for TCP).
+    /// (streaming decode for TCP). `meta`/`data` are deep copies of the
+    /// input slice; streaming receive paths should instead use
+    /// [`Frame::required_len`] + [`Frame::decode_shared`] to get views.
     pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
+        let Some(hdr) = FrameHeader::parse(buf)? else {
+            return Ok(None);
+        };
+        if buf.len() < hdr.total {
+            return Ok(None);
+        }
+        let ext = hdr.decode_ext(buf)?;
+        let meta = Bytes::copy_from_slice(&buf[hdr.body..hdr.body + hdr.meta_len]);
+        let data = Bytes::copy_from_slice(&buf[hdr.body + hdr.meta_len..hdr.total]);
+        Ok(Some((hdr.into_frame(meta, data, ext), hdr.total)))
+    }
+
+    /// Total wire length of the frame at the front of `buf`, once enough
+    /// header bytes have arrived to size it (`Ok(None)` until then).
+    /// Streaming receivers use this to accumulate exactly one frame and
+    /// then carve it out of the buffer with [`Frame::decode_shared`].
+    pub fn required_len(buf: &[u8]) -> Result<Option<usize>, DecodeError> {
+        Ok(FrameHeader::parse(buf)?.map(|hdr| hdr.total))
+    }
+
+    /// Decode exactly one frame from a shared buffer. `meta` and `data`
+    /// are O(1) refcounted views into `bytes` — no payload copy. The
+    /// buffer must hold the complete frame (its length is what
+    /// [`Frame::required_len`] reported); fewer bytes is a
+    /// [`DecodeError::Truncated`].
+    pub fn decode_shared(bytes: &Bytes) -> Result<Frame, DecodeError> {
+        let Some(hdr) = FrameHeader::parse(bytes)? else {
+            return Err(DecodeError::Truncated {
+                needed: FRAME_HEADER_BYTES,
+                available: bytes.len(),
+            });
+        };
+        if bytes.len() < hdr.total {
+            return Err(DecodeError::Truncated {
+                needed: hdr.total,
+                available: bytes.len(),
+            });
+        }
+        let ext = hdr.decode_ext(bytes)?;
+        let meta = bytes.slice(hdr.body..hdr.body + hdr.meta_len);
+        let data = bytes.slice(hdr.body + hdr.meta_len..hdr.total);
+        Ok(hdr.into_frame(meta, data, ext))
+    }
+}
+
+/// Parsed, validated frame header: everything needed to size and slice
+/// the frame body. Shared by the copying and the zero-copy decoders so
+/// the two cannot drift.
+#[derive(Clone, Copy)]
+struct FrameHeader {
+    kind: FrameKind,
+    client_id: u32,
+    seq: u64,
+    meta_len: usize,
+    has_ext: bool,
+    /// Offset where meta begins (header + trace extension).
+    body: usize,
+    /// Total wire length of the frame.
+    total: usize,
+}
+
+impl FrameHeader {
+    /// Validate the fixed header (and the ext tag byte, whose value sizes
+    /// the extension). `Ok(None)` means more bytes are needed; all length
+    /// caps are enforced before any allocation happens.
+    fn parse(buf: &[u8]) -> Result<Option<FrameHeader>, DecodeError> {
         if buf.len() < FRAME_HEADER_BYTES {
             return Ok(None);
         }
@@ -231,29 +320,36 @@ impl Frame {
         };
         let body = FRAME_HEADER_BYTES + ext_len;
         let total = body + (meta_len + data_len) as usize;
-        if buf.len() < total {
-            return Ok(None);
-        }
-        let ext = if has_ext {
-            Some(TraceExt::decode(&mut Reader::new(
-                &buf[FRAME_HEADER_BYTES..body],
-            ))?)
-        } else {
-            None
-        };
-        let meta = Bytes::copy_from_slice(&buf[body..body + meta_len as usize]);
-        let data = Bytes::copy_from_slice(&buf[body + meta_len as usize..total]);
-        Ok(Some((
-            Frame {
-                kind,
-                client_id,
-                seq,
-                meta,
-                data,
-                ext,
-            },
+        Ok(Some(FrameHeader {
+            kind,
+            client_id,
+            seq,
+            meta_len: meta_len as usize,
+            has_ext,
+            body,
             total,
-        )))
+        }))
+    }
+
+    fn decode_ext(&self, buf: &[u8]) -> Result<Option<TraceExt>, DecodeError> {
+        if self.has_ext {
+            Ok(Some(TraceExt::decode(&mut Reader::new(
+                &buf[FRAME_HEADER_BYTES..self.body],
+            ))?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn into_frame(self, meta: Bytes, data: Bytes, ext: Option<TraceExt>) -> Frame {
+        Frame {
+            kind: self.kind,
+            client_id: self.client_id,
+            seq: self.seq,
+            meta,
+            data,
+            ext,
+        }
     }
 }
 
@@ -282,6 +378,22 @@ mod tests {
             g.decode_request().unwrap(),
             Request::Write { fd: Fd(4), len: 5 }
         );
+    }
+
+    #[test]
+    fn split_encode_matches_contiguous_encode() {
+        // With and without a trace extension: header ++ data must be
+        // byte-identical to the single-buffer wire image, or a split
+        // transport send would desync the stream.
+        let plain = sample_frame();
+        let traced = sample_frame().with_ext(crate::trace::TraceExt::Ctx(
+            crate::trace::TraceContext::sampled(0xDEAD_BEEF),
+        ));
+        for f in [plain, traced] {
+            let mut split = f.encode_header().to_vec();
+            split.extend_from_slice(&f.data);
+            assert_eq!(split, f.encode().to_vec());
+        }
     }
 
     #[test]
@@ -415,6 +527,48 @@ mod tests {
         let (g, used) = Frame::decode(&wire).unwrap().unwrap();
         assert_eq!(used, wire.len());
         assert_eq!(g, f);
+    }
+
+    #[test]
+    fn decode_shared_returns_views_not_copies() {
+        let f = sample_frame();
+        let wire = f.encode();
+        let total = Frame::required_len(&wire).unwrap().unwrap();
+        assert_eq!(total, wire.len());
+        let base = wire.as_ref().as_ptr();
+        let g = Frame::decode_shared(&wire).unwrap();
+        assert_eq!(g, f);
+        // meta and data point into the original wire buffer: zero-copy.
+        let body = total - g.meta.len() - g.data.len();
+        // SAFETY: both offsets are < total, which is wire.len(), so the
+        // computed pointers stay inside the `wire` allocation.
+        assert_eq!(g.meta.as_ref().as_ptr(), unsafe { base.add(body) });
+        // SAFETY: as above — body + meta.len() < wire.len().
+        assert_eq!(g.data.as_ref().as_ptr(), unsafe {
+            base.add(body + g.meta.len())
+        });
+    }
+
+    #[test]
+    fn required_len_streams_like_decode() {
+        let f = sample_frame().with_ext(TraceExt::Ctx(TraceContext::sampled(5)));
+        let wire = f.encode();
+        // Until header + ext tag are present, the length is unknown.
+        for cut in 0..=FRAME_HEADER_BYTES {
+            assert_eq!(Frame::required_len(&wire[..cut]).unwrap(), None);
+        }
+        assert_eq!(
+            Frame::required_len(&wire).unwrap(),
+            Some(wire.len()),
+            "full frame sizes itself"
+        );
+        // A shared decode of a short buffer is an explicit error, not a
+        // panic and not a silent None.
+        let short = wire.slice(0..wire.len() - 1);
+        assert!(matches!(
+            Frame::decode_shared(&short),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]

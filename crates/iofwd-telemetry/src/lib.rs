@@ -146,6 +146,40 @@ impl Default for PerWorker {
     }
 }
 
+/// Fixed-size per-shard depth gauges for the sharded work queue: how
+/// deep each worker's deque runs (peak = worst imbalance before
+/// stealing rebalances it).
+pub struct PerShard {
+    depths: [Gauge; MAX_WORKERS],
+}
+
+impl PerShard {
+    pub fn new() -> PerShard {
+        PerShard {
+            depths: std::array::from_fn(|_| Gauge::new()),
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, shard: usize, delta: i64) {
+        self.depths[shard % MAX_WORKERS].add(delta);
+    }
+
+    pub fn get(&self, shard: usize) -> i64 {
+        self.depths[shard % MAX_WORKERS].get()
+    }
+
+    pub fn peak(&self, shard: usize) -> i64 {
+        self.depths[shard % MAX_WORKERS].peak()
+    }
+}
+
+impl Default for PerShard {
+    fn default() -> Self {
+        PerShard::new()
+    }
+}
+
 /// Liveness heartbeats for the reactor event loops (and any other
 /// periodic thread that wants watchdog coverage). Each loop registers
 /// once for a slot, then stores `now_ns` into it every iteration; the
@@ -264,6 +298,22 @@ pub struct Telemetry {
     /// Times the health watchdog tripped an SLO (queue head-of-line
     /// age, loop lag, or persistent write-buffer high water).
     pub watchdog_trips: Counter,
+    /// Work items a worker took from another worker's shard (sharded
+    /// work-stealing queue).
+    pub steal_ops: Counter,
+    /// BML block acquisitions served by recycling a slab free-list
+    /// block (no allocator call).
+    pub slab_hits: Counter,
+    /// BML block acquisitions that had to allocate a fresh block.
+    pub slab_misses: Counter,
+    /// Bytes of staging blocks returned to the slab free lists for
+    /// reuse instead of being freed.
+    pub slab_recycled_bytes: Counter,
+    /// Payload-sized allocations (and forced deep copies) on the
+    /// forwarding hot path. Near-zero in steady state on the zero-copy
+    /// path; the experiments harness divides this by ops for the
+    /// allocation-regression guard.
+    pub hotpath_alloc_bytes: Counter,
 
     // -- gauges -------------------------------------------------------
     /// Client connections currently open (peak = worst concurrency).
@@ -281,6 +331,8 @@ pub struct Telemetry {
     /// Aggregate reactor write-buffer bytes across connections (peak =
     /// worst egress backlog).
     pub wbuf_bytes: Gauge,
+    /// Per-shard work-queue depth (see [`PerShard`]).
+    pub shard_depth: PerShard,
 
     // -- histograms (nanoseconds unless noted) ------------------------
     pub queue_wait_ns: Histogram,
@@ -362,6 +414,11 @@ impl Telemetry {
             accept_errors: Counter::new(),
             backpressure_events: Counter::new(),
             watchdog_trips: Counter::new(),
+            steal_ops: Counter::new(),
+            slab_hits: Counter::new(),
+            slab_misses: Counter::new(),
+            slab_recycled_bytes: Counter::new(),
+            hotpath_alloc_bytes: Counter::new(),
             conns_open: Gauge::new(),
             queue_depth: Gauge::new(),
             bml_occupancy: Gauge::new(),
@@ -371,6 +428,7 @@ impl Telemetry {
             workers_busy: Gauge::new(),
             sync_queue_depth: Gauge::new(),
             wbuf_bytes: Gauge::new(),
+            shard_depth: PerShard::new(),
             queue_wait_ns: Histogram::new(),
             service_ns: Histogram::new(),
             total_ns: Histogram::new(),

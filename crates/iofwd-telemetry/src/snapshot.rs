@@ -576,6 +576,17 @@ pub fn capture(t: &Telemetry) -> TelemetrySnapshot {
             t.backpressure_events.get(),
         ),
         ("watchdog_trips".to_string(), t.watchdog_trips.get()),
+        ("steal_ops".to_string(), t.steal_ops.get()),
+        ("slab_hits".to_string(), t.slab_hits.get()),
+        ("slab_misses".to_string(), t.slab_misses.get()),
+        (
+            "slab_recycled_bytes".to_string(),
+            t.slab_recycled_bytes.get(),
+        ),
+        (
+            "hotpath_alloc_bytes".to_string(),
+            t.hotpath_alloc_bytes.get(),
+        ),
         ("flight_recorded".to_string(), t.flight.recorded()),
         ("flight_dropped".to_string(), t.flight.dropped()),
         ("uptime_ns".to_string(), t.uptime_ns()),
@@ -596,19 +607,32 @@ pub fn capture(t: &Telemetry) -> TelemetrySnapshot {
         current: g.get(),
         peak: g.peak(),
     };
+    let mut gauges = vec![
+        ("conns_open".to_string(), gauge(&t.conns_open)),
+        ("queue_depth".to_string(), gauge(&t.queue_depth)),
+        ("bml_occupancy".to_string(), gauge(&t.bml_occupancy)),
+        ("bml_waiters".to_string(), gauge(&t.bml_waiters)),
+        ("inflight_ops".to_string(), gauge(&t.inflight_ops)),
+        ("open_descriptors".to_string(), gauge(&t.open_descriptors)),
+        ("workers_busy".to_string(), gauge(&t.workers_busy)),
+        ("sync_queue_depth".to_string(), gauge(&t.sync_queue_depth)),
+        ("wbuf_bytes".to_string(), gauge(&t.wbuf_bytes)),
+    ];
+    for s in 0..MAX_WORKERS {
+        let peak = t.shard_depth.peak(s);
+        if peak > 0 {
+            gauges.push((
+                format!("shard_depth_{s}"),
+                GaugeValue {
+                    current: t.shard_depth.get(s),
+                    peak,
+                },
+            ));
+        }
+    }
     TelemetrySnapshot {
         counters,
-        gauges: vec![
-            ("conns_open".to_string(), gauge(&t.conns_open)),
-            ("queue_depth".to_string(), gauge(&t.queue_depth)),
-            ("bml_occupancy".to_string(), gauge(&t.bml_occupancy)),
-            ("bml_waiters".to_string(), gauge(&t.bml_waiters)),
-            ("inflight_ops".to_string(), gauge(&t.inflight_ops)),
-            ("open_descriptors".to_string(), gauge(&t.open_descriptors)),
-            ("workers_busy".to_string(), gauge(&t.workers_busy)),
-            ("sync_queue_depth".to_string(), gauge(&t.sync_queue_depth)),
-            ("wbuf_bytes".to_string(), gauge(&t.wbuf_bytes)),
-        ],
+        gauges,
         hists: vec![
             ("queue_wait_ns".to_string(), t.queue_wait_ns.snapshot()),
             ("service_ns".to_string(), t.service_ns.snapshot()),

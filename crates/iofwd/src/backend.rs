@@ -62,6 +62,18 @@ pub trait BackendObject: Send {
     }
     /// Read up to `len` bytes at `offset` (or current position).
     fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno>;
+    /// Read up to `out.len()` bytes at `offset` (or current position)
+    /// into a caller-supplied buffer. Returns bytes read; fewer than
+    /// requested means EOF. This is the allocation-free twin of
+    /// [`Self::read_at`] — the engine's fast path reads straight into a
+    /// recycled BML slab block through it. The default delegates to
+    /// `read_at` and copies, so existing backends stay correct.
+    fn read_into(&mut self, offset: Option<u64>, out: &mut [u8]) -> Result<u64, Errno> {
+        let data = self.read_at(offset, out.len() as u64)?;
+        let n = data.len().min(out.len());
+        out[..n].copy_from_slice(&data[..n]);
+        Ok(n as u64)
+    }
     /// Reposition; returns the new offset.
     fn seek(&mut self, offset: i64, whence: Whence) -> Result<u64, Errno>;
     /// Flush to stable storage / the socket.
@@ -166,6 +178,17 @@ impl BackendObject for InstrumentedObject {
             if self.telemetry.enabled() {
                 self.telemetry.backend_read_ops.inc();
                 self.telemetry.backend_bytes_read.add(buf.len() as u64);
+            }
+        }
+        res
+    }
+
+    fn read_into(&mut self, offset: Option<u64>, out: &mut [u8]) -> Result<u64, Errno> {
+        let res = self.inner.read_into(offset, out);
+        if let Ok(n) = res {
+            if self.telemetry.enabled() {
+                self.telemetry.backend_read_ops.inc();
+                self.telemetry.backend_bytes_read.add(n);
             }
         }
         res
@@ -426,6 +449,26 @@ impl BackendObject for MemFileObject {
             self.pos += out.len() as u64;
         }
         Ok(out)
+    }
+
+    fn read_into(&mut self, offset: Option<u64>, out: &mut [u8]) -> Result<u64, Errno> {
+        if !self.flags.readable() {
+            return Err(Errno::BadF);
+        }
+        let positional = offset.is_some();
+        let off = self.effective_offset(offset) as usize;
+        let file = self.data.lock();
+        let n = if off >= file.len() {
+            0
+        } else {
+            (file.len() - off).min(out.len())
+        };
+        out[..n].copy_from_slice(&file[off..off + n]);
+        drop(file);
+        if !positional {
+            self.pos += n as u64;
+        }
+        Ok(n as u64)
     }
 
     fn seek(&mut self, offset: i64, whence: Whence) -> Result<u64, Errno> {
@@ -697,6 +740,23 @@ impl BackendObject for FileObject {
         Ok(buf)
     }
 
+    fn read_into(&mut self, offset: Option<u64>, out: &mut [u8]) -> Result<u64, Errno> {
+        if let Some(off) = offset {
+            self.file
+                .seek(SeekFrom::Start(off))
+                .map_err(|e| Errno::from_io(&e))?;
+        }
+        let mut filled = 0;
+        while filled < out.len() {
+            match self.file.read(&mut out[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) => return Err(Errno::from_io(&e)),
+            }
+        }
+        Ok(filled as u64)
+    }
+
     fn seek(&mut self, offset: i64, whence: Whence) -> Result<u64, Errno> {
         let pos = match whence {
             Whence::Set => {
@@ -863,6 +923,11 @@ impl BackendObject for FaultObject {
         self.inner.read_at(offset, len)
     }
 
+    fn read_into(&mut self, offset: Option<u64>, out: &mut [u8]) -> Result<u64, Errno> {
+        self.charge()?;
+        self.inner.read_into(offset, out)
+    }
+
     fn seek(&mut self, offset: i64, whence: Whence) -> Result<u64, Errno> {
         self.inner.seek(offset, whence)
     }
@@ -983,6 +1048,11 @@ impl BackendObject for ThrottledObject {
     fn read_at(&mut self, offset: Option<u64>, len: u64) -> Result<Vec<u8>, Errno> {
         (self.pacer)(len as usize);
         self.inner.read_at(offset, len)
+    }
+
+    fn read_into(&mut self, offset: Option<u64>, out: &mut [u8]) -> Result<u64, Errno> {
+        (self.pacer)(out.len());
+        self.inner.read_into(offset, out)
     }
 
     fn seek(&mut self, offset: i64, whence: Whence) -> Result<u64, Errno> {
@@ -1239,6 +1309,26 @@ impl BackendObject for PlannedFaultObject {
                 self.inner.read_at(offset, len)
             }
             None => self.inner.read_at(offset, len),
+        }
+    }
+
+    fn read_into(&mut self, offset: Option<u64>, out: &mut [u8]) -> Result<u64, Errno> {
+        use crate::fault::{FaultAction, OpClass};
+        // Same plan semantics as `read_at`: one sequence slot per
+        // logical read, shorts serve a prefix of the request.
+        match self.shared.decide(OpClass::Read, &self.path) {
+            Some(FaultAction::Errno(e)) => Err(e),
+            Some(FaultAction::Short { numerator }) => {
+                let n = ((out.len() * numerator as usize) / 256)
+                    .max(1)
+                    .min(out.len());
+                self.inner.read_into(offset, &mut out[..n])
+            }
+            Some(FaultAction::DelayUs(us)) => {
+                std::thread::sleep(Duration::from_micros(us as u64));
+                self.inner.read_into(offset, out)
+            }
+            None => self.inner.read_into(offset, out),
         }
     }
 

@@ -37,6 +37,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::{ByteOwner, Bytes};
 use iofwd_proto::Errno;
 
 use crate::sync::{Condvar, Mutex};
@@ -62,6 +63,11 @@ pub struct BmlStats {
     /// Bytes requested beyond what the rounded class provides (internal
     /// fragmentation cost of the power-of-two policy).
     pub fragmentation_bytes: u64,
+    /// Acquisitions that adopted an existing payload by reference
+    /// (zero-copy staging: capacity charged, no block taken).
+    pub adopted: u64,
+    /// Block bytes returned to the per-class free lists for reuse.
+    pub recycled_bytes: u64,
 }
 
 struct BmlInner {
@@ -106,15 +112,40 @@ struct BmlShared {
     telemetry: Arc<Telemetry>,
 }
 
-/// A staged buffer: exclusive access to `len` usable bytes backed by a
-/// power-of-two block. Returns its memory to the BML on drop.
+/// Storage behind a [`BmlBuffer`].
+enum BufRepr {
+    /// A pool-owned power-of-two block; recycled into the class free
+    /// list on drop. Empty only after `Drop` takes the block; all
+    /// user-reachable methods see a full block.
+    Owned(Box<[u8]>),
+    /// A payload adopted by reference (typically a zero-copy view into
+    /// a receive buffer). Capacity is charged as if a block of the same
+    /// class were held, so BML backpressure behaves identically; drop
+    /// releases the charge and the view.
+    Adopted(Bytes),
+}
+
+/// A staged buffer: exclusive access to `len` usable bytes, either
+/// backed by a pool block or adopting a shared payload by reference.
+/// Returns its memory (or capacity charge) to the BML on drop.
 pub struct BmlBuffer {
-    /// Empty only after `Drop` takes the block; all user-reachable
-    /// methods see a full block.
-    block: Box<[u8]>,
+    repr: BufRepr,
     len: usize,
     class: usize,
     bml: Bml,
+}
+
+/// Keeps a slab block alive as the backing store of a shared [`Bytes`]
+/// payload (e.g. a read reply). The block rejoins the free list when
+/// the last view drops.
+struct SlabPayload {
+    buf: BmlBuffer,
+}
+
+impl ByteOwner for SlabPayload {
+    fn as_slice(&self) -> &[u8] {
+        self.buf.as_slice()
+    }
 }
 
 impl Bml {
@@ -176,6 +207,38 @@ impl Bml {
     /// Acquire with an optional timeout; `None` timeout blocks forever.
     /// Returns `None` if the BML is closed or the timeout expires.
     pub fn acquire_timeout(&self, len: usize, timeout: Option<Duration>) -> Option<BmlBuffer> {
+        self.admit(len, timeout, None)
+    }
+
+    /// Adopt `data` as a staged buffer by reference: the payload is not
+    /// copied — the staging charge for its size class goes through the
+    /// same FIFO admission as [`Bml::acquire`], so backpressure and
+    /// fairness are identical to the copying path. Fails with
+    /// [`Errno::NoMem`] only when the BML has been closed.
+    pub fn adopt(&self, data: Bytes) -> Result<BmlBuffer, Errno> {
+        self.adopt_timeout(data, None).ok_or(Errno::NoMem)
+    }
+
+    /// [`Bml::adopt`] with an optional admission timeout.
+    pub fn adopt_timeout(&self, data: Bytes, timeout: Option<Duration>) -> Option<BmlBuffer> {
+        self.admit(data.len(), timeout, Some(data))
+    }
+
+    /// Non-blocking [`Bml::adopt`]; fails under the same conditions as
+    /// [`Bml::try_acquire`] (closed, full, or queued waiters ahead).
+    pub fn try_adopt(&self, data: Bytes) -> Option<BmlBuffer> {
+        self.try_admit(data.len(), Some(data))
+    }
+
+    /// Shared admission path: charge capacity for `len`'s class (FIFO,
+    /// blocking) and build a buffer — pool-backed when `source` is
+    /// `None`, adopting `source` by reference otherwise.
+    fn admit(
+        &self,
+        len: usize,
+        timeout: Option<Duration>,
+        source: Option<Bytes>,
+    ) -> Option<BmlBuffer> {
         let (class, block_size) = Self::class_for(len);
         assert!(
             block_size as u64 <= self.shared.capacity,
@@ -190,7 +253,7 @@ impl Bml {
         if inner.waiters.is_empty() && inner.outstanding + block_size as u64 <= self.shared.capacity
         {
             inner.outstanding += block_size as u64;
-            return Some(self.take_block(inner, class, block_size, len, false));
+            return Some(self.finish_admit(inner, class, block_size, len, false, source));
         }
         // Slow path: join the FIFO admission queue and wait for a release
         // (or close) to hand us reserved capacity.
@@ -211,7 +274,7 @@ impl Bml {
                     tel.bml_block_ns
                         .record(tel.now_ns().saturating_sub(block_start));
                 }
-                return Some(self.take_block(inner, class, block_size, len, true));
+                return Some(self.finish_admit(inner, class, block_size, len, true, source));
             }
             if inner.closed {
                 inner.stats.blocked_acquires += 1;
@@ -234,7 +297,9 @@ impl Bml {
                                 tel.bml_block_ns
                                     .record(tel.now_ns().saturating_sub(block_start));
                             }
-                            return Some(self.take_block(inner, class, block_size, len, true));
+                            return Some(
+                                self.finish_admit(inner, class, block_size, len, true, source),
+                            );
                         }
                         inner.waiters.retain(|&(t, _)| t != ticket);
                         // Our departure may unblock the (smaller) next
@@ -250,15 +315,17 @@ impl Bml {
         }
     }
 
-    /// Pop a free-listed (or freshly allocated) block; `outstanding` has
-    /// already been charged by the caller.
-    fn take_block(
+    /// Build the buffer once capacity has been charged: pop a
+    /// free-listed (or freshly allocated) block, or wrap the adopted
+    /// payload. `outstanding` has already been charged by the caller.
+    fn finish_admit(
         &self,
         mut inner: crate::sync::MutexGuard<'_, BmlInner>,
         class: usize,
         block_size: usize,
         len: usize,
         blocked: bool,
+        source: Option<Bytes>,
     ) -> BmlBuffer {
         inner.stats.acquires += 1;
         if blocked {
@@ -266,24 +333,37 @@ impl Bml {
         }
         inner.stats.high_water = inner.stats.high_water.max(inner.outstanding);
         inner.stats.fragmentation_bytes += (block_size - len) as u64;
-        if self.shared.telemetry.enabled() {
+        let tel = &self.shared.telemetry;
+        if tel.enabled() {
             // `outstanding` was charged by the caller under this same
             // lock, so the gauge tracks the accounting exactly.
-            self.shared
-                .telemetry
-                .bml_occupancy
-                .set(inner.outstanding as i64);
+            tel.bml_occupancy.set(inner.outstanding as i64);
         }
-        let block = match inner.free[class].pop() {
-            Some(b) => {
-                inner.stats.freelist_hits += 1;
-                b
+        let repr = match source {
+            Some(data) => {
+                inner.stats.adopted += 1;
+                BufRepr::Adopted(data)
             }
-            None => vec![0u8; block_size].into_boxed_slice(),
+            None => BufRepr::Owned(match inner.free[class].pop() {
+                Some(b) => {
+                    inner.stats.freelist_hits += 1;
+                    if tel.enabled() {
+                        tel.slab_hits.inc();
+                    }
+                    b
+                }
+                None => {
+                    if tel.enabled() {
+                        tel.slab_misses.inc();
+                        tel.hotpath_alloc_bytes.add(block_size as u64);
+                    }
+                    vec![0u8; block_size].into_boxed_slice()
+                }
+            }),
         };
         drop(inner);
         BmlBuffer {
-            block,
+            repr,
             len,
             class,
             bml: self.clone(),
@@ -294,6 +374,10 @@ impl Bml {
     /// is exhausted, or when earlier acquisitions are queued (FIFO: a
     /// try-acquire must not barge past blocked handlers).
     pub fn try_acquire(&self, len: usize) -> Option<BmlBuffer> {
+        self.try_admit(len, None)
+    }
+
+    fn try_admit(&self, len: usize, source: Option<Bytes>) -> Option<BmlBuffer> {
         let (class, block_size) = Self::class_for(len);
         let mut inner = self.shared.inner.lock();
         if inner.closed
@@ -303,7 +387,7 @@ impl Bml {
             return None;
         }
         inner.outstanding += block_size as u64;
-        Some(self.take_block(inner, class, block_size, len, false))
+        Some(self.finish_admit(inner, class, block_size, len, false, source))
     }
 
     /// Wake all waiters and refuse further acquisitions (daemon shutdown).
@@ -342,8 +426,14 @@ impl Bml {
         let mut inner = self.shared.inner.lock();
         inner.outstanding -= block_size;
         // Keep a bounded free list per class so idle staging memory does
-        // not pin the whole capacity in fragmented blocks.
+        // not pin the whole capacity in fragmented blocks. Blocks that
+        // make it back here are the slab: the next acquisition of this
+        // class reuses them without touching the allocator.
         if inner.free[class].len() < 64 && !inner.closed {
+            inner.stats.recycled_bytes += block_size;
+            if self.shared.telemetry.enabled() {
+                self.shared.telemetry.slab_recycled_bytes.add(block_size);
+            }
             inner.free[class].push(block);
         }
         // FIFO hand-off: reserve the freed capacity for the head
@@ -358,6 +448,47 @@ impl Bml {
         drop(inner);
         self.shared.cv.notify_all();
     }
+
+    /// Release the capacity charge of an adopted buffer (no block to
+    /// recycle — the payload's storage belongs to its refcount).
+    fn release_adopted(&self, class: usize) {
+        let block_size = 1u64 << (class as u32 + MIN_CLASS_SHIFT);
+        let mut inner = self.shared.inner.lock();
+        inner.outstanding -= block_size;
+        inner.grant_from_front(self.shared.capacity);
+        if self.shared.telemetry.enabled() {
+            self.shared
+                .telemetry
+                .bml_occupancy
+                .set(inner.outstanding as i64);
+        }
+        drop(inner);
+        self.shared.cv.notify_all();
+    }
+
+    /// Pop (or allocate) a block for a buffer whose capacity charge is
+    /// already held — used when a copy-on-write promotion needs private
+    /// storage for an adopted payload.
+    fn take_block_for_promotion(&self, class: usize, block_size: usize) -> Box<[u8]> {
+        let tel = &self.shared.telemetry;
+        let mut inner = self.shared.inner.lock();
+        match inner.free[class].pop() {
+            Some(b) => {
+                inner.stats.freelist_hits += 1;
+                if tel.enabled() {
+                    tel.slab_hits.inc();
+                }
+                b
+            }
+            None => {
+                if tel.enabled() {
+                    tel.slab_misses.inc();
+                    tel.hotpath_alloc_bytes.add(block_size as u64);
+                }
+                vec![0u8; block_size].into_boxed_slice()
+            }
+        }
+    }
 }
 
 impl BmlBuffer {
@@ -370,17 +501,40 @@ impl BmlBuffer {
         self.len == 0
     }
 
-    /// The underlying block size (power of two).
+    /// The underlying block size (power of two) — for an adopted
+    /// payload, the class charge it occupies.
     pub fn block_size(&self) -> usize {
-        self.block.len()
+        match &self.repr {
+            BufRepr::Owned(block) => block.len(),
+            BufRepr::Adopted(_) => 1usize << (self.class as u32 + MIN_CLASS_SHIFT),
+        }
     }
 
     pub fn as_slice(&self) -> &[u8] {
-        &self.block[..self.len]
+        match &self.repr {
+            BufRepr::Owned(block) => &block[..self.len],
+            BufRepr::Adopted(data) => &data[..self.len],
+        }
     }
 
+    /// Exclusive access to the usable bytes. An adopted payload is
+    /// promoted copy-on-write to a private pool block on first call —
+    /// the shared view it came from is never mutated through this.
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
-        &mut self.block[..self.len]
+        if let BufRepr::Adopted(data) = &self.repr {
+            let data = data.clone();
+            // Capacity for this class is already charged; only the
+            // private storage itself is taken here.
+            let block_size = 1usize << (self.class as u32 + MIN_CLASS_SHIFT);
+            let mut block = self.bml.take_block_for_promotion(self.class, block_size);
+            block[..self.len].copy_from_slice(&data[..self.len]);
+            self.repr = BufRepr::Owned(block);
+        }
+        match &mut self.repr {
+            BufRepr::Owned(block) => &mut block[..self.len],
+            // Unreachable: the promotion above replaced any adopted repr.
+            BufRepr::Adopted(_) => &mut [],
+        }
     }
 
     /// Copy `src` into the buffer (must fit).
@@ -388,13 +542,32 @@ impl BmlBuffer {
         assert!(src.len() <= self.len, "fill_from overflow");
         self.as_mut_slice()[..src.len()].copy_from_slice(src);
     }
+
+    /// Shrink the usable length (e.g. after a short backend read);
+    /// never grows.
+    pub fn truncate(&mut self, n: usize) {
+        self.len = self.len.min(n);
+    }
+
+    /// Freeze into a shared refcounted payload without copying. The
+    /// block — and its BML capacity charge — stays alive until the last
+    /// view drops, then returns to the slab like any other release.
+    pub fn into_bytes(self) -> Bytes {
+        Bytes::from_owner(Arc::new(SlabPayload { buf: self }))
+    }
 }
 
 impl Drop for BmlBuffer {
     fn drop(&mut self) {
-        let block = std::mem::take(&mut self.block);
-        if !block.is_empty() {
-            self.bml.release(block, self.class);
+        match std::mem::replace(&mut self.repr, BufRepr::Owned(Box::new([]))) {
+            BufRepr::Owned(block) => {
+                // The empty sentinel is what `replace` left behind in a
+                // buffer that already dropped; never release it.
+                if !block.is_empty() {
+                    self.bml.release(block, self.class);
+                }
+            }
+            BufRepr::Adopted(_) => self.bml.release_adopted(self.class),
         }
     }
 }
@@ -528,6 +701,61 @@ mod tests {
         let mut b = bml.acquire(11).unwrap();
         b.fill_from(b"hello world");
         assert_eq!(b.as_slice(), b"hello world");
+    }
+
+    #[test]
+    fn adopt_shares_storage_and_charges_capacity() {
+        let bml = Bml::new(1 << 20);
+        let payload = Bytes::from(vec![7u8; 5000]);
+        let ptr = payload.as_ref().as_ptr();
+        let buf = bml.adopt(payload).unwrap();
+        assert_eq!(buf.as_slice().as_ptr(), ptr, "adopt must not copy");
+        assert_eq!(buf.block_size(), 8192);
+        assert_eq!(bml.outstanding(), 8192);
+        assert_eq!(bml.stats().adopted, 1);
+        drop(buf);
+        assert_eq!(bml.outstanding(), 0);
+    }
+
+    #[test]
+    fn adopted_buffer_backpressures_like_owned() {
+        let bml = Bml::new(8192);
+        let held = bml.adopt(Bytes::from(vec![0u8; 8192])).unwrap();
+        assert!(bml.try_acquire(1).is_none());
+        assert!(bml.try_adopt(Bytes::from(vec![0u8; 16])).is_none());
+        drop(held);
+        assert!(bml.try_acquire(1).is_some());
+    }
+
+    #[test]
+    fn as_mut_slice_promotes_adopted_copy_on_write() {
+        let bml = Bml::new(1 << 20);
+        let payload = Bytes::from(vec![1u8; 100]);
+        let shared = payload.clone();
+        let mut buf = bml.adopt(payload).unwrap();
+        buf.as_mut_slice()[0] = 9;
+        assert_eq!(buf.as_slice()[0], 9);
+        assert_eq!(shared[0], 1, "original payload must be untouched");
+        drop(buf);
+        assert_eq!(bml.outstanding(), 0);
+    }
+
+    #[test]
+    fn into_bytes_keeps_capacity_until_last_view_drops() {
+        let bml = Bml::new(1 << 20);
+        let mut buf = bml.acquire(4096).unwrap();
+        buf.fill_from(b"abc");
+        buf.truncate(3);
+        let view = buf.into_bytes();
+        let view2 = view.clone();
+        assert_eq!(&view[..], b"abc");
+        assert_eq!(bml.outstanding(), 4096);
+        drop(view);
+        assert_eq!(bml.outstanding(), 4096, "clone still holds the block");
+        drop(view2);
+        assert_eq!(bml.outstanding(), 0);
+        // The block rejoined the slab free list on the final drop.
+        assert_eq!(bml.stats().recycled_bytes, 4096);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::bml::Bml;
 use crate::descdb::{BeginError, DescDb, OpOutcome};
 use crate::fault::{is_transient, RetryPolicy};
 use crate::filter::{FilterChain, WriteContext};
+use crate::server::HotPath;
 use crate::telemetry::{OpKind, OpSpan, Telemetry};
 
 /// Telemetry classification of a request. Exhaustive so a new `Request`
@@ -83,6 +84,11 @@ pub struct Engine {
     /// embedders (and the daemon CLI) opt in explicitly, so existing
     /// error-propagation semantics are unchanged unless asked for.
     pub(crate) retry: RetryPolicy,
+    /// Which data-path variant to run (see [`HotPath`]). `Fast` serves
+    /// reads from recycled slab blocks and writes straight from adopted
+    /// receive views; `Seed` re-enacts the pre-zero-copy profile as the
+    /// paired-benchmark control arm.
+    pub(crate) hotpath: HotPath,
     /// Deterministic jitter source for backoff; seeded once so retry
     /// timing is reproducible run-to-run.
     retry_rng: parking_lot::Mutex<SimRng>,
@@ -113,6 +119,7 @@ impl Engine {
             filters,
             telemetry,
             retry: RetryPolicy::disabled(),
+            hotpath: HotPath::Fast,
             retry_rng: parking_lot::Mutex::new(SimRng::new(0x10f_44d)),
         }
     }
@@ -120,6 +127,16 @@ impl Engine {
     /// Enable (or reconfigure) retrying of transient backend errors.
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.retry = policy;
+    }
+
+    /// Select the data-path variant. Handlers and the reactor read the
+    /// knob from here, so no per-request plumbing is needed.
+    pub fn set_hotpath(&mut self, hotpath: HotPath) {
+        self.hotpath = hotpath;
+    }
+
+    pub fn hotpath(&self) -> HotPath {
+        self.hotpath
     }
 
     pub fn retry_policy(&self) -> RetryPolicy {
@@ -436,13 +453,15 @@ impl Engine {
         offset: Option<u64>,
         data: &[u8],
     ) -> OpOutcome {
-        let outcome = match self.filter_write(fd, offset, Bytes::copy_from_slice(data)) {
-            None => OpOutcome::Ok, // consumed in situ
-            Some(filtered) => match self.db.object(fd) {
+        // With no filters to observe an owned payload the staging
+        // buffer streams straight to the backend; materialising a copy
+        // here is pure overhead, kept only for the Seed control arm.
+        let outcome = if self.filters.is_empty() && self.hotpath == HotPath::Fast {
+            match self.db.object(fd) {
                 Ok(obj) => {
                     let res = {
                         let mut o = obj.lock();
-                        self.write_fully(&mut **o, offset, &filtered)
+                        self.write_fully(&mut **o, offset, data)
                     };
                     match res {
                         Ok(()) => OpOutcome::Ok,
@@ -450,7 +469,27 @@ impl Engine {
                     }
                 }
                 Err(e) => OpOutcome::Failed(e),
-            },
+            }
+        } else {
+            if self.telemetry.enabled() && !data.is_empty() {
+                self.telemetry.hotpath_alloc_bytes.add(data.len() as u64);
+            }
+            match self.filter_write(fd, offset, Bytes::copy_from_slice(data)) {
+                None => OpOutcome::Ok, // consumed in situ
+                Some(filtered) => match self.db.object(fd) {
+                    Ok(obj) => {
+                        let res = {
+                            let mut o = obj.lock();
+                            self.write_fully(&mut **o, offset, &filtered)
+                        };
+                        match res {
+                            Ok(()) => OpOutcome::Ok,
+                            Err(e) => OpOutcome::Failed(e),
+                        }
+                    }
+                    Err(e) => OpOutcome::Failed(e),
+                },
+            }
         };
         self.db.finish_op(fd, op, outcome);
         outcome
@@ -552,6 +591,31 @@ impl Engine {
             Ok(v) => v,
             Err(e) => return (self.begin_error_response(e), Bytes::new()),
         };
+        // Fast path: serve the read out of a recycled BML slab block —
+        // the backend fills it in place and the reply payload is a
+        // refcounted view of it, so no per-op Vec exists. Falls back to
+        // the allocating path when the BML is absent, saturated, or the
+        // request exceeds its largest size class.
+        let slab = if self.hotpath == HotPath::Fast && len > 0 {
+            self.bml.as_ref().and_then(|b| b.try_acquire(len as usize))
+        } else {
+            None
+        };
+        if let Some(mut buf) = slab {
+            let result = {
+                let mut o = obj.lock();
+                self.with_retries(|| o.read_into(offset, buf.as_mut_slice()))
+            };
+            self.db.finish_op(fd, op, OpOutcome::Ok);
+            return match result {
+                Ok(n) => {
+                    buf.truncate(n as usize);
+                    self.stats.bytes_out.fetch_add(n, Ordering::Relaxed);
+                    (Response::Ok { ret: n as i64 }, buf.into_bytes())
+                }
+                Err(e) => (Response::Err { errno: e }, Bytes::new()),
+            };
+        }
         let result = {
             let mut o = obj.lock();
             self.with_retries(|| o.read_at(offset, len))
@@ -559,6 +623,9 @@ impl Engine {
         self.db.finish_op(fd, op, OpOutcome::Ok);
         match result {
             Ok(buf) => {
+                if self.telemetry.enabled() && !buf.is_empty() {
+                    self.telemetry.hotpath_alloc_bytes.add(buf.len() as u64);
+                }
                 self.stats
                     .bytes_out
                     .fetch_add(buf.len() as u64, Ordering::Relaxed);

@@ -24,7 +24,7 @@ use iofwd_proto::{Errno, Frame, OpId, Request, Response, StageEcho, TraceContext
 use super::engine::{op_kind, response_errno, Engine};
 use super::queue::{ReplyTo, StagedPart, WorkItem, WorkQueue};
 use super::staged::FdSerializer;
-use super::CoalesceConfig;
+use super::{CoalesceConfig, HotPath};
 use crate::descdb::{BeginError, OpOutcome};
 use crate::telemetry::{Disposition, OpKind, OpSpan, Telemetry};
 use crate::transport::Conn;
@@ -81,6 +81,36 @@ fn send_response(conn: &dyn Conn, client: u32, seq: u64, resp: &Response, data: 
     // A send failure means the client vanished; the handler loop will
     // observe the closed connection on its next recv.
     let _ = conn.send(Frame::response(client, seq, resp, data));
+}
+
+/// Seed-arm receive copy: re-materialise the payload as a fresh heap
+/// allocation, re-enacting the pre-zero-copy profile where every frame
+/// was deep-copied out of the receive buffer before processing. A no-op
+/// on the fast path, where the payload stays a view of the receive
+/// buffer end to end.
+pub(crate) fn maybe_deep_copy_rx(hotpath: HotPath, telemetry: &Telemetry, frame: &mut Frame) {
+    if hotpath == HotPath::Seed && !frame.data.is_empty() {
+        if telemetry.enabled() {
+            telemetry.hotpath_alloc_bytes.add(frame.data.len() as u64);
+        }
+        frame.data = Bytes::copy_from_slice(&frame.data);
+    }
+}
+
+/// Seed-arm transmit copy, the reply-side mirror of
+/// [`maybe_deep_copy_rx`]: re-materialise a reply payload as a fresh
+/// heap allocation before it reaches the transport, re-enacting the
+/// pre-split-send profile where every reply was serialised into a
+/// contiguous wire image (header plus payload memcpy). A no-op on the
+/// fast path, where a large payload travels to the socket by reference
+/// from the slab block it was read into.
+pub(crate) fn maybe_deep_copy_tx(hotpath: HotPath, telemetry: &Telemetry, data: &mut Bytes) {
+    if hotpath == HotPath::Seed && !data.is_empty() {
+        if telemetry.enabled() {
+            telemetry.hotpath_alloc_bytes.add(data.len() as u64);
+        }
+        *data = Bytes::copy_from_slice(data);
+    }
 }
 
 /// Adopt the client's trace context (if the frame carries one) onto the
@@ -279,6 +309,7 @@ pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
         apply_trace(&mut span, &frame);
         // Copy the payload into the shared-memory region before the proxy
         // may touch it (CIOD's double copy, §II-B1).
+        // HOTPATH: deliberate deep copy — paper fidelity, not an oversight.
         let copied = Bytes::from(frame.data.to_vec());
         let shutdown = matches!(frame.decode_request(), Ok(Request::Shutdown));
         let staged = Frame {
@@ -301,7 +332,8 @@ pub fn handle_ciod(conn: Arc<dyn Conn>, engine: Arc<Engine>) {
 pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQueue>) {
     let telemetry = engine.telemetry().clone();
     let mut session = Session::default();
-    while let Ok(Some(frame)) = conn.recv() {
+    while let Ok(Some(mut frame)) = conn.recv() {
+        maybe_deep_copy_rx(engine.hotpath(), &telemetry, &mut frame);
         let Some(req) = decode_or_reject(conn.as_ref(), &frame) else {
             continue;
         };
@@ -359,8 +391,9 @@ pub fn handle_sched(conn: Arc<dyn Conn>, engine: Arc<Engine>, queue: Arc<WorkQue
             break;
         }
         match rx.recv() {
-            Ok((resp, data, mut span)) => {
+            Ok((resp, mut data, mut span)) => {
                 session.track(&req, &resp);
+                maybe_deep_copy_tx(engine.hotpath(), &telemetry, &mut data);
                 finish_and_reply(
                     conn.as_ref(),
                     &telemetry,
@@ -387,7 +420,8 @@ pub fn handle_staged(
     let bml = engine.bml().expect("staged mode requires a BML").clone();
     let telemetry = engine.telemetry().clone();
     let mut session = Session::default();
-    while let Ok(Some(frame)) = conn.recv() {
+    while let Ok(Some(mut frame)) = conn.recv() {
+        maybe_deep_copy_rx(engine.hotpath(), &telemetry, &mut frame);
         let Some(req) = decode_or_reject(conn.as_ref(), &frame) else {
             continue;
         };
@@ -454,8 +488,21 @@ pub fn handle_staged(
                         // Blocking acquisition: "if there is insufficient
                         // memory to stage the data, the I/O operation is
                         // blocked until ... sufficient memory is
-                        // available" (§IV).
-                        match bml.acquire_timeout(len as usize, None) {
+                        // available" (§IV). On the fast path the BML
+                        // *adopts* the receive view — capacity is charged
+                        // and blocked on identically, but no bytes move;
+                        // the Seed arm stages through a copy as the
+                        // original implementation did.
+                        let staged_buf = match engine.hotpath() {
+                            HotPath::Fast => bml.adopt_timeout(frame.data.clone(), None),
+                            HotPath::Seed => {
+                                bml.acquire_timeout(len as usize, None).map(|mut buf| {
+                                    buf.fill_from(&frame.data);
+                                    buf
+                                })
+                            }
+                        };
+                        match staged_buf {
                             None => {
                                 // BML closed: daemon shutting down.
                                 engine.descriptor_db().finish_op(
@@ -467,8 +514,7 @@ pub fn handle_staged(
                                     errno: Errno::NoMem,
                                 }
                             }
-                            Some(mut buf) => {
-                                buf.fill_from(&frame.data);
+                            Some(buf) => {
                                 engine.stats.requests.fetch_add(1, Ordering::Relaxed);
                                 engine.stats.bytes_in.fetch_add(len, Ordering::Relaxed);
                                 engine.stats.staged_ops.fetch_add(1, Ordering::Relaxed);
@@ -585,7 +631,8 @@ pub fn handle_staged(
                     break;
                 }
                 match rx.recv() {
-                    Ok((resp, data, mut span)) => {
+                    Ok((resp, mut data, mut span)) => {
+                        maybe_deep_copy_tx(engine.hotpath(), &telemetry, &mut data);
                         finish_and_reply(
                             conn.as_ref(),
                             &telemetry,

@@ -76,6 +76,36 @@ impl ForwardingMode {
     }
 }
 
+/// Hot-path variant, for the zero-copy ablation (DESIGN.md §17).
+///
+/// `Fast` is the real data path. `Seed` is the paired-benchmark
+/// control arm: it re-creates the allocation/copy profile the daemon
+/// had before the zero-copy receive path landed (deep-copy out of the
+/// receive buffer, stage by acquire+copy, reply to reads from fresh
+/// allocations), so `experiments` can measure the win honestly on the
+/// same binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HotPath {
+    /// Zero-copy: decoded frames stay views into the receive buffer,
+    /// staging adopts the payload by reference, reads reply from
+    /// recycled slab blocks.
+    #[default]
+    Fast,
+    /// Pre-zero-copy emulation: one deep copy out of the receive
+    /// buffer per frame, one staging copy into an acquired BML block,
+    /// one fresh allocation per read reply.
+    Seed,
+}
+
+impl HotPath {
+    pub fn name(&self) -> &'static str {
+        match self {
+            HotPath::Fast => "fast",
+            HotPath::Seed => "seed",
+        }
+    }
+}
+
 /// Write-coalescing budgets: how much a worker may merge into a single
 /// vectored backend call when it finds offset-contiguous staged writes
 /// parked behind the one it dequeued.
@@ -123,6 +153,9 @@ pub struct ServerConfig {
     /// modes with a queue for writes to park behind — and off (and
     /// meaningless) for Ciod/Zoid, which execute inline.
     pub coalesce: Option<CoalesceConfig>,
+    /// Hot-path variant: the zero-copy path (default) or the
+    /// seed-emulation control arm for paired benchmarks.
+    pub hotpath: HotPath,
 }
 
 impl ServerConfig {
@@ -140,6 +173,7 @@ impl ServerConfig {
                 }
                 ForwardingMode::Ciod | ForwardingMode::Zoid => None,
             },
+            hotpath: HotPath::Fast,
         }
     }
 
@@ -177,6 +211,12 @@ impl ServerConfig {
     /// Override the write-coalescing budgets (`None` disables merging).
     pub fn with_coalescing(mut self, coalesce: Option<CoalesceConfig>) -> Self {
         self.coalesce = coalesce;
+        self
+    }
+
+    /// Select the hot-path variant (zero-copy vs. seed emulation).
+    pub fn with_hotpath(mut self, hotpath: HotPath) -> Self {
+        self.hotpath = hotpath;
         self
     }
 }
@@ -235,6 +275,7 @@ fn build_core(backend: Arc<dyn Backend>, config: &ServerConfig) -> ServerCore {
     let mut engine =
         Engine::with_telemetry(backend, bml, config.filters.clone(), telemetry.clone());
     engine.set_retry_policy(config.retry);
+    engine.set_hotpath(config.hotpath);
     let engine = Arc::new(engine);
 
     let (queue, serializer, worker_threads) = match config.mode.workers() {

@@ -10,11 +10,35 @@
 //!
 //! The default discipline is the paper's single shared FIFO, where idle
 //! workers pulling from one queue *is* the load balancer. A per-worker
-//! variant (round-robin enqueue + work stealing when a worker's own queue
-//! runs dry) is provided for the queue-discipline ablation bench.
+//! variant (client-affinity enqueue + work stealing when a worker's own
+//! queue runs dry) is provided for the queue-discipline ablation bench.
+//!
+//! Both disciplines sit on one sharded implementation: a `SharedFifo`
+//! queue is a single shard, a `PerWorker` queue is one shard per
+//! worker. Each shard has its own lock, so under `PerWorker` a push
+//! and `n` pops proceed without contending on a global queue mutex;
+//! each shard also has its own sleep/wake eventcount (version +
+//! condvar) that a push bumps after publishing an item, so the wakeup
+//! goes to the shard's home worker — not an arbitrary sleeper that
+//! would have to steal.
+//!
+//! Placement is by *client affinity* (a multiplicative hash of the
+//! item's client id), not round-robin: one client's ops stay FIFO in
+//! one shard, so an fsync barrier is dequeued only after that client's
+//! earlier staged writes, and offset-adjacent writes arrive in the
+//! same drained batch where the coalescer can still merge them.
+//! Round-robin placement scatters a client's stream across every
+//! shard, which reorders barriers against their writes and destroys
+//! coalescing adjacency — measurably worse on few-core hosts. Idle
+//! workers steal *half* the deepest other shard (min one item), so a
+//! steal amortizes its lock round-trip the same way a batch drain
+//! does; a push that finds its home shard already `HELP_DEPTH` deep
+//! also wakes a sleeper on another shard to come steal. The steal path
+//! is model-checked by `work_stealing_delivers_exactly_once` in the
+//! loom suite.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -170,7 +194,7 @@ impl WorkItem {
 pub enum QueueDiscipline {
     /// One shared FIFO; idle workers pull (the paper's design).
     SharedFifo,
-    /// Per-worker FIFOs, round-robin placement, stealing on empty.
+    /// Per-worker FIFOs, client-affinity placement, stealing on empty.
     PerWorker,
 }
 
@@ -195,40 +219,78 @@ impl std::fmt::Display for QueueClosed {
     }
 }
 
-struct QueueState {
-    shared: VecDeque<WorkItem>,
-    per_worker: Vec<VecDeque<WorkItem>>,
-    rr_next: usize,
+/// One work-queue shard: a FIFO deque behind its own lock, so pushers
+/// and poppers touching different shards never contend.
+struct Shard {
+    state: Mutex<ShardState>,
+    /// Depth cache maintained under the shard lock; read lock-free by
+    /// the steal heuristic, the termination check, and `depth()`.
+    depth: AtomicUsize,
+    /// This shard's sleep/wake eventcount. Per-shard, not global, so a
+    /// push wakes the shard's *home* worker — a global `notify_one`
+    /// wakes an arbitrary sleeper, which on a sparse queue turns
+    /// nearly every dispatch into a cross-shard steal plus an extra
+    /// context switch.
+    sleep: Sleep,
+}
+
+struct ShardState {
+    items: VecDeque<WorkItem>,
+    /// Set under this shard's lock by `close`/`abort`, so a push can
+    /// never race past shutdown into a shard workers have abandoned.
     closed: bool,
-    aborted: bool,
+}
+
+/// Sleep/wake eventcount. A sleeper samples its shard's version,
+/// re-scans, and blocks only if no push has bumped the version since
+/// the sample — a push landing between scan and sleep is therefore
+/// never a lost wakeup, without pushers and sleepers sharing the shard
+/// locks.
+struct Sleep {
+    version: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Sleep {
+    fn wake_one(&self) {
+        *self.version.lock() += 1;
+        self.cv.notify_one();
+    }
+
+    fn wake_all(&self) {
+        *self.version.lock() += 1;
+        self.cv.notify_all();
+    }
+}
+
+/// Home-shard depth at which a push also wakes a sleeper on another
+/// shard to come steal. Below this, waking only the home worker keeps
+/// one client's stream on one core with no cross-shard traffic; at or
+/// above it, the backlog is worth a thief's context switch. The helper
+/// choice rotates with the depth so a sustained backlog recruits every
+/// other shard in turn.
+const HELP_DEPTH: usize = 4;
+
+/// MPMC work queue with batch dequeue ("I/O multiplexing per thread").
+///
+/// Internally sharded: [`QueueDiscipline::SharedFifo`] is one shard
+/// (the paper's strict FIFO), [`QueueDiscipline::PerWorker`] is one
+/// shard per worker with client-affinity placement and
+/// steal-half-from-deepest when a worker's own shard runs dry. All
+/// cross-shard coordination
+/// (sleeping, fairness accounting) lives outside the shard locks, so
+/// the hot push/pop path takes exactly one uncontended mutex.
+pub struct WorkQueue {
+    shards: Vec<Shard>,
     /// Items currently queued per client — the fairness signal the
     /// reactor uses to park a chatty connection instead of letting it
     /// flood the queue. Entries are removed at zero so an idle client
-    /// costs nothing.
-    per_client: HashMap<u64, usize>,
-}
-
-impl QueueState {
-    fn client_inc(&mut self, client: u64) {
-        *self.per_client.entry(client).or_insert(0) += 1;
-    }
-
-    fn client_dec(&mut self, client: u64) {
-        if let Some(n) = self.per_client.get_mut(&client) {
-            if *n <= 1 {
-                self.per_client.remove(&client);
-            } else {
-                *n -= 1;
-            }
-        }
-    }
-}
-
-/// MPMC work queue with batch dequeue ("I/O multiplexing per thread").
-pub struct WorkQueue {
-    state: Mutex<QueueState>,
-    cv: Condvar,
+    /// costs nothing. Charged *before* an item becomes visible in a
+    /// shard, so `client_queued` never under-counts a pushed item.
+    per_client: Mutex<HashMap<u64, usize>>,
     discipline: QueueDiscipline,
+    closed: AtomicBool,
+    aborted: AtomicBool,
     depth_high_water: AtomicU64,
     total_enqueued: AtomicU64,
     total_steals: AtomicU64,
@@ -246,17 +308,28 @@ impl WorkQueue {
         telemetry: Arc<Telemetry>,
     ) -> Self {
         assert!(workers > 0, "worker pool must be non-empty");
+        let nshards = match discipline {
+            QueueDiscipline::SharedFifo => 1,
+            QueueDiscipline::PerWorker => workers,
+        };
         WorkQueue {
-            state: Mutex::new(QueueState {
-                shared: VecDeque::new(),
-                per_worker: (0..workers).map(|_| VecDeque::new()).collect(),
-                rr_next: 0,
-                closed: false,
-                aborted: false,
-                per_client: HashMap::new(),
-            }),
-            cv: Condvar::new(),
+            shards: (0..nshards)
+                .map(|_| Shard {
+                    state: Mutex::new(ShardState {
+                        items: VecDeque::new(),
+                        closed: false,
+                    }),
+                    depth: AtomicUsize::new(0),
+                    sleep: Sleep {
+                        version: Mutex::new(0),
+                        cv: Condvar::new(),
+                    },
+                })
+                .collect(),
+            per_client: Mutex::new(HashMap::new()),
             discipline,
+            closed: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
             depth_high_water: AtomicU64::new(0),
             total_enqueued: AtomicU64::new(0),
             total_steals: AtomicU64::new(0),
@@ -268,36 +341,63 @@ impl WorkQueue {
         self.discipline
     }
 
+    /// Home shard for a client: a Fibonacci multiplicative hash of the
+    /// client id. Affinity — not round-robin — keeps one client's ops
+    /// FIFO within a shard, so its fsync barriers sort behind its
+    /// staged writes and adjacent writes stay coalescible; imbalance
+    /// across clients is corrected by stealing, not placement.
+    fn shard_of(&self, client: u64) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        (client.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.shards.len()
+    }
+
     /// Enqueue a task; wakes one worker. Fails with [`QueueClosed`]
     /// (returning the item) once [`close`](Self::close) has been
     /// called — a handler racing daemon shutdown gets its work back to
     /// fail cleanly rather than a panic.
     pub fn push(&self, item: WorkItem) -> Result<(), QueueClosed> {
-        let mut s = self.state.lock();
+        let client = item.client();
+        // Pre-charge the fairness budget before the item is visible in
+        // any shard; un-charge if the shard turns out to be closed.
+        self.client_inc(client);
+        let shard_ix = self.shard_of(client);
+        let shard = &self.shards[shard_ix];
+        let mut s = shard.state.lock();
         if s.closed {
             drop(s);
+            self.client_dec(client);
             return Err(QueueClosed(Box::new(item)));
         }
-        s.client_inc(item.client());
-        match self.discipline {
-            QueueDiscipline::SharedFifo => s.shared.push_back(item),
-            QueueDiscipline::PerWorker => {
-                let w = s.rr_next;
-                s.rr_next = (s.rr_next + 1) % s.per_worker.len();
-                s.per_worker[w].push_back(item);
-            }
-        }
-        // Fold the high-water mark while still holding the lock: after
-        // `drop(s)` a racing pop could shrink the queue first and a
-        // racing push could observe (and record) a stale, too-low peak.
-        let depth = Self::depth_locked(&s) as u64;
+        s.items.push_back(item);
+        let shard_depth = s.items.len();
+        shard.depth.store(shard_depth, Ordering::Release);
+        // Fold the high-water mark while still holding this shard's
+        // lock: exact for the single-shard FIFO (pushes serialize), a
+        // tight approximation across sharded queues.
+        let depth = self.depth() as u64;
         self.depth_high_water.fetch_max(depth, Ordering::Relaxed);
-        self.total_enqueued.fetch_add(1, Ordering::Relaxed);
         drop(s);
+        self.total_enqueued.fetch_add(1, Ordering::Relaxed);
         if self.telemetry.enabled() {
             self.telemetry.queue_depth.add(1);
+            self.telemetry.shard_depth.add(shard_ix, 1);
         }
-        self.cv.notify_one();
+        // Bump the home shard's eventcount after the item is visible so
+        // a scanning worker that missed it re-checks instead of
+        // sleeping.
+        shard.sleep.wake_one();
+        // A deep home shard is worth a thief: recruit a sleeper from
+        // another shard, rotating the choice with the depth so a
+        // sustained backlog reaches every potential helper.
+        let nshards = self.shards.len();
+        if shard_depth >= HELP_DEPTH && nshards > 1 {
+            // The offset is in [1, nshards-1], so the helper is never
+            // the home shard itself.
+            let helper = (shard_ix + 1 + shard_depth % (nshards - 1)) % nshards;
+            self.shards[helper].sleep.wake_one();
+        }
         Ok(())
     }
 
@@ -320,51 +420,78 @@ impl WorkQueue {
     pub fn pop_batch_into(&self, worker: usize, batch: usize, out: &mut Vec<WorkItem>) {
         assert!(batch > 0);
         out.clear();
-        let mut s = self.state.lock();
+        let nshards = self.shards.len();
+        let own_ix = worker % nshards;
         loop {
-            if s.aborted {
+            if self.aborted.load(Ordering::Acquire) {
                 // Degraded shutdown: remaining items belong to the
                 // drain, not the workers.
                 return;
             }
-            match self.discipline {
-                QueueDiscipline::SharedFifo => {
-                    while out.len() < batch {
-                        match s.shared.pop_front() {
-                            Some(it) => out.push(it),
-                            None => break,
-                        }
+            // Sample the home shard's eventcount before scanning: a
+            // push landing after this sample bumps the version and
+            // defeats the sleep at the bottom of the loop. Pushes to
+            // *other* shards wake their own home workers (or recruit a
+            // helper once deep), so missing them here strands nothing.
+            let sampled = *self.shards[own_ix].sleep.version.lock();
+            let from_own;
+            {
+                let shard = &self.shards[own_ix];
+                let mut s = shard.state.lock();
+                while out.len() < batch {
+                    match s.items.pop_front() {
+                        Some(it) => out.push(it),
+                        None => break,
                     }
                 }
-                QueueDiscipline::PerWorker => {
-                    while out.len() < batch {
-                        match s.per_worker[worker].pop_front() {
+                from_own = out.len();
+                shard.depth.store(s.items.len(), Ordering::Release);
+            }
+            let mut stolen_from = None;
+            if out.is_empty() && nshards > 1 {
+                // Steal HALF the deepest other shard (capped at the
+                // batch size) — the "simple load-balancing heuristic".
+                // Half, not one: a steal then costs the same lock
+                // round-trip as a batch drain but feeds a whole event
+                // loop, instead of waking the thief once per item.
+                // Depth caches are read lock-free; only the chosen
+                // victim is locked.
+                let victim = (0..nshards)
+                    .filter(|&s| s != own_ix)
+                    .max_by_key(|&s| self.shards[s].depth.load(Ordering::Acquire));
+                if let Some(v) = victim {
+                    let shard = &self.shards[v];
+                    let mut s = shard.state.lock();
+                    let take = s.items.len().div_ceil(2).min(batch);
+                    for _ in 0..take {
+                        match s.items.pop_front() {
                             Some(it) => out.push(it),
                             None => break,
                         }
                     }
-                    if out.is_empty() {
-                        // Steal from the deepest other queue — the
-                        // "simple load-balancing heuristic".
-                        let victim = (0..s.per_worker.len())
-                            .filter(|&w| w != worker)
-                            .max_by_key(|&w| s.per_worker[w].len());
-                        if let Some(v) = victim {
-                            if let Some(it) = s.per_worker[v].pop_front() {
-                                self.total_steals.fetch_add(1, Ordering::Relaxed);
-                                out.push(it);
-                            }
-                        }
+                    if !out.is_empty() {
+                        shard.depth.store(s.items.len(), Ordering::Release);
+                        stolen_from = Some((v, out.len()));
+                        self.total_steals.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
             if !out.is_empty() {
-                for it in out.iter() {
-                    s.client_dec(it.client());
+                {
+                    let mut clients = self.per_client.lock();
+                    for it in out.iter() {
+                        Self::client_dec_locked(&mut clients, it.client());
+                    }
                 }
-                drop(s);
                 if self.telemetry.enabled() {
                     self.telemetry.queue_depth.add(-(out.len() as i64));
+                    if from_own > 0 {
+                        self.telemetry.shard_depth.add(own_ix, -(from_own as i64));
+                    }
+                    if let Some((v, n)) = stolen_from {
+                        self.telemetry.steal_ops.inc();
+                        self.telemetry.shard_depth.add(v, -(n as i64));
+                    }
                     self.telemetry
                         .batch_size
                         .record_shard(worker, out.len() as u64);
@@ -372,19 +499,29 @@ impl WorkQueue {
                 }
                 return;
             }
-            if s.closed {
+            if self.closed.load(Ordering::Acquire) && self.depth() == 0 {
+                // After close no push can land, so shard depths only
+                // shrink: once the sum reads zero the queue is drained
+                // for good and every worker can exit.
                 return;
             }
-            self.cv.wait(&mut s);
+            let sleep = &self.shards[own_ix].sleep;
+            let mut ver = sleep.version.lock();
+            if *ver == sampled {
+                sleep.cv.wait(&mut ver);
+            }
         }
     }
 
     /// Close the queue: workers drain remaining items, then exit.
     pub fn close(&self) {
-        let mut s = self.state.lock();
-        s.closed = true;
-        drop(s);
-        self.cv.notify_all();
+        for shard in &self.shards {
+            shard.state.lock().closed = true;
+        }
+        self.closed.store(true, Ordering::Release);
+        for shard in &self.shards {
+            shard.sleep.wake_all();
+        }
     }
 
     /// Close *and* stop handing items to workers: subsequent
@@ -392,25 +529,33 @@ impl WorkQueue {
     /// is still parked belongs to [`drain_remaining`](Self::drain_remaining)
     /// — the deadline-bounded shutdown drain.
     pub fn abort(&self) {
-        let mut s = self.state.lock();
-        s.closed = true;
-        s.aborted = true;
-        drop(s);
-        self.cv.notify_all();
+        for shard in &self.shards {
+            shard.state.lock().closed = true;
+        }
+        self.closed.store(true, Ordering::Release);
+        self.aborted.store(true, Ordering::Release);
+        for shard in &self.shards {
+            shard.sleep.wake_all();
+        }
     }
 
-    /// Take every item still parked in the queue (all workers' queues
-    /// and the shared FIFO), in FIFO order per queue. Used by shutdown
-    /// after workers have exited to guarantee no staged write — and no
-    /// BML buffer — is silently dropped.
+    /// Take every item still parked in the queue (every shard, in
+    /// shard order), in FIFO order per shard. Used by shutdown after
+    /// workers have exited to guarantee no staged write — and no BML
+    /// buffer — is silently dropped.
     pub fn drain_remaining(&self) -> Vec<WorkItem> {
-        let mut s = self.state.lock();
-        let mut out: Vec<WorkItem> = s.shared.drain(..).collect();
-        for q in s.per_worker.iter_mut() {
-            out.extend(q.drain(..));
+        let mut out = Vec::new();
+        for (ix, shard) in self.shards.iter().enumerate() {
+            let mut s = shard.state.lock();
+            let n = s.items.len();
+            out.extend(s.items.drain(..));
+            shard.depth.store(0, Ordering::Release);
+            drop(s);
+            if self.telemetry.enabled() && n > 0 {
+                self.telemetry.shard_depth.add(ix, -(n as i64));
+            }
         }
-        s.per_client.clear();
-        drop(s);
+        self.per_client.lock().clear();
         if self.telemetry.enabled() && !out.is_empty() {
             self.telemetry.queue_depth.add(-(out.len() as i64));
         }
@@ -418,38 +563,47 @@ impl WorkQueue {
     }
 
     pub fn depth(&self) -> usize {
-        Self::depth_locked(&self.state.lock())
+        self.shards
+            .iter()
+            .map(|s| s.depth.load(Ordering::Acquire))
+            .sum()
     }
 
     /// How many items `client` has parked in the queue right now — the
     /// reactor's fair-admission signal (park the connection once this
     /// crosses its cap, resume as completions drain it).
     pub fn client_queued(&self, client: u64) -> usize {
-        self.state
-            .lock()
-            .per_client
-            .get(&client)
-            .copied()
-            .unwrap_or(0)
+        self.per_client.lock().get(&client).copied().unwrap_or(0)
     }
 
-    fn depth_locked(s: &QueueState) -> usize {
-        s.shared.len() + s.per_worker.iter().map(|q| q.len()).sum::<usize>()
+    fn client_inc(&self, client: u64) {
+        *self.per_client.lock().entry(client).or_insert(0) += 1;
     }
 
-    /// Enqueue stamp of the oldest item still parked (the front of the
-    /// shared FIFO and of each per-worker queue — FIFO order makes the
-    /// fronts the oldest candidates). `None` when the queue is empty or
-    /// every front predates telemetry (stamp 0). This is the watchdog's
-    /// head-of-line-age signal: one bounded scan under the queue lock,
+    fn client_dec(&self, client: u64) {
+        Self::client_dec_locked(&mut self.per_client.lock(), client);
+    }
+
+    fn client_dec_locked(map: &mut HashMap<u64, usize>, client: u64) {
+        if let Some(n) = map.get_mut(&client) {
+            if *n <= 1 {
+                map.remove(&client);
+            } else {
+                *n -= 1;
+            }
+        }
+    }
+
+    /// Enqueue stamp of the oldest item still parked (the front of
+    /// each shard — FIFO order makes the fronts the oldest
+    /// candidates). `None` when the queue is empty or every front
+    /// predates telemetry (stamp 0). This is the watchdog's
+    /// head-of-line-age signal: one bounded scan over the shard locks,
     /// a few times per second, never on the data path.
     pub fn oldest_enqueue_ns(&self) -> Option<u64> {
-        let s = self.state.lock();
-        s.shared
-            .front()
-            .into_iter()
-            .chain(s.per_worker.iter().filter_map(|q| q.front()))
-            .map(|item| item.enqueue_ns())
+        self.shards
+            .iter()
+            .filter_map(|shard| shard.state.lock().items.front().map(WorkItem::enqueue_ns))
             .filter(|&ns| ns > 0)
             .min()
     }
@@ -577,44 +731,67 @@ mod tests {
     }
 
     #[test]
-    fn per_worker_round_robin_and_steal() {
+    fn per_worker_affinity_placement_and_steal() {
         let q = WorkQueue::new(QueueDiscipline::PerWorker, 2);
-        for i in 0..4 {
-            q.push(sync_item(i)).unwrap(); // 0,2 -> worker 0; 1,3 -> worker 1
-        }
-        let own = q.pop_batch(0, 10);
+        // Clients 0 and 1 hash to different shards with two workers.
+        assert_ne!(q.shard_of(0), q.shard_of(1));
+        q.push(sync_item_for_client(0, 0)).unwrap();
+        q.push(sync_item_for_client(1, 1)).unwrap();
+        q.push(sync_item_for_client(2, 0)).unwrap();
+        q.push(sync_item_for_client(3, 1)).unwrap();
+        // Client 0's items land together, in order, on its home shard.
+        let own = q.pop_batch(q.shard_of(0), 10);
         assert_eq!(own.iter().map(tag_of).collect::<Vec<_>>(), vec![0, 2]);
-        // Worker 0's queue is now empty; it steals from worker 1.
-        let stolen = q.pop_batch(0, 10);
-        assert_eq!(stolen.len(), 1);
-        assert_eq!(tag_of(&stolen[0]), 1);
+        // That shard is now dry; the worker steals half of client 1's
+        // shard (two items -> one).
+        let stolen = q.pop_batch(q.shard_of(0), 10);
+        assert_eq!(stolen.iter().map(tag_of).collect::<Vec<_>>(), vec![1]);
         assert_eq!(q.total_steals(), 1);
+    }
+
+    #[test]
+    fn per_worker_affinity_keeps_one_client_fifo_on_one_shard() {
+        let q = WorkQueue::new(QueueDiscipline::PerWorker, 4);
+        for i in 0..6 {
+            q.push(sync_item_for_client(i, 42)).unwrap();
+        }
+        // One client never spreads: its home worker drains everything
+        // in push order, and no steal was needed to get there.
+        let batch = q.pop_batch(q.shard_of(42), 10);
+        assert_eq!(
+            batch.iter().map(tag_of).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+        assert_eq!(q.total_steals(), 0);
     }
 
     #[test]
     fn per_worker_steal_drains_other_queues_after_close() {
         // Satellite: under close(), a worker whose own queue is empty
-        // must still drain the *other* workers' parked items (one steal
-        // per pass) before pop_batch returns empty.
+        // must still drain the *other* workers' parked items (stealing
+        // half the deepest victim per pass) before pop_batch returns
+        // empty.
         let q = WorkQueue::new(QueueDiscipline::PerWorker, 3);
         for i in 0..6 {
-            q.push(sync_item(i)).unwrap(); // rr: two items per worker
+            q.push(sync_item_for_client(i, i)).unwrap(); // affinity spreads clients
         }
+        // The spread must actually cross shards for the steal path to
+        // be exercised.
+        assert!((0..6).any(|c| q.shard_of(c) != q.shard_of(0)));
         q.close();
-        // Worker 0 empties its own queue...
-        assert_eq!(q.pop_batch(0, 10).len(), 2);
-        // ...then steals everything parked for workers 1 and 2.
-        let mut stolen = Vec::new();
+        // Worker 0 drains its own shard, then steals the rest.
+        let mut got = Vec::new();
         loop {
-            let batch = q.pop_batch(0, 10);
+            let batch = q.pop_batch(q.shard_of(0), 10);
             if batch.is_empty() {
                 break;
             }
-            stolen.extend(batch.iter().map(tag_of));
+            got.extend(batch.iter().map(tag_of));
         }
-        stolen.sort_unstable();
-        assert_eq!(stolen, vec![1, 2, 4, 5]);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(q.depth(), 0);
+        assert!(q.total_steals() >= 1);
     }
 
     #[test]
@@ -659,9 +836,10 @@ mod tests {
     fn oldest_enqueue_ns_follows_the_queue_fronts() {
         let q = WorkQueue::new(QueueDiscipline::PerWorker, 2);
         assert_eq!(q.oldest_enqueue_ns(), None);
-        let stamped = |tag: u64, ns: u64| {
+        let stamped = |tag: u64, ns: u64, client: u64| {
             let (tx, _rx) = unbounded();
             let span = OpSpan {
+                client,
                 enqueue_ns: ns,
                 ..OpSpan::default()
             };
@@ -672,16 +850,18 @@ mod tests {
                 span,
             }
         };
-        q.push(stamped(0, 900)).unwrap(); // rr -> worker 0
-        q.push(stamped(1, 500)).unwrap(); // rr -> worker 1
-                                          // The probe scans every queue front, not just one FIFO.
+        // Clients 0 and 1 hash to different shards with two workers.
+        assert_ne!(q.shard_of(0), q.shard_of(1));
+        q.push(stamped(0, 900, 0)).unwrap();
+        q.push(stamped(1, 500, 1)).unwrap();
+        // The probe scans every queue front, not just one FIFO.
         assert_eq!(q.oldest_enqueue_ns(), Some(500));
-        assert_eq!(q.pop_batch(1, 1).len(), 1);
+        assert_eq!(q.pop_batch(q.shard_of(1), 1).len(), 1);
         assert_eq!(q.oldest_enqueue_ns(), Some(900));
-        assert_eq!(q.pop_batch(0, 1).len(), 1);
+        assert_eq!(q.pop_batch(q.shard_of(0), 1).len(), 1);
         assert_eq!(q.oldest_enqueue_ns(), None);
         // Unstamped items (telemetry disabled) never report an age.
-        q.push(stamped(2, 0)).unwrap();
+        q.push(stamped(2, 0, 0)).unwrap();
         assert_eq!(q.oldest_enqueue_ns(), None);
     }
 

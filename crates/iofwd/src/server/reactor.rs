@@ -52,9 +52,12 @@ use iofwd_proto::{Errno, Fd, Frame, Request, Response, TraceExt};
 use polling::{Event, Interest, Poller, Waker};
 
 use super::engine::{op_kind, response_errno, Engine};
-use super::handlers::{apply_trace, run_staged_inline, stage_echo_of};
+use super::handlers::{
+    apply_trace, maybe_deep_copy_rx, maybe_deep_copy_tx, run_staged_inline, stage_echo_of,
+};
 use super::queue::{Completion, CompletionSink, ReplyTo, WorkItem, WorkQueue};
 use super::staged::FdSerializer;
+use super::HotPath;
 use crate::bml::Bml;
 use crate::descdb::BeginError;
 use crate::telemetry::{Disposition, OpSpan, PerClientStats, Telemetry};
@@ -515,7 +518,9 @@ impl ReactorThread {
             None => {}
         }
         conn.inflight = conn.inflight.saturating_sub(1);
-        let mut frame = Frame::response(c.client_id, c.seq, &c.resp, c.data);
+        let mut data = c.data;
+        maybe_deep_copy_tx(self.engine.hotpath(), &self.telemetry, &mut data);
+        let mut frame = Frame::response(c.client_id, c.seq, &c.resp, data);
         if span.trace_id != 0 {
             frame = frame.with_ext(TraceExt::Echo(stage_echo_of(&span)));
         }
@@ -589,9 +594,28 @@ impl ReactorThread {
                 }
                 return;
             }
-            match Frame::decode(&conn.rbuf) {
-                Ok(Some((frame, used))) => {
-                    let _ = conn.rbuf.split_to(used);
+            // Zero-copy decode: once a complete frame sits in rbuf,
+            // carve it out as shared storage and hand the handlers
+            // views into it — the payload is never memcpy'd out of the
+            // receive buffer.
+            let complete = match Frame::required_len(&conn.rbuf) {
+                Ok(total) => total.filter(|&t| conn.rbuf.len() >= t),
+                // Undecodable garbage: the framing is unrecoverable.
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            };
+            match complete {
+                Some(total) => {
+                    let wire = conn.rbuf.split_to_bytes(total);
+                    let frame = match Frame::decode_shared(&wire) {
+                        Ok(f) => f,
+                        Err(_) => {
+                            conn.dead = true;
+                            return;
+                        }
+                    };
                     budget -= 1;
                     if self.telemetry.enabled() {
                         self.telemetry.frames_in.inc();
@@ -612,7 +636,7 @@ impl ReactorThread {
                     }
                     self.admit(tok, conn, frame);
                 }
-                Ok(None) => match conn.rbuf.read_from(&mut conn.stream, READ_CHUNK) {
+                None => match conn.rbuf.read_from(&mut conn.stream, READ_CHUNK) {
                     Ok(0) => {
                         conn.peer_closed = true;
                         return;
@@ -625,18 +649,14 @@ impl ReactorThread {
                         return;
                     }
                 },
-                // Undecodable garbage: the framing is unrecoverable.
-                Err(_) => {
-                    conn.dead = true;
-                    return;
-                }
             }
         }
     }
 
     // -- admission ----------------------------------------------------
 
-    fn admit(&mut self, tok: usize, conn: &mut ConnState, frame: Frame) {
+    fn admit(&mut self, tok: usize, conn: &mut ConnState, mut frame: Frame) {
+        maybe_deep_copy_rx(self.engine.hotpath(), &self.telemetry, &mut frame);
         let client = u64::from(frame.client_id);
         conn.client = client;
         // Fairness gate: a client hogging the work queue is parked
@@ -758,8 +778,14 @@ impl ReactorThread {
                 // on `acquire_timeout`, the reactor parks the client.
                 // Order matters — acquire *before* `begin_op`, so a
                 // parked client leaves no half-open operation on the
-                // descriptor for barriers to wait on.
-                let Some(mut buf) = bml.try_acquire(len as usize) else {
+                // descriptor for barriers to wait on. The fast path
+                // adopts the receive view (capacity charged, no bytes
+                // moved); the Seed arm copies into an owned block.
+                let admitted = match self.engine.hotpath() {
+                    HotPath::Fast => bml.try_adopt(frame.data.clone()),
+                    HotPath::Seed => bml.try_acquire(len as usize),
+                };
+                let Some(mut buf) = admitted else {
                     self.park_bml(conn, frame);
                     return;
                 };
@@ -774,7 +800,9 @@ impl ReactorThread {
                         Response::DeferredErr { op, errno }
                     }
                     Ok((op, _obj)) => {
-                        buf.fill_from(&frame.data);
+                        if self.engine.hotpath() == HotPath::Seed {
+                            buf.fill_from(&frame.data);
+                        }
                         self.engine.stats.requests.fetch_add(1, Ordering::Relaxed);
                         self.engine.stats.bytes_in.fetch_add(len, Ordering::Relaxed);
                         self.engine.stats.staged_ops.fetch_add(1, Ordering::Relaxed);
@@ -987,15 +1015,29 @@ impl ReactorThread {
             return;
         }
         let data_len = frame.data.len() as u64;
-        let wire = frame.encode();
-        conn.wbuf_bytes += wire.len();
-        conn.wbuf.push_back(wire);
+        // Large payloads ride the wbuf as their own segment, by
+        // reference: a slab-backed read reply or an echoed receive-view
+        // goes socket-ward without ever being re-copied into a
+        // contiguous wire image. `flush` already walks segments with a
+        // partial-write cursor, so a two-segment frame needs no new
+        // bookkeeping there.
+        let queued = if frame.data.len() >= Frame::SPLIT_SEND_MIN {
+            let header = frame.encode_header();
+            let total = header.len() + frame.data.len();
+            conn.wbuf.push_back(header);
+            conn.wbuf.push_back(frame.data);
+            total
+        } else {
+            let wire = frame.encode();
+            let total = wire.len();
+            conn.wbuf.push_back(wire);
+            total
+        };
+        conn.wbuf_bytes += queued;
         if self.telemetry.enabled() {
             self.telemetry.frames_out.inc();
             self.telemetry.transport_bytes_out.add(data_len);
-            self.telemetry
-                .wbuf_bytes
-                .add(conn.wbuf.back().map_or(0, |w| w.len()) as i64);
+            self.telemetry.wbuf_bytes.add(queued as i64);
             if let Some(stats) = &conn.stats {
                 stats.bytes_out.add(data_len);
                 stats.note_wbuf(conn.wbuf_bytes as u64);
@@ -1044,6 +1086,15 @@ impl ReactorThread {
         }
         if conn.parked_wbuf && conn.wbuf_bytes <= self.cfg.max_write_buffer / 2 {
             conn.parked_wbuf = false;
+            // Read side resumes — on the hot list, not via poll
+            // interest alone: the frames this park deferred are already
+            // sitting in rbuf, so the (level-triggered) socket may never
+            // signal readable again. Every flush path must do this, not
+            // just the EPOLLOUT one; a completion's enqueue_wire can be
+            // the flush that crosses the low-water mark, and if it
+            // skips the hot list the buffered frames are stranded for
+            // good (worker idle, loop parked on its tick).
+            conn.want_hot = true;
         }
         conn.maybe_finished();
     }
@@ -1052,12 +1103,7 @@ impl ReactorThread {
         let Some(mut conn) = self.slots.get_mut(tok).and_then(|s| s.conn.take()) else {
             return;
         };
-        let was_parked = conn.parked_wbuf;
         self.flush(&mut conn);
-        if was_parked && !conn.parked_wbuf {
-            // Read side resumes; drain anything buffered meanwhile.
-            conn.want_hot = true;
-        }
         self.finish_conn(tok, conn);
     }
 

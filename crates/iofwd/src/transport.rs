@@ -338,8 +338,36 @@ pub mod tcp {
         }
     }
 
+    /// Drain a header + payload pair with vectored writes, never
+    /// gathering them into one buffer. The payload `Bytes` goes to the
+    /// kernel from wherever it already lives (receive buffer, BML slab,
+    /// replay corpus) — the old `encode()` path re-copied every payload
+    /// into a fresh contiguous wire image first, a per-byte tax that
+    /// rivals the backend write itself for megabyte frames.
+    fn write_all_split(w: &mut impl Write, mut head: &[u8], mut body: &[u8]) -> io::Result<()> {
+        while !head.is_empty() || !body.is_empty() {
+            let bufs = [io::IoSlice::new(head), io::IoSlice::new(body)];
+            match w.write_vectored(&bufs) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) if n <= head.len() => head = &head[n..],
+                Ok(n) => {
+                    body = &body[n - head.len()..];
+                    head = &[];
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
     impl Conn for TcpConn {
         fn send(&self, frame: Frame) -> io::Result<()> {
+            if frame.data.len() >= Frame::SPLIT_SEND_MIN {
+                let header = frame.encode_header();
+                let mut w = self.write.lock();
+                return write_all_split(&mut *w, &header, &frame.data);
+            }
             let wire = frame.encode();
             let mut w = self.write.lock();
             w.write_all(&wire)
@@ -349,19 +377,31 @@ pub mod tcp {
             let mut state = self.read.lock();
             let ReadState { stream, buf } = &mut *state;
             loop {
-                match Frame::decode(buf) {
-                    Ok(Some((frame, used))) => {
-                        let _ = buf.split_to(used);
+                let needed = Frame::required_len(buf)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                if let Some(total) = needed {
+                    if buf.len() >= total {
+                        // Carve the complete frame out of the receive
+                        // buffer without copying the payload; the
+                        // decoded meta/data are views into this shared
+                        // storage all the way to the handlers.
+                        let wire = buf.split_to_bytes(total);
+                        let frame = Frame::decode_shared(&wire).map_err(|e| {
+                            io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+                        })?;
                         return Ok(Some(frame));
-                    }
-                    Ok(None) => {}
-                    Err(e) => {
-                        return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
                     }
                 }
                 // Read straight into the buffer's spare capacity — no
-                // intermediate stack chunk, no second copy.
-                let n = buf.read_from(stream, 64 * 1024)?;
+                // intermediate stack chunk, no second copy. Once the
+                // header names the frame size, reserve the rest of the
+                // frame in one go so a large payload grows the buffer
+                // once instead of doubling its way up.
+                let want = match needed {
+                    Some(total) => (total - buf.len()).max(64 * 1024),
+                    None => 64 * 1024,
+                };
+                let n = buf.read_from(stream, want)?;
                 if n == 0 {
                     return if buf.is_empty() {
                         Ok(None)

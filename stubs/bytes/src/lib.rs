@@ -3,73 +3,158 @@
 //! The workspace builds hermetically (no registry access), so the handful
 //! of external crates it uses are vendored as small local implementations
 //! covering exactly the API surface the workspace exercises. `Bytes` is a
-//! cheaply-clonable immutable buffer (`Arc<[u8]>`); `BytesMut` is a growable
-//! buffer with the little-endian `BufMut` putters the wire codec uses.
+//! cheaply-clonable immutable *view* — a refcounted storage plus an
+//! offset/length window — so `clone`, `slice` and `split_to` are O(1)
+//! refcount bumps, never copies. That property is what makes the daemon's
+//! zero-copy receive path work: a frame decoded out of a receive buffer
+//! hands out sub-views of the same allocation all the way to the backend.
+//! `BytesMut` is a growable buffer with the little-endian `BufMut`
+//! putters the wire codec uses; `freeze` and `split_to_bytes` convert
+//! accumulated bytes into shared `Bytes` without copying the payload.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
-/// Immutable, cheaply clonable byte buffer.
-#[derive(Clone, Default)]
+/// External storage that a `Bytes` view can borrow from. Implementors
+/// keep the backing memory alive (and may recycle it, e.g. back into a
+/// buffer pool) when the last view drops.
+pub trait ByteOwner: Send + Sync {
+    fn as_slice(&self) -> &[u8];
+}
+
+/// The three kinds of storage a `Bytes` view can point into.
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+    Owner(Arc<dyn ByteOwner>),
+}
+
+impl Repr {
+    fn storage(&self) -> &[u8] {
+        match self {
+            Repr::Static(s) => s,
+            Repr::Shared(v) => v.as_slice(),
+            Repr::Owner(o) => o.as_slice(),
+        }
+    }
+}
+
+/// Immutable, cheaply clonable byte view: refcounted storage + window.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
 }
 
 impl Bytes {
+    /// Empty view over static storage — no allocation.
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(&[][..]),
+            repr: Repr::Static(&[]),
+            off: 0,
+            len: 0,
         }
     }
 
+    /// View over a static slice — no allocation, no copy.
     pub fn from_static(slice: &'static [u8]) -> Self {
         Bytes {
-            data: Arc::from(slice),
+            repr: Repr::Static(slice),
+            off: 0,
+            len: slice.len(),
         }
     }
 
+    /// The one constructor that deep-copies. Hot paths should prefer
+    /// `From<Vec<u8>>`, `BytesMut::freeze`, or `slice` views.
     pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Bytes::from(slice.to_vec())
+    }
+
+    /// View backed by external storage; the owner is kept alive until
+    /// the last derived view drops (see [`ByteOwner`]).
+    pub fn from_owner(owner: Arc<dyn ByteOwner>) -> Self {
+        let len = owner.as_slice().len();
         Bytes {
-            data: Arc::from(slice),
+            repr: Repr::Owner(owner),
+            off: 0,
+            len,
         }
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
+    fn as_slice(&self) -> &[u8] {
+        &self.repr.storage()[self.off..self.off + self.len]
+    }
+
+    /// O(1) sub-view sharing the same storage. Panics if the range is
+    /// out of bounds, mirroring slice indexing.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {}..{} out of bounds of {}",
+            range.start,
+            range.end,
+            self.len
+        );
         Bytes {
-            data: Arc::from(&self.data[range]),
+            repr: self.repr.clone(),
+            off: self.off + range.start,
+            len: range.end - range.start,
         }
+    }
+
+    /// O(1) split: returns the first `at` bytes as a view and advances
+    /// `self` past them. Both halves share the same storage.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(0..at);
+        self.off += at;
+        self.len -= at;
+        head
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        let len = v.len();
+        Bytes {
+            repr: Repr::Shared(Arc::new(v)),
+            off: 0,
+            len,
+        }
     }
 }
 
@@ -87,7 +172,7 @@ impl From<BytesMut> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -95,44 +180,44 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self.as_slice() == other
     }
 }
 
 impl<const N: usize> PartialEq<[u8; N]> for Bytes {
     fn eq(&self, other: &[u8; N]) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
 impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
     fn eq(&self, other: &&[u8; N]) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.data.hash(state)
+        self.as_slice().hash(state)
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter().take(64) {
+        for &b in self.as_slice().iter().take(64) {
             for c in std::ascii::escape_default(b) {
                 write!(f, "{}", c as char)?;
             }
         }
-        if self.data.len() > 64 {
-            write!(f, "…(+{})", self.data.len() - 64)?;
+        if self.len > 64 {
+            write!(f, "…(+{})", self.len - 64)?;
         }
         write!(f, "\"")
     }
@@ -155,10 +240,10 @@ impl BytesMut {
         }
     }
 
+    /// Convert into an immutable shared view. Moves the Vec into the
+    /// refcounted storage — no copy.
     pub fn freeze(self) -> Bytes {
-        Bytes {
-            data: Arc::from(self.data),
-        }
+        Bytes::from(self.data)
     }
 
     pub fn extend_from_slice(&mut self, slice: &[u8]) {
@@ -171,6 +256,22 @@ impl BytesMut {
         BytesMut {
             data: std::mem::replace(&mut self.data, rest),
         }
+    }
+
+    /// Split off the first `at` bytes as a *shared* `Bytes`, leaving the
+    /// tail in place for further appends. The prefix — typically a whole
+    /// decoded frame, payload included — is moved into refcounted storage
+    /// without copying; only the tail (the partial next frame, bounded by
+    /// one read chunk) is copied into a fresh Vec.
+    pub fn split_to_bytes(&mut self, at: usize) -> Bytes {
+        if at == self.data.len() {
+            let whole = std::mem::take(&mut self.data);
+            return Bytes::from(whole);
+        }
+        let tail = self.data[at..].to_vec();
+        let mut head = std::mem::replace(&mut self.data, tail);
+        head.truncate(at);
+        Bytes::from(head)
     }
 
     pub fn len(&self) -> usize {
@@ -187,6 +288,11 @@ impl BytesMut {
 
     pub fn reserve(&mut self, additional: usize) {
         self.data.reserve(additional);
+    }
+
+    /// Spare capacity currently available without reallocating.
+    pub fn spare_len(&self) -> usize {
+        self.data.capacity() - self.data.len()
     }
 
     /// Read from `r` directly into this buffer's spare capacity —
@@ -320,5 +426,87 @@ mod tests {
         assert_eq!(b, [1u8, 2, 3]);
         let c = b.clone();
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn slice_and_split_share_storage_without_copying() {
+        let storage: Vec<u8> = (0u8..16).collect();
+        let base = storage.as_ptr();
+        let mut b = Bytes::from(storage);
+        let mid = b.slice(4..12);
+        assert_eq!(&mid[..], &(4u8..12).collect::<Vec<_>>()[..]);
+        // The view points into the original allocation.
+        assert_eq!(mid.as_slice().as_ptr(), unsafe { base.add(4) });
+        let head = b.split_to(8);
+        assert_eq!(head.as_slice().as_ptr(), base);
+        assert_eq!(b.as_slice().as_ptr(), unsafe { base.add(8) });
+        assert_eq!(&head[..], &(0u8..8).collect::<Vec<_>>()[..]);
+        assert_eq!(&b[..], &(8u8..16).collect::<Vec<_>>()[..]);
+        // Sub-slicing a view composes offsets.
+        let inner = mid.slice(2..5);
+        assert_eq!(&inner[..], &[6, 7, 8]);
+    }
+
+    #[test]
+    fn freeze_moves_storage_without_copying() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"payload");
+        let base = b.as_ref().as_ptr();
+        let frozen = b.freeze();
+        assert_eq!(frozen.as_slice().as_ptr(), base);
+        assert_eq!(&frozen[..], b"payload");
+    }
+
+    #[test]
+    fn split_to_bytes_keeps_tail_appendable() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"frame-one|tail");
+        let frame = b.split_to_bytes(9);
+        assert_eq!(&frame[..], b"frame-one");
+        assert_eq!(&b[..], b"|tail");
+        b.extend_from_slice(b"-more");
+        assert_eq!(&b[..], b"|tail-more");
+        // Whole-buffer split leaves an empty, reusable buffer.
+        let rest = b.split_to_bytes(b.len());
+        assert_eq!(&rest[..], b"|tail-more");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn from_owner_keeps_owner_alive_and_views_its_bytes() {
+        struct Block {
+            data: Vec<u8>,
+            dropped: Arc<std::sync::atomic::AtomicBool>,
+        }
+        impl ByteOwner for Block {
+            fn as_slice(&self) -> &[u8] {
+                &self.data
+            }
+        }
+        impl Drop for Block {
+            fn drop(&mut self) {
+                self.dropped
+                    .store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let owner = Arc::new(Block {
+            data: b"owned-bytes".to_vec(),
+            dropped: dropped.clone(),
+        });
+        let b = Bytes::from_owner(owner);
+        let view = b.slice(6..11);
+        drop(b);
+        assert!(!dropped.load(std::sync::atomic::Ordering::SeqCst));
+        assert_eq!(&view[..], b"bytes");
+        drop(view);
+        assert!(dropped.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.slice(1..5);
     }
 }

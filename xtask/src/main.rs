@@ -2,7 +2,7 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — the invariant linter. Nine rules the compiler cannot
+//! * `lint` — the invariant linter. Ten rules the compiler cannot
 //!   enforce but this codebase depends on (see DESIGN.md, "Enforced
 //!   invariants"):
 //!   - **R1** Simulation crates (`simcore`, `bgsim`, `bgp-model`,
@@ -10,7 +10,8 @@
 //!     no `std::time::Instant`, `std::time::SystemTime`,
 //!     `std::thread::sleep` in their `src/` trees.
 //!   - **R2** Daemon-path modules of `iofwd` (`backend`, `transport`,
-//!     `client`, `bml`, `descdb`) must not `.unwrap()` / `.expect(...)`
+//!     `client`, `bml`, `descdb`, `fault`, `server::{queue, reactor,
+//!     staged}`) must not `.unwrap()` / `.expect(...)`
 //!     / `panic!` outside `#[cfg(test)]` modules — errors flow through
 //!     `iofwd_proto::error` to the client like CIOD returns errno.
 //!   - **R3** `match` expressions over wire-format enums (`Request`,
@@ -43,6 +44,12 @@
 //!     `.clients.` table access outside boot-time toggles, so hot
 //!     paths can neither take extra shard locks nor bypass
 //!     `--attribution off`.
+//!   - **R10** Forwarding hot-path files (`iofwd-proto::wire`,
+//!     `iofwd::{transport, bml, server::{engine, handlers, queue,
+//!     reactor}}`) must not `.to_vec()` a decoded `Bytes` view —
+//!     payloads travel socket→BML→backend as refcounted slices; a
+//!     deliberate deep copy (CIOD paper-fidelity staging, the seed
+//!     control arm) must carry a `// HOTPATH:` comment above it.
 //!
 //!   Known-good exceptions live in `xtask/lint.allow` (one per line:
 //!   `R<n> <path> -- <justification>`, at most [`MAX_ALLOW`] entries).

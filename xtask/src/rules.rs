@@ -29,6 +29,9 @@ pub enum Rule {
     /// sharded `client_stats(...)` accessor — no raw `.clients.` table
     /// access on the hot path.
     R9,
+    /// Decoded `Bytes` views on the forwarding hot path must not be
+    /// deep-copied with `.to_vec()` — slice or adopt instead.
+    R10,
 }
 
 impl Rule {
@@ -42,6 +45,7 @@ impl Rule {
             "R6" => Some(Rule::R6),
             "R7" => Some(Rule::R7),
             "R9" => Some(Rule::R9),
+            "R10" => Some(Rule::R10),
             _ => None,
         }
     }
@@ -58,6 +62,7 @@ impl std::fmt::Display for Rule {
             Rule::R6 => "R6",
             Rule::R7 => "R7",
             Rule::R9 => "R9",
+            Rule::R10 => "R10",
         })
     }
 }
@@ -114,6 +119,22 @@ const NO_FMT_FILES: &[&str] = &[
     "crates/iofwd/src/server/queue.rs",
 ];
 
+/// Files on the socket→decode→stage→backend forwarding path. Frames
+/// arrive here as refcounted `Bytes` views into the receive buffer;
+/// `.to_vec()` deep-copies the payload and silently reintroduces the
+/// per-op allocation the zero-copy path exists to remove. A deliberate
+/// copy (paper-fidelity CIOD staging, the seed control arm) must carry
+/// a `// HOTPATH:` comment in the three lines above it.
+const HOT_BYTES_FILES: &[&str] = &[
+    "crates/iofwd-proto/src/wire.rs",
+    "crates/iofwd/src/bml.rs",
+    "crates/iofwd/src/transport.rs",
+    "crates/iofwd/src/server/engine.rs",
+    "crates/iofwd/src/server/handlers.rs",
+    "crates/iofwd/src/server/queue.rs",
+    "crates/iofwd/src/server/reactor.rs",
+];
+
 pub fn check_file(rel: &Path, source: &str) -> Vec<Violation> {
     let masked = strip(source);
     let mut out = Vec::new();
@@ -150,6 +171,9 @@ pub fn check_file(rel: &Path, source: &str) -> Vec<Violation> {
             && unix != "crates/iofwd-telemetry/src/snapshot.rs")
     {
         check_r5(rel, &masked, &mut out);
+    }
+    if HOT_BYTES_FILES.contains(&unix.as_str()) {
+        check_r10(rel, source, &masked, &mut out);
     }
     out
 }
@@ -642,6 +666,42 @@ fn check_r9(rel: &Path, masked: &str, out: &mut Vec<Violation>) {
     }
 }
 
+// ---------------------------------------------------------------- R10
+
+fn check_r10(rel: &Path, source: &str, masked: &str, out: &mut Vec<Violation>) {
+    let tests = test_regions(masked);
+    let in_tests = |pos: usize| tests.iter().any(|&(a, b)| pos >= a && pos <= b);
+    let lines: Vec<&str> = source.lines().collect();
+    const NEEDLE: &str = ".to_vec()";
+    let mut start = 0;
+    while let Some(off) = masked[start..].find(NEEDLE) {
+        let pos = start + off;
+        start = pos + NEEDLE.len();
+        if in_tests(pos) {
+            continue;
+        }
+        // A deliberate copy carries a HOTPATH: comment on its line or
+        // the three above (same shape as R4's SAFETY: annotation).
+        let line = line_of(masked, pos);
+        let lo = line.saturating_sub(4); // lines[] is 0-based
+        let annotated = lines[lo..line.min(lines.len())]
+            .iter()
+            .any(|l| l.contains("HOTPATH:"));
+        if annotated {
+            continue;
+        }
+        out.push(Violation {
+            rule: Rule::R10,
+            path: rel.to_path_buf(),
+            line,
+            message: "`.to_vec()` on a zero-copy hot path — keep the refcounted `Bytes` \
+                      view (slice/adopt); a deliberate copy needs a `// HOTPATH:` comment \
+                      in the preceding 3 lines"
+                .to_string(),
+        });
+    }
+}
+
 // ---------------------------------------------------------------- R4
 
 fn check_r4(rel: &Path, source: &str, masked: &str, out: &mut Vec<Violation>) {
@@ -855,6 +915,31 @@ mod tests {
         assert!(check("crates/iofwd/tests/introspection_e2e.rs", e2e)
             .iter()
             .all(|v| v.rule != Rule::R9));
+    }
+
+    #[test]
+    fn r10_flags_to_vec_on_hot_path_files_only() {
+        let src = "fn f(data: &Bytes) -> Vec<u8> { data.to_vec() }";
+        let v = check("crates/iofwd/src/server/handlers.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::R10).count(), 1);
+        // Off the hot path, copies are fine.
+        assert!(check("crates/iofwd/src/client.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::R10));
+    }
+
+    #[test]
+    fn r10_accepts_annotated_copies_and_tests() {
+        let annotated = "fn f(data: &Bytes) -> Vec<u8> {\n\
+                         // HOTPATH: deliberate deep copy — paper fidelity.\n\
+                         data.to_vec()\n}";
+        assert!(check("crates/iofwd/src/server/handlers.rs", annotated)
+            .iter()
+            .all(|v| v.rule != Rule::R10));
+        let in_tests = "#[cfg(test)]\nmod tests { fn g(d: &Bytes) { let _ = d.to_vec(); } }";
+        assert!(check("crates/iofwd/src/transport.rs", in_tests)
+            .iter()
+            .all(|v| v.rule != Rule::R10));
     }
 
     #[test]

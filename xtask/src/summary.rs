@@ -760,15 +760,16 @@ fn depth_at(bytes: &[u8], pos: usize) -> i32 {
     d
 }
 
-/// BML acquisitions: `acquire*`/`try_acquire` on a `bml`-named handle,
-/// bound either via `let` or a `Some(buf)` / `Ok(buf)` match arm.
+/// BML acquisitions: `acquire*`/`try_acquire` and the zero-copy
+/// `adopt*`/`try_adopt` twins on a `bml`-named handle, bound either via
+/// `let` or a `Some(buf)` / `Ok(buf)` match arm.
 fn collect_buf_acquires(masked: &str, calls: &[CallSite]) -> Vec<BufAcquire> {
     let bytes = masked.as_bytes();
     let mut out = Vec::new();
     for c in calls {
         if !matches!(
             c.name.as_str(),
-            "acquire" | "acquire_timeout" | "try_acquire"
+            "acquire" | "acquire_timeout" | "try_acquire" | "adopt" | "adopt_timeout" | "try_adopt"
         ) {
             continue;
         }
